@@ -1,0 +1,106 @@
+// Figure 11 reproduction: prediction-accuracy validation on randomly
+// generated Test1/Test2 samples (paper: 300 samples per case; default here
+// is smaller for wall-clock, override with PP_SAMPLES).
+//
+// Panels:
+//   (a) Test1,  8 cores, FF      — paper: avg error < 4%
+//   (b) Test1, 12 cores, FF      — paper: max error 23%
+//   (c) Test2,  8 cores, FF      — paper: avg 7%
+//   (d) Test2, 12 cores, FF      — paper: max 68%, static worst
+//   (e) Test2, 12 cores, SYN     — paper: avg 3%, max 19%
+//   (f) Test2,  4 cores, SUIT    — paper: poor (no schedule modelling)
+//
+// "Real" is the ground-truth DES run of the actual parallel structure.
+#include <iostream>
+
+#include "report/experiment.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "workloads/test_patterns.hpp"
+
+using namespace pprophet;
+
+namespace {
+
+struct Panel {
+  const char* name;
+  bool test2 = false;
+  CoreCount cores = 8;
+  core::Method method = core::Method::FastForward;
+  const char* paper_note;
+};
+
+struct ScheduleCase {
+  const char* name;
+  runtime::OmpSchedule sched;
+};
+
+const ScheduleCase kSchedules[] = {
+    {"static,1", runtime::OmpSchedule::StaticCyclic},
+    {"static", runtime::OmpSchedule::StaticBlock},
+    {"dynamic,1", runtime::OmpSchedule::Dynamic},
+};
+
+}  // namespace
+
+int main() {
+  const long samples = util::env_long("PP_SAMPLES", 60);
+  report::print_header(
+      std::cout, "Figure 11 — validation on random Test1/Test2 samples (" +
+                     std::to_string(samples) +
+                     " samples/panel; PP_SAMPLES to change; paper used 300)");
+
+  const Panel panels[] = {
+      {"(a) Test1, 8-core, FF", false, 8, core::Method::FastForward,
+       "paper: avg <4%"},
+      {"(b) Test1, 12-core, FF", false, 12, core::Method::FastForward,
+       "paper: avg <4%, max 23%"},
+      {"(c) Test2, 8-core, FF", true, 8, core::Method::FastForward,
+       "paper: avg 7%"},
+      {"(d) Test2, 12-core, FF", true, 12, core::Method::FastForward,
+       "paper: avg 7%, max 68%"},
+      {"(e) Test2, 12-core, SYN", true, 12, core::Method::Synthesizer,
+       "paper: avg 3%, max 19%"},
+      {"(f) Test2, 4-core, SUIT", true, 4, core::Method::Suitability,
+       "paper: poor"},
+  };
+
+  for (const Panel& panel : panels) {
+    std::cout << "\n--- " << panel.name << "  [" << panel.paper_note
+              << "] ---\n";
+    std::vector<double> all_pred, all_real;
+    util::Table per_sched({"schedule", "avg err", "max err", "within 20%"});
+    for (const ScheduleCase& sc : kSchedules) {
+      // Suitability has no schedule parameter (the paper's point); report
+      // it against the dynamic,1 reality only.
+      if (panel.method == core::Method::Suitability &&
+          sc.sched != runtime::OmpSchedule::Dynamic) {
+        continue;
+      }
+      util::Xoshiro256 rng(0xF16'11'000 + (panel.test2 ? 7 : 3));
+      std::vector<double> pred, real;
+      for (long s = 0; s < samples; ++s) {
+        const tree::ProgramTree tree =
+            panel.test2 ? workloads::run_test2(workloads::random_test2(rng))
+                        : workloads::run_test1(workloads::random_test1(rng));
+        core::PredictOptions o = report::paper_options(panel.method);
+        o.schedule = sc.sched;
+        const double p = core::predict(tree, panel.cores, o).speedup;
+        o.method = core::Method::GroundTruth;
+        const double r = core::predict(tree, panel.cores, o).speedup;
+        pred.push_back(p);
+        real.push_back(r);
+      }
+      const util::ErrorStats es = util::error_stats(pred, real);
+      per_sched.add_row({sc.name, util::fmt_pct(es.mean_error),
+                         util::fmt_pct(es.max_error),
+                         util::fmt_pct(es.within_20pct)});
+      all_pred.insert(all_pred.end(), pred.begin(), pred.end());
+      all_real.insert(all_real.end(), real.begin(), real.end());
+    }
+    per_sched.print(std::cout);
+    report::print_validation_panel(std::cout, std::string(panel.name),
+                                   all_pred, all_real);
+  }
+  return 0;
+}

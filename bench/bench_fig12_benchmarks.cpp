@@ -1,0 +1,69 @@
+// Figure 12 reproduction: OmpSCR + NPB predictions — Real vs Pred (no
+// memory model) vs PredM (with burden factors) vs Suit, across 2–12 cores.
+//
+// Expected shapes (paper):
+//  * MD-OMP, LU-OMP, QSort-Cilk, NPB-EP: near-linear; Pred ≈ PredM ≈ Real
+//    (burden factors are 1 for these);
+//  * NPB-FT/CG/MG, FFT-Cilk: Real saturates from memory contention; Pred
+//    overshoots; PredM tracks Real;
+//  * Suit underestimates LU (inner-loop fork overestimate) and is
+//    unreliable on the recursive Cilk benchmarks.
+#include <iostream>
+
+#include "kernel_suite.hpp"
+#include "util/env.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace pprophet;
+
+int main() {
+  const long scale = util::env_long("PP_SCALE", 1);
+  report::print_header(std::cout,
+                       "Figure 12 — OmpSCR and NPB benchmark predictions "
+                       "(PP_SCALE=" + std::to_string(scale) + ")");
+  const auto& model = bench::paper_burden_model();
+  const auto& cores = report::paper_core_counts();
+
+  for (const auto& entry : bench::paper_suite(scale)) {
+    const bench::KernelCurves curves = bench::evaluate_kernel(entry, model);
+    std::vector<report::SpeedupSeries> series{
+        {"Real", '#', curves.real},
+        {"Pred", 'o', curves.pred},
+        {"PredM", '*', curves.predm},
+        {"Suit", 's', curves.suit},
+    };
+    report::print_speedup_panel(
+        std::cout, curves.name + "  (" + entry.footprint_note + ")", cores,
+        series);
+    // Burden factors, as annotated on the top-level sections (max over
+    // sections, like the paper quotes "1.0 to 1.45" for FT).
+    double max_burden = 1.0;
+    for (const auto& child : curves.tree.root->children()) {
+      if (child->kind() == tree::NodeKind::Sec) {
+        max_burden = std::max(max_burden, child->burden(12));
+      }
+    }
+    std::cout << "max burden factor beta_12 = " << util::fmt_f(max_burden, 2)
+              << "\n";
+
+    // Optional machine-readable export for replotting: PP_CSV_DIR=<dir>.
+    if (const char* dir = std::getenv("PP_CSV_DIR")) {
+      util::CsvWriter csv({"cores", "real", "pred", "predm", "suit"});
+      for (std::size_t i = 0; i < cores.size(); ++i) {
+        csv.add_row({std::to_string(cores[i]), util::fmt_f(curves.real[i], 4),
+                     util::fmt_f(curves.pred[i], 4),
+                     util::fmt_f(curves.predm[i], 4),
+                     util::fmt_f(curves.suit[i], 4)});
+      }
+      const std::string path =
+          std::string(dir) + "/fig12_" + curves.name + ".csv";
+      if (csv.write(path)) {
+        std::cout << "wrote " << path << "\n";
+      } else {
+        std::cerr << "could not write " << path << "\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 7 reproduction: the two-level nested parallel loop where the FF
+// (and Suitability) predict 1.5 while the real machine reaches 2.0 because
+// the OS time-slices the oversubscribed nested teams. The synthesizer runs
+// the generated program on the (simulated) machine and recovers ~2.0.
+#include <iostream>
+
+#include "report/experiment.hpp"
+#include "tree/builder.hpp"
+#include "util/table.hpp"
+
+using namespace pprophet;
+
+int main() {
+  report::print_header(
+      std::cout,
+      "Figure 7 — nested loops: FF/Suitability mispredict, synthesizer "
+      "recovers the real 2.0x");
+
+  const Cycles k = 10'000;
+  tree::TreeBuilder b;
+  b.begin_sec("Loop1");
+  b.begin_task("i0");
+  b.begin_sec("LoopA");
+  b.begin_task("a0").u(10 * k).end_task();
+  b.begin_task("a1").u(5 * k).end_task();
+  b.end_sec();
+  b.end_task();
+  b.begin_task("i1");
+  b.begin_sec("LoopB");
+  b.begin_task("b0").u(5 * k).end_task();
+  b.begin_task("b1").u(10 * k).end_task();
+  b.end_sec();
+  b.end_task();
+  b.end_sec();
+  const tree::ProgramTree t = b.finish();
+
+  core::PredictOptions o = report::paper_options(core::Method::GroundTruth);
+  o.machine.cores = 2;
+  o.machine.quantum = k / 10;
+  o.machine.context_switch = 0;
+  o.omp_overheads = runtime::OmpOverheads{0, 0, 0, 0, 0, 0, 0};
+  o.synth_overheads = runtime::SynthOverheads{0, 0};
+
+  util::Table table({"method", "predicted speedup", "paper"});
+  const struct {
+    core::Method m;
+    const char* paper;
+  } rows[] = {
+      {core::Method::GroundTruth, "2.0 (real)"},
+      {core::Method::FastForward, "1.5"},
+      {core::Method::Suitability, "1.5 (same failure)"},
+      {core::Method::Synthesizer, "~2.0"},
+  };
+  for (const auto& row : rows) {
+    o.method = row.m;
+    const double s = core::predict(t, 2, o).speedup;
+    table.add_row({core::to_string(row.m), util::fmt_f(s, 2), row.paper});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nThe FF assigns whole nodes to virtual CPUs round-robin from the\n"
+         "spawning CPU and never preempts, so both 10k-cycle nested\n"
+         "iterations land on the same CPU (30k/20k = 1.5). The machine's\n"
+         "preemptive scheduler time-slices the four oversubscribed threads\n"
+         "(30k/~15k ~= 2.0), and the synthesizer inherits that behaviour\n"
+         "by construction (paper SS IV-D/IV-E).\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// §VII-D reproduction (google-benchmark): profiling overhead. The paper
+// reports a 1.1–10× tracer slowdown per estimate and decomposes the
+// synthesizer's total time. Here we measure, with the *real* clock:
+//   - the raw annotated program (macros inert),
+//   - interval profiling on top,
+//   - profiling with online compression,
+//   - tree emulation cost per estimate (FF vs synthesizer),
+// so the ratios between these rows are the paper's slowdown factors.
+#include <benchmark/benchmark.h>
+
+#include "annotate/annotations.hpp"
+#include "core/prophet.hpp"
+#include "report/experiment.hpp"
+#include "trace/profiler.hpp"
+#include "workloads/test_patterns.hpp"
+
+namespace {
+
+using namespace pprophet;
+
+// A CPU-burning annotated loop (real time, real clock): each iteration
+// spins ~2 µs so annotation cost is a measurable but small fraction.
+void annotated_program(int iters, volatile double* sink) {
+  PAR_SEC_BEGIN("loop");
+  for (int i = 0; i < iters; ++i) {
+    PAR_TASK_BEGIN("t");
+    double acc = 1.0;
+    for (int k = 0; k < 600; ++k) acc = acc * 1.0000001 + 0.5;
+    *sink = acc;
+    LOCK_BEGIN(1);
+    for (int k = 0; k < 60; ++k) acc += k;
+    *sink = acc;
+    LOCK_END(1);
+    PAR_TASK_END();
+  }
+  PAR_SEC_END(true);
+}
+
+void BM_AnnotatedBaseline(benchmark::State& state) {
+  volatile double sink = 0;
+  for (auto _ : state) {
+    annotated_program(static_cast<int>(state.range(0)), &sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AnnotatedBaseline)->Arg(1000);
+
+void BM_IntervalProfiling(benchmark::State& state) {
+  volatile double sink = 0;
+  trace::SteadyClock clock;
+  for (auto _ : state) {
+    trace::IntervalProfiler profiler(clock);
+    {
+      annotate::ScopedAnnotationTarget scope(profiler);
+      annotated_program(static_cast<int>(state.range(0)), &sink);
+    }
+    benchmark::DoNotOptimize(profiler.finish());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntervalProfiling)->Arg(1000);
+
+void BM_ProfilingWithOnlineCompression(benchmark::State& state) {
+  volatile double sink = 0;
+  trace::SteadyClock clock;
+  trace::ProfilerOptions opts;
+  opts.online_compression = true;
+  for (auto _ : state) {
+    trace::IntervalProfiler profiler(clock, nullptr, opts);
+    {
+      annotate::ScopedAnnotationTarget scope(profiler);
+      annotated_program(static_cast<int>(state.range(0)), &sink);
+    }
+    benchmark::DoNotOptimize(profiler.finish());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProfilingWithOnlineCompression)->Arg(1000);
+
+const tree::ProgramTree& sample_tree() {
+  static const tree::ProgramTree t = [] {
+    workloads::Test2Params p;
+    p.k_max = 16;
+    p.inner.i_max = 16;
+    return workloads::run_test2(p);
+  }();
+  return t;
+}
+
+void BM_EstimateFf(benchmark::State& state) {
+  const auto o = [] {
+    auto opt = report::paper_options(core::Method::FastForward);
+    return opt;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::predict(sample_tree(), 8, o));
+  }
+}
+BENCHMARK(BM_EstimateFf);
+
+void BM_EstimateSynthesizer(benchmark::State& state) {
+  const auto o = [] {
+    auto opt = report::paper_options(core::Method::Synthesizer);
+    return opt;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::predict(sample_tree(), 8, o));
+  }
+}
+BENCHMARK(BM_EstimateSynthesizer);
+
+void BM_EstimateSuitability(benchmark::State& state) {
+  const auto o = [] {
+    auto opt = report::paper_options(core::Method::Suitability);
+    return opt;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::predict(sample_tree(), 8, o));
+  }
+}
+BENCHMARK(BM_EstimateSuitability);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// EPCC-style runtime-overhead study (§VII-B): the paper calibrates its FF
+// overhead constants with the Bull/Dimakopoulos microbenchmarks [6, 8] but
+// then *observes* that "the overhead of OpenMP constructs ... is also
+// dependent on the trip count of a parallelized loop and the degree of
+// workload imbalance" — one reason the synthesizer beats the FF.
+//
+// This bench measures the same effect on our runtime model with the
+// difference method: emulate an empty-ish parallel loop, subtract the ideal
+// work/P time, and report the residual overhead per region across trip
+// counts, schedules, and imbalance. The FF's *constant* model is printed
+// alongside for contrast.
+#include <iostream>
+
+#include "emul/ff.hpp"
+#include "report/experiment.hpp"
+#include "tree/builder.hpp"
+#include "util/table.hpp"
+#include "workloads/test_patterns.hpp"
+
+using namespace pprophet;
+
+namespace {
+
+tree::ProgramTree loop_tree(std::uint64_t trips, Cycles len,
+                            bool imbalanced) {
+  tree::TreeBuilder b;
+  util::Xoshiro256 rng(5);
+  b.begin_sec("probe");
+  for (std::uint64_t i = 0; i < trips; ++i) {
+    const Cycles work =
+        imbalanced ? workloads::compute_overhead(
+                         i, trips, len, workloads::WorkShape::Random, 0.8, rng)
+                   : len;
+    b.begin_task("t").u(work).end_task();
+  }
+  b.end_sec();
+  return b.finish();
+}
+
+Cycles measured_overhead(const tree::ProgramTree& t, CoreCount threads,
+                         runtime::OmpSchedule sched) {
+  core::PredictOptions o = report::paper_options(core::Method::GroundTruth);
+  o.schedule = sched;
+  const Cycles parallel = core::predict(t, threads, o).parallel_cycles;
+  const Cycles ideal = t.total_serial_cycles() / threads;
+  return parallel > ideal ? parallel - ideal : 0;
+}
+
+}  // namespace
+
+int main() {
+  report::print_header(std::cout,
+                       "EPCC-style overhead study (§VII-B): region overhead "
+                       "vs trip count, schedule, imbalance");
+  const CoreCount threads = 8;
+  const runtime::OmpOverheads constants{};
+  const Cycles ff_constant =
+      constants.fork_base + constants.fork_per_thread * (threads - 1) +
+      constants.join_barrier;
+  std::cout << "FF's constant model for one region at " << threads
+            << " threads: " << ff_constant << " cycles (+ dispatch/iter)\n\n";
+
+  util::Table table({"trip count", "schedule", "balanced ovh", "imbalanced ovh"});
+  for (const std::uint64_t trips : {8ull, 32ull, 128ull, 512ull}) {
+    for (const auto& [name, sched] :
+         {std::pair{"static,1", runtime::OmpSchedule::StaticCyclic},
+          std::pair{"dynamic,1", runtime::OmpSchedule::Dynamic}}) {
+      const tree::ProgramTree balanced = loop_tree(trips, 2'000, false);
+      const tree::ProgramTree skewed = loop_tree(trips, 2'000, true);
+      table.add_row({std::to_string(trips), name,
+                     std::to_string(measured_overhead(balanced, threads, sched)),
+                     std::to_string(measured_overhead(skewed, threads, sched))});
+    }
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nObservations (matching the paper's): overhead grows with the trip\n"
+      "count (per-iteration dispatch), differs by schedule, and imbalance\n"
+      "adds a non-constant tail-wait component the FF cannot express as a\n"
+      "constant — hence the synthesizer.\n";
+  return 0;
+}

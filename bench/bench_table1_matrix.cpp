@@ -1,0 +1,135 @@
+// Table I reproduction: the capability matrix of dynamic speedup-prediction
+// tools. Each cell is *measured* here: a probe workload exercising the
+// pattern is predicted by each emulator and graded against the ground-truth
+// machine: "Good" (within 20%), "Limited" (within 50%), "Poor" otherwise.
+// The Kismet column is our critical-path-bound model of that tool
+// (emul/kismet.hpp); Cilkview is out of scope — it requires parallelized
+// input code, the opposite of this tool family's premise.
+#include <functional>
+#include <iostream>
+
+#include "emul/kismet.hpp"
+#include "report/experiment.hpp"
+#include "tree/builder.hpp"
+#include "util/table.hpp"
+#include "workloads/test_patterns.hpp"
+
+using namespace pprophet;
+
+namespace {
+
+struct Probe {
+  const char* pattern;
+  core::Paradigm paradigm;
+  std::function<tree::ProgramTree()> make;
+};
+
+const char* grade(double pred, double real) {
+  const double err = std::abs(pred - real) / real;
+  if (err <= 0.20) return "Good";
+  if (err <= 0.50) return "Limited";
+  return "Poor";
+}
+
+tree::ProgramTree simple_lock_tree() {
+  tree::TreeBuilder b;
+  b.begin_sec("s");
+  for (int i = 0; i < 24; ++i) {
+    b.begin_task("t").u(8'000).l(1, 2'000).u(6'000).end_task();
+  }
+  b.end_sec();
+  return b.finish();
+}
+
+tree::ProgramTree imbalance_tree() {
+  workloads::Test1Params p;
+  p.shape = workloads::WorkShape::Triangular;
+  p.spread = 0.9;
+  p.i_max = 48;
+  p.lock1_prob = 0.0;
+  return workloads::run_test1(p);
+}
+
+tree::ProgramTree inner_loop_tree() {
+  tree::TreeBuilder b;
+  for (int k = 0; k < 24; ++k) {
+    b.begin_sec("inner");
+    for (int i = 0; i < 12; ++i) b.begin_task("t").u(4'000).end_task();
+    b.end_sec();
+  }
+  return b.finish();
+}
+
+tree::ProgramTree recursive_tree() {
+  tree::TreeBuilder b;
+  std::function<void(int)> rec = [&](int depth) {
+    if (depth == 0) {
+      b.u(20'000);
+      return;
+    }
+    b.begin_sec("rec");
+    for (int i = 0; i < 2; ++i) {
+      b.begin_task("half");
+      rec(depth - 1);
+      b.end_task();
+    }
+    b.end_sec();
+    b.u(2'000);
+  };
+  b.begin_sec("top");
+  b.begin_task("root");
+  rec(6);
+  b.end_task();
+  b.end_sec();
+  return b.finish();
+}
+
+}  // namespace
+
+int main() {
+  report::print_header(std::cout,
+                       "Table I — measured capability matrix (grades vs the "
+                       "ground-truth machine at 8 cores)");
+
+  const Probe probes[] = {
+      {"Simple loops/locks", core::Paradigm::OpenMP, simple_lock_tree},
+      {"Imbalance", core::Paradigm::OpenMP, imbalance_tree},
+      {"Inner-loop", core::Paradigm::OpenMP, inner_loop_tree},
+      {"Recursive", core::Paradigm::CilkPlus, recursive_tree},
+  };
+  const core::Method methods[] = {core::Method::FastForward,
+                                  core::Method::Synthesizer,
+                                  core::Method::Suitability};
+
+  util::Table table({"pattern", "FF (ours)", "SYN (ours)", "Suit (model)",
+                     "Kismet (model)", "real speedup"});
+  for (const Probe& probe : probes) {
+    const tree::ProgramTree t = probe.make();
+    core::PredictOptions o = report::paper_options(core::Method::GroundTruth);
+    o.paradigm = probe.paradigm;
+    const double real = core::predict(t, 8, o).speedup;
+    std::vector<std::string> row{probe.pattern};
+    for (const core::Method m : methods) {
+      o.method = m;
+      const double pred = core::predict(t, 8, o).speedup;
+      row.push_back(std::string(grade(pred, real)) + " (" +
+                    util::fmt_f(pred, 2) + ")");
+    }
+    // Kismet: a critical-path upper bound, no annotations consumed.
+    const double kismet = emul::analyze_kismet(t).bound(8);
+    row.push_back(std::string(grade(kismet, real)) + " (" +
+                  util::fmt_f(kismet, 2) + ")");
+    row.push_back(util::fmt_f(real, 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nPaper's Table I (for reference): Cilkview needs parallelized code;\n"
+      "Kismet: upper bound only, limited beyond simple loops, huge\n"
+      "overhead; Suitability: limited on imbalance/inner/recursive;\n"
+      "Parallel Prophet: good on all four, with memory modelled for\n"
+      "contention (see bench_table4). Our Kismet column is the described\n"
+      "critical-path bound: it never under-estimates, so it grades poorly\n"
+      "wherever overheads or schedules matter.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "kernel_suite.hpp"
+
+#include "memmodel/calibration.hpp"
+
+namespace pprophet::bench {
+
+using workloads::KernelConfig;
+using workloads::KernelRun;
+
+std::vector<SuiteEntry> paper_suite(long scale) {
+  const auto s = static_cast<std::size_t>(std::max(1L, scale));
+  const KernelConfig plain{};                               // full cache
+  const KernelConfig scaled{.cache = workloads::scaled_cache()};  // memory-bound
+
+  std::vector<SuiteEntry> suite;
+  suite.push_back({"MD-OMP", "8192/20MB in paper; scaled",
+                   core::Paradigm::OpenMP, runtime::OmpSchedule::StaticBlock,
+                   [=] {
+                     workloads::MdParams p;
+                     p.particles = 160 * s;
+                     p.steps = 2;
+                     return workloads::run_md(p, plain);
+                   }});
+  suite.push_back({"LU-OMP", "3072/54MB in paper; scaled",
+                   core::Paradigm::OpenMP, runtime::OmpSchedule::StaticCyclic,
+                   [=] {
+                     workloads::LuParams p;
+                     p.n = 96 * s;
+                     return workloads::run_lu(p, plain);
+                   }});
+  suite.push_back({"FFT-Cilk", "2048/118MB in paper; scaled",
+                   core::Paradigm::CilkPlus, runtime::OmpSchedule::StaticBlock,
+                   [=] {
+                     workloads::FftParams p;
+                     p.n = 2048 * s;
+                     p.parallel_cutoff = 128;
+                     return workloads::run_fft(p, scaled);
+                   }});
+  suite.push_back({"QSort-Cilk", "2048/4MB in paper; scaled",
+                   core::Paradigm::CilkPlus, runtime::OmpSchedule::StaticBlock,
+                   [=] {
+                     workloads::QsortParams p;
+                     p.n = 16384 * s;
+                     p.parallel_cutoff = 512;
+                     return workloads::run_qsort(p, plain);
+                   }});
+  suite.push_back({"NPB-EP", "B/7MB in paper; scaled",
+                   core::Paradigm::OpenMP, runtime::OmpSchedule::StaticBlock,
+                   [=] {
+                     workloads::EpParams p;
+                     p.log2_pairs = 13 + static_cast<int>(s);
+                     p.blocks = 48;
+                     return workloads::run_ep(p, plain);
+                   }});
+  suite.push_back({"NPB-FT", "B/850MB in paper; scaled cache",
+                   core::Paradigm::OpenMP, runtime::OmpSchedule::StaticBlock,
+                   [=] {
+                     workloads::FtParams p;
+                     p.nx = 64 * s;  // grid 4x the scaled LLC: class-B-like
+                     p.ny = 32;
+                     p.nz = 16;
+                     p.iterations = 2;
+                     return workloads::run_ft(p, scaled);
+                   }});
+  suite.push_back({"NPB-CG", "B/400MB in paper; scaled cache",
+                   core::Paradigm::OpenMP, runtime::OmpSchedule::StaticBlock,
+                   [=] {
+                     workloads::CgParams p;
+                     p.n = 1400 * s;
+                     p.iterations = 6;
+                     return workloads::run_cg(p, scaled);
+                   }});
+  suite.push_back({"NPB-MG", "B/470MB in paper; scaled cache",
+                   core::Paradigm::OpenMP, runtime::OmpSchedule::StaticBlock,
+                   [=] {
+                     workloads::MgParams p;
+                     p.n = 32 * s;
+                     p.vcycles = 2;
+                     return workloads::run_mg(p, scaled);
+                   }});
+  return suite;
+}
+
+const memmodel::BurdenModel& paper_burden_model() {
+  static const memmodel::BurdenModel model = [] {
+    memmodel::CalibrationOptions opts;
+    opts.machine = report::paper_machine();
+    return memmodel::BurdenModel(memmodel::calibrate(opts));
+  }();
+  return model;
+}
+
+KernelCurves evaluate_kernel(const SuiteEntry& entry,
+                             const memmodel::BurdenModel& model) {
+  KernelCurves out;
+  out.name = entry.name;
+  KernelRun run = entry.run();
+  tree::compress(run.tree);  // the paper's pipeline always compresses
+  const auto& cores = report::paper_core_counts();
+  memmodel::annotate_burdens(run.tree, model, cores);
+
+  for (const CoreCount t : cores) {
+    core::PredictOptions o = report::paper_options(core::Method::GroundTruth);
+    o.paradigm = entry.paradigm;
+    o.schedule = entry.schedule;
+    out.real.push_back(core::predict(run.tree, t, o).speedup);
+
+    o.method = core::Method::Synthesizer;
+    o.memory_model = false;
+    out.pred.push_back(core::predict(run.tree, t, o).speedup);
+
+    o.memory_model = true;
+    out.predm.push_back(core::predict(run.tree, t, o).speedup);
+
+    o.method = core::Method::Suitability;
+    out.suit.push_back(core::predict(run.tree, t, o).speedup);
+  }
+  out.tree = std::move(run.tree);
+  return out;
+}
+
+}  // namespace pprophet::bench

@@ -1,0 +1,46 @@
+// Shared kernel-suite driver for the Figure 2/12 and Table I/III/IV
+// benches: profiles each of the paper's eight benchmarks once, attaches
+// burden factors, and predicts Real / Pred / PredM / Suit speedup curves.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/prophet.hpp"
+#include "memmodel/burden.hpp"
+#include "report/experiment.hpp"
+#include "tree/compress.hpp"
+#include "workloads/npb.hpp"
+#include "workloads/ompscr.hpp"
+
+namespace pprophet::bench {
+
+struct SuiteEntry {
+  std::string name;
+  std::string footprint_note;
+  core::Paradigm paradigm = core::Paradigm::OpenMP;
+  runtime::OmpSchedule schedule = runtime::OmpSchedule::StaticBlock;
+  std::function<workloads::KernelRun()> run;
+};
+
+/// The eight paper benchmarks at simulation-scaled sizes. `scale` ∈ {1, 2}
+/// grows the problem sizes (PP_SCALE env in the benches).
+std::vector<SuiteEntry> paper_suite(long scale = 1);
+
+struct KernelCurves {
+  std::string name;
+  std::vector<double> real, pred, predm, suit;
+  tree::ProgramTree tree;  ///< profiled + compressed + burden-annotated
+};
+
+/// Profiles the kernel and computes all four curves over the paper's core
+/// counts. The burden model must be calibrated against paper_machine().
+KernelCurves evaluate_kernel(const SuiteEntry& entry,
+                             const memmodel::BurdenModel& model);
+
+/// Calibrates the memory model against the paper machine (cached across
+/// calls within one process).
+const memmodel::BurdenModel& paper_burden_model();
+
+}  // namespace pprophet::bench

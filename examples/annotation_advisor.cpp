@@ -1,0 +1,153 @@
+// Annotation advisor: the semi-automatic annotation workflow of §IV-A.
+//
+// For each candidate loop in a small serial program:
+//   1. the dependence tracker decides whether annotating it is legal
+//      (parallel / reduction / serial) from the observed access stream;
+//   2. legal loops get annotated + profiled;
+//   3. the recommender sweeps schedules and thread counts and proposes the
+//      best parallelization — closing the loop the paper describes:
+//      annotate → profile → predict → decide, before writing parallel code.
+#include <iostream>
+
+#include "annotate/annotations.hpp"
+#include "core/recommend.hpp"
+#include "depend/dependence.hpp"
+#include "report/experiment.hpp"
+#include "trace/profiler.hpp"
+#include "util/table.hpp"
+
+using namespace pprophet;
+
+namespace {
+
+constexpr std::size_t kN = 2048;
+
+// Loop A: independent element-wise map (parallelizable).
+void loop_map(vcpu::VirtualCpu& cpu, vcpu::InstrumentedArray<double>& a,
+              vcpu::InstrumentedArray<double>& b,
+              depend::DependenceTracker* tr) {
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (tr != nullptr) tr->iteration(i);
+    b.set(i, a.get(i) * 1.5 + 2.0);
+    cpu.compute(4);
+  }
+}
+
+// Loop B: dot-product style accumulation (reduction).
+void loop_dot(vcpu::VirtualCpu& cpu, vcpu::InstrumentedArray<double>& a,
+              vcpu::InstrumentedArray<double>& b,
+              vcpu::InstrumentedArray<double>& sum,
+              depend::DependenceTracker* tr) {
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (tr != nullptr) tr->iteration(i);
+    const double prod = a.get(i) * b.get(i);
+    sum.update(0, [&](double s) { return s + prod; });
+    cpu.compute(3);
+  }
+}
+
+// Loop C: recurrence (genuinely serial).
+void loop_scan(vcpu::VirtualCpu& cpu, vcpu::InstrumentedArray<double>& a,
+               depend::DependenceTracker* tr) {
+  for (std::size_t i = 1; i < kN; ++i) {
+    if (tr != nullptr) tr->iteration(i);
+    a.set(i, a.get(i) + 0.5 * a.get(i - 1));
+    cpu.compute(3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Annotation advisor (dependence analysis + prediction)\n"
+               "=====================================================\n";
+
+  vcpu::VirtualCpu cpu;
+  vcpu::InstrumentedArray<double> a(cpu, kN, 1.0);
+  vcpu::InstrumentedArray<double> b(cpu, kN, 2.0);
+  vcpu::InstrumentedArray<double> sum(cpu, 1, 0.0);
+
+  // Phase 1: dependence analysis of each candidate loop.
+  util::Table verdicts({"loop", "RAW", "WAR", "WAW", "reduction words",
+                        "verdict"});
+  depend::Verdict va, vb, vc;
+  {
+    depend::DependenceTracker tr(cpu);
+    tr.loop_begin("map");
+    loop_map(cpu, a, b, &tr);
+    const depend::LoopReport r = tr.loop_end();
+    va = r.verdict();
+    verdicts.add_row({"A: b[i] = f(a[i])", std::to_string(r.raw),
+                      std::to_string(r.war), std::to_string(r.waw),
+                      std::to_string(r.reduction_words),
+                      depend::to_string(va)});
+
+    tr.loop_begin("dot");
+    loop_dot(cpu, a, b, sum, &tr);
+    const depend::LoopReport rd = tr.loop_end();
+    vb = rd.verdict();
+    verdicts.add_row({"B: sum += a[i]*b[i]", std::to_string(rd.raw),
+                      std::to_string(rd.war), std::to_string(rd.waw),
+                      std::to_string(rd.reduction_words),
+                      depend::to_string(vb)});
+
+    tr.loop_begin("scan");
+    loop_scan(cpu, a, &tr);
+    const depend::LoopReport rs = tr.loop_end();
+    vc = rs.verdict();
+    verdicts.add_row({"C: a[i] += a[i-1]/2", std::to_string(rs.raw),
+                      std::to_string(rs.war), std::to_string(rs.waw),
+                      std::to_string(rs.reduction_words),
+                      depend::to_string(vc)});
+  }
+  verdicts.print(std::cout);
+
+  // Phase 2: annotate the legal loops (A and B; C stays serial) and profile.
+  trace::IntervalProfiler profiler(cpu.clock());
+  {
+    annotate::ScopedAnnotationTarget scope(profiler);
+    PAR_SEC_BEGIN("map");
+    for (std::size_t i = 0; i < kN; i += 64) {
+      PAR_TASK_BEGIN("chunk");
+      for (std::size_t j = i; j < i + 64; ++j) {
+        b.set(j, a.get(j) * 1.5 + 2.0);
+        cpu.compute(4);
+      }
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+    PAR_SEC_BEGIN("dot");
+    for (std::size_t i = 0; i < kN; i += 64) {
+      PAR_TASK_BEGIN("chunk");
+      double local = 0.0;  // privatized partial sum (the reduction rewrite)
+      for (std::size_t j = i; j < i + 64; ++j) {
+        local += a.get(j) * b.get(j);
+        cpu.compute(3);
+      }
+      LOCK_BEGIN(1);  // combine step
+      sum.update(0, [&](double s) { return s + local; });
+      LOCK_END(1);
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+    loop_scan(cpu, a, nullptr);  // serial, unannotated
+  }
+  const tree::ProgramTree t = profiler.finish();
+
+  // Phase 3: recommend a parallelization.
+  core::RecommendOptions ro;
+  ro.base = report::paper_options(core::Method::Synthesizer);
+  ro.thread_counts = {2, 4, 8, 12};
+  const core::Recommendation rec = core::recommend(t, ro);
+  std::cout << "\nBest:        " << core::to_string(rec.best.paradigm) << " "
+            << runtime::to_string(rec.best.schedule) << " on "
+            << rec.best.threads << " threads -> "
+            << util::fmt_f(rec.best.speedup, 2) << "x\n"
+            << "Economical:  " << rec.economical.threads << " threads -> "
+            << util::fmt_f(rec.economical.speedup, 2)
+            << "x (within the 5% knee)\n"
+            << "\nLoop C stays serial (true recurrence) and caps the\n"
+               "whole-program speedup (Amdahl) — exactly the kind of verdict\n"
+               "worth knowing before parallelizing anything.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// LU reduction (the paper's Figure 1a): inner-loop parallelism with
+// triangular imbalance. Shows why schedule choice matters and why
+// Suitability's constant-overhead model collapses on this pattern.
+//
+// The kernel is the real LU reduction from workloads/, running its actual
+// floating-point computation on the instrumented virtual CPU.
+#include <iostream>
+
+#include "core/prophet.hpp"
+#include "report/experiment.hpp"
+#include "util/table.hpp"
+#include "workloads/ompscr.hpp"
+
+using namespace pprophet;
+
+int main() {
+  std::cout << "LU reduction — inner-loop parallelism\n"
+               "=====================================\n";
+
+  workloads::LuParams params;
+  params.n = 96;
+  const workloads::KernelRun run = workloads::run_lu(params);
+  std::cout << "profiled " << params.n << "x" << params.n
+            << " reduction: " << run.instructions << " instructions, "
+            << run.cycles << " cycles, checksum " << run.checksum << "\n"
+            << "the tree has " << run.tree.node_count()
+            << " nodes: one parallel section per outer k step, with the\n"
+               "trip count shrinking from n-1 to 1 (the triangular shape of\n"
+               "Figure 1a).\n";
+
+  const CoreCount cores[] = {2, 4, 6, 8, 10, 12};
+  util::Table table({"schedule / method", "2", "4", "6", "8", "10", "12"});
+  for (const auto& [label, sched] :
+       {std::pair{"static,1", runtime::OmpSchedule::StaticCyclic},
+        std::pair{"static", runtime::OmpSchedule::StaticBlock},
+        std::pair{"dynamic,1", runtime::OmpSchedule::Dynamic}}) {
+    core::PredictOptions o = report::paper_options(core::Method::Synthesizer);
+    o.schedule = sched;
+    std::vector<std::string> row{std::string("SYN ") + label};
+    for (const CoreCount t : cores) {
+      row.push_back(util::fmt_f(core::predict(run.tree, t, o).speedup, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  {
+    core::PredictOptions o = report::paper_options(core::Method::Suitability);
+    std::vector<std::string> row{"Suitability model"};
+    for (const CoreCount t : cores) {
+      row.push_back(util::fmt_f(core::predict(run.tree, t, o).speedup, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nTakeaways: frequent small parallel regions cap the\n"
+               "speedup well below linear (fork/join amortization), and the\n"
+               "Suitability-style constant per-task overhead predicts\n"
+               "slowdowns — the paper's diagnosis of its LU failure.\n";
+  return 0;
+}

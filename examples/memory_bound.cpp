@@ -1,0 +1,82 @@
+// Memory-bound prediction (the paper's Figure 2 situation): NPB-FT's
+// speedup saturates as DRAM bandwidth fills up. This example shows the
+// whole memory-model pipeline explicitly:
+//   counters → MPI/traffic → Ψ/Φ calibration → burden factors β_t →
+//   burden-aware synthesis.
+#include <iostream>
+
+#include "core/prophet.hpp"
+#include "memmodel/burden.hpp"
+#include "memmodel/calibration.hpp"
+#include "memmodel/classify.hpp"
+#include "report/experiment.hpp"
+#include "util/table.hpp"
+#include "workloads/npb.hpp"
+
+using namespace pprophet;
+
+int main() {
+  std::cout << "Memory-bound speedup prediction (NPB-FT)\n"
+               "========================================\n";
+
+  workloads::FtParams params;
+  params.nx = 64;
+  params.ny = 32;
+  params.nz = 16;
+  params.iterations = 2;
+  workloads::KernelRun run =
+      workloads::run_ft(params, {.cache = workloads::scaled_cache()});
+
+  std::cout << "\nPer-section serial counters:\n";
+  util::Table counters({"section", "MPI", "traffic MB/s", "class"});
+  for (const auto& child : run.tree.root->children()) {
+    if (child->kind() != tree::NodeKind::Sec || !child->counters()) continue;
+    const auto* c = child->counters();
+    counters.add_row({child->name(), util::fmt_f(c->mpi(), 4),
+                      util::fmt_f(c->traffic_mbps(), 1),
+                      memmodel::to_string(memmodel::classify_serial(*c, {}))});
+  }
+  counters.print(std::cout);
+
+  // Calibrate Ψ/Φ on the target machine and attach burden factors.
+  memmodel::CalibrationOptions copts;
+  copts.machine = report::paper_machine();
+  const memmodel::BurdenModel model(memmodel::calibrate(copts));
+  const CoreCount cores[] = {2, 4, 6, 8, 10, 12};
+  memmodel::annotate_burdens(run.tree, model, cores);
+
+  std::cout << "\nBurden factors (per top-level section):\n";
+  util::Table burdens({"section", "b2", "b4", "b6", "b8", "b10", "b12"});
+  for (const auto& child : run.tree.root->children()) {
+    if (child->kind() != tree::NodeKind::Sec) continue;
+    std::vector<std::string> row{child->name()};
+    for (const CoreCount t : cores) {
+      row.push_back(util::fmt_f(child->burden(t), 2));
+    }
+    burdens.add_row(std::move(row));
+    if (burdens.rows() >= 4) break;  // one FT iteration's worth
+  }
+  burdens.print(std::cout);
+
+  std::cout << "\nSpeedups:\n";
+  util::Table table({"method", "2", "4", "6", "8", "10", "12"});
+  for (const auto& [label, method, memory] :
+       {std::tuple{"Real (machine contention)", core::Method::GroundTruth,
+                   false},
+        std::tuple{"Pred (memory-blind)", core::Method::Synthesizer, false},
+        std::tuple{"PredM (burden factors)", core::Method::Synthesizer,
+                   true}}) {
+    core::PredictOptions o = report::paper_options(method);
+    o.memory_model = memory;
+    std::vector<std::string> row{label};
+    for (const CoreCount t : cores) {
+      row.push_back(util::fmt_f(core::predict(run.tree, t, o).speedup, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nWithout the memory model the 12-core estimate overshoots;\n"
+               "the burden factors recover the saturating shape from serial\n"
+               "counters alone — the paper's central claim.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Pipeline parallelism (the paper's §VII-E extension): a video-filter-like
+// serial loop whose iterations pass through decode → transform → encode →
+// write stages. The pipeline emulator projects speedups per worker count,
+// shows the bottleneck-stage bound, and compares against treating the same
+// loop as an ordinary (unordered) parallel loop.
+#include <iostream>
+
+#include "core/prophet.hpp"
+#include "emul/pipeline.hpp"
+#include "report/experiment.hpp"
+#include "tree/builder.hpp"
+#include "util/table.hpp"
+
+using namespace pprophet;
+
+int main() {
+  std::cout << "Pipeline-parallelism prediction (SS VII-E extension)\n"
+               "====================================================\n";
+
+  // 200 frames; the transform stage dominates.
+  tree::TreeBuilder b;
+  b.begin_sec("frames");
+  b.begin_task("frame")
+      .u(4'000)   // decode
+      .u(12'000)  // transform (bottleneck)
+      .u(5'000)   // encode
+      .u(1'000)   // write (ordered!)
+      .end_task()
+      .repeat_last(200);
+  b.end_sec();
+  const tree::ProgramTree t = b.finish();
+  const tree::Node& sec = *t.root->child(0);
+
+  util::Table table({"workers", "pipeline speedup", "bottleneck bound",
+                     "unordered-loop speedup"});
+  for (const CoreCount w : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    emul::PipelineConfig pc;
+    pc.workers = w;
+    pc.stage_handoff = 100;
+    const emul::PipelineResult pr = emul::emulate_pipeline(sec, pc);
+
+    core::PredictOptions o = report::paper_options(core::Method::Synthesizer);
+    const double loop_speedup = core::predict(t, w, o).speedup;
+
+    table.add_row({std::to_string(w), util::fmt_f(pr.speedup(), 2),
+                   util::fmt_f(static_cast<double>(pr.serial_cycles) /
+                                   static_cast<double>(pr.bottleneck_cycles),
+                               2),
+                   util::fmt_f(loop_speedup, 2)});
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nIf frames were independent, the plain parallel loop scales with\n"
+      "cores; with the ordered write stage, pipelining is the legal\n"
+      "parallelization and its speedup is capped by the transform stage\n"
+      "(bottleneck bound) no matter how many workers are added — the kind\n"
+      "of answer a programmer wants *before* restructuring the code.\n";
+  return 0;
+}

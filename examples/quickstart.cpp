@@ -1,0 +1,102 @@
+// Quickstart: the full Parallel Prophet pipeline on a small serial program.
+//
+//   1. Annotate the serial code (PAR_SEC/PAR_TASK/LOCK macros).
+//   2. Profile it with the interval profiler → program tree.
+//   3. Compress the tree.
+//   4. Predict speedups with the FF and the synthesizer for 2..12 cores
+//      and all three OpenMP schedules.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "annotate/annotations.hpp"
+#include "core/pipeline.hpp"
+#include "core/prophet.hpp"
+#include "report/experiment.hpp"
+#include "trace/profiler.hpp"
+#include "tree/compress.hpp"
+#include "tree/serialize.hpp"
+#include "util/table.hpp"
+
+using namespace pprophet;
+
+namespace {
+
+// The "serial program": a loop whose iterations share a counter under a
+// lock and whose work grows with the iteration index (imbalance).
+void serial_program(trace::ManualClock& clock) {
+  PAR_SEC_BEGIN("hot-loop");
+  for (int i = 0; i < 32; ++i) {
+    PAR_TASK_BEGIN("iteration");
+    clock.advance(5'000 + 400ULL * static_cast<Cycles>(i));  // Compute(...)
+    LOCK_BEGIN(1);
+    clock.advance(1'200);  // shared-counter update
+    LOCK_END(1);
+    PAR_TASK_END();
+  }
+  PAR_SEC_END(true);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Parallel Prophet quickstart\n===========================\n";
+
+  // Profile the annotated serial run (deterministic virtual clock here; a
+  // real program would use trace::SteadyClock).
+  trace::ManualClock clock;
+  trace::IntervalProfiler profiler(clock);
+  {
+    annotate::ScopedAnnotationTarget scope(profiler);
+    serial_program(clock);
+  }
+  tree::ProgramTree tree = profiler.finish();
+  const tree::CompressStats cs = tree::compress(tree);
+  std::cout << "\nProfiled tree (after RLE compression, "
+            << util::fmt_pct(cs.node_reduction(), 0) << " fewer nodes):\n"
+            << tree::to_text(tree);
+
+  // Predict.
+  const CoreCount cores[] = {2, 4, 6, 8, 10, 12};
+  util::Table table({"schedule", "method", "2", "4", "6", "8", "10", "12"});
+  for (const auto& [label, sched] :
+       {std::pair{"static,1", runtime::OmpSchedule::StaticCyclic},
+        std::pair{"static", runtime::OmpSchedule::StaticBlock},
+        std::pair{"dynamic,1", runtime::OmpSchedule::Dynamic}}) {
+    for (const core::Method m :
+         {core::Method::FastForward, core::Method::Synthesizer}) {
+      core::PredictOptions o = report::paper_options(m);
+      o.schedule = sched;
+      std::vector<std::string> row{label, core::to_string(m)};
+      for (const CoreCount t : cores) {
+        row.push_back(util::fmt_f(core::predict(tree, t, o).speedup, 2));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::cout << "\nProjected speedups:\n";
+  table.print(std::cout);
+  std::cout << "\nReading the result: the lock serializes ~1.2k of every\n"
+               "~12k-cycle iteration, so speedup saturates around 8-10x\n"
+               "regardless of schedule; static,1 beats static because the\n"
+               "work grows with the iteration index.\n";
+
+  // The same analysis through the one-object facade (profiling on the
+  // instrumented virtual CPU, compression, memory model, advice):
+  std::cout << "\nProphet facade, end to end:\n";
+  core::Prophet prophet;
+  const core::ProphetReport report = prophet.run([](vcpu::VirtualCpu& cpu) {
+    PAR_SEC_BEGIN("hot-loop");
+    for (int i = 0; i < 32; ++i) {
+      PAR_TASK_BEGIN("iteration");
+      cpu.fake_delay(5'000 + 400ULL * static_cast<Cycles>(i));
+      LOCK_BEGIN(1);
+      cpu.fake_delay(1'200);
+      LOCK_END(1);
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+  });
+  report.print(std::cout);
+  return 0;
+}

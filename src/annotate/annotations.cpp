@@ -1,0 +1,16 @@
+#include "annotate/annotations.hpp"
+
+namespace pprophet::annotate {
+namespace {
+trace::IntervalProfiler* g_target = nullptr;
+}  // namespace
+
+trace::IntervalProfiler* set_target(trace::IntervalProfiler* p) {
+  trace::IntervalProfiler* prev = g_target;
+  g_target = p;
+  return prev;
+}
+
+trace::IntervalProfiler* target() { return g_target; }
+
+}  // namespace pprophet::annotate

@@ -1,0 +1,75 @@
+// The paper's Table II annotation API.
+//
+// Programmers mark up a *serial* program with these macros; when a profiler
+// is installed (ScopedAnnotationTarget), each macro forwards to the interval
+// profiler. With no profiler installed the macros cost one predictable
+// branch, which is the "annotated but not profiled" baseline of the overhead
+// study.
+//
+//   PAR_SEC_BEGIN("loop1");
+//   for (...) {
+//     PAR_TASK_BEGIN("t1");
+//     ...
+//     LOCK_BEGIN(lock1); ... LOCK_END(lock1);
+//     ...
+//     PAR_TASK_END();
+//   }
+//   PAR_SEC_END(true /*implicit barrier*/);
+#pragma once
+
+#include "trace/profiler.hpp"
+
+namespace pprophet::annotate {
+
+/// Installs/uninstalls the profiler the macros forward to. Returns the
+/// previous target. Not thread-safe by design: annotated programs are
+/// serial (the whole point of Parallel Prophet).
+trace::IntervalProfiler* set_target(trace::IntervalProfiler* p);
+trace::IntervalProfiler* target();
+
+/// RAII installation of a profiler as the active annotation target.
+class ScopedAnnotationTarget {
+ public:
+  explicit ScopedAnnotationTarget(trace::IntervalProfiler& p)
+      : previous_(set_target(&p)) {}
+  ~ScopedAnnotationTarget() { set_target(previous_); }
+  ScopedAnnotationTarget(const ScopedAnnotationTarget&) = delete;
+  ScopedAnnotationTarget& operator=(const ScopedAnnotationTarget&) = delete;
+
+ private:
+  trace::IntervalProfiler* previous_;
+};
+
+// Stub entry points, one per annotation (the paper implements these as
+// functions detected by Pin's probe mode; here they call the profiler
+// directly).
+inline void par_sec_begin(const char* name) {
+  if (auto* p = target()) p->sec_begin(name);
+}
+inline void par_sec_end(bool barrier) {
+  if (auto* p = target()) p->sec_end(barrier);
+}
+inline void par_task_begin(const char* name) {
+  if (auto* p = target()) p->task_begin(name);
+}
+inline void par_task_end() {
+  if (auto* p = target()) p->task_end();
+}
+inline void lock_begin(LockId id) {
+  if (auto* p = target()) p->lock_begin(id);
+}
+inline void lock_end(LockId id) {
+  if (auto* p = target()) p->lock_end(id);
+}
+
+}  // namespace pprophet::annotate
+
+// Table II, verbatim interface names. Note: the paper's Figure 4 passes
+// `true` for "implicit barrier" (PAR_SEC_END(true /*implicit barrier*/)),
+// so the argument here means "barrier at end"; pass false for OpenMP nowait.
+#define PAR_SEC_BEGIN(sec_name) ::pprophet::annotate::par_sec_begin(sec_name)
+#define PAR_SEC_END(barrier) ::pprophet::annotate::par_sec_end(barrier)
+#define PAR_TASK_BEGIN(task_name) ::pprophet::annotate::par_task_begin(task_name)
+#define PAR_TASK_END() ::pprophet::annotate::par_task_end()
+#define LOCK_BEGIN(lock_id) ::pprophet::annotate::lock_begin(lock_id)
+#define LOCK_END(lock_id) ::pprophet::annotate::lock_end(lock_id)

@@ -1,0 +1,105 @@
+#include "cachesim/cache.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace pprophet::cachesim {
+
+Cache::Cache(CacheLevelConfig cfg, std::uint64_t line_bytes)
+    : ways_(cfg.associativity) {
+  if (cfg.size_bytes == 0 || cfg.associativity == 0 || line_bytes == 0) {
+    throw std::invalid_argument("cache config must be non-zero");
+  }
+  const std::uint64_t lines = cfg.size_bytes / line_bytes;
+  if (lines < ways_) {
+    throw std::invalid_argument("cache smaller than one set");
+  }
+  num_sets_ = static_cast<std::uint32_t>(lines / ways_);
+  if (!std::has_single_bit(num_sets_)) {
+    throw std::invalid_argument("cache set count must be a power of two");
+  }
+  lines_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+bool Cache::access(std::uint64_t line_addr, bool write) {
+  ++stats_.accesses;
+  ++use_tick_;
+  const std::uint32_t set =
+      static_cast<std::uint32_t>(line_addr & (num_sets_ - 1));
+  const std::uint64_t tag = line_addr >> std::countr_zero(num_sets_);
+  Way* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_used = use_tick_;
+      way.dirty = way.dirty || write;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.last_used < victim->last_used) {
+      victim = &way;
+    }
+  }
+  ++stats_.misses;
+  if (victim->valid && victim->dirty) ++stats_.writebacks;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_used = use_tick_;
+  victim->dirty = write;
+  return false;
+}
+
+void Cache::flush() {
+  for (Way& w : lines_) w = Way{};
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& cfg)
+    : line_bytes_(cfg.line_bytes),
+      line_shift_(static_cast<std::uint64_t>(std::countr_zero(cfg.line_bytes))),
+      l1_(cfg.l1, cfg.line_bytes),
+      l2_(cfg.l2, cfg.line_bytes),
+      llc_(cfg.llc, cfg.line_bytes) {
+  if (!std::has_single_bit(cfg.line_bytes)) {
+    throw std::invalid_argument("line size must be a power of two");
+  }
+}
+
+CacheHierarchy::HitLevel CacheHierarchy::access(std::uint64_t addr,
+                                                bool write) {
+  const std::uint64_t line = addr >> line_shift_;
+  if (l1_.access(line, write)) return kL1;
+  if (l2_.access(line, write)) return kL2;
+  if (llc_.access(line, write)) return kLlc;
+  return kDram;
+}
+
+void CacheHierarchy::access_range(std::uint64_t addr, std::uint64_t bytes,
+                                  std::array<std::uint64_t, 5>& level_hits,
+                                  bool write) {
+  if (bytes == 0) return;
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    ++level_hits[static_cast<std::size_t>(access(line << line_shift_, write))];
+  }
+}
+
+const LevelStats& CacheHierarchy::level(int i) const {
+  switch (i) {
+    case 1: return l1_.stats();
+    case 2: return l2_.stats();
+    case 3: return llc_.stats();
+    default: throw std::out_of_range("cache level must be 1..3");
+  }
+}
+
+void CacheHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+  llc_.flush();
+}
+
+}  // namespace pprophet::cachesim

@@ -1,0 +1,103 @@
+// Set-associative LRU cache hierarchy (the hardware-counter substrate).
+//
+// The paper reads LLC-miss counters from PAPI on a Westmere Xeon
+// (32 KB L1 / 256 KB L2 / 12 MB L3, 64 B lines). This module simulates that
+// hierarchy so the same counters exist here, deterministically. It is used
+// only while profiling annotated kernels — the speedup emulators never touch
+// it, matching the paper's "no cache simulation during prediction" stance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pprophet::cachesim {
+
+struct CacheLevelConfig {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t associativity = 1;
+};
+
+struct CacheConfig {
+  CacheLevelConfig l1{32 * 1024, 8};
+  CacheLevelConfig l2{256 * 1024, 8};
+  CacheLevelConfig llc{12 * 1024 * 1024, 24};  // 8192 sets
+  std::uint64_t line_bytes = kCacheLineBytes;
+};
+
+struct LevelStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;  ///< dirty lines evicted from this level
+  double miss_ratio() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+/// One cache level: set-associative, true-LRU replacement.
+class Cache {
+ public:
+  Cache(CacheLevelConfig cfg, std::uint64_t line_bytes);
+
+  /// Looks up a line address (byte address >> log2(line)); fills on miss.
+  /// `write` marks the line dirty; evicting a dirty line counts a
+  /// writeback. Returns true on hit.
+  bool access(std::uint64_t line_addr, bool write = false);
+
+  /// Drops all contents (used between profiled sections in tests).
+  void flush();
+
+  const LevelStats& stats() const { return stats_; }
+  std::uint32_t sets() const { return num_sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ULL;
+    std::uint64_t last_used = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint32_t num_sets_;
+  std::uint32_t ways_;
+  std::vector<Way> lines_;  // num_sets_ * ways_, row-major by set
+  std::uint64_t use_tick_ = 0;
+  LevelStats stats_;
+};
+
+/// Three-level hierarchy. Levels are looked up in order; a miss at level i
+/// is an access at level i+1 (non-inclusive bookkeeping, which matches how
+/// miss counters are read from real PMUs).
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const CacheConfig& cfg = {});
+
+  enum HitLevel { kL1 = 1, kL2 = 2, kLlc = 3, kDram = 4 };
+
+  /// Accesses one byte address; touches exactly one line.
+  HitLevel access(std::uint64_t addr, bool write = false);
+
+  /// Accesses a byte range, touching every line it spans.
+  void access_range(std::uint64_t addr, std::uint64_t bytes,
+                    std::array<std::uint64_t, 5>& level_hits,
+                    bool write = false);
+
+  const LevelStats& level(int i) const;  // i in {1,2,3}
+  std::uint64_t llc_misses() const { return llc_.stats().misses; }
+  /// Dirty lines written back to DRAM — the other half of DRAM traffic.
+  std::uint64_t llc_writebacks() const { return llc_.stats().writebacks; }
+  std::uint64_t line_bytes() const { return line_bytes_; }
+
+  void flush();
+
+ private:
+  std::uint64_t line_bytes_;
+  std::uint64_t line_shift_;
+  Cache l1_, l2_, llc_;
+};
+
+}  // namespace pprophet::cachesim

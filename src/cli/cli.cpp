@@ -1,0 +1,394 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/recommend.hpp"
+#include "machine/timeline.hpp"
+#include "memmodel/burden.hpp"
+#include "memmodel/calibration.hpp"
+#include "report/experiment.hpp"
+#include "tree/compress.hpp"
+#include "tree/serialize.hpp"
+#include "tree/tree_stats.hpp"
+#include "tree/validate.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace pprophet::cli {
+namespace {
+
+constexpr const char* kUsage = R"(usage:
+  pprophet predict  --tree FILE [--method ff|syn|suit|real]
+                    [--paradigm omp|cilk] [--schedule static|static1|dynamic|guided]
+                    [--chunk N] [--threads 2,4,8] [--cores N]
+                    [--memory-model] [--csv FILE]
+  pprophet inspect  --tree FILE
+  pprophet compress --tree FILE -o FILE [--tolerance 0.05] [--lossy]
+  pprophet recommend --tree FILE [--threads 2,4,8] [--cores N]
+                     [--memory-model]
+  pprophet timeline --tree FILE [--threads N] [--paradigm omp|cilk]
+                    [--schedule ...] [--cores N]
+)";
+
+bool parse_method(const std::string& v, core::Method& out) {
+  if (v == "ff") out = core::Method::FastForward;
+  else if (v == "syn") out = core::Method::Synthesizer;
+  else if (v == "suit") out = core::Method::Suitability;
+  else if (v == "real") out = core::Method::GroundTruth;
+  else return false;
+  return true;
+}
+
+bool parse_schedule(const std::string& v, runtime::OmpSchedule& out) {
+  if (v == "static") out = runtime::OmpSchedule::StaticBlock;
+  else if (v == "static1") out = runtime::OmpSchedule::StaticCyclic;
+  else if (v == "dynamic") out = runtime::OmpSchedule::Dynamic;
+  else if (v == "guided") out = runtime::OmpSchedule::Guided;
+  else return false;
+  return true;
+}
+
+bool parse_threads(const std::string& v, std::vector<CoreCount>& out) {
+  out.clear();
+  std::istringstream is(v);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    try {
+      const long n = std::stol(tok);
+      if (n <= 0) return false;
+      out.push_back(static_cast<CoreCount>(n));
+    } catch (...) {
+      return false;
+    }
+  }
+  return !out.empty();
+}
+
+std::optional<tree::ProgramTree> load_tree(const std::string& path,
+                                           std::ostream& err) {
+  std::ifstream f(path);
+  if (!f) {
+    err << "pprophet: cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+  try {
+    return tree::from_text(text.str());
+  } catch (const std::exception& e) {
+    err << "pprophet: parse error in '" << path << "': " << e.what() << "\n";
+    return std::nullopt;
+  }
+}
+
+int cmd_predict(const Options& opts, std::ostream& out, std::ostream& err) {
+  auto t = load_tree(opts.tree_path, err);
+  if (!t) return 1;
+
+  core::PredictOptions po = report::paper_options(opts.method);
+  po.paradigm = opts.paradigm;
+  po.schedule = opts.schedule;
+  po.chunk = opts.chunk;
+  po.machine.cores = opts.cores;
+  po.memory_model = opts.memory_model;
+  if (opts.memory_model) {
+    memmodel::CalibrationOptions copts;
+    copts.machine = po.machine;
+    const memmodel::BurdenModel model(memmodel::calibrate(copts));
+    memmodel::annotate_burdens(*t, model, opts.threads);
+  }
+
+  util::Table table({"threads", "projected speedup", "parallel cycles"});
+  util::CsvWriter csv({"threads", "speedup", "parallel_cycles",
+                       "serial_cycles", "method", "schedule"});
+  for (const CoreCount n : opts.threads) {
+    const core::SpeedupEstimate est = core::predict(*t, n, po);
+    table.add_row({std::to_string(n), util::fmt_f(est.speedup, 2),
+                   util::fmt_i(static_cast<long long>(est.parallel_cycles))});
+    csv.add_row({std::to_string(n), util::fmt_f(est.speedup, 4),
+                 std::to_string(est.parallel_cycles),
+                 std::to_string(est.serial_cycles),
+                 core::to_string(opts.method),
+                 runtime::to_string(opts.schedule)});
+  }
+  out << "method " << core::to_string(opts.method) << ", paradigm "
+      << core::to_string(opts.paradigm) << ", schedule "
+      << runtime::to_string(opts.schedule) << ", machine "
+      << opts.cores << " cores, memory model "
+      << (opts.memory_model ? "on" : "off") << "\n";
+  table.print(out);
+  if (!opts.csv_path.empty()) {
+    if (!csv.write(opts.csv_path)) {
+      err << "pprophet: cannot write '" << opts.csv_path << "'\n";
+      return 1;
+    }
+    out << "wrote " << opts.csv_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_inspect(const Options& opts, std::ostream& out, std::ostream& err) {
+  auto t = load_tree(opts.tree_path, err);
+  if (!t) return 1;
+  const auto issues = tree::validate(*t);
+  const tree::TreeStats stats = tree::compute_stats(*t);
+  out << "tree: " << opts.tree_path << "\n"
+      << "  valid: " << (issues.empty() ? "yes" : "NO") << "\n";
+  for (const auto& issue : issues) {
+    out << "    " << issue.path << ": " << issue.message << "\n";
+  }
+  out << "  physical nodes: " << stats.physical_nodes
+      << "  logical: " << stats.logical_nodes
+      << "  depth: " << stats.max_depth << "\n"
+      << "  serial work: " << util::fmt_i(static_cast<long long>(stats.serial_work))
+      << " cycles\n";
+  util::Table secs({"top-level section", "trip count", "serial cycles",
+                    "MPI", "traffic MB/s"});
+  for (const auto& child : t->root->children()) {
+    if (child->kind() != tree::NodeKind::Sec) continue;
+    const auto* c = child->counters();
+    secs.add_row({child->name(), std::to_string(child->logical_child_count()),
+                  util::fmt_i(static_cast<long long>(child->serial_work())),
+                  c != nullptr ? util::fmt_f(c->mpi(), 5) : "-",
+                  c != nullptr ? util::fmt_f(c->traffic_mbps(), 1) : "-"});
+  }
+  secs.print(out);
+  return issues.empty() ? 0 : 2;
+}
+
+int cmd_compress(const Options& opts, std::ostream& out, std::ostream& err) {
+  auto t = load_tree(opts.tree_path, err);
+  if (!t) return 1;
+  if (opts.output_path.empty()) {
+    err << "pprophet: compress needs -o OUTPUT\n";
+    return 1;
+  }
+  tree::CompressOptions copts;
+  copts.tolerance = opts.tolerance;
+  copts.lossy = opts.lossy;
+  copts.lossy_tolerance = std::max(opts.tolerance, 0.5);
+  const tree::CompressStats s = tree::compress(*t, copts);
+  std::ofstream f(opts.output_path);
+  if (!f) {
+    err << "pprophet: cannot write '" << opts.output_path << "'\n";
+    return 1;
+  }
+  tree::write_tree(f, *t);
+  out << "compressed " << s.nodes_before << " -> " << s.nodes_after
+      << " nodes (" << util::fmt_pct(s.node_reduction()) << " reduction, "
+      << (s.lossy_merges ? "lossy" : "lossless") << ", max deviation "
+      << util::fmt_pct(s.max_absorbed_deviation) << ")\n"
+      << "wrote " << opts.output_path << "\n";
+  return 0;
+}
+
+int cmd_recommend(const Options& opts, std::ostream& out, std::ostream& err) {
+  auto t = load_tree(opts.tree_path, err);
+  if (!t) return 1;
+  core::RecommendOptions ro;
+  ro.base = report::paper_options(core::Method::Synthesizer);
+  ro.base.machine.cores = opts.cores;
+  ro.base.memory_model = opts.memory_model;
+  ro.thread_counts = opts.threads;
+  if (opts.memory_model) {
+    memmodel::CalibrationOptions copts;
+    copts.machine = ro.base.machine;
+    const memmodel::BurdenModel model(memmodel::calibrate(copts));
+    memmodel::annotate_burdens(*t, model, opts.threads);
+  }
+  const core::Recommendation rec = core::recommend(*t, ro);
+  out << "best:       " << core::to_string(rec.best.paradigm) << " "
+      << runtime::to_string(rec.best.schedule) << " on " << rec.best.threads
+      << " threads -> " << util::fmt_f(rec.best.speedup, 2) << "x\n"
+      << "economical: " << rec.economical.threads << " threads -> "
+      << util::fmt_f(rec.economical.speedup, 2) << "x\n\n";
+  util::Table table({"paradigm", "schedule", "threads", "speedup",
+                     "efficiency"});
+  for (const core::Candidate& c : rec.sweep) {
+    table.add_row({core::to_string(c.paradigm),
+                   runtime::to_string(c.schedule), std::to_string(c.threads),
+                   util::fmt_f(c.speedup, 2), util::fmt_pct(c.efficiency)});
+  }
+  table.print(out);
+  return 0;
+}
+
+// Gantt view of the emulated execution: where each thread ran and where it
+// waited on locks — the "diagnose bottleneck" use the paper assigns to
+// emulation (Table III).
+int cmd_timeline(const Options& opts, std::ostream& out, std::ostream& err) {
+  auto t = load_tree(opts.tree_path, err);
+  if (!t) return 1;
+  const CoreCount threads = opts.threads.empty() ? 4 : opts.threads.front();
+  machine::Timeline timeline;
+  runtime::ExecMode mode = runtime::ExecMode::real();
+  mode.timeline = &timeline;
+  const core::PredictOptions base = report::paper_options(core::Method::GroundTruth);
+  machine::MachineConfig mcfg = base.machine;
+  mcfg.cores = opts.cores;
+  runtime::RunResult r;
+  if (opts.paradigm == core::Paradigm::OpenMP) {
+    runtime::OmpConfig c;
+    c.num_threads = threads;
+    c.schedule = opts.schedule;
+    c.chunk = opts.chunk;
+    r = runtime::run_tree_omp(*t, mcfg, c, mode);
+  } else {
+    runtime::CilkConfig c;
+    c.num_workers = threads;
+    r = runtime::run_tree_cilk(*t, mcfg, c, mode);
+  }
+  const Cycles serial = core::serial_cycles_of(*t);
+  out << "emulated " << threads << " threads ("
+      << core::to_string(opts.paradigm) << ", "
+      << runtime::to_string(opts.schedule) << ") on " << opts.cores
+      << " cores: " << r.elapsed << " cycles, speedup "
+      << util::fmt_f(static_cast<double>(serial) /
+                         static_cast<double>(r.elapsed), 2)
+      << "x\n\n";
+  timeline.print(out);
+  Cycles total_wait = 0;
+  for (std::uint32_t th = 0; th < timeline.thread_count(); ++th) {
+    total_wait += timeline.lock_wait(th);
+  }
+  if (total_wait > 0) {
+    out << "\nlock waiting across threads: " << total_wait << " cycles ("
+        << util::fmt_pct(static_cast<double>(total_wait) /
+                         static_cast<double>(r.elapsed * threads))
+        << " of thread time)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::optional<Options> parse_args(const std::vector<std::string>& args,
+                                  std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return std::nullopt;
+  }
+  Options opts;
+  opts.command = args[0];
+  if (opts.command != "predict" && opts.command != "inspect" &&
+      opts.command != "compress" && opts.command != "recommend" &&
+      opts.command != "timeline") {
+    err << "pprophet: unknown command '" << opts.command << "'\n" << kUsage;
+    return std::nullopt;
+  }
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto need_value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= args.size()) {
+        err << "pprophet: " << a << " needs a value\n";
+        return std::nullopt;
+      }
+      return args[++i];
+    };
+    if (a == "--tree") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.tree_path = *v;
+    } else if (a == "-o" || a == "--output") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.output_path = *v;
+    } else if (a == "--method") {
+      const auto v = need_value();
+      if (!v || !parse_method(*v, opts.method)) {
+        err << "pprophet: bad --method\n";
+        return std::nullopt;
+      }
+    } else if (a == "--paradigm") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      if (*v == "omp") opts.paradigm = core::Paradigm::OpenMP;
+      else if (*v == "cilk") opts.paradigm = core::Paradigm::CilkPlus;
+      else {
+        err << "pprophet: bad --paradigm\n";
+        return std::nullopt;
+      }
+    } else if (a == "--schedule") {
+      const auto v = need_value();
+      if (!v || !parse_schedule(*v, opts.schedule)) {
+        err << "pprophet: bad --schedule\n";
+        return std::nullopt;
+      }
+    } else if (a == "--chunk") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.chunk = std::strtoull(v->c_str(), nullptr, 10);
+      if (opts.chunk == 0) {
+        err << "pprophet: bad --chunk\n";
+        return std::nullopt;
+      }
+    } else if (a == "--threads") {
+      const auto v = need_value();
+      if (!v || !parse_threads(*v, opts.threads)) {
+        err << "pprophet: bad --threads (use e.g. 2,4,8)\n";
+        return std::nullopt;
+      }
+    } else if (a == "--cores") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n <= 0) {
+        err << "pprophet: bad --cores\n";
+        return std::nullopt;
+      }
+      opts.cores = static_cast<CoreCount>(n);
+    } else if (a == "--memory-model") {
+      opts.memory_model = true;
+    } else if (a == "--tolerance") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.tolerance = std::strtod(v->c_str(), nullptr);
+      if (opts.tolerance < 0.0 || opts.tolerance > 1.0) {
+        err << "pprophet: bad --tolerance\n";
+        return std::nullopt;
+      }
+    } else if (a == "--lossy") {
+      opts.lossy = true;
+    } else if (a == "--csv") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.csv_path = *v;
+    } else {
+      err << "pprophet: unknown option '" << a << "'\n" << kUsage;
+      return std::nullopt;
+    }
+  }
+  if (opts.tree_path.empty()) {
+    err << "pprophet: --tree is required\n";
+    return std::nullopt;
+  }
+  return opts;
+}
+
+int run(const Options& opts, std::ostream& out, std::ostream& err) {
+  try {
+    if (opts.command == "predict") return cmd_predict(opts, out, err);
+    if (opts.command == "inspect") return cmd_inspect(opts, out, err);
+    if (opts.command == "compress") return cmd_compress(opts, out, err);
+    if (opts.command == "recommend") return cmd_recommend(opts, out, err);
+    if (opts.command == "timeline") return cmd_timeline(opts, out, err);
+  } catch (const std::exception& e) {
+    err << "pprophet: " << e.what() << "\n";
+    return 1;
+  }
+  err << kUsage;
+  return 1;
+}
+
+int main_impl(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  const auto opts = parse_args(args, err);
+  if (!opts) return 1;
+  return run(*opts, out, err);
+}
+
+}  // namespace pprophet::cli

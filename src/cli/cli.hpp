@@ -1,0 +1,54 @@
+// pprophet command-line tool: predict / inspect / compress program trees
+// saved in the text serialization format (tree/serialize.hpp).
+//
+//   pprophet predict  --tree t.ptree [--method syn] [--paradigm omp]
+//                     [--schedule static1] [--chunk 1] [--threads 2,4,8,12]
+//                     [--cores 12] [--memory-model] [--csv out.csv]
+//   pprophet inspect  --tree t.ptree
+//   pprophet compress --tree t.ptree -o out.ptree [--tolerance 0.05] [--lossy]
+//   pprophet recommend --tree t.ptree [--threads 2,4,8] [--cores N]
+//                      [--memory-model]
+//   pprophet timeline --tree t.ptree [--threads N] [--paradigm omp|cilk]
+//
+// The entry point is a plain function so tests can drive it without
+// spawning processes.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/prophet.hpp"
+
+namespace pprophet::cli {
+
+struct Options {
+  std::string command;  // predict|inspect|compress|recommend|timeline
+  std::string tree_path;
+  std::string output_path;
+  core::Method method = core::Method::Synthesizer;
+  core::Paradigm paradigm = core::Paradigm::OpenMP;
+  runtime::OmpSchedule schedule = runtime::OmpSchedule::StaticCyclic;
+  std::uint64_t chunk = 1;
+  std::vector<CoreCount> threads{2, 4, 6, 8, 10, 12};
+  CoreCount cores = 12;
+  bool memory_model = false;
+  double tolerance = 0.05;
+  bool lossy = false;
+  std::string csv_path;
+};
+
+/// Parses argv (excluding argv[0]). Returns nullopt and writes a message to
+/// `err` on bad usage.
+std::optional<Options> parse_args(const std::vector<std::string>& args,
+                                  std::ostream& err);
+
+/// Runs the tool. Returns a process exit code.
+int run(const Options& opts, std::ostream& out, std::ostream& err);
+
+/// Convenience main body: parse + run.
+int main_impl(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace pprophet::cli

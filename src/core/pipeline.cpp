@@ -1,0 +1,112 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "annotate/annotations.hpp"
+#include "memmodel/calibration.hpp"
+#include "trace/profiler.hpp"
+#include "util/table.hpp"
+
+namespace pprophet::core {
+
+Prophet::Prophet(ProphetConfig config) : config_(std::move(config)) {
+  if (config_.machine.cores == 0) {
+    config_.machine.cores = 12;
+  }
+}
+
+PredictOptions Prophet::predict_options(Method method) const {
+  PredictOptions o;
+  o.method = method;
+  o.paradigm = config_.paradigm;
+  o.schedule = config_.schedule;
+  o.machine = config_.machine;
+  o.omp_overheads = config_.omp_overheads;
+  o.cilk_overheads = config_.cilk_overheads;
+  o.synth_overheads = config_.synth_overheads;
+  o.memory_model = config_.memory_model;
+  return o;
+}
+
+ProfiledProgram Prophet::profile(
+    const std::function<void(vcpu::VirtualCpu&)>& program) const {
+  vcpu::VirtualCpu cpu(config_.profile_cache);
+  vcpu::VcpuCounterSource counters(cpu);
+  trace::IntervalProfiler profiler(cpu.clock(), &counters);
+  {
+    annotate::ScopedAnnotationTarget scope(profiler);
+    program(cpu);
+  }
+  ProfiledProgram out;
+  out.profiling_overhead = profiler.excluded_overhead();
+  out.tree = profiler.finish();
+  out.compression = tree::compress(out.tree, config_.compress);
+  return out;
+}
+
+ProphetReport Prophet::analyze(ProfiledProgram profiled) const {
+  ProphetReport report;
+  report.thread_counts = config_.thread_counts;
+  if (config_.memory_model) {
+    memmodel::CalibrationOptions copts;
+    copts.machine = config_.machine;
+    const memmodel::BurdenModel model(memmodel::calibrate(copts));
+    memmodel::annotate_burdens(profiled.tree, model, config_.thread_counts);
+  }
+  report.tree_stats = tree::compute_stats(profiled.tree);
+  for (const auto& child : profiled.tree.root->children()) {
+    if (child->kind() != tree::NodeKind::Sec) continue;
+    for (const CoreCount t : config_.thread_counts) {
+      report.max_burden = std::max(report.max_burden, child->burden(t));
+    }
+  }
+
+  for (const CoreCount t : config_.thread_counts) {
+    report.ff.push_back(
+        predict(profiled.tree, t, predict_options(Method::FastForward)));
+    report.synth.push_back(
+        predict(profiled.tree, t, predict_options(Method::Synthesizer)));
+  }
+
+  RecommendOptions ro;
+  ro.base = predict_options(Method::Synthesizer);
+  ro.thread_counts = config_.thread_counts;
+  report.recommendation = recommend(profiled.tree, ro);
+  return report;
+}
+
+ProphetReport Prophet::run(
+    const std::function<void(vcpu::VirtualCpu&)>& program) const {
+  return analyze(profile(program));
+}
+
+void ProphetReport::print(std::ostream& os) const {
+  std::vector<std::string> header{"method"};
+  for (const CoreCount t : thread_counts) {
+    header.push_back(std::to_string(t) + "-core");
+  }
+  util::Table table(std::move(header));
+  const auto row = [&](const char* label,
+                       const std::vector<SpeedupEstimate>& curve) {
+    std::vector<std::string> cells{label};
+    for (const SpeedupEstimate& e : curve) {
+      cells.push_back(util::fmt_f(e.speedup, 2));
+    }
+    table.add_row(std::move(cells));
+  };
+  row("FF", ff);
+  row("SYN", synth);
+  table.print(os);
+  os << "tree: " << tree_stats.physical_nodes << " nodes ("
+     << tree_stats.logical_nodes << " logical), max burden beta = "
+     << util::fmt_f(max_burden, 2) << "\n"
+     << "recommendation: " << to_string(recommendation.best.paradigm) << " "
+     << runtime::to_string(recommendation.best.schedule) << " on "
+     << recommendation.best.threads << " threads -> "
+     << util::fmt_f(recommendation.best.speedup, 2) << "x (economical: "
+     << recommendation.economical.threads << " threads, "
+     << util::fmt_f(recommendation.economical.speedup, 2) << "x)\n";
+}
+
+}  // namespace pprophet::core

@@ -1,0 +1,158 @@
+#include "core/prophet.hpp"
+
+#include <stdexcept>
+
+namespace pprophet::core {
+namespace {
+
+using tree::Node;
+using tree::NodeKind;
+
+runtime::OmpConfig omp_config(const PredictOptions& o, CoreCount threads) {
+  runtime::OmpConfig c;
+  c.num_threads = threads;
+  c.schedule = o.schedule;
+  c.chunk = o.chunk;
+  c.overheads = o.omp_overheads;
+  return c;
+}
+
+runtime::CilkConfig cilk_config(const PredictOptions& o, CoreCount threads) {
+  runtime::CilkConfig c;
+  c.num_workers = threads;
+  c.overheads = o.cilk_overheads;
+  return c;
+}
+
+runtime::ExecMode exec_mode(const PredictOptions& o, bool synth) {
+  runtime::ExecMode m = synth ? runtime::ExecMode::synth_mode()
+                              : runtime::ExecMode::real();
+  m.synth = synth ? o.synth_overheads : runtime::SynthOverheads{0, 0};
+  m.dram_stall = o.dram_stall;
+  return m;
+}
+
+/// Per-section emulation (§IV-E): each top-level Sec contributes its net
+/// emulated duration; top-level U nodes contribute their serial lengths.
+Cycles compose_sections(const tree::ProgramTree& tree, CoreCount threads,
+                        const PredictOptions& o, bool synth) {
+  Cycles total = 0;
+  const runtime::ExecMode mode = exec_mode(o, synth);
+  for (const auto& child : tree.root->children()) {
+    for (std::uint64_t rep = 0; rep < child->repeat(); ++rep) {
+      if (child->kind() == NodeKind::U) {
+        total += child->length();
+        continue;
+      }
+      if (child->kind() != NodeKind::Sec) continue;
+      runtime::RunResult r;
+      if (o.paradigm == Paradigm::OpenMP) {
+        r = runtime::run_section_omp(*child, o.machine,
+                                     omp_config(o, threads), mode);
+      } else {
+        r = runtime::run_section_cilk(*child, o.machine,
+                                      cilk_config(o, threads), mode);
+      }
+      total += synth ? r.net() : r.elapsed;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::FastForward: return "FF";
+    case Method::Synthesizer: return "SYN";
+    case Method::Suitability: return "Suit";
+    case Method::GroundTruth: return "Real";
+  }
+  return "?";
+}
+
+const char* to_string(Paradigm p) {
+  switch (p) {
+    case Paradigm::OpenMP: return "OpenMP";
+    case Paradigm::CilkPlus: return "CilkPlus";
+  }
+  return "?";
+}
+
+Cycles serial_cycles_of(const tree::ProgramTree& tree) {
+  if (!tree.root) return 0;
+  const Cycles measured = tree.root->length();
+  return measured != 0 ? measured : tree.root->serial_work();
+}
+
+SpeedupEstimate predict(const tree::ProgramTree& tree, CoreCount threads,
+                        const PredictOptions& options) {
+  if (!tree.root) throw std::invalid_argument("predict: empty tree");
+  if (threads == 0) throw std::invalid_argument("predict: zero threads");
+
+  SpeedupEstimate est;
+  est.threads = threads;
+  est.serial_cycles = serial_cycles_of(tree);
+
+  switch (options.method) {
+    case Method::FastForward: {
+      emul::FfConfig ff;
+      ff.num_threads = threads;
+      ff.schedule = options.schedule;
+      ff.chunk = options.chunk;
+      ff.overheads = options.omp_overheads;
+      ff.apply_burden = options.memory_model;
+      const emul::FfResult r = emul::emulate_ff(tree, ff);
+      est.parallel_cycles = r.parallel_cycles;
+      break;
+    }
+    case Method::Suitability: {
+      emul::SuitabilityConfig cfg;
+      cfg.num_threads = threads;
+      const emul::FfResult r = emul::emulate_suitability(tree, cfg);
+      est.parallel_cycles = r.parallel_cycles;
+      break;
+    }
+    case Method::Synthesizer: {
+      // In synth mode burden factors are read off the tree; if the caller
+      // did not ask for the memory model, strip them by predicting with
+      // burden == 1 (the tree carries them only when annotate_burdens ran,
+      // and Node::burden returns 1 when absent).
+      if (options.memory_model) {
+        est.parallel_cycles = compose_sections(tree, threads, options, true);
+      } else {
+        // Clone without burdens: emulate with a burden-free copy.
+        tree::ProgramTree plain;
+        plain.root = tree.root->clone();
+        for (const auto& child : plain.root->children()) {
+          // Overwrite any attached burden with 1.0 for this thread count.
+          if (child->kind() == NodeKind::Sec) child->set_burden(threads, 1.0);
+        }
+        est.parallel_cycles =
+            compose_sections(plain, threads, options, true);
+      }
+      break;
+    }
+    case Method::GroundTruth: {
+      est.parallel_cycles = compose_sections(tree, threads, options, false);
+      break;
+    }
+  }
+  if (est.parallel_cycles == 0) est.parallel_cycles = 1;
+  est.speedup = static_cast<double>(est.serial_cycles) /
+                static_cast<double>(est.parallel_cycles);
+  return est;
+}
+
+std::vector<SpeedupEstimate> predict_curve(
+    const tree::ProgramTree& tree, std::span<const CoreCount> thread_counts,
+    const PredictOptions& options) {
+  std::vector<SpeedupEstimate> out;
+  out.reserve(thread_counts.size());
+  for (const CoreCount t : thread_counts) {
+    out.push_back(predict(tree, t, options));
+  }
+  return out;
+}
+
+}  // namespace pprophet::core

@@ -1,0 +1,79 @@
+// Parallel Prophet — public prediction API (the Figure 3 workflow).
+//
+// Pipeline:
+//   1. annotate a serial program (annotate/annotations.hpp)
+//   2. profile it (trace::IntervalProfiler + a CounterSource) → ProgramTree
+//   3. optionally compress the tree (tree/compress.hpp)
+//   4. optionally run the memory model (memmodel::annotate_burdens)
+//   5. predict speedups here, per emulator / paradigm / schedule / cores.
+//
+// Speedups compose over top-level sections as in §IV-E:
+//   S(t) = T_serial / ( Σ_i Emul(sec_i, t) + Σ_j Len(U_j) )
+// (the paper's formula prints the ratio inverted; the intended quantity is
+// serial over projected-parallel, which is what we compute).
+#pragma once
+
+#include <vector>
+
+#include "emul/ff.hpp"
+#include "emul/suitability.hpp"
+#include "machine/machine.hpp"
+#include "memmodel/burden.hpp"
+#include "runtime/cilk_executor.hpp"
+#include "runtime/omp_executor.hpp"
+#include "tree/node.hpp"
+
+namespace pprophet::core {
+
+enum class Method : std::uint8_t {
+  FastForward,   ///< analytical FF emulator
+  Synthesizer,   ///< program-synthesis emulation on the simulated machine
+  Suitability,   ///< Parallel-Advisor-like baseline
+  GroundTruth,   ///< "Real": the actual parallel structure on the machine
+};
+
+enum class Paradigm : std::uint8_t { OpenMP, CilkPlus };
+
+const char* to_string(Method m);
+const char* to_string(Paradigm p);
+
+struct PredictOptions {
+  Method method = Method::Synthesizer;
+  Paradigm paradigm = Paradigm::OpenMP;
+  runtime::OmpSchedule schedule = runtime::OmpSchedule::StaticCyclic;
+  std::uint64_t chunk = 1;
+  /// Target machine (its core count is the *physical* core count; the
+  /// thread count of a prediction may be lower or higher).
+  machine::MachineConfig machine{};
+  runtime::OmpOverheads omp_overheads{};
+  runtime::CilkOverheads cilk_overheads{};
+  runtime::SynthOverheads synth_overheads{};
+  /// FF/Synthesizer: apply burden factors (they must have been attached by
+  /// memmodel::annotate_burdens). GroundTruth always uses the machine's
+  /// dynamic contention instead.
+  bool memory_model = false;
+  /// ω for decomposing counters in GroundTruth mode.
+  Cycles dram_stall = 200;
+};
+
+struct SpeedupEstimate {
+  CoreCount threads = 0;
+  double speedup = 0.0;
+  Cycles serial_cycles = 0;
+  Cycles parallel_cycles = 0;
+};
+
+/// Projects the speedup of the profiled program on `threads` threads.
+SpeedupEstimate predict(const tree::ProgramTree& tree, CoreCount threads,
+                        const PredictOptions& options);
+
+/// Convenience: one estimate per entry of `thread_counts`.
+std::vector<SpeedupEstimate> predict_curve(
+    const tree::ProgramTree& tree, std::span<const CoreCount> thread_counts,
+    const PredictOptions& options);
+
+/// The serial-time denominator used for speedups: the measured root length
+/// when the profiler recorded one, else the sum of leaf work.
+Cycles serial_cycles_of(const tree::ProgramTree& tree);
+
+}  // namespace pprophet::core

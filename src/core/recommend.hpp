@@ -1,0 +1,51 @@
+// Parallelization advisor: sweeps schedules × paradigms × thread counts and
+// recommends the best configuration — the interactive workflow the paper
+// motivates ("programmers can interactively use the tool to modify their
+// source code", §I), packaged as one call.
+#pragma once
+
+#include <vector>
+
+#include "core/prophet.hpp"
+
+namespace pprophet::core {
+
+struct RecommendOptions {
+  /// Base options; method/schedule/paradigm fields are overridden during
+  /// the sweep. Synthesizer is the default engine (most accurate).
+  PredictOptions base{};
+  std::vector<CoreCount> thread_counts{2, 4, 6, 8, 10, 12};
+  std::vector<Paradigm> paradigms{Paradigm::OpenMP, Paradigm::CilkPlus};
+  std::vector<runtime::OmpSchedule> schedules{
+      runtime::OmpSchedule::StaticCyclic, runtime::OmpSchedule::StaticBlock,
+      runtime::OmpSchedule::Dynamic, runtime::OmpSchedule::Guided};
+  /// Prefer fewer threads when the speedup gain is below this fraction —
+  /// "use 8 cores, the 12-core gain is noise" style advice.
+  double efficiency_knee = 0.05;
+};
+
+struct Candidate {
+  Paradigm paradigm{};
+  runtime::OmpSchedule schedule{};
+  CoreCount threads = 0;
+  double speedup = 0.0;
+  double efficiency = 0.0;  ///< speedup / threads
+};
+
+struct Recommendation {
+  /// Best speedup overall.
+  Candidate best{};
+  /// Best configuration at the efficiency knee (fewest threads within
+  /// `efficiency_knee` of the best speedup for the winning paradigm +
+  /// schedule).
+  Candidate economical{};
+  /// Every evaluated point, sorted by descending speedup.
+  std::vector<Candidate> sweep;
+};
+
+/// Runs the sweep with the synthesizer. The tree should carry burden
+/// factors already if base.memory_model is set.
+Recommendation recommend(const tree::ProgramTree& tree,
+                         const RecommendOptions& options = {});
+
+}  // namespace pprophet::core

@@ -1,0 +1,111 @@
+#include "depend/dependence.hpp"
+
+#include <stdexcept>
+
+namespace pprophet::depend {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Parallel: return "parallelizable";
+    case Verdict::ParallelWithReduction:
+      return "parallelizable with reduction";
+    case Verdict::Serial: return "loop-carried dependences (serial)";
+  }
+  return "?";
+}
+
+Verdict LoopReport::verdict() const {
+  if (dependent_words > 0) return Verdict::Serial;
+  if (reduction_words > 0) return Verdict::ParallelWithReduction;
+  return Verdict::Parallel;
+}
+
+DependenceTracker::DependenceTracker(vcpu::VirtualCpu& cpu) : cpu_(cpu) {
+  cpu_.set_observer(this);
+}
+
+DependenceTracker::~DependenceTracker() { cpu_.set_observer(nullptr); }
+
+void DependenceTracker::loop_begin(std::string name) {
+  if (active_) {
+    throw std::logic_error("DependenceTracker: loops may not nest");
+  }
+  active_ = true;
+  current_iter_ = kNone;
+  report_ = LoopReport{};
+  report_.name = std::move(name);
+  shadow_.clear();
+}
+
+void DependenceTracker::iteration(std::uint64_t index) {
+  if (!active_) {
+    throw std::logic_error("DependenceTracker: iteration outside a loop");
+  }
+  current_iter_ = index;
+  ++report_.iterations;
+}
+
+LoopReport DependenceTracker::loop_end() {
+  if (!active_) {
+    throw std::logic_error("DependenceTracker: loop_end without loop_begin");
+  }
+  active_ = false;
+  // Final classification of reduction words: a word is a reduction
+  // candidate when it was only ever touched by RMW updates, from more than
+  // one iteration, and carried a would-be dependence.
+  for (const auto& [addr, w] : shadow_) {
+    if (!w.crossed) continue;
+    if (w.all_rmw && w.iters_seen > 1) {
+      ++report_.reduction_words;
+    } else {
+      ++report_.dependent_words;
+      if (report_.sample_addresses.size() < 8) {
+        report_.sample_addresses.push_back(addr << 3);
+      }
+    }
+  }
+  return report_;
+}
+
+void DependenceTracker::classify(Word& w, std::uint64_t /*word_addr*/,
+                                 vcpu::AccessKind kind) {
+  const bool reads = kind != vcpu::AccessKind::Write;
+  const bool writes = kind != vcpu::AccessKind::Read;
+  if (reads && w.last_write != kNone && w.last_write != current_iter_) {
+    ++report_.raw;
+    w.crossed = true;
+  }
+  if (writes) {
+    if (w.last_read != kNone && w.last_read != current_iter_) {
+      ++report_.war;
+      w.crossed = true;
+    }
+    if (w.last_write != kNone && w.last_write != current_iter_) {
+      ++report_.waw;
+      w.crossed = true;
+    }
+  }
+  if (kind != vcpu::AccessKind::ReadWrite) w.all_rmw = false;
+  if (reads) w.last_read = current_iter_;
+  if (writes) w.last_write = current_iter_;
+}
+
+void DependenceTracker::on_access(std::uint64_t addr, std::size_t bytes,
+                                  vcpu::AccessKind kind) {
+  if (!active_ || current_iter_ == kNone) return;
+  ++report_.accesses;
+  // Word (8-byte) granularity, like SD3's default.
+  const std::uint64_t first = addr >> 3;
+  const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) >> 3;
+  for (std::uint64_t word = first; word <= last; ++word) {
+    Word& w = shadow_[word];
+    classify(w, word, kind);
+    ++w.touches;
+    if (w.last_touch_iter != current_iter_) {
+      ++w.iters_seen;
+      w.last_touch_iter = current_iter_;
+    }
+  }
+}
+
+}  // namespace pprophet::depend

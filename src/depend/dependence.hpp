@@ -1,0 +1,97 @@
+// Dynamic loop-dependence analysis — the semi-automatic annotation path of
+// the paper's §IV-A: "this step can be made fully or semi-automatic by ...
+// dynamic dependence analyses [20, 21, 24, 25, 27]" (reference [20] is
+// SD3, by the paper's first author).
+//
+// The tracker observes a candidate loop's memory accesses during the
+// *serial* run (as a vcpu::AccessObserver) with iteration boundaries marked
+// by the caller, maintains word-granular shadow state, and classifies
+// cross-iteration dependences:
+//   RAW — iteration j reads a word last written by iteration i < j,
+//   WAR — iteration j writes a word last read by iteration i < j,
+//   WAW — iteration j writes a word last written by iteration i < j.
+// Words whose every touch is a read-modify-write update are reported as
+// reduction candidates: RAW/WAW chains on them disappear under a parallel
+// reduction, so a loop whose only dependences are reductions is still
+// annotatable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vcpu/vcpu.hpp"
+
+namespace pprophet::depend {
+
+enum class Verdict : std::uint8_t {
+  Parallel,               ///< no cross-iteration dependences observed
+  ParallelWithReduction,  ///< only reduction-shaped dependences
+  Serial,                 ///< genuine loop-carried dependences
+};
+
+const char* to_string(Verdict v);
+
+struct LoopReport {
+  std::string name;
+  std::uint64_t iterations = 0;
+  std::uint64_t accesses = 0;
+  // Cross-iteration dependence counts (excluding reduction words).
+  std::uint64_t raw = 0;
+  std::uint64_t war = 0;
+  std::uint64_t waw = 0;
+  /// Distinct words whose dependences are all reduction-shaped updates.
+  std::uint64_t reduction_words = 0;
+  /// Distinct words carrying non-reduction dependences.
+  std::uint64_t dependent_words = 0;
+  /// A few sample addresses of offending words, for diagnostics.
+  std::vector<std::uint64_t> sample_addresses;
+
+  Verdict verdict() const;
+};
+
+/// Observes one loop at a time. Usage:
+///   DependenceTracker tr(cpu);     // installs itself as the observer
+///   tr.loop_begin("for-i");
+///   for (i...) { tr.iteration(i);  ...loop body using the vcpu... }
+///   LoopReport r = tr.loop_end();
+/// Dynamic-profiling caveat (shared with the paper's whole approach): the
+/// verdict reflects this input only.
+class DependenceTracker final : public vcpu::AccessObserver {
+ public:
+  explicit DependenceTracker(vcpu::VirtualCpu& cpu);
+  ~DependenceTracker() override;
+
+  DependenceTracker(const DependenceTracker&) = delete;
+  DependenceTracker& operator=(const DependenceTracker&) = delete;
+
+  void loop_begin(std::string name);
+  void iteration(std::uint64_t index);
+  LoopReport loop_end();
+
+  void on_access(std::uint64_t addr, std::size_t bytes,
+                 vcpu::AccessKind kind) override;
+
+ private:
+  static constexpr std::uint64_t kNone = ~0ULL;
+  struct Word {
+    std::uint64_t last_write = kNone;
+    std::uint64_t last_read = kNone;
+    bool all_rmw = true;        ///< every touch so far was an RMW update
+    bool crossed = false;       ///< has a cross-iteration dependence
+    std::uint64_t touches = 0;
+    std::uint64_t iters_seen = 0;      // count of distinct iterations (approx)
+    std::uint64_t last_touch_iter = kNone;
+  };
+
+  void classify(Word& w, std::uint64_t word_addr, vcpu::AccessKind kind);
+
+  vcpu::VirtualCpu& cpu_;
+  bool active_ = false;
+  std::uint64_t current_iter_ = kNone;
+  LoopReport report_;
+  std::unordered_map<std::uint64_t, Word> shadow_;
+};
+
+}  // namespace pprophet::depend

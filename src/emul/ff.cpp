@@ -1,0 +1,350 @@
+#include "emul/ff.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/section_index.hpp"
+
+namespace pprophet::emul {
+namespace {
+
+using runtime::IterScheduler;
+using runtime::OmpSchedule;
+using runtime::SectionIndex;
+using tree::Node;
+using tree::NodeKind;
+
+constexpr Cycles kInf = std::numeric_limits<Cycles>::max();
+
+struct Context;
+
+/// A (possibly suspended) walk over one task's children on a virtual CPU.
+struct Cursor {
+  Context* ctx = nullptr;
+  const Node* task = nullptr;
+  std::size_t child = 0;
+  std::uint64_t rep_done = 0;
+  Cycles ready_at = 0;
+  bool charge_dispatch = true;  ///< per-iteration dispatch cost on start
+};
+
+/// One parallel-section instance being fast-forwarded.
+struct Context {
+  const Node* sec = nullptr;
+  SectionIndex index;
+  std::unique_ptr<IterScheduler> sched;  // dynamic contexts pull from this
+  bool dynamic = false;
+  Cycles spawn_time = 0;
+  std::uint64_t outstanding = 0;  ///< iterations not yet completed
+  std::uint64_t unassigned = 0;   ///< dynamic: iterations not yet pulled
+  Cycles max_finish = 0;
+  double burden = 1.0;
+  /// Parent continuation to resume at the (implicit) barrier; nullopt for
+  /// top-level sections and for nowait spawns.
+  std::optional<Cursor> parent_cont;
+  std::uint32_t parent_cpu = 0;
+  bool done = false;
+
+  explicit Context(const Node& s) : sec(&s), index(s) {}
+};
+
+struct Cpu {
+  Cycles free_at = 0;
+  std::deque<Cursor> queue;
+  std::optional<Cursor> current;
+};
+
+/// The fast-forwarding engine for one top-level section.
+class FfEngine {
+ public:
+  FfEngine(const FfConfig& cfg) : cfg_(cfg), cpus_(cfg.num_threads) {}
+
+  /// Returns the section's projected parallel duration (excluding fork cost,
+  /// including the final barrier).
+  Cycles run_section(const Node& sec) {
+    Context* top =
+        spawn_context(sec, /*time=*/0, /*parent=*/std::nullopt, 0, nullptr);
+    loop();
+    assert(top->done);
+    // nowait-spawned nested contexts have no parent continuation; their
+    // work still bounds the section's end.
+    Cycles end = top->max_finish;
+    for (const auto& ctx : contexts_) {
+      end = std::max(end, ctx->max_finish);
+    }
+    return end + cfg_.overheads.join_barrier;
+  }
+
+ private:
+  double burden_of(const Node& sec) const {
+    return cfg_.apply_burden ? sec.burden(cfg_.num_threads) : 1.0;
+  }
+
+  Context* spawn_context(const Node& sec, Cycles time,
+                         std::optional<Cursor> parent_cont,
+                         std::uint32_t parent_cpu,
+                         const Context* parent_ctx) {
+    contexts_.push_back(std::make_unique<Context>(sec));
+    Context* ctx = contexts_.back().get();
+    ctx->spawn_time = time;
+    ctx->outstanding = ctx->index.trip_count();
+    ctx->unassigned = ctx->outstanding;
+    ctx->max_finish = time;  // empty sections complete instantly
+    // Burden: top-level sections own a burden factor; nested contexts
+    // inherit the enclosing one.
+    ctx->burden = parent_ctx != nullptr ? parent_ctx->burden : burden_of(sec);
+    ctx->parent_cont = std::move(parent_cont);
+    ctx->parent_cpu = parent_cpu;
+    if (ctx->outstanding == 0) {
+      complete_context(*ctx);
+      return ctx;
+    }
+    if (cfg_.schedule == OmpSchedule::Dynamic ||
+        cfg_.schedule == OmpSchedule::Guided) {
+      ctx->dynamic = true;
+      ctx->sched = runtime::make_scheduler(cfg_.schedule,
+                                           ctx->index.trip_count(),
+                                           cfg_.num_threads, cfg_.chunk);
+      dynamic_stack_.push_back(ctx);
+    } else {
+      // Static policies: pre-assign iterations. Nested contexts map rank r
+      // onto CPU (parent_cpu + r) mod t — a fixed round-robin that ignores
+      // which CPUs are actually busy. This is the paper's documented FF
+      // flaw (Figure 7): two sibling nested loops starting on different
+      // CPUs can pile their long iterations onto the same CPU.
+      auto sched = runtime::make_scheduler(cfg_.schedule,
+                                           ctx->index.trip_count(),
+                                           cfg_.num_threads, cfg_.chunk);
+      for (std::uint32_t rank = 0; rank < cfg_.num_threads; ++rank) {
+        const std::uint32_t cpu = (parent_cpu + rank) % cfg_.num_threads;
+        while (const auto range = sched->next(rank)) {
+          for (std::uint64_t i = range->begin; i < range->end; ++i) {
+            Cursor c;
+            c.ctx = ctx;
+            c.task = ctx->index.task_at(i);
+            c.ready_at = time;
+            cpus_[cpu].queue.push_back(c);
+          }
+        }
+      }
+    }
+    return ctx;
+  }
+
+  /// Earliest time CPU `k` could take its next action; kInf if none.
+  Cycles next_action_time(std::uint32_t k) const {
+    const Cpu& cpu = cpus_[k];
+    if (cpu.current.has_value()) return cpu.free_at;
+    Cycles best = kInf;
+    if (!cpu.queue.empty()) {
+      best = std::max(cpu.free_at, cpu.queue.front().ready_at);
+    }
+    for (auto it = dynamic_stack_.rbegin(); it != dynamic_stack_.rend();
+         ++it) {
+      if (!(*it)->done && (*it)->unassigned > 0) {
+        best = std::min(best, std::max(cpu.free_at, (*it)->spawn_time));
+        break;
+      }
+    }
+    return best;
+  }
+
+  void start_next(std::uint32_t k) {
+    Cpu& cpu = cpus_[k];
+    assert(!cpu.current.has_value());
+    if (!cpu.queue.empty()) {
+      const Cycles t = std::max(cpu.free_at, cpu.queue.front().ready_at);
+      // Prefer whichever source is available sooner; queue wins ties.
+      Cursor c = cpu.queue.front();
+      cpu.queue.pop_front();
+      cpu.free_at = t;
+      if (c.charge_dispatch) {
+        cpu.free_at += cfg_.schedule == OmpSchedule::Dynamic
+                           ? cfg_.overheads.dynamic_dispatch
+                           : cfg_.overheads.static_dispatch;
+        c.charge_dispatch = false;
+      }
+      cpu.current = c;
+      return;
+    }
+    // Dynamic pull from the innermost open dynamic context with iterations.
+    for (auto it = dynamic_stack_.rbegin(); it != dynamic_stack_.rend();
+         ++it) {
+      Context* ctx = *it;
+      if (ctx->done || ctx->unassigned == 0) continue;
+      if (const auto range = ctx->sched->next(k)) {
+        ctx->unassigned -= range->size();
+        cpu.free_at = std::max(cpu.free_at, ctx->spawn_time) +
+                      cfg_.overheads.dynamic_dispatch;
+        Cursor c;
+        c.ctx = ctx;
+        c.task = ctx->index.task_at(range->begin);
+        c.charge_dispatch = false;
+        // Chunks larger than one iteration: re-queue the rest.
+        for (std::uint64_t i = range->begin + 1; i < range->end; ++i) {
+          Cursor rest;
+          rest.ctx = ctx;
+          rest.task = ctx->index.task_at(i);
+          rest.ready_at = cpu.free_at;
+          cpu.queue.push_back(rest);
+        }
+        cpu.current = c;
+        return;
+      }
+    }
+  }
+
+  void complete_context(Context& ctx) {
+    ctx.done = true;
+    if (ctx.parent_cont.has_value()) {
+      Cursor cont = *ctx.parent_cont;
+      cont.ready_at = ctx.max_finish + cfg_.overheads.join_barrier;
+      cont.charge_dispatch = false;
+      cpus_[ctx.parent_cpu].queue.push_front(cont);
+      ctx.parent_cont.reset();
+    }
+  }
+
+  /// Executes one segment of the current cursor on CPU `k`.
+  void step(std::uint32_t k) {
+    Cpu& cpu = cpus_[k];
+    Cursor& cur = *cpu.current;
+    Context& ctx = *cur.ctx;
+    const auto& kids = cur.task->children();
+
+    if (cur.child >= kids.size()) {
+      // Task complete.
+      --ctx.outstanding;
+      ctx.max_finish = std::max(ctx.max_finish, cpu.free_at);
+      cpu.current.reset();
+      if (ctx.outstanding == 0) complete_context(ctx);
+      return;
+    }
+    const Node& c = *kids[cur.child];
+    if (cur.rep_done >= c.repeat()) {
+      ++cur.child;
+      cur.rep_done = 0;
+      return;
+    }
+    const auto scaled = [&](Cycles len) {
+      return static_cast<Cycles>(static_cast<double>(len) * ctx.burden + 0.5);
+    };
+    switch (c.kind()) {
+      case NodeKind::U: {
+        // Fast path: all repetitions of a plain U run back to back.
+        const std::uint64_t reps = c.repeat() - cur.rep_done;
+        cpu.free_at += scaled(c.length()) * reps;
+        cur.rep_done = c.repeat();
+        return;
+      }
+      case NodeKind::L: {
+        ++cur.rep_done;
+        cpu.free_at += cfg_.overheads.lock_acquire;
+        Cycles& lock_free = lock_free_[c.lock_id()];
+        const Cycles acquired = std::max(cpu.free_at, lock_free);
+        lock_waits_ += acquired - cpu.free_at;
+        cpu.free_at = acquired + scaled(c.length());
+        lock_free = cpu.free_at;
+        cpu.free_at += cfg_.overheads.lock_release;
+        return;
+      }
+      case NodeKind::Sec: {
+        ++cur.rep_done;
+        // Fork cost charged to the spawning CPU.
+        cpu.free_at += cfg_.overheads.fork_base +
+                       cfg_.overheads.fork_per_thread *
+                           (cfg_.num_threads - 1);
+        const Cycles spawn_time = cpu.free_at;
+        if (c.barrier_at_end()) {
+          // Suspend this task; resume after the nested barrier.
+          Cursor cont = cur;
+          Context* parent_ctx = cur.ctx;
+          cpu.current.reset();
+          spawn_context(c, spawn_time, cont, k, parent_ctx);
+        } else {
+          // nowait: the nested iterations run concurrently; the parent
+          // continues immediately.
+          spawn_context(c, spawn_time, std::nullopt, k, cur.ctx);
+        }
+        return;
+      }
+      case NodeKind::Task:
+      case NodeKind::Root:
+        throw std::logic_error("ff: invalid child kind in task walk");
+    }
+  }
+
+  void loop() {
+    while (true) {
+      std::uint32_t best_cpu = 0;
+      Cycles best_time = kInf;
+      for (std::uint32_t k = 0; k < cpus_.size(); ++k) {
+        const Cycles t = next_action_time(k);
+        if (t < best_time) {
+          best_time = t;
+          best_cpu = k;
+        }
+      }
+      if (best_time == kInf) return;
+      Cpu& cpu = cpus_[best_cpu];
+      if (!cpu.current.has_value()) {
+        start_next(best_cpu);
+        if (!cpu.current.has_value()) return;  // defensive: no progress
+        continue;
+      }
+      step(best_cpu);
+    }
+  }
+
+  const FfConfig& cfg_;
+  std::vector<Cpu> cpus_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::vector<Context*> dynamic_stack_;
+  std::map<LockId, Cycles> lock_free_;
+  Cycles lock_waits_ = 0;
+};
+
+}  // namespace
+
+FfResult emulate_ff_section(const tree::Node& sec, const FfConfig& cfg) {
+  if (sec.kind() != NodeKind::Sec) {
+    throw std::invalid_argument("emulate_ff_section: node is not a Sec");
+  }
+  if (cfg.num_threads == 0) {
+    throw std::invalid_argument("emulate_ff_section: zero threads");
+  }
+  FfResult r;
+  r.serial_cycles = sec.serial_work();
+  FfEngine engine(cfg);
+  const Cycles fork = cfg.overheads.fork_base +
+                      cfg.overheads.fork_per_thread * (cfg.num_threads - 1);
+  r.parallel_cycles = fork + engine.run_section(sec);
+  return r;
+}
+
+FfResult emulate_ff(const tree::ProgramTree& tree, const FfConfig& cfg) {
+  if (!tree.root) throw std::invalid_argument("emulate_ff: empty tree");
+  FfResult total;
+  for (const auto& child : tree.root->children()) {
+    for (std::uint64_t rep = 0; rep < child->repeat(); ++rep) {
+      if (child->kind() == NodeKind::U) {
+        total.serial_cycles += child->length();
+        total.parallel_cycles += child->length();
+      } else if (child->kind() == NodeKind::Sec) {
+        const FfResult r = emulate_ff_section(*child, cfg);
+        total.serial_cycles += r.serial_cycles;
+        total.parallel_cycles += r.parallel_cycles;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace pprophet::emul

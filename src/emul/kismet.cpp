@@ -1,0 +1,100 @@
+#include "emul/kismet.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace pprophet::emul {
+namespace {
+
+using tree::Node;
+using tree::NodeKind;
+
+struct PathInfo {
+  Cycles work = 0;  ///< total cycles in the subtree
+  Cycles span = 0;  ///< critical path of the subtree
+  /// Per-lock serialized demand inside the subtree: any schedule must run
+  /// all critical sections of one lock back to back.
+  std::map<LockId, Cycles> lock_demand;
+
+  void absorb_parallel(const PathInfo& child) {
+    work += child.work;
+    span = std::max(span, child.span);
+    for (const auto& [id, c] : child.lock_demand) lock_demand[id] += c;
+  }
+  void absorb_sequential(const PathInfo& child) {
+    work += child.work;
+    span += child.span;
+    for (const auto& [id, c] : child.lock_demand) lock_demand[id] += c;
+  }
+};
+
+PathInfo analyze(const Node& node) {
+  PathInfo info;
+  switch (node.kind()) {
+    case NodeKind::U: {
+      info.work = info.span = node.length();
+      break;
+    }
+    case NodeKind::L: {
+      info.work = info.span = node.length();
+      info.lock_demand[node.lock_id()] = node.length();
+      break;
+    }
+    case NodeKind::Task:
+    case NodeKind::Root: {
+      for (const auto& c : node.children()) {
+        PathInfo child = analyze(*c);
+        for (std::uint64_t r = 0; r < c->repeat(); ++r) {
+          info.absorb_sequential(child);
+        }
+      }
+      break;
+    }
+    case NodeKind::Sec: {
+      PathInfo inner;
+      for (const auto& c : node.children()) {
+        PathInfo child = analyze(*c);
+        for (std::uint64_t r = 0; r < c->repeat(); ++r) {
+          inner.absorb_parallel(child);
+        }
+      }
+      // Lock serialization can dominate the parallel span.
+      for (const auto& [id, demand] : inner.lock_demand) {
+        inner.span = std::max(inner.span, demand);
+      }
+      info = inner;
+      break;
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+double KismetResult::bound(CoreCount threads) const {
+  if (threads == 0 || serial_cycles == 0) return 0.0;
+  const double span_limited = static_cast<double>(critical_path);
+  const double work_limited = static_cast<double>(serial_cycles) /
+                              static_cast<double>(threads);
+  const double time = std::max(span_limited, work_limited);
+  return static_cast<double>(serial_cycles) / std::max(1.0, time);
+}
+
+double KismetResult::self_parallelism() const {
+  return critical_path == 0
+             ? 0.0
+             : static_cast<double>(serial_cycles) /
+                   static_cast<double>(critical_path);
+}
+
+KismetResult analyze_kismet(const tree::ProgramTree& tree) {
+  if (!tree.root) throw std::invalid_argument("kismet: empty tree");
+  const PathInfo info = analyze(*tree.root);
+  KismetResult r;
+  r.serial_cycles = info.work;
+  r.critical_path = info.span;
+  return r;
+}
+
+}  // namespace pprophet::emul

@@ -1,0 +1,35 @@
+// "Kismet" baseline — a model of the critical-path upper-bound estimator
+// the paper compares against (Table I, §II):
+//
+//   "Kismet performs an extended version of hierarchical critical path
+//    analysis that calculates self-parallelism for each dynamic region ...
+//    Kismet estimates only an upper bound of the speedup, so it cannot
+//    predict speedup saturation."
+//
+// Implemented as hierarchical critical-path analysis over the program tree:
+// a section's critical path is the longest task (tasks are parallel), a
+// task's is the sum of its children (sequential), and locks of the same id
+// serialize. Speedup at t cores = work / max(critical path, work / t) —
+// the greedy-scheduling bound with unbounded-task-granularity optimism.
+// No schedule modelling, no runtime overheads, no memory model: an upper
+// bound, exactly as the paper characterizes the tool.
+#pragma once
+
+#include "tree/node.hpp"
+
+namespace pprophet::emul {
+
+struct KismetResult {
+  Cycles serial_cycles = 0;    ///< total work
+  Cycles critical_path = 0;    ///< span (incl. per-lock serialization)
+  /// Upper-bound speedup at `threads` cores.
+  double bound(CoreCount threads) const;
+  /// The asymptotic self-parallelism (work / span).
+  double self_parallelism() const;
+};
+
+/// Critical-path analysis of the whole tree (top-level U nodes and section
+/// spans compose sequentially).
+KismetResult analyze_kismet(const tree::ProgramTree& tree);
+
+}  // namespace pprophet::emul

@@ -1,0 +1,146 @@
+#include "emul/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pprophet::emul {
+namespace {
+
+/// Stage durations of one item: the task's leaf children in order,
+/// expanding repeats.
+std::vector<Cycles> stage_lengths(const tree::Node& task) {
+  std::vector<Cycles> stages;
+  for (const auto& child : task.children()) {
+    if (child->kind() == tree::NodeKind::Sec) {
+      throw std::invalid_argument(
+          "pipeline: nested sections are not pipelinable");
+    }
+    for (std::uint64_t r = 0; r < child->repeat(); ++r) {
+      stages.push_back(child->length());
+    }
+  }
+  return stages;
+}
+
+/// Fuses `num_stages` stages into at most `workers` contiguous groups with
+/// balanced total demand (greedy threshold partition). Returns the group
+/// index of each stage. This is the stage-fusion step of coarse-grained
+/// pipelining [23]: with fewer threads than filters, adjacent filters are
+/// merged and each fused stage runs serially on its own thread.
+std::vector<std::size_t> fuse_stages(
+    const std::vector<std::vector<Cycles>>& items, std::size_t num_stages,
+    CoreCount workers) {
+  std::vector<double> demand(num_stages, 0.0);
+  double total = 0.0;
+  for (const auto& row : items) {
+    for (std::size_t s = 0; s < num_stages; ++s) {
+      demand[s] += static_cast<double>(row[s]);
+      total += static_cast<double>(row[s]);
+    }
+  }
+  const std::size_t groups = std::min<std::size_t>(workers, num_stages);
+  std::vector<std::size_t> group_of(num_stages, 0);
+  if (groups == num_stages) {
+    // Enough workers: one filter per thread, no fusion.
+    for (std::size_t s = 0; s < num_stages; ++s) group_of[s] = s;
+    return group_of;
+  }
+  const double target = total / static_cast<double>(groups);
+  std::size_t g = 0;
+  double acc = 0.0;
+  for (std::size_t s = 0; s < num_stages; ++s) {
+    // Close the current group when it met its share, or when exactly one
+    // stage per remaining group is left (no group may end up empty).
+    if (g + 1 < groups && acc > 0.0 &&
+        (acc >= target || num_stages - s == groups - g - 1)) {
+      ++g;
+      acc = 0.0;
+    }
+    group_of[s] = g;
+    acc += demand[s];
+  }
+  return group_of;
+}
+
+}  // namespace
+
+PipelineResult emulate_pipeline(const tree::Node& sec,
+                                const PipelineConfig& cfg) {
+  if (sec.kind() != tree::NodeKind::Sec) {
+    throw std::invalid_argument("pipeline: node is not a Sec");
+  }
+  if (cfg.workers == 0) {
+    throw std::invalid_argument("pipeline: needs >= 1 worker");
+  }
+
+  // Expand items (tasks × repeats) into their stage-duration rows.
+  std::vector<std::vector<Cycles>> items;
+  for (const auto& task : sec.children()) {
+    const std::vector<Cycles> stages = stage_lengths(*task);
+    for (std::uint64_t r = 0; r < task->repeat(); ++r) {
+      items.push_back(stages);
+    }
+  }
+  PipelineResult result;
+  result.items = items.size();
+  if (items.empty()) {
+    result.parallel_cycles = 1;
+    return result;
+  }
+  const std::size_t num_stages = items.front().size();
+  for (const auto& row : items) {
+    if (row.size() != num_stages) {
+      throw std::invalid_argument(
+          "pipeline: items disagree on the stage count");
+    }
+  }
+  result.stages = num_stages;
+  for (const auto& row : items) {
+    for (const Cycles c : row) result.serial_cycles += c;
+  }
+  if (num_stages == 0) {
+    result.parallel_cycles = 1;
+    return result;
+  }
+
+  // Fuse stages onto workers, then collapse each item's row to fused-group
+  // durations.
+  const std::vector<std::size_t> group_of =
+      fuse_stages(items, num_stages, cfg.workers);
+  const std::size_t groups = group_of.back() + 1;
+  std::vector<std::vector<Cycles>> fused(items.size(),
+                                         std::vector<Cycles>(groups, 0));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t s = 0; s < num_stages; ++s) {
+      fused[i][group_of[s]] += items[i][s];
+    }
+  }
+
+  // Steady-state bottleneck: the fused stage with the largest total demand.
+  for (std::size_t g = 0; g < groups; ++g) {
+    Cycles sum = 0;
+    for (const auto& row : fused) sum += row[g];
+    result.bottleneck_cycles = std::max(result.bottleneck_cycles, sum);
+  }
+
+  // Exact schedule of the fused pipeline: each fused stage is a serial
+  // filter on its own worker, consuming items in order, so the classic
+  // wavefront recurrence applies:
+  //   end(i, g) = max(end(i, g−1), end(i−1, g)) + len(i, g) + handoff.
+  std::vector<Cycles> stage_free(groups, 0);  // end(i−1, g)
+  Cycles makespan = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Cycles ready = 0;  // end(i, g−1): the item's dataflow time
+    for (std::size_t g = 0; g < groups; ++g) {
+      const Cycles start = std::max(ready, stage_free[g]);
+      const Cycles end = start + fused[i][g] + cfg.stage_handoff;
+      ready = end;
+      stage_free[g] = end;
+      makespan = std::max(makespan, end);
+    }
+  }
+  result.parallel_cycles = std::max<Cycles>(1, makespan);
+  return result;
+}
+
+}  // namespace pprophet::emul

@@ -1,0 +1,52 @@
+// Pipeline-parallelism emulation — the paper's §VII-E extension hook:
+// "pipelining can be easily supported by extending annotations [23] and the
+// emulation algorithm". This module implements that extension.
+//
+// A pipelined loop reuses the existing annotation grammar: a Sec whose
+// tasks (items) each contain the same ordered sequence of leaf nodes — the
+// pipeline stages. Emulation follows the coarse-grained model of Thies et
+// al. [23], which the paper cites: each stage is a serial filter pinned to
+// a worker (stage s → worker s mod w); item i's stage s may start once
+//   * item i finished stage s−1 (dataflow order),
+//   * item i−1 finished stage s  (stage exclusivity), and
+//   * the stage's worker is free (worker constraint),
+// plus a per-hand-off queue cost. The emulator computes the resulting
+// makespan analytically, like the FF — no machine run needed.
+#pragma once
+
+#include <vector>
+
+#include "tree/node.hpp"
+
+namespace pprophet::emul {
+
+struct PipelineConfig {
+  CoreCount workers = 4;
+  /// Queue push/pop cost charged at every stage boundary.
+  Cycles stage_handoff = 100;
+};
+
+struct PipelineResult {
+  Cycles serial_cycles = 0;
+  Cycles parallel_cycles = 0;
+  std::size_t items = 0;
+  std::size_t stages = 0;
+  /// Σ durations of the busiest stage — the steady-state bottleneck; the
+  /// pipeline can never beat serial_cycles / bottleneck.
+  Cycles bottleneck_cycles = 0;
+  double speedup() const {
+    return parallel_cycles == 0
+               ? 0.0
+               : static_cast<double>(serial_cycles) /
+                     static_cast<double>(parallel_cycles);
+  }
+};
+
+/// Emulates pipelined execution of `sec` (a Sec node whose items all have
+/// the same number of leaf stages). Throws std::invalid_argument for
+/// non-Sec nodes, ragged stage counts, or nested sections (pipelines of
+/// pipelines are out of scope, as in [23]).
+PipelineResult emulate_pipeline(const tree::Node& sec,
+                                const PipelineConfig& cfg);
+
+}  // namespace pprophet::emul

@@ -1,0 +1,23 @@
+#include "emul/suitability.hpp"
+
+namespace pprophet::emul {
+
+FfResult emulate_suitability(const tree::ProgramTree& tree,
+                             const SuitabilityConfig& cfg) {
+  FfConfig ff;
+  ff.num_threads = cfg.num_threads;
+  // Schedule ignored: the emulator behaves like OpenMP (dynamic,1).
+  ff.schedule = runtime::OmpSchedule::Dynamic;
+  ff.chunk = 1;
+  ff.overheads.fork_base = cfg.fork_overhead;
+  ff.overheads.fork_per_thread = 0;
+  ff.overheads.join_barrier = cfg.join_overhead;
+  ff.overheads.static_dispatch = cfg.per_task_overhead;
+  ff.overheads.dynamic_dispatch = cfg.per_task_overhead;
+  ff.overheads.lock_acquire = cfg.lock_overhead;
+  ff.overheads.lock_release = cfg.lock_overhead;
+  ff.apply_burden = false;  // no memory model
+  return emulate_ff(tree, ff);
+}
+
+}  // namespace pprophet::emul

@@ -1,0 +1,38 @@
+// "Suitability" baseline — a model of Intel Parallel Advisor's Suitability
+// analysis as the paper characterizes it (§II, §VII-B, Table I):
+//
+//  * an FF-style interpreter with a priority queue over a pseudo-clock;
+//  * does NOT model specific scheduling policies — the paper observes its
+//    emulator behaves close to OpenMP's (dynamic,1), whatever the user's
+//    schedule is;
+//  * uses coarse constant overhead factors, which overestimate the cost of
+//    frequently-invoked inner parallel loops (its LU-OMP failure);
+//  * no memory performance model;
+//  * no OS preemption/oversubscription modelling (shares the FF's Figure 7
+//    failure) and no work-stealing model (meaningless on FFT-Cilk).
+//
+// Implemented on the FF engine with the schedule forced to dynamic,1 and a
+// deliberately coarse overhead vector. This is a reproduction of the
+// *published description* of a closed-source tool, used as the comparison
+// baseline in the Figure 11/12 benches.
+#pragma once
+
+#include "emul/ff.hpp"
+
+namespace pprophet::emul {
+
+struct SuitabilityConfig {
+  CoreCount num_threads = 4;
+  /// Coarse constant costs (cycles). Deliberately heavier than the
+  /// calibrated FF constants, per the paper's "overestimating the parallel
+  /// overhead" diagnosis.
+  Cycles per_task_overhead = 1'200;
+  Cycles fork_overhead = 12'000;
+  Cycles join_overhead = 4'000;
+  Cycles lock_overhead = 250;
+};
+
+FfResult emulate_suitability(const tree::ProgramTree& tree,
+                             const SuitabilityConfig& cfg);
+
+}  // namespace pprophet::emul

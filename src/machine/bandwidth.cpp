@@ -1,0 +1,19 @@
+#include "machine/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pprophet::machine {
+
+double BandwidthModel::effective_bandwidth(double demand_mbps) const {
+  if (demand_mbps <= cfg_.saturation_mbps) return demand_mbps;
+  return cfg_.saturation_mbps *
+         (1.0 + cfg_.log_alpha * std::log(demand_mbps / cfg_.saturation_mbps));
+}
+
+double BandwidthModel::dilation(double demand_mbps) const {
+  if (demand_mbps <= cfg_.saturation_mbps || demand_mbps <= 0.0) return 1.0;
+  return std::max(1.0, demand_mbps / effective_bandwidth(demand_mbps));
+}
+
+}  // namespace pprophet::machine

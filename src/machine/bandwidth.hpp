@@ -1,0 +1,43 @@
+// DRAM bandwidth-saturation model of the simulated machine.
+//
+// This is the machine-side ground truth that the paper's memory performance
+// model (memmodel/) tries to *predict* from serial counters. Concurrent
+// memory-bound threads share a saturating memory system: below the
+// saturation point requests proceed at full speed; beyond it, queuing lets
+// total throughput grow only logarithmically with offered load — the shape
+// the paper measures empirically in Eq. (6).
+#pragma once
+
+namespace pprophet::machine {
+
+struct BandwidthConfig {
+  /// Aggregate demand (MB/s) up to which the memory system is contention
+  /// free. Scaled to the vcpu cost model: with blocking 200-cycle misses a
+  /// single simulated thread demands at most 64 B / 200 cy = 320 MB/s, so
+  /// 1200 MB/s saturates at about four fully memory-bound threads — the
+  /// regime where the paper's NPB-FT/CG/MG curves flatten.
+  double saturation_mbps = 1200.0;
+  /// Log-growth coefficient of effective bandwidth beyond saturation:
+  /// B_eff = sat · (1 + alpha · ln(demand / sat)).
+  double log_alpha = 0.22;
+};
+
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(const BandwidthConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Effective total bandwidth (MB/s) delivered under `demand_mbps` of
+  /// aggregate offered load.
+  double effective_bandwidth(double demand_mbps) const;
+
+  /// Uniform time-dilation factor (>= 1) applied to the memory portion of
+  /// every running thread when aggregate demand is `demand_mbps`.
+  double dilation(double demand_mbps) const;
+
+  const BandwidthConfig& config() const { return cfg_; }
+
+ private:
+  BandwidthConfig cfg_;
+};
+
+}  // namespace pprophet::machine

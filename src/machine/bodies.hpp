@@ -1,0 +1,42 @@
+// Convenience ThreadBody implementations for tests and simple runtime
+// components.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace pprophet::machine {
+
+/// Runs a fixed list of ops, then exits.
+class ScriptBody final : public ThreadBody {
+ public:
+  explicit ScriptBody(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+  std::optional<Op> next(Machine&, ThreadId) override {
+    if (next_ >= ops_.size()) return std::nullopt;
+    return ops_[next_++];
+  }
+
+ private:
+  std::vector<Op> ops_;
+  std::size_t next_ = 0;
+};
+
+/// Delegates to a callable; handy for ad-hoc state machines in tests.
+class FuncBody final : public ThreadBody {
+ public:
+  using Fn = std::function<std::optional<Op>(Machine&, ThreadId)>;
+  explicit FuncBody(Fn fn) : fn_(std::move(fn)) {}
+
+  std::optional<Op> next(Machine& m, ThreadId self) override {
+    return fn_(m, self);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace pprophet::machine

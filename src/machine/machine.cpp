@@ -1,0 +1,381 @@
+#include "machine/machine.hpp"
+
+#include "machine/timeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pprophet::machine {
+
+// ---------------------------------------------------------------------------
+// Internal state structures
+// ---------------------------------------------------------------------------
+
+struct Machine::SimThread {
+  ThreadId id = 0;
+  std::unique_ptr<ThreadBody> body;
+  enum class State : std::uint8_t { Ready, Running, Blocked, Exited };
+  State state = State::Ready;
+  std::uint64_t generation = 0;  // invalidates OpComplete events
+
+  bool has_op = false;  // true while an Exec op is in flight
+  Op op;
+  double remaining_compute = 0.0;
+  double remaining_mem = 0.0;
+  Cycles resume_time = 0;  // last time progress was accounted
+
+  std::uint32_t core = ~0u;   // valid while Running
+  Cycles running_since = 0;    // dispatch time of the current run span
+  bool was_preempted = false;  // charge context switch on next dispatch
+  WaitHandle exit_evt = 0;
+  Cycles blocked_since = 0;
+  bool blocked_on_lock = false;
+};
+
+struct Machine::Core {
+  ThreadId running = kNoThread;
+  std::uint64_t generation = 0;  // invalidates QuantumCheck events
+  Cycles dispatched_at = 0;
+  bool quantum_pending = false;
+};
+
+struct Machine::WaitObject {
+  bool notified = false;
+  std::vector<ThreadId> waiters;
+};
+
+struct Machine::Mutex {
+  ThreadId owner = kNoThread;
+  std::deque<ThreadId> waiters;
+};
+
+// ---------------------------------------------------------------------------
+
+Machine::Machine(const MachineConfig& cfg) : cfg_(cfg), bw_(cfg.bandwidth) {
+  if (cfg_.cores == 0) throw std::invalid_argument("machine needs >= 1 core");
+  cores_.resize(cfg_.cores);
+}
+
+Machine::~Machine() = default;
+
+ThreadId Machine::spawn_thread(std::unique_ptr<ThreadBody> body) {
+  assert(body != nullptr);
+  const auto tid = static_cast<ThreadId>(threads_.size());
+  auto t = std::make_unique<SimThread>();
+  t->id = tid;
+  t->body = std::move(body);
+  t->exit_evt = make_event();
+  t->resume_time = now_;
+  threads_.push_back(std::move(t));
+  ++stats_.spawned_threads;
+  make_ready(tid);
+  return tid;
+}
+
+WaitHandle Machine::make_event() {
+  waits_.emplace_back();
+  return static_cast<WaitHandle>(waits_.size() - 1);
+}
+
+bool Machine::event_notified(WaitHandle h) const {
+  return waits_.at(h).notified;
+}
+
+WaitHandle Machine::exit_event(ThreadId tid) const {
+  return threads_.at(tid)->exit_evt;
+}
+
+double Machine::current_demand() const {
+  double demand = 0.0;
+  for (const Core& c : cores_) {
+    if (c.running == kNoThread) continue;
+    const SimThread& t = *threads_[c.running];
+    if (t.has_op) demand += t.op.traffic_mbps;
+  }
+  return demand;
+}
+
+void Machine::advance_running_progress() {
+  for (Core& c : cores_) {
+    if (c.running == kNoThread) continue;
+    SimThread& t = *threads_[c.running];
+    if (!t.has_op) continue;
+    const Cycles dt = now_ - t.resume_time;
+    t.resume_time = now_;
+    if (dt == 0) continue;
+    stats_.total_busy += dt;
+    const double f = cached_dilation_;
+    const double total = t.remaining_compute + f * t.remaining_mem;
+    if (total <= 0.0) continue;
+    const double q = std::min(1.0, static_cast<double>(dt) / total);
+    t.remaining_compute *= (1.0 - q);
+    t.remaining_mem *= (1.0 - q);
+  }
+}
+
+void Machine::update_contention_and_reschedule() {
+  cached_dilation_ = bw_.dilation(current_demand());
+  for (Core& c : cores_) {
+    if (c.running == kNoThread) continue;
+    SimThread& t = *threads_[c.running];
+    if (!t.has_op) continue;
+    const double remaining =
+        t.remaining_compute + cached_dilation_ * t.remaining_mem;
+    ++t.generation;
+    queue_.push(Event{now_ + static_cast<Cycles>(std::ceil(remaining)),
+                      ++event_seq_, Event::Kind::OpComplete, t.id,
+                      t.generation});
+  }
+}
+
+void Machine::schedule_quantum_checks() {
+  for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+    Core& c = cores_[i];
+    if (c.running == kNoThread || c.quantum_pending) continue;
+    c.quantum_pending = true;
+    const Cycles deadline = std::max(now_, c.dispatched_at + cfg_.quantum);
+    queue_.push(Event{deadline, ++event_seq_, Event::Kind::QuantumCheck, i,
+                      c.generation});
+  }
+}
+
+void Machine::make_ready(ThreadId tid) {
+  SimThread& t = *threads_[tid];
+  if (t.state == SimThread::State::Blocked && t.blocked_on_lock) {
+    stats_.total_lock_wait += now_ - t.blocked_since;
+    if (timeline_ != nullptr) {
+      timeline_->record(t.id, t.blocked_since, now_,
+                        TimelineSpan::Kind::LockWait);
+    }
+  }
+  t.state = SimThread::State::Ready;
+  t.blocked_on_lock = false;
+  ready_.push_back(tid);
+  for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+    if (cores_[i].running == kNoThread) {
+      dispatch(i);
+      return;
+    }
+  }
+  // No idle core: arm preemption so the queued thread eventually runs.
+  schedule_quantum_checks();
+}
+
+void Machine::dispatch(std::uint32_t core_idx) {
+  Core& core = cores_[core_idx];
+  // The core may have been filled by a reentrant make_ready (e.g. a waiter
+  // woken by finish_thread grabbed it); nothing to do then.
+  if (core.running != kNoThread) return;
+  if (ready_.empty()) return;
+  const ThreadId tid = ready_.front();
+  ready_.pop_front();
+  SimThread& t = *threads_[tid];
+  assert(t.state == SimThread::State::Ready);
+  t.state = SimThread::State::Running;
+  t.core = core_idx;
+  t.resume_time = now_;
+  t.running_since = now_;
+  core.running = tid;
+  core.dispatched_at = now_;
+  ++core.generation;
+  core.quantum_pending = false;
+  if (t.was_preempted) {
+    // Re-dispatch cost: kernel path + cache refill, modelled as extra
+    // compute prepended to whatever the thread was doing.
+    t.remaining_compute += static_cast<double>(cfg_.context_switch);
+    t.was_preempted = false;
+    ++stats_.context_switches;
+  }
+  if (!ready_.empty()) schedule_quantum_checks();
+  if (!t.has_op) {
+    // Fresh thread or one that was blocked on a zero-time op: pull work.
+    fetch_and_process_ops(tid);
+  }
+}
+
+void Machine::block_current(SimThread& t) {
+  assert(t.state == SimThread::State::Running);
+  if (timeline_ != nullptr) {
+    timeline_->record(t.id, t.running_since, now_, TimelineSpan::Kind::Run);
+  }
+  const std::uint32_t core_idx = t.core;
+  t.state = SimThread::State::Blocked;
+  t.blocked_since = now_;
+  t.core = ~0u;
+  ++t.generation;  // kill any in-flight completion event
+  cores_[core_idx].running = kNoThread;
+  ++cores_[core_idx].generation;
+  dispatch(core_idx);
+}
+
+void Machine::finish_thread(ThreadId tid) {
+  SimThread& t = *threads_[tid];
+  assert(t.state == SimThread::State::Running);
+  if (timeline_ != nullptr) {
+    timeline_->record(t.id, t.running_since, now_, TimelineSpan::Kind::Run);
+  }
+  const std::uint32_t core_idx = t.core;
+  t.state = SimThread::State::Exited;
+  t.core = ~0u;
+  ++t.generation;
+  cores_[core_idx].running = kNoThread;
+  ++cores_[core_idx].generation;
+  // Notify joiners.
+  WaitObject& w = waits_[t.exit_evt];
+  w.notified = true;
+  std::vector<ThreadId> waiters = std::move(w.waiters);
+  w.waiters.clear();
+  for (const ThreadId wt : waiters) make_ready(wt);
+  dispatch(core_idx);
+}
+
+void Machine::fetch_and_process_ops(ThreadId tid) {
+  SimThread& t = *threads_[tid];
+  while (true) {
+    if (t.state != SimThread::State::Running) return;
+    if (!t.has_op) {
+      std::optional<Op> op = t.body->next(*this, tid);
+      if (!op.has_value()) {
+        finish_thread(tid);
+        return;
+      }
+      t.op = *op;
+      if (t.op.kind == Op::Kind::Exec) {
+        t.has_op = true;
+        t.remaining_compute += static_cast<double>(t.op.compute);
+        t.remaining_mem = static_cast<double>(t.op.mem);
+        t.resume_time = now_;
+        return;  // the op now runs; completion is scheduled by caller
+      }
+    }
+    // Zero-time control ops.
+    const Op op = t.op;
+    t.has_op = false;
+    switch (op.kind) {
+      case Op::Kind::Exec:
+        // handled above; unreachable
+        return;
+      case Op::Kind::Acquire: {
+        if (op.lock >= mutexes_.size()) mutexes_.resize(op.lock + 1);
+        Mutex& m = mutexes_[op.lock];
+        ++stats_.lock_acquisitions;
+        if (m.owner == kNoThread) {
+          m.owner = tid;
+          continue;
+        }
+        ++stats_.lock_contentions;
+        m.waiters.push_back(tid);
+        t.blocked_on_lock = true;
+        block_current(t);
+        return;
+      }
+      case Op::Kind::Release: {
+        if (op.lock >= mutexes_.size() || mutexes_[op.lock].owner != tid) {
+          throw std::logic_error("machine: release of a lock not owned");
+        }
+        Mutex& m = mutexes_[op.lock];
+        if (m.waiters.empty()) {
+          m.owner = kNoThread;
+        } else {
+          const ThreadId next_owner = m.waiters.front();
+          m.waiters.pop_front();
+          m.owner = next_owner;
+          make_ready(next_owner);
+        }
+        continue;
+      }
+      case Op::Kind::Wait: {
+        WaitObject& w = waits_.at(op.wait_handle);
+        if (w.notified) continue;
+        w.waiters.push_back(tid);
+        block_current(t);
+        return;
+      }
+      case Op::Kind::Notify: {
+        WaitObject& w = waits_.at(op.wait_handle);
+        w.notified = true;
+        std::vector<ThreadId> waiters = std::move(w.waiters);
+        w.waiters.clear();
+        for (const ThreadId wt : waiters) make_ready(wt);
+        continue;
+      }
+    }
+  }
+}
+
+void Machine::preempt(std::uint32_t core_idx) {
+  Core& core = cores_[core_idx];
+  const ThreadId tid = core.running;
+  assert(tid != kNoThread);
+  SimThread& t = *threads_[tid];
+  if (timeline_ != nullptr) {
+    timeline_->record(t.id, t.running_since, now_, TimelineSpan::Kind::Run);
+  }
+  t.state = SimThread::State::Ready;
+  t.was_preempted = true;
+  t.core = ~0u;
+  ++t.generation;
+  core.running = kNoThread;
+  ++core.generation;
+  ready_.push_back(tid);
+  ++stats_.preemptions;
+  dispatch(core_idx);
+}
+
+void Machine::on_op_complete(ThreadId tid) {
+  SimThread& t = *threads_[tid];
+  t.has_op = false;
+  t.remaining_compute = 0.0;
+  t.remaining_mem = 0.0;
+  fetch_and_process_ops(tid);
+}
+
+MachineStats Machine::run() {
+  if (ran_) throw std::logic_error("Machine::run may only be called once");
+  ran_ = true;
+  update_contention_and_reschedule();
+  while (!queue_.empty()) {
+    const Event e = queue_.top();
+    queue_.pop();
+    assert(e.time >= now_);
+    switch (e.kind) {
+      case Event::Kind::OpComplete: {
+        SimThread& t = *threads_[e.target];
+        if (e.generation != t.generation ||
+            t.state != SimThread::State::Running || !t.has_op) {
+          continue;  // stale
+        }
+        now_ = e.time;
+        advance_running_progress();
+        on_op_complete(e.target);
+        update_contention_and_reschedule();
+        break;
+      }
+      case Event::Kind::QuantumCheck: {
+        Core& core = cores_[e.target];
+        if (e.generation != core.generation) continue;  // stale
+        core.quantum_pending = false;
+        if (core.running == kNoThread) continue;
+        if (ready_.empty()) continue;  // nothing waiting; keep running
+        now_ = e.time;
+        advance_running_progress();
+        preempt(e.target);
+        update_contention_and_reschedule();
+        break;
+      }
+    }
+  }
+  stats_.finish_time = now_;
+  for (const auto& t : threads_) {
+    if (t->state != SimThread::State::Exited) {
+      throw std::logic_error(
+          "machine: event queue drained with live threads (deadlock: thread " +
+          std::to_string(t->id) + " is stuck)");
+    }
+  }
+  return stats_;
+}
+
+}  // namespace pprophet::machine

@@ -1,0 +1,217 @@
+// Discrete-event simulator of an N-core shared-memory machine.
+//
+// This substrate replaces the paper's physical 12-core Westmere testbed.
+// "Real" speedups in every experiment are produced by running the actual
+// parallel task structure of a workload on this machine; the synthesizer
+// emulator also executes its generated programs here.
+//
+// Modelled:
+//  * N cores with a preemptive round-robin OS scheduler (time quantum,
+//    context-switch cost, oversubscription — more threads than cores simply
+//    time-share, which is exactly what the FF emulator fails to model in
+//    the paper's Figure 7);
+//  * futex-style mutexes with FIFO wait queues;
+//  * wait/notify events (latches) for joins and barriers;
+//  * a DRAM bandwidth-saturation model: each Exec op declares its memory
+//    share and solo traffic; concurrent memory-bound execution dilates the
+//    memory portion of every running op (see bandwidth.hpp).
+//
+// Threads are pull-model state machines: a ThreadBody yields one Op at a
+// time. Exec ops take simulated time; Acquire/Release/Wait/Notify are
+// instantaneous control ops (runtime models add explicit Exec overhead ops
+// around them to charge costs).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "machine/bandwidth.hpp"
+#include "util/types.hpp"
+
+namespace pprophet::machine {
+
+using ThreadId = std::uint32_t;
+using WaitHandle = std::uint32_t;
+
+inline constexpr ThreadId kNoThread = ~0u;
+
+struct MachineConfig {
+  CoreCount cores = 4;
+  /// OS scheduling quantum. Relevant only under oversubscription.
+  Cycles quantum = 100'000;
+  /// Cost charged to a thread each time it is dispatched after having been
+  /// preempted or migrated (cache refill + kernel path).
+  Cycles context_switch = 1'500;
+  BandwidthConfig bandwidth{};
+};
+
+/// One primitive operation of a simulated thread.
+struct Op {
+  enum class Kind : std::uint8_t {
+    Exec,     ///< compute for `compute` + `mem` cycles (mem part dilates)
+    Acquire,  ///< lock `lock`; blocks while held by another thread
+    Release,  ///< unlock `lock`; must be the current owner
+    Wait,     ///< block until `wait` is notified (no-op if already)
+    Notify,   ///< notify `wait`, waking all current and future waiters
+  };
+
+  Kind kind = Kind::Exec;
+  Cycles compute = 0;        ///< Exec: contention-immune cycles
+  Cycles mem = 0;            ///< Exec: memory-stall cycles (dilatable)
+  double traffic_mbps = 0;   ///< Exec: solo DRAM traffic while running
+  LockId lock = 0;           ///< Acquire/Release
+  WaitHandle wait_handle = 0;  ///< Wait/Notify
+
+  static Op exec(Cycles compute_cycles, Cycles mem_cycles = 0,
+                 double traffic = 0.0) {
+    Op op;
+    op.kind = Kind::Exec;
+    op.compute = compute_cycles;
+    op.mem = mem_cycles;
+    op.traffic_mbps = traffic;
+    return op;
+  }
+  static Op acquire(LockId id) {
+    Op op;
+    op.kind = Kind::Acquire;
+    op.lock = id;
+    return op;
+  }
+  static Op release(LockId id) {
+    Op op;
+    op.kind = Kind::Release;
+    op.lock = id;
+    return op;
+  }
+  static Op wait(WaitHandle h) {
+    Op op;
+    op.kind = Kind::Wait;
+    op.wait_handle = h;
+    return op;
+  }
+  static Op notify(WaitHandle h) {
+    Op op;
+    op.kind = Kind::Notify;
+    op.wait_handle = h;
+    return op;
+  }
+};
+
+class Machine;
+
+/// A simulated thread's program. next() is called when the thread starts
+/// and after each completed op; returning nullopt exits the thread.
+/// next() runs at simulated-time instants and may call Machine services
+/// (spawn_thread, make_event, now) but must not block natively.
+class ThreadBody {
+ public:
+  virtual ~ThreadBody() = default;
+  virtual std::optional<Op> next(Machine& machine, ThreadId self) = 0;
+};
+
+struct MachineStats {
+  Cycles finish_time = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_contentions = 0;  ///< acquisitions that had to wait
+  Cycles total_busy = 0;               ///< Σ core busy cycles
+  Cycles total_lock_wait = 0;          ///< Σ cycles threads spent blocked on locks
+  std::uint64_t spawned_threads = 0;
+};
+
+/// The discrete-event machine. Typical use:
+///   Machine m(cfg);
+///   m.spawn_thread(std::make_unique<MainBody>(...));
+///   MachineStats stats = m.run();
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Creates a thread; it becomes ready immediately. Callable before run()
+  /// and from ThreadBody::next().
+  ThreadId spawn_thread(std::unique_ptr<ThreadBody> body);
+
+  /// Creates a wait event (latch). Starts un-notified.
+  WaitHandle make_event();
+
+  /// True once the event has been notified.
+  bool event_notified(WaitHandle h) const;
+
+  /// Event notified automatically when the thread exits.
+  WaitHandle exit_event(ThreadId tid) const;
+
+  Cycles now() const { return now_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  /// Attaches a Timeline that receives run / lock-wait spans (must outlive
+  /// run()). Null detaches. See machine/timeline.hpp.
+  void set_timeline(class Timeline* timeline) { timeline_ = timeline; }
+
+  /// Runs until every thread has exited. Returns statistics. May be called
+  /// once per Machine.
+  MachineStats run();
+
+ private:
+  struct SimThread;
+  struct Core;
+  struct WaitObject;
+  struct Mutex;
+
+  /// Pending simulator event. `generation` invalidates stale events: each
+  /// thread/core bumps its generation whenever its schedule changes.
+  struct Event {
+    Cycles time = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break for determinism
+    enum class Kind : std::uint8_t { OpComplete, QuantumCheck } kind =
+        Kind::OpComplete;
+    std::uint32_t target = 0;      // thread id or core index
+    std::uint64_t generation = 0;  // must match target's generation
+  };
+  struct EventCmp {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void make_ready(ThreadId tid);
+  void dispatch(std::uint32_t core_idx);
+  void block_current(SimThread& t);
+  void advance_running_progress();
+  void reschedule_running();
+  void update_contention_and_reschedule();
+  void fetch_and_process_ops(ThreadId tid);
+  void finish_thread(ThreadId tid);
+  void preempt(std::uint32_t core_idx);
+  void on_op_complete(ThreadId tid);
+  double current_demand() const;
+  void schedule_quantum_checks();
+
+  MachineConfig cfg_;
+  BandwidthModel bw_;
+  Cycles now_ = 0;
+  std::uint64_t event_seq_ = 0;
+  bool ran_ = false;
+
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  std::vector<Core> cores_;
+  std::vector<WaitObject> waits_;
+  std::vector<Mutex> mutexes_;  // indexed by LockId (grown on demand)
+  std::deque<ThreadId> ready_;
+  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+
+  MachineStats stats_;
+  double cached_dilation_ = 1.0;
+  class Timeline* timeline_ = nullptr;
+};
+
+}  // namespace pprophet::machine

@@ -1,0 +1,22 @@
+// Machine presets.
+#pragma once
+
+#include "machine/machine.hpp"
+
+namespace pprophet::machine {
+
+/// The simulated stand-in for the paper's testbed: 12 cores (two six-core
+/// sockets of a Westmere Xeon), 100 µs scheduling quantum, 1.5 µs context
+/// switch, and the DRAM saturation point scaled to the vcpu cost model
+/// (see bandwidth.hpp).
+inline MachineConfig westmere_sim() {
+  MachineConfig m;
+  m.cores = 12;
+  m.quantum = 100'000;
+  m.context_switch = 1'500;
+  m.bandwidth.saturation_mbps = 1200.0;
+  m.bandwidth.log_alpha = 0.22;
+  return m;
+}
+
+}  // namespace pprophet::machine

@@ -1,0 +1,64 @@
+#include "machine/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pprophet::machine {
+
+void Timeline::record(std::uint32_t thread, Cycles begin, Cycles end,
+                      TimelineSpan::Kind kind) {
+  if (end <= begin) return;
+  spans_.push_back(TimelineSpan{thread, begin, end, kind});
+  threads_ = std::max(threads_, thread + 1);
+  horizon_ = std::max(horizon_, end);
+}
+
+Cycles Timeline::busy(std::uint32_t thread) const {
+  Cycles total = 0;
+  for (const TimelineSpan& s : spans_) {
+    if (s.thread == thread && s.kind == TimelineSpan::Kind::Run) {
+      total += s.end - s.begin;
+    }
+  }
+  return total;
+}
+
+Cycles Timeline::lock_wait(std::uint32_t thread) const {
+  Cycles total = 0;
+  for (const TimelineSpan& s : spans_) {
+    if (s.thread == thread && s.kind == TimelineSpan::Kind::LockWait) {
+      total += s.end - s.begin;
+    }
+  }
+  return total;
+}
+
+void Timeline::print(std::ostream& os, int width) const {
+  if (horizon_ == 0 || threads_ == 0) {
+    os << "(empty timeline)\n";
+    return;
+  }
+  const double scale = static_cast<double>(width) /
+                       static_cast<double>(horizon_);
+  for (std::uint32_t t = 0; t < threads_; ++t) {
+    std::string row(static_cast<std::size_t>(width), ' ');
+    for (const TimelineSpan& s : spans_) {
+      if (s.thread != t) continue;
+      const int b = static_cast<int>(std::floor(static_cast<double>(s.begin) * scale));
+      int e = static_cast<int>(std::ceil(static_cast<double>(s.end) * scale));
+      e = std::min(e, width);
+      const char glyph = s.kind == TimelineSpan::Kind::Run ? '#' : '.';
+      for (int c = b; c < e; ++c) {
+        // Never let wait glyphs overwrite run glyphs at chart resolution.
+        if (row[static_cast<std::size_t>(c)] != '#') {
+          row[static_cast<std::size_t>(c)] = glyph;
+        }
+      }
+    }
+    os << "thread " << t << " |" << row << "|\n";
+  }
+  os << "          0" << std::string(static_cast<std::size_t>(width) - 1, ' ')
+     << horizon_ << " cycles   ('#' run, '.' lock wait)\n";
+}
+
+}  // namespace pprophet::machine

@@ -1,0 +1,50 @@
+// Execution-timeline recording for the simulated machine — the data behind
+// Gantt charts like the paper's Figure 5 ("Thread 0: [150][450][50][wait]").
+//
+// A TimelineRecorder receives begin/end span events from the machine (what
+// ran on which core, and when threads waited on locks) and renders an ASCII
+// Gantt chart. Used by bench_fig5 to draw the paper's illustration from an
+// actual emulation, and handy for debugging scheduling behaviour.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pprophet::machine {
+
+struct TimelineSpan {
+  std::uint32_t thread = 0;
+  Cycles begin = 0;
+  Cycles end = 0;
+  enum class Kind : std::uint8_t { Run, LockWait } kind = Kind::Run;
+};
+
+class Timeline {
+ public:
+  void record(std::uint32_t thread, Cycles begin, Cycles end,
+              TimelineSpan::Kind kind);
+
+  const std::vector<TimelineSpan>& spans() const { return spans_; }
+  std::uint32_t thread_count() const { return threads_; }
+  Cycles horizon() const { return horizon_; }
+
+  /// Busy cycles of one thread (Run spans only).
+  Cycles busy(std::uint32_t thread) const;
+  /// Lock-wait cycles of one thread.
+  Cycles lock_wait(std::uint32_t thread) const;
+
+  /// Renders an ASCII Gantt chart: one row per thread, '#' running,
+  /// '.' waiting on a lock, ' ' idle; `width` characters spanning the
+  /// horizon.
+  void print(std::ostream& os, int width = 64) const;
+
+ private:
+  std::vector<TimelineSpan> spans_;
+  std::uint32_t threads_ = 0;
+  Cycles horizon_ = 0;
+};
+
+}  // namespace pprophet::machine

@@ -1,0 +1,41 @@
+#include "memmodel/burden.hpp"
+
+#include <algorithm>
+
+namespace pprophet::memmodel {
+
+double BurdenModel::burden(const tree::SectionCounters& counters,
+                           CoreCount t) const {
+  if (t <= 1) return 1.0;
+  if (counters.instructions == 0 || counters.cycles == 0) return 1.0;
+  const double mpi = counters.mpi();
+  if (mpi < opts_.mpi_floor) return 1.0;  // assumption 5
+
+  const auto omega = static_cast<double>(cal_.unloaded_stall());
+  const double cpi = static_cast<double>(counters.cycles) /
+                     static_cast<double>(counters.instructions);
+  const double cpi_cache = std::max(opts_.min_cpi_cache, cpi - mpi * omega);
+
+  const double delta = counters.traffic_mbps();
+  const double delta_t = cal_.psi(t, delta);
+  const double omega_t = cal_.phi(delta_t, delta);
+
+  const double beta =
+      (cpi_cache + mpi * omega_t) / (cpi_cache + mpi * omega);
+  return std::max(1.0, beta);
+}
+
+void annotate_burdens(tree::ProgramTree& tree, const BurdenModel& model,
+                      std::span<const CoreCount> thread_counts) {
+  if (!tree.root) return;
+  for (const auto& child : tree.root->children()) {
+    if (child->kind() != tree::NodeKind::Sec) continue;
+    const tree::SectionCounters* c = child->counters();
+    if (c == nullptr) continue;
+    for (const CoreCount t : thread_counts) {
+      child->set_burden(t, model.burden(*c, t));
+    }
+  }
+}
+
+}  // namespace pprophet::memmodel

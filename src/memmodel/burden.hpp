@@ -1,0 +1,49 @@
+// Burden-factor model (paper §V, Eq. 1–3).
+//
+// For each top-level parallel section, serial counters {N, T, D} give
+//   MPI  = D / N                    (LLC misses per instruction)
+//   CPI$ = (T − ω·D) / N            (compute CPI with a perfect memory)
+//   δ    = traffic from D over T
+// and the burden factor for t threads is
+//   β_t = (CPI$ + MPI·ω_t) / (CPI$ + MPI·ω),   ω_t = Φ(Ψ_t(δ))
+// — the multiplicative slowdown of every U/L node in the section when the
+// code runs on t cores and memory contention sets in.
+#pragma once
+
+#include <span>
+
+#include "memmodel/calibration.hpp"
+#include "tree/node.hpp"
+
+namespace pprophet::memmodel {
+
+struct BurdenOptions {
+  /// Assumption 5: sections with MPI below this are memory-insensitive
+  /// (β = 1). Paper threshold: 0.001.
+  double mpi_floor = 0.001;
+  /// Lower clamp for CPI$ — guards against counter noise making the
+  /// computation cost non-positive.
+  double min_cpi_cache = 0.05;
+};
+
+class BurdenModel {
+ public:
+  BurdenModel(Calibration cal, BurdenOptions opts = {})
+      : cal_(std::move(cal)), opts_(opts) {}
+
+  /// β_t for a section with the given serial counters. Always >= 1.
+  double burden(const tree::SectionCounters& counters, CoreCount t) const;
+
+  const Calibration& calibration() const { return cal_; }
+
+ private:
+  Calibration cal_;
+  BurdenOptions opts_;
+};
+
+/// Computes and attaches β_t to every top-level Sec node carrying counters,
+/// for each requested thread count (the Figure 4 "burden factors" margin).
+void annotate_burdens(tree::ProgramTree& tree, const BurdenModel& model,
+                      std::span<const CoreCount> thread_counts);
+
+}  // namespace pprophet::memmodel

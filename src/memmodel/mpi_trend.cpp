@@ -1,0 +1,116 @@
+#include "memmodel/mpi_trend.hpp"
+
+#include <bit>
+#include <memory>
+#include <stdexcept>
+
+namespace pprophet::memmodel {
+
+MpiTrend TrendReport::trend(const TrendOptions& opts) const {
+  if (serial_mpi <= 0.0) {
+    // A loop with no serial misses that gains them in parallel is the
+    // "higher" row; otherwise there is nothing to compare.
+    return parallel_mpi > 0.001 ? MpiTrend::ParallelHigher
+                                : MpiTrend::Unchanged;
+  }
+  const double ratio = parallel_mpi / serial_mpi;
+  if (ratio >= opts.higher_ratio) return MpiTrend::ParallelHigher;
+  if (ratio <= opts.lower_ratio) return MpiTrend::ParallelLower;
+  return MpiTrend::Unchanged;
+}
+
+cachesim::CacheConfig slice_llc(const cachesim::CacheConfig& cfg,
+                                std::uint32_t sockets, CoreCount threads) {
+  cachesim::CacheConfig out = cfg;
+  const std::uint64_t lines = cfg.llc.size_bytes / cfg.line_bytes;
+  const std::uint64_t sets = lines / cfg.llc.associativity;
+  const std::uint64_t scaled =
+      sets * sockets / std::max<std::uint64_t>(1, threads);
+  const std::uint64_t slice_sets = std::max<std::uint64_t>(
+      1, std::bit_floor(std::max<std::uint64_t>(1, scaled)));
+  out.llc.size_bytes = slice_sets * cfg.llc.associativity * cfg.line_bytes;
+  return out;
+}
+
+MpiTrendAnalyzer::MpiTrendAnalyzer(vcpu::VirtualCpu& cpu, TrendOptions options)
+    : cpu_(cpu), opts_(options) {
+  cpu_.set_observer(this);
+}
+
+MpiTrendAnalyzer::~MpiTrendAnalyzer() { cpu_.set_observer(nullptr); }
+
+void MpiTrendAnalyzer::loop_begin() {
+  if (active_) throw std::logic_error("MpiTrendAnalyzer: loops may not nest");
+  active_ = true;
+  current_iter_ = ~0ULL;
+  truncated_ = false;
+  trace_.clear();
+}
+
+void MpiTrendAnalyzer::iteration(std::uint64_t index) {
+  if (!active_) {
+    throw std::logic_error("MpiTrendAnalyzer: iteration outside a loop");
+  }
+  current_iter_ = index;
+}
+
+void MpiTrendAnalyzer::on_access(std::uint64_t addr, std::size_t bytes,
+                                 vcpu::AccessKind /*kind*/) {
+  if (!active_ || current_iter_ == ~0ULL) return;
+  if (trace_.size() >= opts_.max_accesses) {
+    truncated_ = true;
+    return;
+  }
+  constexpr std::uint64_t kLineShift = 6;  // 64-byte lines
+  const std::uint64_t first = addr >> kLineShift;
+  const std::uint64_t last =
+      (addr + (bytes == 0 ? 0 : bytes - 1)) >> kLineShift;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    trace_.push_back(Sample{line, current_iter_});
+  }
+}
+
+TrendReport MpiTrendAnalyzer::loop_end() {
+  if (!active_) {
+    throw std::logic_error("MpiTrendAnalyzer: loop_end without loop_begin");
+  }
+  active_ = false;
+  TrendReport report;
+  report.accesses = trace_.size();
+  report.truncated = truncated_;
+  if (trace_.empty()) return report;
+
+  // Serial replay: the single profiling thread with the full hierarchy.
+  {
+    cachesim::CacheHierarchy serial(opts_.cache);
+    for (const Sample& s : trace_) serial.access(s.line * 64);
+    report.serial_mpi = static_cast<double>(serial.llc_misses()) /
+                        static_cast<double>(trace_.size());
+  }
+
+  // Parallel what-if: iterations partitioned (static,1) across threads,
+  // each thread replaying its subsequence through private L1/L2 and an LLC
+  // slice of the aggregate capacity.
+  {
+    const cachesim::CacheConfig sliced =
+        slice_llc(opts_.cache, opts_.sockets, opts_.threads);
+    std::vector<std::unique_ptr<cachesim::CacheHierarchy>> per_thread;
+    per_thread.reserve(opts_.threads);
+    for (CoreCount tcount = 0; tcount < opts_.threads; ++tcount) {
+      per_thread.push_back(std::make_unique<cachesim::CacheHierarchy>(sliced));
+    }
+    std::uint64_t misses = 0;
+    for (const Sample& s : trace_) {
+      const auto owner = static_cast<std::size_t>(s.iter % opts_.threads);
+      if (per_thread[owner]->access(s.line * 64) ==
+          cachesim::CacheHierarchy::kDram) {
+        ++misses;
+      }
+    }
+    report.parallel_mpi =
+        static_cast<double>(misses) / static_cast<double>(trace_.size());
+  }
+  return report;
+}
+
+}  // namespace pprophet::memmodel

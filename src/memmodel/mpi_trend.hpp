@@ -1,0 +1,90 @@
+// MPI-trend estimation — the future-work rows of Table IV.
+//
+// The paper's lightweight model only handles the "MPI does not vary from
+// serial to parallel" row, noting that estimating the change "requires an
+// expensive memory profiling or cache simulation ... will be investigated
+// in our future work" (§V-A, assumption 4). This module is that expensive
+// analysis, made optional: it records a candidate loop's access trace
+// during the serial run and replays it through what-if cache configurations
+// to estimate the *parallel* MPI:
+//
+//  * serial replay — the full hierarchy, as the one profiling thread saw it;
+//  * parallel replay — iterations are partitioned over t threads
+//    (static,1); each thread gets private L1/L2 (per-core on real silicon)
+//    plus a 1/t slice of the machine's aggregate LLC (sockets × LLC — the
+//    paper's testbed has two sockets, which is where its super-linear
+//    effects come from).
+//
+// Comparing the two MPIs yields the Table IV row: Par ≫ Ser (per-thread
+// slice thrashes on shared data), Par ≅ Ser, or Par ≪ Ser (the aggregate
+// LLC absorbs a working set the single socket could not — the super-linear
+// case the paper observes on MD/LU but does not model).
+#pragma once
+
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "memmodel/classify.hpp"
+#include "vcpu/vcpu.hpp"
+
+namespace pprophet::memmodel {
+
+struct TrendOptions {
+  CoreCount threads = 12;
+  std::uint32_t sockets = 2;  ///< LLC replicas contributing aggregate cache
+  cachesim::CacheConfig cache{};
+  /// par/ser MPI ratio thresholds for the Higher / Lower verdicts.
+  double higher_ratio = 1.5;
+  double lower_ratio = 1.0 / 1.5;
+  /// Trace cap: recording stops (and the estimate is flagged truncated)
+  /// beyond this many accesses.
+  std::size_t max_accesses = 1 << 22;
+};
+
+struct TrendReport {
+  double serial_mpi = 0.0;    ///< misses/access, full-hierarchy replay
+  double parallel_mpi = 0.0;  ///< misses/access, sliced what-if replay
+  std::uint64_t accesses = 0;
+  bool truncated = false;
+  MpiTrend trend(const TrendOptions& opts) const;
+};
+
+/// LLC slice for one of `threads` threads on a `sockets`-socket machine:
+/// aggregate capacity divided evenly, rounded down to a power-of-two set
+/// count (never below one set).
+cachesim::CacheConfig slice_llc(const cachesim::CacheConfig& cfg,
+                                std::uint32_t sockets, CoreCount threads);
+
+/// Records the access trace of one loop (AccessObserver + iteration marks,
+/// same protocol as depend::DependenceTracker) and produces the trend
+/// estimate on loop_end().
+class MpiTrendAnalyzer final : public vcpu::AccessObserver {
+ public:
+  MpiTrendAnalyzer(vcpu::VirtualCpu& cpu, TrendOptions options = {});
+  ~MpiTrendAnalyzer() override;
+
+  MpiTrendAnalyzer(const MpiTrendAnalyzer&) = delete;
+  MpiTrendAnalyzer& operator=(const MpiTrendAnalyzer&) = delete;
+
+  void loop_begin();
+  void iteration(std::uint64_t index);
+  TrendReport loop_end();
+
+  void on_access(std::uint64_t addr, std::size_t bytes,
+                 vcpu::AccessKind kind) override;
+
+ private:
+  struct Sample {
+    std::uint64_t line;
+    std::uint64_t iter;
+  };
+
+  vcpu::VirtualCpu& cpu_;
+  TrendOptions opts_;
+  bool active_ = false;
+  std::uint64_t current_iter_ = ~0ULL;
+  bool truncated_ = false;
+  std::vector<Sample> trace_;
+};
+
+}  // namespace pprophet::memmodel

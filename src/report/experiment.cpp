@@ -1,0 +1,74 @@
+#include "report/experiment.hpp"
+
+#include "machine/presets.hpp"
+
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+namespace pprophet::report {
+
+machine::MachineConfig paper_machine() { return machine::westmere_sim(); }
+
+core::PredictOptions paper_options(core::Method method) {
+  core::PredictOptions o;
+  o.method = method;
+  o.machine = paper_machine();
+  o.omp_overheads = runtime::OmpOverheads{};    // calibrated defaults
+  o.cilk_overheads = runtime::CilkOverheads{};
+  o.synth_overheads = runtime::SynthOverheads{};
+  return o;
+}
+
+const std::vector<CoreCount>& paper_core_counts() {
+  static const std::vector<CoreCount> counts{2, 4, 6, 8, 10, 12};
+  return counts;
+}
+
+void print_header(std::ostream& os, const std::string& title) {
+  os << "\n" << std::string(72, '=') << "\n" << title << "\n"
+     << std::string(72, '=') << "\n";
+}
+
+void print_speedup_panel(std::ostream& os, const std::string& title,
+                         const std::vector<CoreCount>& cores,
+                         const std::vector<SpeedupSeries>& series) {
+  os << "\n" << title << "\n";
+  std::vector<std::string> header{"method"};
+  for (const CoreCount c : cores) {
+    header.push_back(std::to_string(c) + "-core");
+  }
+  util::Table table(std::move(header));
+  for (const SpeedupSeries& s : series) {
+    std::vector<std::string> row{s.label};
+    for (const double v : s.speedups) row.push_back(util::fmt_f(v, 2));
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+
+  std::vector<double> xticks;
+  for (const CoreCount c : cores) xticks.push_back(static_cast<double>(c));
+  util::SeriesChart chart("speedup vs cores", xticks);
+  for (const SpeedupSeries& s : series) {
+    chart.add_series(s.label, s.marker, s.speedups);
+  }
+  chart.print(os);
+}
+
+void print_validation_panel(std::ostream& os, const std::string& title,
+                            const std::vector<double>& predicted,
+                            const std::vector<double>& real) {
+  const util::ErrorStats es = util::error_stats(predicted, real);
+  os << "\n" << title << "\n";
+  util::Table t({"samples", "avg err", "max err", "p95 err", "within 20%",
+                 "corr"});
+  t.add_row({std::to_string(es.count), util::fmt_pct(es.mean_error),
+             util::fmt_pct(es.max_error), util::fmt_pct(es.p95_error),
+             util::fmt_pct(es.within_20pct),
+             util::fmt_f(util::pearson(predicted, real), 3)});
+  t.print(os);
+  util::ScatterPlot plot("predicted (x) vs real (y) speedups");
+  plot.add_series("sample", 'o', predicted, real);
+  plot.print(os);
+}
+
+}  // namespace pprophet::report

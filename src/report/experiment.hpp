@@ -1,0 +1,47 @@
+// Shared harness pieces for the figure/table reproduction benches:
+// paper-style machine/runtime defaults, speedup-panel printing (table +
+// ASCII chart), and scatter-validation summaries.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/prophet.hpp"
+#include "util/stats.hpp"
+
+namespace pprophet::report {
+
+/// The simulated stand-in for the paper's testbed: 12 cores, two-socket
+/// Westmere-like, with the bandwidth model scaled to the vcpu cost model.
+machine::MachineConfig paper_machine();
+
+/// Default prediction options against paper_machine() with calibrated
+/// runtime overheads.
+core::PredictOptions paper_options(core::Method method);
+
+/// The paper's evaluation core counts (Figures 2, 11, 12).
+const std::vector<CoreCount>& paper_core_counts();
+
+/// One labelled speedup series over the shared core counts.
+struct SpeedupSeries {
+  std::string label;
+  char marker = 'o';
+  std::vector<double> speedups;
+};
+
+/// Prints a Figure-2/12 style panel: aligned table plus ASCII line chart.
+void print_speedup_panel(std::ostream& os, const std::string& title,
+                         const std::vector<CoreCount>& cores,
+                         const std::vector<SpeedupSeries>& series);
+
+/// Prints a Figure-11 style validation summary: error statistics and a
+/// predicted-vs-real scatter with the identity diagonal.
+void print_validation_panel(std::ostream& os, const std::string& title,
+                            const std::vector<double>& predicted,
+                            const std::vector<double>& real);
+
+/// Section header helper so all bench output reads uniformly.
+void print_header(std::ostream& os, const std::string& title);
+
+}  // namespace pprophet::report

@@ -1,0 +1,422 @@
+#include "runtime/cilk_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+#include "runtime/section_index.hpp"
+#include "util/rng.hpp"
+
+namespace pprophet::runtime {
+namespace {
+
+using machine::Machine;
+using machine::Op;
+using machine::ThreadId;
+using tree::Node;
+using tree::NodeKind;
+
+/// Join counter for one spawned fan-out (a Sec's iterations). pending counts
+/// outstanding items; the event fires when it reaches zero.
+struct Join {
+  std::uint64_t pending = 0;
+  machine::WaitHandle evt = 0;
+};
+
+/// A deque entry: a contiguous range of logical iterations of one section.
+struct CilkItem {
+  const Node* sec = nullptr;
+  const SectionIndex* index = nullptr;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  Join* join = nullptr;
+  LeafCostModel leaf{};
+};
+
+struct CilkRuntime {
+  CilkConfig cfg;
+  ExecMode mode;
+  Machine* m = nullptr;
+  std::vector<std::deque<CilkItem>> deques;  // per worker
+  std::vector<std::unique_ptr<Join>> joins;
+  std::vector<std::unique_ptr<SectionIndex>> indices;
+  std::vector<Cycles> thread_overhead;  // synth traversal, by worker rank
+  bool program_done = false;
+  machine::WaitHandle idle_evt = 0;  // current sleep latch for idle workers
+  util::Xoshiro256 steal_rng;
+
+  CilkRuntime(const CilkConfig& c, const ExecMode& md)
+      : cfg(c), mode(md), steal_rng(c.steal_seed) {
+    deques.resize(cfg.num_workers);
+    thread_overhead.resize(cfg.num_workers, 0);
+  }
+
+  bool synth() const { return mode.leaf_mode == LeafCostModel::Mode::Synth; }
+
+  std::uint64_t grain_for(std::uint64_t trip) const {
+    if (cfg.grain != 0) return cfg.grain;
+    return std::max<std::uint64_t>(1, trip / (8ull * cfg.num_workers));
+  }
+
+  Join* make_join() {
+    joins.push_back(std::make_unique<Join>());
+    joins.back()->evt = m->make_event();
+    return joins.back().get();
+  }
+
+  const SectionIndex* make_index(const Node& sec) {
+    indices.push_back(std::make_unique<SectionIndex>(sec));
+    return indices.back().get();
+  }
+
+  // Note: pushing work does not wake sleepers by itself — the pushing
+  // CilkBody follows up with a Notify op (wake_sleepers) so the wake-up is
+  // charged to simulated time like a real futex wake.
+  void push_item(std::uint32_t worker, CilkItem item) {
+    deques[worker].push_back(item);
+  }
+
+  std::optional<CilkItem> pop_own(std::uint32_t worker) {
+    auto& d = deques[worker];
+    if (d.empty()) return std::nullopt;
+    CilkItem item = d.back();
+    d.pop_back();
+    return item;
+  }
+
+  std::optional<std::pair<CilkItem, std::uint32_t>> steal(
+      std::uint32_t thief) {
+    const std::uint32_t n = cfg.num_workers;
+    const auto start = static_cast<std::uint32_t>(
+        steal_rng.uniform_u64(0, n == 0 ? 0 : n - 1));
+    for (std::uint32_t k = 0; k < n; ++k) {
+      const std::uint32_t victim = (start + k) % n;
+      if (victim == thief || deques[victim].empty()) continue;
+      CilkItem item = deques[victim].front();
+      deques[victim].pop_front();
+      return std::make_pair(item, victim);
+    }
+    return std::nullopt;
+  }
+
+  bool any_work() const {
+    for (const auto& d : deques) {
+      if (!d.empty()) return true;
+    }
+    return false;
+  }
+
+  void track_overhead(std::uint32_t worker, Cycles c) {
+    thread_overhead[worker] += c;
+  }
+
+  Cycles max_overhead() const {
+    Cycles mx = 0;
+    for (const Cycles c : thread_overhead) mx = std::max(mx, c);
+    return mx;
+  }
+
+  LeafCostModel top_level_leaf(const Node& sec) const {
+    LeafCostModel leaf;
+    leaf.mode = mode.leaf_mode;
+    if (synth()) {
+      leaf.burden = sec.burden(cfg.num_workers);
+    } else {
+      leaf.split = split_from_counters(sec.counters(), mode.dram_stall);
+    }
+    return leaf;
+  }
+};
+
+class CilkBody final : public machine::ThreadBody {
+ public:
+  /// Worker `rank`; rank 0 additionally owns the root walk.
+  CilkBody(CilkRuntime& rt, std::uint32_t rank, const Node* root) : rt_(rt), rank_(rank) {
+    if (root != nullptr) {
+      LeafCostModel serial_leaf;
+      serial_leaf.mode = rt.mode.leaf_mode;
+      stack_.push_back(TaskFrame{root, serial_leaf, 0, 0, nullptr});
+    }
+  }
+
+  std::optional<Op> next(Machine& m, ThreadId self) override {
+    while (true) {
+      if (!pending_.empty()) {
+        const Op op = pending_.front();
+        pending_.pop_front();
+        return op;
+      }
+      if (stack_.empty()) {
+        if (rank_ == 0) {
+          // Master done: the program is complete (all syncs resolved).
+          rt_.program_done = true;
+          if (rt_.idle_evt != 0) {
+            pending_.push_back(Op::notify(rt_.idle_evt));
+            rt_.idle_evt = 0;
+            continue;
+          }
+          return std::nullopt;
+        }
+        if (!idle_step(m)) return std::nullopt;
+        continue;
+      }
+      step(m, self);
+    }
+  }
+
+ private:
+  /// Sequential walk over a Task-like node's children.
+  struct TaskFrame {
+    const Node* node = nullptr;
+    LeafCostModel leaf{};
+    std::size_t child = 0;
+    std::uint64_t rep_done = 0;
+    /// When the walk reaches a Sec child, the fan-out's join is stored here
+    /// until the matching SyncFrame is pushed.
+    Join* open_join = nullptr;
+  };
+
+  /// Executing one deque item (an iteration range), splitting lazily.
+  struct ItemFrame {
+    CilkItem item{};
+    std::uint64_t cur = 0;
+    bool split_done = false;
+    bool counted = false;
+  };
+
+  /// cilk_sync: wait for a join while helping with available work.
+  struct SyncFrame {
+    Join* join = nullptr;
+  };
+
+  using Frame = std::variant<TaskFrame, ItemFrame, SyncFrame>;
+
+  void add_synth_overhead(Cycles c) {
+    if (c == 0) return;
+    pending_.push_back(Op::exec(c));
+    rt_.track_overhead(rank_, c);
+  }
+
+  /// Wakes idle workers after pushing items (rotates the idle latch).
+  void wake_sleepers() {
+    if (rt_.idle_evt != 0) {
+      pending_.push_back(Op::notify(rt_.idle_evt));
+      rt_.idle_evt = 0;
+    }
+  }
+
+  void spawn_fanout(Machine& m, const Node& sec, const LeafCostModel& leaf,
+                    TaskFrame& f) {
+    Join* join = rt_.make_join();
+    const SectionIndex* index = rt_.make_index(sec);
+    join->pending = 1;
+    CilkItem item;
+    item.sec = &sec;
+    item.index = index;
+    item.begin = 0;
+    item.end = index->trip_count();
+    item.join = join;
+    item.leaf = leaf;
+    rt_.push_item(rank_, item);
+    pending_.push_back(Op::exec(rt_.cfg.overheads.spawn));
+    wake_sleepers();
+    f.open_join = join;
+    (void)m;
+  }
+
+  void step_task(Machine& m, TaskFrame& f) {
+    if (f.open_join != nullptr) {
+      Join* j = f.open_join;
+      f.open_join = nullptr;
+      stack_.push_back(SyncFrame{j});
+      return;
+    }
+    const auto& kids = f.node->children();
+    if (f.child >= kids.size()) {
+      stack_.pop_back();
+      return;
+    }
+    const Node& c = *kids[f.child];
+    if (f.rep_done >= c.repeat()) {
+      ++f.child;
+      f.rep_done = 0;
+      return;
+    }
+    ++f.rep_done;
+    const CilkOverheads& ov = rt_.cfg.overheads;
+    switch (c.kind()) {
+      case NodeKind::U:
+        if (rt_.synth()) add_synth_overhead(rt_.mode.synth.access_node);
+        pending_.push_back(f.leaf.leaf_op(c.length()));
+        return;
+      case NodeKind::L:
+        if (rt_.synth()) add_synth_overhead(rt_.mode.synth.access_node);
+        pending_.push_back(Op::exec(ov.lock_acquire));
+        pending_.push_back(Op::acquire(c.lock_id()));
+        pending_.push_back(f.leaf.leaf_op(c.length()));
+        pending_.push_back(Op::release(c.lock_id()));
+        pending_.push_back(Op::exec(ov.lock_release));
+        return;
+      case NodeKind::Sec: {
+        if (rt_.synth()) add_synth_overhead(rt_.mode.synth.recursive_call);
+        const bool top_level = f.node->kind() == NodeKind::Root;
+        const LeafCostModel leaf = top_level ? rt_.top_level_leaf(c) : f.leaf;
+        spawn_fanout(m, c, leaf, f);
+        return;
+      }
+      case NodeKind::Task:
+      case NodeKind::Root:
+        throw std::logic_error("cilk executor: invalid child in task walk");
+    }
+  }
+
+  void complete_item(ItemFrame& f) {
+    Join* j = f.item.join;
+    assert(j->pending > 0);
+    --j->pending;
+    if (j->pending == 0) pending_.push_back(Op::notify(j->evt));
+    // Any completion may unblock a syncing worker that found nothing to
+    // steal earlier: rotate the idle latch.
+    wake_sleepers();
+    stack_.pop_back();
+  }
+
+  void step_item(Machine& /*m*/, ItemFrame& f) {
+    if (!f.counted) {
+      f.counted = true;
+      f.cur = f.item.begin;
+    }
+    if (!f.split_done) {
+      const std::uint64_t grain = rt_.grain_for(f.item.index->trip_count());
+      if (f.item.end - f.item.begin > grain) {
+        const std::uint64_t mid = f.item.begin + (f.item.end - f.item.begin) / 2;
+        CilkItem half = f.item;
+        half.begin = mid;
+        ++f.item.join->pending;
+        rt_.push_item(rank_, half);
+        pending_.push_back(Op::exec(rt_.cfg.overheads.loop_split));
+        wake_sleepers();
+        f.item.end = mid;
+        if (f.cur < f.item.begin) f.cur = f.item.begin;
+        return;  // keep splitting (or fall through next step)
+      }
+      f.split_done = true;
+    }
+    if (f.cur < f.item.end) {
+      const std::uint64_t i = f.cur++;
+      stack_.push_back(
+          TaskFrame{f.item.index->task_at(i), f.item.leaf, 0, 0, nullptr});
+      return;
+    }
+    complete_item(f);
+  }
+
+  /// Take work from anywhere; returns true if an ItemFrame was pushed.
+  bool acquire_work() {
+    if (std::optional<CilkItem> own = rt_.pop_own(rank_)) {
+      ItemFrame f;
+      f.item = *own;
+      stack_.push_back(f);
+      return true;
+    }
+    if (auto stolen = rt_.steal(rank_)) {
+      pending_.push_back(Op::exec(rt_.cfg.overheads.steal));
+      ItemFrame f;
+      f.item = stolen->first;
+      stack_.push_back(f);
+      return true;
+    }
+    return false;
+  }
+
+  void step_sync(Machine& m, SyncFrame& f) {
+    if (f.join->pending == 0) {
+      stack_.pop_back();
+      return;
+    }
+    if (acquire_work()) return;
+    // Nothing to help with right now. Sleep on the idle latch rather than
+    // the join event: new stealable work (pushed by a thief splitting our
+    // range) must wake us too, or we would idle while work queues up.
+    if (rt_.idle_evt == 0) rt_.idle_evt = m.make_event();
+    pending_.push_back(Op::wait(rt_.idle_evt));
+  }
+
+  /// Idle loop for workers with no frames. Returns false to exit.
+  bool idle_step(Machine& m) {
+    if (rt_.program_done) return false;
+    if (acquire_work()) return true;
+    ++idle_probes_;
+    if (idle_probes_ < 2) {
+      pending_.push_back(Op::exec(rt_.cfg.overheads.idle_probe));
+      return true;
+    }
+    idle_probes_ = 0;
+    if (rt_.idle_evt == 0) rt_.idle_evt = m.make_event();
+    pending_.push_back(Op::wait(rt_.idle_evt));
+    return true;
+  }
+
+  void step(Machine& m, ThreadId /*self*/) {
+    Frame& top = stack_.back();
+    if (auto* task = std::get_if<TaskFrame>(&top)) {
+      step_task(m, *task);
+    } else if (auto* item = std::get_if<ItemFrame>(&top)) {
+      step_item(m, *item);
+    } else {
+      step_sync(m, std::get<SyncFrame>(top));
+    }
+  }
+
+  CilkRuntime& rt_;
+  std::uint32_t rank_;
+  std::vector<Frame> stack_;
+  std::deque<Op> pending_;
+  int idle_probes_ = 0;
+};
+
+RunResult run_root_cilk(const Node& root, const machine::MachineConfig& mcfg,
+                        const CilkConfig& ccfg, const ExecMode& mode) {
+  if (ccfg.num_workers == 0) {
+    throw std::invalid_argument("cilk executor: num_workers must be >= 1");
+  }
+  Machine machine(mcfg);
+  machine.set_timeline(mode.timeline);
+  CilkRuntime rt(ccfg, mode);
+  rt.m = &machine;
+  machine.spawn_thread(std::make_unique<CilkBody>(rt, 0, &root));
+  for (std::uint32_t w = 1; w < ccfg.num_workers; ++w) {
+    machine.spawn_thread(std::make_unique<CilkBody>(rt, w, nullptr));
+  }
+  RunResult result;
+  result.stats = machine.run();
+  result.elapsed = result.stats.finish_time;
+  result.traversal_overhead = rt.max_overhead();
+  return result;
+}
+
+}  // namespace
+
+RunResult run_tree_cilk(const tree::ProgramTree& tree,
+                        const machine::MachineConfig& mcfg,
+                        const CilkConfig& ccfg, const ExecMode& mode) {
+  if (!tree.root) throw std::invalid_argument("cilk executor: empty tree");
+  return run_root_cilk(*tree.root, mcfg, ccfg, mode);
+}
+
+RunResult run_section_cilk(const tree::Node& sec,
+                           const machine::MachineConfig& mcfg,
+                           const CilkConfig& ccfg, const ExecMode& mode) {
+  if (sec.kind() != NodeKind::Sec) {
+    throw std::invalid_argument("run_section_cilk: node is not a Sec");
+  }
+  Node root(NodeKind::Root, "root");
+  root.add_child(sec.clone());
+  return run_root_cilk(root, mcfg, ccfg, mode);
+}
+
+}  // namespace pprophet::runtime

@@ -1,0 +1,50 @@
+// Cilk Plus runtime model: executes a program tree with a work-stealing
+// scheduler on the simulated machine.
+//
+// The paper parallelizes the recursive benchmarks (FFT-Cilk, QSort-Cilk)
+// with Cilk Plus because OpenMP 2.0 nested parallelism spawns too many OS
+// threads (§III). This model captures why Cilk behaves better: a *fixed*
+// pool of one worker per requested thread, per-worker deques, random
+// stealing, and help-first execution at sync points — nested parallelism
+// creates logical tasks, not OS threads.
+//
+// Mapping from the program tree:
+//  * a Sec node encountered by a running task becomes a fan-out: each
+//    logical iteration is a task item (large trip counts are split
+//    range-recursively like cilk_for);
+//  * the encountering worker then syncs: it helps by draining its own deque,
+//    steals when empty, and blocks only when the join is still open with
+//    nothing left to execute;
+//  * U/L leaves behave as in the OpenMP model.
+//
+// Runs in the same Real/Synth modes as the OpenMP executor.
+#pragma once
+
+#include "machine/machine.hpp"
+#include "runtime/omp_executor.hpp"  // ExecMode, RunResult
+#include "runtime/overheads.hpp"
+#include "tree/node.hpp"
+
+namespace pprophet::runtime {
+
+struct CilkConfig {
+  std::uint32_t num_workers = 4;
+  /// cilk_for grain: ranges larger than this split in half recursively.
+  /// 0 = auto (trip_count / (8 × workers), at least 1).
+  std::uint64_t grain = 0;
+  CilkOverheads overheads{};
+  /// Seed for the deterministic victim-selection RNG.
+  std::uint64_t steal_seed = 0x9d5c'1f2e'33aa'4712ULL;
+};
+
+/// Runs a whole program tree with the Cilk model.
+RunResult run_tree_cilk(const tree::ProgramTree& tree,
+                        const machine::MachineConfig& mcfg,
+                        const CilkConfig& ccfg, const ExecMode& mode);
+
+/// Runs a single top-level section (Sec node) with the Cilk model.
+RunResult run_section_cilk(const tree::Node& sec,
+                           const machine::MachineConfig& mcfg,
+                           const CilkConfig& ccfg, const ExecMode& mode);
+
+}  // namespace pprophet::runtime

@@ -1,0 +1,50 @@
+// OpenMP loop-iteration schedulers (paper Figure 5: precise modelling of
+// scheduling policies is essential for accurate prediction).
+//
+// Supported policies, matching the paper's experiments:
+//   schedule(static,1)  — cyclic, chunk 1
+//   schedule(static)    — one contiguous block per thread
+//   schedule(dynamic,1) — shared-counter first-come-first-served, chunk 1
+// plus generalized chunk sizes, and schedule(guided) as an extension (the
+// paper's framework supports any policy the scheduler interface can
+// express; guided is the obvious next OpenMP policy).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace pprophet::runtime {
+
+enum class OmpSchedule : std::uint8_t {
+  StaticCyclic,  ///< schedule(static, chunk) with round-robin chunks
+  StaticBlock,   ///< schedule(static) — default block partition
+  Dynamic,       ///< schedule(dynamic, chunk)
+  Guided,        ///< schedule(guided, chunk): shrinking shared chunks
+};
+
+const char* to_string(OmpSchedule s);
+
+/// Half-open range of logical iteration indices.
+struct IterRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t size() const { return end - begin; }
+};
+
+/// Hands out iteration ranges to team members. Not thread-safe in the native
+/// sense — all calls happen at DES instants.
+class IterScheduler {
+ public:
+  virtual ~IterScheduler() = default;
+  /// Next chunk for team member `rank`, or nullopt when the member is done.
+  virtual std::optional<IterRange> next(std::uint32_t rank) = 0;
+};
+
+std::unique_ptr<IterScheduler> make_scheduler(OmpSchedule kind,
+                                              std::uint64_t total_iters,
+                                              std::uint32_t num_threads,
+                                              std::uint64_t chunk);
+
+}  // namespace pprophet::runtime

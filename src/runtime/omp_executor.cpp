@@ -1,0 +1,285 @@
+#include "runtime/omp_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <variant>
+
+#include "runtime/section_index.hpp"
+
+namespace pprophet::runtime {
+namespace {
+
+using machine::Machine;
+using machine::Op;
+using machine::ThreadId;
+using tree::Node;
+using tree::NodeKind;
+
+/// Shared state of one forked parallel region.
+struct TeamContext {
+  const Node* sec = nullptr;
+  SectionIndex index;
+  std::unique_ptr<IterScheduler> sched;
+  std::uint32_t size = 0;
+  std::uint32_t arrivals = 0;
+  machine::WaitHandle done = 0;
+  LeafCostModel leaf{};
+
+  explicit TeamContext(const Node& s) : sec(&s), index(s) {}
+};
+
+/// Per-run shared services: configuration, team ownership, synth-overhead
+/// tracking.
+struct OmpRuntime {
+  OmpConfig cfg;
+  ExecMode mode;
+  std::vector<std::unique_ptr<TeamContext>> teams;
+  std::vector<Cycles> thread_overhead;  // synth traversal cost by ThreadId
+
+  OmpRuntime(const OmpConfig& c, const ExecMode& m) : cfg(c), mode(m) {}
+
+  bool synth() const { return mode.leaf_mode == LeafCostModel::Mode::Synth; }
+
+  void track_overhead(ThreadId tid, Cycles c) {
+    if (thread_overhead.size() <= tid) thread_overhead.resize(tid + 1, 0);
+    thread_overhead[tid] += c;
+  }
+
+  Cycles max_overhead() const {
+    Cycles m = 0;
+    for (const Cycles c : thread_overhead) m = std::max(m, c);
+    return m;
+  }
+
+  TeamContext* open_team(Machine& m, const Node& sec,
+                         const LeafCostModel& leaf) {
+    auto team = std::make_unique<TeamContext>(sec);
+    team->size = cfg.num_threads;
+    team->sched = make_scheduler(cfg.schedule, team->index.trip_count(),
+                                 cfg.num_threads, cfg.chunk);
+    team->done = m.make_event();
+    team->leaf = leaf;
+    teams.push_back(std::move(team));
+    return teams.back().get();
+  }
+
+  /// LeafCostModel for a *top-level* section: counters (Real) or burden
+  /// factor (Synth) of that section.
+  LeafCostModel top_level_leaf(const Node& sec) const {
+    LeafCostModel leaf;
+    leaf.mode = mode.leaf_mode;
+    if (synth()) {
+      leaf.burden = sec.burden(cfg.num_threads);
+    } else {
+      leaf.split = split_from_counters(sec.counters(), mode.dram_stall);
+    }
+    return leaf;
+  }
+
+  Cycles dispatch_cost() const {
+    // Pull-based policies (dynamic, guided) pay the shared-counter cost.
+    return cfg.schedule == OmpSchedule::Dynamic ||
+                   cfg.schedule == OmpSchedule::Guided
+               ? cfg.overheads.dynamic_dispatch
+               : cfg.overheads.static_dispatch;
+  }
+};
+
+class OmpBody final : public machine::ThreadBody {
+ public:
+  /// Program master: walks `root`'s children sequentially.
+  OmpBody(OmpRuntime& rt, const Node* root) : rt_(rt) {
+    LeafCostModel serial_leaf;  // top-level serial code: no split, burden 1
+    serial_leaf.mode = rt.mode.leaf_mode;
+    stack_.push_back(SeqFrame{root, serial_leaf, 0, 0});
+  }
+
+  /// Team worker with the given rank (>= 1; the master is rank 0).
+  OmpBody(OmpRuntime& rt, TeamContext* team, std::uint32_t rank) : rt_(rt) {
+    stack_.push_back(TeamFrame{team, rank, /*is_master=*/false});
+  }
+
+  std::optional<Op> next(Machine& m, ThreadId self) override {
+    while (true) {
+      if (!pending_.empty()) {
+        const Op op = pending_.front();
+        pending_.pop_front();
+        return op;
+      }
+      if (stack_.empty()) return std::nullopt;
+      step(m, self);
+    }
+  }
+
+ private:
+  /// Sequential walk over a Task-like node's children (also used for the
+  /// Root's top-level sequence).
+  struct SeqFrame {
+    const Node* node = nullptr;
+    LeafCostModel leaf{};
+    std::size_t child = 0;
+    std::uint64_t rep_done = 0;
+  };
+
+  /// Participation in one parallel region.
+  struct TeamFrame {
+    TeamContext* team = nullptr;
+    std::uint32_t rank = 0;
+    bool is_master = false;
+    enum class Phase : std::uint8_t { Fetch, Arrive, WaitDone, Done };
+    Phase phase = Phase::Fetch;
+    IterRange range{};
+    std::uint64_t next_iter = 0;
+    bool range_active = false;
+  };
+
+  using Frame = std::variant<SeqFrame, TeamFrame>;
+
+  void add_synth_overhead(ThreadId self, Cycles c) {
+    if (c == 0) return;
+    pending_.push_back(Op::exec(c));
+    rt_.track_overhead(self, c);
+  }
+
+  void step_seq(Machine& m, ThreadId self, SeqFrame& f) {
+    const auto& kids = f.node->children();
+    if (f.child >= kids.size()) {
+      stack_.pop_back();
+      return;
+    }
+    const Node& c = *kids[f.child];
+    if (f.rep_done >= c.repeat()) {
+      ++f.child;
+      f.rep_done = 0;
+      return;
+    }
+    ++f.rep_done;
+    const OmpOverheads& ov = rt_.cfg.overheads;
+    switch (c.kind()) {
+      case NodeKind::U:
+        if (rt_.synth()) add_synth_overhead(self, rt_.mode.synth.access_node);
+        pending_.push_back(f.leaf.leaf_op(c.length()));
+        return;
+      case NodeKind::L:
+        if (rt_.synth()) add_synth_overhead(self, rt_.mode.synth.access_node);
+        pending_.push_back(Op::exec(ov.lock_acquire));
+        pending_.push_back(Op::acquire(c.lock_id()));
+        pending_.push_back(f.leaf.leaf_op(c.length()));
+        pending_.push_back(Op::release(c.lock_id()));
+        pending_.push_back(Op::exec(ov.lock_release));
+        return;
+      case NodeKind::Sec: {
+        if (rt_.synth()) {
+          add_synth_overhead(self, rt_.mode.synth.recursive_call);
+        }
+        const bool top_level = f.node->kind() == NodeKind::Root;
+        const LeafCostModel leaf =
+            top_level ? rt_.top_level_leaf(c) : f.leaf;
+        TeamContext* team = rt_.open_team(m, c, leaf);
+        pending_.push_back(Op::exec(
+            ov.fork_base + ov.fork_per_thread * (rt_.cfg.num_threads - 1)));
+        for (std::uint32_t r = 1; r < rt_.cfg.num_threads; ++r) {
+          m.spawn_thread(std::make_unique<OmpBody>(rt_, team, r));
+        }
+        stack_.push_back(TeamFrame{team, 0, /*is_master=*/true});
+        return;
+      }
+      case NodeKind::Task:
+      case NodeKind::Root:
+        throw std::logic_error("omp executor: invalid child kind in Seq walk");
+    }
+  }
+
+  void step_team(Machine& /*m*/, ThreadId /*self*/, TeamFrame& f) {
+    TeamContext& team = *f.team;
+    switch (f.phase) {
+      case TeamFrame::Phase::Fetch: {
+        if (f.range_active && f.next_iter < f.range.end) {
+          const std::uint64_t i = f.next_iter++;
+          stack_.push_back(
+              SeqFrame{team.index.task_at(i), team.leaf, 0, 0});
+          return;
+        }
+        const std::optional<IterRange> r = team.sched->next(f.rank);
+        if (!r.has_value()) {
+          f.phase = TeamFrame::Phase::Arrive;
+          return;
+        }
+        f.range = *r;
+        f.next_iter = r->begin;
+        f.range_active = true;
+        pending_.push_back(Op::exec(rt_.dispatch_cost()));
+        return;
+      }
+      case TeamFrame::Phase::Arrive: {
+        ++team.arrivals;
+        const bool last = team.arrivals == team.size;
+        if (last) pending_.push_back(Op::notify(team.done));
+        if (team.sec->barrier_at_end()) {
+          pending_.push_back(Op::exec(rt_.cfg.overheads.join_barrier));
+          pending_.push_back(Op::wait(team.done));
+        }
+        // nowait: nobody blocks; stragglers just finish on their own.
+        f.phase = TeamFrame::Phase::Done;
+        return;
+      }
+      case TeamFrame::Phase::WaitDone:
+      case TeamFrame::Phase::Done:
+        stack_.pop_back();
+        return;
+    }
+  }
+
+  void step(Machine& m, ThreadId self) {
+    Frame& top = stack_.back();
+    if (auto* seq = std::get_if<SeqFrame>(&top)) {
+      step_seq(m, self, *seq);
+    } else {
+      step_team(m, self, std::get<TeamFrame>(top));
+    }
+  }
+
+  OmpRuntime& rt_;
+  std::vector<Frame> stack_;
+  std::deque<Op> pending_;
+};
+
+RunResult run_root(const Node& root, const machine::MachineConfig& mcfg,
+                   const OmpConfig& ocfg, const ExecMode& mode) {
+  if (ocfg.num_threads == 0) {
+    throw std::invalid_argument("omp executor: num_threads must be >= 1");
+  }
+  Machine machine(mcfg);
+  machine.set_timeline(mode.timeline);
+  OmpRuntime rt(ocfg, mode);
+  machine.spawn_thread(std::make_unique<OmpBody>(rt, &root));
+  RunResult result;
+  result.stats = machine.run();
+  result.elapsed = result.stats.finish_time;
+  result.traversal_overhead = rt.max_overhead();
+  return result;
+}
+
+}  // namespace
+
+RunResult run_tree_omp(const tree::ProgramTree& tree,
+                       const machine::MachineConfig& mcfg,
+                       const OmpConfig& ocfg, const ExecMode& mode) {
+  if (!tree.root) throw std::invalid_argument("omp executor: empty tree");
+  return run_root(*tree.root, mcfg, ocfg, mode);
+}
+
+RunResult run_section_omp(const tree::Node& sec,
+                          const machine::MachineConfig& mcfg,
+                          const OmpConfig& ocfg, const ExecMode& mode) {
+  if (sec.kind() != NodeKind::Sec) {
+    throw std::invalid_argument("run_section_omp: node is not a Sec");
+  }
+  Node root(NodeKind::Root, "root");
+  root.add_child(sec.clone());
+  return run_root(root, mcfg, ocfg, mode);
+}
+
+}  // namespace pprophet::runtime

@@ -1,0 +1,24 @@
+#include "runtime/section_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pprophet::runtime {
+
+SectionIndex::SectionIndex(const tree::Node& sec) {
+  cum_.reserve(sec.children().size());
+  tasks_.reserve(sec.children().size());
+  for (const auto& child : sec.children()) {
+    total_ += child->repeat();
+    cum_.push_back(total_);
+    tasks_.push_back(child.get());
+  }
+}
+
+const tree::Node* SectionIndex::task_at(std::uint64_t i) const {
+  assert(i < total_);
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), i);
+  return tasks_[static_cast<std::size_t>(it - cum_.begin())];
+}
+
+}  // namespace pprophet::runtime

@@ -1,0 +1,30 @@
+// Logical-iteration indexing over a (possibly compressed) Sec node.
+//
+// A Sec's children are Task nodes with repeat counts; the schedulers deal in
+// logical iteration indices [0, trip_count). This maps an index back to its
+// Task node in O(log children).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/node.hpp"
+
+namespace pprophet::runtime {
+
+class SectionIndex {
+ public:
+  explicit SectionIndex(const tree::Node& sec);
+
+  std::uint64_t trip_count() const { return total_; }
+
+  /// Task node executing logical iteration `i`. Precondition: i < trip_count.
+  const tree::Node* task_at(std::uint64_t i) const;
+
+ private:
+  std::vector<std::uint64_t> cum_;  // cum_[k] = iterations covered by tasks [0..k]
+  std::vector<const tree::Node*> tasks_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pprophet::runtime

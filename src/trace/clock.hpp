@@ -1,0 +1,46 @@
+// Cycle-clock abstraction for interval profiling.
+//
+// The paper profiles with rdtsc() pinned to one core (§VI-A). Here the clock
+// is pluggable:
+//  * SteadyClock — real time, 1 cycle == 1 ns (nominal 1 GHz machine); used
+//    by the profiling-overhead study.
+//  * ManualClock — virtual time advanced explicitly; the virtual CPU
+//    (vcpu/) and the synthetic Test1/Test2 workloads drive this, making
+//    every experiment deterministic.
+#pragma once
+
+#include <chrono>
+
+#include "util/types.hpp"
+
+namespace pprophet::trace {
+
+class CycleClock {
+ public:
+  virtual ~CycleClock() = default;
+  virtual Cycles now() const = 0;
+};
+
+/// Wall-clock cycles from std::chrono::steady_clock (ns granularity).
+class SteadyClock final : public CycleClock {
+ public:
+  Cycles now() const override {
+    return static_cast<Cycles>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Deterministic clock advanced by the workload / virtual CPU.
+class ManualClock final : public CycleClock {
+ public:
+  Cycles now() const override { return t_; }
+  void advance(Cycles c) { t_ += c; }
+  void reset(Cycles t = 0) { t_ = t; }
+
+ private:
+  Cycles t_ = 0;
+};
+
+}  // namespace pprophet::trace

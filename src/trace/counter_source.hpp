@@ -1,0 +1,52 @@
+// Hardware-performance-counter abstraction (the PAPI substitute).
+//
+// The interval profiler starts a counter window when a *top-level* parallel
+// section begins and stops it when the section ends (paper §IV-B), attaching
+// {N, T, D} to the Sec node for the memory model. Backends:
+//  * vcpu::VcpuCounterSource — reads the virtual CPU / cache simulator.
+//  * AnalyticCounterSource — per-section descriptors for workloads whose
+//    full-footprint simulation is infeasible (documented substitution).
+#pragma once
+
+#include "tree/node.hpp"
+
+namespace pprophet::trace {
+
+class CounterSource {
+ public:
+  virtual ~CounterSource() = default;
+
+  /// Opens a counting window. Windows do not nest (only top-level sections
+  /// are counted).
+  virtual void start() = 0;
+
+  /// Closes the window and returns counters accumulated since start().
+  virtual tree::SectionCounters stop() = 0;
+};
+
+/// Fixed-rate counter source: generates counters from a per-cycle
+/// instruction rate and an LLC miss-per-instruction ratio. Used for
+/// workloads with known analytic memory behaviour and in tests.
+class AnalyticCounterSource final : public CounterSource {
+ public:
+  /// `ipc`: instructions per cycle when counting; `mpi`: LLC misses per
+  /// instruction. The cycle count comes from the provided clock.
+  AnalyticCounterSource(const class CycleClock& clock, double ipc, double mpi);
+
+  void start() override;
+  tree::SectionCounters stop() override;
+
+  void set_rates(double ipc, double mpi) {
+    ipc_ = ipc;
+    mpi_ = mpi;
+  }
+
+ private:
+  const CycleClock& clock_;
+  double ipc_;
+  double mpi_;
+  Cycles window_start_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace pprophet::trace

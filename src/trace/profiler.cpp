@@ -1,0 +1,220 @@
+#include "trace/profiler.hpp"
+
+#include <cassert>
+
+#include "tree/compress.hpp"
+
+namespace pprophet::trace {
+
+AnalyticCounterSource::AnalyticCounterSource(const CycleClock& clock,
+                                             double ipc, double mpi)
+    : clock_(clock), ipc_(ipc), mpi_(mpi) {}
+
+void AnalyticCounterSource::start() {
+  window_start_ = clock_.now();
+  open_ = true;
+}
+
+tree::SectionCounters AnalyticCounterSource::stop() {
+  assert(open_);
+  open_ = false;
+  tree::SectionCounters c;
+  c.cycles = clock_.now() - window_start_;
+  c.instructions =
+      static_cast<std::uint64_t>(static_cast<double>(c.cycles) * ipc_);
+  c.llc_misses =
+      static_cast<std::uint64_t>(static_cast<double>(c.instructions) * mpi_);
+  return c;
+}
+
+IntervalProfiler::IntervalProfiler(const CycleClock& clock,
+                                   CounterSource* counters,
+                                   ProfilerOptions options)
+    : clock_(clock), counters_(counters), options_(options) {
+  root_ = std::make_unique<tree::Node>(tree::NodeKind::Root, "root");
+  const Cycles now = stamp();
+  stack_.push_back(Frame{root_.get(), now, 0, now, 0, 0});
+}
+
+IntervalProfiler::~IntervalProfiler() = default;
+
+IntervalProfiler::Frame& IntervalProfiler::top() {
+  assert(!stack_.empty());
+  return stack_.back();
+}
+
+void IntervalProfiler::fail(const std::string& what) const {
+  throw AnnotationError("annotation error: " + what);
+}
+
+void IntervalProfiler::flush_u(Frame& frame, Cycles now, Cycles overhead_now) {
+  const Cycles gross = now - frame.last_boundary;
+  const Cycles ovh = overhead_now - frame.overhead_at_boundary;
+  const Cycles net = gross > ovh ? gross - ovh : 0;
+  if (net == 0) return;
+  const tree::NodeKind k = frame.node->kind();
+  if (k == tree::NodeKind::Task || k == tree::NodeKind::Root) {
+    tree::Node* u =
+        frame.node->add_child(std::make_unique<tree::Node>(tree::NodeKind::U, "U"));
+    u->set_length(net);
+  } else {
+    // Time inside a section but between tasks: scheduling glue that the
+    // model deliberately does not attribute to any task.
+    unattributed_ += net;
+  }
+}
+
+void IntervalProfiler::advance_boundary(Frame& frame, Cycles now,
+                                        Cycles overhead_now) {
+  frame.last_boundary = now;
+  frame.overhead_at_boundary = overhead_now;
+}
+
+void IntervalProfiler::maybe_merge_last_child(tree::Node& parent) {
+  if (!options_.online_compression) return;
+  auto& kids = parent.mutable_children();
+  if (kids.size() < 2) return;
+  tree::Node& prev = *kids[kids.size() - 2];
+  if (tree::try_rle_merge(prev, *kids.back(), options_.online_tolerance)) {
+    kids.pop_back();
+  }
+}
+
+void IntervalProfiler::sec_begin(const char* name) {
+  const Cycles now = stamp();
+  const Cycles ovh = overhead_;
+  if (finished_) fail("sec_begin after finish");
+  Frame& f = top();
+  if (f.open_lock != 0) fail("sec_begin inside an open lock");
+  const tree::NodeKind k = f.node->kind();
+  if (k != tree::NodeKind::Root && k != tree::NodeKind::Task) {
+    fail("PAR_SEC_BEGIN must occur at top level or inside a task");
+  }
+  flush_u(f, now, ovh);
+  advance_boundary(f, now, ovh);
+  tree::Node* sec = f.node->add_child(
+      std::make_unique<tree::Node>(tree::NodeKind::Sec, name ? name : ""));
+  stack_.push_back(Frame{sec, now, ovh, now, ovh, 0});
+  if (section_depth_ == 0 && counters_ != nullptr) counters_->start();
+  ++section_depth_;
+  if (options_.subtract_overhead) overhead_ += stamp() - now;
+}
+
+void IntervalProfiler::sec_end(bool barrier) {
+  const Cycles now = stamp();
+  const Cycles ovh = overhead_;
+  if (finished_) fail("sec_end after finish");
+  Frame& f = top();
+  if (f.node->kind() != tree::NodeKind::Sec) {
+    fail(std::string("PAR_SEC_END does not match open ") +
+         tree::to_string(f.node->kind()));
+  }
+  flush_u(f, now, ovh);  // accumulates trailing glue into unattributed_
+  const Cycles gross = now - f.begin_stamp;
+  const Cycles excl = ovh - f.overhead_at_begin;
+  f.node->set_length(gross > excl ? gross - excl : 0);
+  f.node->set_barrier_at_end(barrier);
+  --section_depth_;
+  if (section_depth_ == 0 && counters_ != nullptr) {
+    f.node->set_counters(counters_->stop());
+  }
+  stack_.pop_back();
+  Frame& parent = top();
+  advance_boundary(parent, now, ovh);
+  if (options_.subtract_overhead) overhead_ += stamp() - now;
+}
+
+void IntervalProfiler::task_begin(const char* name) {
+  const Cycles now = stamp();
+  const Cycles ovh = overhead_;
+  if (finished_) fail("task_begin after finish");
+  Frame& f = top();
+  if (f.node->kind() != tree::NodeKind::Sec) {
+    fail("PAR_TASK_BEGIN outside a parallel section");
+  }
+  flush_u(f, now, ovh);  // glue between tasks -> unattributed_
+  advance_boundary(f, now, ovh);
+  tree::Node* task = f.node->add_child(
+      std::make_unique<tree::Node>(tree::NodeKind::Task, name ? name : ""));
+  stack_.push_back(Frame{task, now, ovh, now, ovh, 0});
+  if (options_.subtract_overhead) overhead_ += stamp() - now;
+}
+
+void IntervalProfiler::task_end() {
+  const Cycles now = stamp();
+  const Cycles ovh = overhead_;
+  if (finished_) fail("task_end after finish");
+  Frame& f = top();
+  if (f.node->kind() != tree::NodeKind::Task) {
+    fail(std::string("PAR_TASK_END does not match open ") +
+         tree::to_string(f.node->kind()));
+  }
+  if (f.open_lock != 0) fail("PAR_TASK_END with an open lock");
+  flush_u(f, now, ovh);
+  const Cycles gross = now - f.begin_stamp;
+  const Cycles excl = ovh - f.overhead_at_begin;
+  f.node->set_length(gross > excl ? gross - excl : 0);
+  stack_.pop_back();
+  Frame& parent = top();
+  advance_boundary(parent, now, ovh);
+  maybe_merge_last_child(*parent.node);
+  if (options_.subtract_overhead) overhead_ += stamp() - now;
+}
+
+void IntervalProfiler::lock_begin(LockId id) {
+  const Cycles now = stamp();
+  const Cycles ovh = overhead_;
+  if (finished_) fail("lock_begin after finish");
+  if (id == 0) fail("lock id 0 is reserved");
+  Frame& f = top();
+  if (f.node->kind() != tree::NodeKind::Task) {
+    fail("LOCK_BEGIN outside a parallel task");
+  }
+  if (f.open_lock != 0) fail("nested LOCK_BEGIN (locks may not nest)");
+  flush_u(f, now, ovh);
+  advance_boundary(f, now, ovh);
+  f.open_lock = id;
+  if (options_.subtract_overhead) overhead_ += stamp() - now;
+}
+
+void IntervalProfiler::lock_end(LockId id) {
+  const Cycles now = stamp();
+  const Cycles ovh = overhead_;
+  if (finished_) fail("lock_end after finish");
+  Frame& f = top();
+  if (f.node == nullptr || f.node->kind() != tree::NodeKind::Task ||
+      f.open_lock == 0) {
+    fail("LOCK_END without matching LOCK_BEGIN");
+  }
+  if (f.open_lock != id) fail("LOCK_END lock id does not match LOCK_BEGIN");
+  const Cycles gross = now - f.last_boundary;
+  const Cycles excl = ovh - f.overhead_at_boundary;
+  tree::Node* l =
+      f.node->add_child(std::make_unique<tree::Node>(tree::NodeKind::L, "L"));
+  l->set_length(gross > excl ? gross - excl : 0);
+  l->set_lock_id(id);
+  f.open_lock = 0;
+  advance_boundary(f, now, ovh);
+  if (options_.subtract_overhead) overhead_ += stamp() - now;
+}
+
+tree::ProgramTree IntervalProfiler::finish() {
+  const Cycles now = stamp();
+  const Cycles ovh = overhead_;
+  if (finished_) fail("finish called twice");
+  if (stack_.size() != 1) {
+    fail("finish with unclosed annotations (open " +
+         std::string(tree::to_string(top().node->kind())) + ")");
+  }
+  Frame& f = top();
+  flush_u(f, now, ovh);
+  const Cycles gross = now - f.begin_stamp;
+  const Cycles excl = ovh - f.overhead_at_begin;
+  f.node->set_length(gross > excl ? gross - excl : 0);
+  finished_ = true;
+  tree::ProgramTree t;
+  t.root = std::move(root_);
+  return t;
+}
+
+}  // namespace pprophet::trace

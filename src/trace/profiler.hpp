@@ -1,0 +1,106 @@
+// Interval profiler (paper §IV-B, §VI-A).
+//
+// Consumes the annotation event stream of a running serial program and
+// builds a program tree:
+//  * each *_BEGIN pushes a frame with the current cycle stamp;
+//  * each *_END checks the kind against the top of the stack (mismatch is an
+//    annotation error), computes the elapsed cycles *minus the profiler's
+//    own accumulated overhead* in that window, and closes the node;
+//  * time inside a Task not covered by locks or nested sections becomes
+//    implicit U leaves; time at the top level outside sections becomes
+//    top-level U nodes;
+//  * when a top-level section begins/ends, a CounterSource window is
+//    opened/closed and the result attached to the Sec node;
+//  * optional online RLE keeps the tree small while profiling (§VI-B).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/clock.hpp"
+#include "trace/counter_source.hpp"
+#include "tree/node.hpp"
+
+namespace pprophet::trace {
+
+/// Thrown on annotation misuse (mismatched BEGIN/END kinds, wrong lock id,
+/// END without BEGIN) — the "error is reported" path of §IV-B.
+class AnnotationError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+struct ProfilerOptions {
+  /// Merge a just-closed task into its previous sibling when structurally
+  /// identical (lengths within `online_tolerance`), bounding profiler
+  /// memory the way the paper's compression does.
+  bool online_compression = false;
+  double online_tolerance = 0.05;
+  /// Measure and subtract the profiler's own callback cost from node
+  /// lengths. Always correct to leave on; only the overhead study turns it
+  /// off to quantify the effect.
+  bool subtract_overhead = true;
+};
+
+class IntervalProfiler {
+ public:
+  /// `counters` may be null (no memory profiling).
+  IntervalProfiler(const CycleClock& clock, CounterSource* counters = nullptr,
+                   ProfilerOptions options = {});
+  ~IntervalProfiler();
+
+  IntervalProfiler(const IntervalProfiler&) = delete;
+  IntervalProfiler& operator=(const IntervalProfiler&) = delete;
+
+  // --- annotation event entry points (called by the annotate/ macros) ---
+  void sec_begin(const char* name);
+  void sec_end(bool barrier);
+  void task_begin(const char* name);
+  void task_end();
+  void lock_begin(LockId id);
+  void lock_end(LockId id);
+
+  /// Finalizes profiling and returns the tree. All annotations must be
+  /// closed. The profiler cannot be reused afterwards.
+  tree::ProgramTree finish();
+
+  /// Cycles of profiler-internal work excluded from node lengths so far.
+  Cycles excluded_overhead() const { return overhead_; }
+
+  /// Serial cycles observed inside sections but between tasks (scheduling
+  /// glue the model deliberately ignores); useful as a diagnostic.
+  Cycles unattributed_cycles() const { return unattributed_; }
+
+ private:
+  struct Frame {
+    tree::Node* node = nullptr;
+    Cycles begin_stamp = 0;
+    Cycles overhead_at_begin = 0;
+    /// Stamp of the last boundary inside this frame, for implicit U leaves.
+    Cycles last_boundary = 0;
+    Cycles overhead_at_boundary = 0;
+    LockId open_lock = 0;
+  };
+
+  Cycles stamp() const { return clock_.now(); }
+  Frame& top();
+  /// Emits an implicit U leaf covering [frame.last_boundary, now) if > 0.
+  void flush_u(Frame& frame, Cycles now, Cycles overhead_now);
+  void advance_boundary(Frame& frame, Cycles now, Cycles overhead_now);
+  [[noreturn]] void fail(const std::string& what) const;
+  void maybe_merge_last_child(tree::Node& parent);
+
+  const CycleClock& clock_;
+  CounterSource* counters_;
+  ProfilerOptions options_;
+  tree::NodePtr root_;
+  std::vector<Frame> stack_;  // stack_[0] is the root frame
+  Cycles overhead_ = 0;
+  Cycles unattributed_ = 0;
+  int section_depth_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace pprophet::trace

@@ -1,0 +1,138 @@
+#include "tree/binary.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pprophet::tree {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'P', 'T', 'B'};
+constexpr std::uint8_t kVersion = 1;
+
+void put_u8(std::ostream& os, std::uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+
+/// LEB128 unsigned varint.
+void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(os, static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(os, static_cast<std::uint8_t>(v));
+}
+
+std::uint8_t get_u8(std::istream& is) {
+  const int c = is.get();
+  if (c == EOF) throw std::runtime_error("pptb: truncated stream");
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint64_t get_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t byte = get_u8(is);
+    if (shift >= 63 && (byte & 0x7F) > 1) {
+      throw std::runtime_error("pptb: varint overflow");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+void write_packed_binary(std::ostream& os, const PackedTree& packed) {
+  os.write(kMagic, sizeof kMagic);
+  put_u8(os, kVersion);
+  put_varint(os, packed.dictionary.size());
+  for (const PackedTree::Pattern& p : packed.dictionary) {
+    put_u8(os, static_cast<std::uint8_t>(p.kind));
+    put_u8(os, p.barrier ? 1 : 0);
+    put_varint(os, p.length);
+    put_varint(os, p.lock_id);
+    put_varint(os, p.children.size());
+    for (const PackedTree::Ref& r : p.children) {
+      put_varint(os, r.pattern);
+      put_varint(os, r.repeat);
+    }
+  }
+  put_varint(os, packed.top.size());
+  for (const PackedTree::Ref& r : packed.top) {
+    put_varint(os, r.pattern);
+    put_varint(os, r.repeat);
+  }
+  if (!os) throw std::runtime_error("pptb: write failure");
+}
+
+PackedTree read_packed_binary(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("pptb: bad magic");
+  }
+  const std::uint8_t version = get_u8(is);
+  if (version != kVersion) {
+    throw std::runtime_error("pptb: unsupported version " +
+                             std::to_string(version));
+  }
+  PackedTree packed;
+  const std::uint64_t dict_size = get_varint(is);
+  packed.dictionary.reserve(dict_size);
+  for (std::uint64_t i = 0; i < dict_size; ++i) {
+    PackedTree::Pattern p;
+    const std::uint8_t kind = get_u8(is);
+    if (kind > static_cast<std::uint8_t>(NodeKind::L)) {
+      throw std::runtime_error("pptb: bad node kind");
+    }
+    p.kind = static_cast<NodeKind>(kind);
+    p.barrier = get_u8(is) != 0;
+    p.length = get_varint(is);
+    p.lock_id = static_cast<LockId>(get_varint(is));
+    const std::uint64_t kids = get_varint(is);
+    p.children.reserve(kids);
+    for (std::uint64_t k = 0; k < kids; ++k) {
+      PackedTree::Ref r;
+      r.pattern = static_cast<std::uint32_t>(get_varint(is));
+      r.repeat = get_varint(is);
+      // Patterns may only reference earlier entries (the packer interns
+      // children before parents), which also rules out cycles.
+      if (r.pattern >= i) {
+        throw std::runtime_error("pptb: forward pattern reference");
+      }
+      if (r.repeat == 0) throw std::runtime_error("pptb: zero repeat");
+      p.children.push_back(r);
+    }
+    packed.dictionary.push_back(std::move(p));
+  }
+  const std::uint64_t top_size = get_varint(is);
+  packed.top.reserve(top_size);
+  for (std::uint64_t i = 0; i < top_size; ++i) {
+    PackedTree::Ref r;
+    r.pattern = static_cast<std::uint32_t>(get_varint(is));
+    r.repeat = get_varint(is);
+    if (r.pattern >= packed.dictionary.size()) {
+      throw std::runtime_error("pptb: dangling top-level reference");
+    }
+    if (r.repeat == 0) throw std::runtime_error("pptb: zero repeat");
+    packed.top.push_back(r);
+  }
+  return packed;
+}
+
+std::string to_binary(const PackedTree& packed) {
+  std::ostringstream os(std::ios::binary);
+  write_packed_binary(os, packed);
+  return os.str();
+}
+
+PackedTree from_binary(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return read_packed_binary(is);
+}
+
+}  // namespace pprophet::tree

@@ -1,0 +1,28 @@
+// Binary storage of dictionary-packed program trees.
+//
+// The paper's trees reach GBs before compression (§VI-B); the on-disk story
+// matters for "profile once, predict many times" workflows. Format "PPTB"
+// v1: little-endian fixed-width header + LEB128 varints for counts, lengths
+// and references — repetitive trees shrink far below the text format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tree/compress.hpp"
+
+namespace pprophet::tree {
+
+/// Serializes a PackedTree. Throws std::runtime_error on stream failure.
+void write_packed_binary(std::ostream& os, const PackedTree& packed);
+
+/// Parses a stream produced by write_packed_binary. Throws
+/// std::runtime_error on bad magic, version, truncation or dangling
+/// references.
+PackedTree read_packed_binary(std::istream& is);
+
+/// Convenience round-trips through std::string buffers.
+std::string to_binary(const PackedTree& packed);
+PackedTree from_binary(const std::string& bytes);
+
+}  // namespace pprophet::tree

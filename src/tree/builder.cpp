@@ -1,0 +1,102 @@
+#include "tree/builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pprophet::tree {
+
+TreeBuilder::TreeBuilder() {
+  root_ = std::make_unique<Node>(NodeKind::Root, "root");
+  stack_.push_back(root_.get());
+}
+
+Node* TreeBuilder::push(NodeKind kind, std::string name) {
+  Node* n = stack_.back()->add_child(
+      std::make_unique<Node>(kind, std::move(name)));
+  stack_.push_back(n);
+  return n;
+}
+
+void TreeBuilder::pop(NodeKind expected) {
+  if (stack_.size() <= 1) {
+    throw std::logic_error("TreeBuilder: end without matching begin");
+  }
+  if (stack_.back()->kind() != expected) {
+    throw std::logic_error(
+        std::string("TreeBuilder: mismatched end; open node is ") +
+        to_string(stack_.back()->kind()) + ", expected " + to_string(expected));
+  }
+  stack_.pop_back();
+}
+
+TreeBuilder& TreeBuilder::begin_sec(std::string name) {
+  push(NodeKind::Sec, std::move(name));
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::end_sec(bool barrier) {
+  stack_.back()->set_barrier_at_end(barrier);
+  pop(NodeKind::Sec);
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::begin_task(std::string name) {
+  push(NodeKind::Task, std::move(name));
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::end_task() {
+  pop(NodeKind::Task);
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::u(Cycles length) {
+  Node* n = stack_.back()->add_child(std::make_unique<Node>(NodeKind::U, "U"));
+  n->set_length(length);
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::l(LockId lock, Cycles length) {
+  Node* n = stack_.back()->add_child(std::make_unique<Node>(NodeKind::L, "L"));
+  n->set_length(length);
+  n->set_lock_id(lock);
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::counters(SectionCounters c) {
+  stack_.back()->set_counters(c);
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::repeat_last(std::uint64_t n) {
+  Node* cur = stack_.back();
+  if (cur->children().empty()) {
+    throw std::logic_error("TreeBuilder: repeat_last with no children");
+  }
+  cur->last_child()->set_repeat(n);
+  return *this;
+}
+
+ProgramTree TreeBuilder::finish() {
+  if (stack_.size() != 1) {
+    throw std::logic_error("TreeBuilder: finish with unclosed nodes");
+  }
+  fill_aggregate_lengths(*root_);
+  ProgramTree t;
+  t.root = std::move(root_);
+  return t;
+}
+
+void fill_aggregate_lengths(Node& node) {
+  for (const auto& c : node.children()) {
+    fill_aggregate_lengths(*c);
+  }
+  if (node.kind() != NodeKind::U && node.kind() != NodeKind::L &&
+      node.length() == 0) {
+    Cycles sum = 0;
+    for (const auto& c : node.children()) sum += c->length() * c->repeat();
+    node.set_length(sum);
+  }
+}
+
+}  // namespace pprophet::tree

@@ -1,0 +1,60 @@
+// Fluent programmatic construction of program trees.
+//
+// Used by unit tests and the emulator benchmarks to build trees like the
+// paper's Figure 4 directly, and by the interval profiler (trace/) as its
+// output assembler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tree/node.hpp"
+
+namespace pprophet::tree {
+
+/// Builds a ProgramTree top-down. begin_* / end_* calls must nest exactly as
+/// the annotations would at runtime; finish() checks the stack is empty.
+class TreeBuilder {
+ public:
+  TreeBuilder();
+
+  TreeBuilder& begin_sec(std::string name);
+  /// barrier == false models OpenMP `nowait` (PAR_SEC_END(false)).
+  TreeBuilder& end_sec(bool barrier = true);
+
+  TreeBuilder& begin_task(std::string name);
+  TreeBuilder& end_task();
+
+  /// Leaf computation without a lock.
+  TreeBuilder& u(Cycles length);
+  /// Leaf computation holding `lock`.
+  TreeBuilder& l(LockId lock, Cycles length);
+
+  /// Attach counters to the node currently being built (top-level Sec).
+  TreeBuilder& counters(SectionCounters c);
+
+  /// Mark the last added child as repeated `n` times (compression shortcut
+  /// for tests that build already-compressed trees).
+  TreeBuilder& repeat_last(std::uint64_t n);
+
+  /// The node currently open (for advanced tweaks); never null.
+  Node* current() { return stack_.back(); }
+
+  /// Finalizes and returns the tree. Aggregate lengths of Sec/Task/Root
+  /// nodes are computed as the sum of their children (counting repeats)
+  /// unless they were set explicitly.
+  ProgramTree finish();
+
+ private:
+  Node* push(NodeKind kind, std::string name);
+  void pop(NodeKind expected);
+
+  NodePtr root_;
+  std::vector<Node*> stack_;
+};
+
+/// Recomputes aggregate lengths bottom-up: any Sec/Task/Root node with
+/// length 0 gets the sum of its children's lengths × repeats.
+void fill_aggregate_lengths(Node& node);
+
+}  // namespace pprophet::tree

@@ -1,0 +1,84 @@
+#include "tree/node.hpp"
+
+#include <cassert>
+
+namespace pprophet::tree {
+
+const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::Root: return "Root";
+    case NodeKind::Sec: return "Sec";
+    case NodeKind::Task: return "Task";
+    case NodeKind::U: return "U";
+    case NodeKind::L: return "L";
+  }
+  return "?";
+}
+
+double SectionCounters::traffic_mbps() const {
+  if (cycles == 0) return 0.0;
+  const double bytes = static_cast<double>(llc_misses + llc_writebacks) *
+                       static_cast<double>(kCacheLineBytes);
+  const double seconds = static_cast<double>(cycles) / kClockHz;
+  return bytes / seconds / 1.0e6;
+}
+
+double Node::burden(CoreCount threads) const {
+  for (const auto& [t, beta] : burdens_) {
+    if (t == threads) return beta;
+  }
+  return 1.0;
+}
+
+void Node::set_burden(CoreCount threads, double beta) {
+  for (auto& [t, b] : burdens_) {
+    if (t == threads) {
+      b = beta;
+      return;
+    }
+  }
+  burdens_.emplace_back(threads, beta);
+}
+
+Node* Node::add_child(NodePtr child) {
+  assert(child != nullptr);
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+std::uint64_t Node::logical_child_count() const {
+  std::uint64_t n = 0;
+  for (const auto& c : children_) n += c->repeat();
+  return n;
+}
+
+std::size_t Node::subtree_size() const {
+  std::size_t n = 1;
+  for (const auto& c : children_) n += c->subtree_size();
+  return n;
+}
+
+Cycles Node::serial_work() const {
+  Cycles total = 0;
+  if (kind_ == NodeKind::U || kind_ == NodeKind::L) {
+    total = length_;
+  } else {
+    for (const auto& c : children_) total += c->serial_work();
+  }
+  return total * repeat_;
+}
+
+NodePtr Node::clone() const {
+  auto copy = std::make_unique<Node>(kind_, name_);
+  copy->length_ = length_;
+  copy->lock_id_ = lock_id_;
+  copy->repeat_ = repeat_;
+  copy->barrier_at_end_ = barrier_at_end_;
+  if (counters_) copy->counters_ = std::make_unique<SectionCounters>(*counters_);
+  copy->burdens_ = burdens_;
+  copy->children_.reserve(children_.size());
+  for (const auto& c : children_) copy->children_.push_back(c->clone());
+  return copy;
+}
+
+}  // namespace pprophet::tree

@@ -1,0 +1,136 @@
+// Program-tree node types (paper Figure 4).
+//
+// The interval profiler records the dynamic execution of an annotated serial
+// program as a tree:
+//   Root — list of top-level parallel sections and serial U nodes
+//   Sec  — a parallel section (an annotated loop / task container); its
+//          children are the Tasks that would run concurrently
+//   Task — one would-be-parallel unit (a loop iteration); its children are an
+//          ordered sequence of U, L and nested Sec nodes
+//   U    — computation outside any lock (leaf, has a length in cycles)
+//   L    — computation inside a lock (leaf, has a length and a lock id)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pprophet::tree {
+
+enum class NodeKind : std::uint8_t { Root, Sec, Task, U, L };
+
+const char* to_string(NodeKind k);
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// Memory-profiling summary attached to top-level Sec nodes (paper §IV-B:
+/// "hardware performance counters ... are collected for each top-level
+/// parallel section").
+struct SectionCounters {
+  std::uint64_t instructions = 0;   ///< N in Eq. (1)
+  Cycles cycles = 0;                ///< T in Eq. (1)
+  std::uint64_t llc_misses = 0;     ///< D in Eq. (1)
+  std::uint64_t llc_writebacks = 0; ///< dirty evictions (write traffic)
+
+  /// LLC misses per instruction (MPI in Eq. 3). 0 when no instructions.
+  double mpi() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(llc_misses) / static_cast<double>(instructions);
+  }
+
+  /// Observed DRAM traffic δ in MB/s: (misses + writebacks) × line size
+  /// over elapsed time — both directions of the bus.
+  double traffic_mbps() const;
+};
+
+/// One node of the program tree. Ownership is strictly parent→children.
+class Node {
+ public:
+  Node(NodeKind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+
+  NodeKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  /// Leaf (U/L) computation length in cycles; for Sec/Task/Root this is the
+  /// total elapsed cycles of the subtree as measured by the profiler.
+  Cycles length() const { return length_; }
+  void set_length(Cycles c) { length_ = c; }
+
+  /// Lock id — meaningful only for L nodes.
+  LockId lock_id() const { return lock_id_; }
+  void set_lock_id(LockId id) { lock_id_ = id; }
+
+  /// Repeat count from tree compression: a child entry standing for `n`
+  /// structurally identical consecutive siblings. 1 == uncompressed.
+  std::uint64_t repeat() const { return repeat_; }
+  void set_repeat(std::uint64_t n) { repeat_ = n; }
+
+  /// Sec only: whether the section ends with an implicit barrier
+  /// (PAR_SEC_END(true)); false models OpenMP `nowait`.
+  bool barrier_at_end() const { return barrier_at_end_; }
+  void set_barrier_at_end(bool b) { barrier_at_end_ = b; }
+
+  /// Top-level-section counters; null for non-top-level or unprofiled nodes.
+  const SectionCounters* counters() const { return counters_.get(); }
+  void set_counters(SectionCounters c) {
+    counters_ = std::make_unique<SectionCounters>(c);
+  }
+
+  /// Burden factors βt indexed by thread count, produced by the memory model
+  /// for top-level sections (paper Figure 4 margin). burden(t) == 1.0 when
+  /// unset.
+  double burden(CoreCount threads) const;
+  void set_burden(CoreCount threads, double beta);
+
+  const std::vector<NodePtr>& children() const { return children_; }
+  /// Mutable access for tree-rewriting passes (compression).
+  std::vector<NodePtr>& mutable_children() { return children_; }
+  Node* last_child() { return children_.empty() ? nullptr : children_.back().get(); }
+  Node* add_child(NodePtr child);
+  Node* child(std::size_t i) { return children_.at(i).get(); }
+  const Node* child(std::size_t i) const { return children_.at(i).get(); }
+
+  /// Number of logical children counting repeats (i.e. trip count for a Sec).
+  std::uint64_t logical_child_count() const;
+
+  /// Total nodes in this subtree (physical, not counting repeats).
+  std::size_t subtree_size() const;
+
+  /// Sum of leaf (U/L) lengths in this subtree, counting repeats — the
+  /// serial work the subtree represents.
+  Cycles serial_work() const;
+
+  /// Deep copy.
+  NodePtr clone() const;
+
+ private:
+  NodeKind kind_;
+  std::string name_;
+  Cycles length_ = 0;
+  LockId lock_id_ = 0;
+  std::uint64_t repeat_ = 1;
+  bool barrier_at_end_ = true;
+  std::unique_ptr<SectionCounters> counters_;
+  std::vector<std::pair<CoreCount, double>> burdens_;
+  std::vector<NodePtr> children_;
+};
+
+/// A complete program tree: a Root node plus bookkeeping.
+struct ProgramTree {
+  NodePtr root;
+
+  /// Top-level children of the root in execution order. Sec children are
+  /// the parallel sections of the §IV-E speedup formula; U children are the
+  /// serial glue between them.
+  const std::vector<NodePtr>& top_level() const { return root->children(); }
+
+  std::size_t node_count() const { return root ? root->subtree_size() : 0; }
+  Cycles total_serial_cycles() const { return root ? root->serial_work() : 0; }
+};
+
+}  // namespace pprophet::tree

@@ -1,0 +1,149 @@
+#include "tree/serialize.hpp"
+
+#include <charconv>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pprophet::tree {
+namespace {
+
+void write_node(std::ostream& os, const Node& n, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << to_string(n.kind());
+  if (n.kind() == NodeKind::Sec || n.kind() == NodeKind::Task ||
+      n.kind() == NodeKind::Root) {
+    os << ' ' << (n.name().empty() ? "_" : n.name());
+  }
+  os << " len=" << n.length();
+  if (n.repeat() != 1) os << " rep=" << n.repeat();
+  if (n.kind() == NodeKind::L) os << " lock=" << n.lock_id();
+  if (n.kind() == NodeKind::Sec && !n.barrier_at_end()) os << " nowait=1";
+  if (const SectionCounters* c = n.counters()) {
+    os << " N=" << c->instructions << " T=" << c->cycles
+       << " D=" << c->llc_misses;
+    if (c->llc_writebacks != 0) os << " W=" << c->llc_writebacks;
+  }
+  os << '\n';
+  for (const auto& c : n.children()) write_node(os, *c, depth + 1);
+}
+
+NodeKind parse_kind(const std::string& s) {
+  if (s == "Root") return NodeKind::Root;
+  if (s == "Sec") return NodeKind::Sec;
+  if (s == "Task") return NodeKind::Task;
+  if (s == "U") return NodeKind::U;
+  if (s == "L") return NodeKind::L;
+  throw std::runtime_error("tree parse: unknown node kind '" + s + "'");
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) {
+    throw std::runtime_error("tree parse: bad integer '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_tree(std::ostream& os, const ProgramTree& tree) {
+  if (tree.root) write_node(os, *tree.root, 0);
+}
+
+std::string to_text(const ProgramTree& tree) {
+  std::ostringstream os;
+  write_tree(os, tree);
+  return os.str();
+}
+
+ProgramTree from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::vector<Node*> stack;  // stack[d] == open node at depth d
+  ProgramTree tree;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::size_t indent = 0;
+    while (indent < line.size() && line[indent] == ' ') ++indent;
+    if (indent % 2 != 0) {
+      throw std::runtime_error("tree parse: odd indentation at line " +
+                               std::to_string(line_no));
+    }
+    const std::size_t depth = indent / 2;
+    std::istringstream fields(line.substr(indent));
+    std::string kind_str;
+    fields >> kind_str;
+    const NodeKind kind = parse_kind(kind_str);
+
+    auto node = std::make_unique<Node>(kind, "");
+    std::string tok;
+    bool named = false;
+    SectionCounters counters;
+    bool has_counters = false;
+    while (fields >> tok) {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos) {
+        if (named) {
+          throw std::runtime_error("tree parse: unexpected token '" + tok +
+                                   "' at line " + std::to_string(line_no));
+        }
+        node = std::make_unique<Node>(kind, tok == "_" ? "" : tok);
+        named = true;
+        continue;
+      }
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "len") {
+        node->set_length(parse_u64(val));
+      } else if (key == "rep") {
+        node->set_repeat(parse_u64(val));
+      } else if (key == "lock") {
+        node->set_lock_id(static_cast<LockId>(parse_u64(val)));
+      } else if (key == "nowait") {
+        node->set_barrier_at_end(parse_u64(val) == 0);
+      } else if (key == "N") {
+        counters.instructions = parse_u64(val);
+        has_counters = true;
+      } else if (key == "T") {
+        counters.cycles = parse_u64(val);
+        has_counters = true;
+      } else if (key == "D") {
+        counters.llc_misses = parse_u64(val);
+        has_counters = true;
+      } else if (key == "W") {
+        counters.llc_writebacks = parse_u64(val);
+        has_counters = true;
+      } else {
+        throw std::runtime_error("tree parse: unknown field '" + key +
+                                 "' at line " + std::to_string(line_no));
+      }
+    }
+    if (has_counters) node->set_counters(counters);
+
+    if (depth == 0) {
+      if (tree.root) {
+        throw std::runtime_error("tree parse: multiple roots");
+      }
+      tree.root = std::move(node);
+      stack.assign(1, tree.root.get());
+    } else {
+      if (depth > stack.size()) {
+        throw std::runtime_error("tree parse: indentation jump at line " +
+                                 std::to_string(line_no));
+      }
+      stack.resize(depth);
+      Node* added = stack.back()->add_child(std::move(node));
+      stack.push_back(added);
+    }
+  }
+  if (!tree.root) throw std::runtime_error("tree parse: empty input");
+  return tree;
+}
+
+}  // namespace pprophet::tree

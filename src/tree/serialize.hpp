@@ -1,0 +1,26 @@
+// Text (de)serialization of program trees.
+//
+// Format: one node per line, two-space indentation expressing nesting:
+//   Sec loop1 len=300 rep=1 barrier=1 [N=... T=... D=...]
+//   Task t1 len=50 rep=4
+//   U len=25
+//   L len=20 lock=1
+// Round-trips everything the emulators consume. Used for golden-file tests
+// and for dumping profiled trees for offline inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tree/node.hpp"
+
+namespace pprophet::tree {
+
+void write_tree(std::ostream& os, const ProgramTree& tree);
+std::string to_text(const ProgramTree& tree);
+
+/// Parses the write_tree format. Throws std::runtime_error on malformed
+/// input (bad indentation, unknown kind, missing fields).
+ProgramTree from_text(const std::string& text);
+
+}  // namespace pprophet::tree

@@ -1,0 +1,37 @@
+#include "tree/tree_stats.hpp"
+
+#include <algorithm>
+
+namespace pprophet::tree {
+namespace {
+
+void walk(const Node& n, std::size_t depth, std::uint64_t repeat_scale,
+          TreeStats& s) {
+  s.physical_nodes += 1;
+  const std::uint64_t logical_scale = repeat_scale * n.repeat();
+  s.logical_nodes += logical_scale;
+  s.max_depth = std::max(s.max_depth, depth);
+  s.count_by_kind[static_cast<std::size_t>(n.kind())] += 1;
+  s.approx_bytes += sizeof(Node) + n.name().capacity() +
+                    n.children().capacity() * sizeof(NodePtr) +
+                    (n.counters() != nullptr ? sizeof(SectionCounters) : 0);
+  for (const auto& c : n.children()) {
+    walk(*c, depth + 1, logical_scale, s);
+  }
+}
+
+}  // namespace
+
+TreeStats compute_stats(const Node& root) {
+  TreeStats s;
+  walk(root, 0, 1, s);
+  s.serial_work = root.serial_work();
+  return s;
+}
+
+TreeStats compute_stats(const ProgramTree& tree) {
+  if (!tree.root) return {};
+  return compute_stats(*tree.root);
+}
+
+}  // namespace pprophet::tree

@@ -1,0 +1,32 @@
+// Size/shape statistics for program trees: node counts per kind, depth,
+// serial work, and the in-memory footprint estimate used by the compression
+// experiments (paper §VI-B).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "tree/node.hpp"
+
+namespace pprophet::tree {
+
+struct TreeStats {
+  std::size_t physical_nodes = 0;   ///< nodes actually allocated
+  std::uint64_t logical_nodes = 0;  ///< nodes counting repeat expansion
+  std::size_t max_depth = 0;
+  std::array<std::size_t, 5> count_by_kind{};  // indexed by NodeKind
+  Cycles serial_work = 0;
+  std::size_t approx_bytes = 0;  ///< estimated heap footprint of the tree
+
+  double compression_ratio() const {
+    return physical_nodes == 0
+               ? 1.0
+               : static_cast<double>(logical_nodes) /
+                     static_cast<double>(physical_nodes);
+  }
+};
+
+TreeStats compute_stats(const ProgramTree& tree);
+TreeStats compute_stats(const Node& root);
+
+}  // namespace pprophet::tree

@@ -1,0 +1,64 @@
+#include "tree/validate.hpp"
+
+namespace pprophet::tree {
+namespace {
+
+bool child_allowed(NodeKind parent, NodeKind child) {
+  switch (parent) {
+    case NodeKind::Root:
+      return child == NodeKind::Sec || child == NodeKind::U;
+    case NodeKind::Sec:
+      return child == NodeKind::Task;
+    case NodeKind::Task:
+      return child == NodeKind::U || child == NodeKind::L ||
+             child == NodeKind::Sec;
+    case NodeKind::U:
+    case NodeKind::L:
+      return false;
+  }
+  return false;
+}
+
+void walk(const Node& node, const std::string& path,
+          std::vector<ValidationIssue>& issues) {
+  if (node.repeat() == 0) {
+    issues.push_back({path, "repeat count is zero"});
+  }
+  const bool is_leaf_kind =
+      node.kind() == NodeKind::U || node.kind() == NodeKind::L;
+  if (is_leaf_kind && !node.children().empty()) {
+    issues.push_back({path, std::string(to_string(node.kind())) +
+                                " node must be a leaf"});
+  }
+  if (node.kind() == NodeKind::Sec && node.children().empty()) {
+    issues.push_back({path, "Sec node has no tasks"});
+  }
+  for (const auto& c : node.children()) {
+    const std::string cpath = path + "/" + c->name();
+    if (!child_allowed(node.kind(), c->kind())) {
+      issues.push_back({cpath, std::string(to_string(c->kind())) +
+                                   " not allowed under " +
+                                   to_string(node.kind())});
+    }
+    walk(*c, cpath, issues);
+  }
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validate(const ProgramTree& tree) {
+  std::vector<ValidationIssue> issues;
+  if (!tree.root) {
+    issues.push_back({"", "tree has no root"});
+    return issues;
+  }
+  if (tree.root->kind() != NodeKind::Root) {
+    issues.push_back({tree.root->name(), "top node is not Root"});
+  }
+  walk(*tree.root, tree.root->name(), issues);
+  return issues;
+}
+
+bool is_valid(const ProgramTree& tree) { return validate(tree).empty(); }
+
+}  // namespace pprophet::tree

@@ -1,0 +1,26 @@
+// Structural validation of program trees. The interval profiler reports an
+// error when annotation kinds mismatch (paper §IV-B); this module enforces
+// the same nesting rules on trees however they were built:
+//   Root children ∈ {Sec, U};  Sec children ∈ {Task};
+//   Task children ∈ {U, L, Sec};  U/L are leaves;  repeat >= 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tree/node.hpp"
+
+namespace pprophet::tree {
+
+struct ValidationIssue {
+  std::string path;     ///< slash-separated node names from the root
+  std::string message;
+};
+
+/// Returns all rule violations found (empty == valid).
+std::vector<ValidationIssue> validate(const ProgramTree& tree);
+
+/// Convenience: true when validate() is empty.
+bool is_valid(const ProgramTree& tree);
+
+}  // namespace pprophet::tree

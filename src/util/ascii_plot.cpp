@@ -1,0 +1,156 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pprophet::util {
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+  void widen(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double clampedNorm(double v) const {
+    if (hi == lo) return 0.0;
+    return std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  }
+};
+
+std::string axis_label(double v) {
+  char buf[32];
+  if (std::abs(v - std::round(v)) < 1e-9 && std::abs(v) < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ScatterPlot::ScatterPlot(std::string title, int width, int height)
+    : title_(std::move(title)), width_(width), height_(height) {}
+
+void ScatterPlot::add_series(std::string name, char marker,
+                             std::span<const double> xs,
+                             std::span<const double> ys) {
+  Series s;
+  s.name = std::move(name);
+  s.marker = marker;
+  s.xs.assign(xs.begin(), xs.end());
+  s.ys.assign(ys.begin(), ys.end());
+  series_.push_back(std::move(s));
+}
+
+void ScatterPlot::print(std::ostream& os) const {
+  Range rx{1.0, 1.0}, ry{1.0, 1.0};
+  for (const auto& s : series_) {
+    for (double x : s.xs) rx.widen(x);
+    for (double y : s.ys) ry.widen(y);
+  }
+  // Keep the plot square in value space so the diagonal means pred == real.
+  const double hi = std::max(rx.hi, ry.hi) * 1.05;
+  rx = Range{0.0, hi};
+  ry = Range{0.0, hi};
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  const auto plot = [&](double x, double y, char m) {
+    const int cx = static_cast<int>(std::lround(rx.clampedNorm(x) * (width_ - 1)));
+    const int cy = static_cast<int>(std::lround(ry.clampedNorm(y) * (height_ - 1)));
+    grid[static_cast<std::size_t>(height_ - 1 - cy)][static_cast<std::size_t>(cx)] = m;
+  };
+  if (diagonal_) {
+    for (int i = 0; i < std::max(width_, height_) * 2; ++i) {
+      const double t = hi * i / (std::max(width_, height_) * 2.0);
+      plot(t, t, '.');
+    }
+  }
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) plot(s.xs[i], s.ys[i], s.marker);
+  }
+
+  os << title_ << "\n";
+  for (int r = 0; r < height_; ++r) {
+    if (r == 0) {
+      os << axis_label(hi);
+      os << std::string(std::max<std::size_t>(1, 8 - axis_label(hi).size()), ' ');
+    } else {
+      os << std::string(8, ' ');
+    }
+    os << '|' << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(8, ' ') << '+' << std::string(static_cast<std::size_t>(width_), '-') << "\n";
+  os << std::string(9, ' ') << "0" << std::string(static_cast<std::size_t>(width_) - 2, ' ')
+     << axis_label(hi) << "\n";
+  os << "  legend:";
+  for (const auto& s : series_) os << "  '" << s.marker << "' = " << s.name;
+  if (diagonal_) os << "  '.' = pred==real";
+  os << "\n";
+}
+
+SeriesChart::SeriesChart(std::string title, std::vector<double> xticks,
+                         int width, int height)
+    : title_(std::move(title)),
+      xticks_(std::move(xticks)),
+      width_(width),
+      height_(height) {}
+
+void SeriesChart::add_series(std::string name, char marker,
+                             std::vector<double> ys) {
+  series_.push_back(Series{std::move(name), marker, std::move(ys)});
+}
+
+void SeriesChart::print(std::ostream& os) const {
+  double ymax = 1.0;
+  for (const auto& s : series_) {
+    for (double y : s.ys) ymax = std::max(ymax, y);
+  }
+  ymax *= 1.05;
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  const std::size_t n = xticks_.size();
+  const auto col = [&](std::size_t i) {
+    return n <= 1 ? 0
+                  : static_cast<int>(std::lround(
+                        static_cast<double>(i) / (n - 1) * (width_ - 1)));
+  };
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.ys.size() && i < n; ++i) {
+      const int cy = static_cast<int>(std::lround(s.ys[i] / ymax * (height_ - 1)));
+      grid[static_cast<std::size_t>(height_ - 1 - cy)][static_cast<std::size_t>(col(i))] =
+          s.marker;
+    }
+  }
+  os << title_ << "\n";
+  for (int r = 0; r < height_; ++r) {
+    if (r == 0) {
+      const std::string lbl = axis_label(ymax);
+      os << lbl << std::string(std::max<std::size_t>(1, 8 - lbl.size()), ' ');
+    } else {
+      os << std::string(8, ' ');
+    }
+    os << '|' << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(8, ' ') << '+' << std::string(static_cast<std::size_t>(width_), '-')
+     << "\n" << std::string(9, ' ');
+  // x tick labels, spread along the axis
+  std::string xline(static_cast<std::size_t>(width_), ' ');
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string lbl = axis_label(xticks_[i]);
+    int c = col(i);
+    if (c + static_cast<int>(lbl.size()) > width_) c = width_ - static_cast<int>(lbl.size());
+    for (std::size_t k = 0; k < lbl.size(); ++k) {
+      xline[static_cast<std::size_t>(c) + k] = lbl[k];
+    }
+  }
+  os << xline << "\n  legend:";
+  for (const auto& s : series_) os << "  '" << s.marker << "' = " << s.name;
+  os << "\n";
+}
+
+}  // namespace pprophet::util

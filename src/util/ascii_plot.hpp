@@ -1,0 +1,63 @@
+// Minimal ASCII plotting for terminal output of the paper's figures:
+// scatter plots (Figure 11 predicted-vs-real) and line series (Figure 2/12
+// speedup-vs-cores).
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pprophet::util {
+
+/// Scatter plot on a fixed character grid, with the y==x diagonal drawn so
+/// prediction accuracy is visually obvious (as in the paper's Figure 11).
+class ScatterPlot {
+ public:
+  ScatterPlot(std::string title, int width = 57, int height = 25);
+
+  /// Adds a named series; `marker` is the glyph used for its points.
+  void add_series(std::string name, char marker,
+                  std::span<const double> xs, std::span<const double> ys);
+
+  /// Draw y == x as '.' cells (under data points).
+  void set_diagonal(bool on) { diagonal_ = on; }
+
+  void print(std::ostream& os) const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<double> xs, ys;
+  };
+  std::string title_;
+  int width_, height_;
+  bool diagonal_ = true;
+  std::vector<Series> series_;
+};
+
+/// Line chart of one or more y-series over shared x ticks (e.g. core counts),
+/// like the paper's Figure 2 and Figure 12 panels.
+class SeriesChart {
+ public:
+  SeriesChart(std::string title, std::vector<double> xticks,
+              int width = 57, int height = 19);
+
+  void add_series(std::string name, char marker, std::vector<double> ys);
+
+  void print(std::ostream& os) const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<double> ys;
+  };
+  std::string title_;
+  std::vector<double> xticks_;
+  int width_, height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace pprophet::util

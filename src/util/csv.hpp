@@ -1,0 +1,31 @@
+// Minimal CSV writer for exporting experiment results (every figure bench
+// honours PP_CSV_DIR by dumping its series next to the ASCII output, so the
+// curves can be re-plotted outside the terminal).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pprophet::util {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes to `path`; returns false (and leaves no file) on I/O failure.
+  bool write(const std::string& path) const;
+
+  std::string to_string() const;
+
+ private:
+  static std::string escape(const std::string& field);
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pprophet::util

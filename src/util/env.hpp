@@ -1,0 +1,27 @@
+// Environment-variable overrides for experiment knobs (sample counts, core
+// counts) so the benches stay fast by default but can be scaled up to the
+// paper's full parameters.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace pprophet::util {
+
+/// Integer env override: returns `fallback` when unset or unparsable.
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+inline bool env_flag(const char* name, bool fallback = false) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const std::string s = v;
+  return !(s == "0" || s == "false" || s == "off" || s.empty());
+}
+
+}  // namespace pprophet::util

@@ -1,0 +1,83 @@
+#include "util/fit.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace pprophet::util {
+namespace {
+
+struct LsqResult {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;
+};
+
+// Ordinary least squares of y on x.
+LsqResult lsq(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LsqResult r;
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 2) {
+    r.b = ys.empty() ? 0.0 : ys[0];
+    return r;
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    r.b = sy / n;
+    return r;
+  }
+  r.a = (n * sxy - sx * sy) / denom;
+  r.b = (sy - r.a * sx) / n;
+  const double ymean = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double yhat = r.a * xs[i] + r.b;
+    ss_res += (ys[i] - yhat) * (ys[i] - yhat);
+    ss_tot += (ys[i] - ymean) * (ys[i] - ymean);
+  }
+  r.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return r;
+}
+
+}  // namespace
+
+double LogFit::operator()(double x) const { return a * std::log(x) + b; }
+
+double PowerFit::operator()(double x) const { return a * std::pow(x, b); }
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  const LsqResult r = lsq(xs, ys);
+  return LinearFit{r.a, r.b, r.r2};
+}
+
+LogFit fit_log(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    assert(xs[i] > 0.0);
+    lx[i] = std::log(xs[i]);
+  }
+  const LsqResult r = lsq(lx, ys);
+  return LogFit{r.a, r.b, r.r2};
+}
+
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx(xs.size());
+  std::vector<double> ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    assert(xs[i] > 0.0 && ys[i] > 0.0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const LsqResult r = lsq(lx, ly);
+  return PowerFit{std::exp(r.b), r.a, r.r2};
+}
+
+}  // namespace pprophet::util

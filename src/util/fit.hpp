@@ -1,0 +1,37 @@
+// Least-squares curve fits used to calibrate the memory model's Ψ and Φ maps
+// (paper Eq. 6: linear and a·ln(x)+b forms; Eq. 7: a·x^b power form).
+#pragma once
+
+#include <span>
+
+namespace pprophet::util {
+
+/// y ≈ a·x + b
+struct LinearFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+  double operator()(double x) const { return a * x + b; }
+};
+
+/// y ≈ a·ln(x) + b  (x must be > 0)
+struct LogFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;
+  double operator()(double x) const;
+};
+
+/// y ≈ a·x^b  (x, y must be > 0; fitted in log-log space)
+struct PowerFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;
+  double operator()(double x) const;
+};
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+LogFit fit_log(std::span<const double> xs, std::span<const double> ys);
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace pprophet::util

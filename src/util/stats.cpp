@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pprophet::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) {
+    const double d = x - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double relative_error(double pred, double real) {
+  if (real == 0.0) return pred == 0.0 ? 0.0 : std::abs(pred);
+  return std::abs(pred - real) / std::abs(real);
+}
+
+ErrorStats error_stats(std::span<const double> predicted,
+                       std::span<const double> real) {
+  assert(predicted.size() == real.size());
+  ErrorStats es;
+  es.count = predicted.size();
+  if (predicted.empty()) return es;
+  std::vector<double> errs;
+  errs.reserve(predicted.size());
+  std::size_t within = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = relative_error(predicted[i], real[i]);
+    errs.push_back(e);
+    if (e <= 0.20) ++within;
+  }
+  const Summary s = summarize(errs);
+  es.mean_error = s.mean;
+  es.max_error = s.max;
+  es.p95_error = percentile(errs, 95.0);
+  es.within_20pct =
+      static_cast<double>(within) / static_cast<double>(predicted.size());
+  return es;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const Summary sx = summarize(xs);
+  const Summary sy = summarize(ys);
+  if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - sx.mean) * (ys[i] - sy.mean);
+  }
+  cov /= static_cast<double>(xs.size());
+  return cov / (sx.stddev * sy.stddev);
+}
+
+}  // namespace pprophet::util

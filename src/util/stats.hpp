@@ -1,0 +1,45 @@
+// Descriptive statistics and prediction-error summaries used by the
+// validation experiments (Figure 11) and the memory-model calibration.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pprophet::util {
+
+/// Summary of a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Percentile via linear interpolation between closest ranks; p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Relative error |pred - real| / real. Returns 0 when real == 0 and
+/// pred == 0; returns |pred| when real == 0 and pred != 0 (degenerate case).
+double relative_error(double pred, double real);
+
+/// Error statistics of a set of (predicted, real) pairs, the form the paper
+/// reports for Figure 11 ("average error ratio", "maximum error ratio").
+struct ErrorStats {
+  std::size_t count = 0;
+  double mean_error = 0.0;   // mean relative error
+  double max_error = 0.0;    // max relative error
+  double p95_error = 0.0;    // 95th percentile relative error
+  double within_20pct = 0.0; // fraction of samples within the paper's 20% band
+};
+
+ErrorStats error_stats(std::span<const double> predicted,
+                       std::span<const double> real);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace pprophet::util

@@ -1,0 +1,44 @@
+// ASCII table renderer used by the benchmark harnesses to print paper-style
+// tables (Table I, III, IV and the Figure 11/12 row dumps).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pprophet::util {
+
+/// Column-aligned text table. Cells are strings; numeric formatting is the
+/// caller's job (see fmt_* helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; pads with empty cells if shorter than the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Fixed-precision double, e.g. fmt_f(3.14159, 2) == "3.14".
+std::string fmt_f(double v, int precision = 2);
+
+/// Percentage with sign conventions used in EXPERIMENTS.md, e.g. "4.3%".
+std::string fmt_pct(double fraction, int precision = 1);
+
+/// Integer with thousands separators, e.g. "13,500,000".
+std::string fmt_i(long long v);
+
+/// Human-readable byte count, e.g. "13.5 GB".
+std::string fmt_bytes(unsigned long long bytes);
+
+}  // namespace pprophet::util

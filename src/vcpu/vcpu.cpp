@@ -1,0 +1,43 @@
+#include "vcpu/vcpu.hpp"
+
+#include <cmath>
+
+namespace pprophet::vcpu {
+
+VirtualCpu::VirtualCpu(const cachesim::CacheConfig& cache_cfg,
+                       const CostModel& cost)
+    : caches_(cache_cfg), cost_(cost) {}
+
+void VirtualCpu::compute(std::uint64_t ops) {
+  instructions_ += ops;
+  const double cycles = static_cast<double>(ops) * cost_.cpi_base +
+                        cycle_residue_;
+  const auto whole = static_cast<Cycles>(cycles);
+  cycle_residue_ = cycles - static_cast<double>(whole);
+  clock_.advance(whole);
+}
+
+void VirtualCpu::access(const void* p, std::size_t bytes, AccessKind kind) {
+  if (observer_ != nullptr) {
+    observer_->on_access(reinterpret_cast<std::uint64_t>(p), bytes, kind);
+  }
+  instructions_ += 1;
+  Cycles c = static_cast<Cycles>(cost_.cpi_base);
+  std::array<std::uint64_t, 5> hits{};
+  caches_.access_range(reinterpret_cast<std::uint64_t>(p), bytes, hits,
+                       kind != AccessKind::Read);
+  c += hits[cachesim::CacheHierarchy::kL1] * cost_.l1_hit;
+  c += hits[cachesim::CacheHierarchy::kL2] * cost_.l2_hit;
+  c += hits[cachesim::CacheHierarchy::kLlc] * cost_.llc_hit;
+  c += hits[cachesim::CacheHierarchy::kDram] * cost_.dram;
+  clock_.advance(c);
+}
+
+void VirtualCpu::fake_delay(Cycles cycles) {
+  // A busy-wait loop retires roughly one instruction per cycle and touches
+  // no memory, mirroring the paper's FakeDelay.
+  instructions_ += cycles;
+  clock_.advance(cycles);
+}
+
+}  // namespace pprophet::vcpu

@@ -1,0 +1,171 @@
+// Virtual CPU — the deterministic timing + instrumentation substrate.
+//
+// Annotated kernels run their real computation natively but report their
+// dynamic work to a VirtualCpu: `compute(n)` for ALU work and
+// `load/store/access` for memory. The vcpu advances a ManualClock with a
+// simple Westmere-like cost model driven by the cache simulator:
+//
+//   cycles += ops · CPI_base                      (compute)
+//   cycles += hit-level latency per touched line  (memory)
+//
+// This plays the role of Pin (instruction/memory observation) and of PAPI
+// (the accumulated {instructions, cycles, LLC misses} feed the interval
+// profiler's CounterSource), while keeping every experiment deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "trace/clock.hpp"
+#include "trace/counter_source.hpp"
+
+namespace pprophet::vcpu {
+
+/// Per-hit-level access costs in cycles. L1 hits are folded into the base
+/// CPI (as on real hardware where L1 latency hides in the pipeline).
+struct CostModel {
+  double cpi_base = 1.0;
+  Cycles l1_hit = 0;
+  Cycles l2_hit = 6;
+  Cycles llc_hit = 30;
+  Cycles dram = 200;
+};
+
+/// Kind of a memory instruction, as seen by access observers. Timing does
+/// not depend on it (paper assumption 3b: read and write latency equal);
+/// the dependence analyzer (depend/) does.
+enum class AccessKind : std::uint8_t { Read, Write, ReadWrite };
+
+/// Hook for tools that want the raw access stream (the dependence advisor).
+/// Called once per memory instruction, before cache simulation.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+  virtual void on_access(std::uint64_t addr, std::size_t bytes,
+                         AccessKind kind) = 0;
+};
+
+class VirtualCpu {
+ public:
+  explicit VirtualCpu(const cachesim::CacheConfig& cache_cfg = {},
+                      const CostModel& cost = {});
+
+  /// `ops` pure-ALU instructions.
+  void compute(std::uint64_t ops);
+
+  /// One memory instruction touching [p, p+bytes). Reads and writes cost
+  /// the same (paper assumption 3b).
+  void access(const void* p, std::size_t bytes,
+              AccessKind kind = AccessKind::Read);
+  void load(const void* p, std::size_t bytes) {
+    access(p, bytes, AccessKind::Read);
+  }
+  void store(void* p, std::size_t bytes) {
+    access(p, bytes, AccessKind::Write);
+  }
+
+  /// Typed helpers so kernels read naturally:
+  ///   double v = cpu.read(a[i]);  cpu.write(b[j]) = ...;
+  template <typename T>
+  const T& read(const T& ref) {
+    access(&ref, sizeof(T), AccessKind::Read);
+    return ref;
+  }
+  template <typename T>
+  T& write(T& ref) {
+    access(&ref, sizeof(T), AccessKind::Write);
+    return ref;
+  }
+
+  /// Attaches/detaches the access observer (one at a time; null detaches).
+  void set_observer(AccessObserver* obs) { observer_ = obs; }
+
+  /// Spin for `cycles` without touching caches or memory — the paper's
+  /// FakeDelay primitive (Figure 8/9), used by Test1/Test2.
+  void fake_delay(Cycles cycles);
+
+  // --- clock & counters ---
+  const trace::ManualClock& clock() const { return clock_; }
+  Cycles cycles() const { return clock_.now(); }
+  std::uint64_t instructions() const { return instructions_; }
+  std::uint64_t llc_misses() const { return caches_.llc_misses(); }
+  std::uint64_t llc_writebacks() const { return caches_.llc_writebacks(); }
+  const cachesim::CacheHierarchy& caches() const { return caches_; }
+  void flush_caches() { caches_.flush(); }
+
+ private:
+  trace::ManualClock clock_;
+  cachesim::CacheHierarchy caches_;
+  CostModel cost_;
+  std::uint64_t instructions_ = 0;
+  double cycle_residue_ = 0.0;  // fractional cycles from non-integer CPI
+  AccessObserver* observer_ = nullptr;
+};
+
+/// CounterSource that snapshots a VirtualCpu's counters over a window —
+/// the PAPI-equivalent consumed by the interval profiler.
+class VcpuCounterSource final : public trace::CounterSource {
+ public:
+  explicit VcpuCounterSource(const VirtualCpu& cpu) : cpu_(cpu) {}
+
+  void start() override {
+    start_instr_ = cpu_.instructions();
+    start_cycles_ = cpu_.cycles();
+    start_misses_ = cpu_.llc_misses();
+    start_writebacks_ = cpu_.llc_writebacks();
+  }
+
+  tree::SectionCounters stop() override {
+    tree::SectionCounters c;
+    c.instructions = cpu_.instructions() - start_instr_;
+    c.cycles = cpu_.cycles() - start_cycles_;
+    c.llc_misses = cpu_.llc_misses() - start_misses_;
+    c.llc_writebacks = cpu_.llc_writebacks() - start_writebacks_;
+    return c;
+  }
+
+ private:
+  const VirtualCpu& cpu_;
+  std::uint64_t start_instr_ = 0;
+  Cycles start_cycles_ = 0;
+  std::uint64_t start_misses_ = 0;
+  std::uint64_t start_writebacks_ = 0;
+};
+
+/// A heap array whose element accesses are reported to a VirtualCpu —
+/// kernels index it like a plain array and the instrumentation happens
+/// underneath (our stand-in for Pin's memory-instruction hooks).
+template <typename T>
+class InstrumentedArray {
+ public:
+  InstrumentedArray(VirtualCpu& cpu, std::size_t n, T init = T{})
+      : cpu_(&cpu), data_(n, init) {}
+
+  T get(std::size_t i) {
+    cpu_->access(&data_[i], sizeof(T), AccessKind::Read);
+    return data_[i];
+  }
+  void set(std::size_t i, T v) {
+    cpu_->access(&data_[i], sizeof(T), AccessKind::Write);
+    data_[i] = v;
+  }
+  /// Read-modify-write counts as one memory instruction (x86-style).
+  template <typename F>
+  void update(std::size_t i, F&& f) {
+    cpu_->access(&data_[i], sizeof(T), AccessKind::ReadWrite);
+    data_[i] = f(data_[i]);
+  }
+
+  std::size_t size() const { return data_.size(); }
+  /// Uninstrumented access for result verification in tests.
+  const T& raw(std::size_t i) const { return data_[i]; }
+  T* raw_data() { return data_.data(); }
+
+ private:
+  VirtualCpu* cpu_;
+  std::vector<T> data_;
+};
+
+}  // namespace pprophet::vcpu

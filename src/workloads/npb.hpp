@@ -1,0 +1,67 @@
+// NAS Parallel Benchmark kernels (paper §VII-C: EP, FT, MG, CG), serial,
+// annotated, on the virtual CPU.
+//
+//  * EP — embarrassingly parallel: Marsaglia polar-method Gaussian pairs
+//         from a reproducible LCG stream, tallied by annulus; essentially
+//         no memory traffic.
+//  * FT — 3D FFT: forward transform along each dimension (batched 1D
+//         iterative FFTs as parallel loops) + spectral evolution; the
+//         paper's memory-saturation poster child (Figure 2).
+//  * MG — multigrid V-cycle (smooth / residual / restrict / prolongate) on
+//         a 3D grid; memory-bound streaming stencils.
+//  * CG — conjugate gradient with a random sparse matrix; SpMV-dominated,
+//         memory-bound, and the paper's compression stress case (§VI-B).
+//
+// Memory-bound kernels are typically run against scaled_cache() (see
+// kernel_harness.hpp) to preserve the paper's footprint:LLC ratio.
+#pragma once
+
+#include "workloads/kernel_harness.hpp"
+
+namespace pprophet::workloads {
+
+struct EpParams {
+  /// log2 of the number of random pairs (paper class B: 2^30; scaled here).
+  int log2_pairs = 14;
+  int blocks = 64;  ///< parallel blocks (iterations of the annotated loop)
+  std::uint64_t seed = 271828183;
+};
+/// checksum: Σ annulus counts weighted (deterministic for a given seed).
+KernelRun run_ep(const EpParams& p, const KernelConfig& cfg = {});
+
+struct FtParams {
+  std::size_t nx = 32, ny = 16, nz = 16;  ///< grid (each a power of two)
+  int iterations = 2;                     ///< evolve+transform steps
+  std::uint64_t seed = 314159265;
+};
+/// checksum: |Σ checksum-path elements| as NPB-FT reports.
+KernelRun run_ft(const FtParams& p, const KernelConfig& cfg = {});
+
+struct MgParams {
+  std::size_t n = 32;  ///< finest grid edge (power of two)
+  int vcycles = 2;
+  std::uint64_t seed = 1618;
+};
+/// checksum: L2 norm of the residual after the V-cycles.
+KernelRun run_mg(const MgParams& p, const KernelConfig& cfg = {});
+
+struct IsParams {
+  std::size_t keys = 1 << 14;
+  std::size_t buckets = 256;
+  int iterations = 2;
+  std::uint64_t seed = 2718281;
+};
+/// checksum: 1.0 when the computed ranking is a valid permutation in
+/// bucket order, else 0. IS is the §VI-B tree-size stress case.
+KernelRun run_is(const IsParams& p, const KernelConfig& cfg = {});
+
+struct CgParams {
+  std::size_t n = 1400;        ///< unknowns (paper class B: 75'000)
+  std::size_t nnz_per_row = 12;
+  int iterations = 8;
+  std::uint64_t seed = 141421;
+};
+/// checksum: the solution's Rayleigh-quotient style digest (ζ in NPB-CG).
+KernelRun run_cg(const CgParams& p, const KernelConfig& cfg = {});
+
+}  // namespace pprophet::workloads

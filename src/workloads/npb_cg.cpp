@@ -1,0 +1,118 @@
+// NPB CG: conjugate-gradient iterations against a random symmetric
+// positive-definite sparse matrix (CSR). The SpMV and the vector updates
+// are annotated parallel loops over row/element strips. Streaming the
+// matrix every iteration is memory-bound; the many identical row tasks are
+// also the paper's program-tree compression stress case (§VI-B).
+#include <cmath>
+#include <vector>
+
+#include "workloads/npb.hpp"
+
+namespace pprophet::workloads {
+namespace {
+
+/// CSR sparse matrix with instrumented storage.
+struct Csr {
+  vcpu::InstrumentedArray<std::uint32_t> col;
+  vcpu::InstrumentedArray<double> val;
+  std::vector<std::uint32_t> row_ptr;  // structure metadata (uninstrumented)
+
+  Csr(vcpu::VirtualCpu& cpu, std::size_t nnz, std::size_t rows)
+      : col(cpu, nnz), val(cpu, nnz), row_ptr(rows + 1, 0) {}
+};
+
+}  // namespace
+
+KernelRun run_cg(const CgParams& p, const KernelConfig& cfg) {
+  KernelHarness h(cfg);
+  vcpu::VirtualCpu& cpu = h.cpu();
+  util::Xoshiro256 rng(p.seed);
+
+  const std::size_t n = p.n;
+  // Build an SPD-ish matrix: random off-diagonals plus a dominant diagonal.
+  const std::size_t nnz = n * p.nnz_per_row;
+  Csr a(cpu, nnz, n);
+  {
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      a.row_ptr[i] = static_cast<std::uint32_t>(k);
+      a.col.set(k, static_cast<std::uint32_t>(i));
+      a.val.set(k, static_cast<double>(p.nnz_per_row) + 1.0);
+      ++k;
+      for (std::size_t e = 1; e < p.nnz_per_row; ++e) {
+        a.col.set(k, static_cast<std::uint32_t>(rng.uniform_u64(0, n - 1)));
+        a.val.set(k, rng.uniform_double(-0.5, 0.5));
+        ++k;
+      }
+    }
+    a.row_ptr[n] = static_cast<std::uint32_t>(k);
+  }
+
+  vcpu::InstrumentedArray<double> x(cpu, n, 0.0);
+  vcpu::InstrumentedArray<double> r(cpu, n);
+  vcpu::InstrumentedArray<double> pv(cpu, n);
+  vcpu::InstrumentedArray<double> q(cpu, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r.set(i, 1.0);
+    pv.set(i, 1.0);
+  }
+  double rho = static_cast<double>(n);  // r·r with all-ones r
+
+  h.begin();
+  const std::size_t strip = std::max<std::size_t>(1, n / 48);
+  for (int it = 0; it < p.iterations; ++it) {
+    // q = A·p  (the dominant, memory-bound phase).
+    double pq = 0.0;
+    PAR_SEC_BEGIN("cg-spmv");
+    for (std::size_t i0 = 0; i0 < n; i0 += strip) {
+      PAR_TASK_BEGIN("row-strip");
+      for (std::size_t i = i0; i < std::min(n, i0 + strip); ++i) {
+        double sum = 0.0;
+        for (std::uint32_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+          sum += a.val.get(k) * pv.get(a.col.get(k));
+          cpu.compute(3);
+        }
+        q.set(i, sum);
+        pq += sum * pv.raw(i);
+        cpu.compute(3);
+      }
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+
+    const double alpha = rho / pq;
+    double rho_next = 0.0;
+    PAR_SEC_BEGIN("cg-update");
+    for (std::size_t i0 = 0; i0 < n; i0 += strip) {
+      PAR_TASK_BEGIN("vec-strip");
+      for (std::size_t i = i0; i < std::min(n, i0 + strip); ++i) {
+        x.update(i, [&](double v) { return v + alpha * pv.raw(i); });
+        r.update(i, [&](double v) { return v - alpha * q.raw(i); });
+        rho_next += r.raw(i) * r.raw(i);
+        cpu.compute(8);
+      }
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    PAR_SEC_BEGIN("cg-direction");
+    for (std::size_t i0 = 0; i0 < n; i0 += strip) {
+      PAR_TASK_BEGIN("vec-strip");
+      for (std::size_t i = i0; i < std::min(n, i0 + strip); ++i) {
+        pv.set(i, r.raw(i) + beta * pv.raw(i));
+        cpu.compute(3);
+      }
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+  }
+
+  // ζ-style digest: x·r plus the final residual norm.
+  double xr = 0.0;
+  for (std::size_t i = 0; i < n; ++i) xr += x.raw(i) * r.raw(i);
+  return h.finish(xr + std::sqrt(rho));
+}
+
+}  // namespace pprophet::workloads

@@ -1,0 +1,89 @@
+// NPB EP: Gaussian deviates by the Marsaglia polar method over a
+// reproducible linear-congruential stream, tallied into concentric annuli.
+// Each annotated iteration processes an independent block of the stream —
+// embarrassingly parallel, negligible memory footprint.
+#include <array>
+#include <cmath>
+
+#include "workloads/npb.hpp"
+
+namespace pprophet::workloads {
+namespace {
+
+/// NPB-style 48-bit LCG (a = 5^13, modulo 2^46), seekable by block.
+class NpbRandom {
+ public:
+  explicit NpbRandom(std::uint64_t seed) : x_(seed & kMask) {}
+
+  /// Jump the stream forward by `n` steps in O(log n).
+  void skip(std::uint64_t n) {
+    std::uint64_t a = kA;
+    while (n != 0) {
+      if (n & 1) x_ = (x_ * a) & kMask;
+      a = (a * a) & kMask;
+      n >>= 1;
+    }
+  }
+
+  double next() {
+    x_ = (x_ * kA) & kMask;
+    return static_cast<double>(x_) * kInv;
+  }
+
+ private:
+  static constexpr std::uint64_t kA = 1220703125;  // 5^13
+  static constexpr std::uint64_t kMask = (1ULL << 46) - 1;
+  static constexpr double kInv = 1.0 / static_cast<double>(1ULL << 46);
+  std::uint64_t x_;
+};
+
+}  // namespace
+
+KernelRun run_ep(const EpParams& p, const KernelConfig& cfg) {
+  KernelHarness h(cfg);
+  vcpu::VirtualCpu& cpu = h.cpu();
+
+  const std::uint64_t total_pairs = 1ULL << p.log2_pairs;
+  const std::uint64_t per_block = total_pairs / static_cast<std::uint64_t>(p.blocks);
+  std::array<std::uint64_t, 10> annuli{};
+  double sx = 0.0, sy = 0.0;
+
+  h.begin();
+  PAR_SEC_BEGIN("ep-blocks");
+  for (int b = 0; b < p.blocks; ++b) {
+    PAR_TASK_BEGIN("block");
+    NpbRandom rng(p.seed);
+    rng.skip(2 * per_block * static_cast<std::uint64_t>(b));
+    cpu.compute(64);  // stream seek
+    std::array<std::uint64_t, 10> local{};
+    for (std::uint64_t i = 0; i < per_block; ++i) {
+      const double x = 2.0 * rng.next() - 1.0;
+      const double y = 2.0 * rng.next() - 1.0;
+      const double t = x * x + y * y;
+      cpu.compute(10);
+      if (t <= 1.0 && t > 0.0) {
+        const double f = std::sqrt(-2.0 * std::log(t) / t);
+        const double gx = x * f;
+        const double gy = y * f;
+        const auto ring = static_cast<std::size_t>(
+            std::min(9.0, std::floor(std::max(std::abs(gx), std::abs(gy)))));
+        ++local[ring];
+        sx += gx;
+        sy += gy;
+        cpu.compute(18);
+      }
+    }
+    for (std::size_t r = 0; r < annuli.size(); ++r) annuli[r] += local[r];
+    cpu.compute(static_cast<std::uint64_t>(annuli.size()) * 2);
+    PAR_TASK_END();
+  }
+  PAR_SEC_END(true);
+
+  double checksum = sx + sy;
+  for (std::size_t r = 0; r < annuli.size(); ++r) {
+    checksum += static_cast<double>(annuli[r]) * static_cast<double>(r + 1);
+  }
+  return h.finish(checksum);
+}
+
+}  // namespace pprophet::workloads

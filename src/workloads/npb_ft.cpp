@@ -1,0 +1,140 @@
+// NPB FT: 3D FFT — each iteration evolves the spectrum and transforms along
+// the three dimensions; every dimension pass is an annotated parallel loop
+// over independent 1D lines (chunks of lines per task, as the OpenMP NPB
+// does with its collapsed loops). Streams the whole grid repeatedly, which
+// is what saturates memory bandwidth in the paper's Figure 2.
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "workloads/npb.hpp"
+
+namespace pprophet::workloads {
+namespace {
+
+using Complexd = std::complex<double>;
+constexpr double kPi = 3.14159265358979323846;
+
+/// Iterative in-place radix-2 FFT on a gathered line buffer. The buffer is
+/// register/cache-resident; only the grid gather/scatter touches simulated
+/// memory. Compute cost is charged per butterfly.
+void fft_line(vcpu::VirtualCpu& cpu, std::vector<Complexd>& a) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  cpu.compute(2 * n);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * kPi / static_cast<double>(len);
+    const Complexd wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complexd w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complexd u = a[i + k];
+        const Complexd v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+        cpu.compute(12);
+      }
+    }
+  }
+}
+
+bool pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+KernelRun run_ft(const FtParams& p, const KernelConfig& cfg) {
+  if (!pow2(p.nx) || !pow2(p.ny) || !pow2(p.nz)) {
+    throw std::invalid_argument("ft: grid dims must be powers of two");
+  }
+  KernelHarness h(cfg);
+  vcpu::VirtualCpu& cpu = h.cpu();
+  util::Xoshiro256 rng(p.seed);
+
+  const std::size_t nx = p.nx, ny = p.ny, nz = p.nz;
+  const std::size_t total = nx * ny * nz;
+  vcpu::InstrumentedArray<Complexd> grid(cpu, total);
+  for (std::size_t i = 0; i < total; ++i) {
+    grid.set(i, Complexd(rng.uniform_double(-1, 1), rng.uniform_double(-1, 1)));
+  }
+  const auto at = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return (z * ny + y) * nx + x;
+  };
+
+  // Transform along one dimension: gather line, FFT, scatter. `lines` is
+  // the number of independent lines; `line_len` their length; `index` maps
+  // (line, position) to the flat grid index. Tasks take strips of lines.
+  const auto transform_dim = [&](const char* name, std::size_t lines,
+                                 std::size_t line_len, auto&& index) {
+    const std::size_t strip = std::max<std::size_t>(1, lines / 64);
+    std::vector<Complexd> buf(line_len);
+    PAR_SEC_BEGIN(name);
+    for (std::size_t l0 = 0; l0 < lines; l0 += strip) {
+      PAR_TASK_BEGIN("line-strip");
+      for (std::size_t l = l0; l < std::min(lines, l0 + strip); ++l) {
+        for (std::size_t k = 0; k < line_len; ++k) buf[k] = grid.get(index(l, k));
+        fft_line(cpu, buf);
+        for (std::size_t k = 0; k < line_len; ++k) grid.set(index(l, k), buf[k]);
+      }
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+  };
+
+  h.begin();
+  double checksum = 0.0;
+  for (int it = 0; it < p.iterations; ++it) {
+    // Evolve: multiply by a wavenumber-dependent phase (parallel over
+    // z-planes).
+    {
+      const std::size_t strip = std::max<std::size_t>(1, nz / 16);
+      PAR_SEC_BEGIN("ft-evolve");
+      for (std::size_t z0 = 0; z0 < nz; z0 += strip) {
+        PAR_TASK_BEGIN("plane-strip");
+        for (std::size_t z = z0; z < std::min(nz, z0 + strip); ++z) {
+          for (std::size_t y = 0; y < ny; ++y) {
+            for (std::size_t x = 0; x < nx; ++x) {
+              const double phase =
+                  -1e-4 * static_cast<double>(x * x + y * y + z * z) *
+                  static_cast<double>(it + 1);
+              const Complexd w(std::cos(phase), std::sin(phase));
+              grid.update(at(x, y, z), [&](Complexd v) { return v * w; });
+              cpu.compute(8);
+            }
+          }
+        }
+        PAR_TASK_END();
+      }
+      PAR_SEC_END(true);
+    }
+    transform_dim("ft-fftx", ny * nz, nx, [&](std::size_t l, std::size_t k) {
+      return at(k, l % ny, l / ny);
+    });
+    transform_dim("ft-ffty", nx * nz, ny, [&](std::size_t l, std::size_t k) {
+      return at(l % nx, k, l / nx);
+    });
+    transform_dim("ft-fftz", nx * ny, nz, [&](std::size_t l, std::size_t k) {
+      return at(l % nx, l / nx, k);
+    });
+
+    // NPB-style checksum path (serial, cheap).
+    Complexd s(0, 0);
+    for (std::size_t j = 1; j <= 128; ++j) {
+      const std::size_t q = (5 * j) % nx;
+      const std::size_t r = (3 * j) % ny;
+      const std::size_t s3 = j % nz;
+      s += grid.raw(at(q, r, s3));
+    }
+    checksum += std::abs(s);
+  }
+  return h.finish(checksum);
+}
+
+}  // namespace pprophet::workloads

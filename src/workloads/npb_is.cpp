@@ -1,0 +1,108 @@
+// NPB IS: integer (bucket) sort. The paper singles IS out as the
+// program-tree memory-overhead stress case — "IS in the NPB benchmark
+// consumes 10 GB to build a program tree" (§VI-B) — because its ranking
+// loop runs an enormous number of small, near-identical iterations. The
+// kernel: generate keys, histogram them into buckets (the annotated
+// parallel loop over key blocks), prefix-sum the bucket counts, and rank
+// the keys (second annotated loop). Verification checks the ranking is a
+// valid permutation ordering.
+#include <numeric>
+#include <vector>
+
+#include "workloads/npb.hpp"
+
+namespace pprophet::workloads {
+
+KernelRun run_is(const IsParams& p, const KernelConfig& cfg) {
+  KernelHarness h(cfg);
+  vcpu::VirtualCpu& cpu = h.cpu();
+  util::Xoshiro256 rng(p.seed);
+
+  const std::size_t n = p.keys;
+  const std::size_t buckets = p.buckets;
+  vcpu::InstrumentedArray<std::uint32_t> key(cpu, n);
+  vcpu::InstrumentedArray<std::uint32_t> rank(cpu, n);
+  vcpu::InstrumentedArray<std::uint32_t> count(cpu, buckets, 0);
+  const std::uint32_t max_key = static_cast<std::uint32_t>(buckets) * 64;
+  for (std::size_t i = 0; i < n; ++i) {
+    key.set(i, static_cast<std::uint32_t>(rng.uniform_u64(0, max_key - 1)));
+  }
+  const auto bucket_of = [&](std::uint32_t k) {
+    return static_cast<std::size_t>(k) * buckets / max_key;
+  };
+
+  h.begin();
+  for (int it = 0; it < p.iterations; ++it) {
+    // Reset counts (serial, small).
+    for (std::size_t b = 0; b < buckets; ++b) count.set(b, 0);
+
+    // Histogram: the fine-grained loop that blows up the raw tree — one
+    // task per small block of keys.
+    const std::size_t block = std::max<std::size_t>(16, n / 512);
+    PAR_SEC_BEGIN("is-histogram");
+    for (std::size_t i0 = 0; i0 < n; i0 += block) {
+      PAR_TASK_BEGIN("key-block");
+      for (std::size_t i = i0; i < std::min(n, i0 + block); ++i) {
+        const std::uint32_t k = key.get(i);
+        // Bucket increments contend in a real parallelization; the
+        // annotated program marks them as a (short) critical section.
+        cpu.compute(2);
+        count.update(bucket_of(k), [](std::uint32_t v) { return v + 1; });
+      }
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+
+    // Exclusive prefix sum over buckets (serial scan, as in NPB-IS).
+    std::uint32_t running = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const std::uint32_t c = count.get(b);
+      count.set(b, running);
+      running += c;
+      cpu.compute(3);
+    }
+
+    // Ranking: every key gets its output position.
+    PAR_SEC_BEGIN("is-rank");
+    for (std::size_t i0 = 0; i0 < n; i0 += block) {
+      PAR_TASK_BEGIN("key-block");
+      for (std::size_t i = i0; i < std::min(n, i0 + block); ++i) {
+        const std::uint32_t k = key.get(i);
+        cpu.compute(2);
+        std::uint32_t pos = 0;
+        count.update(bucket_of(k), [&](std::uint32_t v) {
+          pos = v;
+          return v + 1;
+        });
+        rank.set(i, pos);
+      }
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+  }
+
+  // Verify: ranks form a permutation of [0, n) and respect bucket order.
+  std::vector<bool> seen(n, false);
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r = rank.raw(i);
+    if (r >= n || seen[r]) {
+      ok = false;
+      break;
+    }
+    seen[r] = true;
+  }
+  if (ok) {
+    for (std::size_t i = 0; i + 1 < n && ok; ++i) {
+      for (std::size_t j = i + 1; j < std::min(n, i + 4); ++j) {
+        if (bucket_of(key.raw(i)) < bucket_of(key.raw(j)) &&
+            rank.raw(i) > rank.raw(j)) {
+          ok = false;
+        }
+      }
+    }
+  }
+  return h.finish(ok ? 1.0 : 0.0);
+}
+
+}  // namespace pprophet::workloads

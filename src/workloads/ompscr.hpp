@@ -1,0 +1,73 @@
+// OmpSCR benchmark kernels (paper §VII-C: MD, LUreduction, FFT, QSort),
+// implemented as annotated serial programs on the virtual CPU.
+//
+//  * MD-OMP   — molecular dynamics: O(N²) force computation per step,
+//               parallel loop over particles; compute-bound.
+//  * LU-OMP   — LU reduction (Figure 1a): serial outer k-loop, parallel
+//               inner i-loop with the characteristic triangular imbalance;
+//               frequent inner-loop parallelism.
+//  * FFT-Cilk — recursive Cooley-Tukey FFT (Figure 1b): the two half-size
+//               recursions are parallel tasks, the combine loop a parallel
+//               section; recursive parallelism targeted at Cilk Plus.
+//  * QSort-Cilk — recursive quicksort: left/right partitions as parallel
+//               tasks; recursive parallelism.
+//  * Jacobi    — 2D 5-point stencil sweeps (survey addition): balanced,
+//               memory-bound streaming.
+//  * Mandelbrot — escape-time fractal (survey addition): extreme per-pixel
+//               imbalance, compute-bound.
+#pragma once
+
+#include "workloads/kernel_harness.hpp"
+
+namespace pprophet::workloads {
+
+struct MdParams {
+  std::size_t particles = 192;
+  int steps = 2;
+  std::uint64_t seed = 7;
+};
+/// checksum: total potential+kinetic energy digest.
+KernelRun run_md(const MdParams& p, const KernelConfig& cfg = {});
+
+struct LuParams {
+  std::size_t n = 96;  ///< matrix dimension
+  std::uint64_t seed = 11;
+};
+/// checksum: sum of the reduced matrix entries.
+KernelRun run_lu(const LuParams& p, const KernelConfig& cfg = {});
+
+struct FftParams {
+  std::size_t n = 1024;          ///< power-of-two length
+  std::size_t parallel_cutoff = 64;  ///< serial below this size
+  std::uint64_t seed = 13;
+};
+/// checksum: max |x − IFFT(FFT(x))| round-trip error (should be ~1e-12) —
+/// kept as 1e6·error so a near-zero checksum means a correct transform.
+KernelRun run_fft(const FftParams& p, const KernelConfig& cfg = {});
+
+struct QsortParams {
+  std::size_t n = 4096;
+  std::size_t parallel_cutoff = 256;  ///< serial below this size
+  std::uint64_t seed = 17;
+};
+/// checksum: 1.0 when sorted output is a permutation in order, else 0.
+KernelRun run_qsort(const QsortParams& p, const KernelConfig& cfg = {});
+
+struct JacobiParams {
+  std::size_t n = 128;  ///< grid edge
+  int sweeps = 4;
+  std::uint64_t seed = 23;
+};
+/// checksum: L2 norm of the final grid.
+KernelRun run_jacobi(const JacobiParams& p, const KernelConfig& cfg = {});
+
+struct MandelbrotParams {
+  std::size_t width = 128;
+  std::size_t height = 96;
+  std::uint32_t max_iter = 256;
+};
+/// checksum: total escape iterations (+ in-set count scaled).
+KernelRun run_mandelbrot(const MandelbrotParams& p,
+                         const KernelConfig& cfg = {});
+
+}  // namespace pprophet::workloads

@@ -1,0 +1,127 @@
+// FFT-Cilk: recursive Cooley-Tukey FFT, annotated as the paper's Figure
+// 1(b): the two half-size recursions are spawned tasks (cilk_spawn /
+// cilk_sync) and the butterfly combine is a parallel loop (cilk_for).
+// Below `parallel_cutoff` the recursion continues serially (unannotated),
+// exactly like a real cutoff-tuned Cilk program.
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "workloads/ompscr.hpp"
+
+namespace pprophet::workloads {
+namespace {
+
+using Complexd = std::complex<double>;
+
+struct FftContext {
+  vcpu::VirtualCpu* cpu;  ///< null = uninstrumented (verification path)
+  std::size_t cutoff;
+};
+
+/// In-place radix-2 DIT FFT over data[offset + k*stride], length n.
+/// Scratch holds the even/odd split.
+void fft_rec(FftContext& ctx, std::vector<Complexd>& data,
+             std::vector<Complexd>& scratch, std::size_t offset,
+             std::size_t stride, std::size_t n, bool annotated) {
+  const auto touch = [&](const void* p) {
+    if (ctx.cpu != nullptr) ctx.cpu->access(p, sizeof(Complexd));
+  };
+  const auto compute = [&](std::uint64_t ops) {
+    if (ctx.cpu != nullptr) ctx.cpu->compute(ops);
+  };
+  if (n == 1) {
+    touch(&data[offset]);
+    return;
+  }
+  const std::size_t half = n / 2;
+  const bool parallel = annotated && n > ctx.cutoff;
+
+  if (parallel) {
+    PAR_SEC_BEGIN("fft-recurse");
+    PAR_TASK_BEGIN("even");
+    fft_rec(ctx, data, scratch, offset, stride * 2, half, true);
+    PAR_TASK_END();
+    PAR_TASK_BEGIN("odd");
+    fft_rec(ctx, data, scratch, offset + stride, stride * 2, half, true);
+    PAR_TASK_END();
+    PAR_SEC_END(true);  // cilk_sync
+  } else {
+    fft_rec(ctx, data, scratch, offset, stride * 2, half, false);
+    fft_rec(ctx, data, scratch, offset + stride, stride * 2, half, false);
+  }
+
+  // Combine: butterflies over k in [0, half). Parallel (cilk_for) at
+  // annotated levels, chunked so the tree stays small.
+  const auto butterfly = [&](std::size_t k) {
+    touch(&data[offset + 2 * k * stride]);
+    touch(&data[offset + (2 * k + 1) * stride]);
+    const Complexd even = data[offset + 2 * k * stride];
+    const Complexd odd = data[offset + (2 * k + 1) * stride];
+    const double angle = -2.0 * 3.14159265358979323846 *
+                         static_cast<double>(k) / static_cast<double>(n);
+    const Complexd w(std::cos(angle), std::sin(angle));
+    scratch[k] = even + w * odd;
+    scratch[k + half] = even - w * odd;
+    compute(14);
+  };
+  if (parallel) {
+    const std::size_t chunk = std::max<std::size_t>(8, half / 8);
+    PAR_SEC_BEGIN("fft-combine");
+    for (std::size_t k0 = 0; k0 < half; k0 += chunk) {
+      PAR_TASK_BEGIN("butterfly-chunk");
+      for (std::size_t k = k0; k < std::min(half, k0 + chunk); ++k) {
+        butterfly(k);
+      }
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+  } else {
+    for (std::size_t k = 0; k < half; ++k) butterfly(k);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    data[offset + k * stride] = scratch[k];
+    touch(&data[offset + k * stride]);
+  }
+}
+
+void fft_inplace(FftContext& ctx, std::vector<Complexd>& data,
+                 bool annotated) {
+  std::vector<Complexd> scratch(data.size());
+  fft_rec(ctx, data, scratch, 0, 1, data.size(), annotated);
+}
+
+}  // namespace
+
+KernelRun run_fft(const FftParams& p, const KernelConfig& cfg) {
+  if ((p.n & (p.n - 1)) != 0 || p.n == 0) {
+    throw std::invalid_argument("fft: n must be a power of two");
+  }
+  KernelHarness h(cfg);
+  util::Xoshiro256 rng(p.seed);
+  FftContext ctx{&h.cpu(), p.parallel_cutoff};
+
+  std::vector<Complexd> input(p.n);
+  for (auto& v : input) {
+    v = Complexd(rng.uniform_double(-1, 1), rng.uniform_double(-1, 1));
+  }
+  std::vector<Complexd> data = input;
+  h.begin();
+  fft_inplace(ctx, data, /*annotated=*/true);
+
+  // Verify with the inverse transform (conjugate trick) OUTSIDE the
+  // simulation: correctness checking is not part of the profiled program,
+  // so it runs uninstrumented on the host.
+  FftContext verify_ctx{nullptr, p.parallel_cutoff};
+  std::vector<Complexd> inv(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) inv[i] = std::conj(data[i]);
+  fft_inplace(verify_ctx, inv, /*annotated=*/false);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < p.n; ++i) {
+    const Complexd back = std::conj(inv[i]) / static_cast<double>(p.n);
+    max_err = std::max(max_err, std::abs(back - input[i]));
+  }
+  return h.finish(max_err * 1e6);
+}
+
+}  // namespace pprophet::workloads

@@ -1,0 +1,60 @@
+// Jacobi: 2D 5-point stencil iteration (OmpSCR's c_jacobi). Two grids
+// ping-pong; each sweep is an annotated parallel loop over row strips.
+// Streaming stencils over grids larger than the (scaled) LLC make this a
+// memory-bound workload with near-perfect balance — the complement of
+// Mandelbrot in the survey suite.
+#include <cmath>
+
+#include "workloads/ompscr.hpp"
+
+namespace pprophet::workloads {
+
+KernelRun run_jacobi(const JacobiParams& p, const KernelConfig& cfg) {
+  KernelHarness h(cfg);
+  vcpu::VirtualCpu& cpu = h.cpu();
+  util::Xoshiro256 rng(p.seed);
+
+  const std::size_t n = p.n;
+  vcpu::InstrumentedArray<double> u(cpu, n * n);
+  vcpu::InstrumentedArray<double> v(cpu, n * n);
+  vcpu::InstrumentedArray<double> f(cpu, n * n);
+  const auto at = [&](std::size_t r, std::size_t c) { return r * n + c; };
+  for (std::size_t i = 0; i < n * n; ++i) {
+    u.set(i, rng.uniform_double(-1, 1));
+    f.set(i, rng.uniform_double(-1, 1));
+  }
+
+  h.begin();
+  vcpu::InstrumentedArray<double>* src = &u;
+  vcpu::InstrumentedArray<double>* dst = &v;
+  const std::size_t strip = std::max<std::size_t>(1, (n - 2) / 16);
+  for (int sweep = 0; sweep < p.sweeps; ++sweep) {
+    PAR_SEC_BEGIN("jacobi-sweep");
+    for (std::size_t r0 = 1; r0 + 1 < n; r0 += strip) {
+      PAR_TASK_BEGIN("row-strip");
+      for (std::size_t r = r0; r < std::min(n - 1, r0 + strip); ++r) {
+        for (std::size_t c = 1; c + 1 < n; ++c) {
+          const double value = 0.25 * (src->get(at(r - 1, c)) +
+                                       src->get(at(r + 1, c)) +
+                                       src->get(at(r, c - 1)) +
+                                       src->get(at(r, c + 1)) -
+                                       f.get(at(r, c)));
+          dst->set(at(r, c), value);
+          cpu.compute(7);
+        }
+      }
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+    std::swap(src, dst);
+  }
+
+  // Residual digest over the final grid.
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i) {
+    norm += src->raw(i) * src->raw(i);
+  }
+  return h.finish(std::sqrt(norm));
+}
+
+}  // namespace pprophet::workloads

@@ -1,0 +1,50 @@
+// LU-OMP: LU reduction exactly as the paper's Figure 1(a) — the outer
+// k-loop is serial, the inner i-loop is the annotated parallel loop, and
+// each iteration's work shrinks as k grows (triangular imbalance), making
+// schedule choice matter. Frequent inner-loop parallelism is what defeats
+// Suitability's constant-overhead model on this benchmark.
+#include "workloads/ompscr.hpp"
+
+namespace pprophet::workloads {
+
+KernelRun run_lu(const LuParams& p, const KernelConfig& cfg) {
+  KernelHarness h(cfg);
+  vcpu::VirtualCpu& cpu = h.cpu();
+  util::Xoshiro256 rng(p.seed);
+
+  const std::size_t n = p.n;
+  vcpu::InstrumentedArray<double> m(cpu, n * n);
+  vcpu::InstrumentedArray<double> l(cpu, n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    m.set(i, rng.uniform_double(0.5, 1.5));
+  }
+  // Diagonal dominance so the reduction is numerically stable.
+  for (std::size_t i = 0; i < n; ++i) {
+    m.set(i * n + i, 10.0 + m.raw(i * n + i));
+  }
+
+  h.begin();
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const double pivot = m.get(k * n + k);
+    PAR_SEC_BEGIN("lu-inner");
+    for (std::size_t i = k + 1; i < n; ++i) {
+      PAR_TASK_BEGIN("row");
+      const double factor = m.get(i * n + k) / pivot;
+      l.set(i * n + k, factor);
+      cpu.compute(4);
+      for (std::size_t j = k + 1; j < n; ++j) {
+        const double mkj = m.get(k * n + j);
+        m.update(i * n + j, [&](double v) { return v - factor * mkj; });
+        cpu.compute(3);
+      }
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+  }
+
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i) checksum += m.raw(i);
+  return h.finish(checksum);
+}
+
+}  // namespace pprophet::workloads

@@ -1,0 +1,51 @@
+// Mandelbrot: escape-time iteration over a pixel grid (OmpSCR's
+// c_mandel). Per-pixel work varies by orders of magnitude between points
+// inside the set (full iteration budget) and points that escape quickly —
+// the most extreme load imbalance in the survey suite, where schedule
+// choice dominates the prediction. Compute-bound: almost no memory traffic.
+#include <complex>
+
+#include "workloads/ompscr.hpp"
+
+namespace pprophet::workloads {
+
+KernelRun run_mandelbrot(const MandelbrotParams& p, const KernelConfig& cfg) {
+  KernelHarness h(cfg);
+  vcpu::VirtualCpu& cpu = h.cpu();
+
+  vcpu::InstrumentedArray<std::uint32_t> counts(cpu, p.width * p.height);
+
+  h.begin();
+  PAR_SEC_BEGIN("mandel-rows");
+  for (std::size_t row = 0; row < p.height; ++row) {
+    PAR_TASK_BEGIN("row");
+    const double ci =
+        -1.25 + 2.5 * static_cast<double>(row) / static_cast<double>(p.height);
+    for (std::size_t col = 0; col < p.width; ++col) {
+      const double cr =
+          -2.0 + 3.0 * static_cast<double>(col) / static_cast<double>(p.width);
+      double zr = 0.0, zi = 0.0;
+      std::uint32_t it = 0;
+      while (it < p.max_iter && zr * zr + zi * zi <= 4.0) {
+        const double next_zr = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = next_zr;
+        ++it;
+        cpu.compute(8);
+      }
+      counts.set(row * p.width + col, it);
+    }
+    PAR_TASK_END();
+  }
+  PAR_SEC_END(true);
+
+  // Digest: total iterations plus the in-set pixel count.
+  std::uint64_t total = 0, inside = 0;
+  for (std::size_t i = 0; i < p.width * p.height; ++i) {
+    total += counts.raw(i);
+    if (counts.raw(i) == p.max_iter) ++inside;
+  }
+  return h.finish(static_cast<double>(total) + 1e-3 * static_cast<double>(inside));
+}
+
+}  // namespace pprophet::workloads

@@ -1,0 +1,86 @@
+// MD-OMP: simple molecular dynamics in the OmpSCR style — per step, an
+// O(N²) all-pairs force computation (the annotated parallel loop), then a
+// serial position/velocity update. Compute-bound: the N-particle state fits
+// in cache while each iteration does N interaction evaluations.
+#include <cmath>
+
+#include "workloads/ompscr.hpp"
+
+namespace pprophet::workloads {
+namespace {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+};
+
+}  // namespace
+
+KernelRun run_md(const MdParams& p, const KernelConfig& cfg) {
+  KernelHarness h(cfg);
+  vcpu::VirtualCpu& cpu = h.cpu();
+  util::Xoshiro256 rng(p.seed);
+
+  vcpu::InstrumentedArray<Vec3> pos(cpu, p.particles);
+  vcpu::InstrumentedArray<Vec3> vel(cpu, p.particles);
+  vcpu::InstrumentedArray<Vec3> force(cpu, p.particles);
+  for (std::size_t i = 0; i < p.particles; ++i) {
+    pos.set(i, Vec3{rng.uniform_double(0, 10), rng.uniform_double(0, 10),
+                    rng.uniform_double(0, 10)});
+    vel.set(i, Vec3{});
+  }
+
+  h.begin();
+  const double dt = 1e-3;
+  double potential = 0.0;
+  for (int step = 0; step < p.steps; ++step) {
+    PAR_SEC_BEGIN("md-forces");
+    for (std::size_t i = 0; i < p.particles; ++i) {
+      PAR_TASK_BEGIN("particle");
+      Vec3 f{};
+      const Vec3 pi = pos.get(i);
+      for (std::size_t j = 0; j < p.particles; ++j) {
+        if (j == i) continue;
+        const Vec3 pj = pos.get(j);
+        const double dx = pi.x - pj.x;
+        const double dy = pi.y - pj.y;
+        const double dz = pi.z - pj.z;
+        const double r2 = dx * dx + dy * dy + dz * dz + 1e-9;
+        const double inv = 1.0 / r2;
+        const double mag = inv * inv - 0.5 * inv;  // LJ-flavoured
+        f.x += mag * dx;
+        f.y += mag * dy;
+        f.z += mag * dz;
+        potential += mag * 1e-6;
+        cpu.compute(16);  // the interaction arithmetic above
+      }
+      force.set(i, f);
+      PAR_TASK_END();
+    }
+    PAR_SEC_END(true);
+
+    // Serial integration step (cheap O(N)).
+    for (std::size_t i = 0; i < p.particles; ++i) {
+      Vec3 v = vel.get(i);
+      const Vec3 f = force.get(i);
+      v.x += f.x * dt;
+      v.y += f.y * dt;
+      v.z += f.z * dt;
+      vel.set(i, v);
+      Vec3 q = pos.get(i);
+      q.x += v.x * dt;
+      q.y += v.y * dt;
+      q.z += v.z * dt;
+      pos.set(i, q);
+      cpu.compute(12);
+    }
+  }
+
+  double kinetic = 0.0;
+  for (std::size_t i = 0; i < p.particles; ++i) {
+    const Vec3 v = vel.raw(i);
+    kinetic += v.x * v.x + v.y * v.y + v.z * v.z;
+  }
+  return h.finish(potential + kinetic);
+}
+
+}  // namespace pprophet::workloads

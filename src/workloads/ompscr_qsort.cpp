@@ -1,0 +1,108 @@
+// QSort-Cilk: recursive quicksort with the left/right partitions annotated
+// as parallel tasks (the spawn/sync pattern of §VII-C's QSort-Cilk). The
+// partition step is serial; below `parallel_cutoff` the recursion stops
+// being annotated, matching a grain-tuned Cilk program.
+#include <algorithm>
+
+#include "workloads/ompscr.hpp"
+
+namespace pprophet::workloads {
+namespace {
+
+struct QsortContext {
+  vcpu::VirtualCpu* cpu;
+  vcpu::InstrumentedArray<long>* data;
+  std::size_t cutoff;
+};
+
+std::size_t partition(QsortContext& ctx, std::size_t lo, std::size_t hi) {
+  auto& a = *ctx.data;
+  vcpu::VirtualCpu& cpu = *ctx.cpu;
+  // Median-of-three pivot for balance on adversarial inputs.
+  const std::size_t mid = lo + (hi - lo) / 2;
+  long p0 = a.get(lo), p1 = a.get(mid), p2 = a.get(hi - 1);
+  const long pivot = std::max(std::min(p0, p1), std::min(std::max(p0, p1), p2));
+  cpu.compute(6);
+  std::size_t i = lo;
+  std::size_t j = hi - 1;
+  while (true) {
+    while (a.get(i) < pivot) {
+      ++i;
+      cpu.compute(2);
+    }
+    while (a.get(j) > pivot) {
+      --j;
+      cpu.compute(2);
+    }
+    if (i >= j) return j + 1;
+    const long vi = a.get(i);
+    const long vj = a.get(j);
+    a.set(i, vj);
+    a.set(j, vi);
+    ++i;
+    --j;
+    cpu.compute(4);
+  }
+}
+
+void qsort_rec(QsortContext& ctx, std::size_t lo, std::size_t hi,
+               bool annotated) {
+  if (hi - lo < 2) return;
+  if (hi - lo == 2) {
+    auto& a = *ctx.data;
+    if (a.get(lo) > a.get(lo + 1)) {
+      const long x = a.get(lo);
+      a.set(lo, a.get(lo + 1));
+      a.set(lo + 1, x);
+    }
+    return;
+  }
+  const std::size_t split = partition(ctx, lo, hi);
+  const bool parallel = annotated && (hi - lo) > ctx.cutoff;
+  if (parallel) {
+    PAR_SEC_BEGIN("qsort-recurse");
+    PAR_TASK_BEGIN("left");
+    qsort_rec(ctx, lo, split, true);
+    PAR_TASK_END();
+    PAR_TASK_BEGIN("right");
+    qsort_rec(ctx, split, hi, true);
+    PAR_TASK_END();
+    PAR_SEC_END(true);
+  } else {
+    qsort_rec(ctx, lo, split, false);
+    qsort_rec(ctx, split, hi, false);
+  }
+}
+
+}  // namespace
+
+KernelRun run_qsort(const QsortParams& p, const KernelConfig& cfg) {
+  KernelHarness h(cfg);
+  util::Xoshiro256 rng(p.seed);
+  vcpu::InstrumentedArray<long> data(h.cpu(), p.n);
+  long expected_sum = 0;
+  for (std::size_t i = 0; i < p.n; ++i) {
+    const long v = static_cast<long>(rng.uniform_u64(0, 1'000'000));
+    data.set(i, v);
+    expected_sum += v;
+  }
+  QsortContext ctx{&h.cpu(), &data, p.parallel_cutoff};
+
+  h.begin();
+  PAR_SEC_BEGIN("qsort-top");
+  PAR_TASK_BEGIN("root");
+  qsort_rec(ctx, 0, p.n, true);
+  PAR_TASK_END();
+  PAR_SEC_END(true);
+
+  // Verify: non-decreasing and sum-preserving.
+  bool sorted = true;
+  long sum = data.raw(0);
+  for (std::size_t i = 1; i < p.n; ++i) {
+    sorted = sorted && data.raw(i - 1) <= data.raw(i);
+    sum += data.raw(i);
+  }
+  return h.finish(sorted && sum == expected_sum ? 1.0 : 0.0);
+}
+
+}  // namespace pprophet::workloads

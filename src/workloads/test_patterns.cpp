@@ -1,0 +1,168 @@
+#include "workloads/test_patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "annotate/annotations.hpp"
+#include "trace/clock.hpp"
+#include "trace/profiler.hpp"
+
+namespace pprophet::workloads {
+namespace {
+
+/// FakeDelay on a virtual clock: spins for `cycles` without touching memory.
+class FakeDelayMachine {
+ public:
+  trace::ManualClock clock;
+  void fake_delay(double cycles) {
+    if (cycles <= 0.0) return;
+    clock.advance(static_cast<Cycles>(cycles + 0.5));
+  }
+};
+
+void test1_body(FakeDelayMachine& m, const Test1Params& p,
+                util::Xoshiro256& rng, const char* sec_name) {
+  PAR_SEC_BEGIN(sec_name);
+  for (std::uint64_t i = 0; i < p.i_max; ++i) {
+    PAR_TASK_BEGIN("t1");
+    const Cycles overhead =
+        compute_overhead(i, p.i_max, p.base_work, p.shape, p.spread, rng);
+    const auto work = static_cast<double>(overhead);
+    const bool do_lock1 = rng.bernoulli(p.lock1_prob);
+    const bool do_lock2 = rng.bernoulli(p.lock2_prob);
+    m.fake_delay(work * p.ratio_delay_1);
+    if (do_lock1) {
+      LOCK_BEGIN(1);
+      m.fake_delay(work * p.ratio_lock_1);
+      LOCK_END(1);
+    }
+    m.fake_delay(work * p.ratio_delay_2);
+    if (do_lock2) {
+      LOCK_BEGIN(2);
+      m.fake_delay(work * p.ratio_lock_2);
+      LOCK_END(2);
+    }
+    m.fake_delay(work * p.ratio_delay_3);
+    PAR_TASK_END();
+  }
+  PAR_SEC_END(true);
+}
+
+}  // namespace
+
+const char* to_string(WorkShape s) {
+  switch (s) {
+    case WorkShape::Uniform: return "uniform";
+    case WorkShape::Random: return "random";
+    case WorkShape::Triangular: return "triangular";
+    case WorkShape::InvTriangular: return "inv-triangular";
+    case WorkShape::Bimodal: return "bimodal";
+    case WorkShape::Sawtooth: return "sawtooth";
+  }
+  return "?";
+}
+
+Cycles compute_overhead(std::uint64_t i, std::uint64_t i_max, Cycles base,
+                        WorkShape shape, double spread,
+                        util::Xoshiro256& rng) {
+  const double m = static_cast<double>(base);
+  const double n = static_cast<double>(std::max<std::uint64_t>(1, i_max));
+  const double x = static_cast<double>(i);
+  double v = m;
+  switch (shape) {
+    case WorkShape::Uniform:
+      break;
+    case WorkShape::Random:
+      v = m * (1.0 + spread * (2.0 * rng.uniform_double() - 1.0));
+      break;
+    case WorkShape::Triangular:
+      v = m * (1.0 - spread + 2.0 * spread * (x + 1.0) / n);
+      break;
+    case WorkShape::InvTriangular:
+      v = m * (1.0 + spread - 2.0 * spread * x / n);
+      break;
+    case WorkShape::Bimodal:
+      v = (i % 2 == 0) ? m * (1.0 + spread) : m * (1.0 - spread);
+      break;
+    case WorkShape::Sawtooth: {
+      const double period = std::max(2.0, n / 4.0);
+      const double phase = std::fmod(x, period) / period;
+      v = m * (1.0 - spread + 2.0 * spread * phase);
+      break;
+    }
+  }
+  return static_cast<Cycles>(std::max(1.0, v));
+}
+
+tree::ProgramTree run_test1(const Test1Params& params) {
+  FakeDelayMachine m;
+  util::Xoshiro256 rng(params.seed);
+  trace::IntervalProfiler profiler(m.clock);
+  annotate::ScopedAnnotationTarget scope(profiler);
+  test1_body(m, params, rng, "test1");
+  return profiler.finish();
+}
+
+tree::ProgramTree run_test2(const Test2Params& params) {
+  FakeDelayMachine m;
+  util::Xoshiro256 rng(params.seed);
+  trace::IntervalProfiler profiler(m.clock);
+  annotate::ScopedAnnotationTarget scope(profiler);
+  PAR_SEC_BEGIN("test2");
+  for (std::uint64_t k = 0; k < params.k_max; ++k) {
+    PAR_TASK_BEGIN("t2");
+    const Cycles overhead = compute_overhead(
+        k, params.k_max, params.base_work, params.shape, params.spread, rng);
+    const auto work = static_cast<double>(overhead);
+    m.fake_delay(work * params.ratio_delay_a);
+    if (rng.bernoulli(params.nested_prob)) {
+      test1_body(m, params.inner, rng, "test2-inner");
+    }
+    m.fake_delay(work * params.ratio_delay_b);
+    PAR_TASK_END();
+  }
+  PAR_SEC_END(true);
+  return profiler.finish();
+}
+
+Test1Params random_test1(util::Xoshiro256& rng) {
+  Test1Params p;
+  p.i_max = rng.uniform_u64(8, 96);
+  p.base_work = rng.uniform_u64(5'000, 80'000);
+  p.shape = static_cast<WorkShape>(rng.uniform_u64(0, 5));
+  p.spread = rng.uniform_double(0.0, 0.9);
+  // Work split: random simplex over the five phases, with locks capped so
+  // fully-serialized samples remain the exception, not the rule.
+  const double l1 = rng.uniform_double(0.0, 0.35);
+  const double l2 = rng.bernoulli(0.4) ? rng.uniform_double(0.0, 0.20) : 0.0;
+  const double rest = 1.0 - l1 - l2;
+  const double c1 = rng.uniform_double(0.1, 0.8);
+  const double c2 = rng.uniform_double(0.0, 1.0 - c1);
+  p.ratio_delay_1 = rest * c1;
+  p.ratio_delay_2 = rest * c2;
+  p.ratio_delay_3 = rest * (1.0 - c1 - c2);
+  p.ratio_lock_1 = l1;
+  p.ratio_lock_2 = l2;
+  p.lock1_prob = l1 > 0.0 ? rng.uniform_double(0.1, 1.0) : 0.0;
+  p.lock2_prob = l2 > 0.0 ? rng.uniform_double(0.1, 1.0) : 0.0;
+  p.seed = rng();
+  return p;
+}
+
+Test2Params random_test2(util::Xoshiro256& rng) {
+  Test2Params p;
+  p.k_max = rng.uniform_u64(4, 24);
+  p.base_work = rng.uniform_u64(10'000, 60'000);
+  p.shape = static_cast<WorkShape>(rng.uniform_u64(0, 5));
+  p.spread = rng.uniform_double(0.0, 0.9);
+  const double tail = rng.uniform_double(0.1, 0.6);
+  p.ratio_delay_a = tail * rng.uniform_double(0.2, 0.8);
+  p.ratio_delay_b = tail - p.ratio_delay_a;
+  p.nested_prob = rng.uniform_double(0.3, 1.0);
+  p.inner = random_test1(rng);
+  p.inner.i_max = rng.uniform_u64(4, 24);  // keep nested loops modest
+  p.seed = rng();
+  return p;
+}
+
+}  // namespace pprophet::workloads

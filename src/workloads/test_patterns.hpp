@@ -1,0 +1,79 @@
+// Test1 and Test2 — the paper's randomized validation workloads
+// (Figures 9 and 10).
+//
+// Test1: a single parallel loop with (1) load imbalance from a configurable
+// per-iteration work shape, (2) up to two critical sections with arbitrary
+// lengths and contention probabilities, and (3) optionally high lock
+// contention. Test2 wraps Test1: an outer parallel loop whose iterations
+// optionally invoke a whole Test1 instance as a *nested* parallel loop.
+//
+// Each run executes the annotated serial program on a virtual clock
+// (FakeDelay == clock advance, exactly the paper's spin-without-memory
+// primitive) under the interval profiler, producing the program tree used
+// by every emulator. 300 random samples of each pattern reproduce the
+// paper's Figure 11 validation.
+#pragma once
+
+#include <cstdint>
+
+#include "tree/node.hpp"
+#include "util/rng.hpp"
+
+namespace pprophet::workloads {
+
+/// Per-iteration work distribution of ComputeOverhead (Figure 9/10: "from a
+/// randomly distributed workload to a regular form of workload, or a mix").
+enum class WorkShape : std::uint8_t {
+  Uniform,      ///< every iteration equal
+  Random,       ///< iid uniform in [M·(1−s), M·(1+s)]
+  Triangular,   ///< grows linearly with i (regular diagonal, LU-style)
+  InvTriangular,///< shrinks linearly with i
+  Bimodal,      ///< long and short iterations interleaved
+  Sawtooth,     ///< periodic ramp
+};
+
+const char* to_string(WorkShape s);
+
+struct Test1Params {
+  std::uint64_t i_max = 64;      ///< trip count
+  Cycles base_work = 20'000;     ///< M: nominal per-iteration cycles
+  WorkShape shape = WorkShape::Random;
+  double spread = 0.5;           ///< s: relative imbalance magnitude
+  double ratio_delay_1 = 0.4;    ///< U before lock 1
+  double ratio_lock_1 = 0.1;     ///< L under lock 1
+  double ratio_delay_2 = 0.3;    ///< U between locks
+  double ratio_lock_2 = 0.0;     ///< L under lock 2
+  double ratio_delay_3 = 0.2;    ///< trailing U
+  double lock1_prob = 0.5;       ///< fraction of iterations taking lock 1
+  double lock2_prob = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct Test2Params {
+  std::uint64_t k_max = 12;      ///< outer trip count
+  Cycles base_work = 30'000;
+  WorkShape shape = WorkShape::Random;
+  double spread = 0.5;
+  double ratio_delay_a = 0.3;    ///< U before the nested loop
+  double ratio_delay_b = 0.2;    ///< U after the nested loop
+  double nested_prob = 0.6;      ///< fraction of iterations invoking Test1
+  Test1Params inner{};           ///< nested-loop pattern (i_max typically small)
+  std::uint64_t seed = 1;
+};
+
+/// The per-iteration work generator (ComputeOverhead in Figures 9/10).
+Cycles compute_overhead(std::uint64_t i, std::uint64_t i_max, Cycles base,
+                        WorkShape shape, double spread, util::Xoshiro256& rng);
+
+/// Runs the annotated Test1/Test2 serial program under the interval
+/// profiler and returns its program tree.
+tree::ProgramTree run_test1(const Test1Params& params);
+tree::ProgramTree run_test2(const Test2Params& params);
+
+/// Random sample generators for the Figure 11 validation sweep: parameters
+/// drawn as the paper does ("300 samples per test case by randomly
+/// selecting the arguments").
+Test1Params random_test1(util::Xoshiro256& rng);
+Test2Params random_test2(util::Xoshiro256& rng);
+
+}  // namespace pprophet::workloads

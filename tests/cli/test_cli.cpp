@@ -1,0 +1,214 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tree/serialize.hpp"
+#include "workloads/test_patterns.hpp"
+
+namespace pprophet::cli {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_path_ = testing::TempDir() + "cli_sample.ptree";
+    workloads::Test1Params p;
+    p.i_max = 16;
+    p.lock1_prob = 0.5;
+    const tree::ProgramTree t = workloads::run_test1(p);
+    std::ofstream f(tree_path_);
+    tree::write_tree(f, t);
+  }
+
+  void TearDown() override { std::remove(tree_path_.c_str()); }
+
+  std::optional<Options> parse(std::vector<std::string> args) {
+    return parse_args(args, err_);
+  }
+
+  int run_cmd(const Options& o) { return run(o, out_, err_); }
+
+  std::string tree_path_;
+  std::ostringstream out_, err_;
+};
+
+TEST_F(CliTest, ParseRejectsEmptyAndUnknown) {
+  EXPECT_FALSE(parse({}).has_value());
+  EXPECT_FALSE(parse({"frobnicate"}).has_value());
+  EXPECT_FALSE(parse({"predict", "--tree", tree_path_, "--zap"}).has_value());
+}
+
+TEST_F(CliTest, ParseRequiresTree) {
+  EXPECT_FALSE(parse({"predict"}).has_value());
+  EXPECT_NE(err_.str().find("--tree"), std::string::npos);
+}
+
+TEST_F(CliTest, ParseFullPredictLine) {
+  const auto o = parse({"predict", "--tree", tree_path_, "--method", "ff",
+                        "--paradigm", "cilk", "--schedule", "guided",
+                        "--chunk", "4", "--threads", "2,6,12", "--cores", "6",
+                        "--memory-model", "--csv", "/tmp/x.csv"});
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->method, core::Method::FastForward);
+  EXPECT_EQ(o->paradigm, core::Paradigm::CilkPlus);
+  EXPECT_EQ(o->schedule, runtime::OmpSchedule::Guided);
+  EXPECT_EQ(o->chunk, 4u);
+  EXPECT_EQ(o->threads, (std::vector<CoreCount>{2, 6, 12}));
+  EXPECT_EQ(o->cores, 6u);
+  EXPECT_TRUE(o->memory_model);
+  EXPECT_EQ(o->csv_path, "/tmp/x.csv");
+}
+
+TEST_F(CliTest, ParseRejectsBadValues) {
+  EXPECT_FALSE(parse({"predict", "--tree", "t", "--method", "magic"}));
+  EXPECT_FALSE(parse({"predict", "--tree", "t", "--schedule", "bogus"}));
+  EXPECT_FALSE(parse({"predict", "--tree", "t", "--threads", "0"}));
+  EXPECT_FALSE(parse({"predict", "--tree", "t", "--threads", "a,b"}));
+  EXPECT_FALSE(parse({"predict", "--tree", "t", "--chunk", "0"}));
+  EXPECT_FALSE(parse({"predict", "--tree", "t", "--cores", "-2"}));
+  EXPECT_FALSE(parse({"predict", "--tree", "t", "--tolerance", "7"}));
+  EXPECT_FALSE(parse({"predict", "--tree", "t", "--csv"}));  // missing value
+}
+
+TEST_F(CliTest, PredictProducesSpeedupTable) {
+  Options o;
+  o.command = "predict";
+  o.tree_path = tree_path_;
+  o.threads = {2, 4};
+  EXPECT_EQ(run_cmd(o), 0);
+  const std::string s = out_.str();
+  EXPECT_NE(s.find("projected speedup"), std::string::npos);
+  EXPECT_NE(s.find("| 4"), std::string::npos);
+}
+
+TEST_F(CliTest, PredictWritesCsv) {
+  Options o;
+  o.command = "predict";
+  o.tree_path = tree_path_;
+  o.threads = {2};
+  o.csv_path = testing::TempDir() + "cli_out.csv";
+  EXPECT_EQ(run_cmd(o), 0);
+  std::ifstream f(o.csv_path);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "threads,speedup,parallel_cycles,serial_cycles,method,"
+                    "schedule");
+  std::remove(o.csv_path.c_str());
+}
+
+TEST_F(CliTest, PredictWithMemoryModelRuns) {
+  Options o;
+  o.command = "predict";
+  o.tree_path = tree_path_;
+  o.threads = {8};
+  o.memory_model = true;
+  EXPECT_EQ(run_cmd(o), 0);
+  EXPECT_NE(out_.str().find("memory model on"), std::string::npos);
+}
+
+TEST_F(CliTest, InspectReportsStats) {
+  Options o;
+  o.command = "inspect";
+  o.tree_path = tree_path_;
+  EXPECT_EQ(run_cmd(o), 0);
+  const std::string s = out_.str();
+  EXPECT_NE(s.find("valid: yes"), std::string::npos);
+  EXPECT_NE(s.find("test1"), std::string::npos);
+}
+
+TEST_F(CliTest, CompressRoundTrips) {
+  Options o;
+  o.command = "compress";
+  o.tree_path = tree_path_;
+  o.output_path = testing::TempDir() + "cli_compressed.ptree";
+  EXPECT_EQ(run_cmd(o), 0);
+  // The output parses and predicts like the input (within tolerance).
+  std::ifstream f(o.output_path);
+  std::ostringstream text;
+  text << f.rdbuf();
+  EXPECT_NO_THROW({
+    const tree::ProgramTree back = tree::from_text(text.str());
+    EXPECT_GT(back.node_count(), 1u);
+  });
+  std::remove(o.output_path.c_str());
+}
+
+TEST_F(CliTest, CompressWithoutOutputFails) {
+  Options o;
+  o.command = "compress";
+  o.tree_path = tree_path_;
+  EXPECT_EQ(run_cmd(o), 1);
+}
+
+TEST_F(CliTest, MissingFileIsHandled) {
+  Options o;
+  o.command = "predict";
+  o.tree_path = "/nonexistent.ptree";
+  EXPECT_EQ(run_cmd(o), 1);
+  EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, MalformedTreeIsHandled) {
+  const std::string bad = testing::TempDir() + "bad.ptree";
+  std::ofstream(bad) << "Garbage x len=1\n";
+  Options o;
+  o.command = "inspect";
+  o.tree_path = bad;
+  EXPECT_EQ(run_cmd(o), 1);
+  EXPECT_NE(err_.str().find("parse error"), std::string::npos);
+  std::remove(bad.c_str());
+}
+
+TEST_F(CliTest, MainImplEndToEnd) {
+  const char* argv[] = {"pprophet", "predict", "--tree", tree_path_.c_str(),
+                        "--threads", "2"};
+  EXPECT_EQ(main_impl(6, argv, out_, err_), 0);
+  EXPECT_NE(out_.str().find("projected speedup"), std::string::npos);
+}
+
+TEST_F(CliTest, RecommendPrintsSweep) {
+  Options o;
+  o.command = "recommend";
+  o.tree_path = tree_path_;
+  o.threads = {2, 4};
+  EXPECT_EQ(run_cmd(o), 0);
+  const std::string s = out_.str();
+  EXPECT_NE(s.find("best:"), std::string::npos);
+  EXPECT_NE(s.find("economical:"), std::string::npos);
+  EXPECT_NE(s.find("efficiency"), std::string::npos);
+}
+
+TEST_F(CliTest, RecommendParsesAsCommand) {
+  const auto o = parse({"recommend", "--tree", tree_path_, "--threads", "2"});
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->command, "recommend");
+}
+
+TEST_F(CliTest, TimelineRendersGantt) {
+  Options o;
+  o.command = "timeline";
+  o.tree_path = tree_path_;
+  o.threads = {4};
+  EXPECT_EQ(run_cmd(o), 0);
+  const std::string s = out_.str();
+  EXPECT_NE(s.find("thread 0"), std::string::npos);
+  EXPECT_NE(s.find("speedup"), std::string::npos);
+  EXPECT_NE(s.find("lock wait"), std::string::npos);
+}
+
+TEST_F(CliTest, TimelineCilkParadigm) {
+  Options o;
+  o.command = "timeline";
+  o.tree_path = tree_path_;
+  o.paradigm = core::Paradigm::CilkPlus;
+  o.threads = {2};
+  EXPECT_EQ(run_cmd(o), 0);
+  EXPECT_NE(out_.str().find("CilkPlus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pprophet::cli

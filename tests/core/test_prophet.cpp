@@ -1,0 +1,191 @@
+#include "core/prophet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "memmodel/calibration.hpp"
+#include "tree/builder.hpp"
+
+namespace pprophet::core {
+namespace {
+
+using tree::ProgramTree;
+using tree::TreeBuilder;
+
+PredictOptions base_options(Method m) {
+  PredictOptions o;
+  o.method = m;
+  o.machine.cores = 12;
+  o.machine.context_switch = 0;
+  o.omp_overheads = runtime::OmpOverheads{0, 0, 0, 0, 0, 0, 0};
+  o.cilk_overheads = runtime::CilkOverheads{0, 0, 0, 0, 0, 0};
+  o.synth_overheads = runtime::SynthOverheads{0, 0};
+  return o;
+}
+
+ProgramTree balanced_loop(std::uint64_t iters, Cycles len) {
+  TreeBuilder b;
+  b.begin_sec("loop");
+  b.begin_task("t").u(len).end_task().repeat_last(iters);
+  b.end_sec();
+  return b.finish();
+}
+
+TEST(Prophet, AllMethodsAgreeOnBalancedLoop) {
+  const ProgramTree t = balanced_loop(48, 1000);
+  for (const Method m : {Method::FastForward, Method::Synthesizer,
+                         Method::GroundTruth}) {
+    const SpeedupEstimate e = predict(t, 4, base_options(m));
+    EXPECT_NEAR(e.speedup, 4.0, 0.05) << to_string(m);
+  }
+}
+
+TEST(Prophet, CurveIsMonotoneForScalableLoop) {
+  const ProgramTree t = balanced_loop(480, 1000);
+  const CoreCount counts[] = {2, 4, 6, 8, 10, 12};
+  const auto curve = predict_curve(t, counts, base_options(Method::Synthesizer));
+  ASSERT_EQ(curve.size(), 6u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].speedup, curve[i - 1].speedup);
+  }
+  EXPECT_NEAR(curve.back().speedup, 12.0, 0.2);
+}
+
+TEST(Prophet, SerialCyclesPreferMeasuredRootLength) {
+  ProgramTree t = balanced_loop(4, 100);
+  EXPECT_EQ(serial_cycles_of(t), 400u);
+  t.root->set_length(1000);  // profiler-measured (includes glue)
+  EXPECT_EQ(serial_cycles_of(t), 1000u);
+}
+
+// End-to-end Figure 7: FF mispredicts 1.5; the synthesizer and the ground
+// truth both land near 2.0 — the paper's core motivating discrepancy.
+TEST(Prophet, Figure7FfVsSynthesizer) {
+  const Cycles k = 10'000;
+  TreeBuilder b;
+  b.begin_sec("Loop1");
+  b.begin_task("i0");
+  b.begin_sec("LoopA");
+  b.begin_task("a0").u(10 * k).end_task();
+  b.begin_task("a1").u(5 * k).end_task();
+  b.end_sec();
+  b.end_task();
+  b.begin_task("i1");
+  b.begin_sec("LoopB");
+  b.begin_task("b0").u(5 * k).end_task();
+  b.begin_task("b1").u(10 * k).end_task();
+  b.end_sec();
+  b.end_task();
+  b.end_sec();
+  const ProgramTree t = b.finish();
+
+  PredictOptions o = base_options(Method::FastForward);
+  o.machine.cores = 2;
+  o.machine.quantum = k / 10;
+  const double ff = predict(t, 2, o).speedup;
+  o.method = Method::Synthesizer;
+  const double syn = predict(t, 2, o).speedup;
+  o.method = Method::GroundTruth;
+  const double real = predict(t, 2, o).speedup;
+
+  EXPECT_NEAR(ff, 1.5, 0.01);
+  EXPECT_GT(syn, 1.85);
+  EXPECT_GT(real, 1.85);
+  EXPECT_NEAR(syn, real, 0.15);
+}
+
+TEST(Prophet, SynthesizerWithoutMemoryModelIgnoresBurdens) {
+  ProgramTree t = balanced_loop(8, 1000);
+  t.root->child(0)->set_burden(4, 2.0);  // pretend the model ran
+  PredictOptions o = base_options(Method::Synthesizer);
+  o.memory_model = false;
+  const double plain = predict(t, 4, o).speedup;
+  o.memory_model = true;
+  const double burdened = predict(t, 4, o).speedup;
+  EXPECT_NEAR(plain, 4.0, 0.05);
+  EXPECT_NEAR(burdened, 2.0, 0.05);  // every node ×2
+}
+
+TEST(Prophet, GroundTruthSeesMemoryContention) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  tree::SectionCounters c;
+  c.instructions = 32'000;
+  c.cycles = 32'000;
+  c.llc_misses = 160;  // fully memory bound at ω=200
+  b.counters(c);
+  b.begin_task("t").u(1000).end_task().repeat_last(32);
+  b.end_sec();
+  const ProgramTree t = b.finish();
+
+  PredictOptions o = base_options(Method::GroundTruth);
+  o.machine.bandwidth.saturation_mbps = 500.0;  // near the solo traffic
+  const double s2 = predict(t, 2, o).speedup;
+  const double s8 = predict(t, 8, o).speedup;
+  EXPECT_LT(s8, 4.0);          // saturated well below linear
+  EXPECT_LT(s8 / s2, 8.0 / 2.0);  // diminishing returns
+}
+
+TEST(Prophet, CilkParadigmHandlesRecursion) {
+  // Recursive tree that nested-OpenMP handles badly but Cilk handles well.
+  TreeBuilder b;
+  std::function<void(int)> rec = [&](int depth) {
+    if (depth == 0) {
+      b.u(1000);
+      return;
+    }
+    b.begin_sec("rec");
+    for (int i = 0; i < 2; ++i) {
+      b.begin_task("half");
+      rec(depth - 1);
+      b.end_task();
+    }
+    b.end_sec();
+    b.u(200);
+  };
+  b.begin_sec("top");
+  b.begin_task("root");
+  rec(5);
+  b.end_task();
+  b.end_sec();
+  const ProgramTree t = b.finish();
+
+  PredictOptions o = base_options(Method::GroundTruth);
+  o.paradigm = Paradigm::CilkPlus;
+  o.machine.cores = 4;
+  const double cilk = predict(t, 4, o).speedup;
+  EXPECT_GT(cilk, 2.4);
+}
+
+TEST(Prophet, SuitabilityDeviatesOnInnerLoops) {
+  TreeBuilder b;
+  for (int k = 0; k < 10; ++k) {
+    b.begin_sec("inner");
+    for (int i = 0; i < 8; ++i) b.begin_task("t").u(3000).end_task();
+    b.end_sec();
+  }
+  const ProgramTree t = b.finish();
+  const double real =
+      predict(t, 8, base_options(Method::GroundTruth)).speedup;
+  const double suit =
+      predict(t, 8, base_options(Method::Suitability)).speedup;
+  EXPECT_LT(suit, 0.8 * real);
+}
+
+TEST(Prophet, RejectsBadInputs) {
+  const ProgramTree t = balanced_loop(4, 100);
+  EXPECT_THROW(predict(t, 0, base_options(Method::FastForward)),
+               std::invalid_argument);
+  EXPECT_THROW(predict(ProgramTree{}, 2, base_options(Method::FastForward)),
+               std::invalid_argument);
+}
+
+TEST(Prophet, MethodNamesForReports) {
+  EXPECT_STREQ(to_string(Method::FastForward), "FF");
+  EXPECT_STREQ(to_string(Method::Synthesizer), "SYN");
+  EXPECT_STREQ(to_string(Method::Suitability), "Suit");
+  EXPECT_STREQ(to_string(Method::GroundTruth), "Real");
+  EXPECT_STREQ(to_string(Paradigm::CilkPlus), "CilkPlus");
+}
+
+}  // namespace
+}  // namespace pprophet::core

@@ -1,0 +1,89 @@
+#include "core/recommend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "report/experiment.hpp"
+#include "tree/builder.hpp"
+
+namespace pprophet::core {
+namespace {
+
+using tree::ProgramTree;
+using tree::TreeBuilder;
+
+RecommendOptions quick_options() {
+  RecommendOptions o;
+  o.base = report::paper_options(Method::Synthesizer);
+  o.thread_counts = {2, 4, 8};
+  return o;
+}
+
+ProgramTree balanced_loop() {
+  TreeBuilder b;
+  b.begin_sec("s");
+  b.begin_task("t").u(10'000).end_task().repeat_last(64);
+  b.end_sec();
+  return b.finish();
+}
+
+TEST(Recommend, BestIsTopOfSweep) {
+  const Recommendation r = recommend(balanced_loop(), quick_options());
+  ASSERT_FALSE(r.sweep.empty());
+  EXPECT_DOUBLE_EQ(r.best.speedup, r.sweep.front().speedup);
+  for (std::size_t i = 1; i < r.sweep.size(); ++i) {
+    EXPECT_LE(r.sweep[i].speedup, r.sweep[i - 1].speedup);
+  }
+}
+
+TEST(Recommend, BalancedLoopPrefersManyThreads) {
+  const Recommendation r = recommend(balanced_loop(), quick_options());
+  EXPECT_EQ(r.best.threads, 8u);
+  EXPECT_GT(r.best.speedup, 6.0);
+}
+
+TEST(Recommend, EconomicalNeverExceedsBestThreads) {
+  const Recommendation r = recommend(balanced_loop(), quick_options());
+  EXPECT_LE(r.economical.threads, r.best.threads);
+  EXPECT_GE(r.economical.speedup,
+            r.best.speedup * (1.0 - quick_options().efficiency_knee) - 1e-9);
+}
+
+TEST(Recommend, LockBoundLoopRecommendsFewThreads) {
+  // Fully serialized by one lock: more threads only add overhead, so the
+  // economical pick is the smallest count.
+  TreeBuilder b;
+  b.begin_sec("s");
+  for (int i = 0; i < 24; ++i) b.begin_task("t").l(1, 5'000).end_task();
+  b.end_sec();
+  const ProgramTree t = b.finish();
+  const Recommendation r = recommend(t, quick_options());
+  EXPECT_EQ(r.economical.threads, 2u);
+  EXPECT_LT(r.best.speedup, 1.5);
+}
+
+TEST(Recommend, CilkEvaluatedOncePerThreadCount) {
+  RecommendOptions o = quick_options();
+  const Recommendation r = recommend(balanced_loop(), o);
+  // OpenMP: 4 schedules × 3 counts; Cilk: 1 × 3 counts.
+  EXPECT_EQ(r.sweep.size(), 4u * 3u + 3u);
+}
+
+TEST(Recommend, TriangularWorkloadAvoidsStaticBlock) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  for (int i = 1; i <= 48; ++i) {
+    b.begin_task("t").u(static_cast<Cycles>(i) * 500).end_task();
+  }
+  b.end_sec();
+  const Recommendation r = recommend(b.finish(), quick_options());
+  EXPECT_NE(r.best.schedule, runtime::OmpSchedule::StaticBlock);
+}
+
+TEST(Recommend, RejectsEmptySweep) {
+  RecommendOptions o = quick_options();
+  o.thread_counts.clear();
+  EXPECT_THROW(recommend(balanced_loop(), o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pprophet::core

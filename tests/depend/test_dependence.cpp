@@ -1,0 +1,187 @@
+#include "depend/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pprophet::depend {
+namespace {
+
+class DependenceTest : public ::testing::Test {
+ protected:
+  vcpu::VirtualCpu cpu;
+};
+
+TEST_F(DependenceTest, IndependentLoopIsParallel) {
+  vcpu::InstrumentedArray<double> a(cpu, 64);
+  vcpu::InstrumentedArray<double> b(cpu, 64);
+  DependenceTracker tr(cpu);
+  tr.loop_begin("map");
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    tr.iteration(i);
+    b.set(i, a.get(i) * 2.0);
+  }
+  const LoopReport r = tr.loop_end();
+  EXPECT_EQ(r.verdict(), Verdict::Parallel);
+  EXPECT_EQ(r.raw, 0u);
+  EXPECT_EQ(r.war, 0u);
+  EXPECT_EQ(r.waw, 0u);
+  EXPECT_EQ(r.iterations, 64u);
+}
+
+TEST_F(DependenceTest, AccumulatorIsReduction) {
+  vcpu::InstrumentedArray<double> a(cpu, 64);
+  vcpu::InstrumentedArray<double> sum(cpu, 1);
+  DependenceTracker tr(cpu);
+  tr.loop_begin("reduce");
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    tr.iteration(i);
+    const double v = a.get(i);
+    sum.update(0, [&](double s) { return s + v; });
+  }
+  const LoopReport r = tr.loop_end();
+  EXPECT_EQ(r.verdict(), Verdict::ParallelWithReduction);
+  EXPECT_EQ(r.reduction_words, 1u);
+  EXPECT_EQ(r.dependent_words, 0u);
+}
+
+TEST_F(DependenceTest, PrefixSumIsSerial) {
+  vcpu::InstrumentedArray<double> a(cpu, 64, 1.0);
+  DependenceTracker tr(cpu);
+  tr.loop_begin("scan");
+  for (std::uint64_t i = 1; i < 64; ++i) {
+    tr.iteration(i);
+    a.set(i, a.get(i - 1) + a.get(i));  // reads the previous iteration's write
+  }
+  const LoopReport r = tr.loop_end();
+  EXPECT_EQ(r.verdict(), Verdict::Serial);
+  EXPECT_GT(r.raw, 0u);
+  EXPECT_GT(r.dependent_words, 0u);
+  EXPECT_FALSE(r.sample_addresses.empty());
+}
+
+TEST_F(DependenceTest, InPlaceStencilHasWarDependences) {
+  vcpu::InstrumentedArray<double> a(cpu, 64, 1.0);
+  DependenceTracker tr(cpu);
+  tr.loop_begin("stencil");
+  for (std::uint64_t i = 1; i + 1 < 64; ++i) {
+    tr.iteration(i);
+    // Reads a[i+1] that a later iteration writes: WAR when i+1 writes it.
+    a.set(i, a.get(i - 1) + a.get(i + 1));
+  }
+  const LoopReport r = tr.loop_end();
+  EXPECT_EQ(r.verdict(), Verdict::Serial);
+  EXPECT_GT(r.war, 0u);
+  EXPECT_GT(r.raw, 0u);  // the a[i-1] reads
+}
+
+TEST_F(DependenceTest, SameIterationReuseIsNotADependence) {
+  vcpu::InstrumentedArray<double> a(cpu, 8);
+  DependenceTracker tr(cpu);
+  tr.loop_begin("local");
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    tr.iteration(i);
+    a.set(i, 1.0);
+    const double v = a.get(i);  // same-iteration RAW: fine
+    a.set(i, v + 1.0);          // same-iteration WAW/WAR: fine
+  }
+  const LoopReport r = tr.loop_end();
+  EXPECT_EQ(r.verdict(), Verdict::Parallel);
+}
+
+TEST_F(DependenceTest, SharedScratchWritesAreWawSerial) {
+  vcpu::InstrumentedArray<double> scratch(cpu, 1);
+  DependenceTracker tr(cpu);
+  tr.loop_begin("shared-scratch");
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    tr.iteration(i);
+    scratch.set(0, static_cast<double>(i));  // plain write, not an update
+  }
+  const LoopReport r = tr.loop_end();
+  EXPECT_EQ(r.verdict(), Verdict::Serial);
+  EXPECT_GT(r.waw, 0u);
+  EXPECT_EQ(r.reduction_words, 0u);  // plain writes are not reductions
+}
+
+TEST_F(DependenceTest, MixedReadBreaksReductionShape) {
+  // An accumulator that is also read non-RMW mid-loop is not a safe
+  // reduction (the intermediate value is observed).
+  vcpu::InstrumentedArray<double> sum(cpu, 1);
+  vcpu::InstrumentedArray<double> out(cpu, 16);
+  DependenceTracker tr(cpu);
+  tr.loop_begin("observed-accumulator");
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    tr.iteration(i);
+    sum.update(0, [&](double s) { return s + 1.0; });
+    out.set(i, sum.get(0));  // observes the running value
+  }
+  const LoopReport r = tr.loop_end();
+  EXPECT_EQ(r.verdict(), Verdict::Serial);
+}
+
+TEST_F(DependenceTest, MultiWordAccessesTouchAllWords) {
+  struct Big {
+    double a, b, c;
+  };
+  vcpu::InstrumentedArray<Big> arr(cpu, 4);
+  DependenceTracker tr(cpu);
+  tr.loop_begin("wide");
+  tr.iteration(0);
+  arr.set(0, Big{1, 2, 3});
+  tr.iteration(1);
+  const Big v = arr.get(0);  // 24-byte read: 3 words, all RAW
+  (void)v;
+  const LoopReport r = tr.loop_end();
+  EXPECT_EQ(r.raw, 3u);
+}
+
+TEST_F(DependenceTest, TrackerIsReusableAcrossLoops) {
+  vcpu::InstrumentedArray<double> a(cpu, 8, 1.0);
+  DependenceTracker tr(cpu);
+  tr.loop_begin("serial-one");
+  for (std::uint64_t i = 1; i < 8; ++i) {
+    tr.iteration(i);
+    a.set(i, a.get(i - 1));
+  }
+  EXPECT_EQ(tr.loop_end().verdict(), Verdict::Serial);
+
+  // Shadow state must reset: the same array, now accessed independently.
+  tr.loop_begin("parallel-two");
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    tr.iteration(i);
+    a.set(i, 2.0);
+  }
+  EXPECT_EQ(tr.loop_end().verdict(), Verdict::Parallel);
+}
+
+TEST_F(DependenceTest, MisuseThrows) {
+  DependenceTracker tr(cpu);
+  EXPECT_THROW(tr.iteration(0), std::logic_error);
+  EXPECT_THROW(tr.loop_end(), std::logic_error);
+  tr.loop_begin("x");
+  EXPECT_THROW(tr.loop_begin("y"), std::logic_error);
+}
+
+TEST_F(DependenceTest, AccessesOutsideIterationsIgnored) {
+  vcpu::InstrumentedArray<double> a(cpu, 8);
+  DependenceTracker tr(cpu);
+  tr.loop_begin("loop");
+  a.set(0, 1.0);  // before any iteration() mark: setup, not loop body
+  tr.iteration(0);
+  const double v = a.get(0);
+  (void)v;
+  const LoopReport r = tr.loop_end();
+  EXPECT_EQ(r.raw, 0u);  // the setup write is not iteration work
+}
+
+TEST_F(DependenceTest, ObserverDetachesOnDestruction) {
+  {
+    DependenceTracker tr(cpu);
+    tr.loop_begin("x");
+    tr.iteration(0);
+  }  // destructor detaches
+  vcpu::InstrumentedArray<double> a(cpu, 4);
+  a.set(0, 1.0);  // must not crash on a dangling observer
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pprophet::depend

@@ -1,0 +1,155 @@
+#include "emul/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/builder.hpp"
+
+namespace pprophet::emul {
+namespace {
+
+using tree::ProgramTree;
+using tree::TreeBuilder;
+
+/// A pipeline of `items` items, each with the given stage lengths.
+ProgramTree pipe_tree(std::size_t items, std::vector<Cycles> stages) {
+  TreeBuilder b;
+  b.begin_sec("pipe");
+  b.begin_task("item");
+  for (const Cycles s : stages) b.u(s);
+  b.end_task();
+  b.repeat_last(items);
+  b.end_sec();
+  return b.finish();
+}
+
+PipelineConfig cfg(CoreCount workers, Cycles handoff = 0) {
+  PipelineConfig c;
+  c.workers = workers;
+  c.stage_handoff = handoff;
+  return c;
+}
+
+TEST(Pipeline, SingleWorkerIsSerial) {
+  const ProgramTree t = pipe_tree(10, {100, 200, 300});
+  const PipelineResult r = emulate_pipeline(*t.root->child(0), cfg(1));
+  EXPECT_EQ(r.serial_cycles, 10u * 600u);
+  EXPECT_EQ(r.parallel_cycles, r.serial_cycles);
+  EXPECT_DOUBLE_EQ(r.speedup(), 1.0);
+}
+
+TEST(Pipeline, BalancedStagesApproachStageCountSpeedup) {
+  // 3 equal stages, 3 workers, many items: steady state processes one item
+  // per stage-time; speedup → 3 as fill/drain amortizes.
+  const ProgramTree t = pipe_tree(100, {100, 100, 100});
+  const PipelineResult r = emulate_pipeline(*t.root->child(0), cfg(3));
+  // makespan = fill (2×100) + 100 per item = 10200.
+  EXPECT_EQ(r.parallel_cycles, 10'200u);
+  EXPECT_NEAR(r.speedup(), 2.94, 0.01);
+}
+
+TEST(Pipeline, BottleneckStageBoundsThroughput) {
+  // Stage 300 dominates: makespan ≈ items × 300; speedup ≤ total/bottleneck.
+  const ProgramTree t = pipe_tree(100, {50, 300, 50});
+  const PipelineResult r = emulate_pipeline(*t.root->child(0), cfg(3));
+  EXPECT_EQ(r.bottleneck_cycles, 100u * 300u);
+  EXPECT_GE(r.parallel_cycles, r.bottleneck_cycles);
+  EXPECT_LE(r.speedup(), static_cast<double>(r.serial_cycles) /
+                             static_cast<double>(r.bottleneck_cycles) + 0.01);
+}
+
+TEST(Pipeline, MoreWorkersThanStagesDoesNotHelp) {
+  const ProgramTree t = pipe_tree(50, {100, 100});
+  const Cycles two = emulate_pipeline(*t.root->child(0), cfg(2)).parallel_cycles;
+  const Cycles eight =
+      emulate_pipeline(*t.root->child(0), cfg(8)).parallel_cycles;
+  EXPECT_EQ(two, eight);  // stages are the concurrency limit
+}
+
+TEST(Pipeline, StageFusionBalancesUnevenStages) {
+  // 4 stages {100,100,100,300}, 2 workers. Balanced fusion puts {100,100,
+  // 100} on one worker and {300} on the other: per-item 300/300, speedup→2.
+  const ProgramTree t = pipe_tree(100, {100, 100, 100, 300});
+  const PipelineResult r = emulate_pipeline(*t.root->child(0), cfg(2));
+  EXPECT_NEAR(r.speedup(), 2.0, 0.05);
+}
+
+TEST(Pipeline, HandoffCostReducesSpeedup) {
+  const ProgramTree t = pipe_tree(50, {100, 100, 100});
+  const double free_speedup =
+      emulate_pipeline(*t.root->child(0), cfg(3, 0)).speedup();
+  const double costly =
+      emulate_pipeline(*t.root->child(0), cfg(3, 50)).speedup();
+  EXPECT_LT(costly, free_speedup);
+}
+
+TEST(Pipeline, HeterogeneousItemsStillOrdered) {
+  // Items with alternating heavy/light middle stages: the wavefront must
+  // respect item order; throughput equals the middle stage's total demand.
+  TreeBuilder b;
+  b.begin_sec("pipe");
+  for (int i = 0; i < 20; ++i) {
+    b.begin_task("item").u(10).u(i % 2 == 0 ? 200 : 50).u(10).end_task();
+  }
+  b.end_sec();
+  const ProgramTree t = b.finish();
+  const PipelineResult r = emulate_pipeline(*t.root->child(0), cfg(3));
+  EXPECT_EQ(r.bottleneck_cycles, 10u * 200u + 10u * 50u);
+  EXPECT_GE(r.parallel_cycles, r.bottleneck_cycles);
+}
+
+TEST(Pipeline, LockStagesCountAsStages) {
+  TreeBuilder b;
+  b.begin_sec("pipe");
+  b.begin_task("item").u(100).l(1, 50).u(100).end_task().repeat_last(10);
+  b.end_sec();
+  const ProgramTree t = b.finish();
+  const PipelineResult r = emulate_pipeline(*t.root->child(0), cfg(3));
+  EXPECT_EQ(r.stages, 3u);
+  EXPECT_GT(r.speedup(), 1.5);
+}
+
+TEST(Pipeline, CompressedRepeatsExpand) {
+  const ProgramTree t = pipe_tree(64, {100, 100});
+  const PipelineResult r = emulate_pipeline(*t.root->child(0), cfg(2));
+  EXPECT_EQ(r.items, 64u);
+}
+
+TEST(Pipeline, RejectsBadInputs) {
+  const ProgramTree t = pipe_tree(4, {100});
+  EXPECT_THROW(emulate_pipeline(*t.root->child(0), cfg(0)),
+               std::invalid_argument);
+  EXPECT_THROW(emulate_pipeline(*t.root, cfg(2)), std::invalid_argument);
+
+  // Ragged stage counts.
+  TreeBuilder ragged;
+  ragged.begin_sec("pipe");
+  ragged.begin_task("a").u(10).u(10).end_task();
+  ragged.begin_task("b").u(10).end_task();
+  ragged.end_sec();
+  const ProgramTree rt = ragged.finish();
+  EXPECT_THROW(emulate_pipeline(*rt.root->child(0), cfg(2)),
+               std::invalid_argument);
+
+  // Nested sections are not pipelinable.
+  TreeBuilder nested;
+  nested.begin_sec("pipe");
+  nested.begin_task("a");
+  nested.begin_sec("inner");
+  nested.begin_task("x").u(5).end_task();
+  nested.end_sec();
+  nested.end_task();
+  nested.end_sec();
+  const ProgramTree nt = nested.finish();
+  EXPECT_THROW(emulate_pipeline(*nt.root->child(0), cfg(2)),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, EmptySectionIsTrivial) {
+  tree::Node sec(tree::NodeKind::Sec, "empty");
+  const PipelineResult r = emulate_pipeline(sec, cfg(4));
+  EXPECT_EQ(r.items, 0u);
+  EXPECT_EQ(r.parallel_cycles, 1u);
+}
+
+}  // namespace
+}  // namespace pprophet::emul

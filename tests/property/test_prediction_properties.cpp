@@ -1,0 +1,127 @@
+// Property tests of the prediction stack: for random workloads, every
+// emulator must respect basic speedup laws and stay consistent with the
+// ground-truth machine within its documented accuracy envelope.
+#include <gtest/gtest.h>
+
+#include "core/prophet.hpp"
+#include "tree/compress.hpp"
+#include "report/experiment.hpp"
+#include "workloads/test_patterns.hpp"
+
+namespace pprophet::core {
+namespace {
+
+struct Case {
+  runtime::OmpSchedule schedule;
+  CoreCount threads;
+  std::uint64_t seed;
+};
+
+class PredictionProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  static PredictOptions options(Method m, const Case& c) {
+    PredictOptions o = report::paper_options(m);
+    o.schedule = c.schedule;
+    return o;
+  }
+};
+
+TEST_P(PredictionProperty, SpeedupLawsHoldOnTest1) {
+  const Case c = GetParam();
+  util::Xoshiro256 rng(c.seed);
+  for (int s = 0; s < 5; ++s) {
+    const tree::ProgramTree t =
+        workloads::run_test1(workloads::random_test1(rng));
+    for (const Method m : {Method::FastForward, Method::Synthesizer,
+                           Method::GroundTruth}) {
+      const double sp = predict(t, c.threads, options(m, c)).speedup;
+      EXPECT_GT(sp, 0.0);
+      // No superlinear speedups in this model (no cache-growth effects).
+      EXPECT_LE(sp, static_cast<double>(c.threads) * 1.01)
+          << to_string(m) << " sample " << s;
+    }
+  }
+}
+
+TEST_P(PredictionProperty, FfWithinEnvelopeOfGroundTruthOnFlatLoops) {
+  const Case c = GetParam();
+  util::Xoshiro256 rng(c.seed * 31 + 7);
+  for (int s = 0; s < 5; ++s) {
+    const tree::ProgramTree t =
+        workloads::run_test1(workloads::random_test1(rng));
+    const double real =
+        predict(t, c.threads, options(Method::GroundTruth, c)).speedup;
+    const double ff =
+        predict(t, c.threads, options(Method::FastForward, c)).speedup;
+    // Figure 11(a)/(b): FF on single-level loops stays within ~25%.
+    EXPECT_NEAR(ff, real, 0.25 * real) << "sample " << s;
+  }
+}
+
+TEST_P(PredictionProperty, SynthesizerTracksGroundTruthTightly) {
+  const Case c = GetParam();
+  util::Xoshiro256 rng(c.seed * 17 + 3);
+  // Includes nested samples — the synthesizer's specialty.
+  const tree::ProgramTree t =
+      workloads::run_test2(workloads::random_test2(rng));
+  const double real =
+      predict(t, c.threads, options(Method::GroundTruth, c)).speedup;
+  const double syn =
+      predict(t, c.threads, options(Method::Synthesizer, c)).speedup;
+  EXPECT_NEAR(syn, real, 0.10 * real);
+}
+
+TEST_P(PredictionProperty, MonotoneNonDecreasingUpToNoise) {
+  const Case c = GetParam();
+  util::Xoshiro256 rng(c.seed * 13 + 1);
+  const tree::ProgramTree t =
+      workloads::run_test1(workloads::random_test1(rng));
+  double prev = 0.0;
+  for (const CoreCount n : {1u, 2u, 4u, 8u}) {
+    const double sp = predict(t, n, options(Method::GroundTruth, c)).speedup;
+    // Allow small dips (lock-arrival reordering), never large regressions.
+    EXPECT_GE(sp, prev * 0.9) << n;
+    prev = std::max(prev, sp);
+  }
+}
+
+TEST_P(PredictionProperty, EmulationInvariantUnderCompression) {
+  const Case c = GetParam();
+  util::Xoshiro256 rng(c.seed * 101 + 9);
+  workloads::Test1Params p = workloads::random_test1(rng);
+  p.shape = workloads::WorkShape::Uniform;  // exact merges only
+  const tree::ProgramTree raw = workloads::run_test1(p);
+  tree::ProgramTree packed;
+  packed.root = raw.root->clone();
+  tree::compress(packed, {.tolerance = 0.0});
+  const double a =
+      predict(raw, c.threads, options(Method::FastForward, c)).speedup;
+  const double b =
+      predict(packed, c.threads, options(Method::FastForward, c)).speedup;
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PredictionProperty,
+    ::testing::Values(Case{runtime::OmpSchedule::StaticCyclic, 4, 101},
+                      Case{runtime::OmpSchedule::StaticCyclic, 8, 102},
+                      Case{runtime::OmpSchedule::StaticCyclic, 12, 103},
+                      Case{runtime::OmpSchedule::StaticBlock, 4, 104},
+                      Case{runtime::OmpSchedule::StaticBlock, 8, 105},
+                      Case{runtime::OmpSchedule::StaticBlock, 12, 106},
+                      Case{runtime::OmpSchedule::Dynamic, 4, 107},
+                      Case{runtime::OmpSchedule::Dynamic, 8, 108},
+                      Case{runtime::OmpSchedule::Dynamic, 12, 109},
+                      Case{runtime::OmpSchedule::Guided, 8, 110}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(runtime::to_string(info.param.schedule)) == "static,c"
+                 ? "static1_t" + std::to_string(info.param.threads)
+             : std::string(runtime::to_string(info.param.schedule)) == "static"
+                 ? "static_t" + std::to_string(info.param.threads)
+             : std::string(runtime::to_string(info.param.schedule)) == "guided"
+                 ? "guided_t" + std::to_string(info.param.threads)
+                 : "dynamic_t" + std::to_string(info.param.threads);
+    });
+
+}  // namespace
+}  // namespace pprophet::core

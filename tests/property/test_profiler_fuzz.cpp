@@ -1,0 +1,143 @@
+// Fuzz tests of the interval profiler: random annotation streams —
+// well-formed ones must always yield valid trees whose leaf work equals the
+// virtual time spent inside tasks; malformed ones must always raise
+// AnnotationError and never corrupt state or crash.
+#include <gtest/gtest.h>
+
+#include "trace/profiler.hpp"
+#include "tree/validate.hpp"
+#include "util/rng.hpp"
+
+namespace pprophet::trace {
+namespace {
+
+/// Emits a random well-formed annotation stream, returning the cycles spent
+/// inside tasks outside locks (U work), inside locks (L work), and between
+/// annotations at levels where the model attributes nothing (glue).
+struct StreamStats {
+  Cycles task_u = 0;
+  Cycles task_l = 0;
+  Cycles top_u = 0;
+  Cycles glue = 0;
+};
+
+void emit_section(IntervalProfiler& p, ManualClock& clock,
+                  util::Xoshiro256& rng, int depth, StreamStats& st);
+
+void emit_task(IntervalProfiler& p, ManualClock& clock,
+               util::Xoshiro256& rng, int depth, StreamStats& st) {
+  p.task_begin("t");
+  const int segments = static_cast<int>(rng.uniform_u64(0, 3));
+  for (int s = 0; s < segments; ++s) {
+    const double roll = rng.uniform_double();
+    if (roll < 0.5) {
+      const Cycles c = rng.uniform_u64(1, 500);
+      clock.advance(c);
+      st.task_u += c;
+    } else if (roll < 0.8) {
+      const auto id = static_cast<LockId>(rng.uniform_u64(1, 3));
+      p.lock_begin(id);
+      const Cycles c = rng.uniform_u64(1, 200);
+      clock.advance(c);
+      st.task_l += c;
+      p.lock_end(id);
+    } else if (depth > 0) {
+      emit_section(p, clock, rng, depth - 1, st);
+    }
+  }
+  p.task_end();
+}
+
+void emit_section(IntervalProfiler& p, ManualClock& clock,
+                  util::Xoshiro256& rng, int depth, StreamStats& st) {
+  p.sec_begin("s");
+  const int tasks = static_cast<int>(rng.uniform_u64(1, 5));
+  for (int t = 0; t < tasks; ++t) {
+    if (rng.bernoulli(0.2)) {
+      const Cycles c = rng.uniform_u64(1, 50);
+      clock.advance(c);  // glue between tasks
+      st.glue += c;
+    }
+    emit_task(p, clock, rng, depth, st);
+  }
+  p.sec_end(rng.bernoulli(0.9));
+}
+
+class ProfilerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfilerFuzz, WellFormedStreamsProduceConsistentTrees) {
+  util::Xoshiro256 rng(GetParam());
+  ManualClock clock;
+  IntervalProfiler p(clock);
+  StreamStats st;
+  const int top = static_cast<int>(rng.uniform_u64(1, 4));
+  for (int i = 0; i < top; ++i) {
+    if (rng.bernoulli(0.5)) {
+      const Cycles c = rng.uniform_u64(1, 1'000);
+      clock.advance(c);
+      st.top_u += c;
+    }
+    emit_section(p, clock, rng, 2, st);
+  }
+  const tree::ProgramTree t = p.finish();
+  EXPECT_TRUE(tree::is_valid(t));
+  // Leaf work == attributed cycles; glue == unattributed.
+  EXPECT_EQ(t.total_serial_cycles(), st.task_u + st.task_l + st.top_u);
+  EXPECT_EQ(p.unattributed_cycles(), st.glue);
+  // The root's measured length covers everything.
+  EXPECT_EQ(t.root->length(), st.task_u + st.task_l + st.top_u + st.glue);
+}
+
+TEST_P(ProfilerFuzz, OnlineCompressionPreservesTotals) {
+  util::Xoshiro256 rng(GetParam() * 37 + 5);
+  ManualClock clock;
+  ProfilerOptions opts;
+  opts.online_compression = true;
+  opts.online_tolerance = 0.0;  // exact merges only: totals preserved
+  IntervalProfiler p(clock, nullptr, opts);
+  StreamStats st;
+  emit_section(p, clock, rng, 1, st);
+  const tree::ProgramTree t = p.finish();
+  EXPECT_TRUE(tree::is_valid(t));
+  EXPECT_EQ(t.total_serial_cycles(), st.task_u + st.task_l);
+}
+
+TEST_P(ProfilerFuzz, MalformedStreamsAlwaysThrow) {
+  util::Xoshiro256 rng(GetParam() * 91 + 17);
+  // Build a random valid prefix, then inject one of several corruptions.
+  for (int corruption = 0; corruption < 6; ++corruption) {
+    ManualClock clock;
+    IntervalProfiler p(clock);
+    p.sec_begin("s");
+    p.task_begin("t");
+    clock.advance(rng.uniform_u64(1, 100));
+    switch (corruption) {
+      case 0:
+        EXPECT_THROW(p.sec_end(true), AnnotationError);  // open task
+        break;
+      case 1:
+        p.lock_begin(1);
+        EXPECT_THROW(p.task_end(), AnnotationError);  // open lock
+        break;
+      case 2:
+        EXPECT_THROW(p.lock_end(2), AnnotationError);  // never locked
+        break;
+      case 3:
+        p.lock_begin(1);
+        EXPECT_THROW(p.lock_begin(2), AnnotationError);  // nested lock
+        break;
+      case 4:
+        EXPECT_THROW(p.finish(), AnnotationError);  // unclosed annotations
+        break;
+      case 5:
+        EXPECT_THROW(p.task_begin("nested-in-task"), AnnotationError);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfilerFuzz,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace pprophet::trace

@@ -1,0 +1,128 @@
+// Property tests over randomly generated program trees: serialization,
+// compression and packing must preserve the invariants the emulators rely
+// on, for any tree the grammar allows.
+#include <gtest/gtest.h>
+
+#include "tree/builder.hpp"
+#include "tree/compress.hpp"
+#include "tree/serialize.hpp"
+#include "tree/tree_stats.hpp"
+#include "tree/validate.hpp"
+#include "util/rng.hpp"
+
+namespace pprophet::tree {
+namespace {
+
+/// Grows a random valid tree: top-level U/Sec mix, tasks with U/L/nested-Sec
+/// children, bounded depth and size.
+void grow_task(TreeBuilder& b, util::Xoshiro256& rng, int depth) {
+  const int segments = static_cast<int>(rng.uniform_u64(1, 4));
+  for (int s = 0; s < segments; ++s) {
+    const double roll = rng.uniform_double();
+    if (roll < 0.55) {
+      b.u(rng.uniform_u64(1, 10'000));
+    } else if (roll < 0.8) {
+      b.l(static_cast<LockId>(rng.uniform_u64(1, 3)),
+          rng.uniform_u64(1, 5'000));
+    } else if (depth > 0) {
+      b.begin_sec("nested");
+      const int tasks = static_cast<int>(rng.uniform_u64(1, 4));
+      for (int t = 0; t < tasks; ++t) {
+        b.begin_task("nt");
+        grow_task(b, rng, depth - 1);
+        b.end_task();
+        if (rng.bernoulli(0.3)) b.repeat_last(rng.uniform_u64(1, 5));
+      }
+      b.end_sec(rng.bernoulli(0.9));
+    } else {
+      b.u(rng.uniform_u64(1, 1'000));
+    }
+  }
+}
+
+ProgramTree random_tree(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  TreeBuilder b;
+  const int top = static_cast<int>(rng.uniform_u64(1, 4));
+  for (int i = 0; i < top; ++i) {
+    if (rng.bernoulli(0.3)) b.u(rng.uniform_u64(1, 20'000));
+    b.begin_sec("sec");
+    const int tasks = static_cast<int>(rng.uniform_u64(1, 6));
+    for (int t = 0; t < tasks; ++t) {
+      b.begin_task("t");
+      grow_task(b, rng, 2);
+      b.end_task();
+      if (rng.bernoulli(0.4)) b.repeat_last(rng.uniform_u64(1, 8));
+    }
+    b.end_sec();
+  }
+  return b.finish();
+}
+
+class TreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeProperty, GeneratedTreesAreValid) {
+  const ProgramTree t = random_tree(GetParam());
+  EXPECT_TRUE(is_valid(t)) << to_text(t);
+}
+
+TEST_P(TreeProperty, SerializationRoundTripsExactly) {
+  const ProgramTree t = random_tree(GetParam());
+  const ProgramTree back = from_text(to_text(t));
+  EXPECT_TRUE(structurally_equal(*t.root, *back.root, 0.0));
+  EXPECT_EQ(t.total_serial_cycles(), back.total_serial_cycles());
+  // Second round trip is a fixed point.
+  EXPECT_EQ(to_text(back), to_text(t));
+}
+
+TEST_P(TreeProperty, ExactCompressionPreservesWorkAndValidity) {
+  ProgramTree t = random_tree(GetParam());
+  const Cycles work = t.total_serial_cycles();
+  const std::uint64_t logical = compute_stats(t).logical_nodes;
+  const CompressStats s = compress(t, {.tolerance = 0.0});
+  EXPECT_TRUE(is_valid(t));
+  EXPECT_EQ(t.total_serial_cycles(), work);  // exact-merge RLE is lossless
+  EXPECT_EQ(compute_stats(t).logical_nodes, logical);
+  EXPECT_LE(s.nodes_after, s.nodes_before);
+}
+
+TEST_P(TreeProperty, ToleranceCompressionBoundsWorkDrift) {
+  ProgramTree t = random_tree(GetParam());
+  const Cycles work = t.total_serial_cycles();
+  compress(t);  // the paper's 5% tolerance
+  EXPECT_TRUE(is_valid(t));
+  const auto drift = static_cast<double>(
+      work > t.total_serial_cycles() ? work - t.total_serial_cycles()
+                                     : t.total_serial_cycles() - work);
+  EXPECT_LE(drift, 0.05 * static_cast<double>(work) + 8.0);
+}
+
+TEST_P(TreeProperty, CompressionIsIdempotent) {
+  ProgramTree t = random_tree(GetParam());
+  compress(t);
+  const std::string once = to_text(t);
+  compress(t);
+  EXPECT_EQ(to_text(t), once);
+}
+
+TEST_P(TreeProperty, PackUnpackPreservesStructure) {
+  ProgramTree t = random_tree(GetParam());
+  compress(t);
+  const PackedTree packed = pack(t);
+  const ProgramTree back = unpack(packed);
+  EXPECT_TRUE(structurally_equal(*t.root, *back.root, 0.0));
+  EXPECT_EQ(back.total_serial_cycles(), t.total_serial_cycles());
+}
+
+TEST_P(TreeProperty, CloneIsIndistinguishable) {
+  const ProgramTree t = random_tree(GetParam());
+  const NodePtr copy = t.root->clone();
+  EXPECT_TRUE(structurally_equal(*t.root, *copy, 0.0));
+  EXPECT_EQ(copy->serial_work(), t.root->serial_work());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace pprophet::tree

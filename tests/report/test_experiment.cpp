@@ -1,0 +1,61 @@
+#include "report/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pprophet::report {
+namespace {
+
+TEST(PaperMachine, MatchesTestbedShape) {
+  const machine::MachineConfig m = paper_machine();
+  EXPECT_EQ(m.cores, 12u);
+  EXPECT_GT(m.quantum, 0u);
+  EXPECT_GT(m.bandwidth.saturation_mbps, 0.0);
+}
+
+TEST(PaperOptions, MethodIsThreadedThrough) {
+  for (const core::Method m : {core::Method::FastForward,
+                               core::Method::Synthesizer,
+                               core::Method::GroundTruth}) {
+    EXPECT_EQ(paper_options(m).method, m);
+  }
+}
+
+TEST(PaperCoreCounts, AreTheFigureTicks) {
+  const auto& counts = paper_core_counts();
+  ASSERT_EQ(counts.size(), 6u);
+  EXPECT_EQ(counts.front(), 2u);
+  EXPECT_EQ(counts.back(), 12u);
+}
+
+TEST(PrintSpeedupPanel, EmitsTableAndChart) {
+  std::ostringstream os;
+  print_speedup_panel(os, "panel", {2, 4},
+                      {{"Real", '#', {1.8, 3.4}}, {"Pred", 'o', {1.9, 3.5}}});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("panel"), std::string::npos);
+  EXPECT_NE(s.find("2-core"), std::string::npos);
+  EXPECT_NE(s.find("3.40"), std::string::npos);
+  EXPECT_NE(s.find("'#' = Real"), std::string::npos);
+}
+
+TEST(PrintValidationPanel, EmitsStatsAndScatter) {
+  std::ostringstream os;
+  print_validation_panel(os, "val", {1.0, 2.0, 3.0}, {1.1, 2.1, 2.9});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("avg err"), std::string::npos);
+  EXPECT_NE(s.find("within 20%"), std::string::npos);
+  EXPECT_NE(s.find("pred==real"), std::string::npos);
+}
+
+TEST(PrintHeader, FramesTheTitle) {
+  std::ostringstream os;
+  print_header(os, "Some Experiment");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Some Experiment"), std::string::npos);
+  EXPECT_NE(s.find("===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pprophet::report

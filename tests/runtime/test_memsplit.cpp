@@ -1,0 +1,71 @@
+#include "runtime/memsplit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pprophet::runtime {
+namespace {
+
+TEST(MemSplit, NullCountersGiveZeroSplit) {
+  const MemSplit s = split_from_counters(nullptr, 200);
+  EXPECT_DOUBLE_EQ(s.mem_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.traffic_mbps, 0.0);
+}
+
+TEST(MemSplit, FromCountersMatchesEq1Decomposition) {
+  tree::SectionCounters c;
+  c.cycles = 100'000;
+  c.llc_misses = 100;  // ω=200 -> 20'000 memory cycles
+  c.instructions = 50'000;
+  const MemSplit s = split_from_counters(&c, 200);
+  EXPECT_DOUBLE_EQ(s.mem_fraction, 0.2);
+  EXPECT_GT(s.traffic_mbps, 0.0);
+}
+
+TEST(MemSplit, MemFractionClampedToOne) {
+  tree::SectionCounters c;
+  c.cycles = 1'000;
+  c.llc_misses = 100;  // 20'000 >> 1'000
+  const MemSplit s = split_from_counters(&c, 200);
+  EXPECT_DOUBLE_EQ(s.mem_fraction, 1.0);
+}
+
+TEST(LeafCostModel, RealModeSplitsLength) {
+  LeafCostModel m;
+  m.mode = LeafCostModel::Mode::Real;
+  m.split.mem_fraction = 0.25;
+  m.split.traffic_mbps = 1234.0;
+  const machine::Op op = m.leaf_op(1000);
+  EXPECT_EQ(op.kind, machine::Op::Kind::Exec);
+  EXPECT_EQ(op.compute, 750u);
+  EXPECT_EQ(op.mem, 250u);
+  EXPECT_DOUBLE_EQ(op.traffic_mbps, 1234.0);
+}
+
+TEST(LeafCostModel, RealModePreservesTotalLength) {
+  LeafCostModel m;
+  m.split.mem_fraction = 0.333;
+  for (const Cycles len : {1u, 7u, 999u, 12345u}) {
+    const machine::Op op = m.leaf_op(len);
+    EXPECT_EQ(op.compute + op.mem, len);
+  }
+}
+
+TEST(LeafCostModel, SynthModeAppliesBurden) {
+  LeafCostModel m;
+  m.mode = LeafCostModel::Mode::Synth;
+  m.burden = 1.4;
+  const machine::Op op = m.leaf_op(1000);
+  EXPECT_EQ(op.compute, 1400u);
+  EXPECT_EQ(op.mem, 0u);
+  EXPECT_DOUBLE_EQ(op.traffic_mbps, 0.0);
+}
+
+TEST(LeafCostModel, SynthBurdenOneIsIdentity) {
+  LeafCostModel m;
+  m.mode = LeafCostModel::Mode::Synth;
+  const machine::Op op = m.leaf_op(777);
+  EXPECT_EQ(op.compute, 777u);
+}
+
+}  // namespace
+}  // namespace pprophet::runtime

@@ -1,0 +1,71 @@
+#include "annotate/annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/validate.hpp"
+
+namespace pprophet::annotate {
+namespace {
+
+// An "annotated serial program" in the paper's style: the macros are inert
+// until a profiler is installed.
+void annotated_program(trace::ManualClock& clock) {
+  clock.advance(10);
+  PAR_SEC_BEGIN("loop1");
+  for (int i = 0; i < 4; ++i) {
+    PAR_TASK_BEGIN("t1");
+    clock.advance(50);
+    LOCK_BEGIN(1);
+    clock.advance(20);
+    LOCK_END(1);
+    PAR_TASK_END();
+  }
+  PAR_SEC_END(true);
+}
+
+TEST(Annotations, MacrosAreInertWithoutTarget) {
+  trace::ManualClock clock;
+  ASSERT_EQ(target(), nullptr);
+  annotated_program(clock);  // must not crash or throw
+  EXPECT_EQ(target(), nullptr);
+}
+
+TEST(Annotations, MacrosDriveInstalledProfiler) {
+  trace::ManualClock clock;
+  trace::IntervalProfiler profiler(clock);
+  {
+    ScopedAnnotationTarget scope(profiler);
+    annotated_program(clock);
+  }
+  const tree::ProgramTree t = profiler.finish();
+  EXPECT_TRUE(tree::is_valid(t));
+  ASSERT_EQ(t.root->children().size(), 2u);  // U + Sec
+  const tree::Node* sec = t.root->child(1);
+  EXPECT_EQ(sec->name(), "loop1");
+  EXPECT_EQ(sec->children().size(), 4u);
+  EXPECT_EQ(sec->serial_work(), 4u * 70u);
+}
+
+TEST(Annotations, ScopedTargetRestoresPrevious) {
+  trace::ManualClock clock;
+  trace::IntervalProfiler outer(clock);
+  trace::IntervalProfiler inner(clock);
+  ScopedAnnotationTarget a(outer);
+  EXPECT_EQ(target(), &outer);
+  {
+    ScopedAnnotationTarget b(inner);
+    EXPECT_EQ(target(), &inner);
+  }
+  EXPECT_EQ(target(), &outer);
+  set_target(nullptr);
+}
+
+TEST(Annotations, SetTargetReturnsPrevious) {
+  trace::ManualClock clock;
+  trace::IntervalProfiler p(clock);
+  EXPECT_EQ(set_target(&p), nullptr);
+  EXPECT_EQ(set_target(nullptr), &p);
+}
+
+}  // namespace
+}  // namespace pprophet::annotate

@@ -1,0 +1,265 @@
+#include "trace/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/validate.hpp"
+
+namespace pprophet::trace {
+namespace {
+
+using tree::NodeKind;
+
+// Drives the profiler with a manual clock: each helper advances virtual
+// time, so node lengths are exact.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ManualClock clock;
+};
+
+TEST_F(ProfilerTest, EmptyProgramYieldsRootOnly) {
+  IntervalProfiler p(clock);
+  clock.advance(100);
+  const tree::ProgramTree t = p.finish();
+  ASSERT_TRUE(t.root != nullptr);
+  ASSERT_EQ(t.root->children().size(), 1u);  // one top-level U
+  EXPECT_EQ(t.root->child(0)->kind(), NodeKind::U);
+  EXPECT_EQ(t.root->child(0)->length(), 100u);
+  EXPECT_EQ(t.root->length(), 100u);
+}
+
+TEST_F(ProfilerTest, SimpleLoopBuildsFigure4StyleTree) {
+  IntervalProfiler p(clock);
+  clock.advance(10);  // serial prologue
+  p.sec_begin("loop");
+  for (int i = 0; i < 3; ++i) {
+    p.task_begin("t");
+    clock.advance(50);
+    p.lock_begin(1);
+    clock.advance(20);
+    p.lock_end(1);
+    clock.advance(30);
+    p.task_end();
+  }
+  p.sec_end(true);
+  clock.advance(5);  // serial epilogue
+  const tree::ProgramTree t = p.finish();
+
+  EXPECT_TRUE(tree::is_valid(t));
+  ASSERT_EQ(t.root->children().size(), 3u);  // U, Sec, U
+  EXPECT_EQ(t.root->child(0)->length(), 10u);
+  const tree::Node* sec = t.root->child(1);
+  EXPECT_EQ(sec->kind(), NodeKind::Sec);
+  EXPECT_EQ(sec->length(), 300u);
+  ASSERT_EQ(sec->children().size(), 3u);
+  const tree::Node* task = sec->child(0);
+  EXPECT_EQ(task->length(), 100u);
+  ASSERT_EQ(task->children().size(), 3u);
+  EXPECT_EQ(task->child(0)->kind(), NodeKind::U);
+  EXPECT_EQ(task->child(0)->length(), 50u);
+  EXPECT_EQ(task->child(1)->kind(), NodeKind::L);
+  EXPECT_EQ(task->child(1)->length(), 20u);
+  EXPECT_EQ(task->child(1)->lock_id(), 1u);
+  EXPECT_EQ(task->child(2)->length(), 30u);
+  EXPECT_EQ(t.root->child(2)->length(), 5u);
+}
+
+TEST_F(ProfilerTest, NestedSectionInsideTask) {
+  IntervalProfiler p(clock);
+  p.sec_begin("outer");
+  p.task_begin("i");
+  clock.advance(10);
+  p.sec_begin("inner");
+  p.task_begin("j");
+  clock.advance(40);
+  p.task_end();
+  p.sec_end(false);  // nowait
+  clock.advance(10);
+  p.task_end();
+  p.sec_end(true);
+  const tree::ProgramTree t = p.finish();
+
+  EXPECT_TRUE(tree::is_valid(t));
+  const tree::Node* outer = t.root->child(0);
+  const tree::Node* task = outer->child(0);
+  ASSERT_EQ(task->children().size(), 3u);  // U, Sec, U
+  EXPECT_EQ(task->child(1)->kind(), NodeKind::Sec);
+  EXPECT_FALSE(task->child(1)->barrier_at_end());
+  EXPECT_EQ(task->child(1)->length(), 40u);
+  EXPECT_TRUE(outer->barrier_at_end());
+}
+
+TEST_F(ProfilerTest, GlueBetweenTasksIsUnattributed) {
+  IntervalProfiler p(clock);
+  p.sec_begin("s");
+  clock.advance(7);  // glue before first task
+  p.task_begin("t");
+  clock.advance(10);
+  p.task_end();
+  clock.advance(3);  // glue between/after tasks
+  p.sec_end(true);
+  const tree::ProgramTree t = p.finish();
+  EXPECT_EQ(p.unattributed_cycles(), 10u);
+  // The Sec node's measured length still covers the glue.
+  EXPECT_EQ(t.root->child(0)->length(), 20u);
+  EXPECT_EQ(t.root->child(0)->serial_work(), 10u);
+}
+
+TEST_F(ProfilerTest, ZeroLengthUNodesAreNotEmitted) {
+  IntervalProfiler p(clock);
+  p.sec_begin("s");
+  p.task_begin("t");
+  p.lock_begin(1);
+  clock.advance(5);
+  p.lock_end(1);
+  p.task_end();
+  p.sec_end(true);
+  const tree::ProgramTree t = p.finish();
+  const tree::Node* task = t.root->child(0)->child(0);
+  ASSERT_EQ(task->children().size(), 1u);  // only the L node
+  EXPECT_EQ(task->child(0)->kind(), NodeKind::L);
+}
+
+TEST_F(ProfilerTest, CountersAttachedToTopLevelSectionsOnly) {
+  AnalyticCounterSource counters(clock, /*ipc=*/2.0, /*mpi=*/0.01);
+  IntervalProfiler p(clock, &counters);
+  p.sec_begin("outer");
+  p.task_begin("t");
+  p.sec_begin("inner");
+  p.task_begin("u");
+  clock.advance(1000);
+  p.task_end();
+  p.sec_end(true);
+  p.task_end();
+  p.sec_end(true);
+  const tree::ProgramTree t = p.finish();
+  const tree::Node* outer = t.root->child(0);
+  ASSERT_NE(outer->counters(), nullptr);
+  EXPECT_EQ(outer->counters()->cycles, 1000u);
+  EXPECT_EQ(outer->counters()->instructions, 2000u);
+  EXPECT_EQ(outer->counters()->llc_misses, 20u);
+  const tree::Node* inner = outer->child(0)->child(0);
+  EXPECT_EQ(inner->counters(), nullptr);
+}
+
+TEST_F(ProfilerTest, MismatchedSecEndThrows) {
+  IntervalProfiler p(clock);
+  p.sec_begin("s");
+  p.task_begin("t");
+  EXPECT_THROW(p.sec_end(true), AnnotationError);
+}
+
+TEST_F(ProfilerTest, MismatchedTaskEndThrows) {
+  IntervalProfiler p(clock);
+  p.sec_begin("s");
+  EXPECT_THROW(p.task_end(), AnnotationError);
+}
+
+TEST_F(ProfilerTest, TaskOutsideSectionThrows) {
+  IntervalProfiler p(clock);
+  EXPECT_THROW(p.task_begin("t"), AnnotationError);
+}
+
+TEST_F(ProfilerTest, LockOutsideTaskThrows) {
+  IntervalProfiler p(clock);
+  EXPECT_THROW(p.lock_begin(1), AnnotationError);
+}
+
+TEST_F(ProfilerTest, NestedLocksThrow) {
+  IntervalProfiler p(clock);
+  p.sec_begin("s");
+  p.task_begin("t");
+  p.lock_begin(1);
+  EXPECT_THROW(p.lock_begin(2), AnnotationError);
+}
+
+TEST_F(ProfilerTest, WrongLockIdOnEndThrows) {
+  IntervalProfiler p(clock);
+  p.sec_begin("s");
+  p.task_begin("t");
+  p.lock_begin(1);
+  EXPECT_THROW(p.lock_end(2), AnnotationError);
+}
+
+TEST_F(ProfilerTest, LockEndWithoutBeginThrows) {
+  IntervalProfiler p(clock);
+  p.sec_begin("s");
+  p.task_begin("t");
+  EXPECT_THROW(p.lock_end(1), AnnotationError);
+}
+
+TEST_F(ProfilerTest, TaskEndWithOpenLockThrows) {
+  IntervalProfiler p(clock);
+  p.sec_begin("s");
+  p.task_begin("t");
+  p.lock_begin(1);
+  EXPECT_THROW(p.task_end(), AnnotationError);
+}
+
+TEST_F(ProfilerTest, LockIdZeroIsReserved) {
+  IntervalProfiler p(clock);
+  p.sec_begin("s");
+  p.task_begin("t");
+  EXPECT_THROW(p.lock_begin(0), AnnotationError);
+}
+
+TEST_F(ProfilerTest, FinishWithOpenAnnotationsThrows) {
+  IntervalProfiler p(clock);
+  p.sec_begin("s");
+  EXPECT_THROW(p.finish(), AnnotationError);
+}
+
+TEST_F(ProfilerTest, OnlineCompressionMergesIdenticalTasks) {
+  ProfilerOptions opts;
+  opts.online_compression = true;
+  IntervalProfiler p(clock, nullptr, opts);
+  p.sec_begin("s");
+  for (int i = 0; i < 500; ++i) {
+    p.task_begin("t");
+    clock.advance(100);
+    p.task_end();
+  }
+  p.sec_end(true);
+  const tree::ProgramTree t = p.finish();
+  const tree::Node* sec = t.root->child(0);
+  ASSERT_EQ(sec->children().size(), 1u);
+  EXPECT_EQ(sec->child(0)->repeat(), 500u);
+  EXPECT_EQ(sec->serial_work(), 500u * 100u);
+}
+
+TEST_F(ProfilerTest, OnlineCompressionKeepsDistinctTasks) {
+  ProfilerOptions opts;
+  opts.online_compression = true;
+  opts.online_tolerance = 0.05;
+  IntervalProfiler p(clock, nullptr, opts);
+  p.sec_begin("s");
+  for (int i = 0; i < 4; ++i) {
+    p.task_begin("t");
+    clock.advance(100 + 100 * static_cast<Cycles>(i));  // growing lengths
+    p.task_end();
+  }
+  p.sec_end(true);
+  const tree::ProgramTree t = p.finish();
+  EXPECT_EQ(t.root->child(0)->children().size(), 4u);
+}
+
+// With a real clock, the profiler's own callback cost must be subtracted:
+// profiling a loop of N cheap annotated tasks should not inflate the tree's
+// serial work by the annotation cost.
+TEST(ProfilerOverhead, SelfExclusionKeepsLengthsStable) {
+  SteadyClock clock;
+  IntervalProfiler with(clock, nullptr, {.subtract_overhead = true});
+  with.sec_begin("s");
+  for (int i = 0; i < 20000; ++i) {
+    with.task_begin("t");
+    with.task_end();
+  }
+  with.sec_end(true);
+  const tree::ProgramTree t = with.finish();
+  EXPECT_GT(with.excluded_overhead(), 0u);
+  // Empty tasks should carry (near-)zero attributed work; allow scheduler
+  // noise of a few microseconds total.
+  EXPECT_LT(t.root->child(0)->serial_work(), 4'000'000u);  // < 4 ms in ns
+}
+
+}  // namespace
+}  // namespace pprophet::trace

@@ -1,0 +1,115 @@
+#include "tree/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pprophet::tree {
+namespace {
+
+TEST(TreeBuilder, BuildsFigure4Tree) {
+  // The example tree of the paper's Figure 4: a section "loop1" with an
+  // outer iteration containing a lock and a nested section "loop2" with four
+  // iterations of 40/50 cycles.
+  TreeBuilder b;
+  b.begin_sec("loop1");
+  b.begin_task("t1");
+  b.u(50);          // Compute(p1)
+  b.l(1, 25);       // Compute(p2) under lock1
+  b.begin_sec("loop2");
+  b.begin_task("t2").u(50).end_task();
+  b.begin_task("t2").u(50).end_task();
+  b.begin_task("t2").u(50).end_task();
+  b.begin_task("t2").u(40).end_task();
+  b.end_sec(true);
+  b.u(25);          // Compute(p5)
+  b.end_task();
+  b.end_sec(true);
+  const ProgramTree t = b.finish();
+
+  ASSERT_EQ(t.top_level().size(), 1u);
+  const Node* loop1 = t.root->child(0);
+  EXPECT_EQ(loop1->kind(), NodeKind::Sec);
+  EXPECT_EQ(loop1->name(), "loop1");
+  const Node* t1 = loop1->child(0);
+  ASSERT_EQ(t1->children().size(), 4u);
+  EXPECT_EQ(t1->child(0)->kind(), NodeKind::U);
+  EXPECT_EQ(t1->child(1)->kind(), NodeKind::L);
+  EXPECT_EQ(t1->child(2)->kind(), NodeKind::Sec);
+  EXPECT_EQ(t1->child(3)->kind(), NodeKind::U);
+  EXPECT_EQ(t1->child(2)->logical_child_count(), 4u);
+  // Aggregates: loop2 = 190, t1 = 50+25+190+25 = 290.
+  EXPECT_EQ(t1->child(2)->length(), 190u);
+  EXPECT_EQ(t1->length(), 290u);
+}
+
+TEST(TreeBuilder, MismatchedEndThrows) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  EXPECT_THROW(b.end_task(), std::logic_error);
+}
+
+TEST(TreeBuilder, EndWithoutBeginThrows) {
+  TreeBuilder b;
+  EXPECT_THROW(b.end_sec(), std::logic_error);
+}
+
+TEST(TreeBuilder, FinishWithOpenNodesThrows) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  EXPECT_THROW(b.finish(), std::logic_error);
+}
+
+TEST(TreeBuilder, RepeatLastWithoutChildrenThrows) {
+  TreeBuilder b;
+  EXPECT_THROW(b.repeat_last(2), std::logic_error);
+}
+
+TEST(TreeBuilder, NowaitRecordedOnSection) {
+  TreeBuilder b;
+  b.begin_sec("s").begin_task("t").u(1).end_task().end_sec(false);
+  const ProgramTree t = b.finish();
+  EXPECT_FALSE(t.root->child(0)->barrier_at_end());
+}
+
+TEST(TreeBuilder, ExplicitLengthNotOverwritten) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  b.current()->set_length(777);  // e.g. measured wall length incl. overhead
+  b.begin_task("t").u(10).end_task();
+  b.end_sec();
+  const ProgramTree t = b.finish();
+  EXPECT_EQ(t.root->child(0)->length(), 777u);
+}
+
+TEST(TreeBuilder, TopLevelSerialNodes) {
+  TreeBuilder b;
+  b.u(100);
+  b.begin_sec("s").begin_task("t").u(10).end_task().end_sec();
+  b.u(200);
+  const ProgramTree t = b.finish();
+  ASSERT_EQ(t.top_level().size(), 3u);
+  EXPECT_EQ(t.top_level()[0]->kind(), NodeKind::U);
+  EXPECT_EQ(t.top_level()[1]->kind(), NodeKind::Sec);
+  EXPECT_EQ(t.total_serial_cycles(), 310u);
+}
+
+TEST(FillAggregateLengths, RecursesThroughRepeats) {
+  TreeBuilder b;
+  b.begin_sec("outer");
+  b.begin_task("it");
+  b.u(10);
+  b.begin_sec("inner");
+  b.begin_task("jt").u(5).end_task().repeat_last(4);
+  b.end_sec();
+  b.end_task();
+  b.repeat_last(3);
+  b.end_sec();
+  const ProgramTree t = b.finish();
+  // inner = 20; task = 30; outer = 3 * 30 = 90.
+  EXPECT_EQ(t.root->child(0)->length(), 90u);
+  EXPECT_EQ(t.total_serial_cycles(), 90u);
+}
+
+}  // namespace
+}  // namespace pprophet::tree

@@ -1,0 +1,180 @@
+#include "tree/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/builder.hpp"
+#include "tree/tree_stats.hpp"
+#include "tree/validate.hpp"
+
+namespace pprophet::tree {
+namespace {
+
+// A loop of `n` iterations each with one U leaf of the given lengths.
+ProgramTree loop_tree(const std::vector<Cycles>& iter_lengths) {
+  TreeBuilder b;
+  b.begin_sec("loop");
+  for (std::size_t i = 0; i < iter_lengths.size(); ++i) {
+    b.begin_task("t").u(iter_lengths[i]).end_task();
+  }
+  b.end_sec();
+  return b.finish();
+}
+
+TEST(Compress, MergesIdenticalIterations) {
+  ProgramTree t = loop_tree(std::vector<Cycles>(1000, 50));
+  const CompressStats s = compress(t);
+  EXPECT_EQ(s.nodes_before, 1 + 1 + 1000 * 2u);
+  // All 1000 iterations collapse into one Task (+U) with repeat 1000.
+  EXPECT_EQ(t.root->child(0)->children().size(), 1u);
+  EXPECT_EQ(t.root->child(0)->child(0)->repeat(), 1000u);
+  EXPECT_EQ(s.nodes_after, 4u);
+  EXPECT_GT(s.node_reduction(), 0.99);
+  EXPECT_FALSE(s.lossy_merges);
+}
+
+TEST(Compress, PreservesSerialWork) {
+  ProgramTree t = loop_tree(std::vector<Cycles>(257, 123));
+  const Cycles before = t.total_serial_cycles();
+  compress(t);
+  EXPECT_EQ(t.total_serial_cycles(), before);
+}
+
+TEST(Compress, ToleranceMergesNearbyLengths) {
+  // 5% tolerance: 100 and 103 merge; 100 and 120 do not.
+  ProgramTree t1 = loop_tree({100, 103, 100, 103});
+  compress(t1, {.tolerance = 0.05});
+  EXPECT_EQ(t1.root->child(0)->children().size(), 1u);
+
+  ProgramTree t2 = loop_tree({100, 120, 100, 120});
+  compress(t2, {.tolerance = 0.05});
+  EXPECT_EQ(t2.root->child(0)->children().size(), 4u);
+}
+
+TEST(Compress, MergedLengthIsWeightedAverage) {
+  ProgramTree t = loop_tree({100, 104});
+  compress(t, {.tolerance = 0.05});
+  ASSERT_EQ(t.root->child(0)->children().size(), 1u);
+  EXPECT_EQ(t.root->child(0)->child(0)->child(0)->length(), 102u);
+  // Serial work is preserved within rounding: 2 * 102 == 204.
+  EXPECT_EQ(t.total_serial_cycles(), 204u);
+}
+
+TEST(Compress, LossyModeAbsorbsLargeDeviations) {
+  ProgramTree t = loop_tree({100, 150, 100, 150});
+  const CompressStats s =
+      compress(t, {.tolerance = 0.05, .lossy = true, .lossy_tolerance = 0.5});
+  EXPECT_EQ(t.root->child(0)->children().size(), 1u);
+  EXPECT_TRUE(s.lossy_merges);
+  EXPECT_GT(s.max_absorbed_deviation, 0.05);
+}
+
+TEST(Compress, DoesNotMergeAcrossDifferentLockIds) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  b.begin_task("t").l(1, 50).end_task();
+  b.begin_task("t").l(2, 50).end_task();
+  b.end_sec();
+  ProgramTree t = b.finish();
+  compress(t);
+  EXPECT_EQ(t.root->child(0)->children().size(), 2u);
+}
+
+TEST(Compress, DoesNotMergeDifferentShapes) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  b.begin_task("t").u(50).end_task();
+  b.begin_task("t").u(50).l(1, 10).end_task();
+  b.end_sec();
+  ProgramTree t = b.finish();
+  compress(t);
+  EXPECT_EQ(t.root->child(0)->children().size(), 2u);
+}
+
+TEST(Compress, AlternatingPatternDoesNotCollapse) {
+  // RLE only merges consecutive runs; A B A B stays 4 entries.
+  ProgramTree t = loop_tree({10, 1000, 10, 1000});
+  compress(t);
+  EXPECT_EQ(t.root->child(0)->children().size(), 4u);
+}
+
+TEST(Compress, NestedLoopsCompressBottomUp) {
+  TreeBuilder b;
+  b.begin_sec("outer");
+  for (int i = 0; i < 8; ++i) {
+    b.begin_task("it");
+    b.u(10);
+    b.begin_sec("inner");
+    for (int j = 0; j < 16; ++j) {
+      b.begin_task("jt").u(5).end_task();
+    }
+    b.end_sec();
+    b.end_task();
+  }
+  b.end_sec();
+  ProgramTree t = b.finish();
+  const Cycles work = t.total_serial_cycles();
+  const CompressStats s = compress(t);
+  // Inner loops compress to repeat=16, then all 8 outer iterations become
+  // structurally identical and compress to repeat=8.
+  EXPECT_EQ(t.root->child(0)->children().size(), 1u);
+  EXPECT_EQ(t.root->child(0)->child(0)->repeat(), 8u);
+  EXPECT_EQ(t.total_serial_cycles(), work);
+  EXPECT_LT(s.nodes_after, s.nodes_before / 10);
+  EXPECT_TRUE(is_valid(t));
+}
+
+TEST(Compress, StructurallyEqualRespectsBarrierFlag) {
+  TreeBuilder b1;
+  b1.begin_sec("s").begin_task("t").u(1).end_task().end_sec(true);
+  TreeBuilder b2;
+  b2.begin_sec("s").begin_task("t").u(1).end_task().end_sec(false);
+  const ProgramTree t1 = b1.finish();
+  const ProgramTree t2 = b2.finish();
+  EXPECT_FALSE(structurally_equal(*t1.root, *t2.root, 0.0));
+}
+
+TEST(Pack, DictionaryDeduplicatesNonAdjacentPatterns) {
+  // A B A B: RLE cannot merge, but the dictionary should store A and B once.
+  ProgramTree t = loop_tree({10, 1000, 10, 1000});
+  compress(t);
+  const PackedTree packed = pack(t);
+  // Patterns: U(10), Task(U10), U(1000), Task(U1000), Sec == 5 unique.
+  EXPECT_EQ(packed.dictionary.size(), 5u);
+  EXPECT_EQ(packed.top.size(), 1u);
+}
+
+TEST(Pack, UnpackRoundTripsStructure) {
+  ProgramTree t = loop_tree({10, 1000, 10, 1000, 10, 1000});
+  compress(t);
+  const PackedTree packed = pack(t);
+  const ProgramTree back = unpack(packed);
+  EXPECT_EQ(back.total_serial_cycles(), t.total_serial_cycles());
+  EXPECT_TRUE(structurally_equal(*t.root, *back.root, 0.0));
+}
+
+TEST(Pack, PackedFormIsSmallerForRepetitiveTrees) {
+  TreeBuilder b;
+  // 64 sections, identical shape, interleaved with distinct serial U nodes
+  // so RLE at the top level cannot merge them.
+  for (int i = 0; i < 64; ++i) {
+    b.u(1000 + 200 * i);
+    b.begin_sec("s");
+    for (int j = 0; j < 32; ++j) b.begin_task("t").u(7).end_task();
+    b.end_sec();
+  }
+  ProgramTree t = b.finish();
+  compress(t);
+  const TreeStats after_rle = compute_stats(t);
+  const PackedTree packed = pack(t);
+  EXPECT_LT(packed.approx_bytes(), after_rle.approx_bytes / 2);
+}
+
+TEST(Compress, EmptyTreeIsANoop) {
+  ProgramTree t;
+  const CompressStats s = compress(t);
+  EXPECT_EQ(s.nodes_before, 0u);
+  EXPECT_EQ(s.nodes_after, 0u);
+}
+
+}  // namespace
+}  // namespace pprophet::tree

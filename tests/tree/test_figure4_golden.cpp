@@ -1,0 +1,96 @@
+// Golden test: the paper's Figure 4 example program, profiled through the
+// annotation API, must serialize to an exact expected tree — lengths,
+// nesting, lock ids, the implicit barrier, and burden-factor attachment.
+#include <gtest/gtest.h>
+
+#include "annotate/annotations.hpp"
+#include "trace/profiler.hpp"
+#include "tree/serialize.hpp"
+
+namespace pprophet::tree {
+namespace {
+
+// Figure 4's code: loop1 over i; Compute(p1)=50, lock1-protected
+// Compute(p2)=25|20, conditional inner loop2 with iterations of 50/40,
+// Compute(p5)=25|10. We replay the figure's concrete instance: the first
+// outer iteration takes the inner loop (4 iterations 50,50,50,40), the
+// second does not.
+ProgramTree profile_figure4() {
+  trace::ManualClock clock;
+  trace::IntervalProfiler profiler(clock);
+  annotate::ScopedAnnotationTarget scope(profiler);
+
+  PAR_SEC_BEGIN("loop1");
+  // Outer iteration 0: takes the inner loop.
+  PAR_TASK_BEGIN("t1");
+  clock.advance(50);  // Compute(p1)
+  LOCK_BEGIN(1);
+  clock.advance(25);  // Compute(p2)
+  LOCK_END(1);
+  PAR_SEC_BEGIN("loop2");
+  for (const Cycles len : {50u, 50u, 50u, 40u}) {
+    PAR_TASK_BEGIN("t2");
+    clock.advance(len);
+    PAR_TASK_END();
+  }
+  PAR_SEC_END(true /*implicit barrier*/);
+  clock.advance(25);  // Compute(p5)
+  PAR_TASK_END();
+  // Outer iteration 1: skips the inner loop.
+  PAR_TASK_BEGIN("t1");
+  clock.advance(10);  // Compute(p1), shorter
+  LOCK_BEGIN(1);
+  clock.advance(20);
+  LOCK_END(1);
+  clock.advance(10);
+  PAR_TASK_END();
+  PAR_SEC_END(true);
+  return profiler.finish();
+}
+
+constexpr const char* kGolden =
+    "Root root len=330\n"
+    "  Sec loop1 len=330\n"
+    "    Task t1 len=290\n"
+    "      U len=50\n"
+    "      L len=25 lock=1\n"
+    "      Sec loop2 len=190\n"
+    "        Task t2 len=50\n"
+    "          U len=50\n"
+    "        Task t2 len=50\n"
+    "          U len=50\n"
+    "        Task t2 len=50\n"
+    "          U len=50\n"
+    "        Task t2 len=40\n"
+    "          U len=40\n"
+    "      U len=25\n"
+    "    Task t1 len=40\n"
+    "      U len=10\n"
+    "      L len=20 lock=1\n"
+    "      U len=10\n";
+
+TEST(Figure4Golden, ProfiledTreeMatchesThePaperExactly) {
+  const ProgramTree t = profile_figure4();
+  EXPECT_EQ(to_text(t), kGolden);
+}
+
+TEST(Figure4Golden, GoldenTextParsesBackToTheSameTree) {
+  const ProgramTree parsed = from_text(kGolden);
+  const ProgramTree profiled = profile_figure4();
+  EXPECT_EQ(to_text(parsed), to_text(profiled));
+}
+
+TEST(Figure4Golden, FigureQuantitiesHold) {
+  const ProgramTree t = profile_figure4();
+  const Node* loop1 = t.root->child(0);
+  // Figure 4 annotates the section with burden factors in the margin.
+  loop1->children();  // (structure as drawn)
+  const Node* inner = loop1->child(0)->child(2);
+  EXPECT_EQ(inner->kind(), NodeKind::Sec);
+  EXPECT_EQ(inner->length(), 190u);  // the figure's Sec 190
+  EXPECT_EQ(loop1->child(0)->length(), 290u);
+  EXPECT_EQ(t.total_serial_cycles(), 330u);
+}
+
+}  // namespace
+}  // namespace pprophet::tree

@@ -1,0 +1,124 @@
+#include "tree/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/builder.hpp"
+
+namespace pprophet::tree {
+namespace {
+
+TEST(Node, KindNames) {
+  EXPECT_STREQ(to_string(NodeKind::Root), "Root");
+  EXPECT_STREQ(to_string(NodeKind::Sec), "Sec");
+  EXPECT_STREQ(to_string(NodeKind::Task), "Task");
+  EXPECT_STREQ(to_string(NodeKind::U), "U");
+  EXPECT_STREQ(to_string(NodeKind::L), "L");
+}
+
+TEST(Node, DefaultsMatchProfilerExpectations) {
+  Node n(NodeKind::U, "u");
+  EXPECT_EQ(n.length(), 0u);
+  EXPECT_EQ(n.repeat(), 1u);
+  EXPECT_TRUE(n.barrier_at_end());
+  EXPECT_EQ(n.counters(), nullptr);
+  EXPECT_DOUBLE_EQ(n.burden(4), 1.0);
+}
+
+TEST(Node, BurdenFactorsPerThreadCount) {
+  Node n(NodeKind::Sec, "s");
+  n.set_burden(2, 1.2);
+  n.set_burden(4, 1.4);
+  EXPECT_DOUBLE_EQ(n.burden(2), 1.2);
+  EXPECT_DOUBLE_EQ(n.burden(4), 1.4);
+  EXPECT_DOUBLE_EQ(n.burden(8), 1.0);  // unset -> no penalty
+  n.set_burden(2, 1.25);               // overwrite
+  EXPECT_DOUBLE_EQ(n.burden(2), 1.25);
+}
+
+TEST(Node, SerialWorkCountsRepeats) {
+  // Figure-4 style: a section of 4 iterations, each U(40) — stored
+  // compressed as one Task with repeat=4.
+  TreeBuilder b;
+  b.begin_sec("loop");
+  b.begin_task("t").u(40).end_task().repeat_last(4);
+  b.end_sec();
+  const ProgramTree t = b.finish();
+  EXPECT_EQ(t.total_serial_cycles(), 160u);
+}
+
+TEST(Node, SerialWorkExcludesInternalNodeLengths) {
+  // Aggregate node lengths must not double-count leaf work.
+  TreeBuilder b;
+  b.begin_sec("s").begin_task("t").u(10).l(1, 20).end_task().end_sec();
+  const ProgramTree t = b.finish();
+  EXPECT_EQ(t.total_serial_cycles(), 30u);
+  EXPECT_EQ(t.root->child(0)->length(), 30u);  // filled aggregate
+}
+
+TEST(Node, CountersAccessors) {
+  Node n(NodeKind::Sec, "s");
+  SectionCounters c;
+  c.instructions = 1000;
+  c.cycles = 2000;
+  c.llc_misses = 10;
+  n.set_counters(c);
+  ASSERT_NE(n.counters(), nullptr);
+  EXPECT_EQ(n.counters()->instructions, 1000u);
+  EXPECT_DOUBLE_EQ(n.counters()->mpi(), 0.01);
+}
+
+TEST(SectionCounters, MpiZeroWhenNoInstructions) {
+  SectionCounters c;
+  EXPECT_DOUBLE_EQ(c.mpi(), 0.0);
+}
+
+TEST(SectionCounters, TrafficMbps) {
+  SectionCounters c;
+  c.cycles = 1'000'000'000;  // 1 second at 1 GHz
+  c.llc_misses = 1'000'000;  // 64 MB of lines
+  EXPECT_NEAR(c.traffic_mbps(), 64.0, 1e-9);
+}
+
+TEST(SectionCounters, TrafficZeroWhenNoCycles) {
+  SectionCounters c;
+  c.llc_misses = 5;
+  EXPECT_DOUBLE_EQ(c.traffic_mbps(), 0.0);
+}
+
+TEST(Node, CloneIsDeepAndEqual) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  b.current()->set_burden(2, 1.3);
+  SectionCounters c;
+  c.instructions = 7;
+  b.counters(c);
+  b.begin_task("t").u(10).l(2, 5).end_task().repeat_last(3);
+  b.end_sec(false);
+  const ProgramTree t = b.finish();
+
+  const NodePtr copy = t.root->clone();
+  EXPECT_EQ(copy->subtree_size(), t.root->subtree_size());
+  EXPECT_EQ(copy->serial_work(), t.root->serial_work());
+  const Node* sec = copy->child(0);
+  EXPECT_DOUBLE_EQ(sec->burden(2), 1.3);
+  EXPECT_FALSE(sec->barrier_at_end());
+  ASSERT_NE(sec->counters(), nullptr);
+  EXPECT_EQ(sec->counters()->instructions, 7u);
+  // Deep: mutating the copy must not touch the original.
+  const_cast<Node*>(sec)->set_length(9999);
+  EXPECT_NE(t.root->child(0)->length(), 9999u);
+}
+
+TEST(Node, LogicalChildCount) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  b.begin_task("a").u(1).end_task().repeat_last(10);
+  b.begin_task("b").u(2).end_task().repeat_last(5);
+  b.end_sec();
+  const ProgramTree t = b.finish();
+  EXPECT_EQ(t.root->child(0)->logical_child_count(), 15u);
+  EXPECT_EQ(t.root->child(0)->children().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pprophet::tree

@@ -1,0 +1,106 @@
+#include "tree/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tree/builder.hpp"
+#include "tree/compress.hpp"
+
+namespace pprophet::tree {
+namespace {
+
+ProgramTree sample_tree() {
+  TreeBuilder b;
+  b.u(100);
+  b.begin_sec("loop1");
+  SectionCounters c;
+  c.instructions = 5000;
+  c.cycles = 12000;
+  c.llc_misses = 42;
+  c.llc_writebacks = 17;
+  b.counters(c);
+  b.begin_task("t");
+  b.u(50);
+  b.l(3, 25);
+  b.begin_sec("inner");
+  b.begin_task("j").u(40).end_task().repeat_last(4);
+  b.end_sec(false);
+  b.end_task();
+  b.repeat_last(7);
+  b.end_sec();
+  return b.finish();
+}
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const ProgramTree t = sample_tree();
+  const std::string text = to_text(t);
+  const ProgramTree back = from_text(text);
+  EXPECT_TRUE(structurally_equal(*t.root, *back.root, 0.0));
+}
+
+TEST(Serialize, RoundTripPreservesCounters) {
+  const ProgramTree t = sample_tree();
+  const ProgramTree back = from_text(to_text(t));
+  const Node* sec = back.root->child(1);
+  ASSERT_NE(sec->counters(), nullptr);
+  EXPECT_EQ(sec->counters()->instructions, 5000u);
+  EXPECT_EQ(sec->counters()->cycles, 12000u);
+  EXPECT_EQ(sec->counters()->llc_misses, 42u);
+  EXPECT_EQ(sec->counters()->llc_writebacks, 17u);
+}
+
+TEST(Serialize, RoundTripPreservesNowaitAndLocks) {
+  const ProgramTree t = sample_tree();
+  const ProgramTree back = from_text(to_text(t));
+  const Node* task = back.root->child(1)->child(0);
+  EXPECT_EQ(task->repeat(), 7u);
+  EXPECT_EQ(task->child(1)->lock_id(), 3u);
+  EXPECT_FALSE(task->child(2)->barrier_at_end());
+}
+
+TEST(Serialize, TextContainsHumanReadableKinds) {
+  const std::string text = to_text(sample_tree());
+  EXPECT_NE(text.find("Root"), std::string::npos);
+  EXPECT_NE(text.find("Sec loop1"), std::string::npos);
+  EXPECT_NE(text.find("lock=3"), std::string::npos);
+  EXPECT_NE(text.find("rep=7"), std::string::npos);
+}
+
+TEST(Deserialize, RejectsUnknownKind) {
+  EXPECT_THROW(from_text("Bogus x len=1\n"), std::runtime_error);
+}
+
+TEST(Deserialize, RejectsOddIndent) {
+  EXPECT_THROW(from_text("Root r len=0\n Sec s len=1\n"), std::runtime_error);
+}
+
+TEST(Deserialize, RejectsIndentationJump) {
+  EXPECT_THROW(from_text("Root r len=0\n    Sec s len=1\n"),
+               std::runtime_error);
+}
+
+TEST(Deserialize, RejectsEmptyInput) {
+  EXPECT_THROW(from_text(""), std::runtime_error);
+}
+
+TEST(Deserialize, RejectsMultipleRoots) {
+  EXPECT_THROW(from_text("Root a len=0\nRoot b len=0\n"), std::runtime_error);
+}
+
+TEST(Deserialize, RejectsBadInteger) {
+  EXPECT_THROW(from_text("Root r len=xyz\n"), std::runtime_error);
+}
+
+TEST(Deserialize, RejectsUnknownField) {
+  EXPECT_THROW(from_text("Root r len=1 zap=2\n"), std::runtime_error);
+}
+
+TEST(Deserialize, AnonymousNameRoundTrips) {
+  const ProgramTree t = from_text("Root _ len=0\n  U len=5\n");
+  EXPECT_EQ(t.root->name(), "");
+  EXPECT_EQ(t.root->child(0)->length(), 5u);
+}
+
+}  // namespace
+}  // namespace pprophet::tree

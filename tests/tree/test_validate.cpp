@@ -1,0 +1,96 @@
+#include "tree/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/builder.hpp"
+
+namespace pprophet::tree {
+namespace {
+
+ProgramTree valid_tree() {
+  TreeBuilder b;
+  b.u(10);
+  b.begin_sec("s");
+  b.begin_task("t").u(5).l(1, 3).end_task();
+  b.end_sec();
+  return b.finish();
+}
+
+TEST(Validate, AcceptsWellFormedTree) {
+  const ProgramTree t = valid_tree();
+  EXPECT_TRUE(is_valid(t));
+  EXPECT_TRUE(validate(t).empty());
+}
+
+TEST(Validate, RejectsMissingRoot) {
+  ProgramTree t;
+  const auto issues = validate(t);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].message, "tree has no root");
+}
+
+TEST(Validate, RejectsTaskUnderRoot) {
+  ProgramTree t = valid_tree();
+  t.root->add_child(std::make_unique<Node>(NodeKind::Task, "stray"));
+  EXPECT_FALSE(is_valid(t));
+}
+
+TEST(Validate, RejectsLeafWithChildren) {
+  ProgramTree t = valid_tree();
+  Node* u = t.root->child(0);
+  ASSERT_EQ(u->kind(), NodeKind::U);
+  u->add_child(std::make_unique<Node>(NodeKind::U, "nested"));
+  const auto issues = validate(t);
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(Validate, RejectsEmptySection) {
+  ProgramTree t = valid_tree();
+  t.root->add_child(std::make_unique<Node>(NodeKind::Sec, "empty"));
+  const auto issues = validate(t);
+  ASSERT_FALSE(issues.empty());
+  bool found = false;
+  for (const auto& i : issues) {
+    if (i.message == "Sec node has no tasks") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, RejectsZeroRepeat) {
+  ProgramTree t = valid_tree();
+  t.root->child(1)->child(0)->set_repeat(0);
+  EXPECT_FALSE(is_valid(t));
+}
+
+TEST(Validate, RejectsUDirectlyUnderSec) {
+  ProgramTree t = valid_tree();
+  Node* sec = t.root->child(1);
+  auto u = std::make_unique<Node>(NodeKind::U, "glue");
+  u->set_length(1);
+  sec->add_child(std::move(u));
+  EXPECT_FALSE(is_valid(t));
+}
+
+TEST(Validate, ReportsPathToOffendingNode) {
+  ProgramTree t = valid_tree();
+  t.root->add_child(std::make_unique<Node>(NodeKind::Task, "stray"));
+  const auto issues = validate(t);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].path.find("stray"), std::string::npos);
+}
+
+TEST(Validate, NestedSectionsAreLegalUnderTasks) {
+  TreeBuilder b;
+  b.begin_sec("outer");
+  b.begin_task("i");
+  b.begin_sec("inner");
+  b.begin_task("j").u(1).end_task();
+  b.end_sec();
+  b.end_task();
+  b.end_sec();
+  const ProgramTree t = b.finish();
+  EXPECT_TRUE(is_valid(t));
+}
+
+}  // namespace
+}  // namespace pprophet::tree

@@ -1,0 +1,67 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace pprophet::util {
+namespace {
+
+TEST(Csv, HeaderOnly) {
+  CsvWriter w({"a", "b"});
+  EXPECT_EQ(w.to_string(), "a,b\n");
+}
+
+TEST(Csv, PlainRows) {
+  CsvWriter w({"x", "y"});
+  w.add_row({"1", "2"});
+  w.add_row({"3", "4"});
+  EXPECT_EQ(w.to_string(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Csv, ShortRowsPadded) {
+  CsvWriter w({"a", "b", "c"});
+  w.add_row({"only"});
+  EXPECT_EQ(w.to_string(), "a,b,c\nonly,,\n");
+}
+
+TEST(Csv, QuotesFieldsWithCommas) {
+  CsvWriter w({"sched"});
+  w.add_row({"dynamic,1"});
+  EXPECT_EQ(w.to_string(), "sched\n\"dynamic,1\"\n");
+}
+
+TEST(Csv, EscapesEmbeddedQuotes) {
+  CsvWriter w({"q"});
+  w.add_row({"say \"hi\""});
+  EXPECT_EQ(w.to_string(), "q\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  CsvWriter w({"n"});
+  w.add_row({"a\nb"});
+  EXPECT_EQ(w.to_string(), "n\n\"a\nb\"\n");
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter w({"v"});
+  w.add_row({"42"});
+  const std::string path = testing::TempDir() + "pp_csv_test.csv";
+  ASSERT_TRUE(w.write(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "42");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteToBadPathFails) {
+  CsvWriter w({"v"});
+  EXPECT_FALSE(w.write("/nonexistent-dir-zzz/x.csv"));
+}
+
+}  // namespace
+}  // namespace pprophet::util

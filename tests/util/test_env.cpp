@@ -1,0 +1,57 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace pprophet::util {
+namespace {
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) { unsetenv(name); }
+  ~EnvGuard() { unsetenv(name_); }
+  void set(const char* v) { setenv(name_, v, 1); }
+  const char* name_;
+};
+
+TEST(EnvLong, FallbackWhenUnset) {
+  EnvGuard g("PP_TEST_LONG");
+  EXPECT_EQ(env_long("PP_TEST_LONG", 42), 42);
+}
+
+TEST(EnvLong, ParsesInteger) {
+  EnvGuard g("PP_TEST_LONG");
+  g.set("123");
+  EXPECT_EQ(env_long("PP_TEST_LONG", 42), 123);
+  g.set("-7");
+  EXPECT_EQ(env_long("PP_TEST_LONG", 42), -7);
+}
+
+TEST(EnvLong, FallbackOnGarbage) {
+  EnvGuard g("PP_TEST_LONG");
+  g.set("12abc");
+  EXPECT_EQ(env_long("PP_TEST_LONG", 42), 42);
+  g.set("");
+  EXPECT_EQ(env_long("PP_TEST_LONG", 42), 42);
+}
+
+TEST(EnvFlag, Defaults) {
+  EnvGuard g("PP_TEST_FLAG");
+  EXPECT_FALSE(env_flag("PP_TEST_FLAG"));
+  EXPECT_TRUE(env_flag("PP_TEST_FLAG", true));
+}
+
+TEST(EnvFlag, RecognizesOffValues) {
+  EnvGuard g("PP_TEST_FLAG");
+  for (const char* off : {"0", "false", "off"}) {
+    g.set(off);
+    EXPECT_FALSE(env_flag("PP_TEST_FLAG", true)) << off;
+  }
+  g.set("1");
+  EXPECT_TRUE(env_flag("PP_TEST_FLAG"));
+  g.set("yes");
+  EXPECT_TRUE(env_flag("PP_TEST_FLAG"));
+}
+
+}  // namespace
+}  // namespace pprophet::util

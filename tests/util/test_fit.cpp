@@ -1,0 +1,78 @@
+#include "util/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pprophet::util {
+namespace {
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.a, 2.5, 1e-9);
+  EXPECT_NEAR(f.b, -1.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+  EXPECT_NEAR(f(10.0), 24.0, 1e-9);
+}
+
+TEST(FitLinear, NoisyLineStillClose) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  const std::vector<double> ys{3.1, 4.9, 7.2, 8.8, 11.1, 12.9};
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.a, 2.0, 0.1);
+  EXPECT_NEAR(f.b, 1.0, 0.3);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(FitLinear, DegenerateSinglePoint) {
+  const std::vector<double> xs{2.0};
+  const std::vector<double> ys{7.0};
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_DOUBLE_EQ(f.a, 0.0);
+  EXPECT_DOUBLE_EQ(f.b, 7.0);
+}
+
+TEST(FitLinear, VerticalDataFallsBackToMean) {
+  const std::vector<double> xs{3, 3, 3};
+  const std::vector<double> ys{1, 2, 3};
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_DOUBLE_EQ(f.a, 0.0);
+  EXPECT_DOUBLE_EQ(f.b, 2.0);
+}
+
+TEST(FitLog, ExactLogCurve) {
+  // Mirrors the paper's Eq. (6) form: δ4 = (5756·ln(δ) − 38805)/4.
+  const std::vector<double> xs{2000, 4000, 8000, 16000, 32000};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(5756.0 * std::log(x) - 38805.0);
+  const LogFit f = fit_log(xs, ys);
+  EXPECT_NEAR(f.a, 5756.0, 1e-6);
+  EXPECT_NEAR(f.b, -38805.0, 1e-4);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(FitPower, ExactPowerCurve) {
+  // Mirrors the paper's Eq. (7) form: ω = 101481·δ^-0.964.
+  const std::vector<double> xs{2000, 3000, 5000, 9000, 15000};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(101481.0 * std::pow(x, -0.964));
+  const PowerFit f = fit_power(xs, ys);
+  EXPECT_NEAR(f.a, 101481.0, 1.0);
+  EXPECT_NEAR(f.b, -0.964, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(FitPower, EvaluatesAtNewPoints) {
+  const std::vector<double> xs{1, 2, 4, 8};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * std::pow(x, 0.5));
+  const PowerFit f = fit_power(xs, ys);
+  EXPECT_NEAR(f(16.0), 12.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pprophet::util

@@ -1,0 +1,93 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pprophet::util {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, UniformU64StaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Xoshiro256, UniformU64SingletonRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+  }
+}
+
+TEST(Xoshiro256, UniformU64CoversRange) {
+  Xoshiro256 rng(3);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    seen[rng.uniform_u64(0, 7)]++;
+  }
+  for (int count : seen) {
+    EXPECT_GT(count, 700);  // roughly uniform: expect ~1000 each
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(Xoshiro256, UniformDoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, UniformDoubleRange) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_double(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Xoshiro256, BernoulliRespectsProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Xoshiro256, BernoulliExtremes) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace pprophet::util

@@ -1,0 +1,99 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace pprophet::util {
+namespace {
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::array<double, 1> xs{3.5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Summarize, KnownValues) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.1180339887, 1e-9);
+}
+
+TEST(Percentile, Median) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 100.0), 9.0);
+}
+
+TEST(Percentile, Empty) { EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(1.2, 1.0), 0.2);
+  EXPECT_DOUBLE_EQ(relative_error(0.8, 1.0), 0.2);
+  EXPECT_DOUBLE_EQ(relative_error(2.0, 2.0), 0.0);
+}
+
+TEST(RelativeError, ZeroReal) {
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(0.5, 0.0), 0.5);
+}
+
+TEST(ErrorStats, PerfectPrediction) {
+  const std::array<double, 3> p{1, 2, 3};
+  const ErrorStats es = error_stats(p, p);
+  EXPECT_EQ(es.count, 3u);
+  EXPECT_DOUBLE_EQ(es.mean_error, 0.0);
+  EXPECT_DOUBLE_EQ(es.max_error, 0.0);
+  EXPECT_DOUBLE_EQ(es.within_20pct, 1.0);
+}
+
+TEST(ErrorStats, MixedErrors) {
+  const std::array<double, 2> pred{1.1, 3.0};
+  const std::array<double, 2> real{1.0, 2.0};
+  const ErrorStats es = error_stats(pred, real);
+  EXPECT_NEAR(es.mean_error, (0.1 + 0.5) / 2, 1e-12);
+  EXPECT_NEAR(es.max_error, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(es.within_20pct, 0.5);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::array<double, 4> xs{1, 2, 3, 4};
+  const std::array<double, 4> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::array<double, 3> xs{1, 2, 3};
+  const std::array<double, 3> ys{3, 2, 1};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::array<double, 3> xs{1, 2, 3};
+  const std::array<double, 3> ys{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+}  // namespace
+}  // namespace pprophet::util

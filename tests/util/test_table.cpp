@@ -1,0 +1,100 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+
+namespace pprophet::util {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Table, RuleSeparatesSections) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  std::ostringstream os;
+  t.print(os);
+  // 5 rules: top, under header, mid, bottom... count '+---' lines >= 4
+  int rules = 0;
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Format, FixedPoint) {
+  EXPECT_EQ(fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_f(2.0, 0), "2");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_pct(0.043, 1), "4.3%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Format, ThousandsSeparators) {
+  EXPECT_EQ(fmt_i(0), "0");
+  EXPECT_EQ(fmt_i(999), "999");
+  EXPECT_EQ(fmt_i(1000), "1,000");
+  EXPECT_EQ(fmt_i(13500000), "13,500,000");
+  EXPECT_EQ(fmt_i(-1234567), "-1,234,567");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512.0 B");
+  EXPECT_EQ(fmt_bytes(1024), "1.0 KB");
+  EXPECT_EQ(fmt_bytes(13ull * 1024 * 1024 * 1024 + 512ull * 1024 * 1024),
+            "13.5 GB");
+}
+
+TEST(ScatterPlot, RendersPointsAndLegend) {
+  ScatterPlot p("test plot");
+  const double xs[] = {1.0, 2.0, 3.0};
+  const double ys[] = {1.1, 2.2, 2.9};
+  p.add_series("pred", 'o', xs, ys);
+  std::ostringstream os;
+  p.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("test plot"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("'o' = pred"), std::string::npos);
+}
+
+TEST(SeriesChart, RendersSeries) {
+  SeriesChart c("speedup", {2, 4, 6, 8});
+  c.add_series("real", '#', {1.8, 3.2, 4.1, 4.5});
+  c.add_series("pred", 'o', {1.9, 3.3, 4.0, 4.4});
+  std::ostringstream os;
+  c.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("speedup"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("'o' = pred"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pprophet::util

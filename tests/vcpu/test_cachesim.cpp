@@ -1,0 +1,171 @@
+#include "cachesim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pprophet::cachesim {
+namespace {
+
+TEST(Cache, ColdMissesThenHits) {
+  Cache c({1024, 2}, 64);  // 16 lines, 8 sets x 2 ways
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_EQ(c.stats().accesses, 3u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache c({128, 2}, 64);  // 2 lines... too small; use 256B: 4 lines, 2 sets x 2 ways
+  Cache c2({256, 2}, 64);
+  // Set 0 holds line addrs 0, 2, 4, ... (2 sets). Fill set 0 with lines 0, 2.
+  EXPECT_FALSE(c2.access(0));
+  EXPECT_FALSE(c2.access(2));
+  EXPECT_TRUE(c2.access(0));   // 0 is now MRU
+  EXPECT_FALSE(c2.access(4));  // evicts 2 (LRU)
+  EXPECT_TRUE(c2.access(0));
+  EXPECT_FALSE(c2.access(2));  // 2 was evicted
+}
+
+TEST(Cache, DistinctSetsDoNotConflict) {
+  Cache c({256, 2}, 64);  // 2 sets x 2 ways
+  EXPECT_FALSE(c.access(0));  // set 0
+  EXPECT_FALSE(c.access(1));  // set 1
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(1));
+}
+
+TEST(Cache, FlushDropsContents) {
+  Cache c({1024, 2}, 64);
+  c.access(5);
+  c.flush();
+  EXPECT_FALSE(c.access(5));
+}
+
+TEST(Cache, RejectsBadConfigs) {
+  EXPECT_THROW(Cache({0, 2}, 64), std::invalid_argument);
+  EXPECT_THROW(Cache({1024, 0}, 64), std::invalid_argument);
+  EXPECT_THROW(Cache({192, 1}, 64), std::invalid_argument);  // 3 sets: not pow2
+}
+
+TEST(Hierarchy, MissesCascadeThroughLevels) {
+  CacheConfig cfg;
+  cfg.l1 = {1024, 2};
+  cfg.l2 = {4096, 2};
+  cfg.llc = {16384, 4};
+  CacheHierarchy h(cfg);
+  EXPECT_EQ(h.access(0), CacheHierarchy::kDram);  // cold: miss everywhere
+  EXPECT_EQ(h.access(0), CacheHierarchy::kL1);    // now in L1
+  EXPECT_EQ(h.level(1).misses, 1u);
+  EXPECT_EQ(h.level(2).misses, 1u);
+  EXPECT_EQ(h.level(3).misses, 1u);
+  EXPECT_EQ(h.llc_misses(), 1u);
+}
+
+TEST(Hierarchy, L1EvictionHitsL2) {
+  CacheConfig cfg;
+  cfg.l1 = {128, 1};   // 2 lines, direct-mapped: 2 sets
+  cfg.l2 = {4096, 4};
+  cfg.llc = {16384, 4};
+  CacheHierarchy h(cfg);
+  h.access(0);             // line 0 -> L1 set 0
+  h.access(2 * 64);        // line 2 -> also L1 set 0, evicts line 0
+  EXPECT_EQ(h.access(0), CacheHierarchy::kL2);  // still in L2
+}
+
+TEST(Hierarchy, AccessRangeTouchesEveryLine) {
+  CacheHierarchy h;
+  std::array<std::uint64_t, 5> hits{};
+  h.access_range(0, 64 * 10, hits);  // exactly 10 lines
+  EXPECT_EQ(hits[CacheHierarchy::kDram], 10u);
+  hits = {};
+  h.access_range(0, 64 * 10, hits);
+  EXPECT_EQ(hits[CacheHierarchy::kL1], 10u);
+}
+
+TEST(Hierarchy, UnalignedRangeSpansExtraLine) {
+  CacheHierarchy h;
+  std::array<std::uint64_t, 5> hits{};
+  h.access_range(60, 8, hits);  // crosses a line boundary
+  EXPECT_EQ(hits[CacheHierarchy::kDram], 2u);
+}
+
+TEST(Hierarchy, ZeroByteRangeIsNoop) {
+  CacheHierarchy h;
+  std::array<std::uint64_t, 5> hits{};
+  h.access_range(0, 0, hits);
+  for (auto v : hits) EXPECT_EQ(v, 0u);
+}
+
+TEST(Hierarchy, WorkingSetLargerThanLlcThrashes) {
+  CacheConfig cfg;
+  cfg.l1 = {1024, 2};
+  cfg.l2 = {4096, 4};
+  cfg.llc = {16 * 1024, 4};
+  CacheHierarchy h(cfg);
+  // Stream over 1 MB twice: both passes miss the 16 KB LLC.
+  const std::uint64_t lines = (1 << 20) / 64;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t i = 0; i < lines; ++i) h.access(i * 64);
+  }
+  EXPECT_GT(h.level(3).miss_ratio(), 0.95);
+}
+
+TEST(Hierarchy, SmallWorkingSetStaysInL1) {
+  CacheHierarchy h;  // default Westmere-like sizes
+  for (int pass = 0; pass < 10; ++pass) {
+    for (std::uint64_t i = 0; i < 16 * 1024; i += 64) h.access(i);
+  }
+  // 16 KB fits in the 32 KB L1: only the cold pass misses.
+  EXPECT_EQ(h.level(1).misses, 256u);
+  EXPECT_EQ(h.level(1).accesses, 2560u);
+}
+
+TEST(Writebacks, DirtyEvictionsAreCounted) {
+  Cache c({256, 2}, 64);  // 2 sets x 2 ways
+  // Fill set 0 with dirty lines 0 and 2, then force both out.
+  c.access(0, /*write=*/true);
+  c.access(2, /*write=*/true);
+  c.access(4, /*write=*/false);  // evicts line 0 (dirty)
+  c.access(6, /*write=*/false);  // evicts line 2 (dirty)
+  EXPECT_EQ(c.stats().writebacks, 2u);
+}
+
+TEST(Writebacks, CleanEvictionsAreFree) {
+  Cache c({256, 2}, 64);
+  c.access(0, false);
+  c.access(2, false);
+  c.access(4, false);
+  c.access(6, false);
+  EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Writebacks, RewriteDoesNotDoubleCount) {
+  Cache c({256, 2}, 64);
+  c.access(0, true);
+  c.access(0, true);  // still one dirty line
+  c.access(2, true);
+  c.access(4, false);
+  c.access(6, false);
+  EXPECT_EQ(c.stats().writebacks, 2u);
+}
+
+TEST(Writebacks, HierarchyExposesLlcWritebacks) {
+  CacheConfig cfg;
+  cfg.l1 = {1024, 2};
+  cfg.l2 = {4096, 2};
+  cfg.llc = {16384, 4};
+  CacheHierarchy h(cfg);
+  // Write-stream far beyond the LLC: nearly every line comes back out dirty.
+  const std::uint64_t lines = (1 << 20) / 64;
+  for (std::uint64_t i = 0; i < lines; ++i) h.access(i * 64, true);
+  EXPECT_GT(h.llc_writebacks(), lines / 2);
+  // Read streams produce none.
+  CacheHierarchy clean(cfg);
+  for (std::uint64_t i = 0; i < lines; ++i) clean.access(i * 64, false);
+  EXPECT_EQ(clean.llc_writebacks(), 0u);
+}
+
+}  // namespace
+}  // namespace pprophet::cachesim

@@ -1,0 +1,179 @@
+#include "vcpu/vcpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "annotate/annotations.hpp"
+#include "trace/profiler.hpp"
+
+namespace pprophet::vcpu {
+namespace {
+
+TEST(VirtualCpu, ComputeAdvancesCyclesAndInstructions) {
+  VirtualCpu cpu;
+  cpu.compute(1000);
+  EXPECT_EQ(cpu.instructions(), 1000u);
+  EXPECT_EQ(cpu.cycles(), 1000u);  // cpi_base == 1
+}
+
+TEST(VirtualCpu, FractionalCpiAccumulates) {
+  CostModel cost;
+  cost.cpi_base = 0.5;
+  VirtualCpu cpu({}, cost);
+  cpu.compute(1);
+  cpu.compute(1);
+  cpu.compute(1);
+  cpu.compute(1);
+  EXPECT_EQ(cpu.cycles(), 2u);  // 4 * 0.5
+}
+
+TEST(VirtualCpu, ColdAccessPaysDramLatency) {
+  CostModel cost;
+  VirtualCpu cpu({}, cost);
+  int x = 0;
+  cpu.load(&x, sizeof x);
+  EXPECT_EQ(cpu.cycles(), 1u + cost.dram);
+  EXPECT_EQ(cpu.llc_misses(), 1u);
+  cpu.load(&x, sizeof x);  // L1 hit now
+  EXPECT_EQ(cpu.cycles(), 2u + cost.dram);
+  EXPECT_EQ(cpu.llc_misses(), 1u);
+}
+
+TEST(VirtualCpu, FakeDelayTouchesNoCaches) {
+  VirtualCpu cpu;
+  cpu.fake_delay(12345);
+  EXPECT_EQ(cpu.cycles(), 12345u);
+  EXPECT_EQ(cpu.instructions(), 12345u);
+  EXPECT_EQ(cpu.llc_misses(), 0u);
+}
+
+TEST(VirtualCpu, InstrumentedArrayRoundTrips) {
+  VirtualCpu cpu;
+  InstrumentedArray<double> a(cpu, 100, 1.5);
+  EXPECT_DOUBLE_EQ(a.get(7), 1.5);
+  a.set(7, 2.5);
+  EXPECT_DOUBLE_EQ(a.get(7), 2.5);
+  a.update(7, [](double v) { return v * 2; });
+  EXPECT_DOUBLE_EQ(a.raw(7), 5.0);
+  EXPECT_GT(cpu.instructions(), 0u);
+}
+
+TEST(VirtualCpu, StreamingLargeArrayMissesLlc) {
+  cachesim::CacheConfig cfg;
+  cfg.llc = {64 * 1024, 4};  // tiny LLC so the test stays fast
+  cfg.l1 = {4 * 1024, 2};
+  cfg.l2 = {16 * 1024, 4};
+  VirtualCpu cpu(cfg, {});
+  InstrumentedArray<double> a(cpu, 64 * 1024);  // 512 KB >> 64 KB LLC
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < a.size(); ++i) a.set(i, 1.0);
+  }
+  const double mpi = static_cast<double>(cpu.llc_misses()) /
+                     static_cast<double>(cpu.instructions());
+  // 8 doubles per line -> ~1/8 misses per access on both passes.
+  EXPECT_NEAR(mpi, 0.125, 0.02);
+}
+
+TEST(VirtualCpu, RepeatedSmallArrayHitsCaches) {
+  VirtualCpu cpu;
+  InstrumentedArray<double> a(cpu, 512);  // 4 KB, fits L1
+  for (int pass = 0; pass < 200; ++pass) {
+    for (std::size_t i = 0; i < a.size(); ++i) a.update(i, [](double v) { return v + 1; });
+  }
+  const double mpi = static_cast<double>(cpu.llc_misses()) /
+                     static_cast<double>(cpu.instructions());
+  EXPECT_LT(mpi, 0.001);  // paper's assumption-5 threshold: effectively 0
+}
+
+TEST(VcpuCounterSource, WindowsDeltaTheCounters) {
+  VirtualCpu cpu;
+  VcpuCounterSource src(cpu);
+  cpu.compute(100);
+  src.start();
+  cpu.compute(50);
+  int x = 0;
+  cpu.load(&x, sizeof x);
+  const tree::SectionCounters c = src.stop();
+  EXPECT_EQ(c.instructions, 51u);
+  EXPECT_EQ(c.llc_misses, 1u);
+  EXPECT_EQ(c.cycles, 50u + 1u + CostModel{}.dram);
+}
+
+// End-to-end: an annotated kernel running on the vcpu produces a tree whose
+// top-level section carries cache-derived counters.
+TEST(VcpuIntegration, AnnotatedKernelProducesCountersOnTree) {
+  cachesim::CacheConfig cfg;
+  cfg.l1 = {4 * 1024, 2};
+  cfg.l2 = {16 * 1024, 4};
+  cfg.llc = {64 * 1024, 4};
+  VirtualCpu cpu(cfg, {});
+  VcpuCounterSource counters(cpu);
+  trace::IntervalProfiler profiler(cpu.clock(), &counters);
+  annotate::ScopedAnnotationTarget scope(profiler);
+
+  InstrumentedArray<double> data(cpu, 32 * 1024);  // 256 KB
+  PAR_SEC_BEGIN("stream");
+  for (int i = 0; i < 4; ++i) {
+    PAR_TASK_BEGIN("chunk");
+    const std::size_t n = data.size() / 4;
+    for (std::size_t j = i * n; j < (i + 1) * n; ++j) {
+      data.set(j, 3.0);
+      cpu.compute(2);
+    }
+    PAR_TASK_END();
+  }
+  PAR_SEC_END(true);
+  const tree::ProgramTree t = profiler.finish();
+
+  const tree::Node* sec = t.root->child(0);
+  ASSERT_NE(sec->counters(), nullptr);
+  EXPECT_GT(sec->counters()->llc_misses, 1000u);
+  EXPECT_GT(sec->counters()->mpi(), 0.01);
+  EXPECT_GT(sec->counters()->traffic_mbps(), 0.0);
+  // All four chunks should have near-equal measured lengths (SPMD).
+  const Cycles l0 = sec->child(0)->length();
+  for (std::size_t i = 1; i < sec->children().size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(sec->child(i)->length()),
+                static_cast<double>(l0), 0.10 * static_cast<double>(l0));
+  }
+}
+
+TEST(VirtualCpu, WriteStreamGeneratesWritebackTraffic) {
+  cachesim::CacheConfig cfg;
+  cfg.l1 = {4 * 1024, 2};
+  cfg.l2 = {16 * 1024, 4};
+  cfg.llc = {64 * 1024, 4};
+  VirtualCpu cpu(cfg, {});
+  InstrumentedArray<double> a(cpu, 64 * 1024);  // 512 KB
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < a.size(); ++i) a.set(i, 1.0);
+  }
+  EXPECT_GT(cpu.llc_writebacks(), cpu.llc_misses() / 4);
+  // Pure reads of fresh memory produce none.
+  VirtualCpu reader(cfg, {});
+  InstrumentedArray<double> b(reader, 1);
+  std::vector<double> host(64 * 1024, 0.0);
+  for (const double& v : host) reader.load(&v, sizeof v);
+  EXPECT_EQ(reader.llc_writebacks(), 0u);
+}
+
+TEST(VcpuCounterSource, CapturesWritebackDelta) {
+  cachesim::CacheConfig cfg;
+  cfg.l1 = {4 * 1024, 2};
+  cfg.l2 = {16 * 1024, 4};
+  cfg.llc = {64 * 1024, 4};
+  VirtualCpu cpu(cfg, {});
+  InstrumentedArray<double> a(cpu, 64 * 1024);
+  VcpuCounterSource src(cpu);
+  src.start();
+  for (std::size_t i = 0; i < a.size(); ++i) a.set(i, 2.0);
+  for (std::size_t i = 0; i < a.size(); ++i) a.set(i, 3.0);
+  const tree::SectionCounters c = src.stop();
+  EXPECT_GT(c.llc_writebacks, 0u);
+  // Traffic now includes the write direction.
+  tree::SectionCounters no_wb = c;
+  no_wb.llc_writebacks = 0;
+  EXPECT_GT(c.traffic_mbps(), no_wb.traffic_mbps());
+}
+
+}  // namespace
+}  // namespace pprophet::vcpu

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tree/tree_stats.hpp"
+#include "tree/validate.hpp"
+#include "workloads/npb.hpp"
+#include "workloads/ompscr.hpp"
+
+namespace pprophet::workloads {
+namespace {
+
+// Small problem sizes keep each kernel run in the tens of milliseconds.
+
+TEST(MdKernel, RunsAndProducesValidTree) {
+  MdParams p;
+  p.particles = 48;
+  p.steps = 2;
+  const KernelRun run = run_md(p);
+  EXPECT_TRUE(tree::is_valid(run.tree));
+  EXPECT_GT(run.cycles, 0u);
+  EXPECT_GT(run.instructions, 0u);
+  // One parallel section per step.
+  std::size_t sections = 0;
+  for (const auto& c : run.tree.root->children()) {
+    if (c->kind() == tree::NodeKind::Sec) ++sections;
+  }
+  EXPECT_EQ(sections, 2u);
+}
+
+TEST(MdKernel, IsComputeBound) {
+  // Enough steps that the cold-start misses amortize away.
+  MdParams p;
+  p.particles = 96;
+  p.steps = 3;
+  const KernelRun run = run_md(p);
+  const double mpi = static_cast<double>(run.llc_misses) /
+                     static_cast<double>(run.instructions);
+  EXPECT_LT(mpi, 0.001);  // assumption-5 threshold: no burden expected
+}
+
+TEST(MdKernel, DeterministicChecksum) {
+  MdParams p;
+  p.particles = 32;
+  EXPECT_DOUBLE_EQ(run_md(p).checksum, run_md(p).checksum);
+}
+
+TEST(LuKernel, TriangularImbalanceInTree) {
+  LuParams p;
+  p.n = 24;
+  const KernelRun run = run_lu(p);
+  EXPECT_TRUE(tree::is_valid(run.tree));
+  // n-1 inner parallel sections, shrinking trip counts: k-th has n-1-k.
+  std::vector<const tree::Node*> secs;
+  for (const auto& c : run.tree.root->children()) {
+    if (c->kind() == tree::NodeKind::Sec) secs.push_back(c.get());
+  }
+  ASSERT_EQ(secs.size(), p.n - 1);
+  EXPECT_EQ(secs[0]->logical_child_count(), p.n - 1);
+  EXPECT_EQ(secs[10]->logical_child_count(), p.n - 11);
+  EXPECT_EQ(secs.back()->logical_child_count(), 1u);
+}
+
+TEST(LuKernel, ReductionIsNumericallySane) {
+  LuParams p;
+  p.n = 16;
+  const KernelRun run = run_lu(p);
+  EXPECT_TRUE(std::isfinite(run.checksum));
+  EXPECT_NE(run.checksum, 0.0);
+  EXPECT_DOUBLE_EQ(run.checksum, run_lu(p).checksum);
+}
+
+TEST(FftKernel, RoundTripIsExact) {
+  FftParams p;
+  p.n = 256;
+  p.parallel_cutoff = 32;
+  const KernelRun run = run_fft(p);
+  // checksum = max round-trip error × 1e6; must be tiny.
+  EXPECT_LT(run.checksum, 1e-3);
+  EXPECT_TRUE(tree::is_valid(run.tree));
+}
+
+TEST(FftKernel, RecursiveSectionsNestToCutoff) {
+  FftParams p;
+  p.n = 256;
+  p.parallel_cutoff = 32;
+  const KernelRun run = run_fft(p);
+  const tree::TreeStats stats = tree::compute_stats(run.tree);
+  // 256 → 128 → 64 (>32): three annotated levels of recursion. Depth in
+  // the tree: each level adds Sec+Task layers.
+  EXPECT_GE(stats.max_depth, 6u);
+  EXPECT_GT(stats.count_by_kind[static_cast<int>(tree::NodeKind::Sec)], 4u);
+}
+
+TEST(QsortKernel, SortsCorrectly) {
+  QsortParams p;
+  p.n = 2048;
+  p.parallel_cutoff = 128;
+  const KernelRun run = run_qsort(p);
+  EXPECT_DOUBLE_EQ(run.checksum, 1.0);  // sorted and sum-preserving
+  EXPECT_TRUE(tree::is_valid(run.tree));
+}
+
+TEST(QsortKernel, RecursionDepthBoundedByCutoff) {
+  QsortParams small;
+  small.n = 512;
+  small.parallel_cutoff = 512;  // never parallel below the top
+  const KernelRun run = run_qsort(small);
+  const tree::TreeStats stats = tree::compute_stats(run.tree);
+  EXPECT_EQ(stats.count_by_kind[static_cast<int>(tree::NodeKind::Sec)], 1u);
+}
+
+TEST(EpKernel, CountsAreStableAndTreeFlat) {
+  EpParams p;
+  p.log2_pairs = 10;
+  p.blocks = 16;
+  const KernelRun run = run_ep(p);
+  EXPECT_TRUE(tree::is_valid(run.tree));
+  EXPECT_DOUBLE_EQ(run.checksum, run_ep(p).checksum);
+  const tree::Node* sec = run.tree.root->child(0)->kind() == tree::NodeKind::Sec
+                              ? run.tree.root->child(0)
+                              : run.tree.root->child(1);
+  EXPECT_EQ(sec->logical_child_count(), 16u);
+  // Embarrassingly parallel and compute-bound.
+  const double mpi = static_cast<double>(run.llc_misses) /
+                     static_cast<double>(run.instructions);
+  EXPECT_LT(mpi, 0.001);
+}
+
+TEST(EpKernel, BlockDecompositionDoesNotChangeResult) {
+  EpParams a;
+  a.log2_pairs = 10;
+  a.blocks = 4;
+  EpParams b = a;
+  b.blocks = 16;
+  // The skip-ahead LCG makes the tally independent of the block split.
+  EXPECT_DOUBLE_EQ(run_ep(a).checksum, run_ep(b).checksum);
+}
+
+TEST(FtKernel, SectionsPerIterationAndCounters) {
+  FtParams p;
+  p.nx = 16;
+  p.ny = 8;
+  p.nz = 8;
+  p.iterations = 1;
+  const KernelRun run = run_ft(p, KernelConfig{.cache = scaled_cache()});
+  EXPECT_TRUE(tree::is_valid(run.tree));
+  // evolve + 3 transform dims = 4 sections per iteration.
+  std::size_t sections = 0;
+  for (const auto& c : run.tree.root->children()) {
+    if (c->kind() == tree::NodeKind::Sec) {
+      ++sections;
+      ASSERT_NE(c->counters(), nullptr);
+      EXPECT_GT(c->counters()->instructions, 0u);
+    }
+  }
+  EXPECT_EQ(sections, 4u);
+  EXPECT_TRUE(std::isfinite(run.checksum));
+}
+
+TEST(FtKernel, MemoryBoundOnScaledCache) {
+  FtParams p;
+  p.nx = 64;
+  p.ny = 32;
+  p.nz = 16;  // 512 KB grid vs 128 KB scaled LLC: streams every pass
+  p.iterations = 1;
+  const KernelRun run = run_ft(p, KernelConfig{.cache = scaled_cache()});
+  const double mpi = static_cast<double>(run.llc_misses) /
+                     static_cast<double>(run.instructions);
+  EXPECT_GT(mpi, 0.001);  // above the burden-model floor
+}
+
+TEST(MgKernel, ResidualDropsAcrossVCycles) {
+  MgParams one;
+  one.n = 16;
+  one.vcycles = 1;
+  MgParams four = one;
+  four.vcycles = 4;
+  const double r1 = run_mg(one).checksum;
+  const double r4 = run_mg(four).checksum;
+  EXPECT_LT(r4, r1);  // multigrid converges
+  EXPECT_GT(r1, 0.0);
+}
+
+TEST(MgKernel, HasAllPhaseSections) {
+  MgParams p;
+  p.n = 16;
+  p.vcycles = 1;
+  const KernelRun run = run_mg(p);
+  EXPECT_TRUE(tree::is_valid(run.tree));
+  bool smooth = false, residual = false, restricted = false, prolong = false;
+  for (const auto& c : run.tree.root->children()) {
+    if (c->kind() != tree::NodeKind::Sec) continue;
+    if (c->name() == "mg-smooth") smooth = true;
+    if (c->name() == "mg-residual") residual = true;
+    if (c->name() == "mg-restrict") restricted = true;
+    if (c->name() == "mg-prolongate") prolong = true;
+  }
+  EXPECT_TRUE(smooth && residual && restricted && prolong);
+}
+
+TEST(CgKernel, ResidualDecreases) {
+  CgParams p;
+  p.n = 400;
+  p.iterations = 6;
+  const KernelRun run = run_cg(p);
+  EXPECT_TRUE(tree::is_valid(run.tree));
+  EXPECT_TRUE(std::isfinite(run.checksum));
+  // Deterministic digest.
+  EXPECT_DOUBLE_EQ(run.checksum, run_cg(p).checksum);
+}
+
+TEST(CgKernel, OnlineCompressionKeepsTreeSmall) {
+  CgParams p;
+  p.n = 960;
+  p.iterations = 4;
+  const KernelRun run = run_cg(p);
+  const tree::TreeStats stats = tree::compute_stats(run.tree);
+  // 3 sections × 4 iterations with ~48-64 strips each: without compression
+  // that is hundreds of physical tasks; RLE should merge most row strips.
+  EXPECT_LT(stats.physical_nodes, 1200u);
+  EXPECT_GT(stats.logical_nodes, stats.physical_nodes);
+}
+
+TEST(Kernels, ScaledCachePreservesHierarchyShape) {
+  const cachesim::CacheConfig c = scaled_cache();
+  EXPECT_LT(c.l1.size_bytes, c.l2.size_bytes);
+  EXPECT_LT(c.l2.size_bytes, c.llc.size_bytes);
+  EXPECT_EQ(c.llc.size_bytes, 128u * 1024u);
+}
+
+TEST(IsKernel, RankingIsValidPermutation) {
+  IsParams p;
+  p.keys = 4096;
+  p.iterations = 1;
+  const KernelRun run = run_is(p);
+  EXPECT_DOUBLE_EQ(run.checksum, 1.0);
+  EXPECT_TRUE(tree::is_valid(run.tree));
+}
+
+TEST(IsKernel, FineGrainedTasksStressTheTree) {
+  // Without online compression the raw tree has one node per key block --
+  // the paper's 10 GB IS case in miniature.
+  IsParams p;
+  p.keys = 1 << 14;
+  p.iterations = 2;
+  KernelConfig raw;
+  raw.profiler.online_compression = false;
+  const KernelRun uncompressed = run_is(p, raw);
+  const KernelRun compressed = run_is(p);  // defaults compress online
+  const auto raw_stats = tree::compute_stats(uncompressed.tree);
+  const auto cmp_stats = tree::compute_stats(compressed.tree);
+  EXPECT_GT(raw_stats.physical_nodes, 4u * cmp_stats.physical_nodes);
+  EXPECT_EQ(raw_stats.logical_nodes, cmp_stats.logical_nodes);
+}
+
+TEST(IsKernel, TwoSectionsPerIteration) {
+  IsParams p;
+  p.keys = 2048;
+  p.iterations = 3;
+  const KernelRun run = run_is(p);
+  std::size_t sections = 0;
+  for (const auto& c : run.tree.root->children()) {
+    if (c->kind() == tree::NodeKind::Sec) ++sections;
+  }
+  EXPECT_EQ(sections, 6u);  // histogram + rank, three iterations
+}
+
+}  // namespace
+}  // namespace pprophet::workloads

@@ -1,0 +1,173 @@
+#include "workloads/test_patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/prophet.hpp"
+#include "tree/compress.hpp"
+#include "tree/validate.hpp"
+
+namespace pprophet::workloads {
+namespace {
+
+TEST(ComputeOverhead, UniformIsExactlyBase) {
+  util::Xoshiro256 rng(1);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(compute_overhead(i, 10, 500, WorkShape::Uniform, 0.5, rng),
+              500u);
+  }
+}
+
+TEST(ComputeOverhead, RandomStaysWithinSpread) {
+  util::Xoshiro256 rng(2);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const Cycles v =
+        compute_overhead(i, 1000, 1000, WorkShape::Random, 0.3, rng);
+    EXPECT_GE(v, 700u);
+    EXPECT_LE(v, 1300u);
+  }
+}
+
+TEST(ComputeOverhead, TriangularGrowsMonotonically) {
+  util::Xoshiro256 rng(3);
+  Cycles prev = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const Cycles v =
+        compute_overhead(i, 64, 1000, WorkShape::Triangular, 0.8, rng);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ComputeOverhead, BimodalAlternates) {
+  util::Xoshiro256 rng(4);
+  const Cycles even =
+      compute_overhead(0, 8, 1000, WorkShape::Bimodal, 0.5, rng);
+  const Cycles odd =
+      compute_overhead(1, 8, 1000, WorkShape::Bimodal, 0.5, rng);
+  EXPECT_EQ(even, 1500u);
+  EXPECT_EQ(odd, 500u);
+}
+
+TEST(Test1, ProducesValidTreeWithExpectedShape) {
+  Test1Params p;
+  p.i_max = 16;
+  p.lock1_prob = 1.0;
+  p.ratio_lock_1 = 0.2;
+  const tree::ProgramTree t = run_test1(p);
+  EXPECT_TRUE(tree::is_valid(t));
+  ASSERT_EQ(t.top_level().size(), 1u);
+  const tree::Node* sec = t.root->child(0);
+  EXPECT_EQ(sec->kind(), tree::NodeKind::Sec);
+  EXPECT_EQ(sec->logical_child_count(), 16u);
+  // Every iteration took lock 1: each task has an L child with lock id 1.
+  for (const auto& task : sec->children()) {
+    bool has_lock = false;
+    for (const auto& seg : task->children()) {
+      if (seg->kind() == tree::NodeKind::L) {
+        EXPECT_EQ(seg->lock_id(), 1u);
+        has_lock = true;
+      }
+    }
+    EXPECT_TRUE(has_lock);
+  }
+}
+
+TEST(Test1, DeterministicForSameSeed) {
+  Test1Params p;
+  p.seed = 99;
+  const tree::ProgramTree a = run_test1(p);
+  const tree::ProgramTree b = run_test1(p);
+  EXPECT_TRUE(tree::structurally_equal(*a.root, *b.root, 0.0));
+}
+
+TEST(Test1, NoLocksWhenProbabilityZero) {
+  Test1Params p;
+  p.lock1_prob = 0.0;
+  p.lock2_prob = 0.0;
+  const tree::ProgramTree t = run_test1(p);
+  for (const auto& task : t.root->child(0)->children()) {
+    for (const auto& seg : task->children()) {
+      EXPECT_NE(seg->kind(), tree::NodeKind::L);
+    }
+  }
+}
+
+TEST(Test2, NestedSectionsPresent) {
+  Test2Params p;
+  p.nested_prob = 1.0;
+  p.k_max = 6;
+  p.inner.i_max = 4;
+  const tree::ProgramTree t = run_test2(p);
+  EXPECT_TRUE(tree::is_valid(t));
+  const tree::Node* outer = t.root->child(0);
+  EXPECT_EQ(outer->logical_child_count(), 6u);
+  for (const auto& task : outer->children()) {
+    bool has_nested = false;
+    for (const auto& seg : task->children()) {
+      if (seg->kind() == tree::NodeKind::Sec) {
+        has_nested = true;
+        EXPECT_EQ(seg->logical_child_count(), 4u);
+      }
+    }
+    EXPECT_TRUE(has_nested);
+  }
+}
+
+TEST(Test2, NestedProbabilityZeroGivesFlatLoop) {
+  Test2Params p;
+  p.nested_prob = 0.0;
+  const tree::ProgramTree t = run_test2(p);
+  for (const auto& task : t.root->child(0)->children()) {
+    for (const auto& seg : task->children()) {
+      EXPECT_NE(seg->kind(), tree::NodeKind::Sec);
+    }
+  }
+}
+
+TEST(RandomParams, SamplesAreDiverseButValid) {
+  util::Xoshiro256 rng(2026);
+  int shapes_seen = 0;
+  bool saw_lock2 = false;
+  std::uint64_t prev_imax = 0;
+  bool varied = false;
+  for (int s = 0; s < 40; ++s) {
+    const Test1Params p = random_test1(rng);
+    EXPECT_GE(p.i_max, 8u);
+    EXPECT_LE(p.i_max, 96u);
+    const double total = p.ratio_delay_1 + p.ratio_lock_1 + p.ratio_delay_2 +
+                         p.ratio_lock_2 + p.ratio_delay_3;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    if (p.ratio_lock_2 > 0.0) saw_lock2 = true;
+    shapes_seen |= 1 << static_cast<int>(p.shape);
+    if (prev_imax != 0 && prev_imax != p.i_max) varied = true;
+    prev_imax = p.i_max;
+    const tree::ProgramTree t = run_test1(p);
+    EXPECT_TRUE(tree::is_valid(t));
+  }
+  EXPECT_TRUE(saw_lock2);
+  EXPECT_TRUE(varied);
+  EXPECT_GT(__builtin_popcount(shapes_seen), 2);
+}
+
+// A smoke validation in the spirit of Figure 11: the FF prediction of a
+// random Test1 sample must track the ground-truth machine closely.
+TEST(ValidationSmoke, FfTracksGroundTruthOnTest1) {
+  util::Xoshiro256 rng(7);
+  core::PredictOptions real;
+  real.method = core::Method::GroundTruth;
+  real.machine.cores = 8;
+  real.machine.context_switch = 0;
+  real.omp_overheads = runtime::OmpOverheads{0, 0, 0, 0, 0, 0, 0};
+  core::PredictOptions ff = real;
+  ff.method = core::Method::FastForward;
+  for (int s = 0; s < 10; ++s) {
+    const Test1Params p = random_test1(rng);
+    const tree::ProgramTree t = run_test1(p);
+    const double sp_real = core::predict(t, 8, real).speedup;
+    const double sp_ff = core::predict(t, 8, ff).speedup;
+    EXPECT_NEAR(sp_ff, sp_real, 0.25 * sp_real) << "sample " << s;
+  }
+}
+
+}  // namespace
+}  // namespace pprophet::workloads

@@ -1,0 +1,108 @@
+// Tests of the survey-addition kernels (Jacobi, Mandelbrot) and their
+// interaction with the prediction stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/prophet.hpp"
+#include "report/experiment.hpp"
+#include "tree/validate.hpp"
+#include "workloads/ompscr.hpp"
+
+namespace pprophet::workloads {
+namespace {
+
+TEST(JacobiKernel, SweepsProduceValidTree) {
+  JacobiParams p;
+  p.n = 32;
+  p.sweeps = 3;
+  const KernelRun run = run_jacobi(p);
+  EXPECT_TRUE(tree::is_valid(run.tree));
+  std::size_t sections = 0;
+  for (const auto& c : run.tree.root->children()) {
+    if (c->kind() == tree::NodeKind::Sec) ++sections;
+  }
+  EXPECT_EQ(sections, 3u);
+  EXPECT_TRUE(std::isfinite(run.checksum));
+  EXPECT_GT(run.checksum, 0.0);
+}
+
+TEST(JacobiKernel, Deterministic) {
+  JacobiParams p;
+  p.n = 24;
+  EXPECT_DOUBLE_EQ(run_jacobi(p).checksum, run_jacobi(p).checksum);
+}
+
+TEST(JacobiKernel, MemoryBoundOnScaledCache) {
+  JacobiParams p;
+  p.n = 192;  // 3 × 288 KB grids vs the 128 KB scaled LLC
+  p.sweeps = 2;
+  const KernelRun run =
+      run_jacobi(p, KernelConfig{.cache = scaled_cache()});
+  const double mpi = static_cast<double>(run.llc_misses) /
+                     static_cast<double>(run.instructions);
+  EXPECT_GT(mpi, 0.001);
+}
+
+TEST(JacobiKernel, BalancedSweepsScaleWell) {
+  JacobiParams p;
+  p.n = 96;
+  p.sweeps = 2;
+  const KernelRun run = run_jacobi(p);
+  core::PredictOptions o = report::paper_options(core::Method::Synthesizer);
+  const double s8 = core::predict(run.tree, 8, o).speedup;
+  EXPECT_GT(s8, 5.0);  // near-balanced strips
+}
+
+TEST(MandelbrotKernel, CountsAreStable) {
+  MandelbrotParams p;
+  p.width = 64;
+  p.height = 48;
+  p.max_iter = 128;
+  const KernelRun a = run_mandelbrot(p);
+  const KernelRun b = run_mandelbrot(p);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+  EXPECT_TRUE(tree::is_valid(a.tree));
+  EXPECT_GT(a.checksum, 0.0);
+}
+
+TEST(MandelbrotKernel, RowsAreWildlyImbalanced) {
+  MandelbrotParams p;
+  p.width = 96;
+  p.height = 64;
+  const KernelRun run = run_mandelbrot(p);
+  const tree::Node* sec = run.tree.root->child(0);
+  Cycles min_len = ~Cycles{0}, max_len = 0;
+  for (const auto& task : sec->children()) {
+    min_len = std::min(min_len, task->length());
+    max_len = std::max(max_len, task->length());
+  }
+  EXPECT_GT(max_len, 3 * min_len);  // interior rows cost far more
+}
+
+TEST(MandelbrotKernel, ScheduleChoiceMattersALot) {
+  MandelbrotParams p;
+  p.width = 96;
+  p.height = 64;
+  const KernelRun run = run_mandelbrot(p);
+  core::PredictOptions o = report::paper_options(core::Method::Synthesizer);
+  o.schedule = runtime::OmpSchedule::StaticBlock;
+  const double block = core::predict(run.tree, 8, o).speedup;
+  o.schedule = runtime::OmpSchedule::Dynamic;
+  const double dynamic = core::predict(run.tree, 8, o).speedup;
+  // Contiguous row blocks concentrate the in-set band on few threads.
+  EXPECT_GT(dynamic, 1.15 * block);
+}
+
+TEST(MandelbrotKernel, ComputeBound) {
+  MandelbrotParams p;
+  p.width = 64;
+  p.height = 64;
+  const KernelRun run = run_mandelbrot(p);
+  const double mpi = static_cast<double>(run.llc_misses) /
+                     static_cast<double>(run.instructions);
+  EXPECT_LT(mpi, 0.001);
+}
+
+}  // namespace
+}  // namespace pprophet::workloads

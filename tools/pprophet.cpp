@@ -1,0 +1,8 @@
+// pprophet — the command-line front end. See src/cli/cli.hpp for usage.
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  return pprophet::cli::main_impl(argc, argv, std::cout, std::cerr);
+}

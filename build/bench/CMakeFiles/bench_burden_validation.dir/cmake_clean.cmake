@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_burden_validation.dir/bench_burden_validation.cpp.o"
+  "CMakeFiles/bench_burden_validation.dir/bench_burden_validation.cpp.o.d"
+  "bench_burden_validation"
+  "bench_burden_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_burden_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

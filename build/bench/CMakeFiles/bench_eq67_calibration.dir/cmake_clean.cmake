@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq67_calibration.dir/bench_eq67_calibration.cpp.o"
+  "CMakeFiles/bench_eq67_calibration.dir/bench_eq67_calibration.cpp.o.d"
+  "bench_eq67_calibration"
+  "bench_eq67_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq67_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

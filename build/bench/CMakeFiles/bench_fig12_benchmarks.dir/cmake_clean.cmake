@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_benchmarks.dir/bench_fig12_benchmarks.cpp.o"
+  "CMakeFiles/bench_fig12_benchmarks.dir/bench_fig12_benchmarks.cpp.o.d"
+  "bench_fig12_benchmarks"
+  "bench_fig12_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

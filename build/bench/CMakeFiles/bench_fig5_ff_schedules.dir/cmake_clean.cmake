@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_ff_schedules.dir/bench_fig5_ff_schedules.cpp.o"
+  "CMakeFiles/bench_fig5_ff_schedules.dir/bench_fig5_ff_schedules.cpp.o.d"
+  "bench_fig5_ff_schedules"
+  "bench_fig5_ff_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ff_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_nested.dir/bench_fig7_nested.cpp.o"
+  "CMakeFiles/bench_fig7_nested.dir/bench_fig7_nested.cpp.o.d"
+  "bench_fig7_nested"
+  "bench_fig7_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

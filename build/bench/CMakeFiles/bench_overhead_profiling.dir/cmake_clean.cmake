@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_profiling.dir/bench_overhead_profiling.cpp.o"
+  "CMakeFiles/bench_overhead_profiling.dir/bench_overhead_profiling.cpp.o.d"
+  "bench_overhead_profiling"
+  "bench_overhead_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

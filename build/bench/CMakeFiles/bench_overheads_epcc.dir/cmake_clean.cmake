@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overheads_epcc.dir/bench_overheads_epcc.cpp.o"
+  "CMakeFiles/bench_overheads_epcc.dir/bench_overheads_epcc.cpp.o.d"
+  "bench_overheads_epcc"
+  "bench_overheads_epcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overheads_epcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

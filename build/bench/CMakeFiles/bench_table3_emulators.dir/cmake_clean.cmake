@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_emulators.dir/bench_table3_emulators.cpp.o"
+  "CMakeFiles/bench_table3_emulators.dir/bench_table3_emulators.cpp.o.d"
+  "bench_table3_emulators"
+  "bench_table3_emulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_emulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

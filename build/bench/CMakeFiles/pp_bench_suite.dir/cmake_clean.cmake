@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpp_bench_suite.a"
+  "../lib/libpp_bench_suite.pdb"
+  "CMakeFiles/pp_bench_suite.dir/kernel_suite.cpp.o"
+  "CMakeFiles/pp_bench_suite.dir/kernel_suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

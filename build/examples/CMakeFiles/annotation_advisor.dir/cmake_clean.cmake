@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_advisor.dir/annotation_advisor.cpp.o"
+  "CMakeFiles/annotation_advisor.dir/annotation_advisor.cpp.o.d"
+  "annotation_advisor"
+  "annotation_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

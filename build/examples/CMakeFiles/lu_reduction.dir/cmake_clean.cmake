@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_reduction.dir/lu_reduction.cpp.o"
+  "CMakeFiles/lu_reduction.dir/lu_reduction.cpp.o.d"
+  "lu_reduction"
+  "lu_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

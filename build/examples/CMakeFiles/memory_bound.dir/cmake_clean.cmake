@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_bound.dir/memory_bound.cpp.o"
+  "CMakeFiles/memory_bound.dir/memory_bound.cpp.o.d"
+  "memory_bound"
+  "memory_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

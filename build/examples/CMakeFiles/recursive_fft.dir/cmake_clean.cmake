@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_fft.dir/recursive_fft.cpp.o"
+  "CMakeFiles/recursive_fft.dir/recursive_fft.cpp.o.d"
+  "recursive_fft"
+  "recursive_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/annotate/annotations.cpp" "src/CMakeFiles/pprophet.dir/annotate/annotations.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/annotate/annotations.cpp.o.d"
+  "/root/repo/src/cachesim/cache.cpp" "src/CMakeFiles/pprophet.dir/cachesim/cache.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/cachesim/cache.cpp.o.d"
+  "/root/repo/src/cli/cli.cpp" "src/CMakeFiles/pprophet.dir/cli/cli.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/cli/cli.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/pprophet.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/prophet.cpp" "src/CMakeFiles/pprophet.dir/core/prophet.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/core/prophet.cpp.o.d"
+  "/root/repo/src/core/recommend.cpp" "src/CMakeFiles/pprophet.dir/core/recommend.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/core/recommend.cpp.o.d"
+  "/root/repo/src/depend/dependence.cpp" "src/CMakeFiles/pprophet.dir/depend/dependence.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/depend/dependence.cpp.o.d"
+  "/root/repo/src/emul/ff.cpp" "src/CMakeFiles/pprophet.dir/emul/ff.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/emul/ff.cpp.o.d"
+  "/root/repo/src/emul/kismet.cpp" "src/CMakeFiles/pprophet.dir/emul/kismet.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/emul/kismet.cpp.o.d"
+  "/root/repo/src/emul/pipeline.cpp" "src/CMakeFiles/pprophet.dir/emul/pipeline.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/emul/pipeline.cpp.o.d"
+  "/root/repo/src/emul/suitability.cpp" "src/CMakeFiles/pprophet.dir/emul/suitability.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/emul/suitability.cpp.o.d"
+  "/root/repo/src/machine/bandwidth.cpp" "src/CMakeFiles/pprophet.dir/machine/bandwidth.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/machine/bandwidth.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/pprophet.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/machine/timeline.cpp" "src/CMakeFiles/pprophet.dir/machine/timeline.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/machine/timeline.cpp.o.d"
+  "/root/repo/src/memmodel/burden.cpp" "src/CMakeFiles/pprophet.dir/memmodel/burden.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/memmodel/burden.cpp.o.d"
+  "/root/repo/src/memmodel/calibration.cpp" "src/CMakeFiles/pprophet.dir/memmodel/calibration.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/memmodel/calibration.cpp.o.d"
+  "/root/repo/src/memmodel/classify.cpp" "src/CMakeFiles/pprophet.dir/memmodel/classify.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/memmodel/classify.cpp.o.d"
+  "/root/repo/src/memmodel/mpi_trend.cpp" "src/CMakeFiles/pprophet.dir/memmodel/mpi_trend.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/memmodel/mpi_trend.cpp.o.d"
+  "/root/repo/src/report/experiment.cpp" "src/CMakeFiles/pprophet.dir/report/experiment.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/report/experiment.cpp.o.d"
+  "/root/repo/src/runtime/cilk_executor.cpp" "src/CMakeFiles/pprophet.dir/runtime/cilk_executor.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/runtime/cilk_executor.cpp.o.d"
+  "/root/repo/src/runtime/iter_sched.cpp" "src/CMakeFiles/pprophet.dir/runtime/iter_sched.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/runtime/iter_sched.cpp.o.d"
+  "/root/repo/src/runtime/memsplit.cpp" "src/CMakeFiles/pprophet.dir/runtime/memsplit.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/runtime/memsplit.cpp.o.d"
+  "/root/repo/src/runtime/omp_executor.cpp" "src/CMakeFiles/pprophet.dir/runtime/omp_executor.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/runtime/omp_executor.cpp.o.d"
+  "/root/repo/src/runtime/section_index.cpp" "src/CMakeFiles/pprophet.dir/runtime/section_index.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/runtime/section_index.cpp.o.d"
+  "/root/repo/src/trace/profiler.cpp" "src/CMakeFiles/pprophet.dir/trace/profiler.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/trace/profiler.cpp.o.d"
+  "/root/repo/src/tree/binary.cpp" "src/CMakeFiles/pprophet.dir/tree/binary.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/tree/binary.cpp.o.d"
+  "/root/repo/src/tree/builder.cpp" "src/CMakeFiles/pprophet.dir/tree/builder.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/tree/builder.cpp.o.d"
+  "/root/repo/src/tree/compress.cpp" "src/CMakeFiles/pprophet.dir/tree/compress.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/tree/compress.cpp.o.d"
+  "/root/repo/src/tree/node.cpp" "src/CMakeFiles/pprophet.dir/tree/node.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/tree/node.cpp.o.d"
+  "/root/repo/src/tree/serialize.cpp" "src/CMakeFiles/pprophet.dir/tree/serialize.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/tree/serialize.cpp.o.d"
+  "/root/repo/src/tree/tree_stats.cpp" "src/CMakeFiles/pprophet.dir/tree/tree_stats.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/tree/tree_stats.cpp.o.d"
+  "/root/repo/src/tree/validate.cpp" "src/CMakeFiles/pprophet.dir/tree/validate.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/tree/validate.cpp.o.d"
+  "/root/repo/src/util/ascii_plot.cpp" "src/CMakeFiles/pprophet.dir/util/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/pprophet.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/fit.cpp" "src/CMakeFiles/pprophet.dir/util/fit.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/util/fit.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/pprophet.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/pprophet.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/util/table.cpp.o.d"
+  "/root/repo/src/vcpu/vcpu.cpp" "src/CMakeFiles/pprophet.dir/vcpu/vcpu.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/vcpu/vcpu.cpp.o.d"
+  "/root/repo/src/workloads/kernel_harness.cpp" "src/CMakeFiles/pprophet.dir/workloads/kernel_harness.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/kernel_harness.cpp.o.d"
+  "/root/repo/src/workloads/npb_cg.cpp" "src/CMakeFiles/pprophet.dir/workloads/npb_cg.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/npb_cg.cpp.o.d"
+  "/root/repo/src/workloads/npb_ep.cpp" "src/CMakeFiles/pprophet.dir/workloads/npb_ep.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/npb_ep.cpp.o.d"
+  "/root/repo/src/workloads/npb_ft.cpp" "src/CMakeFiles/pprophet.dir/workloads/npb_ft.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/npb_ft.cpp.o.d"
+  "/root/repo/src/workloads/npb_is.cpp" "src/CMakeFiles/pprophet.dir/workloads/npb_is.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/npb_is.cpp.o.d"
+  "/root/repo/src/workloads/npb_mg.cpp" "src/CMakeFiles/pprophet.dir/workloads/npb_mg.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/npb_mg.cpp.o.d"
+  "/root/repo/src/workloads/ompscr_fft.cpp" "src/CMakeFiles/pprophet.dir/workloads/ompscr_fft.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/ompscr_fft.cpp.o.d"
+  "/root/repo/src/workloads/ompscr_jacobi.cpp" "src/CMakeFiles/pprophet.dir/workloads/ompscr_jacobi.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/ompscr_jacobi.cpp.o.d"
+  "/root/repo/src/workloads/ompscr_lu.cpp" "src/CMakeFiles/pprophet.dir/workloads/ompscr_lu.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/ompscr_lu.cpp.o.d"
+  "/root/repo/src/workloads/ompscr_mandelbrot.cpp" "src/CMakeFiles/pprophet.dir/workloads/ompscr_mandelbrot.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/ompscr_mandelbrot.cpp.o.d"
+  "/root/repo/src/workloads/ompscr_md.cpp" "src/CMakeFiles/pprophet.dir/workloads/ompscr_md.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/ompscr_md.cpp.o.d"
+  "/root/repo/src/workloads/ompscr_qsort.cpp" "src/CMakeFiles/pprophet.dir/workloads/ompscr_qsort.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/ompscr_qsort.cpp.o.d"
+  "/root/repo/src/workloads/test_patterns.cpp" "src/CMakeFiles/pprophet.dir/workloads/test_patterns.cpp.o" "gcc" "src/CMakeFiles/pprophet.dir/workloads/test_patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

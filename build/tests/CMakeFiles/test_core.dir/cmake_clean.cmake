@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_prophet.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_prophet.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_recommend.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_recommend.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

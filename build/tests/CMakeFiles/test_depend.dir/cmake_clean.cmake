@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depend.dir/depend/test_dependence.cpp.o"
+  "CMakeFiles/test_depend.dir/depend/test_dependence.cpp.o.d"
+  "test_depend"
+  "test_depend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

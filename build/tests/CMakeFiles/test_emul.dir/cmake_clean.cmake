@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emul.dir/emul/test_ff.cpp.o"
+  "CMakeFiles/test_emul.dir/emul/test_ff.cpp.o.d"
+  "CMakeFiles/test_emul.dir/emul/test_kismet.cpp.o"
+  "CMakeFiles/test_emul.dir/emul/test_kismet.cpp.o.d"
+  "CMakeFiles/test_emul.dir/emul/test_pipeline.cpp.o"
+  "CMakeFiles/test_emul.dir/emul/test_pipeline.cpp.o.d"
+  "test_emul"
+  "test_emul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

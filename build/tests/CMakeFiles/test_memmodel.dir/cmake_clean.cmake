@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memmodel.dir/memmodel/test_memmodel.cpp.o"
+  "CMakeFiles/test_memmodel.dir/memmodel/test_memmodel.cpp.o.d"
+  "CMakeFiles/test_memmodel.dir/memmodel/test_mpi_trend.cpp.o"
+  "CMakeFiles/test_memmodel.dir/memmodel/test_mpi_trend.cpp.o.d"
+  "test_memmodel"
+  "test_memmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/test_machine_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_machine_properties.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_prediction_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_prediction_properties.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_profiler_fuzz.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_profiler_fuzz.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_tree_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_tree_properties.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_cilk_executor.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_cilk_executor.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_cilk_executor.cpp.o.d"
+  "/root/repo/tests/runtime/test_iter_sched.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_iter_sched.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_iter_sched.cpp.o.d"
+  "/root/repo/tests/runtime/test_memsplit.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_memsplit.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_memsplit.cpp.o.d"
+  "/root/repo/tests/runtime/test_omp_executor.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_omp_executor.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_omp_executor.cpp.o.d"
+  "/root/repo/tests/runtime/test_schedules_extra.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_schedules_extra.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_schedules_extra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pprophet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

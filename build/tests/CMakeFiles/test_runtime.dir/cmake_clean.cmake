@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_cilk_executor.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_cilk_executor.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_iter_sched.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_iter_sched.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_memsplit.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_memsplit.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_omp_executor.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_omp_executor.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_schedules_extra.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_schedules_extra.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_driver.dir/suite/test_kernel_suite.cpp.o"
+  "CMakeFiles/test_suite_driver.dir/suite/test_kernel_suite.cpp.o.d"
+  "test_suite_driver"
+  "test_suite_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tree/test_binary.cpp" "tests/CMakeFiles/test_tree.dir/tree/test_binary.cpp.o" "gcc" "tests/CMakeFiles/test_tree.dir/tree/test_binary.cpp.o.d"
+  "/root/repo/tests/tree/test_builder.cpp" "tests/CMakeFiles/test_tree.dir/tree/test_builder.cpp.o" "gcc" "tests/CMakeFiles/test_tree.dir/tree/test_builder.cpp.o.d"
+  "/root/repo/tests/tree/test_compress.cpp" "tests/CMakeFiles/test_tree.dir/tree/test_compress.cpp.o" "gcc" "tests/CMakeFiles/test_tree.dir/tree/test_compress.cpp.o.d"
+  "/root/repo/tests/tree/test_figure4_golden.cpp" "tests/CMakeFiles/test_tree.dir/tree/test_figure4_golden.cpp.o" "gcc" "tests/CMakeFiles/test_tree.dir/tree/test_figure4_golden.cpp.o.d"
+  "/root/repo/tests/tree/test_node.cpp" "tests/CMakeFiles/test_tree.dir/tree/test_node.cpp.o" "gcc" "tests/CMakeFiles/test_tree.dir/tree/test_node.cpp.o.d"
+  "/root/repo/tests/tree/test_serialize.cpp" "tests/CMakeFiles/test_tree.dir/tree/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_tree.dir/tree/test_serialize.cpp.o.d"
+  "/root/repo/tests/tree/test_validate.cpp" "tests/CMakeFiles/test_tree.dir/tree/test_validate.cpp.o" "gcc" "tests/CMakeFiles/test_tree.dir/tree/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pprophet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

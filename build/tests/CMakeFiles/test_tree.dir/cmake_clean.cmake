@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree.dir/tree/test_binary.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_binary.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_builder.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_builder.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_compress.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_compress.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_figure4_golden.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_figure4_golden.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_node.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_node.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_serialize.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_serialize.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_validate.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_validate.cpp.o.d"
+  "test_tree"
+  "test_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcpu.dir/vcpu/test_cachesim.cpp.o"
+  "CMakeFiles/test_vcpu.dir/vcpu/test_cachesim.cpp.o.d"
+  "CMakeFiles/test_vcpu.dir/vcpu/test_vcpu.cpp.o"
+  "CMakeFiles/test_vcpu.dir/vcpu/test_vcpu.cpp.o.d"
+  "test_vcpu"
+  "test_vcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

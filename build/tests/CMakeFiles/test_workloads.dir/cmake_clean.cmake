@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_kernels.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_kernels.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_patterns_test.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_patterns_test.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_survey_kernels.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_survey_kernels.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

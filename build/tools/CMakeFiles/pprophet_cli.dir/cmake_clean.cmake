@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprophet_cli.dir/pprophet.cpp.o"
+  "CMakeFiles/pprophet_cli.dir/pprophet.cpp.o.d"
+  "pprophet"
+  "pprophet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprophet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -46,6 +46,12 @@ int main() {
     }
     std::cout << "max burden factor beta_12 = " << util::fmt_f(max_burden, 2)
               << "\n";
+    const core::SweepStats& ss = curves.sweep_stats;
+    std::cout << "sweep: " << ss.grid_points << " grid points, "
+              << ss.section_evals << "/" << ss.section_lookups
+              << " section emulations (memo hit rate "
+              << util::fmt_pct(ss.hit_rate()) << "), "
+              << util::fmt_f(ss.wall_ms, 1) << " ms\n";
 
     // Optional machine-readable export for replotting: PP_CSV_DIR=<dir>.
     if (const char* dir = std::getenv("PP_CSV_DIR")) {

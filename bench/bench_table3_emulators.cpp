@@ -5,6 +5,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "core/sweep.hpp"
 #include "report/experiment.hpp"
 #include "util/env.hpp"
 #include "util/stats.hpp"
@@ -45,10 +46,20 @@ int main() {
                        "paper note"});
     for (const core::Method m : {core::Method::FastForward,
                                  core::Method::Synthesizer}) {
-      o.method = m;
+      // Per-tree estimates run through the batched sweep engine — a
+      // one-point sweep is bit-identical to core::predict (see
+      // tests/core/test_sweep.cpp), so the timing it reports is the
+      // engine's own per-estimate cost.
+      core::SweepPoint point;
+      point.method = m;
+      point.threads = 8;
       std::vector<double> pred;
       const auto t0 = std::chrono::steady_clock::now();
-      for (const auto& t : trees) pred.push_back(core::predict(t, 8, o).speedup);
+      for (const auto& t : trees) {
+        pred.push_back(core::sweep_points(t, {&point, 1}, o)
+                           .cells.front()
+                           .estimate.speedup);
+      }
       const double secs = seconds_since(t0) / static_cast<double>(samples);
       const util::ErrorStats es = util::error_stats(pred, real);
       table.add_row(

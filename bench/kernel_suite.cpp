@@ -99,22 +99,40 @@ KernelCurves evaluate_kernel(const SuiteEntry& entry,
   const auto& cores = report::paper_core_counts();
   memmodel::annotate_burdens(run.tree, model, cores);
 
+  // The Figure 12 point set is not a full Cartesian grid (Real, Pred,
+  // PredM, Suit per core count), so hand the explicit list to the sweep
+  // engine: one batched evaluation, memoized per section.
+  std::vector<core::SweepPoint> points;
+  points.reserve(cores.size() * 4);
+  const auto add = [&](core::Method m, bool mm, CoreCount t) {
+    core::SweepPoint p;
+    p.method = m;
+    p.paradigm = entry.paradigm;
+    p.schedule = entry.schedule;
+    p.threads = t;
+    p.memory_model = mm;
+    points.push_back(p);
+  };
   for (const CoreCount t : cores) {
-    core::PredictOptions o = report::paper_options(core::Method::GroundTruth);
-    o.paradigm = entry.paradigm;
-    o.schedule = entry.schedule;
-    out.real.push_back(core::predict(run.tree, t, o).speedup);
-
-    o.method = core::Method::Synthesizer;
-    o.memory_model = false;
-    out.pred.push_back(core::predict(run.tree, t, o).speedup);
-
-    o.memory_model = true;
-    out.predm.push_back(core::predict(run.tree, t, o).speedup);
-
-    o.method = core::Method::Suitability;
-    out.suit.push_back(core::predict(run.tree, t, o).speedup);
+    add(core::Method::GroundTruth, false, t);
+    add(core::Method::Synthesizer, false, t);
+    add(core::Method::Synthesizer, true, t);
+    add(core::Method::Suitability, false, t);
   }
+
+  core::PredictOptions base =
+      report::paper_options(core::Method::GroundTruth);
+  base.paradigm = entry.paradigm;
+  base.schedule = entry.schedule;
+  const core::SweepResult res =
+      core::sweep_points(run.tree, points, base);
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    out.real.push_back(res.cells[4 * i + 0].estimate.speedup);
+    out.pred.push_back(res.cells[4 * i + 1].estimate.speedup);
+    out.predm.push_back(res.cells[4 * i + 2].estimate.speedup);
+    out.suit.push_back(res.cells[4 * i + 3].estimate.speedup);
+  }
+  out.sweep_stats = res.stats;
   out.tree = std::move(run.tree);
   return out;
 }

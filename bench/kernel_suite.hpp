@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "core/prophet.hpp"
+#include "core/sweep.hpp"
 #include "memmodel/burden.hpp"
 #include "report/experiment.hpp"
 #include "tree/compress.hpp"
@@ -32,10 +32,12 @@ struct KernelCurves {
   std::string name;
   std::vector<double> real, pred, predm, suit;
   tree::ProgramTree tree;  ///< profiled + compressed + burden-annotated
+  core::SweepStats sweep_stats;  ///< memo hit-rate / wall-clock of the sweep
 };
 
 /// Profiles the kernel and computes all four curves over the paper's core
-/// counts. The burden model must be calibrated against paper_machine().
+/// counts, batched through the memoizing sweep engine (core/sweep.hpp).
+/// The burden model must be calibrated against paper_machine().
 KernelCurves evaluate_kernel(const SuiteEntry& entry,
                              const memmodel::BurdenModel& model);
 

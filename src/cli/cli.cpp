@@ -30,6 +30,10 @@ constexpr const char* kUsage = R"(usage:
                      [--memory-model]
   pprophet timeline --tree FILE [--threads N] [--paradigm omp|cilk]
                     [--schedule ...] [--cores N]
+  pprophet sweep    --tree FILE [--methods ff,syn,suit,real]
+                    [--paradigms omp,cilk] [--schedules static1,static,dynamic]
+                    [--chunks 1,4] [--threads 2,4,8] [--cores N]
+                    [--memory-model] [--workers N] [--csv FILE]
 )";
 
 bool parse_method(const std::string& v, core::Method& out) {
@@ -48,6 +52,33 @@ bool parse_schedule(const std::string& v, runtime::OmpSchedule& out) {
   else if (v == "guided") out = runtime::OmpSchedule::Guided;
   else return false;
   return true;
+}
+
+/// Splits a comma list and parses each token with `one`; false on any
+/// failure or an empty list.
+template <typename T, typename ParseOne>
+bool parse_list(const std::string& v, std::vector<T>& out, ParseOne one) {
+  out.clear();
+  std::istringstream is(v);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    T item;
+    if (!one(tok, item)) return false;
+    out.push_back(item);
+  }
+  return !out.empty();
+}
+
+bool parse_paradigm(const std::string& v, core::Paradigm& out) {
+  if (v == "omp") out = core::Paradigm::OpenMP;
+  else if (v == "cilk") out = core::Paradigm::CilkPlus;
+  else return false;
+  return true;
+}
+
+bool parse_chunk(const std::string& v, std::uint64_t& out) {
+  out = std::strtoull(v.c_str(), nullptr, 10);
+  return out != 0;
 }
 
 bool parse_threads(const std::string& v, std::vector<CoreCount>& out) {
@@ -119,6 +150,78 @@ int cmd_predict(const Options& opts, std::ostream& out, std::ostream& err) {
       << opts.cores << " cores, memory model "
       << (opts.memory_model ? "on" : "off") << "\n";
   table.print(out);
+  if (!opts.csv_path.empty()) {
+    if (!csv.write(opts.csv_path)) {
+      err << "pprophet: cannot write '" << opts.csv_path << "'\n";
+      return 1;
+    }
+    out << "wrote " << opts.csv_path << "\n";
+  }
+  return 0;
+}
+
+// Batched what-if sweep over (method × paradigm × schedule × chunk ×
+// threads) through the memoizing engine (core/sweep.hpp), with the cache
+// hit-rate and wall-clock reported so the batching win is visible.
+int cmd_sweep(const Options& opts, std::ostream& out, std::ostream& err) {
+  auto t = load_tree(opts.tree_path, err);
+  if (!t) return 1;
+
+  core::SweepGrid grid;
+  grid.methods = opts.methods.empty()
+                     ? std::vector<core::Method>{opts.method}
+                     : opts.methods;
+  grid.paradigms = opts.paradigms.empty()
+                       ? std::vector<core::Paradigm>{opts.paradigm}
+                       : opts.paradigms;
+  grid.schedules = opts.schedules.empty()
+                       ? std::vector<runtime::OmpSchedule>{opts.schedule}
+                       : opts.schedules;
+  grid.chunks = opts.chunks.empty() ? std::vector<std::uint64_t>{opts.chunk}
+                                    : opts.chunks;
+  grid.thread_counts = opts.threads;
+  grid.memory_models = {opts.memory_model};
+  grid.base = report::paper_options(grid.methods.front());
+  grid.base.machine.cores = opts.cores;
+  if (opts.memory_model) {
+    memmodel::CalibrationOptions copts;
+    copts.machine = grid.base.machine;
+    const memmodel::BurdenModel model(memmodel::calibrate(copts));
+    memmodel::annotate_burdens(*t, model, opts.threads);
+  }
+
+  core::SweepOptions sopts;
+  sopts.workers = opts.workers;
+  const core::SweepResult res = core::sweep(*t, grid, sopts);
+
+  util::Table table({"method", "paradigm", "schedule", "chunk", "threads",
+                     "speedup", "parallel cycles"});
+  util::CsvWriter csv({"method", "paradigm", "schedule", "chunk", "threads",
+                       "speedup", "parallel_cycles", "serial_cycles"});
+  for (const core::SweepCell& c : res.cells) {
+    const auto& p = c.point;
+    table.add_row({core::to_string(p.method), core::to_string(p.paradigm),
+                   runtime::to_string(p.schedule), std::to_string(p.chunk),
+                   std::to_string(p.threads),
+                   util::fmt_f(c.estimate.speedup, 2),
+                   util::fmt_i(static_cast<long long>(
+                       c.estimate.parallel_cycles))});
+    csv.add_row({core::to_string(p.method), core::to_string(p.paradigm),
+                 runtime::to_string(p.schedule), std::to_string(p.chunk),
+                 std::to_string(p.threads), util::fmt_f(c.estimate.speedup, 4),
+                 std::to_string(c.estimate.parallel_cycles),
+                 std::to_string(c.estimate.serial_cycles)});
+  }
+  out << "sweep over " << res.stats.grid_points << " grid points, machine "
+      << opts.cores << " cores, memory model "
+      << (opts.memory_model ? "on" : "off") << "\n";
+  table.print(out);
+  const auto& s = res.stats;
+  out << "grid points " << s.grid_points << ", section emulations "
+      << s.section_evals << " of " << s.section_lookups
+      << " lookups (memo hit rate " << util::fmt_pct(s.hit_rate()) << "), "
+      << s.workers << " worker" << (s.workers == 1 ? "" : "s") << ", "
+      << util::fmt_f(s.wall_ms, 1) << " ms\n";
   if (!opts.csv_path.empty()) {
     if (!csv.write(opts.csv_path)) {
       err << "pprophet: cannot write '" << opts.csv_path << "'\n";
@@ -274,7 +377,7 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
   opts.command = args[0];
   if (opts.command != "predict" && opts.command != "inspect" &&
       opts.command != "compress" && opts.command != "recommend" &&
-      opts.command != "timeline") {
+      opts.command != "timeline" && opts.command != "sweep") {
     err << "pprophet: unknown command '" << opts.command << "'\n" << kUsage;
     return std::nullopt;
   }
@@ -339,6 +442,41 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
         return std::nullopt;
       }
       opts.cores = static_cast<CoreCount>(n);
+    } else if (a == "--methods") {
+      const auto v = need_value();
+      if (!v || !parse_list<core::Method>(*v, opts.methods, parse_method)) {
+        err << "pprophet: bad --methods (use e.g. ff,syn,suit,real)\n";
+        return std::nullopt;
+      }
+    } else if (a == "--paradigms") {
+      const auto v = need_value();
+      if (!v ||
+          !parse_list<core::Paradigm>(*v, opts.paradigms, parse_paradigm)) {
+        err << "pprophet: bad --paradigms (use e.g. omp,cilk)\n";
+        return std::nullopt;
+      }
+    } else if (a == "--schedules") {
+      const auto v = need_value();
+      if (!v || !parse_list<runtime::OmpSchedule>(*v, opts.schedules,
+                                                  parse_schedule)) {
+        err << "pprophet: bad --schedules (use e.g. static1,static,dynamic)\n";
+        return std::nullopt;
+      }
+    } else if (a == "--chunks") {
+      const auto v = need_value();
+      if (!v || !parse_list<std::uint64_t>(*v, opts.chunks, parse_chunk)) {
+        err << "pprophet: bad --chunks (use e.g. 1,4)\n";
+        return std::nullopt;
+      }
+    } else if (a == "--workers") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n < 0) {
+        err << "pprophet: bad --workers\n";
+        return std::nullopt;
+      }
+      opts.workers = static_cast<std::size_t>(n);
     } else if (a == "--memory-model") {
       opts.memory_model = true;
     } else if (a == "--tolerance") {
@@ -374,6 +512,7 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
     if (opts.command == "compress") return cmd_compress(opts, out, err);
     if (opts.command == "recommend") return cmd_recommend(opts, out, err);
     if (opts.command == "timeline") return cmd_timeline(opts, out, err);
+    if (opts.command == "sweep") return cmd_sweep(opts, out, err);
   } catch (const std::exception& e) {
     err << "pprophet: " << e.what() << "\n";
     return 1;

@@ -9,6 +9,10 @@
 //   pprophet recommend --tree t.ptree [--threads 2,4,8] [--cores N]
 //                      [--memory-model]
 //   pprophet timeline --tree t.ptree [--threads N] [--paradigm omp|cilk]
+//   pprophet sweep    --tree t.ptree [--methods ff,syn,suit,real]
+//                     [--paradigms omp,cilk] [--schedules static1,static,dynamic]
+//                     [--chunks 1,4] [--threads 2,4,8] [--cores N]
+//                     [--memory-model] [--workers N] [--csv out.csv]
 //
 // The entry point is a plain function so tests can drive it without
 // spawning processes.
@@ -19,12 +23,12 @@
 #include <string>
 #include <vector>
 
-#include "core/prophet.hpp"
+#include "core/sweep.hpp"
 
 namespace pprophet::cli {
 
 struct Options {
-  std::string command;  // predict|inspect|compress|recommend|timeline
+  std::string command;  // predict|inspect|compress|recommend|timeline|sweep
   std::string tree_path;
   std::string output_path;
   core::Method method = core::Method::Synthesizer;
@@ -37,6 +41,13 @@ struct Options {
   double tolerance = 0.05;
   bool lossy = false;
   std::string csv_path;
+  // sweep-only grid dimensions (the singular options above seed the
+  // defaults when a list is not given).
+  std::vector<core::Method> methods;
+  std::vector<core::Paradigm> paradigms;
+  std::vector<runtime::OmpSchedule> schedules;
+  std::vector<std::uint64_t> chunks;
+  std::size_t workers = 0;  ///< sweep worker pool; 0 = hardware concurrency
 };
 
 /// Parses argv (excluding argv[0]). Returns nullopt and writes a message to

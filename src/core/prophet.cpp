@@ -32,31 +32,19 @@ runtime::ExecMode exec_mode(const PredictOptions& o, bool synth) {
   return m;
 }
 
-/// Per-section emulation (§IV-E): each top-level Sec contributes its net
-/// emulated duration; top-level U nodes contribute their serial lengths.
-Cycles compose_sections(const tree::ProgramTree& tree, CoreCount threads,
-                        const PredictOptions& o, bool synth) {
-  Cycles total = 0;
+/// One synthesizer/ground-truth run of a single top-level section.
+Cycles run_one_section(const Node& sec, CoreCount threads,
+                       const PredictOptions& o, bool synth) {
   const runtime::ExecMode mode = exec_mode(o, synth);
-  for (const auto& child : tree.root->children()) {
-    for (std::uint64_t rep = 0; rep < child->repeat(); ++rep) {
-      if (child->kind() == NodeKind::U) {
-        total += child->length();
-        continue;
-      }
-      if (child->kind() != NodeKind::Sec) continue;
-      runtime::RunResult r;
-      if (o.paradigm == Paradigm::OpenMP) {
-        r = runtime::run_section_omp(*child, o.machine,
-                                     omp_config(o, threads), mode);
-      } else {
-        r = runtime::run_section_cilk(*child, o.machine,
-                                      cilk_config(o, threads), mode);
-      }
-      total += synth ? r.net() : r.elapsed;
-    }
+  runtime::RunResult r;
+  if (o.paradigm == Paradigm::OpenMP) {
+    r = runtime::run_section_omp(sec, o.machine, omp_config(o, threads),
+                                 mode);
+  } else {
+    r = runtime::run_section_cilk(sec, o.machine, cilk_config(o, threads),
+                                  mode);
   }
-  return total;
+  return synth ? r.net() : r.elapsed;
 }
 
 }  // namespace
@@ -85,6 +73,47 @@ Cycles serial_cycles_of(const tree::ProgramTree& tree) {
   return measured != 0 ? measured : tree.root->serial_work();
 }
 
+Cycles predict_section_cycles(const tree::Node& sec, CoreCount threads,
+                              const PredictOptions& options) {
+  if (sec.kind() != NodeKind::Sec) {
+    throw std::invalid_argument("predict_section_cycles: node is not a Sec");
+  }
+  if (threads == 0) {
+    throw std::invalid_argument("predict_section_cycles: zero threads");
+  }
+  switch (options.method) {
+    case Method::FastForward: {
+      emul::FfConfig ff;
+      ff.num_threads = threads;
+      ff.schedule = options.schedule;
+      ff.chunk = options.chunk;
+      ff.overheads = options.omp_overheads;
+      ff.apply_burden = options.memory_model;
+      return emul::emulate_ff_section(sec, ff).parallel_cycles;
+    }
+    case Method::Suitability: {
+      emul::SuitabilityConfig cfg;
+      cfg.num_threads = threads;
+      return emul::emulate_suitability_section(sec, cfg).parallel_cycles;
+    }
+    case Method::Synthesizer: {
+      // In synth mode burden factors are read off the tree; if the caller
+      // did not ask for the memory model, strip them by predicting with
+      // burden == 1 (the tree carries them only when annotate_burdens ran,
+      // and Node::burden returns 1 when absent).
+      if (options.memory_model) {
+        return run_one_section(sec, threads, options, true);
+      }
+      const tree::NodePtr plain = sec.clone();
+      plain->set_burden(threads, 1.0);
+      return run_one_section(*plain, threads, options, true);
+    }
+    case Method::GroundTruth:
+      return run_one_section(sec, threads, options, false);
+  }
+  throw std::logic_error("predict_section_cycles: unknown method");
+}
+
 SpeedupEstimate predict(const tree::ProgramTree& tree, CoreCount threads,
                         const PredictOptions& options) {
   if (!tree.root) throw std::invalid_argument("predict: empty tree");
@@ -94,51 +123,18 @@ SpeedupEstimate predict(const tree::ProgramTree& tree, CoreCount threads,
   est.threads = threads;
   est.serial_cycles = serial_cycles_of(tree);
 
-  switch (options.method) {
-    case Method::FastForward: {
-      emul::FfConfig ff;
-      ff.num_threads = threads;
-      ff.schedule = options.schedule;
-      ff.chunk = options.chunk;
-      ff.overheads = options.omp_overheads;
-      ff.apply_burden = options.memory_model;
-      const emul::FfResult r = emul::emulate_ff(tree, ff);
-      est.parallel_cycles = r.parallel_cycles;
-      break;
-    }
-    case Method::Suitability: {
-      emul::SuitabilityConfig cfg;
-      cfg.num_threads = threads;
-      const emul::FfResult r = emul::emulate_suitability(tree, cfg);
-      est.parallel_cycles = r.parallel_cycles;
-      break;
-    }
-    case Method::Synthesizer: {
-      // In synth mode burden factors are read off the tree; if the caller
-      // did not ask for the memory model, strip them by predicting with
-      // burden == 1 (the tree carries them only when annotate_burdens ran,
-      // and Node::burden returns 1 when absent).
-      if (options.memory_model) {
-        est.parallel_cycles = compose_sections(tree, threads, options, true);
-      } else {
-        // Clone without burdens: emulate with a burden-free copy.
-        tree::ProgramTree plain;
-        plain.root = tree.root->clone();
-        for (const auto& child : plain.root->children()) {
-          // Overwrite any attached burden with 1.0 for this thread count.
-          if (child->kind() == NodeKind::Sec) child->set_burden(threads, 1.0);
-        }
-        est.parallel_cycles =
-            compose_sections(plain, threads, options, true);
-      }
-      break;
-    }
-    case Method::GroundTruth: {
-      est.parallel_cycles = compose_sections(tree, threads, options, false);
-      break;
+  // §IV-E composition: every top-level Sec contributes its emulated
+  // duration once per repetition; top-level U nodes their serial lengths.
+  Cycles parallel = 0;
+  for (const auto& child : tree.root->children()) {
+    if (child->kind() == NodeKind::U) {
+      parallel += child->length() * child->repeat();
+    } else if (child->kind() == NodeKind::Sec) {
+      parallel +=
+          predict_section_cycles(*child, threads, options) * child->repeat();
     }
   }
-  if (est.parallel_cycles == 0) est.parallel_cycles = 1;
+  est.parallel_cycles = parallel == 0 ? 1 : parallel;
   est.speedup = static_cast<double>(est.serial_cycles) /
                 static_cast<double>(est.parallel_cycles);
   return est;

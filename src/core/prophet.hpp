@@ -67,6 +67,14 @@ struct SpeedupEstimate {
 SpeedupEstimate predict(const tree::ProgramTree& tree, CoreCount threads,
                         const PredictOptions& options);
 
+/// Projected parallel duration of ONE repetition of the top-level section
+/// `sec` under `options` — the per-section term of the §IV-E composition.
+/// predict() and the sweep engine (core/sweep.hpp) both sum estimates from
+/// this function, which is what makes batched sweeps bit-identical to the
+/// sequential path. `sec` must be a Sec node.
+Cycles predict_section_cycles(const tree::Node& sec, CoreCount threads,
+                              const PredictOptions& options);
+
 /// Convenience: one estimate per entry of `thread_counts`.
 std::vector<SpeedupEstimate> predict_curve(
     const tree::ProgramTree& tree, std::span<const CoreCount> thread_counts,

@@ -1,0 +1,268 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace pprophet::core {
+namespace {
+
+using tree::Node;
+using tree::NodeKind;
+
+/// The sub-key a per-section emulation actually depends on. `section` is the
+/// index of the Sec among the root's children.
+struct MemoKey {
+  std::uint32_t section = 0;
+  Method method = Method::Synthesizer;
+  Paradigm paradigm = Paradigm::OpenMP;
+  runtime::OmpSchedule schedule = runtime::OmpSchedule::StaticCyclic;
+  std::uint64_t chunk = 1;
+  CoreCount threads = 0;
+  bool memory_model = false;
+
+  bool operator==(const MemoKey&) const = default;
+};
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& k) const {
+    std::uint64_t h = k.section;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::uint64_t>(k.method));
+    mix(static_cast<std::uint64_t>(k.paradigm));
+    mix(static_cast<std::uint64_t>(k.schedule));
+    mix(k.chunk);
+    mix(k.threads);
+    mix(k.memory_model ? 1 : 0);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Drops every point dimension the emulation of `method`/`paradigm` provably
+/// never reads, so grid points differing only in an irrelevant dimension
+/// share one memo entry:
+///  * Suitability pins its own schedule, chunk and overheads and has no
+///    memory model — only the thread count matters;
+///  * the FF emulator never reads the paradigm;
+///  * the Cilk executor has no schedule/chunk parameter;
+///  * GroundTruth always uses the machine's dynamic contention, never the
+///    memory-model flag;
+///  * schedule(static) hands out one block per thread whatever the chunk.
+SweepPoint canonical(SweepPoint p) {
+  switch (p.method) {
+    case Method::Suitability:
+      p.paradigm = Paradigm::OpenMP;
+      p.schedule = runtime::OmpSchedule::Dynamic;
+      p.chunk = 1;
+      p.memory_model = false;
+      break;
+    case Method::FastForward:
+      p.paradigm = Paradigm::OpenMP;
+      break;
+    case Method::GroundTruth:
+      p.memory_model = false;
+      break;
+    case Method::Synthesizer:
+      break;
+  }
+  if (p.paradigm == Paradigm::CilkPlus) {
+    p.schedule = runtime::OmpSchedule::StaticCyclic;
+    p.chunk = 1;
+  }
+  if (p.schedule == runtime::OmpSchedule::StaticBlock) p.chunk = 1;
+  return p;
+}
+
+PredictOptions options_for(const PredictOptions& base, const SweepPoint& p) {
+  PredictOptions o = base;
+  o.method = p.method;
+  o.paradigm = p.paradigm;
+  o.schedule = p.schedule;
+  o.chunk = p.chunk;
+  o.memory_model = p.memory_model;
+  return o;
+}
+
+/// Shared memo of per-section emulations. The first worker to request a key
+/// computes it; concurrent requesters block on its future. Values are
+/// computed from the *canonical* point, so the cache contents are
+/// independent of the order in which workers arrive.
+class SectionMemo {
+ public:
+  explicit SectionMemo(const PredictOptions& base) : base_(base) {}
+
+  Cycles get(const Node& sec, const MemoKey& key, const SweepPoint& cpoint) {
+    std::shared_future<Cycles> fut;
+    std::promise<Cycles> prom;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++lookups_;
+      auto [it, inserted] = map_.try_emplace(key);
+      if (inserted) {
+        owner = true;
+        it->second = prom.get_future().share();
+        ++evals_;
+      } else {
+        ++hits_;
+        fut = it->second;
+      }
+    }
+    if (!owner) return fut.get();
+    try {
+      const Cycles v = predict_section_cycles(
+          sec, cpoint.threads, options_for(base_, cpoint));
+      prom.set_value(v);
+      return v;
+    } catch (...) {
+      prom.set_exception(std::current_exception());
+      throw;
+    }
+  }
+
+  std::size_t lookups() const { return lookups_; }
+  std::size_t hits() const { return hits_; }
+  std::size_t evals() const { return evals_; }
+
+ private:
+  const PredictOptions& base_;
+  std::mutex mu_;
+  std::unordered_map<MemoKey, std::shared_future<Cycles>, MemoKeyHash> map_;
+  std::size_t lookups_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t evals_ = 0;
+};
+
+}  // namespace
+
+std::vector<SweepPoint> SweepGrid::points() const {
+  std::vector<SweepPoint> out;
+  out.reserve(size());
+  for (const Method m : methods) {
+    for (const Paradigm p : paradigms) {
+      for (const runtime::OmpSchedule s : schedules) {
+        for (const std::uint64_t c : chunks) {
+          for (const bool mm : memory_models) {
+            for (const CoreCount t : thread_counts) {
+              out.push_back(SweepPoint{m, p, s, c, t, mm});
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SweepResult sweep(const tree::ProgramTree& tree, const SweepGrid& grid,
+                  const SweepOptions& options) {
+  const std::vector<SweepPoint> pts = grid.points();
+  return sweep_points(tree, pts, grid.base, options);
+}
+
+SweepResult sweep_points(const tree::ProgramTree& tree,
+                         std::span<const SweepPoint> points,
+                         const PredictOptions& base,
+                         const SweepOptions& options) {
+  if (!tree.root) throw std::invalid_argument("sweep: empty tree");
+  for (const SweepPoint& p : points) {
+    if (p.threads == 0) throw std::invalid_argument("sweep: zero threads");
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  SweepResult result;
+  result.cells.resize(points.size());
+  result.stats.grid_points = points.size();
+
+  // The per-cell composition shares the serial denominator and the summed
+  // top-level U glue: neither depends on the grid point.
+  const Cycles serial = serial_cycles_of(tree);
+  Cycles u_cycles = 0;
+  std::vector<std::pair<std::uint32_t, const Node*>> sections;
+  {
+    const auto& tops = tree.root->children();
+    for (std::uint32_t i = 0; i < tops.size(); ++i) {
+      if (tops[i]->kind() == NodeKind::U) {
+        u_cycles += tops[i]->length() * tops[i]->repeat();
+      } else if (tops[i]->kind() == NodeKind::Sec) {
+        sections.emplace_back(i, tops[i].get());
+      }
+    }
+  }
+
+  SectionMemo memo(base);
+  const auto evaluate_cell = [&](std::size_t idx) {
+    const SweepPoint& p = points[idx];
+    const SweepPoint cp = canonical(p);
+    Cycles parallel = u_cycles;
+    for (const auto& [sec_idx, sec] : sections) {
+      MemoKey key;
+      key.section = sec_idx;
+      key.method = cp.method;
+      key.paradigm = cp.paradigm;
+      key.schedule = cp.schedule;
+      key.chunk = cp.chunk;
+      key.threads = cp.threads;
+      key.memory_model = cp.memory_model;
+      parallel += memo.get(*sec, key, cp) * sec->repeat();
+    }
+    SweepCell& cell = result.cells[idx];
+    cell.point = p;
+    cell.estimate.threads = p.threads;
+    cell.estimate.serial_cycles = serial;
+    cell.estimate.parallel_cycles = parallel == 0 ? 1 : parallel;
+    cell.estimate.speedup =
+        static_cast<double>(cell.estimate.serial_cycles) /
+        static_cast<double>(cell.estimate.parallel_cycles);
+  };
+
+  std::size_t workers = options.workers != 0
+                            ? options.workers
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, points.size());
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) evaluate_cell(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    const auto drain = [&] {
+      try {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= points.size()) return;
+          evaluate_cell(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (std::thread& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  result.stats.section_lookups = memo.lookups();
+  result.stats.cache_hits = memo.hits();
+  result.stats.section_evals = memo.evals();
+  result.stats.workers = workers;
+  result.stats.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace pprophet::core

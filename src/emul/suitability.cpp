@@ -2,8 +2,7 @@
 
 namespace pprophet::emul {
 
-FfResult emulate_suitability(const tree::ProgramTree& tree,
-                             const SuitabilityConfig& cfg) {
+FfConfig suitability_ff_config(const SuitabilityConfig& cfg) {
   FfConfig ff;
   ff.num_threads = cfg.num_threads;
   // Schedule ignored: the emulator behaves like OpenMP (dynamic,1).
@@ -17,7 +16,17 @@ FfResult emulate_suitability(const tree::ProgramTree& tree,
   ff.overheads.lock_acquire = cfg.lock_overhead;
   ff.overheads.lock_release = cfg.lock_overhead;
   ff.apply_burden = false;  // no memory model
-  return emulate_ff(tree, ff);
+  return ff;
+}
+
+FfResult emulate_suitability(const tree::ProgramTree& tree,
+                             const SuitabilityConfig& cfg) {
+  return emulate_ff(tree, suitability_ff_config(cfg));
+}
+
+FfResult emulate_suitability_section(const tree::Node& sec,
+                                     const SuitabilityConfig& cfg) {
+  return emulate_ff_section(sec, suitability_ff_config(cfg));
 }
 
 }  // namespace pprophet::emul

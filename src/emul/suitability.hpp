@@ -35,4 +35,13 @@ struct SuitabilityConfig {
 FfResult emulate_suitability(const tree::ProgramTree& tree,
                              const SuitabilityConfig& cfg);
 
+/// Emulates a single top-level section (the §IV-E per-section term), so the
+/// sweep engine can memoize Suitability results section by section.
+FfResult emulate_suitability_section(const tree::Node& sec,
+                                     const SuitabilityConfig& cfg);
+
+/// The FF configuration the Suitability baseline reduces to: schedule forced
+/// to dynamic,1 with the coarse constant overhead vector.
+FfConfig suitability_ff_config(const SuitabilityConfig& cfg);
+
 }  // namespace pprophet::emul

@@ -1,0 +1,93 @@
+// Golden regression for the paper-shaped sweep (extends the
+// test_figure4_golden.cpp pattern): FF speedups of the Figure 5 worked
+// example — three unequal iterations and one lock — at t ∈ {2,4,8} under
+// all three OpenMP schedules, batched through the sweep engine with ε = 0
+// overheads. The t=2 row is the paper's published 1150/1250/950 cycles
+// (speedups 1.30/1.20/1.58); the wider grid is pinned so emulator edits
+// cannot silently drift any cell. All arithmetic is integer emulation, so
+// the values are exact on every platform.
+#include <gtest/gtest.h>
+
+#include "core/sweep.hpp"
+#include "tree/builder.hpp"
+
+namespace pprophet::core {
+namespace {
+
+tree::ProgramTree figure5_tree() {
+  tree::TreeBuilder b;
+  b.begin_sec("loop");
+  b.begin_task("I0").u(150).l(1, 450).u(50).end_task();
+  b.begin_task("I1").u(100).l(1, 300).u(200).end_task();
+  b.begin_task("I2").u(150).l(1, 50).u(50).end_task();
+  b.end_sec();
+  return b.finish();
+}
+
+struct GoldenCell {
+  runtime::OmpSchedule schedule;
+  CoreCount threads;
+  Cycles parallel_cycles;  // serial length is 1500
+};
+
+// Beyond two threads every schedule converges to the 950-cycle critical
+// path (I0's 650 cycles behind the 450-cycle lock hold of the longest
+// arrival order) — three iterations cannot use a fourth CPU.
+constexpr GoldenCell kGolden[] = {
+    {runtime::OmpSchedule::StaticCyclic, 2, 1150},
+    {runtime::OmpSchedule::StaticCyclic, 4, 950},
+    {runtime::OmpSchedule::StaticCyclic, 8, 950},
+    {runtime::OmpSchedule::StaticBlock, 2, 1250},
+    {runtime::OmpSchedule::StaticBlock, 4, 950},
+    {runtime::OmpSchedule::StaticBlock, 8, 950},
+    {runtime::OmpSchedule::Dynamic, 2, 950},
+    {runtime::OmpSchedule::Dynamic, 4, 950},
+    {runtime::OmpSchedule::Dynamic, 8, 950},
+};
+
+TEST(Figure5SweepGolden, FfScheduleGridMatchesThePinnedValues) {
+  const tree::ProgramTree t = figure5_tree();
+
+  SweepGrid grid;
+  grid.methods = {Method::FastForward};
+  grid.schedules = {runtime::OmpSchedule::StaticCyclic,
+                    runtime::OmpSchedule::StaticBlock,
+                    runtime::OmpSchedule::Dynamic};
+  grid.thread_counts = {2, 4, 8};
+  grid.base.omp_overheads = runtime::OmpOverheads{0, 0, 0, 0, 0, 0, 0};
+
+  const SweepResult res = sweep(t, grid, {});
+  ASSERT_EQ(res.cells.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < std::size(kGolden); ++i) {
+    const GoldenCell& g = kGolden[i];
+    const SweepCell& c = res.cells[i];
+    EXPECT_EQ(c.point.schedule, g.schedule) << "cell " << i;
+    EXPECT_EQ(c.point.threads, g.threads) << "cell " << i;
+    EXPECT_EQ(c.estimate.serial_cycles, 1500u) << "cell " << i;
+    EXPECT_EQ(c.estimate.parallel_cycles, g.parallel_cycles)
+        << "cell " << i << ": "
+        << runtime::to_string(g.schedule) << " t=" << g.threads;
+    EXPECT_DOUBLE_EQ(c.estimate.speedup,
+                     1500.0 / static_cast<double>(g.parallel_cycles));
+  }
+}
+
+TEST(Figure5SweepGolden, PaperRowSpeedupsRound) {
+  // The paper quotes ≈1.30 / 1.20 / 1.58 for the two-core row.
+  const tree::ProgramTree t = figure5_tree();
+  SweepGrid grid;
+  grid.methods = {Method::FastForward};
+  grid.schedules = {runtime::OmpSchedule::StaticCyclic,
+                    runtime::OmpSchedule::StaticBlock,
+                    runtime::OmpSchedule::Dynamic};
+  grid.thread_counts = {2};
+  grid.base.omp_overheads = runtime::OmpOverheads{0, 0, 0, 0, 0, 0, 0};
+  const SweepResult res = sweep(t, grid, {});
+  ASSERT_EQ(res.cells.size(), 3u);
+  EXPECT_NEAR(res.cells[0].estimate.speedup, 1.30, 0.005);
+  EXPECT_NEAR(res.cells[1].estimate.speedup, 1.20, 0.005);
+  EXPECT_NEAR(res.cells[2].estimate.speedup, 1.58, 0.005);
+}
+
+}  // namespace
+}  // namespace pprophet::core

@@ -1,0 +1,58 @@
+// Shared random program-tree generators for the property suites: any tree
+// the grammar allows — top-level U/Sec mix, tasks with U/L/nested-Sec
+// children, bounded depth and size, compressed repeats.
+#pragma once
+
+#include "tree/builder.hpp"
+#include "util/rng.hpp"
+
+namespace pprophet::tree {
+
+/// Grows a random task body: U/L segments with occasional nested sections.
+inline void grow_random_task(TreeBuilder& b, util::Xoshiro256& rng,
+                             int depth) {
+  const int segments = static_cast<int>(rng.uniform_u64(1, 4));
+  for (int s = 0; s < segments; ++s) {
+    const double roll = rng.uniform_double();
+    if (roll < 0.55) {
+      b.u(rng.uniform_u64(1, 10'000));
+    } else if (roll < 0.8) {
+      b.l(static_cast<LockId>(rng.uniform_u64(1, 3)),
+          rng.uniform_u64(1, 5'000));
+    } else if (depth > 0) {
+      b.begin_sec("nested");
+      const int tasks = static_cast<int>(rng.uniform_u64(1, 4));
+      for (int t = 0; t < tasks; ++t) {
+        b.begin_task("nt");
+        grow_random_task(b, rng, depth - 1);
+        b.end_task();
+        if (rng.bernoulli(0.3)) b.repeat_last(rng.uniform_u64(1, 5));
+      }
+      b.end_sec(rng.bernoulli(0.9));
+    } else {
+      b.u(rng.uniform_u64(1, 1'000));
+    }
+  }
+}
+
+/// A random valid tree, deterministic per seed.
+inline ProgramTree random_tree(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  TreeBuilder b;
+  const int top = static_cast<int>(rng.uniform_u64(1, 4));
+  for (int i = 0; i < top; ++i) {
+    if (rng.bernoulli(0.3)) b.u(rng.uniform_u64(1, 20'000));
+    b.begin_sec("sec");
+    const int tasks = static_cast<int>(rng.uniform_u64(1, 6));
+    for (int t = 0; t < tasks; ++t) {
+      b.begin_task("t");
+      grow_random_task(b, rng, 2);
+      b.end_task();
+      if (rng.bernoulli(0.4)) b.repeat_last(rng.uniform_u64(1, 8));
+    }
+    b.end_sec();
+  }
+  return b.finish();
+}
+
+}  // namespace pprophet::tree

@@ -1,0 +1,110 @@
+// Property tests for the sweep engine over randomly generated program
+// trees: for any tree the grammar allows, a batched sweep must agree
+// bit-for-bit with fresh sequential core::predict calls, and on balanced
+// lock-free loops with zero overheads the FF speedup curve must be sane
+// (positive, bounded by the thread count, non-decreasing in threads).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sweep.hpp"
+#include "random_trees.hpp"
+
+namespace pprophet::core {
+namespace {
+
+using tree::ProgramTree;
+
+PredictOptions base_options() {
+  PredictOptions o;
+  o.machine.cores = 12;
+  return o;
+}
+
+SweepGrid modest_grid() {
+  SweepGrid grid;
+  grid.methods = {Method::FastForward, Method::Synthesizer,
+                  Method::Suitability, Method::GroundTruth};
+  grid.schedules = {runtime::OmpSchedule::StaticCyclic,
+                    runtime::OmpSchedule::Dynamic};
+  grid.thread_counts = {2, 8};
+  grid.base = base_options();
+  return grid;
+}
+
+PredictOptions options_of(const SweepGrid& grid, const SweepPoint& p) {
+  PredictOptions o = grid.base;
+  o.method = p.method;
+  o.paradigm = p.paradigm;
+  o.schedule = p.schedule;
+  o.chunk = p.chunk;
+  o.memory_model = p.memory_model;
+  return o;
+}
+
+class SweepProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SweepProperty, SweepMatchesSequentialPredictOnRandomTrees) {
+  const ProgramTree t = tree::random_tree(GetParam());
+  const SweepGrid grid = modest_grid();
+  SweepOptions sopts;
+  sopts.workers = 4;
+  const SweepResult res = sweep(t, grid, sopts);
+  ASSERT_EQ(res.cells.size(), grid.size());
+  for (const SweepCell& cell : res.cells) {
+    const SpeedupEstimate seq =
+        predict(t, cell.point.threads, options_of(grid, cell.point));
+    EXPECT_EQ(cell.estimate.speedup, seq.speedup);
+    EXPECT_EQ(cell.estimate.parallel_cycles, seq.parallel_cycles);
+    EXPECT_EQ(cell.estimate.serial_cycles, seq.serial_cycles);
+  }
+}
+
+TEST_P(SweepProperty, SpeedupsArePositiveAndFinite) {
+  const ProgramTree t = tree::random_tree(GetParam());
+  const SweepResult res = sweep(t, modest_grid(), {});
+  for (const SweepCell& cell : res.cells) {
+    EXPECT_TRUE(std::isfinite(cell.estimate.speedup));
+    EXPECT_GT(cell.estimate.speedup, 0.0);
+    EXPECT_GT(cell.estimate.parallel_cycles, 0u);
+  }
+}
+
+TEST_P(SweepProperty, BalancedLockFreeLoopSpeedupIsMonotoneInThreads) {
+  // A flat loop of equal lock-free iterations with ε = 0 overheads: adding
+  // threads can only help (or saturate), and speedup never exceeds the
+  // thread count. Iteration count and length vary with the seed.
+  util::Xoshiro256 rng(GetParam());
+  const auto iters = rng.uniform_u64(1, 64);
+  const auto len = rng.uniform_u64(1, 10'000);
+  tree::TreeBuilder b;
+  b.begin_sec("balanced");
+  b.begin_task("i").u(len).end_task().repeat_last(iters);
+  b.end_sec();
+  const ProgramTree t = b.finish();
+
+  SweepGrid grid;
+  grid.methods = {Method::FastForward};
+  grid.thread_counts = {1, 2, 4, 8, 16};
+  grid.base = base_options();
+  grid.base.machine.cores = 16;
+  grid.base.omp_overheads = runtime::OmpOverheads{0, 0, 0, 0, 0, 0, 0};
+
+  const SweepResult res = sweep(t, grid, {});
+  ASSERT_EQ(res.cells.size(), grid.thread_counts.size());
+  double prev = 0.0;
+  for (const SweepCell& cell : res.cells) {
+    EXPECT_GE(cell.estimate.speedup, prev)
+        << "iters=" << iters << " len=" << len
+        << " t=" << cell.point.threads;
+    EXPECT_LE(cell.estimate.speedup,
+              static_cast<double>(cell.point.threads) + 1e-9);
+    prev = cell.estimate.speedup;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace pprophet::core

@@ -1,11 +1,14 @@
 #include "cli/cli.hpp"
 
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
 #include "core/recommend.hpp"
 #include "machine/timeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "memmodel/burden.hpp"
 #include "memmodel/calibration.hpp"
 #include "report/experiment.hpp"
@@ -34,6 +37,10 @@ constexpr const char* kUsage = R"(usage:
                     [--paradigms omp,cilk] [--schedules static1,static,dynamic]
                     [--chunks 1,4] [--threads 2,4,8] [--cores N]
                     [--memory-model] [--workers N] [--csv FILE]
+observability (any command; see docs/OBSERVABILITY.md):
+  --metrics[=FILE]   collect metrics; snapshot to stderr, or FILE (.json/.csv)
+  --trace-out FILE   write Chrome trace-event JSON (chrome://tracing, Perfetto)
+  --csv -            stream CSV to stdout (predict/sweep); table suppressed
 )";
 
 bool parse_method(const std::string& v, core::Method& out) {
@@ -131,11 +138,21 @@ int cmd_predict(const Options& opts, std::ostream& out, std::ostream& err) {
     memmodel::annotate_burdens(*t, model, opts.threads);
   }
 
+  // `--csv -` streams the CSV to stdout: the table is suppressed and status
+  // lines move to stderr so stdout stays machine-readable.
+  const bool csv_stdout = opts.csv_path == "-";
+  std::ostream& status = csv_stdout ? err : out;
+  obs::TraceSink* const sink = obs::TraceSink::current();
+
   util::Table table({"threads", "projected speedup", "parallel cycles"});
   util::CsvWriter csv({"threads", "speedup", "parallel_cycles",
                        "serial_cycles", "method", "schedule"});
   for (const CoreCount n : opts.threads) {
-    const core::SpeedupEstimate est = core::predict(*t, n, po);
+    machine::Timeline timeline;
+    core::PredictOptions po_n = po;
+    if (sink != nullptr) po_n.timeline = &timeline;
+    obs::ScopedSpan span("predict t=" + std::to_string(n), "cli");
+    const core::SpeedupEstimate est = core::predict(*t, n, po_n);
     table.add_row({std::to_string(n), util::fmt_f(est.speedup, 2),
                    util::fmt_i(static_cast<long long>(est.parallel_cycles))});
     csv.add_row({std::to_string(n), util::fmt_f(est.speedup, 4),
@@ -143,19 +160,30 @@ int cmd_predict(const Options& opts, std::ostream& out, std::ostream& err) {
                  std::to_string(est.serial_cycles),
                  core::to_string(opts.method),
                  runtime::to_string(opts.schedule)});
-  }
-  out << "method " << core::to_string(opts.method) << ", paradigm "
-      << core::to_string(opts.paradigm) << ", schedule "
-      << runtime::to_string(opts.schedule) << ", machine "
-      << opts.cores << " cores, memory model "
-      << (opts.memory_model ? "on" : "off") << "\n";
-  table.print(out);
-  if (!opts.csv_path.empty()) {
-    if (!csv.write(opts.csv_path)) {
-      err << "pprophet: cannot write '" << opts.csv_path << "'\n";
-      return 1;
+    if (sink != nullptr && !timeline.spans().empty()) {
+      // One emulated-cycle track per thread count, pid-separated from the
+      // wall-clock pipeline track (see obs/trace.hpp).
+      obs::bridge_timeline(timeline, *sink, obs::kPidEmulation + n,
+                           "emulation " + std::to_string(n) +
+                               " threads (cycles)");
     }
-    out << "wrote " << opts.csv_path << "\n";
+  }
+  status << "method " << core::to_string(opts.method) << ", paradigm "
+         << core::to_string(opts.paradigm) << ", schedule "
+         << runtime::to_string(opts.schedule) << ", machine "
+         << opts.cores << " cores, memory model "
+         << (opts.memory_model ? "on" : "off") << "\n";
+  if (csv_stdout) {
+    out << csv.to_string();
+  } else {
+    table.print(out);
+    if (!opts.csv_path.empty()) {
+      if (!csv.write(opts.csv_path)) {
+        err << "pprophet: cannot write '" << opts.csv_path << "'\n";
+        return 1;
+      }
+      out << "wrote " << opts.csv_path << "\n";
+    }
   }
   return 0;
 }
@@ -212,17 +240,28 @@ int cmd_sweep(const Options& opts, std::ostream& out, std::ostream& err) {
                  std::to_string(c.estimate.parallel_cycles),
                  std::to_string(c.estimate.serial_cycles)});
   }
-  out << "sweep over " << res.stats.grid_points << " grid points, machine "
-      << opts.cores << " cores, memory model "
-      << (opts.memory_model ? "on" : "off") << "\n";
-  table.print(out);
+  // With --csv the engine stats are diagnostics, not results: they move to
+  // stderr so piped CSV output stays clean (they are also mirrored into the
+  // metrics registry as sweep.* — see --metrics). `--csv -` streams the CSV
+  // itself to stdout and suppresses the table.
+  const bool csv_selected = !opts.csv_path.empty();
+  const bool csv_stdout = opts.csv_path == "-";
+  std::ostream& status = csv_stdout ? err : out;
+  status << "sweep over " << res.stats.grid_points
+         << " grid points, machine " << opts.cores
+         << " cores, memory model " << (opts.memory_model ? "on" : "off")
+         << "\n";
+  if (!csv_stdout) table.print(out);
   const auto& s = res.stats;
-  out << "grid points " << s.grid_points << ", section emulations "
+  (csv_selected ? err : out)
+      << "grid points " << s.grid_points << ", section emulations "
       << s.section_evals << " of " << s.section_lookups
       << " lookups (memo hit rate " << util::fmt_pct(s.hit_rate()) << "), "
       << s.workers << " worker" << (s.workers == 1 ? "" : "s") << ", "
       << util::fmt_f(s.wall_ms, 1) << " ms\n";
-  if (!opts.csv_path.empty()) {
+  if (csv_stdout) {
+    out << csv.to_string();
+  } else if (csv_selected) {
     if (!csv.write(opts.csv_path)) {
       err << "pprophet: cannot write '" << opts.csv_path << "'\n";
       return 1;
@@ -352,6 +391,10 @@ int cmd_timeline(const Options& opts, std::ostream& out, std::ostream& err) {
                          static_cast<double>(r.elapsed), 2)
       << "x\n\n";
   timeline.print(out);
+  if (obs::TraceSink* sink = obs::TraceSink::current()) {
+    obs::bridge_timeline(timeline, *sink, obs::kPidEmulation,
+                         "emulation (cycles)");
+  }
   Cycles total_wait = 0;
   for (std::uint32_t th = 0; th < timeline.thread_count(); ++th) {
     total_wait += timeline.lock_wait(th);
@@ -493,6 +536,25 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       const auto v = need_value();
       if (!v) return std::nullopt;
       opts.csv_path = *v;
+    } else if (a == "--metrics") {
+      opts.metrics = true;
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      opts.metrics = true;
+      opts.metrics_path = a.substr(std::string("--metrics=").size());
+      if (opts.metrics_path.empty()) {
+        err << "pprophet: --metrics= needs a file name\n";
+        return std::nullopt;
+      }
+    } else if (a == "--trace-out") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.trace_path = *v;
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      opts.trace_path = a.substr(std::string("--trace-out=").size());
+      if (opts.trace_path.empty()) {
+        err << "pprophet: --trace-out= needs a file name\n";
+        return std::nullopt;
+      }
     } else {
       err << "pprophet: unknown option '" << a << "'\n" << kUsage;
       return std::nullopt;
@@ -505,7 +567,9 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
   return opts;
 }
 
-int run(const Options& opts, std::ostream& out, std::ostream& err) {
+namespace {
+
+int dispatch(const Options& opts, std::ostream& out, std::ostream& err) {
   try {
     if (opts.command == "predict") return cmd_predict(opts, out, err);
     if (opts.command == "inspect") return cmd_inspect(opts, out, err);
@@ -519,6 +583,70 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
   }
   err << kUsage;
   return 1;
+}
+
+/// Renders the metrics snapshot: to `err` as text when no path was given,
+/// else to the file, format picked by extension (.json / .csv / text).
+bool emit_metrics(const Options& opts, std::ostream& err) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  if (opts.metrics_path.empty()) {
+    err << "-- metrics --\n";
+    snap.render_text(err);
+    return true;
+  }
+  std::ofstream f(opts.metrics_path);
+  if (!f) {
+    err << "pprophet: cannot write '" << opts.metrics_path << "'\n";
+    return false;
+  }
+  const auto ends_with = [&](const char* suffix) {
+    const std::string& p = opts.metrics_path;
+    const std::size_t n = std::string(suffix).size();
+    return p.size() >= n && p.compare(p.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(".json")) snap.render_json(f);
+  else if (ends_with(".csv")) snap.render_csv(f);
+  else snap.render_text(f);
+  err << "wrote metrics " << opts.metrics_path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int run(const Options& opts, std::ostream& out, std::ostream& err) {
+  // Observability session: the registry and sink are process globals, so
+  // save/restore around the command lets embedding tests drive run()
+  // repeatedly without leaking state between invocations.
+  const bool prev_enabled = obs::enabled();
+  obs::TraceSink* const prev_sink = obs::TraceSink::current();
+  std::optional<obs::TraceSink> sink;
+  if (!opts.trace_path.empty()) {
+    sink.emplace();
+    sink->name_process(obs::kPidPipeline, "pipeline (wall-clock us)");
+    obs::TraceSink::set_current(&*sink);
+  }
+  if (opts.metrics) {
+    obs::MetricsRegistry::global().reset();  // per-invocation counts
+    obs::set_enabled(true);
+  }
+
+  int rc = dispatch(opts, out, err);
+
+  if (opts.metrics && !emit_metrics(opts, err) && rc == 0) rc = 1;
+  obs::set_enabled(prev_enabled);
+  if (sink.has_value()) {
+    obs::TraceSink::set_current(prev_sink);
+    std::ofstream f(opts.trace_path);
+    if (!f) {
+      err << "pprophet: cannot write '" << opts.trace_path << "'\n";
+      if (rc == 0) rc = 1;
+    } else {
+      sink->write_chrome_json(f);
+      err << "wrote trace " << opts.trace_path << " (" << sink->size()
+          << " events)\n";
+    }
+  }
+  return rc;
 }
 
 int main_impl(int argc, const char* const* argv, std::ostream& out,

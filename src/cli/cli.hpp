@@ -14,6 +14,15 @@
 //                     [--chunks 1,4] [--threads 2,4,8] [--cores N]
 //                     [--memory-model] [--workers N] [--csv out.csv]
 //
+// Global observability flags (docs/OBSERVABILITY.md):
+//   --metrics[=FILE]   enable the metrics registry; snapshot to stderr as
+//                      text, or to FILE rendered by extension (.json/.csv)
+//   --trace-out FILE   write a Chrome trace-event JSON of the run (pipeline
+//                      stages + emulated per-CPU timelines); load it in
+//                      chrome://tracing or ui.perfetto.dev
+//   --csv -            (predict/sweep) stream the CSV to stdout instead of a
+//                      file, suppressing the table; status lines go to stderr
+//
 // The entry point is a plain function so tests can drive it without
 // spawning processes.
 #pragma once
@@ -48,6 +57,10 @@ struct Options {
   std::vector<runtime::OmpSchedule> schedules;
   std::vector<std::uint64_t> chunks;
   std::size_t workers = 0;  ///< sweep worker pool; 0 = hardware concurrency
+  // observability (any command)
+  bool metrics = false;      ///< --metrics: enable + report the registry
+  std::string metrics_path;  ///< --metrics=FILE: render by extension
+  std::string trace_path;    ///< --trace-out FILE: Chrome trace JSON
 };
 
 /// Parses argv (excluding argv[0]). Returns nullopt and writes a message to

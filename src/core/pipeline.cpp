@@ -1,14 +1,50 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
+#include <utility>
 
 #include "annotate/annotations.hpp"
 #include "memmodel/calibration.hpp"
+#include "obs/trace.hpp"
 #include "trace/profiler.hpp"
 #include "util/table.hpp"
 
 namespace pprophet::core {
+namespace {
+
+/// Times one pipeline stage three ways: into the caller's StageTiming list,
+/// as a span on the current trace sink (if any), and into a
+/// `pipeline.<stage>_us` timer when metrics are enabled.
+class StageScope {
+ public:
+  StageScope(std::vector<StageTiming>& stages, std::string name)
+      : stages_(stages),
+        name_(std::move(name)),
+        span_(name_, "pipeline"),
+        t0_(std::chrono::steady_clock::now()) {}
+
+  ~StageScope() {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0_)
+                          .count();
+    stages_.push_back({name_, ms});
+    obs::time_record("pipeline." + name_ + "_us",
+                     static_cast<std::uint64_t>(ms * 1000.0));
+  }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  std::vector<StageTiming>& stages_;
+  std::string name_;
+  obs::ScopedSpan span_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
 
 Prophet::Prophet(ProphetConfig config) : config_(std::move(config)) {
   if (config_.machine.cores == 0) {
@@ -31,24 +67,32 @@ PredictOptions Prophet::predict_options(Method method) const {
 
 ProfiledProgram Prophet::profile(
     const std::function<void(vcpu::VirtualCpu&)>& program) const {
-  vcpu::VirtualCpu cpu(config_.profile_cache);
-  vcpu::VcpuCounterSource counters(cpu);
-  trace::IntervalProfiler profiler(cpu.clock(), &counters);
-  {
-    annotate::ScopedAnnotationTarget scope(profiler);
-    program(cpu);
-  }
   ProfiledProgram out;
-  out.profiling_overhead = profiler.excluded_overhead();
-  out.tree = profiler.finish();
-  out.compression = tree::compress(out.tree, config_.compress);
+  {
+    StageScope stage(out.stages, "profile");
+    vcpu::VirtualCpu cpu(config_.profile_cache);
+    vcpu::VcpuCounterSource counters(cpu);
+    trace::IntervalProfiler profiler(cpu.clock(), &counters);
+    {
+      annotate::ScopedAnnotationTarget scope(profiler);
+      program(cpu);
+    }
+    out.profiling_overhead = profiler.excluded_overhead();
+    out.tree = profiler.finish();
+  }
+  {
+    StageScope stage(out.stages, "compress");
+    out.compression = tree::compress(out.tree, config_.compress);
+  }
   return out;
 }
 
 ProphetReport Prophet::analyze(ProfiledProgram profiled) const {
   ProphetReport report;
+  report.stages = std::move(profiled.stages);
   report.thread_counts = config_.thread_counts;
   if (config_.memory_model) {
+    StageScope stage(report.stages, "memory-model");
     memmodel::CalibrationOptions copts;
     copts.machine = config_.machine;
     const memmodel::BurdenModel model(memmodel::calibrate(copts));
@@ -62,17 +106,26 @@ ProphetReport Prophet::analyze(ProfiledProgram profiled) const {
     }
   }
 
-  for (const CoreCount t : config_.thread_counts) {
-    report.ff.push_back(
-        predict(profiled.tree, t, predict_options(Method::FastForward)));
-    report.synth.push_back(
-        predict(profiled.tree, t, predict_options(Method::Synthesizer)));
+  {
+    StageScope stage(report.stages, "curves");
+    for (const CoreCount t : config_.thread_counts) {
+      report.ff.push_back(
+          predict(profiled.tree, t, predict_options(Method::FastForward)));
+      report.synth.push_back(
+          predict(profiled.tree, t, predict_options(Method::Synthesizer)));
+    }
   }
 
-  RecommendOptions ro;
-  ro.base = predict_options(Method::Synthesizer);
-  ro.thread_counts = config_.thread_counts;
-  report.recommendation = recommend(profiled.tree, ro);
+  {
+    StageScope stage(report.stages, "recommend");
+    RecommendOptions ro;
+    ro.base = predict_options(Method::Synthesizer);
+    ro.thread_counts = config_.thread_counts;
+    report.recommendation = recommend(profiled.tree, ro);
+  }
+  if (obs::enabled()) {
+    report.metrics = obs::MetricsRegistry::global().snapshot();
+  }
   return report;
 }
 
@@ -107,6 +160,19 @@ void ProphetReport::print(std::ostream& os) const {
      << util::fmt_f(recommendation.best.speedup, 2) << "x (economical: "
      << recommendation.economical.threads << " threads, "
      << util::fmt_f(recommendation.economical.speedup, 2) << "x)\n";
+  if (!stages.empty()) {
+    os << "stages:";
+    const char* sep = " ";
+    for (const StageTiming& s : stages) {
+      os << sep << s.stage << " " << util::fmt_f(s.wall_ms, 2) << " ms";
+      sep = ", ";
+    }
+    os << "\n";
+  }
+  if (!metrics.empty()) {
+    os << "-- metrics --\n";
+    metrics.render_text(os);
+  }
 }
 
 }  // namespace pprophet::core

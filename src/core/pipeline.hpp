@@ -15,12 +15,14 @@
 
 #include <functional>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/recommend.hpp"
 #include "machine/machine.hpp"
 #include "machine/presets.hpp"
 #include "memmodel/burden.hpp"
+#include "obs/metrics.hpp"
 #include "tree/compress.hpp"
 #include "tree/tree_stats.hpp"
 #include "vcpu/vcpu.hpp"
@@ -41,11 +43,20 @@ struct ProphetConfig {
   runtime::OmpSchedule schedule = runtime::OmpSchedule::StaticCyclic;
 };
 
+/// Wall-clock duration of one Figure-3 pipeline stage. Always recorded (a
+/// couple of clock reads per stage); the same numbers also land on the trace
+/// sink and in `pipeline.<stage>_us` timers when observability is on.
+struct StageTiming {
+  std::string stage;
+  double wall_ms = 0.0;
+};
+
 /// A profiled program: the (compressed) tree plus profiling diagnostics.
 struct ProfiledProgram {
   tree::ProgramTree tree;
   tree::CompressStats compression{};
   Cycles profiling_overhead = 0;  ///< profiler self-cost that was excluded
+  std::vector<StageTiming> stages;  ///< profile, compress
 };
 
 /// The full analysis product.
@@ -57,8 +68,14 @@ struct ProphetReport {
   Recommendation recommendation;
   tree::TreeStats tree_stats;
   double max_burden = 1.0;  ///< largest β over sections × thread counts
+  /// Stage timings carried over from profile() plus analyze()'s own stages.
+  std::vector<StageTiming> stages;
+  /// Registry snapshot taken at the end of analyze() when obs::enabled();
+  /// empty (and unprinted) otherwise.
+  obs::MetricsSnapshot metrics;
 
-  /// Paper-style human-readable dump (curves, burden note, advice).
+  /// Paper-style human-readable dump (curves, burden note, advice, and —
+  /// when recorded — stage timings and the metrics snapshot).
   void print(std::ostream& os) const;
 };
 

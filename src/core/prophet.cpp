@@ -1,6 +1,9 @@
 #include "core/prophet.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace pprophet::core {
 namespace {
@@ -29,6 +32,7 @@ runtime::ExecMode exec_mode(const PredictOptions& o, bool synth) {
                               : runtime::ExecMode::real();
   m.synth = synth ? o.synth_overheads : runtime::SynthOverheads{0, 0};
   m.dram_stall = o.dram_stall;
+  m.timeline = o.timeline;
   return m;
 }
 
@@ -73,14 +77,10 @@ Cycles serial_cycles_of(const tree::ProgramTree& tree) {
   return measured != 0 ? measured : tree.root->serial_work();
 }
 
-Cycles predict_section_cycles(const tree::Node& sec, CoreCount threads,
-                              const PredictOptions& options) {
-  if (sec.kind() != NodeKind::Sec) {
-    throw std::invalid_argument("predict_section_cycles: node is not a Sec");
-  }
-  if (threads == 0) {
-    throw std::invalid_argument("predict_section_cycles: zero threads");
-  }
+namespace {
+
+Cycles section_cycles_impl(const tree::Node& sec, CoreCount threads,
+                           const PredictOptions& options) {
   switch (options.method) {
     case Method::FastForward: {
       emul::FfConfig ff;
@@ -89,6 +89,7 @@ Cycles predict_section_cycles(const tree::Node& sec, CoreCount threads,
       ff.chunk = options.chunk;
       ff.overheads = options.omp_overheads;
       ff.apply_burden = options.memory_model;
+      ff.timeline = options.timeline;
       return emul::emulate_ff_section(sec, ff).parallel_cycles;
     }
     case Method::Suitability: {
@@ -114,6 +115,28 @@ Cycles predict_section_cycles(const tree::Node& sec, CoreCount threads,
   throw std::logic_error("predict_section_cycles: unknown method");
 }
 
+}  // namespace
+
+Cycles predict_section_cycles(const tree::Node& sec, CoreCount threads,
+                              const PredictOptions& options) {
+  if (sec.kind() != NodeKind::Sec) {
+    throw std::invalid_argument("predict_section_cycles: node is not a Sec");
+  }
+  if (threads == 0) {
+    throw std::invalid_argument("predict_section_cycles: zero threads");
+  }
+  const Cycles cycles = section_cycles_impl(sec, threads, options);
+  if (obs::enabled()) {
+    // Distribution of emulated section durations, keyed by method — the
+    // min/max/mean spread shows which emulator dominates a sweep's cost.
+    obs::MetricsRegistry::global()
+        .timer(std::string("predict.section_cycles.") +
+               to_string(options.method))
+        .record(static_cast<std::uint64_t>(cycles));
+  }
+  return cycles;
+}
+
 SpeedupEstimate predict(const tree::ProgramTree& tree, CoreCount threads,
                         const PredictOptions& options) {
   if (!tree.root) throw std::invalid_argument("predict: empty tree");
@@ -122,6 +145,11 @@ SpeedupEstimate predict(const tree::ProgramTree& tree, CoreCount threads,
   SpeedupEstimate est;
   est.threads = threads;
   est.serial_cycles = serial_cycles_of(tree);
+  if (obs::enabled()) {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::global().counter("predict.calls");
+    calls.add(1);
+  }
 
   // §IV-E composition: every top-level Sec contributes its emulated
   // duration once per repetition; top-level U nodes their serial lengths.

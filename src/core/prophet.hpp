@@ -54,6 +54,11 @@ struct PredictOptions {
   bool memory_model = false;
   /// ω for decomposing counters in GroundTruth mode.
   Cycles dram_stall = 200;
+  /// Optional per-virtual-CPU span sink (emulated cycles). FF records its
+  /// schedule directly; Synthesizer/GroundTruth record via the simulated
+  /// machine. Suitability has no per-CPU schedule and ignores it. Spans from
+  /// multiple sections accumulate; must outlive the prediction.
+  machine::Timeline* timeline = nullptr;
 };
 
 struct SpeedupEstimate {

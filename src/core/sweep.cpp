@@ -10,6 +10,9 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pprophet::core {
 namespace {
 
@@ -229,27 +232,66 @@ SweepResult sweep_points(const tree::ProgramTree& tree,
                             : std::max(1u, std::thread::hardware_concurrency());
   workers = std::min(workers, points.size());
 
+  // Remaining-cells sample at each dequeue: the timer's min/mean/max gives
+  // the queue-depth profile over the run (max == grid size at start).
+  const auto note_depth = [&](std::size_t i) {
+    if (obs::enabled()) {
+      static obs::Timer& depth =
+          obs::MetricsRegistry::global().timer("sweep.queue.depth");
+      depth.record(points.size() - i);
+    }
+  };
+
+  obs::TraceSink* sink = obs::TraceSink::current();
+  result.stats.worker_wall_ms.assign(std::max<std::size_t>(workers, 1), 0.0);
+  // Per-worker wall timing and (optionally) one trace span per worker. Each
+  // worker writes only its own pre-sized slot, so no synchronization.
+  const auto timed = [&](std::size_t w, const auto& body) {
+    const auto w0 = std::chrono::steady_clock::now();
+    const std::uint64_t span_start = sink != nullptr ? sink->now_us() : 0;
+    body();
+    result.stats.worker_wall_ms[w] =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - w0)
+            .count();
+    if (sink != nullptr) {
+      sink->complete("sweep worker " + std::to_string(w), "sweep",
+                     obs::kPidPipeline, static_cast<std::uint32_t>(w + 1),
+                     span_start, sink->now_us() - span_start,
+                     {obs::arg_num("worker", static_cast<std::uint64_t>(w))});
+    }
+  };
+
   if (workers <= 1) {
-    for (std::size_t i = 0; i < points.size(); ++i) evaluate_cell(i);
+    timed(0, [&] {
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        note_depth(i);
+        evaluate_cell(i);
+      }
+    });
   } else {
     std::atomic<std::size_t> next{0};
     std::mutex err_mu;
     std::exception_ptr first_error;
-    const auto drain = [&] {
-      try {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= points.size()) return;
-          evaluate_cell(i);
+    const auto drain = [&](std::size_t w) {
+      timed(w, [&] {
+        try {
+          for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size()) return;
+            note_depth(i);
+            evaluate_cell(i);
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
         }
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
+      });
     };
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain, w);
     for (std::thread& th : pool) th.join();
     if (first_error) std::rethrow_exception(first_error);
   }
@@ -262,6 +304,22 @@ SweepResult sweep_points(const tree::ProgramTree& tree,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  if (obs::enabled()) {
+    // Mirror SweepStats into the registry so `--metrics` output matches the
+    // engine's own accounting exactly (asserted in tests/obs).
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("sweep.runs").add(1);
+    reg.counter("sweep.grid_points").add(result.stats.grid_points);
+    reg.counter("sweep.memo.lookups").add(result.stats.section_lookups);
+    reg.counter("sweep.memo.hits").add(result.stats.cache_hits);
+    reg.counter("sweep.memo.evals").add(result.stats.section_evals);
+    reg.gauge("sweep.workers").set(static_cast<double>(workers));
+    reg.gauge("sweep.wall_ms").set(result.stats.wall_ms);
+    auto& wt = reg.timer("sweep.worker_wall_us");
+    for (const double ms : result.stats.worker_wall_ms) {
+      wt.record(static_cast<std::uint64_t>(ms * 1000.0));
+    }
+  }
   return result;
 }
 

@@ -71,6 +71,9 @@ struct SweepStats {
   std::size_t section_evals = 0;    ///< unique sub-problems actually emulated
   std::size_t workers = 0;
   double wall_ms = 0.0;
+  /// Wall time each pool worker spent draining cells (one entry per worker,
+  /// in worker order). Skew between entries shows memo-future convoying.
+  std::vector<double> worker_wall_ms;
 
   double hit_rate() const {
     return section_lookups == 0

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "machine/timeline.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/section_index.hpp"
 
 namespace pprophet::emul {
@@ -78,6 +80,15 @@ class FfEngine {
     Cycles end = top->max_finish;
     for (const auto& ctx : contexts_) {
       end = std::max(end, ctx->max_finish);
+    }
+    if (obs::enabled()) {
+      // One batched flush per section, so the hot step() loop stays free of
+      // atomics even when metrics are on.
+      auto& reg = obs::MetricsRegistry::global();
+      reg.counter("ff.sections").add(1);
+      reg.counter("ff.contexts").add(contexts_.size());
+      reg.counter("ff.steps").add(steps_);
+      reg.counter("ff.lock_wait_cycles").add(lock_waits_);
     }
     return end + cfg_.overheads.join_barrier;
   }
@@ -218,6 +229,7 @@ class FfEngine {
     Cursor& cur = *cpu.current;
     Context& ctx = *cur.ctx;
     const auto& kids = cur.task->children();
+    ++steps_;
 
     if (cur.child >= kids.size()) {
       // Task complete.
@@ -240,8 +252,13 @@ class FfEngine {
       case NodeKind::U: {
         // Fast path: all repetitions of a plain U run back to back.
         const std::uint64_t reps = c.repeat() - cur.rep_done;
+        const Cycles start = cpu.free_at;
         cpu.free_at += scaled(c.length()) * reps;
         cur.rep_done = c.repeat();
+        if (cfg_.timeline != nullptr && cpu.free_at > start) {
+          cfg_.timeline->record(k, start, cpu.free_at,
+                                machine::TimelineSpan::Kind::Run);
+        }
         return;
       }
       case NodeKind::L: {
@@ -250,7 +267,16 @@ class FfEngine {
         Cycles& lock_free = lock_free_[c.lock_id()];
         const Cycles acquired = std::max(cpu.free_at, lock_free);
         lock_waits_ += acquired - cpu.free_at;
-        cpu.free_at = acquired + scaled(c.length());
+        if (cfg_.timeline != nullptr && acquired > cpu.free_at) {
+          cfg_.timeline->record(k, cpu.free_at, acquired,
+                                machine::TimelineSpan::Kind::LockWait);
+        }
+        const Cycles body_end = acquired + scaled(c.length());
+        if (cfg_.timeline != nullptr && body_end > acquired) {
+          cfg_.timeline->record(k, acquired, body_end,
+                                machine::TimelineSpan::Kind::Run);
+        }
+        cpu.free_at = body_end;
         lock_free = cpu.free_at;
         cpu.free_at += cfg_.overheads.lock_release;
         return;
@@ -309,6 +335,7 @@ class FfEngine {
   std::vector<Context*> dynamic_stack_;
   std::map<LockId, Cycles> lock_free_;
   Cycles lock_waits_ = 0;
+  std::uint64_t steps_ = 0;  ///< heap events processed (obs: ff.steps)
 };
 
 }  // namespace

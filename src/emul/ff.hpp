@@ -22,6 +22,10 @@
 #include "runtime/overheads.hpp"
 #include "tree/node.hpp"
 
+namespace pprophet::machine {
+class Timeline;
+}
+
 namespace pprophet::emul {
 
 struct FfConfig {
@@ -32,6 +36,11 @@ struct FfConfig {
   /// Multiply node lengths of each top-level section by its burden factor
   /// (set by memmodel::annotate_burdens) — the "PredM" variant.
   bool apply_burden = false;
+  /// Optional execution-timeline sink: records per-virtual-CPU run and
+  /// lock-wait spans (the Figure-5 Gantt as the FF schedules it), in the
+  /// section's local pseudo-clock. Must outlive the emulation; null = off.
+  /// Dispatch/fork/join overhead cycles appear as gaps between spans.
+  machine::Timeline* timeline = nullptr;
 };
 
 struct FfResult {

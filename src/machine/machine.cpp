@@ -7,6 +7,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace pprophet::machine {
 
 // ---------------------------------------------------------------------------
@@ -374,6 +376,19 @@ MachineStats Machine::run() {
           "machine: event queue drained with live threads (deadlock: thread " +
           std::to_string(t->id) + " is stuck)");
     }
+  }
+  if (obs::enabled()) {
+    // Batched mirror of MachineStats: one flush per run keeps the event
+    // loop itself free of metric updates.
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("machine.runs").add(1);
+    reg.counter("machine.context_switches").add(stats_.context_switches);
+    reg.counter("machine.preemptions").add(stats_.preemptions);
+    reg.counter("machine.lock_acquisitions").add(stats_.lock_acquisitions);
+    reg.counter("machine.lock_contentions").add(stats_.lock_contentions);
+    reg.counter("machine.spawned_threads").add(stats_.spawned_threads);
+    reg.counter("machine.busy_cycles").add(stats_.total_busy);
+    reg.counter("machine.lock_wait_cycles").add(stats_.total_lock_wait);
   }
   return stats_;
 }

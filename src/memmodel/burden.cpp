@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pprophet::memmodel {
 
 double BurdenModel::burden(const tree::SectionCounters& counters,
@@ -28,13 +31,43 @@ double BurdenModel::burden(const tree::SectionCounters& counters,
 void annotate_burdens(tree::ProgramTree& tree, const BurdenModel& model,
                       std::span<const CoreCount> thread_counts) {
   if (!tree.root) return;
+  obs::TraceSink* sink = obs::TraceSink::current();
+  std::size_t annotated = 0;
+  std::size_t insensitive = 0;
+  double max_beta = 1.0;
   for (const auto& child : tree.root->children()) {
     if (child->kind() != tree::NodeKind::Sec) continue;
     const tree::SectionCounters* c = child->counters();
     if (c == nullptr) continue;
+    ++annotated;
+    double sec_max = 1.0;
     for (const CoreCount t : thread_counts) {
-      child->set_burden(t, model.burden(*c, t));
+      const double beta = model.burden(*c, t);
+      sec_max = std::max(sec_max, beta);
+      child->set_burden(t, beta);
     }
+    max_beta = std::max(max_beta, sec_max);
+    if (sec_max <= 1.0) ++insensitive;
+    if (sink != nullptr) {
+      // §V composition terms per section, so a trace shows *why* a section
+      // got its β (MPI vs CPI$ vs traffic), not just the final factor.
+      sink->instant(
+          "burden: " + (child->name().empty() ? "sec" : child->name()),
+          "memmodel", obs::kPidPipeline, sink->now_us(),
+          {obs::arg_num("max_beta", sec_max), obs::arg_num("mpi", c->mpi()),
+           obs::arg_num("traffic_mbps", c->traffic_mbps()),
+           obs::arg_num("instructions", c->instructions),
+           obs::arg_num("cycles", static_cast<std::uint64_t>(c->cycles)),
+           obs::arg_num("llc_misses", c->llc_misses)});
+    }
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("memmodel.sections_annotated").add(annotated);
+    reg.counter("memmodel.sections_insensitive").add(insensitive);
+    reg.counter("memmodel.burdens_computed")
+        .add(annotated * thread_counts.size());
+    reg.gauge("memmodel.max_beta").set_max(max_beta);
   }
 }
 

@@ -1,0 +1,229 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+
+namespace pprophet::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// JSON string escaping for metric names (they are plain identifiers by
+/// convention, but render_json must stay valid for any input).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void Gauge::set_max(double v) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Timer::record(std::uint64_t units) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(units, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (units < cur &&
+         !min_.compare_exchange_weak(cur, units, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (units > cur &&
+         !max_.compare_exchange_weak(cur, units, std::memory_order_relaxed)) {
+  }
+}
+
+TimerStat Timer::stat() const {
+  TimerStat s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total = total_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Timer::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::uint64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Timer& MetricsRegistry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) {
+    snap.timers.emplace_back(name, t->stat());
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed:
+  return *reg;  // handles cached in statics must outlive every other static
+}
+
+void MetricsSnapshot::render_text(std::ostream& os) const {
+  std::size_t width = 0;
+  for (const auto& [n, v] : counters) width = std::max(width, n.size());
+  for (const auto& [n, v] : gauges) width = std::max(width, n.size());
+  for (const auto& [n, v] : timers) width = std::max(width, n.size());
+  const auto pad = [&](const std::string& n) {
+    os << "  " << n << std::string(width - n.size() + 2, ' ');
+  };
+  if (!counters.empty()) {
+    os << "counters:\n";
+    for (const auto& [n, v] : counters) {
+      pad(n);
+      os << v << "\n";
+    }
+  }
+  if (!gauges.empty()) {
+    os << "gauges:\n";
+    for (const auto& [n, v] : gauges) {
+      pad(n);
+      os << std::fixed << std::setprecision(4) << v << "\n";
+      os.unsetf(std::ios_base::floatfield);
+    }
+  }
+  if (!timers.empty()) {
+    os << "timers:\n";
+    for (const auto& [n, s] : timers) {
+      pad(n);
+      os << "count " << s.count << ", total " << s.total << ", mean "
+         << std::fixed << std::setprecision(1) << s.mean() << ", min "
+         << s.min << ", max " << s.max << "\n";
+      os.unsetf(std::ios_base::floatfield);
+    }
+  }
+}
+
+void MetricsSnapshot::render_csv(std::ostream& os) const {
+  os << "name,kind,count,total,min,max,value\n";
+  for (const auto& [n, v] : counters) {
+    os << n << ",counter,,,,," << v << "\n";
+  }
+  for (const auto& [n, v] : gauges) {
+    os << n << ",gauge,,,,," << std::setprecision(10) << v << "\n";
+  }
+  for (const auto& [n, s] : timers) {
+    os << n << ",timer," << s.count << "," << s.total << "," << s.min << ","
+       << s.max << "," << std::setprecision(10) << s.mean() << "\n";
+  }
+}
+
+void MetricsSnapshot::render_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << json_escape(counters[i].first)
+       << "\":" << counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << json_escape(gauges[i].first) << "\":"
+       << std::setprecision(10) << gauges[i].second;
+  }
+  os << "},\"timers\":{";
+  for (std::size_t i = 0; i < timers.size(); ++i) {
+    if (i != 0) os << ",";
+    const TimerStat& s = timers[i].second;
+    os << "\"" << json_escape(timers[i].first) << "\":{\"count\":" << s.count
+       << ",\"total\":" << s.total << ",\"min\":" << s.min
+       << ",\"max\":" << s.max << "}";
+  }
+  os << "}}\n";
+}
+
+ScopedWallTimer::ScopedWallTimer(std::string_view name) : start_ns_(now_ns()) {
+  if (enabled()) timer_ = &MetricsRegistry::global().timer(name);
+}
+
+ScopedWallTimer::~ScopedWallTimer() {
+  if (timer_ != nullptr) timer_->record(elapsed_us());
+}
+
+std::uint64_t ScopedWallTimer::elapsed_us() const {
+  return (now_ns() - start_ns_) / 1000;
+}
+
+}  // namespace pprophet::obs

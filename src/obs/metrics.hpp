@@ -1,0 +1,173 @@
+// Lightweight metrics registry — the counter/gauge/timer substrate behind
+// `pprophet --metrics` and the pipeline-stage section of ProphetReport.
+//
+// Design goals (docs/OBSERVABILITY.md):
+//  * zero overhead when disabled: every instrumentation site is guarded by
+//    obs::enabled(), a single relaxed atomic load, so the tier-1 prediction
+//    benches are unaffected (bench_obs_overhead asserts this);
+//  * thread-safe when enabled: metric handles are plain atomics, safe to
+//    bump concurrently from the sweep worker pool (TSAN-clean, see
+//    tests/obs/test_metrics.cpp under the `concurrency` ctest label);
+//  * stable handles: registration hands out references that survive
+//    reset(), so hot sites can cache them in function-local statics and pay
+//    one map lookup per process, not per event.
+//
+// Naming convention: dot-separated lowercase paths, `<module>.<what>`
+// (e.g. `sweep.memo.hits`, `profiler.implicit_u_nodes`); cycle-valued
+// gauges/timers end in `_cycles`, wall-clock timers in `_us`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pprophet::obs {
+
+/// Global instrumentation switch. Relaxed load; defaults to off.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic event count. Relaxed increments: totals are exact, ordering
+/// with respect to other metrics is not guaranteed (snapshot() is a
+/// moment-in-time read, not a consistent cut).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar (e.g. `memmodel.max_beta`).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (CAS loop; safe concurrently).
+  void set_max(double v);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+struct TimerStat {
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total) / static_cast<double>(count);
+  }
+};
+
+/// Histogram-style duration accumulator (count / total / min / max) over an
+/// arbitrary integer unit — emulated cycles or wall-clock microseconds,
+/// depending on the metric (see the naming convention above).
+class Timer {
+ public:
+  void record(std::uint64_t units);
+  TimerStat stat() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> min_{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, TimerStat>> timers;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && timers.empty();
+  }
+
+  /// Aligned human-readable listing.
+  void render_text(std::ostream& os) const;
+  /// One metric per row: name,kind,count,total,min,max,value.
+  void render_csv(std::ostream& os) const;
+  /// {"counters":{...},"gauges":{...},"timers":{name:{count,...}}}.
+  void render_json(std::ostream& os) const;
+};
+
+/// Named-metric registry. Registration (the name→handle lookup) takes a
+/// mutex; the returned references are valid for the registry's lifetime and
+/// all updates through them are lock-free.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric. Handles stay valid (names are not unregistered).
+  void reset();
+
+  /// The process-wide registry used by all library instrumentation.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+// --- guarded convenience wrappers for cold instrumentation sites ---
+// (Hot sites should cache the handle: `if (obs::enabled()) { static auto& c
+// = obs::MetricsRegistry::global().counter("x"); c.add(); }`.)
+
+inline void count(std::string_view name, std::uint64_t n = 1) {
+  if (enabled()) MetricsRegistry::global().counter(name).add(n);
+}
+
+inline void gauge_set(std::string_view name, double v) {
+  if (enabled()) MetricsRegistry::global().gauge(name).set(v);
+}
+
+inline void gauge_max(std::string_view name, double v) {
+  if (enabled()) MetricsRegistry::global().gauge(name).set_max(v);
+}
+
+inline void time_record(std::string_view name, std::uint64_t units) {
+  if (enabled()) MetricsRegistry::global().timer(name).record(units);
+}
+
+/// RAII wall-clock stage timer: records elapsed microseconds into
+/// `timer(name)` on destruction. No-op when metrics are disabled at
+/// construction time.
+class ScopedWallTimer {
+ public:
+  explicit ScopedWallTimer(std::string_view name);
+  ~ScopedWallTimer();
+
+  ScopedWallTimer(const ScopedWallTimer&) = delete;
+  ScopedWallTimer& operator=(const ScopedWallTimer&) = delete;
+
+  /// Microseconds since construction (measured even when disabled, so
+  /// callers can reuse it for their own reporting).
+  std::uint64_t elapsed_us() const;
+
+ private:
+  Timer* timer_ = nullptr;  // null when disabled at construction
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace pprophet::obs

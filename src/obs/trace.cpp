@@ -1,0 +1,218 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "machine/timeline.hpp"
+
+namespace pprophet::obs {
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceArg arg_num(std::string key, double value) {
+  return TraceArg{std::move(key), fmt_double(value), false};
+}
+
+TraceArg arg_num(std::string key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  return TraceArg{std::move(key), buf, false};
+}
+
+TraceArg arg_str(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), true};
+}
+
+TraceSink::TraceSink() : t0_ns_(steady_ns()) {}
+
+void TraceSink::add(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceSink::complete(std::string name, std::string cat, std::uint32_t pid,
+                         std::uint32_t tid, std::uint64_t ts,
+                         std::uint64_t dur, std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.phase = 'X';
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.args = std::move(args);
+  add(std::move(ev));
+}
+
+void TraceSink::instant(std::string name, std::string cat, std::uint32_t pid,
+                        std::uint64_t ts, std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.phase = 'i';
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.pid = pid;
+  ev.ts = ts;
+  ev.args = std::move(args);
+  add(std::move(ev));
+}
+
+void TraceSink::counter(std::string name, std::uint32_t pid, std::uint64_t ts,
+                        double value) {
+  TraceEvent ev;
+  ev.phase = 'C';
+  ev.name = std::move(name);
+  ev.cat = "counter";
+  ev.pid = pid;
+  ev.ts = ts;
+  ev.args.push_back(arg_num("value", value));
+  add(std::move(ev));
+}
+
+void TraceSink::name_process(std::uint32_t pid, std::string name) {
+  TraceEvent ev;
+  ev.phase = 'M';
+  ev.name = "process_name";
+  ev.pid = pid;
+  ev.args.push_back(arg_str("name", std::move(name)));
+  add(std::move(ev));
+}
+
+void TraceSink::name_thread(std::uint32_t pid, std::uint32_t tid,
+                            std::string name) {
+  TraceEvent ev;
+  ev.phase = 'M';
+  ev.name = "thread_name";
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args.push_back(arg_str("name", std::move(name)));
+  add(std::move(ev));
+}
+
+std::uint64_t TraceSink::now_us() const {
+  return (steady_ns() - t0_ns_) / 1000;
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceSink::write_chrome_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i != 0) os << ",";
+    os << "\n{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"" << e.phase
+       << "\"";
+    if (!e.cat.empty()) os << ",\"cat\":\"" << json_escape(e.cat) << "\"";
+    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+    if (e.phase == 'X') os << ",\"dur\":" << e.dur;
+    if (e.phase == 'i') os << ",\"s\":\"t\"";  // instant scope: thread
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a != 0) os << ",";
+        os << "\"" << json_escape(e.args[a].key) << "\":";
+        if (e.args[a].quoted) {
+          os << "\"" << json_escape(e.args[a].value) << "\"";
+        } else {
+          os << e.args[a].value;
+        }
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+TraceSink* TraceSink::current() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+void TraceSink::set_current(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string cat, std::uint32_t tid)
+    : sink_(TraceSink::current()),
+      name_(std::move(name)),
+      cat_(std::move(cat)),
+      tid_(tid) {
+  if (sink_ != nullptr) start_us_ = sink_->now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (sink_ == nullptr) return;
+  const std::uint64_t end = sink_->now_us();
+  sink_->complete(std::move(name_), std::move(cat_), kPidPipeline, tid_,
+                  start_us_, end - start_us_, std::move(args_));
+}
+
+void ScopedSpan::annotate(TraceArg arg) {
+  if (sink_ != nullptr) args_.push_back(std::move(arg));
+}
+
+void bridge_timeline(const machine::Timeline& timeline, TraceSink& sink,
+                     std::uint32_t pid, std::string_view track_name) {
+  sink.name_process(pid, std::string(track_name));
+  for (std::uint32_t t = 0; t < timeline.thread_count(); ++t) {
+    sink.name_thread(pid, t, "vcpu " + std::to_string(t));
+  }
+  for (const machine::TimelineSpan& s : timeline.spans()) {
+    const bool run = s.kind == machine::TimelineSpan::Kind::Run;
+    sink.complete(run ? "run" : "lock wait", "timeline", pid, s.thread,
+                  s.begin, s.end - s.begin);
+  }
+}
+
+}  // namespace pprophet::obs

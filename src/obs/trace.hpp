@@ -1,0 +1,132 @@
+// Structured trace sink — records pipeline and emulation events and exports
+// Chrome trace-event JSON, loadable in chrome://tracing or Perfetto
+// (ui.perfetto.dev). See docs/OBSERVABILITY.md for the schema.
+//
+// Two time domains share one trace, separated by process id ("track"):
+//  * pid 1 ("pipeline"): wall-clock spans of the Figure-3 workflow stages,
+//    timestamps in real microseconds since the sink was created;
+//  * pid >= 2 ("emulation"): spans in *emulated machine cycles*, mapped
+//    1 cycle = 1 us so Perfetto renders them on its native microsecond
+//    axis. bridge_timeline() converts a machine::Timeline (the Figure-5
+//    Gantt data) into one such track, one trace thread per virtual CPU.
+//
+// Like the metrics registry, the sink is opt-in and global: library code
+// emits events only when TraceSink::current() is non-null, so the disabled
+// path is a single relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pprophet::machine {
+class Timeline;
+}
+
+namespace pprophet::obs {
+
+/// Track (chrome pid) of wall-clock pipeline-stage spans.
+inline constexpr std::uint32_t kPidPipeline = 1;
+/// First track used for emulated-cycle timelines; callers bridging several
+/// emulations (e.g. one per thread count) offset from here.
+inline constexpr std::uint32_t kPidEmulation = 2;
+
+/// One event-argument pair. `value` is emitted verbatim when `quoted` is
+/// false (numbers), JSON-escaped and quoted when true (strings).
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool quoted = false;
+};
+
+TraceArg arg_num(std::string key, double value);
+TraceArg arg_num(std::string key, std::uint64_t value);
+TraceArg arg_str(std::string key, std::string value);
+
+/// One Chrome trace event. Phases used: 'X' (complete span with duration),
+/// 'i' (instant), 'C' (counter sample), 'M' (metadata: process/thread name).
+struct TraceEvent {
+  char phase = 'X';
+  std::string name;
+  std::string cat;
+  std::uint32_t pid = kPidPipeline;
+  std::uint32_t tid = 0;
+  std::uint64_t ts = 0;   ///< microseconds (wall) or cycles (emulation)
+  std::uint64_t dur = 0;  ///< 'X' only
+  std::vector<TraceArg> args;
+};
+
+/// Append-only, thread-safe event collector.
+class TraceSink {
+ public:
+  TraceSink();
+
+  void add(TraceEvent ev);
+  void complete(std::string name, std::string cat, std::uint32_t pid,
+                std::uint32_t tid, std::uint64_t ts, std::uint64_t dur,
+                std::vector<TraceArg> args = {});
+  void instant(std::string name, std::string cat, std::uint32_t pid,
+               std::uint64_t ts, std::vector<TraceArg> args = {});
+  /// Counter-track sample (rendered as a step chart by the viewers).
+  void counter(std::string name, std::uint32_t pid, std::uint64_t ts,
+               double value);
+  void name_process(std::uint32_t pid, std::string name);
+  void name_thread(std::uint32_t pid, std::uint32_t tid, std::string name);
+
+  /// Wall-clock microseconds since this sink was constructed — the
+  /// timestamp base of every kPidPipeline event.
+  std::uint64_t now_us() const;
+
+  std::size_t size() const;
+  std::vector<TraceEvent> events() const;  ///< copy, thread-safe
+
+  /// {"displayTimeUnit":"ms","traceEvents":[...]} — the Chrome/Perfetto
+  /// JSON object format.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Process-global sink pointer; null (the default) disables tracing.
+  /// The registered sink must outlive its registration.
+  static TraceSink* current();
+  static void set_current(TraceSink* sink);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t t0_ns_ = 0;
+};
+
+/// RAII wall-clock span on the pipeline track of the *current* sink.
+/// No-op when no sink is registered at construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, std::string cat = "pipeline",
+                      std::uint32_t tid = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach an argument to the span (emitted at close).
+  void annotate(TraceArg arg);
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::string name_, cat_;
+  std::uint32_t tid_ = 0;
+  std::uint64_t start_us_ = 0;
+  std::vector<TraceArg> args_;
+};
+
+/// Converts a machine::Timeline (Figure-5 Gantt data: per-thread run and
+/// lock-wait spans in emulated cycles) into trace events on track `pid`:
+/// one trace thread per virtual CPU, span names "run" / "lock wait",
+/// 1 cycle = 1 us. Per-thread span-duration sums are exactly
+/// Timeline::busy(t) / Timeline::lock_wait(t) (regression-tested in
+/// tests/obs/test_trace_export.cpp).
+void bridge_timeline(const machine::Timeline& timeline, TraceSink& sink,
+                     std::uint32_t pid, std::string_view track_name);
+
+}  // namespace pprophet::obs

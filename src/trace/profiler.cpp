@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "tree/compress.hpp"
 
 namespace pprophet::trace {
@@ -43,8 +44,24 @@ IntervalProfiler::Frame& IntervalProfiler::top() {
   return stack_.back();
 }
 
+std::string IntervalProfiler::open_frames() const {
+  std::string s;
+  for (const Frame& f : stack_) {
+    if (f.node == nullptr) continue;
+    if (!s.empty()) s += " > ";
+    s += tree::to_string(f.node->kind());
+    if (!f.node->name().empty() &&
+        f.node->kind() != tree::NodeKind::Root) {
+      s += "('" + f.node->name() + "')";
+    }
+    if (f.open_lock != 0) s += "[lock " + std::to_string(f.open_lock) + "]";
+  }
+  return s.empty() ? "none" : s;
+}
+
 void IntervalProfiler::fail(const std::string& what) const {
-  throw AnnotationError("annotation error: " + what);
+  throw AnnotationError("annotation error: " + what +
+                        "; open frames: " + open_frames());
 }
 
 void IntervalProfiler::flush_u(Frame& frame, Cycles now, Cycles overhead_now) {
@@ -57,6 +74,11 @@ void IntervalProfiler::flush_u(Frame& frame, Cycles now, Cycles overhead_now) {
     tree::Node* u =
         frame.node->add_child(std::make_unique<tree::Node>(tree::NodeKind::U, "U"));
     u->set_length(net);
+    if (obs::enabled()) {
+      static obs::Counter& c =
+          obs::MetricsRegistry::global().counter("profiler.implicit_u_nodes");
+      c.add(1);
+    }
   } else {
     // Time inside a section but between tasks: scheduling glue that the
     // model deliberately does not attribute to any task.
@@ -77,6 +99,22 @@ void IntervalProfiler::maybe_merge_last_child(tree::Node& parent) {
   tree::Node& prev = *kids[kids.size() - 2];
   if (tree::try_rle_merge(prev, *kids.back(), options_.online_tolerance)) {
     kids.pop_back();
+    if (obs::enabled()) {
+      static obs::Counter& c =
+          obs::MetricsRegistry::global().counter("profiler.online_merges");
+      c.add(1);
+    }
+  }
+}
+
+/// Counts one annotation callback. Called inside the self-overhead window
+/// of each entry point, so the (already tiny) metric cost is excluded from
+/// node lengths like the rest of the profiler's own work.
+void IntervalProfiler::note_annotation_event() {
+  if (obs::enabled()) {
+    static obs::Counter& c =
+        obs::MetricsRegistry::global().counter("profiler.annotation_events");
+    c.add(1);
   }
 }
 
@@ -84,6 +122,7 @@ void IntervalProfiler::sec_begin(const char* name) {
   const Cycles now = stamp();
   const Cycles ovh = overhead_;
   if (finished_) fail("sec_begin after finish");
+  note_annotation_event();
   Frame& f = top();
   if (f.open_lock != 0) fail("sec_begin inside an open lock");
   const tree::NodeKind k = f.node->kind();
@@ -104,6 +143,7 @@ void IntervalProfiler::sec_end(bool barrier) {
   const Cycles now = stamp();
   const Cycles ovh = overhead_;
   if (finished_) fail("sec_end after finish");
+  note_annotation_event();
   Frame& f = top();
   if (f.node->kind() != tree::NodeKind::Sec) {
     fail(std::string("PAR_SEC_END does not match open ") +
@@ -128,6 +168,7 @@ void IntervalProfiler::task_begin(const char* name) {
   const Cycles now = stamp();
   const Cycles ovh = overhead_;
   if (finished_) fail("task_begin after finish");
+  note_annotation_event();
   Frame& f = top();
   if (f.node->kind() != tree::NodeKind::Sec) {
     fail("PAR_TASK_BEGIN outside a parallel section");
@@ -144,6 +185,7 @@ void IntervalProfiler::task_end() {
   const Cycles now = stamp();
   const Cycles ovh = overhead_;
   if (finished_) fail("task_end after finish");
+  note_annotation_event();
   Frame& f = top();
   if (f.node->kind() != tree::NodeKind::Task) {
     fail(std::string("PAR_TASK_END does not match open ") +
@@ -165,6 +207,7 @@ void IntervalProfiler::lock_begin(LockId id) {
   const Cycles now = stamp();
   const Cycles ovh = overhead_;
   if (finished_) fail("lock_begin after finish");
+  note_annotation_event();
   if (id == 0) fail("lock id 0 is reserved");
   Frame& f = top();
   if (f.node->kind() != tree::NodeKind::Task) {
@@ -181,6 +224,7 @@ void IntervalProfiler::lock_end(LockId id) {
   const Cycles now = stamp();
   const Cycles ovh = overhead_;
   if (finished_) fail("lock_end after finish");
+  note_annotation_event();
   Frame& f = top();
   if (f.node == nullptr || f.node->kind() != tree::NodeKind::Task ||
       f.open_lock == 0) {
@@ -212,6 +256,14 @@ tree::ProgramTree IntervalProfiler::finish() {
   const Cycles excl = ovh - f.overhead_at_begin;
   f.node->set_length(gross > excl ? gross - excl : 0);
   finished_ = true;
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("profiler.finishes").add(1);
+    reg.gauge("profiler.excluded_overhead_cycles")
+        .set(static_cast<double>(overhead_));
+    reg.gauge("profiler.unattributed_cycles")
+        .set(static_cast<double>(unattributed_));
+  }
   tree::ProgramTree t;
   t.root = std::move(root_);
   return t;

@@ -89,8 +89,13 @@ class IntervalProfiler {
   /// Emits an implicit U leaf covering [frame.last_boundary, now) if > 0.
   void flush_u(Frame& frame, Cycles now, Cycles overhead_now);
   void advance_boundary(Frame& frame, Cycles now, Cycles overhead_now);
+  /// Kinds + ids of the enclosing open BEGINs ("Root > Sec('loop') >
+  /// Task('body')[lock 1]"), appended to every AnnotationError so a
+  /// mismatch report names where it happened, not just what it was.
+  std::string open_frames() const;
   [[noreturn]] void fail(const std::string& what) const;
   void maybe_merge_last_child(tree::Node& parent);
+  void note_annotation_event();
 
   const CycleClock& clock_;
   CounterSource* counters_;

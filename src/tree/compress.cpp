@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "tree/builder.hpp"
 #include "tree/tree_stats.hpp"
 
@@ -92,6 +93,7 @@ void compress_node(Node& node, const CompressOptions& opts,
         prev.set_repeat(prev_rep + kid_rep);
         stats.max_absorbed_deviation =
             std::max(stats.max_absorbed_deviation, dev);
+        ++stats.rle_merges;
         if (forced) stats.lossy_merges = true;
         continue;
       }
@@ -135,6 +137,16 @@ CompressStats compress(ProgramTree& tree, const CompressOptions& opts) {
     stats.nodes_after = after.physical_nodes;
     stats.bytes_after = after.approx_bytes;
   }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("compress.runs").add(1);
+    reg.counter("compress.rle_merges").add(stats.rle_merges);
+    reg.counter("compress.nodes_before").add(stats.nodes_before);
+    reg.counter("compress.nodes_after").add(stats.nodes_after);
+    reg.counter("compress.bytes_before").add(stats.bytes_before);
+    reg.counter("compress.bytes_after").add(stats.bytes_after);
+    if (stats.lossy_merges) reg.counter("compress.lossy_runs").add(1);
+  }
   return stats;
 }
 
@@ -171,8 +183,10 @@ std::string pattern_key(const PackedTree::Pattern& p) {
 struct Packer {
   PackedTree out;
   std::unordered_map<std::string, std::uint32_t> index;
+  std::size_t interned = 0;  ///< total intern() calls (dedup hit accounting)
 
   std::uint32_t intern(const Node& n) {
+    ++interned;
     PackedTree::Pattern p;
     p.kind = n.kind();
     p.length = n.length();
@@ -217,6 +231,13 @@ PackedTree pack(const ProgramTree& tree) {
     for (const auto& c : tree.root->children()) {
       packer.out.top.push_back({packer.intern(*c), c->repeat()});
     }
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("compress.dict_patterns").add(packer.out.dictionary.size());
+    // Interned subtrees that resolved to an existing dictionary entry.
+    reg.counter("compress.dict_hits")
+        .add(packer.interned - packer.out.dictionary.size());
   }
   return std::move(packer.out);
 }

@@ -42,6 +42,7 @@ struct CompressStats {
   std::size_t nodes_after = 0;
   std::size_t bytes_before = 0;
   std::size_t bytes_after = 0;
+  std::size_t rle_merges = 0;  ///< sibling-subtree merges performed
   double max_absorbed_deviation = 0.0;  ///< worst relative length deviation merged
   bool lossy_merges = false;
 

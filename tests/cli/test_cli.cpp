@@ -210,5 +210,130 @@ TEST_F(CliTest, TimelineCilkParadigm) {
   EXPECT_NE(out_.str().find("CilkPlus"), std::string::npos);
 }
 
+// --- observability flags (docs/OBSERVABILITY.md) -------------------------
+
+TEST_F(CliTest, ParseObservabilityFlags) {
+  const auto o = parse({"predict", "--tree", tree_path_, "--metrics",
+                        "--trace-out", "/tmp/t.json"});
+  ASSERT_TRUE(o.has_value());
+  EXPECT_TRUE(o->metrics);
+  EXPECT_TRUE(o->metrics_path.empty());
+  EXPECT_EQ(o->trace_path, "/tmp/t.json");
+
+  const auto o2 = parse({"sweep", "--tree", tree_path_,
+                         "--metrics=/tmp/m.json", "--trace-out=/tmp/t2.json"});
+  ASSERT_TRUE(o2.has_value());
+  EXPECT_TRUE(o2->metrics);
+  EXPECT_EQ(o2->metrics_path, "/tmp/m.json");
+  EXPECT_EQ(o2->trace_path, "/tmp/t2.json");
+
+  EXPECT_FALSE(parse({"predict", "--tree", tree_path_, "--metrics="}));
+  EXPECT_FALSE(parse({"predict", "--tree", tree_path_, "--trace-out"}));
+}
+
+TEST_F(CliTest, MetricsSnapshotGoesToStderr) {
+  Options o;
+  o.command = "predict";
+  o.tree_path = tree_path_;
+  o.threads = {2};
+  o.metrics = true;
+  EXPECT_EQ(run_cmd(o), 0);
+  const std::string e = err_.str();
+  EXPECT_NE(e.find("-- metrics --"), std::string::npos);
+  EXPECT_NE(e.find("predict.calls"), std::string::npos);
+  // Table output is unaffected.
+  EXPECT_NE(out_.str().find("projected speedup"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsFileRenderedByExtension) {
+  Options o;
+  o.command = "sweep";
+  o.tree_path = tree_path_;
+  o.threads = {2, 4};
+  o.metrics = true;
+  o.metrics_path = testing::TempDir() + "cli_metrics.json";
+  EXPECT_EQ(run_cmd(o), 0);
+  std::ifstream f(o.metrics_path);
+  std::ostringstream text;
+  text << f.rdbuf();
+  EXPECT_NE(text.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.str().find("sweep.grid_points"), std::string::npos);
+  std::remove(o.metrics_path.c_str());
+}
+
+TEST_F(CliTest, TraceOutWritesChromeJson) {
+  Options o;
+  o.command = "predict";
+  o.tree_path = tree_path_;
+  o.threads = {2};
+  o.method = core::Method::FastForward;
+  o.trace_path = testing::TempDir() + "cli_trace.json";
+  EXPECT_EQ(run_cmd(o), 0);
+  std::ifstream f(o.trace_path);
+  std::ostringstream text;
+  text << f.rdbuf();
+  const std::string json = text.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("predict t=2"), std::string::npos);  // pipeline span
+  EXPECT_NE(json.find("\"vcpu 0\""), std::string::npos);   // emulation track
+  EXPECT_NE(err_.str().find("wrote trace"), std::string::npos);
+  std::remove(o.trace_path.c_str());
+}
+
+TEST_F(CliTest, TimelineTraceOutBridgesGantt) {
+  Options o;
+  o.command = "timeline";
+  o.tree_path = tree_path_;
+  o.threads = {4};
+  o.trace_path = testing::TempDir() + "cli_timeline_trace.json";
+  EXPECT_EQ(run_cmd(o), 0);
+  std::ifstream f(o.trace_path);
+  std::ostringstream text;
+  text << f.rdbuf();
+  EXPECT_NE(text.str().find("\"run\""), std::string::npos);
+  std::remove(o.trace_path.c_str());
+}
+
+TEST_F(CliTest, SweepCsvRoutesStatsToStderr) {
+  Options o;
+  o.command = "sweep";
+  o.tree_path = tree_path_;
+  o.threads = {2, 4};
+  o.csv_path = testing::TempDir() + "cli_sweep.csv";
+  EXPECT_EQ(run_cmd(o), 0);
+  // Diagnostics on stderr, results (table + wrote line) on stdout.
+  EXPECT_NE(err_.str().find("memo hit rate"), std::string::npos);
+  EXPECT_EQ(out_.str().find("memo hit rate"), std::string::npos);
+  EXPECT_NE(out_.str().find("wrote"), std::string::npos);
+  std::remove(o.csv_path.c_str());
+}
+
+TEST_F(CliTest, SweepCsvDashStreamsToStdout) {
+  Options o;
+  o.command = "sweep";
+  o.tree_path = tree_path_;
+  o.threads = {2};
+  o.csv_path = "-";
+  EXPECT_EQ(run_cmd(o), 0);
+  const std::string s = out_.str();
+  // stdout is pure CSV: header first, no table art, no status lines.
+  EXPECT_EQ(s.rfind("method,paradigm,schedule,chunk,threads,speedup", 0), 0u)
+      << s;
+  EXPECT_EQ(s.find("|"), std::string::npos);
+  EXPECT_NE(err_.str().find("memo hit rate"), std::string::npos);
+}
+
+TEST_F(CliTest, PredictCsvDashStreamsToStdout) {
+  Options o;
+  o.command = "predict";
+  o.tree_path = tree_path_;
+  o.threads = {2, 4};
+  o.csv_path = "-";
+  EXPECT_EQ(run_cmd(o), 0);
+  EXPECT_EQ(out_.str().rfind("threads,speedup,parallel_cycles", 0), 0u)
+      << out_.str();
+  EXPECT_NE(err_.str().find("method"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pprophet::cli

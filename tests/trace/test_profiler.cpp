@@ -242,6 +242,37 @@ TEST_F(ProfilerTest, OnlineCompressionKeepsDistinctTasks) {
   EXPECT_EQ(t.root->child(0)->children().size(), 4u);
 }
 
+// Annotation errors name the enclosing BEGIN frames, so a mismatched END
+// deep inside a workload points at the actual open nesting.
+TEST_F(ProfilerTest, AnnotationErrorReportsOpenFrames) {
+  IntervalProfiler p(clock);
+  p.sec_begin("loop");
+  p.task_begin("body");
+  p.lock_begin(3);
+  try {
+    p.sec_begin("nested");  // illegal inside an open lock
+    FAIL() << "expected AnnotationError";
+  } catch (const AnnotationError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("open frames:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Sec('loop')"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Task('body')"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[lock 3]"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(ProfilerTest, AnnotationErrorAtTopLevelSaysNone) {
+  IntervalProfiler p(clock);
+  try {
+    p.task_begin("t");  // task outside any section
+    FAIL() << "expected AnnotationError";
+  } catch (const AnnotationError& e) {
+    EXPECT_NE(std::string(e.what()).find("open frames: Root"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 // With a real clock, the profiler's own callback cost must be subtracted:
 // profiling a loop of N cheap annotated tasks should not inflate the tree's
 // serial work by the annotation cost.

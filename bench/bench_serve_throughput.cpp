@@ -1,0 +1,246 @@
+// Load bench for the prediction service (docs/SERVE.md): an in-process
+// daemon on a unix-domain socket, PP_CLIENTS concurrent client threads each
+// firing PP_REQS requests drawn from a small sweep-request mix, so the
+// result cache sees both cold misses and steady-state hits. Reports latency
+// percentiles and throughput, writes BENCH_serve.json, and self-checks every
+// response against an in-process core::sweep over the same tree —
+// exiting nonzero on any mismatch, so it doubles as a ctest.
+//
+// Env knobs: PP_CLIENTS (default 4), PP_REQS (default 25 per client),
+// PP_SERVE_WORKERS (default 2), PP_SEED.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "report/experiment.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "tree/binary.hpp"
+#include "tree/compress.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workloads/test_patterns.hpp"
+
+using namespace pprophet;
+
+namespace {
+
+struct RequestKind {
+  const char* label;
+  std::vector<core::Method> methods;
+  std::vector<runtime::OmpSchedule> schedules;
+  std::vector<CoreCount> threads;
+};
+
+serve::JsonValue build_request(const RequestKind& kind,
+                               const std::string& key) {
+  serve::JsonValue req;
+  req.set("op", serve::JsonValue("sweep"));
+  req.set("key", serve::JsonValue(key));
+  serve::JsonValue::Array methods, schedules, threads;
+  for (const auto m : kind.methods) {
+    methods.emplace_back(serve::wire_name(m));
+  }
+  for (const auto s : kind.schedules) {
+    schedules.emplace_back(serve::wire_name(s));
+  }
+  for (const auto t : kind.threads) {
+    threads.emplace_back(static_cast<std::uint64_t>(t));
+  }
+  req.set("methods", serve::JsonValue(std::move(methods)));
+  req.set("schedules", serve::JsonValue(std::move(schedules)));
+  req.set("threads", serve::JsonValue(std::move(threads)));
+  req.set("cores", serve::JsonValue(std::uint64_t{12}));
+  return req;
+}
+
+core::SweepResult reference_sweep(const tree::ProgramTree& tree,
+                                  const RequestKind& kind) {
+  core::SweepGrid grid;
+  grid.methods = kind.methods;
+  grid.paradigms = {core::Paradigm::OpenMP};
+  grid.schedules = kind.schedules;
+  grid.chunks = {1};
+  grid.thread_counts = kind.threads;
+  grid.memory_models = {false};
+  grid.base = report::paper_options(kind.methods.front());
+  grid.base.machine.cores = 12;
+  return core::sweep(tree, grid);
+}
+
+bool matches(const serve::JsonValue& response,
+             const core::SweepResult& expected) {
+  const serve::JsonValue* ok = response.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) return false;
+  const serve::JsonValue::Array& cells =
+      response.at("result").at("cells").as_array();
+  if (cells.size() != expected.cells.size()) return false;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& want = expected.cells[i].estimate;
+    if (cells[i].at("parallel_cycles").as_u64() != want.parallel_cycles ||
+        cells[i].at("serial_cycles").as_u64() != want.serial_cycles ||
+        cells[i].at("speedup").as_double() != want.speedup) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  const long clients = util::env_long("PP_CLIENTS", 4);
+  const long reqs = util::env_long("PP_REQS", 25);
+  const long workers = util::env_long("PP_SERVE_WORKERS", 2);
+  const long seed = util::env_long("PP_SEED", 2012);
+  report::print_header(
+      std::cout, "Prediction service throughput (PP_CLIENTS=" +
+                     std::to_string(clients) + ", PP_REQS=" +
+                     std::to_string(reqs) + " per client)");
+
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  tree::ProgramTree t = workloads::run_test2(workloads::random_test2(rng));
+  tree::compress(t);
+  const std::string pptb = tree::to_binary(tree::pack(t));
+  std::cout << "tree: " << t.node_count() << " nodes, upload "
+            << pptb.size() << " bytes\n";
+
+  // A small request mix: distinct cache keys, so the steady state is a
+  // blend of hits (repeat kinds) and misses (first touch per kind).
+  const std::vector<RequestKind> kinds = {
+      {"syn-static1", {core::Method::Synthesizer},
+       {runtime::OmpSchedule::StaticCyclic}, {2, 4, 8, 12}},
+      {"ff-dynamic", {core::Method::FastForward},
+       {runtime::OmpSchedule::Dynamic}, {2, 4, 8}},
+      {"multi-method", {core::Method::FastForward, core::Method::Synthesizer},
+       {runtime::OmpSchedule::StaticCyclic, runtime::OmpSchedule::StaticBlock},
+       {2, 4, 6, 8, 10, 12}},
+      {"suit-guided", {core::Method::Suitability},
+       {runtime::OmpSchedule::Guided}, {4, 8}},
+  };
+  const tree::ProgramTree reference = tree::unpack(tree::from_binary(pptb));
+  std::vector<core::SweepResult> expected;
+  expected.reserve(kinds.size());
+  for (const RequestKind& kind : kinds) {
+    expected.push_back(reference_sweep(reference, kind));
+  }
+
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/pp_bench_serve.sock";
+  cfg.workers = static_cast<std::size_t>(workers);
+  cfg.sweep_workers = 1;
+  cfg.queue_limit = 256;
+  serve::Server server(cfg);
+  server.start();
+
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  long mismatches = 0;
+  const auto bench_start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (long c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      serve::Client client;
+      client.connect(cfg.socket_path);
+      const std::string key = client.upload(pptb);
+      std::vector<double> local;
+      local.reserve(static_cast<std::size_t>(reqs));
+      long bad = 0;
+      for (long r = 0; r < reqs; ++r) {
+        const std::size_t k =
+            static_cast<std::size_t>(c + r) % kinds.size();
+        const auto t0 = std::chrono::steady_clock::now();
+        const serve::JsonValue resp =
+            client.call(build_request(kinds[k], key));
+        local.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+        if (!matches(resp, expected[k])) ++bad;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+      mismatches += bad;
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  const serve::ServerStatsSnapshot stats = server.stats();
+  server.stop();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p90 = percentile(latencies_ms, 0.90);
+  const double p99 = percentile(latencies_ms, 0.99);
+  const double total = static_cast<double>(latencies_ms.size());
+  const double throughput = wall_s > 0.0 ? total / wall_s : 0.0;
+
+  util::Table table({"metric", "value"});
+  table.add_row({"requests", std::to_string(latencies_ms.size())});
+  table.add_row({"throughput req/s", util::fmt_f(throughput, 1)});
+  table.add_row({"p50 ms", util::fmt_f(p50, 3)});
+  table.add_row({"p90 ms", util::fmt_f(p90, 3)});
+  table.add_row({"p99 ms", util::fmt_f(p99, 3)});
+  table.add_row({"cache hit rate", util::fmt_pct(stats.cache.hit_rate())});
+  table.add_row({"mismatches", std::to_string(mismatches)});
+  table.print(std::cout);
+
+  serve::JsonValue out;
+  out.set("bench", serve::JsonValue("serve_throughput"));
+  out.set("clients", serve::JsonValue(clients));
+  out.set("requests_per_client", serve::JsonValue(reqs));
+  out.set("serve_workers", serve::JsonValue(workers));
+  out.set("requests", serve::JsonValue(
+                          static_cast<std::uint64_t>(latencies_ms.size())));
+  out.set("throughput_rps", serve::JsonValue(throughput));
+  out.set("p50_ms", serve::JsonValue(p50));
+  out.set("p90_ms", serve::JsonValue(p90));
+  out.set("p99_ms", serve::JsonValue(p99));
+  out.set("wall_s", serve::JsonValue(wall_s));
+  out.set("cache_hits", serve::JsonValue(stats.cache.hits));
+  out.set("cache_misses", serve::JsonValue(stats.cache.misses));
+  out.set("cache_hit_rate", serve::JsonValue(stats.cache.hit_rate()));
+  out.set("uploads_deduped",
+          serve::JsonValue(stats.stored_trees == 1));
+  out.set("mismatches", serve::JsonValue(mismatches));
+  std::ofstream f("BENCH_serve.json");
+  f << serve::json_dump(out) << "\n";
+  f.close();
+  std::cout << "wrote BENCH_serve.json\n";
+
+  if (mismatches > 0) {
+    std::cerr << "FAIL: " << mismatches
+              << " responses differed from in-process core::sweep\n";
+    return 1;
+  }
+  if (stats.stored_trees != 1) {
+    std::cerr << "FAIL: " << stats.stored_trees
+              << " stored trees after identical uploads (expected 1)\n";
+    return 1;
+  }
+  if (stats.cache.hits == 0) {
+    std::cerr << "FAIL: result cache never hit under a repeating mix\n";
+    return 1;
+  }
+  std::cout << "OK: all responses bit-identical to in-process sweep\n";
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "cli/cli.hpp"
 
+#include <csignal>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <ostream>
@@ -12,6 +14,10 @@
 #include "memmodel/burden.hpp"
 #include "memmodel/calibration.hpp"
 #include "report/experiment.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "tree/binary.hpp"
 #include "tree/compress.hpp"
 #include "tree/serialize.hpp"
 #include "tree/tree_stats.hpp"
@@ -37,29 +43,24 @@ constexpr const char* kUsage = R"(usage:
                     [--paradigms omp,cilk] [--schedules static1,static,dynamic]
                     [--chunks 1,4] [--threads 2,4,8] [--cores N]
                     [--memory-model] [--workers N] [--csv FILE]
+  pprophet serve    --socket PATH [--serve-workers N] [--queue-limit N]
+                    [--cache-mb N] [--workers N] [--cores N]
+  pprophet client   --socket PATH --op ping|stats|upload|predict|sweep|recommend
+                    [--tree FILE | --key HASH] [--methods ...] [--paradigms ...]
+                    [--schedules ...] [--chunks ...] [--threads 2,4,8]
+                    [--cores N] [--memory-model] [--deadline-ms N]
+  pprophet help
 observability (any command; see docs/OBSERVABILITY.md):
   --metrics[=FILE]   collect metrics; snapshot to stderr, or FILE (.json/.csv)
   --trace-out FILE   write Chrome trace-event JSON (chrome://tracing, Perfetto)
   --csv -            stream CSV to stdout (predict/sweep); table suppressed
 )";
 
-bool parse_method(const std::string& v, core::Method& out) {
-  if (v == "ff") out = core::Method::FastForward;
-  else if (v == "syn") out = core::Method::Synthesizer;
-  else if (v == "suit") out = core::Method::Suitability;
-  else if (v == "real") out = core::Method::GroundTruth;
-  else return false;
-  return true;
-}
-
-bool parse_schedule(const std::string& v, runtime::OmpSchedule& out) {
-  if (v == "static") out = runtime::OmpSchedule::StaticBlock;
-  else if (v == "static1") out = runtime::OmpSchedule::StaticCyclic;
-  else if (v == "dynamic") out = runtime::OmpSchedule::Dynamic;
-  else if (v == "guided") out = runtime::OmpSchedule::Guided;
-  else return false;
-  return true;
-}
+// The CLI and the wire protocol share one name set (ff/syn/..., omp/cilk,
+// static/static1/...), parsed by serve/protocol.cpp.
+using serve::parse_method;
+using serve::parse_paradigm;
+using serve::parse_schedule;
 
 /// Splits a comma list and parses each token with `one`; false on any
 /// failure or an empty list.
@@ -74,13 +75,6 @@ bool parse_list(const std::string& v, std::vector<T>& out, ParseOne one) {
     out.push_back(item);
   }
   return !out.empty();
-}
-
-bool parse_paradigm(const std::string& v, core::Paradigm& out) {
-  if (v == "omp") out = core::Paradigm::OpenMP;
-  else if (v == "cilk") out = core::Paradigm::CilkPlus;
-  else return false;
-  return true;
 }
 
 bool parse_chunk(const std::string& v, std::uint64_t& out) {
@@ -106,6 +100,11 @@ bool parse_threads(const std::string& v, std::vector<CoreCount>& out) {
 
 std::optional<tree::ProgramTree> load_tree(const std::string& path,
                                            std::ostream& err) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    err << "pprophet: '" << path << "' is a directory, not a tree file\n";
+    return std::nullopt;
+  }
   std::ifstream f(path);
   if (!f) {
     err << "pprophet: cannot open '" << path << "'\n";
@@ -408,20 +407,210 @@ int cmd_timeline(const Options& opts, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// The prediction service daemon (docs/SERVE.md). Blocks until SIGTERM /
+// SIGINT triggers the graceful drain, then reports the session totals.
+int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.socket_path.empty()) {
+    err << "pprophet: serve needs --socket PATH\n";
+    return 1;
+  }
+  serve::ServerConfig cfg;
+  cfg.socket_path = opts.socket_path;
+  cfg.workers = opts.serve_workers;
+  cfg.queue_limit = opts.queue_limit;
+  cfg.cache_bytes = opts.cache_mb << 20;
+  cfg.sweep_workers = opts.workers == 0 ? 1 : opts.workers;
+  cfg.default_cores = opts.cores;
+  serve::Server server(cfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    err << "pprophet: " << e.what() << "\n";
+    return 1;
+  }
+  serve::arm_signal_shutdown(server, {SIGTERM, SIGINT});
+  out << "pprophet serve: listening on " << opts.socket_path << " ("
+      << cfg.workers << " workers, queue " << cfg.queue_limit << ", cache "
+      << opts.cache_mb << " MiB)\n"
+      << std::flush;
+  server.wait();
+  serve::disarm_signal_shutdown();
+  const serve::ServerStatsSnapshot s = server.stats();
+  out << "pprophet serve: drained — " << s.requests << " requests ("
+      << s.ok << " ok) over " << s.connections << " connections, cache hit rate "
+      << util::fmt_pct(s.cache.hit_rate()) << "\n";
+  return 0;
+}
+
+serve::JsonValue build_client_request(const Options& opts,
+                                      const std::string& op,
+                                      const std::string& key) {
+  serve::JsonValue req;
+  req.set("op", serve::JsonValue(op));
+  req.set("key", serve::JsonValue(key));
+  serve::JsonValue::Array threads;
+  for (const CoreCount t : opts.threads) {
+    threads.emplace_back(static_cast<std::uint64_t>(t));
+  }
+  req.set("threads", serve::JsonValue(std::move(threads)));
+  req.set("cores", serve::JsonValue(static_cast<std::uint64_t>(opts.cores)));
+  req.set("memory_model", serve::JsonValue(opts.memory_model));
+  if (opts.deadline_ms > 0) {
+    req.set("deadline_ms", serve::JsonValue(opts.deadline_ms));
+  }
+  if (op == "recommend") return req;  // server sweeps its own dimensions
+  serve::JsonValue::Array methods, paradigms, schedules, chunks;
+  if (opts.methods.empty()) {
+    methods.emplace_back(serve::wire_name(opts.method));
+  } else {
+    for (const auto m : opts.methods) methods.emplace_back(serve::wire_name(m));
+  }
+  if (opts.paradigms.empty()) {
+    paradigms.emplace_back(serve::wire_name(opts.paradigm));
+  } else {
+    for (const auto p : opts.paradigms) {
+      paradigms.emplace_back(serve::wire_name(p));
+    }
+  }
+  if (opts.schedules.empty()) {
+    schedules.emplace_back(serve::wire_name(opts.schedule));
+  } else {
+    for (const auto s : opts.schedules) {
+      schedules.emplace_back(serve::wire_name(s));
+    }
+  }
+  if (opts.chunks.empty()) {
+    chunks.emplace_back(opts.chunk);
+  } else {
+    for (const auto c : opts.chunks) chunks.emplace_back(c);
+  }
+  req.set("methods", serve::JsonValue(std::move(methods)));
+  req.set("paradigms", serve::JsonValue(std::move(paradigms)));
+  req.set("schedules", serve::JsonValue(std::move(schedules)));
+  req.set("chunks", serve::JsonValue(std::move(chunks)));
+  return req;
+}
+
+/// Renders a predict/sweep "result" object as the familiar sweep table.
+void print_cells(const serve::JsonValue& result, std::ostream& out) {
+  util::Table table({"method", "paradigm", "schedule", "chunk", "threads",
+                     "speedup", "parallel cycles"});
+  for (const serve::JsonValue& c : result.at("cells").as_array()) {
+    table.add_row(
+        {c.at("method").as_string(), c.at("paradigm").as_string(),
+         c.at("schedule").as_string(), std::to_string(c.at("chunk").as_u64()),
+         std::to_string(c.at("threads").as_u64()),
+         util::fmt_f(c.at("speedup").as_double(), 2),
+         util::fmt_i(static_cast<long long>(
+             c.at("parallel_cycles").as_u64()))});
+  }
+  table.print(out);
+}
+
+void print_recommendation(const serve::JsonValue& result, std::ostream& out) {
+  const auto line = [&](const char* label, const serve::JsonValue& c) {
+    out << label << c.at("paradigm").as_string() << " "
+        << c.at("schedule").as_string() << " on " << c.at("threads").as_u64()
+        << " threads -> " << util::fmt_f(c.at("speedup").as_double(), 2)
+        << "x\n";
+  };
+  line("best:       ", result.at("best"));
+  line("economical: ", result.at("economical"));
+}
+
+// One-shot client: connect, upload the tree (unless --key references an
+// already-stored one), send the requested op, render the response.
+int cmd_client(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.socket_path.empty()) {
+    err << "pprophet: client needs --socket PATH\n";
+    return 1;
+  }
+  const std::string& op = opts.op;
+  const bool needs_tree =
+      op == "upload" || ((op == "predict" || op == "sweep" ||
+                          op == "recommend") &&
+                         opts.key.empty());
+  if (op != "ping" && op != "stats" && op != "upload" && op != "predict" &&
+      op != "sweep" && op != "recommend") {
+    err << "pprophet: unknown client --op '" << op << "'\n";
+    return 1;
+  }
+  if (needs_tree && opts.tree_path.empty()) {
+    err << "pprophet: client --op " << op << " needs --tree FILE"
+        << (op == "upload" ? "" : " or --key HASH") << "\n";
+    return 1;
+  }
+
+  serve::Client client;
+  try {
+    client.connect(opts.socket_path);
+
+    if (op == "ping" || op == "stats") {
+      const serve::JsonValue resp = client.call(op);
+      out << serve::json_dump(resp) << "\n";
+      const serve::JsonValue* ok = resp.find("ok");
+      return ok != nullptr && ok->is_bool() && ok->as_bool() ? 0 : 1;
+    }
+
+    std::string key = opts.key;
+    if (key.empty() || op == "upload") {
+      auto t = load_tree(opts.tree_path, err);
+      if (!t) return 1;
+      key = client.upload(tree::to_binary(tree::pack(*t)));
+      out << "uploaded " << opts.tree_path << " as " << key << "\n";
+      if (op == "upload") return 0;
+    }
+
+    const serve::JsonValue resp =
+        client.call(build_client_request(opts, op, key));
+    const serve::JsonValue* ok = resp.find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+      const serve::JsonValue* msg = resp.find("message");
+      const serve::JsonValue* code = resp.find("error");
+      err << "pprophet: server rejected " << op << " ("
+          << (code != nullptr && code->is_string() ? code->as_string()
+                                                   : "error")
+          << "): "
+          << (msg != nullptr && msg->is_string() ? msg->as_string() : "")
+          << "\n";
+      return 1;
+    }
+    const serve::JsonValue& result = resp.at("result");
+    if (op == "recommend") {
+      print_recommendation(result, out);
+    } else {
+      print_cells(result, out);
+    }
+    const serve::JsonValue* cached = resp.find("cached");
+    out << op << " served "
+        << (cached != nullptr && cached->is_bool() && cached->as_bool()
+                ? "from cache"
+                : "freshly")
+        << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    err << "pprophet: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 std::optional<Options> parse_args(const std::vector<std::string>& args,
                                   std::ostream& err) {
   if (args.empty()) {
-    err << kUsage;
+    err << "pprophet: missing command (run 'pprophet help' for usage)\n";
     return std::nullopt;
   }
   Options opts;
   opts.command = args[0];
   if (opts.command != "predict" && opts.command != "inspect" &&
       opts.command != "compress" && opts.command != "recommend" &&
-      opts.command != "timeline" && opts.command != "sweep") {
-    err << "pprophet: unknown command '" << opts.command << "'\n" << kUsage;
+      opts.command != "timeline" && opts.command != "sweep" &&
+      opts.command != "serve" && opts.command != "client" &&
+      opts.command != "help") {
+    err << "pprophet: unknown command '" << opts.command
+        << "' (run 'pprophet help' for usage)\n";
     return std::nullopt;
   }
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -555,12 +744,66 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
         err << "pprophet: --trace-out= needs a file name\n";
         return std::nullopt;
       }
+    } else if (a == "--socket") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.socket_path = *v;
+    } else if (a == "--op") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.op = *v;
+    } else if (a == "--key") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.key = *v;
+    } else if (a == "--serve-workers") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n <= 0) {
+        err << "pprophet: bad --serve-workers\n";
+        return std::nullopt;
+      }
+      opts.serve_workers = static_cast<std::size_t>(n);
+    } else if (a == "--queue-limit") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n <= 0) {
+        err << "pprophet: bad --queue-limit\n";
+        return std::nullopt;
+      }
+      opts.queue_limit = static_cast<std::size_t>(n);
+    } else if (a == "--cache-mb") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n <= 0) {
+        err << "pprophet: bad --cache-mb\n";
+        return std::nullopt;
+      }
+      opts.cache_mb = static_cast<std::size_t>(n);
+    } else if (a == "--deadline-ms") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n <= 0) {
+        err << "pprophet: bad --deadline-ms\n";
+        return std::nullopt;
+      }
+      opts.deadline_ms = static_cast<std::uint64_t>(n);
     } else {
-      err << "pprophet: unknown option '" << a << "'\n" << kUsage;
+      err << "pprophet: unknown option '" << a
+          << "' (run 'pprophet help' for usage)\n";
       return std::nullopt;
     }
   }
-  if (opts.tree_path.empty()) {
+  // serve/client talk to a socket, help talks to nobody — only the
+  // tree-reading commands require --tree up front (the client checks its own
+  // --tree/--key contract per op).
+  const bool needs_tree = opts.command != "serve" && opts.command != "client" &&
+                          opts.command != "help";
+  if (needs_tree && opts.tree_path.empty()) {
     err << "pprophet: --tree is required\n";
     return std::nullopt;
   }
@@ -577,6 +820,12 @@ int dispatch(const Options& opts, std::ostream& out, std::ostream& err) {
     if (opts.command == "recommend") return cmd_recommend(opts, out, err);
     if (opts.command == "timeline") return cmd_timeline(opts, out, err);
     if (opts.command == "sweep") return cmd_sweep(opts, out, err);
+    if (opts.command == "serve") return cmd_serve(opts, out, err);
+    if (opts.command == "client") return cmd_client(opts, out, err);
+    if (opts.command == "help") {
+      out << kUsage;
+      return 0;
+    }
   } catch (const std::exception& e) {
     err << "pprophet: " << e.what() << "\n";
     return 1;

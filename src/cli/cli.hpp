@@ -13,6 +13,10 @@
 //                     [--paradigms omp,cilk] [--schedules static1,static,dynamic]
 //                     [--chunks 1,4] [--threads 2,4,8] [--cores N]
 //                     [--memory-model] [--workers N] [--csv out.csv]
+//   pprophet serve    --socket /run/pp.sock [--serve-workers N]
+//                     [--queue-limit N] [--cache-mb N] [--cores N]
+//   pprophet client   --socket /run/pp.sock --op ping|stats|upload|predict|
+//                     sweep|recommend [--tree t.ptree | --key HASH] [...]
 //
 // Global observability flags (docs/OBSERVABILITY.md):
 //   --metrics[=FILE]   enable the metrics registry; snapshot to stderr as
@@ -37,7 +41,8 @@
 namespace pprophet::cli {
 
 struct Options {
-  std::string command;  // predict|inspect|compress|recommend|timeline|sweep
+  /// predict|inspect|compress|recommend|timeline|sweep|serve|client|help
+  std::string command;
   std::string tree_path;
   std::string output_path;
   core::Method method = core::Method::Synthesizer;
@@ -61,6 +66,14 @@ struct Options {
   bool metrics = false;      ///< --metrics: enable + report the registry
   std::string metrics_path;  ///< --metrics=FILE: render by extension
   std::string trace_path;    ///< --trace-out FILE: Chrome trace JSON
+  // prediction service (serve / client; docs/SERVE.md)
+  std::string socket_path;        ///< --socket PATH: unix-domain socket
+  std::string op = "ping";        ///< client --op: request to send
+  std::string key;                ///< client --key: stored-tree content hash
+  std::size_t serve_workers = 2;  ///< serve --serve-workers: request threads
+  std::size_t queue_limit = 64;   ///< serve --queue-limit: admission bound
+  std::size_t cache_mb = 64;      ///< serve --cache-mb: result-cache budget
+  std::uint64_t deadline_ms = 0;  ///< client --deadline-ms: request budget
 };
 
 /// Parses argv (excluding argv[0]). Returns nullopt and writes a message to

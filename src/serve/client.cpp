@@ -1,0 +1,90 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+
+namespace pprophet::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("client: bad socket path: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("client: socket: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("client: cannot connect to '" + socket_path +
+                             "': " + std::strerror(e));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+JsonValue Client::call(const JsonValue& request) {
+  if (fd_ < 0) throw std::runtime_error("client: not connected");
+  write_frame(fd_, json_dump(request));
+  std::string payload;
+  if (!read_frame(fd_, payload)) {
+    throw ProtocolError("client: server closed the connection");
+  }
+  return json_parse(payload);
+}
+
+JsonValue Client::call(const std::string& op) {
+  JsonValue r;
+  r.set("op", JsonValue(op));
+  return call(r);
+}
+
+std::string Client::upload(const std::string& pptb_bytes) {
+  JsonValue req;
+  req.set("op", JsonValue("upload"));
+  req.set("pptb", JsonValue(base64_encode(pptb_bytes)));
+  const JsonValue resp = call(req);
+  const JsonValue* ok = resp.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    const JsonValue* msg = resp.find("message");
+    throw std::runtime_error("client: upload rejected: " +
+                             (msg != nullptr && msg->is_string()
+                                  ? msg->as_string()
+                                  : std::string("unknown error")));
+  }
+  return resp.at("key").as_string();
+}
+
+}  // namespace pprophet::serve

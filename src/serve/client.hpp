@@ -1,0 +1,45 @@
+// Blocking unix-domain-socket client for the prediction service: one
+// connection, synchronous request/response over the length-prefixed JSON
+// framing of serve/protocol.hpp. Used by `pprophet client`, the loopback
+// tests, and bench_serve_throughput.
+#pragma once
+
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace pprophet::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to the daemon at `socket_path`. Throws std::runtime_error
+  /// when nothing is listening there.
+  void connect(const std::string& socket_path);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request object and blocks for its response. Throws
+  /// ProtocolError if the server hangs up mid-exchange.
+  JsonValue call(const JsonValue& request);
+
+  /// Convenience: {"op":op} request.
+  JsonValue call(const std::string& op);
+  JsonValue call(const char* op) { return call(std::string(op)); }
+
+  /// Uploads raw PPTB bytes; returns the server's content key. Throws
+  /// std::runtime_error when the server rejects the upload.
+  std::string upload(const std::string& pptb_bytes);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace pprophet::serve

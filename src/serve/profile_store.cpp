@@ -1,0 +1,70 @@
+#include "serve/profile_store.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace pprophet::serve {
+
+std::string content_key(std::string_view bytes) {
+  // Two FNV-1a lanes with distinct offset bases; the second lane also mixes
+  // the byte position so lane collisions are independent.
+  std::uint64_t a = 0xcbf29ce484222325ULL;
+  std::uint64_t b = 0x6c62272e07bb0142ULL;
+  std::uint64_t pos = 0;
+  for (const char ch : bytes) {
+    const auto c = static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    a = (a ^ c) * 0x100000001b3ULL;
+    b = (b ^ (c + (++pos))) * 0x100000001b3ULL;
+  }
+  a ^= bytes.size();
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return std::string(buf, 32);
+}
+
+ProfileStore::PutResult ProfileStore::put(const std::string& pptb_bytes) {
+  const std::string key = content_key(pptb_bytes);
+  {
+    std::shared_lock lock(mu_);
+    if (const auto it = map_.find(key); it != map_.end()) {
+      return {it->second, true};
+    }
+  }
+  // Parse outside any lock: malformed uploads must not stall readers, and
+  // concurrent identical uploads are resolved by the emplace below.
+  auto entry = std::make_shared<Entry>();
+  entry->key = key;
+  entry->packed = tree::from_binary(pptb_bytes);
+  auto unpacked =
+      std::make_shared<tree::ProgramTree>(tree::unpack(entry->packed));
+  entry->nodes = unpacked->node_count();
+  entry->serial_cycles = unpacked->total_serial_cycles();
+  entry->unpacked = std::move(unpacked);
+  entry->upload_bytes = pptb_bytes.size();
+
+  std::unique_lock lock(mu_);
+  const auto [it, inserted] = map_.emplace(key, std::move(entry));
+  if (inserted) total_bytes_ += pptb_bytes.size();
+  return {it->second, !inserted};
+}
+
+std::shared_ptr<const ProfileStore::Entry> ProfileStore::find(
+    const std::string& key) const {
+  std::shared_lock lock(mu_);
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+std::size_t ProfileStore::size() const {
+  std::shared_lock lock(mu_);
+  return map_.size();
+}
+
+std::size_t ProfileStore::total_bytes() const {
+  std::shared_lock lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace pprophet::serve

@@ -1,0 +1,61 @@
+// Content-addressed profile store: clients upload PPTB binary trees once
+// and refer to them by hash key in every subsequent predict/sweep/recommend
+// request — the "profile once, predict many times" half of docs/SERVE.md.
+//
+// The key is a 128-bit FNV-1a over the exact uploaded bytes, so uploads are
+// idempotent: re-uploading the same profile is a cheap dedupe hit, and two
+// clients that profiled the same build independently converge on one stored
+// tree. Each entry keeps the expanded ProgramTree (shared, read-only — the
+// emulators only read trees) so requests never re-parse.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "tree/binary.hpp"
+#include "tree/compress.hpp"
+
+namespace pprophet::serve {
+
+/// 32-hex-digit content hash of `bytes` (two independent 64-bit FNV-1a
+/// lanes). Stable across runs and platforms.
+std::string content_key(std::string_view bytes);
+
+class ProfileStore {
+ public:
+  struct Entry {
+    std::string key;
+    tree::PackedTree packed;  ///< for per-request mutation (burden annotation)
+    /// Expanded tree shared by every concurrent read-only prediction.
+    std::shared_ptr<const tree::ProgramTree> unpacked;
+    std::size_t upload_bytes = 0;
+    std::size_t nodes = 0;
+    Cycles serial_cycles = 0;
+  };
+
+  struct PutResult {
+    std::shared_ptr<const Entry> entry;
+    bool existed = false;  ///< dedupe hit: the key was already stored
+  };
+
+  /// Parses and stores an uploaded PPTB byte string. Throws
+  /// std::runtime_error on malformed bytes (nothing is stored).
+  PutResult put(const std::string& pptb_bytes);
+
+  /// nullptr when the key is unknown.
+  std::shared_ptr<const Entry> find(const std::string& key) const;
+
+  std::size_t size() const;
+  std::size_t total_bytes() const;  ///< sum of stored upload sizes
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> map_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace pprophet::serve

@@ -1,0 +1,213 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pprophet::serve {
+namespace {
+
+/// read() until `n` bytes or EOF; returns bytes read. Retries EINTR.
+std::size_t read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) break;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("read: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+void write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // send() with MSG_NOSIGNAL: a vanished peer surfaces as EPIPE instead
+    // of killing the process with SIGPIPE. All protocol fds are sockets.
+    const ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+  unsigned char header[4];
+  const std::size_t got =
+      read_exact(fd, reinterpret_cast<char*>(header), sizeof header);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof header) throw ProtocolError("truncated frame header");
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    throw ProtocolError("frame of " + std::to_string(len) +
+                        " bytes exceeds limit");
+  }
+  payload.resize(len);
+  if (read_exact(fd, payload.data(), len) < len) {
+    throw ProtocolError("truncated frame payload");
+  }
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame too large to send");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(len & 0xFF),
+      static_cast<unsigned char>((len >> 8) & 0xFF),
+      static_cast<unsigned char>((len >> 16) & 0xFF),
+      static_cast<unsigned char>((len >> 24) & 0xFF)};
+  write_all(fd, reinterpret_cast<const char*>(header), sizeof header);
+  write_all(fd, payload.data(), payload.size());
+}
+
+std::string base64_encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const std::uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                            (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+                            static_cast<unsigned char>(bytes[i + 2]);
+    out += kB64Alphabet[(v >> 18) & 0x3F];
+    out += kB64Alphabet[(v >> 12) & 0x3F];
+    out += kB64Alphabet[(v >> 6) & 0x3F];
+    out += kB64Alphabet[v & 0x3F];
+  }
+  const std::size_t rem = bytes.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<unsigned char>(bytes[i]) << 16;
+    out += kB64Alphabet[(v >> 18) & 0x3F];
+    out += kB64Alphabet[(v >> 12) & 0x3F];
+    out += "==";
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                            (static_cast<unsigned char>(bytes[i + 1]) << 8);
+    out += kB64Alphabet[(v >> 18) & 0x3F];
+    out += kB64Alphabet[(v >> 12) & 0x3F];
+    out += kB64Alphabet[(v >> 6) & 0x3F];
+    out += '=';
+  }
+  return out;
+}
+
+std::string base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) throw ProtocolError("base64: bad length");
+  static constexpr auto value_of = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    return -1;
+  };
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[i + k];
+      if (c == '=') {
+        // Padding is only legal in the last group's final two slots.
+        if (i + 4 != text.size() || k < 2) throw ProtocolError("base64: bad padding");
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) throw ProtocolError("base64: data after padding");
+      const int d = value_of(c);
+      if (d < 0) throw ProtocolError("base64: bad character");
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out += static_cast<char>((v >> 16) & 0xFF);
+    if (pad < 2) out += static_cast<char>((v >> 8) & 0xFF);
+    if (pad < 1) out += static_cast<char>(v & 0xFF);
+  }
+  return out;
+}
+
+bool parse_method(const std::string& name, core::Method& out) {
+  if (name == "ff") out = core::Method::FastForward;
+  else if (name == "syn") out = core::Method::Synthesizer;
+  else if (name == "suit") out = core::Method::Suitability;
+  else if (name == "real") out = core::Method::GroundTruth;
+  else return false;
+  return true;
+}
+
+bool parse_paradigm(const std::string& name, core::Paradigm& out) {
+  if (name == "omp") out = core::Paradigm::OpenMP;
+  else if (name == "cilk") out = core::Paradigm::CilkPlus;
+  else return false;
+  return true;
+}
+
+bool parse_schedule(const std::string& name, runtime::OmpSchedule& out) {
+  if (name == "static") out = runtime::OmpSchedule::StaticBlock;
+  else if (name == "static1") out = runtime::OmpSchedule::StaticCyclic;
+  else if (name == "dynamic") out = runtime::OmpSchedule::Dynamic;
+  else if (name == "guided") out = runtime::OmpSchedule::Guided;
+  else return false;
+  return true;
+}
+
+const char* wire_name(core::Method m) {
+  switch (m) {
+    case core::Method::FastForward: return "ff";
+    case core::Method::Synthesizer: return "syn";
+    case core::Method::Suitability: return "suit";
+    case core::Method::GroundTruth: return "real";
+  }
+  return "?";
+}
+
+const char* wire_name(core::Paradigm p) {
+  return p == core::Paradigm::OpenMP ? "omp" : "cilk";
+}
+
+const char* wire_name(runtime::OmpSchedule s) {
+  switch (s) {
+    case runtime::OmpSchedule::StaticBlock: return "static";
+    case runtime::OmpSchedule::StaticCyclic: return "static1";
+    case runtime::OmpSchedule::Dynamic: return "dynamic";
+    case runtime::OmpSchedule::Guided: return "guided";
+  }
+  return "?";
+}
+
+JsonValue error_response(std::string_view op, std::string_view code,
+                         std::string_view message) {
+  JsonValue r;
+  r.set("ok", JsonValue(false));
+  r.set("op", JsonValue(std::string(op)));
+  r.set("error", JsonValue(std::string(code)));
+  r.set("message", JsonValue(std::string(message)));
+  return r;
+}
+
+JsonValue ok_response(std::string_view op) {
+  JsonValue r;
+  r.set("ok", JsonValue(true));
+  r.set("op", JsonValue(std::string(op)));
+  return r;
+}
+
+}  // namespace pprophet::serve

@@ -1,0 +1,69 @@
+// Wire protocol of the prediction service (docs/SERVE.md).
+//
+// Transport: unix-domain stream socket. Every message — request or response
+// — is one frame: a 4-byte little-endian payload length followed by that
+// many bytes of UTF-8 JSON. Frames above kMaxFrameBytes are rejected so a
+// corrupt length prefix cannot make the peer allocate gigabytes.
+//
+// Requests are JSON objects with an "op" field; responses echo "op" and
+// carry "ok":true plus op-specific fields, or "ok":false with an "error"
+// code from kError* and a human-readable "message". Binary tree payloads
+// (PPTB, tree/binary.hpp) travel base64-encoded in JSON strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/sweep.hpp"
+#include "serve/json.hpp"
+
+namespace pprophet::serve {
+
+/// Upper bound on one frame's payload. 64 MiB comfortably holds any
+/// dictionary-packed tree (the paper's 13.5 GB raw CG-B tree packs to MBs).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+// Stable error codes (the "error" field of a failed response).
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrNotFound = "not_found";
+inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrDeadline = "deadline_exceeded";
+inline constexpr const char* kErrShuttingDown = "shutting_down";
+inline constexpr const char* kErrInternal = "internal";
+
+/// Transport failure (peer gone, short read, oversized frame).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads one length-prefixed frame from `fd` into `payload`. Returns false
+/// on clean EOF at a frame boundary; throws ProtocolError on truncation,
+/// oversize, or I/O error. Retries EINTR.
+bool read_frame(int fd, std::string& payload);
+
+/// Writes one frame. Throws ProtocolError on error (including EPIPE).
+void write_frame(int fd, std::string_view payload);
+
+std::string base64_encode(std::string_view bytes);
+/// Strict decoder (no whitespace, correct padding); throws ProtocolError.
+std::string base64_decode(std::string_view text);
+
+/// Canonical short names used on the wire and by the CLI ("ff", "syn",
+/// "omp", "static1", ...). The parse_* forms return false on unknown names.
+bool parse_method(const std::string& name, core::Method& out);
+bool parse_paradigm(const std::string& name, core::Paradigm& out);
+bool parse_schedule(const std::string& name, runtime::OmpSchedule& out);
+const char* wire_name(core::Method m);
+const char* wire_name(core::Paradigm p);
+const char* wire_name(runtime::OmpSchedule s);
+
+/// Builds a failed response.
+JsonValue error_response(std::string_view op, std::string_view code,
+                         std::string_view message);
+
+/// Builds the skeleton of a successful response ({"ok":true,"op":op}).
+JsonValue ok_response(std::string_view op);
+
+}  // namespace pprophet::serve

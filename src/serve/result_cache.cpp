@@ -1,0 +1,79 @@
+#include "serve/result_cache.hpp"
+
+#include <functional>
+
+namespace pprophet::serve {
+namespace {
+
+std::size_t entry_bytes(const std::string& key, const std::string& value) {
+  return key.size() + value.size();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity_bytes, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shard_capacity_ = capacity_bytes / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_of(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<std::string> ResultCache::get(const std::string& key) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::put(const std::string& key, std::string value) {
+  Shard& s = shard_of(key);
+  const std::size_t cost = entry_bytes(key, value);
+  if (cost > shard_capacity_) return;  // would evict the entire shard
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (const auto it = s.index.find(key); it != s.index.end()) {
+    s.bytes -= entry_bytes(it->second->first, it->second->second);
+    s.bytes += cost;
+    it->second->second = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+  } else {
+    s.lru.emplace_front(key, std::move(value));
+    s.index.emplace(key, s.lru.begin());
+    s.bytes += cost;
+    ++s.insertions;
+  }
+  while (s.bytes > shard_capacity_) {
+    const auto& victim = s.lru.back();
+    s.bytes -= entry_bytes(victim.first, victim.second);
+    s.index.erase(victim.first);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.entries += shard->index.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+}  // namespace pprophet::serve

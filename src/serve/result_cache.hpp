@@ -1,0 +1,73 @@
+// Sharded LRU result cache fronting the prediction handlers: keyed by
+// (tree content hash, canonical request), valued with the serialized result
+// object, so a repeated sweep is one hash lookup plus a string copy and the
+// replayed bytes are bit-identical to the first computation.
+//
+// Sharding: the key hash picks one of N independent shards, each with its
+// own mutex + LRU list, so concurrent server workers rarely contend. The
+// byte budget is split evenly across shards; an entry larger than one
+// shard's budget is simply not cached (admission would otherwise evict the
+// whole shard for a single giant result).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pprophet::serve {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  /// `capacity_bytes` counts key + value sizes; shards must be >= 1.
+  explicit ResultCache(std::size_t capacity_bytes, std::size_t shards = 8);
+
+  /// Returns the cached value and refreshes its recency, or nullopt.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Inserts or refreshes `key`. Oversized values are ignored.
+  void put(const std::string& key, std::string value);
+
+  Stats stats() const;  ///< aggregated over shards (moment-in-time)
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used. Entries own their key + value.
+    std::list<std::pair<std::string, std::string>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_of(const std::string& key);
+
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pprophet::serve

@@ -1,0 +1,778 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/recommend.hpp"
+#include "memmodel/burden.hpp"
+#include "memmodel/calibration.hpp"
+#include "report/experiment.hpp"
+#include "serve/protocol.hpp"
+
+namespace pprophet::serve {
+namespace {
+
+/// Handler-level validation failure; mapped to a `bad_request` response.
+struct BadRequest : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void close_quiet(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Parses a wire-name list field: accepts "methods":["ff","syn"] or the
+/// singular "method":"ff"; falls back to `fallback` when neither is given.
+template <typename T, typename ParseOne>
+std::vector<T> parse_name_list(const JsonValue& req, const char* plural,
+                               const char* singular, ParseOne one,
+                               std::vector<T> fallback) {
+  const auto parse_token = [&](const JsonValue& v) {
+    if (!v.is_string()) throw BadRequest(std::string(singular) + ": expected string");
+    T item;
+    if (!one(v.as_string(), item)) {
+      throw BadRequest(std::string(singular) + ": unknown name '" +
+                       v.as_string() + "'");
+    }
+    return item;
+  };
+  if (const JsonValue* list = req.find(plural)) {
+    if (!list->is_array()) return {parse_token(*list)};
+    std::vector<T> out;
+    for (const JsonValue& v : list->as_array()) out.push_back(parse_token(v));
+    if (out.empty()) throw BadRequest(std::string(plural) + ": empty list");
+    return out;
+  }
+  if (const JsonValue* v = req.find(singular)) return {parse_token(*v)};
+  return fallback;
+}
+
+std::vector<std::uint64_t> parse_u64_list(const JsonValue& req,
+                                          const char* plural,
+                                          const char* singular,
+                                          std::vector<std::uint64_t> fallback) {
+  const auto parse_token = [&](const JsonValue& v) {
+    const std::uint64_t n = v.as_u64();
+    if (n == 0) throw BadRequest(std::string(singular) + ": must be positive");
+    return n;
+  };
+  if (const JsonValue* list = req.find(plural)) {
+    if (!list->is_array()) return {parse_token(*list)};
+    std::vector<std::uint64_t> out;
+    for (const JsonValue& v : list->as_array()) out.push_back(parse_token(v));
+    if (out.empty()) throw BadRequest(std::string(plural) + ": empty list");
+    return out;
+  }
+  if (const JsonValue* v = req.find(singular)) return {parse_token(*v)};
+  return fallback;
+}
+
+/// Everything a predict/sweep request pins down, in canonical form.
+struct GridSpec {
+  core::SweepGrid grid;
+  CoreCount cores = 0;
+  bool memory_model = false;
+};
+
+GridSpec parse_grid(const JsonValue& req, CoreCount default_cores) {
+  GridSpec spec;
+  spec.grid.methods = parse_name_list<core::Method>(
+      req, "methods", "method",
+      [](const std::string& s, core::Method& m) { return parse_method(s, m); },
+      {core::Method::Synthesizer});
+  spec.grid.paradigms = parse_name_list<core::Paradigm>(
+      req, "paradigms", "paradigm",
+      [](const std::string& s, core::Paradigm& p) { return parse_paradigm(s, p); },
+      {core::Paradigm::OpenMP});
+  spec.grid.schedules = parse_name_list<runtime::OmpSchedule>(
+      req, "schedules", "schedule",
+      [](const std::string& s, runtime::OmpSchedule& o) {
+        return parse_schedule(s, o);
+      },
+      {runtime::OmpSchedule::StaticCyclic});
+  spec.grid.chunks = parse_u64_list(req, "chunks", "chunk", {1});
+  const std::vector<std::uint64_t> threads =
+      parse_u64_list(req, "threads", "threads", {2, 4, 8});
+  spec.grid.thread_counts.clear();
+  for (const std::uint64_t t : threads) {
+    spec.grid.thread_counts.push_back(static_cast<CoreCount>(t));
+  }
+  spec.cores = default_cores;
+  if (const JsonValue* v = req.find("cores")) {
+    const std::uint64_t n = v->as_u64();
+    if (n == 0) throw BadRequest("cores: must be positive");
+    spec.cores = static_cast<CoreCount>(n);
+  }
+  if (const JsonValue* v = req.find("memory_model")) {
+    spec.memory_model = v->as_bool();
+  }
+  spec.grid.memory_models = {spec.memory_model};
+  return spec;
+}
+
+/// Canonical request fingerprint for the result cache: every dimension the
+/// computation reads, rendered through json_dump's sorted-key form. Two
+/// requests differing only in field order or defaulted fields collide here,
+/// which is exactly what makes the cache effective.
+JsonValue canonical_grid_json(const GridSpec& spec) {
+  JsonValue c;
+  JsonValue::Array methods, paradigms, schedules, chunks, threads;
+  for (const auto m : spec.grid.methods) methods.emplace_back(wire_name(m));
+  for (const auto p : spec.grid.paradigms) paradigms.emplace_back(wire_name(p));
+  for (const auto s : spec.grid.schedules) schedules.emplace_back(wire_name(s));
+  for (const auto ch : spec.grid.chunks) chunks.emplace_back(ch);
+  for (const auto t : spec.grid.thread_counts) {
+    threads.emplace_back(static_cast<std::uint64_t>(t));
+  }
+  c.set("methods", JsonValue(std::move(methods)));
+  c.set("paradigms", JsonValue(std::move(paradigms)));
+  c.set("schedules", JsonValue(std::move(schedules)));
+  c.set("chunks", JsonValue(std::move(chunks)));
+  c.set("threads", JsonValue(std::move(threads)));
+  c.set("cores", JsonValue(static_cast<std::uint64_t>(spec.cores)));
+  c.set("memory_model", JsonValue(spec.memory_model));
+  return c;
+}
+
+JsonValue cell_json(const core::SweepCell& cell) {
+  JsonValue c;
+  c.set("method", JsonValue(wire_name(cell.point.method)));
+  c.set("paradigm", JsonValue(wire_name(cell.point.paradigm)));
+  c.set("schedule", JsonValue(wire_name(cell.point.schedule)));
+  c.set("chunk", JsonValue(cell.point.chunk));
+  c.set("threads", JsonValue(static_cast<std::uint64_t>(cell.point.threads)));
+  c.set("memory_model", JsonValue(cell.point.memory_model));
+  c.set("speedup", JsonValue(cell.estimate.speedup));
+  c.set("parallel_cycles", JsonValue(cell.estimate.parallel_cycles));
+  c.set("serial_cycles", JsonValue(cell.estimate.serial_cycles));
+  return c;
+}
+
+JsonValue candidate_json(const core::Candidate& c) {
+  JsonValue v;
+  v.set("paradigm", JsonValue(wire_name(c.paradigm)));
+  v.set("schedule", JsonValue(wire_name(c.schedule)));
+  v.set("threads", JsonValue(static_cast<std::uint64_t>(c.threads)));
+  v.set("speedup", JsonValue(c.speedup));
+  v.set("efficiency", JsonValue(c.efficiency));
+  return v;
+}
+
+JsonValue timer_json(const obs::TimerStat& t) {
+  JsonValue v;
+  v.set("count", JsonValue(t.count));
+  v.set("total", JsonValue(t.total));
+  v.set("min", JsonValue(t.count == 0 ? std::uint64_t{0} : t.min));
+  v.set("max", JsonValue(t.max));
+  v.set("mean", JsonValue(t.mean()));
+  return v;
+}
+
+// One armed server for signal-driven shutdown (see arm_signal_shutdown).
+std::atomic<int> g_signal_shutdown_fd{-1};
+std::vector<int> g_armed_signals;
+
+void signal_shutdown_handler(int) {
+  const int fd = g_signal_shutdown_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t r = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.queue_limit == 0) config_.queue_limit = 1;
+  cache_ = std::make_unique<ResultCache>(config_.cache_bytes,
+                                         config_.cache_shards);
+}
+
+Server::~Server() {
+  if (started_.load() && !stopped_.load()) stop();
+  close_quiet(shutdown_pipe_[0]);
+  close_quiet(shutdown_pipe_[1]);
+}
+
+void Server::start() {
+  if (started_.exchange(true)) throw std::runtime_error("serve: already started");
+  if (config_.socket_path.empty()) {
+    throw std::runtime_error("serve: empty socket path");
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("serve: socket path too long: " +
+                             config_.socket_path);
+  }
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+
+  if (::pipe(shutdown_pipe_) != 0) {
+    throw std::runtime_error(std::string("serve: pipe: ") + std::strerror(errno));
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket: ") + std::strerror(errno));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    if (errno == EADDRINUSE) {
+      // A stale socket file from a crashed daemon is reclaimable iff nobody
+      // answers on it; a live listener is a hard error.
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      const bool live =
+          probe >= 0 && ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                                  sizeof addr) == 0;
+      if (probe >= 0) ::close(probe);
+      if (live) {
+        close_quiet(listen_fd_);
+        throw std::runtime_error("serve: '" + config_.socket_path +
+                                 "' already has a live server");
+      }
+      ::unlink(config_.socket_path.c_str());
+      if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof addr) != 0) {
+        close_quiet(listen_fd_);
+        throw std::runtime_error(std::string("serve: bind: ") +
+                                 std::strerror(errno));
+      }
+    } else {
+      close_quiet(listen_fd_);
+      throw std::runtime_error(std::string("serve: bind: ") +
+                               std::strerror(errno));
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    close_quiet(listen_fd_);
+    throw std::runtime_error(std::string("serve: listen: ") + std::strerror(errno));
+  }
+
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_shutdown() {
+  if (stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  if (shutdown_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t r = ::write(shutdown_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::wait() {
+  if (!started_.load() || stopped_.load()) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  reap_connections(/*join_all=*/true);
+  for (std::thread& th : workers_) {
+    if (th.joinable()) th.join();
+  }
+  close_quiet(listen_fd_);
+  if (!config_.socket_path.empty()) ::unlink(config_.socket_path.c_str());
+  stopped_.store(true);
+}
+
+void Server::stop() {
+  request_shutdown();
+  wait();
+}
+
+void Server::reap_connections(bool join_all) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (join_all || (*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->th.joinable()) (*it)->th.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {shutdown_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(fds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) {
+      request_shutdown();  // byte on the pipe (e.g. from a signal handler)
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    // Bound mid-frame stalls so a wedged client cannot hold up the drain;
+    // idle-between-frames clients are handled by the poll() in
+    // connection_loop, not this timeout.
+    timeval rcv_timeout{};
+    rcv_timeout.tv_sec = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout, sizeof rcv_timeout);
+    connections_total_.add(1);
+    reap_connections(/*join_all=*/false);
+    auto slot = std::make_unique<ConnSlot>();
+    ConnSlot* raw = slot.get();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.push_back(std::move(slot));
+    }
+    raw->th = std::thread([this, fd, raw] {
+      connection_loop(fd);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+Server::Admission Server::submit(std::unique_ptr<Job> job) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_closed_) return Admission::Closed;
+    if (queue_.size() >= config_.queue_limit) return Admission::QueueFull;
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return Admission::Accepted;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::unique_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return queue_closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(*job);
+  }
+}
+
+void Server::execute(Job& job) {
+  JsonValue response;
+  if (job.deadline_ms > 0 &&
+      std::chrono::steady_clock::now() >
+          job.enqueued + std::chrono::milliseconds(job.deadline_ms)) {
+    response = error_response(job.op, kErrDeadline,
+                              "deadline of " + std::to_string(job.deadline_ms) +
+                                  " ms expired in queue");
+  } else {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      response = handle(job.request, job.op);
+    } catch (const BadRequest& e) {
+      response = error_response(job.op, kErrBadRequest, e.what());
+    } catch (const JsonError& e) {
+      response = error_response(job.op, kErrBadRequest, e.what());
+    } catch (const std::exception& e) {
+      response = error_response(job.op, kErrInternal, e.what());
+    }
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    request_us_.record(static_cast<std::uint64_t>(us));
+    obs::time_record("serve.request_us", static_cast<std::uint64_t>(us));
+  }
+  job.result.set_value(std::move(response));
+}
+
+void Server::connection_loop(int fd) {
+  std::string payload;
+  for (;;) {
+    // Gate the blocking read on poll() so this thread notices a drain
+    // within one tick even when the client is idle.
+    bool readable = false;
+    while (!readable) {
+      if (stopping_.load()) {
+        ::close(fd);
+        return;
+      }
+      pollfd p{fd, POLLIN, 0};
+      const int r = ::poll(&p, 1, 100);
+      if (r < 0 && errno != EINTR) {
+        ::close(fd);
+        return;
+      }
+      if (r > 0 && (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        readable = true;
+      }
+    }
+
+    try {
+      if (!read_frame(fd, payload)) break;  // clean EOF
+    } catch (const ProtocolError&) {
+      break;  // truncation / oversize / peer error: drop the connection
+    }
+    requests_total_.add(1);
+    obs::count("serve.requests");
+
+    JsonValue response;
+    std::string op = "?";
+    try {
+      const JsonValue request = json_parse(payload);
+      const JsonValue* op_field = request.find("op");
+      if (op_field == nullptr || !op_field->is_string()) {
+        throw JsonError("missing string field 'op'");
+      }
+      op = op_field->as_string();
+      if (op == "ping") {
+        response = ok_response(op);
+      } else if (op == "stats") {
+        response = handle_stats();
+      } else {
+        auto job = std::make_unique<Job>();
+        job->request = request;
+        job->op = op;
+        job->enqueued = std::chrono::steady_clock::now();
+        if (const JsonValue* d = request.find("deadline_ms")) {
+          job->deadline_ms = d->as_u64();
+        }
+        std::future<JsonValue> result = job->result.get_future();
+        switch (submit(std::move(job))) {
+          case Admission::Accepted:
+            response = result.get();
+            break;
+          case Admission::QueueFull:
+            response = error_response(
+                op, kErrOverloaded,
+                "admission queue full (" + std::to_string(config_.queue_limit) +
+                    " requests)");
+            break;
+          case Admission::Closed:
+            response = error_response(op, kErrShuttingDown,
+                                      "server is draining for shutdown");
+            break;
+        }
+      }
+    } catch (const JsonError& e) {
+      response = error_response(op, kErrBadRequest, e.what());
+    }
+
+    note_outcome(response);
+    try {
+      write_frame(fd, json_dump(response));
+    } catch (const ProtocolError&) {
+      break;  // peer vanished mid-response
+    }
+  }
+  ::close(fd);
+}
+
+void Server::note_outcome(const JsonValue& response) {
+  const JsonValue* ok = response.find("ok");
+  if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
+    ok_.add(1);
+    obs::count("serve.requests.ok");
+    return;
+  }
+  const JsonValue* code = response.find("error");
+  const std::string c = code != nullptr && code->is_string() ? code->as_string()
+                                                            : kErrInternal;
+  if (c == kErrBadRequest) bad_request_.add(1);
+  else if (c == kErrNotFound) not_found_.add(1);
+  else if (c == kErrOverloaded) overloaded_.add(1);
+  else if (c == kErrDeadline) deadline_exceeded_.add(1);
+  else if (c == kErrShuttingDown) shutting_down_.add(1);
+  else internal_error_.add(1);
+  obs::count("serve.requests." + c);
+}
+
+JsonValue Server::handle(const JsonValue& request, const std::string& op) {
+  if (op == "upload") return handle_upload(request);
+  if (op == "predict" || op == "sweep") return handle_grid_op(request, op);
+  if (op == "recommend") return handle_recommend(request);
+  if (op == "sleep" && config_.debug_ops) return handle_sleep(request);
+  throw BadRequest("unknown op '" + op + "'");
+}
+
+JsonValue Server::handle_upload(const JsonValue& request) {
+  const JsonValue* data = request.find("pptb");
+  if (data == nullptr || !data->is_string()) {
+    throw BadRequest("upload: missing string field 'pptb'");
+  }
+  std::string bytes;
+  try {
+    bytes = base64_decode(data->as_string());
+  } catch (const ProtocolError& e) {
+    throw BadRequest(std::string("upload: ") + e.what());
+  }
+  ProfileStore::PutResult put;
+  try {
+    put = store_.put(bytes);
+  } catch (const std::exception& e) {
+    throw BadRequest(std::string("upload: ") + e.what());
+  }
+  obs::count("serve.uploads");
+  obs::gauge_set("serve.store.trees", static_cast<double>(store_.size()));
+  JsonValue r = ok_response("upload");
+  r.set("key", JsonValue(put.entry->key));
+  r.set("existed", JsonValue(put.existed));
+  r.set("nodes", JsonValue(static_cast<std::uint64_t>(put.entry->nodes)));
+  r.set("serial_cycles", JsonValue(put.entry->serial_cycles));
+  return r;
+}
+
+JsonValue Server::handle_grid_op(const JsonValue& request,
+                                 const std::string& op) {
+  const JsonValue* key = request.find("key");
+  if (key == nullptr || !key->is_string()) {
+    throw BadRequest(op + ": missing string field 'key'");
+  }
+  const auto entry = store_.find(key->as_string());
+  if (entry == nullptr) {
+    return error_response(op, kErrNotFound,
+                          "no stored tree under key " + key->as_string());
+  }
+  GridSpec spec = parse_grid(request, config_.default_cores);
+  // predict is the single-configuration thread curve: collapse every list
+  // dimension to its first element so the canonical key cannot alias a
+  // multi-method sweep.
+  if (op == "predict") {
+    spec.grid.methods.resize(1);
+    spec.grid.paradigms.resize(1);
+    spec.grid.schedules.resize(1);
+    spec.grid.chunks.resize(1);
+  }
+  const std::string cache_key =
+      entry->key + "|" + op + "|" + json_dump(canonical_grid_json(spec));
+
+  JsonValue r = ok_response(op);
+  if (auto hit = cache_->get(cache_key)) {
+    obs::count("serve.cache.hits");
+    r.set("cached", JsonValue(true));
+    r.set("result", json_parse(*hit));
+    return r;
+  }
+  obs::count("serve.cache.misses");
+
+  spec.grid.base = report::paper_options(spec.grid.methods.front());
+  spec.grid.base.machine.cores = spec.cores;
+  core::SweepOptions sopts;
+  sopts.workers = config_.sweep_workers;
+
+  core::SweepResult res;
+  if (spec.memory_model) {
+    // Burden annotation mutates the tree, so run it on a private expansion;
+    // the shared read-only tree stays untouched for concurrent requests.
+    tree::ProgramTree fresh = tree::unpack(entry->packed);
+    memmodel::CalibrationOptions copts;
+    copts.machine = spec.grid.base.machine;
+    const memmodel::BurdenModel model(memmodel::calibrate(copts));
+    memmodel::annotate_burdens(fresh, model, spec.grid.thread_counts);
+    res = core::sweep(fresh, spec.grid, sopts);
+  } else {
+    res = core::sweep(*entry->unpacked, spec.grid, sopts);
+  }
+
+  JsonValue result;
+  JsonValue::Array cells;
+  cells.reserve(res.cells.size());
+  for (const core::SweepCell& cell : res.cells) cells.push_back(cell_json(cell));
+  result.set("cells", JsonValue(std::move(cells)));
+  JsonValue stats;
+  stats.set("grid_points", JsonValue(static_cast<std::uint64_t>(res.stats.grid_points)));
+  stats.set("section_lookups",
+            JsonValue(static_cast<std::uint64_t>(res.stats.section_lookups)));
+  stats.set("memo_hits", JsonValue(static_cast<std::uint64_t>(res.stats.cache_hits)));
+  stats.set("section_evals",
+            JsonValue(static_cast<std::uint64_t>(res.stats.section_evals)));
+  result.set("stats", std::move(stats));
+
+  cache_->put(cache_key, json_dump(result));
+  r.set("cached", JsonValue(false));
+  r.set("result", std::move(result));
+  return r;
+}
+
+JsonValue Server::handle_recommend(const JsonValue& request) {
+  const JsonValue* key = request.find("key");
+  if (key == nullptr || !key->is_string()) {
+    throw BadRequest("recommend: missing string field 'key'");
+  }
+  const auto entry = store_.find(key->as_string());
+  if (entry == nullptr) {
+    return error_response("recommend", kErrNotFound,
+                          "no stored tree under key " + key->as_string());
+  }
+  core::RecommendOptions ro;
+  ro.base = report::paper_options(core::Method::Synthesizer);
+  const std::vector<std::uint64_t> threads =
+      parse_u64_list(request, "threads", "threads", {2, 4, 6, 8, 10, 12});
+  ro.thread_counts.clear();
+  for (const std::uint64_t t : threads) {
+    ro.thread_counts.push_back(static_cast<CoreCount>(t));
+  }
+  CoreCount cores = config_.default_cores;
+  if (const JsonValue* v = request.find("cores")) {
+    const std::uint64_t n = v->as_u64();
+    if (n == 0) throw BadRequest("cores: must be positive");
+    cores = static_cast<CoreCount>(n);
+  }
+  ro.base.machine.cores = cores;
+  bool memory_model = false;
+  if (const JsonValue* v = request.find("memory_model")) {
+    memory_model = v->as_bool();
+  }
+  ro.base.memory_model = memory_model;
+  if (const JsonValue* v = request.find("efficiency_knee")) {
+    ro.efficiency_knee = v->as_double();
+  }
+
+  JsonValue canonical;
+  JsonValue::Array tlist;
+  for (const auto t : ro.thread_counts) {
+    tlist.emplace_back(static_cast<std::uint64_t>(t));
+  }
+  canonical.set("threads", JsonValue(std::move(tlist)));
+  canonical.set("cores", JsonValue(static_cast<std::uint64_t>(cores)));
+  canonical.set("memory_model", JsonValue(memory_model));
+  canonical.set("efficiency_knee", JsonValue(ro.efficiency_knee));
+  const std::string cache_key =
+      entry->key + "|recommend|" + json_dump(canonical);
+
+  JsonValue r = ok_response("recommend");
+  if (auto hit = cache_->get(cache_key)) {
+    obs::count("serve.cache.hits");
+    r.set("cached", JsonValue(true));
+    r.set("result", json_parse(*hit));
+    return r;
+  }
+  obs::count("serve.cache.misses");
+
+  core::Recommendation rec;
+  try {
+    if (memory_model) {
+      tree::ProgramTree fresh = tree::unpack(entry->packed);
+      memmodel::CalibrationOptions copts;
+      copts.machine = ro.base.machine;
+      const memmodel::BurdenModel model(memmodel::calibrate(copts));
+      memmodel::annotate_burdens(fresh, model, ro.thread_counts);
+      rec = core::recommend(fresh, ro);
+    } else {
+      rec = core::recommend(*entry->unpacked, ro);
+    }
+  } catch (const std::invalid_argument& e) {
+    throw BadRequest(std::string("recommend: ") + e.what());
+  }
+
+  JsonValue result;
+  result.set("best", candidate_json(rec.best));
+  result.set("economical", candidate_json(rec.economical));
+  JsonValue::Array sweep;
+  sweep.reserve(rec.sweep.size());
+  for (const core::Candidate& c : rec.sweep) sweep.push_back(candidate_json(c));
+  result.set("sweep", JsonValue(std::move(sweep)));
+
+  cache_->put(cache_key, json_dump(result));
+  r.set("cached", JsonValue(false));
+  r.set("result", std::move(result));
+  return r;
+}
+
+JsonValue Server::handle_sleep(const JsonValue& request) {
+  const std::uint64_t ms = request.at("ms").as_u64();
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  JsonValue r = ok_response("sleep");
+  r.set("slept_ms", JsonValue(ms));
+  return r;
+}
+
+JsonValue Server::handle_stats() const {
+  const ServerStatsSnapshot s = stats();
+  JsonValue r = ok_response("stats");
+  JsonValue body;
+  body.set("connections", JsonValue(s.connections));
+  body.set("requests", JsonValue(s.requests));
+  body.set("ok", JsonValue(s.ok));
+  JsonValue rejected;
+  rejected.set("bad_request", JsonValue(s.bad_request));
+  rejected.set("not_found", JsonValue(s.not_found));
+  rejected.set("overloaded", JsonValue(s.overloaded));
+  rejected.set("deadline_exceeded", JsonValue(s.deadline_exceeded));
+  rejected.set("shutting_down", JsonValue(s.shutting_down));
+  rejected.set("internal", JsonValue(s.internal_error));
+  body.set("rejected", std::move(rejected));
+  body.set("queue_depth", JsonValue(static_cast<std::uint64_t>(s.queue_depth)));
+  JsonValue store;
+  store.set("trees", JsonValue(static_cast<std::uint64_t>(s.stored_trees)));
+  store.set("bytes", JsonValue(static_cast<std::uint64_t>(s.stored_bytes)));
+  body.set("store", std::move(store));
+  JsonValue cache;
+  cache.set("hits", JsonValue(s.cache.hits));
+  cache.set("misses", JsonValue(s.cache.misses));
+  cache.set("insertions", JsonValue(s.cache.insertions));
+  cache.set("evictions", JsonValue(s.cache.evictions));
+  cache.set("entries", JsonValue(static_cast<std::uint64_t>(s.cache.entries)));
+  cache.set("bytes", JsonValue(static_cast<std::uint64_t>(s.cache.bytes)));
+  cache.set("hit_rate", JsonValue(s.cache.hit_rate()));
+  body.set("cache", std::move(cache));
+  body.set("request_us", timer_json(s.request_us));
+  r.set("stats", std::move(body));
+  return r;
+}
+
+ServerStatsSnapshot Server::stats() const {
+  ServerStatsSnapshot s;
+  s.connections = connections_total_.value();
+  s.requests = requests_total_.value();
+  s.ok = ok_.value();
+  s.bad_request = bad_request_.value();
+  s.not_found = not_found_.value();
+  s.overloaded = overloaded_.value();
+  s.deadline_exceeded = deadline_exceeded_.value();
+  s.shutting_down = shutting_down_.value();
+  s.internal_error = internal_error_.value();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.queue_depth = queue_.size();
+  }
+  s.stored_trees = store_.size();
+  s.stored_bytes = store_.total_bytes();
+  s.cache = cache_->stats();
+  s.request_us = request_us_.stat();
+  return s;
+}
+
+void arm_signal_shutdown(Server& server, std::initializer_list<int> signals) {
+  g_signal_shutdown_fd.store(server.shutdown_fd(), std::memory_order_relaxed);
+  for (const int sig : signals) {
+    std::signal(sig, signal_shutdown_handler);
+    g_armed_signals.push_back(sig);
+  }
+}
+
+void disarm_signal_shutdown() {
+  for (const int sig : g_armed_signals) std::signal(sig, SIG_DFL);
+  g_armed_signals.clear();
+  g_signal_shutdown_fd.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace pprophet::serve

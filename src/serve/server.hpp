@@ -1,0 +1,186 @@
+// The prediction service daemon (`pprophet serve`): a unix-domain-socket
+// server answering upload / predict / sweep / recommend / stats requests
+// against a content-addressed ProfileStore, fronted by a sharded LRU
+// ResultCache and executed on a bounded worker pool.
+//
+// Threading model (docs/SERVE.md):
+//  * an accept thread polls the listening socket plus a self-pipe;
+//  * one connection thread per client reads frames, submits compute jobs to
+//    the bounded admission queue, and writes responses in request order;
+//  * `workers` request threads drain the queue and run the handlers (which
+//    in turn use the core::sweep worker pool, so results are bit-identical
+//    to in-process prediction).
+//
+// Backpressure: when the admission queue is full the request is rejected
+// immediately with `overloaded` — the daemon never queues unboundedly.
+// Deadlines: a request carrying "deadline_ms" that is still queued when the
+// budget expires is rejected with `deadline_exceeded` instead of computed.
+// Shutdown: request_shutdown() — or a signal wired via
+// arm_signal_shutdown() — stops accepting connections, lets every admitted
+// request finish and flush its response, then joins all threads (drain, not
+// abort). New requests arriving during the drain get `shutting_down`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <initializer_list>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/json.hpp"
+#include "serve/profile_store.hpp"
+#include "serve/result_cache.hpp"
+
+namespace pprophet::serve {
+
+struct ServerConfig {
+  std::string socket_path;
+  std::size_t workers = 2;          ///< request-execution threads
+  std::size_t queue_limit = 64;     ///< bounded admission queue capacity
+  std::size_t cache_bytes = 64u << 20;  ///< result-cache budget
+  std::size_t cache_shards = 8;
+  /// core::sweep pool width per request (0 = hardware concurrency). Keep
+  /// small: up to `workers` requests each spawn this many sweep threads.
+  std::size_t sweep_workers = 1;
+  CoreCount default_cores = 12;     ///< machine cores when a request omits it
+  /// Enables the test-only "sleep" op that the deterministic backpressure /
+  /// deadline tests park workers with. Off for `pprophet serve`.
+  bool debug_ops = false;
+};
+
+/// Point-in-time server statistics (also the payload of a `stats` request).
+struct ServerStatsSnapshot {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t bad_request = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t shutting_down = 0;
+  std::uint64_t internal_error = 0;
+  std::size_t queue_depth = 0;
+  std::size_t stored_trees = 0;
+  std::size_t stored_bytes = 0;
+  ResultCache::Stats cache;
+  obs::TimerStat request_us;  ///< handler latency of queued (compute) ops
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts the accept/worker threads. Throws
+  /// std::runtime_error on bind/listen failure (e.g. a live server already
+  /// owns the path). A stale socket file with no listener is replaced.
+  void start();
+
+  /// Begins a graceful drain; safe to call from any thread, idempotent.
+  /// (Not async-signal-safe — signal handlers must instead write a byte to
+  /// shutdown_fd(), which is what arm_signal_shutdown() installs.)
+  void request_shutdown();
+
+  /// Blocks until the drain completes and every thread has been joined.
+  void wait();
+
+  /// Convenience: request_shutdown() + wait().
+  void stop();
+
+  bool running() const { return started_.load() && !stopped_.load(); }
+  const ServerConfig& config() const { return config_; }
+
+  /// Write end of the shutdown self-pipe: writing one byte triggers the
+  /// same drain as request_shutdown(), and write(2) is async-signal-safe.
+  int shutdown_fd() const { return shutdown_pipe_[1]; }
+
+  ServerStatsSnapshot stats() const;
+
+ private:
+  struct Job {
+    JsonValue request;
+    std::string op;
+    std::chrono::steady_clock::time_point enqueued;
+    std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
+    std::promise<JsonValue> result;
+  };
+
+  /// One accepted connection: thread + completion flag so the accept loop
+  /// can reap finished handlers instead of accumulating joinable threads.
+  struct ConnSlot {
+    std::thread th;
+    std::atomic<bool> done{false};
+  };
+
+  enum class Admission : std::uint8_t { Accepted, QueueFull, Closed };
+
+  void accept_loop();
+  void worker_loop();
+  void connection_loop(int fd);
+  Admission submit(std::unique_ptr<Job> job);
+  void execute(Job& job);
+  void reap_connections(bool join_all);
+
+  // Request handlers (queued ops run on worker threads; ping/stats are
+  // answered inline by the connection thread).
+  JsonValue handle(const JsonValue& request, const std::string& op);
+  JsonValue handle_upload(const JsonValue& request);
+  JsonValue handle_grid_op(const JsonValue& request, const std::string& op);
+  JsonValue handle_recommend(const JsonValue& request);
+  JsonValue handle_sleep(const JsonValue& request);
+  JsonValue handle_stats() const;
+
+  void note_outcome(const JsonValue& response);
+
+  ServerConfig config_;
+  ProfileStore store_;
+  std::unique_ptr<ResultCache> cache_;
+
+  int listen_fd_ = -1;
+  int shutdown_pipe_[2] = {-1, -1};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Job>> queue_;
+  bool queue_closed_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex conn_mu_;
+  std::list<std::unique_ptr<ConnSlot>> connections_;
+
+  // Outcome counters; plain atomics so the stats op needs no lock.
+  obs::Counter connections_total_;
+  obs::Counter requests_total_;
+  obs::Counter ok_;
+  obs::Counter bad_request_;
+  obs::Counter not_found_;
+  obs::Counter overloaded_;
+  obs::Counter deadline_exceeded_;
+  obs::Counter shutting_down_;
+  obs::Counter internal_error_;
+  obs::Timer request_us_;
+};
+
+/// Installs a handler for each signal in `signals` (e.g. SIGTERM, SIGINT)
+/// that triggers `server`'s graceful drain via its self-pipe. Only one
+/// server can be armed at a time; disarm restores SIG_DFL.
+void arm_signal_shutdown(Server& server, std::initializer_list<int> signals);
+void disarm_signal_shutdown();
+
+}  // namespace pprophet::serve

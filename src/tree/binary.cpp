@@ -9,7 +9,12 @@ namespace pprophet::tree {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'P', 'T', 'B'};
-constexpr std::uint8_t kVersion = 1;
+// v1: dictionary + top refs. v2 appends per-instance top-level section
+// counters (paper §IV-B), so profiled trees survive the binary round trip
+// with everything the memory model needs. Writers emit the lowest version
+// that can represent the tree; readers accept both.
+constexpr std::uint8_t kVersionPlain = 1;
+constexpr std::uint8_t kVersionCounters = 2;
 
 void put_u8(std::ostream& os, std::uint8_t v) {
   os.put(static_cast<char>(v));
@@ -48,7 +53,9 @@ std::uint64_t get_varint(std::istream& is) {
 
 void write_packed_binary(std::ostream& os, const PackedTree& packed) {
   os.write(kMagic, sizeof kMagic);
-  put_u8(os, kVersion);
+  const std::uint8_t version =
+      packed.top_counters.empty() ? kVersionPlain : kVersionCounters;
+  put_u8(os, version);
   put_varint(os, packed.dictionary.size());
   for (const PackedTree::Pattern& p : packed.dictionary) {
     put_u8(os, static_cast<std::uint8_t>(p.kind));
@@ -66,6 +73,16 @@ void write_packed_binary(std::ostream& os, const PackedTree& packed) {
     put_varint(os, r.pattern);
     put_varint(os, r.repeat);
   }
+  if (version >= kVersionCounters) {
+    put_varint(os, packed.top_counters.size());
+    for (const auto& [idx, c] : packed.top_counters) {
+      put_varint(os, idx);
+      put_varint(os, c.instructions);
+      put_varint(os, c.cycles);
+      put_varint(os, c.llc_misses);
+      put_varint(os, c.llc_writebacks);
+    }
+  }
   if (!os) throw std::runtime_error("pptb: write failure");
 }
 
@@ -76,7 +93,7 @@ PackedTree read_packed_binary(std::istream& is) {
     throw std::runtime_error("pptb: bad magic");
   }
   const std::uint8_t version = get_u8(is);
-  if (version != kVersion) {
+  if (version != kVersionPlain && version != kVersionCounters) {
     throw std::runtime_error("pptb: unsupported version " +
                              std::to_string(version));
   }
@@ -120,6 +137,27 @@ PackedTree read_packed_binary(std::istream& is) {
     }
     if (r.repeat == 0) throw std::runtime_error("pptb: zero repeat");
     packed.top.push_back(r);
+  }
+  if (version >= kVersionCounters) {
+    const std::uint64_t n = get_varint(is);
+    if (n > packed.top.size()) {
+      throw std::runtime_error("pptb: more counter records than top refs");
+    }
+    packed.top_counters.reserve(n);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t idx = get_varint(is);
+      if (idx >= packed.top.size() || (i > 0 && idx <= prev)) {
+        throw std::runtime_error("pptb: bad counters index");
+      }
+      prev = idx;
+      SectionCounters c;
+      c.instructions = get_varint(is);
+      c.cycles = get_varint(is);
+      c.llc_misses = get_varint(is);
+      c.llc_writebacks = get_varint(is);
+      packed.top_counters.emplace_back(static_cast<std::uint32_t>(idx), c);
+    }
   }
   return packed;
 }

@@ -1,9 +1,13 @@
 // Binary storage of dictionary-packed program trees.
 //
 // The paper's trees reach GBs before compression (§VI-B); the on-disk story
-// matters for "profile once, predict many times" workflows. Format "PPTB"
-// v1: little-endian fixed-width header + LEB128 varints for counts, lengths
-// and references — repetitive trees shrink far below the text format.
+// matters for "profile once, predict many times" workflows — it is also the
+// upload format of the prediction service (src/serve, docs/SERVE.md).
+// Format "PPTB": little-endian fixed-width header + LEB128 varints for
+// counts, lengths and references — repetitive trees shrink far below the
+// text format. Version 1 carries the dictionary + top refs; version 2
+// appends top-level section memory counters (written only when present, so
+// unprofiled trees keep their v1 byte encoding and content hash).
 #pragma once
 
 #include <iosfwd>

@@ -229,6 +229,10 @@ PackedTree pack(const ProgramTree& tree) {
   Packer packer;
   if (tree.root) {
     for (const auto& c : tree.root->children()) {
+      if (c->counters() != nullptr) {
+        packer.out.top_counters.emplace_back(
+            static_cast<std::uint32_t>(packer.out.top.size()), *c->counters());
+      }
       packer.out.top.push_back({packer.intern(*c), c->repeat()});
     }
   }
@@ -247,6 +251,12 @@ ProgramTree unpack(const PackedTree& packed) {
   tree.root = std::make_unique<Node>(NodeKind::Root, "root");
   for (const auto& ref : packed.top) {
     tree.root->add_child(expand(packed, ref));
+  }
+  for (const auto& [idx, counters] : packed.top_counters) {
+    if (idx >= tree.root->children().size()) {
+      throw std::runtime_error("PackedTree: counters index out of range");
+    }
+    tree.root->child(idx)->set_counters(counters);
   }
   fill_aggregate_lengths(*tree.root);
   return tree;

@@ -85,6 +85,11 @@ struct PackedTree {
   };
   std::vector<Pattern> dictionary;
   std::vector<Ref> top;
+  /// Per-instance memory counters of top-level sections (paper §IV-B),
+  /// keyed by index into `top`, sorted ascending. Patterns dedupe by shape,
+  /// so counters — which differ between same-shaped sections — live on the
+  /// instance refs, not the dictionary. Empty for unprofiled trees.
+  std::vector<std::pair<std::uint32_t, SectionCounters>> top_counters;
 
   std::size_t approx_bytes() const;
 };

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "serve/server.hpp"
 #include "tree/serialize.hpp"
 #include "workloads/test_patterns.hpp"
 
@@ -321,6 +323,141 @@ TEST_F(CliTest, SweepCsvDashStreamsToStdout) {
       << s;
   EXPECT_EQ(s.find("|"), std::string::npos);
   EXPECT_NE(err_.str().find("memo hit rate"), std::string::npos);
+}
+
+// --- robustness: every bad invocation is one clear line, nonzero exit ----
+
+TEST_F(CliTest, UnknownFlagIsOneLineError) {
+  EXPECT_FALSE(parse({"predict", "--tree", tree_path_, "--zap"}).has_value());
+  const std::string e = err_.str();
+  EXPECT_NE(e.find("unknown option '--zap'"), std::string::npos);
+  EXPECT_NE(e.find("pprophet help"), std::string::npos);
+  // One line: no usage dump.
+  EXPECT_EQ(std::count(e.begin(), e.end(), '\n'), 1);
+}
+
+TEST_F(CliTest, UnknownCommandIsOneLineError) {
+  EXPECT_FALSE(parse({"frobnicate"}).has_value());
+  const std::string e = err_.str();
+  EXPECT_NE(e.find("unknown command 'frobnicate'"), std::string::npos);
+  EXPECT_EQ(std::count(e.begin(), e.end(), '\n'), 1);
+}
+
+TEST_F(CliTest, MissingCommandIsOneLineError) {
+  EXPECT_FALSE(parse({}).has_value());
+  const std::string e = err_.str();
+  EXPECT_NE(e.find("missing command"), std::string::npos);
+  EXPECT_EQ(std::count(e.begin(), e.end(), '\n'), 1);
+}
+
+TEST_F(CliTest, HelpCommandPrintsUsageAndSucceeds) {
+  const auto o = parse({"help"});
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(run_cmd(*o), 0);
+  EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+  EXPECT_NE(out_.str().find("pprophet serve"), std::string::npos);
+}
+
+TEST_F(CliTest, DirectoryAsTreeIsOneLineError) {
+  Options o;
+  o.command = "inspect";
+  o.tree_path = testing::TempDir();
+  EXPECT_EQ(run_cmd(o), 1);
+  const std::string e = err_.str();
+  EXPECT_NE(e.find("is a directory"), std::string::npos);
+  EXPECT_EQ(std::count(e.begin(), e.end(), '\n'), 1);
+}
+
+TEST_F(CliTest, ServeRequiresSocket) {
+  const auto o = parse({"serve"});
+  ASSERT_TRUE(o.has_value());  // --tree is not required for serve
+  EXPECT_EQ(run_cmd(*o), 1);
+  EXPECT_NE(err_.str().find("--socket"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeFlagParsing) {
+  const auto o = parse({"serve", "--socket", "/tmp/pp.sock",
+                        "--serve-workers", "3", "--queue-limit", "9",
+                        "--cache-mb", "16"});
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->socket_path, "/tmp/pp.sock");
+  EXPECT_EQ(o->serve_workers, 3u);
+  EXPECT_EQ(o->queue_limit, 9u);
+  EXPECT_EQ(o->cache_mb, 16u);
+  EXPECT_FALSE(parse({"serve", "--socket"}).has_value());  // missing value
+  EXPECT_FALSE(parse({"serve", "--socket", "s", "--queue-limit", "0"}));
+  EXPECT_FALSE(parse({"serve", "--socket", "s", "--cache-mb", "-4"}));
+}
+
+TEST_F(CliTest, ClientRequiresSocketOpAndTree) {
+  const auto no_socket = parse({"client", "--op", "sweep"});
+  ASSERT_TRUE(no_socket.has_value());
+  EXPECT_EQ(run_cmd(*no_socket), 1);
+  EXPECT_NE(err_.str().find("--socket"), std::string::npos);
+
+  err_.str("");
+  const auto bad_op = parse({"client", "--socket", "/tmp/x.sock", "--op",
+                             "explode"});
+  ASSERT_TRUE(bad_op.has_value());
+  EXPECT_EQ(run_cmd(*bad_op), 1);
+  EXPECT_NE(err_.str().find("unknown client --op 'explode'"),
+            std::string::npos);
+
+  err_.str("");
+  const auto no_tree =
+      parse({"client", "--socket", "/tmp/x.sock", "--op", "sweep"});
+  ASSERT_TRUE(no_tree.has_value());
+  EXPECT_EQ(run_cmd(*no_tree), 1);
+  EXPECT_NE(err_.str().find("needs --tree FILE or --key HASH"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ClientWithDeadSocketFailsCleanly) {
+  Options o;
+  o.command = "client";
+  o.socket_path = testing::TempDir() + "no_such_daemon.sock";
+  o.op = "ping";
+  EXPECT_EQ(run_cmd(o), 1);
+  EXPECT_NE(err_.str().find("cannot connect"), std::string::npos);
+}
+
+// End-to-end over a real socket: serve in a background thread, drive it
+// with the client command, drain via the server handle.
+TEST_F(CliTest, ClientTalksToInProcessServer) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = testing::TempDir() + "cli_serve.sock";
+  cfg.workers = 2;
+  cfg.sweep_workers = 1;
+  serve::Server server(cfg);
+  server.start();
+
+  Options o;
+  o.command = "client";
+  o.socket_path = cfg.socket_path;
+  o.op = "sweep";
+  o.tree_path = tree_path_;
+  o.threads = {2, 4};
+  EXPECT_EQ(run_cmd(o), 0);
+  const std::string s = out_.str();
+  EXPECT_NE(s.find("uploaded"), std::string::npos);
+  EXPECT_NE(s.find("speedup"), std::string::npos);
+  EXPECT_NE(s.find("sweep served freshly"), std::string::npos);
+
+  // Same request again: the CLI reports the cache hit.
+  out_.str("");
+  EXPECT_EQ(run_cmd(o), 0);
+  EXPECT_NE(out_.str().find("sweep served from cache"), std::string::npos);
+
+  o.op = "recommend";
+  out_.str("");
+  EXPECT_EQ(run_cmd(o), 0);
+  EXPECT_NE(out_.str().find("best:"), std::string::npos);
+
+  o.op = "stats";
+  out_.str("");
+  EXPECT_EQ(run_cmd(o), 0);
+  EXPECT_NE(out_.str().find("\"cache\""), std::string::npos);
+  server.stop();
 }
 
 TEST_F(CliTest, PredictCsvDashStreamsToStdout) {

@@ -85,5 +85,72 @@ TEST(Recommend, RejectsEmptySweep) {
   EXPECT_THROW(recommend(balanced_loop(), o), std::invalid_argument);
 }
 
+TEST(Recommend, RejectsEmptyParadigmAndScheduleDimensions) {
+  // Every dimension independently empty must be the same hard error, not a
+  // silent empty sweep.
+  RecommendOptions no_paradigms = quick_options();
+  no_paradigms.paradigms.clear();
+  EXPECT_THROW(recommend(balanced_loop(), no_paradigms),
+               std::invalid_argument);
+  RecommendOptions no_schedules = quick_options();
+  no_schedules.schedules.clear();
+  EXPECT_THROW(recommend(balanced_loop(), no_schedules),
+               std::invalid_argument);
+}
+
+TEST(Recommend, TieBreakingIsDeterministic) {
+  // A perfectly balanced loop makes several schedules score identically;
+  // the stable sort must keep the sweep order reproducible and `best` must
+  // be exactly the front of the sweep on every run.
+  const Recommendation a = recommend(balanced_loop(), quick_options());
+  const Recommendation b = recommend(balanced_loop(), quick_options());
+  ASSERT_EQ(a.sweep.size(), b.sweep.size());
+  for (std::size_t i = 0; i < a.sweep.size(); ++i) {
+    EXPECT_EQ(a.sweep[i].paradigm, b.sweep[i].paradigm) << i;
+    EXPECT_EQ(a.sweep[i].schedule, b.sweep[i].schedule) << i;
+    EXPECT_EQ(a.sweep[i].threads, b.sweep[i].threads) << i;
+    EXPECT_DOUBLE_EQ(a.sweep[i].speedup, b.sweep[i].speedup) << i;
+  }
+  EXPECT_EQ(a.best.paradigm, b.best.paradigm);
+  EXPECT_EQ(a.best.schedule, b.best.schedule);
+  EXPECT_EQ(a.best.threads, b.best.threads);
+  // Ties on speedup must not let a later entry overtake the front.
+  EXPECT_DOUBLE_EQ(a.best.speedup, a.sweep.front().speedup);
+}
+
+TEST(Recommend, EfficiencyIsSpeedupOverThreads) {
+  const Recommendation r = recommend(balanced_loop(), quick_options());
+  for (const Candidate& c : r.sweep) {
+    ASSERT_GT(c.threads, 0u);
+    EXPECT_DOUBLE_EQ(c.efficiency,
+                     c.speedup / static_cast<double>(c.threads));
+  }
+}
+
+TEST(Recommend, SingleThreadCountStillRecommends) {
+  RecommendOptions o = quick_options();
+  o.thread_counts = {4};
+  const Recommendation r = recommend(balanced_loop(), o);
+  EXPECT_EQ(r.best.threads, 4u);
+  EXPECT_EQ(r.economical.threads, 4u);
+  EXPECT_EQ(r.sweep.size(), 4u + 1u);  // 4 OpenMP schedules + Cilk
+}
+
+TEST(Recommend, SynthesizerStaysTheDefaultEngine) {
+  // The advisor always predicts with the Synthesizer (the paper's most
+  // accurate emulator), even when the caller seeds base with another
+  // method — only machine/runtime parameters may leak through base.
+  RecommendOptions o = quick_options();
+  const Recommendation with_syn = recommend(balanced_loop(), o);
+  o.base = report::paper_options(Method::FastForward);
+  o.base.method = Method::FastForward;
+  const Recommendation with_ff = recommend(balanced_loop(), o);
+  ASSERT_EQ(with_syn.sweep.size(), with_ff.sweep.size());
+  for (std::size_t i = 0; i < with_syn.sweep.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with_syn.sweep[i].speedup, with_ff.sweep[i].speedup)
+        << i;
+  }
+}
+
 }  // namespace
 }  // namespace pprophet::core

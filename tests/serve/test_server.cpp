@@ -1,0 +1,414 @@
+// Loopback integration tests for the prediction service: real unix-domain
+// sockets, concurrent client threads, graceful drain. Everything here also
+// runs under PPROPHET_SANITIZE=thread via the `server` / `concurrency` ctest
+// labels.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/sweep.hpp"
+#include "report/experiment.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "tree/binary.hpp"
+#include "tree/compress.hpp"
+#include "workloads/test_patterns.hpp"
+
+namespace pprophet::serve {
+namespace {
+
+std::string sample_pptb() {
+  workloads::Test1Params p;
+  p.i_max = 16;
+  p.lock1_prob = 0.5;
+  tree::ProgramTree t = workloads::run_test1(p);
+  tree::compress(t);
+  return tree::to_binary(tree::pack(t));
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerConfig base_config(const char* tag) {
+    ServerConfig cfg;
+    cfg.socket_path = testing::TempDir() + "pp_serve_" + tag + ".sock";
+    cfg.workers = 2;
+    cfg.sweep_workers = 1;
+    cfg.debug_ops = true;
+    return cfg;
+  }
+};
+
+TEST_F(ServerTest, PingStatsAndUnknownOp) {
+  Server server(base_config("ping"));
+  server.start();
+  Client c;
+  c.connect(server.config().socket_path);
+
+  const JsonValue pong = c.call("ping");
+  EXPECT_TRUE(pong.at("ok").as_bool());
+
+  const JsonValue bad = c.call("frobnicate");
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").as_string(), kErrBadRequest);
+
+  const JsonValue stats = c.call("stats");
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  const JsonValue& body = stats.at("stats");
+  EXPECT_GE(body.at("requests").as_u64(), 2u);
+  EXPECT_EQ(body.at("rejected").at("bad_request").as_u64(), 1u);
+  EXPECT_EQ(body.at("store").at("trees").as_u64(), 0u);
+  server.stop();
+}
+
+TEST_F(ServerTest, UploadIsIdempotentAcrossClients) {
+  Server server(base_config("upload"));
+  server.start();
+  const std::string bytes = sample_pptb();
+
+  Client a, b;
+  a.connect(server.config().socket_path);
+  b.connect(server.config().socket_path);
+  const std::string key_a = a.upload(bytes);
+  const std::string key_b = b.upload(bytes);
+  EXPECT_EQ(key_a, key_b);
+
+  JsonValue req;
+  req.set("op", JsonValue("upload"));
+  req.set("pptb", JsonValue(base64_encode(bytes)));
+  const JsonValue resp = b.call(req);
+  EXPECT_TRUE(resp.at("existed").as_bool());
+  EXPECT_GT(resp.at("serial_cycles").as_u64(), 0u);
+
+  const ServerStatsSnapshot s = server.stats();
+  EXPECT_EQ(s.stored_trees, 1u);
+  EXPECT_EQ(s.stored_bytes, bytes.size());
+  server.stop();
+}
+
+TEST_F(ServerTest, ErrorPaths) {
+  Server server(base_config("errors"));
+  server.start();
+  Client c;
+  c.connect(server.config().socket_path);
+
+  // Unknown tree key.
+  JsonValue miss;
+  miss.set("op", JsonValue("predict"));
+  miss.set("key", JsonValue(std::string(32, '0')));
+  const JsonValue not_found = c.call(miss);
+  EXPECT_FALSE(not_found.at("ok").as_bool());
+  EXPECT_EQ(not_found.at("error").as_string(), kErrNotFound);
+
+  // Malformed upload payloads.
+  JsonValue bad_b64;
+  bad_b64.set("op", JsonValue("upload"));
+  bad_b64.set("pptb", JsonValue("!!!not base64!!!"));
+  EXPECT_EQ(c.call(bad_b64).at("error").as_string(), kErrBadRequest);
+  JsonValue bad_tree;
+  bad_tree.set("op", JsonValue("upload"));
+  bad_tree.set("pptb", JsonValue(base64_encode("not a pptb stream")));
+  EXPECT_EQ(c.call(bad_tree).at("error").as_string(), kErrBadRequest);
+
+  // Bad request shapes: missing op, non-JSON frame, bad grid values.
+  EXPECT_EQ(c.call(JsonValue(JsonValue::Object{}))
+                .at("error")
+                .as_string(),
+            kErrBadRequest);
+
+  const std::string key = c.upload(sample_pptb());
+  JsonValue bad_threads;
+  bad_threads.set("op", JsonValue("sweep"));
+  bad_threads.set("key", JsonValue(key));
+  bad_threads.set("threads", JsonValue(JsonValue::Array{JsonValue(0)}));
+  EXPECT_EQ(c.call(bad_threads).at("error").as_string(), kErrBadRequest);
+  JsonValue bad_method;
+  bad_method.set("op", JsonValue("predict"));
+  bad_method.set("key", JsonValue(key));
+  bad_method.set("method", JsonValue("warp"));
+  EXPECT_EQ(c.call(bad_method).at("error").as_string(), kErrBadRequest);
+  server.stop();
+}
+
+// The acceptance-criteria test: the same sweep from 8 concurrent clients is
+// bit-identical to core::sweep run in-process on the identical tree, and a
+// repeat round is served from the result cache.
+TEST_F(ServerTest, ConcurrentSweepsBitIdenticalToInProcessAndCached) {
+  ServerConfig cfg = base_config("identity");
+  cfg.workers = 4;
+  Server server(cfg);
+  server.start();
+  const std::string bytes = sample_pptb();
+
+  // In-process reference over the exact tree the server stores.
+  core::SweepGrid grid;
+  grid.methods = {core::Method::FastForward, core::Method::Synthesizer};
+  grid.paradigms = {core::Paradigm::OpenMP};
+  grid.schedules = {runtime::OmpSchedule::StaticCyclic,
+                    runtime::OmpSchedule::Dynamic};
+  grid.chunks = {1};
+  grid.thread_counts = {2, 4, 8};
+  grid.memory_models = {false};
+  grid.base = report::paper_options(grid.methods.front());
+  grid.base.machine.cores = 12;
+  const tree::ProgramTree reference_tree =
+      tree::unpack(tree::from_binary(bytes));
+  const core::SweepResult expected = core::sweep(reference_tree, grid);
+
+  JsonValue request;
+  request.set("op", JsonValue("sweep"));
+  request.set("methods", JsonValue(JsonValue::Array{JsonValue("ff"),
+                                                    JsonValue("syn")}));
+  request.set("schedules", JsonValue(JsonValue::Array{JsonValue("static1"),
+                                                      JsonValue("dynamic")}));
+  request.set("threads",
+              JsonValue(JsonValue::Array{JsonValue(2), JsonValue(4),
+                                         JsonValue(6 + 2)}));
+  request.set("cores", JsonValue(12));
+
+  const auto check_response = [&](const JsonValue& resp) {
+    ASSERT_TRUE(resp.at("ok").as_bool()) << json_dump(resp);
+    const JsonValue::Array& cells = resp.at("result").at("cells").as_array();
+    ASSERT_EQ(cells.size(), expected.cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const core::SweepCell& want = expected.cells[i];
+      const JsonValue& got = cells[i];
+      EXPECT_EQ(got.at("method").as_string(), wire_name(want.point.method));
+      EXPECT_EQ(got.at("schedule").as_string(),
+                wire_name(want.point.schedule));
+      EXPECT_EQ(got.at("threads").as_u64(), want.point.threads);
+      // Bit-identical: integer cycles exact, speedup exact to the last bit
+      // (%.17g round-trips IEEE doubles).
+      EXPECT_EQ(got.at("serial_cycles").as_u64(),
+                want.estimate.serial_cycles);
+      EXPECT_EQ(got.at("parallel_cycles").as_u64(),
+                want.estimate.parallel_cycles);
+      EXPECT_EQ(got.at("speedup").as_double(), want.estimate.speedup);
+    }
+  };
+
+  const auto round = [&](bool expect_all_cached) {
+    std::vector<std::thread> clients;
+    std::vector<JsonValue> responses(8);
+    clients.reserve(8);
+    for (int i = 0; i < 8; ++i) {
+      clients.emplace_back([&, i] {
+        Client c;
+        c.connect(server.config().socket_path);
+        JsonValue req = request;
+        req.set("key", JsonValue(c.upload(bytes)));
+        responses[static_cast<std::size_t>(i)] = c.call(req);
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (const JsonValue& resp : responses) {
+      check_response(resp);
+      if (expect_all_cached) EXPECT_TRUE(resp.at("cached").as_bool());
+    }
+  };
+
+  round(/*expect_all_cached=*/false);
+  // Round two repeats the identical request: every response must come from
+  // the result cache, and the cache hit rate is visibly > 0.
+  round(/*expect_all_cached=*/true);
+  const ServerStatsSnapshot s = server.stats();
+  EXPECT_GE(s.cache.hits, 8u);
+  EXPECT_GT(s.cache.hit_rate(), 0.0);
+  EXPECT_EQ(s.stored_trees, 1u);  // 16 uploads deduped to one tree
+  server.stop();
+}
+
+TEST_F(ServerTest, PredictAndRecommendRoundTrip) {
+  Server server(base_config("predict"));
+  server.start();
+  Client c;
+  c.connect(server.config().socket_path);
+  const std::string key = c.upload(sample_pptb());
+
+  JsonValue predict;
+  predict.set("op", JsonValue("predict"));
+  predict.set("key", JsonValue(key));
+  predict.set("method", JsonValue("syn"));
+  predict.set("threads",
+              JsonValue(JsonValue::Array{JsonValue(2), JsonValue(4)}));
+  const JsonValue presp = c.call(predict);
+  ASSERT_TRUE(presp.at("ok").as_bool()) << json_dump(presp);
+  ASSERT_EQ(presp.at("result").at("cells").as_array().size(), 2u);
+  for (const JsonValue& cell : presp.at("result").at("cells").as_array()) {
+    EXPECT_GT(cell.at("speedup").as_double(), 0.0);
+  }
+
+  JsonValue rec;
+  rec.set("op", JsonValue("recommend"));
+  rec.set("key", JsonValue(key));
+  rec.set("threads", JsonValue(JsonValue::Array{JsonValue(2), JsonValue(4),
+                                                JsonValue(8)}));
+  const JsonValue rresp = c.call(rec);
+  ASSERT_TRUE(rresp.at("ok").as_bool()) << json_dump(rresp);
+  const JsonValue& best = rresp.at("result").at("best");
+  EXPECT_GE(best.at("speedup").as_double(),
+            rresp.at("result").at("economical").at("speedup").as_double() *
+                0.99);
+  EXPECT_FALSE(rresp.at("result").at("sweep").as_array().empty());
+
+  // The memory-model variant runs against a private tree expansion and must
+  // not corrupt the shared stored tree for later plain requests.
+  JsonValue mm = predict;
+  mm.set("memory_model", JsonValue(true));
+  const JsonValue mresp = c.call(mm);
+  ASSERT_TRUE(mresp.at("ok").as_bool()) << json_dump(mresp);
+  const JsonValue again = c.call(predict);
+  EXPECT_EQ(json_dump(again.at("result")), json_dump(presp.at("result")));
+  server.stop();
+}
+
+TEST_F(ServerTest, BackpressureRejectsWithOverloaded) {
+  ServerConfig cfg = base_config("backpressure");
+  cfg.workers = 1;
+  cfg.queue_limit = 1;
+  Server server(cfg);
+  server.start();
+
+  const auto sleep_req = [](std::uint64_t ms) {
+    JsonValue r;
+    r.set("op", JsonValue("sleep"));
+    r.set("ms", JsonValue(ms));
+    return r;
+  };
+
+  // c1 occupies the single worker; c2 occupies the single queue slot; c3's
+  // request then has nowhere to go and must be rejected immediately.
+  Client c1, c2, c3;
+  c1.connect(server.config().socket_path);
+  c2.connect(server.config().socket_path);
+  c3.connect(server.config().socket_path);
+  JsonValue r1, r2;
+  std::thread t1([&] { r1 = c1.call(sleep_req(600)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::thread t2([&] { r2 = c2.call(sleep_req(0)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const JsonValue rejected = c3.call(sleep_req(0));
+  EXPECT_FALSE(rejected.at("ok").as_bool());
+  EXPECT_EQ(rejected.at("error").as_string(), kErrOverloaded);
+
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(r1.at("ok").as_bool());
+  EXPECT_TRUE(r2.at("ok").as_bool());
+  EXPECT_GE(server.stats().overloaded, 1u);
+  server.stop();
+}
+
+TEST_F(ServerTest, QueuedDeadlineExpiresIntoDeadlineExceeded) {
+  ServerConfig cfg = base_config("deadline");
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+
+  Client c1, c2;
+  c1.connect(server.config().socket_path);
+  c2.connect(server.config().socket_path);
+  JsonValue r1;
+  std::thread t1([&] {
+    JsonValue r;
+    r.set("op", JsonValue("sleep"));
+    r.set("ms", JsonValue(500));
+    r1 = c1.call(r);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Queued behind a 500 ms job with a 50 ms budget: by the time a worker
+  // picks it up the deadline has long expired.
+  JsonValue r;
+  r.set("op", JsonValue("sleep"));
+  r.set("ms", JsonValue(0));
+  r.set("deadline_ms", JsonValue(50));
+  const JsonValue expired = c2.call(r);
+  EXPECT_FALSE(expired.at("ok").as_bool());
+  EXPECT_EQ(expired.at("error").as_string(), kErrDeadline);
+
+  t1.join();
+  EXPECT_TRUE(r1.at("ok").as_bool());
+  EXPECT_GE(server.stats().deadline_exceeded, 1u);
+  server.stop();
+}
+
+TEST_F(ServerTest, SigtermDrainsInFlightRequestsBeforeExit) {
+  ServerConfig cfg = base_config("sigterm");
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  arm_signal_shutdown(server, {SIGTERM});
+
+  JsonValue inflight;
+  std::thread client([&] {
+    Client c;
+    c.connect(server.config().socket_path);
+    JsonValue r;
+    r.set("op", JsonValue("sleep"));
+    r.set("ms", JsonValue(400));
+    inflight = c.call(r);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // The drain must let the admitted 400 ms request finish and flush its
+  // response before wait() returns.
+  std::raise(SIGTERM);
+  server.wait();
+  disarm_signal_shutdown();
+  client.join();
+
+  ASSERT_TRUE(inflight.is_object());
+  EXPECT_TRUE(inflight.at("ok").as_bool());
+  EXPECT_FALSE(server.running());
+  // The socket is gone: new clients cannot connect after the drain.
+  Client late;
+  EXPECT_THROW(late.connect(cfg.socket_path), std::runtime_error);
+}
+
+TEST_F(ServerTest, StaleSocketIsReclaimedLiveSocketIsNot) {
+  ServerConfig cfg = base_config("stale");
+  {
+    // First instance exits uncleanly enough to leave the file behind:
+    // simulate by binding the path and abandoning it.
+    Server first(cfg);
+    first.start();
+    // A second server on the same path must refuse while the first lives.
+    Server conflict(cfg);
+    EXPECT_THROW(conflict.start(), std::runtime_error);
+    first.stop();
+  }
+  // A stale socket file with no listener behind it (crashed daemon) is
+  // reclaimed by the next start().
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, cfg.socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr),
+              0);
+    ::close(fd);  // file stays behind, nobody listens
+  }
+  Server second(cfg);
+  second.start();
+  Client c;
+  c.connect(cfg.socket_path);
+  EXPECT_TRUE(c.call("ping").at("ok").as_bool());
+  second.stop();
+}
+
+}  // namespace
+}  // namespace pprophet::serve

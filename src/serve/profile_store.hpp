@@ -7,6 +7,14 @@
 // clients that profiled the same build independently converge on one stored
 // tree. Each entry keeps the expanded ProgramTree (shared, read-only — the
 // emulators only read trees) so requests never re-parse.
+//
+// Trust assumption: FNV-1a is NOT collision-resistant against an adversary.
+// A malicious uploader could engineer bytes whose key aliases another
+// stored profile, silently serving predictions from the wrong tree. The
+// store therefore assumes every client on the socket shares one trust
+// domain — the unix-socket file permissions are the access-control
+// boundary (docs/SERVE.md). Do not expose the socket across trust
+// boundaries without swapping content_key for a cryptographic hash.
 #pragma once
 
 #include <cstdint>

@@ -258,6 +258,7 @@ void Server::start() {
                                std::strerror(errno));
     }
   }
+  owns_socket_.store(true);
   if (::listen(listen_fd_, 64) != 0) {
     close_quiet(listen_fd_);
     throw std::runtime_error(std::string("serve: listen: ") + std::strerror(errno));
@@ -291,7 +292,9 @@ void Server::wait() {
     if (th.joinable()) th.join();
   }
   close_quiet(listen_fd_);
-  if (!config_.socket_path.empty()) ::unlink(config_.socket_path.c_str());
+  if (owns_socket_.load() && !config_.socket_path.empty()) {
+    ::unlink(config_.socket_path.c_str());
+  }
   stopped_.store(true);
 }
 
@@ -336,6 +339,13 @@ void Server::accept_loop() {
     timeval rcv_timeout{};
     rcv_timeout.tv_sec = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout, sizeof rcv_timeout);
+    // Bound blocking sends the same way: a client that submits requests but
+    // never reads its responses would otherwise park the connection thread
+    // in send() forever and hang the graceful drain. The timeout is
+    // per-send-call no-progress, so a reader draining at any rate is fine.
+    timeval snd_timeout{};
+    snd_timeout.tv_sec = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd_timeout, sizeof snd_timeout);
     connections_total_.add(1);
     reap_connections(/*join_all=*/false);
     auto slot = std::make_unique<ConnSlot>();
@@ -412,6 +422,7 @@ void Server::connection_loop(int fd) {
     bool readable = false;
     while (!readable) {
       if (stopping_.load()) {
+        answer_buffered_shutdown(fd);
         ::close(fd);
         return;
       }
@@ -484,6 +495,42 @@ void Server::connection_loop(int fd) {
     }
   }
   ::close(fd);
+}
+
+void Server::answer_buffered_shutdown(int fd) {
+  // Drain contract (docs/SERVE.md): a request that was fully received
+  // before the drain began is answered `shutting_down`, not dropped with a
+  // bare close. Only already-buffered data counts (poll timeout 0); the
+  // frame cap keeps a client that floods during the drain from delaying it.
+  std::string payload;
+  for (int i = 0; i < 16; ++i) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 0) <= 0 || (p.revents & POLLIN) == 0) return;
+    try {
+      if (!read_frame(fd, payload)) return;  // clean EOF
+    } catch (const ProtocolError&) {
+      return;
+    }
+    requests_total_.add(1);
+    obs::count("serve.requests");
+    std::string op = "?";
+    try {
+      const JsonValue request = json_parse(payload);
+      if (const JsonValue* f = request.find("op"); f != nullptr && f->is_string()) {
+        op = f->as_string();
+      }
+    } catch (const JsonError&) {
+      // Still answer: the client gets shutting_down rather than silence.
+    }
+    JsonValue response = error_response(op, kErrShuttingDown,
+                                        "server is draining for shutdown");
+    note_outcome(response);
+    try {
+      write_frame(fd, json_dump(response));
+    } catch (const ProtocolError&) {
+      return;
+    }
+  }
 }
 
 void Server::note_outcome(const JsonValue& response) {

@@ -129,6 +129,7 @@ class Server {
   void accept_loop();
   void worker_loop();
   void connection_loop(int fd);
+  void answer_buffered_shutdown(int fd);
   Admission submit(std::unique_ptr<Job> job);
   void execute(Job& job);
   void reap_connections(bool join_all);
@@ -153,6 +154,10 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
+  /// True once this instance bound socket_path. Cleanup must only unlink a
+  /// path this instance owns: a start() that lost the path to a live server
+  /// would otherwise delete that server's socket out from under it.
+  std::atomic<bool> owns_socket_{false};
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -383,9 +383,17 @@ TEST_F(ServerTest, StaleSocketIsReclaimedLiveSocketIsNot) {
     // simulate by binding the path and abandoning it.
     Server first(cfg);
     first.start();
-    // A second server on the same path must refuse while the first lives.
-    Server conflict(cfg);
-    EXPECT_THROW(conflict.start(), std::runtime_error);
+    {
+      // A second server on the same path must refuse while the first
+      // lives — and its teardown must not unlink the live server's socket
+      // file (it never owned the path).
+      Server conflict(cfg);
+      EXPECT_THROW(conflict.start(), std::runtime_error);
+    }
+    // After the loser is fully destroyed, the winner still answers.
+    Client still;
+    still.connect(cfg.socket_path);
+    EXPECT_TRUE(still.call("ping").at("ok").as_bool());
     first.stop();
   }
   // A stale socket file with no listener behind it (crashed daemon) is
@@ -408,6 +416,98 @@ TEST_F(ServerTest, StaleSocketIsReclaimedLiveSocketIsNot) {
   c.connect(cfg.socket_path);
   EXPECT_TRUE(c.call("ping").at("ok").as_bool());
   second.stop();
+}
+
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// A request that was fully received (buffered on the connection) but not yet
+// read when the drain begins is answered `shutting_down`, not dropped.
+TEST_F(ServerTest, BufferedRequestDuringDrainGetsShuttingDown) {
+  ServerConfig cfg = base_config("drainbuf");
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+
+  // Occupy the single worker so the raw client's first frame parks its
+  // connection thread on a queued future, leaving the second frame sitting
+  // unread in the socket buffer when the drain begins.
+  Client busy;
+  busy.connect(cfg.socket_path);
+  JsonValue busy_resp;
+  std::thread t([&] {
+    JsonValue r;
+    r.set("op", JsonValue("sleep"));
+    r.set("ms", JsonValue(400));
+    busy_resp = busy.call(r);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const int fd = raw_connect(cfg.socket_path);
+  ASSERT_GE(fd, 0);
+  JsonValue sleep0;
+  sleep0.set("op", JsonValue("sleep"));
+  sleep0.set("ms", JsonValue(0));
+  write_frame(fd, json_dump(sleep0));  // admitted, queued behind `busy`
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  write_frame(fd, json_dump(sleep0));  // buffered: connection thread is busy
+
+  server.request_shutdown();
+
+  // Frame 1 was admitted before the drain: it runs to completion.
+  std::string payload;
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_TRUE(json_parse(payload).at("ok").as_bool()) << payload;
+  // Frame 2 was only buffered: the drain answers it with shutting_down.
+  ASSERT_TRUE(read_frame(fd, payload));
+  const JsonValue second = json_parse(payload);
+  EXPECT_FALSE(second.at("ok").as_bool());
+  EXPECT_EQ(second.at("error").as_string(), kErrShuttingDown);
+  ::close(fd);
+
+  server.wait();
+  t.join();
+  EXPECT_TRUE(busy_resp.at("ok").as_bool());
+  EXPECT_GE(server.stats().shutting_down, 1u);
+}
+
+// A client that pipelines requests but never reads responses eventually
+// wedges its connection thread in send(); the send timeout must unwedge it
+// so the drain still completes instead of hanging in wait() forever.
+TEST_F(ServerTest, NeverReadingClientCannotHangDrain) {
+  Server server(base_config("deadpeer"));
+  server.start();
+
+  const int fd = raw_connect(server.config().socket_path);
+  ASSERT_GE(fd, 0);
+  // Bound our own sends too: once both directions' buffers are full the
+  // server is blocked in send() and we would otherwise block in write.
+  timeval tv{};
+  tv.tv_sec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  JsonValue stats_req;
+  stats_req.set("op", JsonValue("stats"));
+  const std::string frame = json_dump(stats_req);
+  try {
+    for (int i = 0; i < 20000; ++i) write_frame(fd, frame);
+  } catch (const ProtocolError&) {
+    // Buffers full or connection already dropped — both mean the server
+    // side is (or was) wedged in send, which is the scenario under test.
+  }
+  server.stop();  // must return: the wedged connection times out and drops
+  EXPECT_FALSE(server.running());
+  ::close(fd);
 }
 
 }  // namespace

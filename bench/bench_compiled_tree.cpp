@@ -1,0 +1,257 @@
+// Compiled-tree benchmark: the Figure-12/Table-3 grid (methods × paradigms
+// × schedules × chunks × memory-model × core counts) evaluated two ways —
+// the pointer-tree reference path, composed per §IV-E from
+// predict_section_cycles(const tree::Node&), and the flat tree::CompiledTree
+// path (compile once, then core::predict over the arrays for every point).
+// Every cell is checked bit-identical; the binary exits nonzero on any
+// mismatch, so it doubles as a ctest (label: perf). Writes the measured
+// wall times and speedup to BENCH_compiled.json.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/prophet.hpp"
+#include "core/sweep.hpp"
+#include "memmodel/burden.hpp"
+#include "memmodel/calibration.hpp"
+#include "report/experiment.hpp"
+#include "serve/json.hpp"
+#include "tree/compile.hpp"
+#include "tree/compress.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workloads/test_patterns.hpp"
+
+using namespace pprophet;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// §IV-E over the pointer tree, the pre-CompiledTree reference: top-level U
+/// lengths plus every top-level Sec's emulated duration once per repetition.
+core::SpeedupEstimate predict_pointer(const tree::ProgramTree& t,
+                                      CoreCount threads,
+                                      const core::PredictOptions& o) {
+  core::SpeedupEstimate est;
+  est.threads = threads;
+  est.serial_cycles = core::serial_cycles_of(t);
+  Cycles parallel = 0;
+  for (const tree::NodePtr& c : t.top_level()) {
+    if (c->kind() == tree::NodeKind::U) {
+      parallel += c->length() * c->repeat();
+    } else if (c->kind() == tree::NodeKind::Sec) {
+      parallel += core::predict_section_cycles(*c, threads, o) * c->repeat();
+    }
+  }
+  est.parallel_cycles = parallel == 0 ? 1 : parallel;
+  est.speedup = static_cast<double>(est.serial_cycles) /
+                static_cast<double>(est.parallel_cycles);
+  return est;
+}
+
+}  // namespace
+
+int main() {
+  const long seed = util::env_long("PP_SEED", 2012);
+  const long samples = util::env_long("PP_SAMPLES", 3);
+  report::print_header(
+      std::cout, "Compiled tree — flat-array predict vs pointer-tree walk "
+                 "(PP_SEED=" + std::to_string(seed) + ", best of " +
+                 std::to_string(samples) + " runs)");
+
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  tree::ProgramTree t = workloads::run_test2(workloads::random_test2(rng));
+  tree::compress(t);
+  // Annotate burdens up front so the memory-model half of the grid reads
+  // the same β_t tables through both paths.
+  {
+    memmodel::CalibrationOptions copts;
+    copts.machine = report::paper_options(core::Method::Synthesizer).machine;
+    const memmodel::BurdenModel model(memmodel::calibrate(copts));
+    memmodel::annotate_burdens(t, model, report::paper_core_counts());
+  }
+
+  core::SweepGrid grid;
+  grid.methods = {core::Method::FastForward, core::Method::Synthesizer,
+                  core::Method::Suitability, core::Method::GroundTruth};
+  grid.paradigms = {core::Paradigm::OpenMP, core::Paradigm::CilkPlus};
+  grid.schedules = {runtime::OmpSchedule::StaticCyclic,
+                    runtime::OmpSchedule::StaticBlock,
+                    runtime::OmpSchedule::Dynamic};
+  grid.chunks = {1, 4};
+  grid.thread_counts = report::paper_core_counts();
+  grid.memory_models = {false, true};
+  grid.base = report::paper_options(core::Method::Synthesizer);
+  const std::vector<core::SweepPoint> points = grid.points();
+  std::cout << "tree: " << t.node_count() << " nodes, grid: " << points.size()
+            << " points\n";
+
+  const auto options_at = [&](const core::SweepPoint& p) {
+    core::PredictOptions o = grid.base;
+    o.method = p.method;
+    o.paradigm = p.paradigm;
+    o.schedule = p.schedule;
+    o.chunk = p.chunk;
+    o.memory_model = p.memory_model;
+    return o;
+  };
+
+  // Times are reported whole-grid and per method: the machine-replay
+  // methods (SYN/Real) spend their cycles in the vCPU simulation either
+  // way, so the flat-array win concentrates in the analytical emulators.
+  const auto method_index = [](core::Method m) {
+    return static_cast<std::size_t>(m);
+  };
+  const std::size_t kMethods = 4;
+
+  // Pointer-tree reference: walk the Node graph for every point.
+  std::vector<core::SpeedupEstimate> reference;
+  double pointer_ms = 0.0;
+  std::vector<double> pointer_method_ms(kMethods, 0.0);
+  for (long s = 0; s < samples; ++s) {
+    std::vector<core::SpeedupEstimate> run;
+    run.reserve(points.size());
+    std::vector<double> per_method(kMethods, 0.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const core::SweepPoint& p : points) {
+      const auto tp = std::chrono::steady_clock::now();
+      run.push_back(predict_pointer(t, p.threads, options_at(p)));
+      per_method[method_index(p.method)] += ms_since(tp);
+    }
+    const double ms = ms_since(t0);
+    if (s == 0 || ms < pointer_ms) {
+      pointer_ms = ms;
+      pointer_method_ms = per_method;
+    }
+    reference = std::move(run);
+  }
+
+  // Compiled path: one compilation, then flat-array predicts.
+  double compile_ms = 0.0;
+  double compiled_ms = 0.0;
+  std::vector<double> compiled_method_ms(kMethods, 0.0);
+  std::vector<core::SpeedupEstimate> compiled_cells;
+  for (long s = 0; s < samples; ++s) {
+    const auto tc = std::chrono::steady_clock::now();
+    const tree::CompiledTree ct = tree::CompiledTree::compile(t);
+    const double cms = ms_since(tc);
+    if (s == 0 || cms < compile_ms) compile_ms = cms;
+
+    std::vector<core::SpeedupEstimate> run;
+    run.reserve(points.size());
+    std::vector<double> per_method(kMethods, 0.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const core::SweepPoint& p : points) {
+      const auto tp = std::chrono::steady_clock::now();
+      run.push_back(core::predict(ct, p.threads, options_at(p)));
+      per_method[method_index(p.method)] += ms_since(tp);
+    }
+    const double ms = ms_since(t0);
+    if (s == 0 || ms < compiled_ms) {
+      compiled_ms = ms;
+      compiled_method_ms = per_method;
+    }
+    compiled_cells = std::move(run);
+  }
+
+  // The production fig12/table3 path: compile once inside core::sweep and
+  // share the arrays across all points, with per-section memoization on
+  // top. This is what the serve daemon and the figure benches actually run.
+  double sweep_ms = 0.0;
+  std::vector<core::SpeedupEstimate> sweep_cells;
+  for (long s = 0; s < samples; ++s) {
+    core::SweepOptions sopts;
+    sopts.workers = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::SweepResult res = core::sweep(t, grid, sopts);
+    const double ms = ms_since(t0);
+    if (s == 0 || ms < sweep_ms) sweep_ms = ms;
+    sweep_cells.clear();
+    sweep_cells.reserve(res.cells.size());
+    for (const auto& c : res.cells) sweep_cells.push_back(c.estimate);
+  }
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& a = reference[i];
+    const auto& b = compiled_cells[i];
+    const auto& c = sweep_cells[i];
+    if (a.speedup != b.speedup || a.parallel_cycles != b.parallel_cycles ||
+        a.serial_cycles != b.serial_cycles || b.speedup != c.speedup ||
+        b.parallel_cycles != c.parallel_cycles ||
+        b.serial_cycles != c.serial_cycles) {
+      ++mismatches;
+    }
+  }
+
+  const double speedup = compiled_ms > 0.0 ? pointer_ms / compiled_ms : 0.0;
+  util::Table table({"grid slice", "pointer ms", "compiled ms", "speedup"});
+  table.add_row({"whole grid", util::fmt_f(pointer_ms, 2),
+                 util::fmt_f(compiled_ms, 2), util::fmt_f(speedup, 2) + "x"});
+  for (const core::Method m :
+       {core::Method::FastForward, core::Method::Synthesizer,
+        core::Method::Suitability, core::Method::GroundTruth}) {
+    const double pm = pointer_method_ms[method_index(m)];
+    const double cm = compiled_method_ms[method_index(m)];
+    table.add_row({std::string("method ") + core::to_string(m),
+                   util::fmt_f(pm, 2), util::fmt_f(cm, 2),
+                   util::fmt_f(cm > 0.0 ? pm / cm : 0.0, 2) + "x"});
+  }
+  const double sweep_speedup = sweep_ms > 0.0 ? pointer_ms / sweep_ms : 0.0;
+  table.add_row({"compiled + memoized sweep", util::fmt_f(pointer_ms, 2),
+                 util::fmt_f(sweep_ms, 2),
+                 util::fmt_f(sweep_speedup, 2) + "x"});
+  table.add_row({"compile (once)", "-", util::fmt_f(compile_ms, 2), "-"});
+  table.print(std::cout);
+  std::cout << "all " << points.size() << " cells bit-identical to pointer "
+            << "path: " << (mismatches == 0 ? "yes" : "NO — BUG") << "\n";
+
+  serve::JsonValue out;
+  out.set("bench", serve::JsonValue("compiled_tree"));
+  out.set("seed", serve::JsonValue(static_cast<std::int64_t>(seed)));
+  out.set("samples", serve::JsonValue(static_cast<std::int64_t>(samples)));
+  out.set("tree_nodes", serve::JsonValue(
+                            static_cast<std::uint64_t>(t.node_count())));
+  out.set("grid_points", serve::JsonValue(
+                             static_cast<std::uint64_t>(points.size())));
+  out.set("pointer_ms", serve::JsonValue(pointer_ms));
+  out.set("compiled_ms", serve::JsonValue(compiled_ms));
+  out.set("compile_once_ms", serve::JsonValue(compile_ms));
+  out.set("speedup", serve::JsonValue(speedup));
+  out.set("sweep_ms", serve::JsonValue(sweep_ms));
+  out.set("sweep_speedup", serve::JsonValue(sweep_speedup));
+  {
+    serve::JsonValue::Object per_method;
+    for (const core::Method m :
+         {core::Method::FastForward, core::Method::Synthesizer,
+          core::Method::Suitability, core::Method::GroundTruth}) {
+      serve::JsonValue row;
+      row.set("pointer_ms",
+              serve::JsonValue(pointer_method_ms[method_index(m)]));
+      row.set("compiled_ms",
+              serve::JsonValue(compiled_method_ms[method_index(m)]));
+      per_method.emplace(core::to_string(m), std::move(row));
+    }
+    out.set("per_method", serve::JsonValue(std::move(per_method)));
+  }
+  out.set("identical", serve::JsonValue(mismatches == 0));
+  std::ofstream f("BENCH_compiled.json");
+  f << serve::json_dump(out) << "\n";
+  f.close();
+  std::cout << "wrote BENCH_compiled.json\n";
+
+  if (mismatches > 0) {
+    std::cerr << "FAIL: " << mismatches
+              << " cells differed between the pointer and compiled paths\n";
+    return 1;
+  }
+  return 0;
+}

@@ -447,6 +447,7 @@ serve::JsonValue build_client_request(const Options& opts,
                                       const std::string& key) {
   serve::JsonValue req;
   req.set("op", serve::JsonValue(op));
+  req.set("v", serve::JsonValue(serve::kProtocolVersion));
   req.set("key", serve::JsonValue(key));
   serve::JsonValue::Array threads;
   for (const CoreCount t : opts.threads) {
@@ -637,11 +638,10 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
         return std::nullopt;
       }
     } else if (a == "--paradigm") {
+      // Same shared parser as --paradigms and the wire protocol, so the
+      // accepted spellings cannot drift between subcommands.
       const auto v = need_value();
-      if (!v) return std::nullopt;
-      if (*v == "omp") opts.paradigm = core::Paradigm::OpenMP;
-      else if (*v == "cilk") opts.paradigm = core::Paradigm::CilkPlus;
-      else {
+      if (!v || !parse_paradigm(*v, opts.paradigm)) {
         err << "pprophet: bad --paradigm\n";
         return std::nullopt;
       }

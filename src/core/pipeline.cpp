@@ -54,14 +54,9 @@ Prophet::Prophet(ProphetConfig config) : config_(std::move(config)) {
 
 PredictOptions Prophet::predict_options(Method method) const {
   PredictOptions o;
+  o.engine() = config_.engine();
   o.method = method;
   o.paradigm = config_.paradigm;
-  o.schedule = config_.schedule;
-  o.machine = config_.machine;
-  o.omp_overheads = config_.omp_overheads;
-  o.cilk_overheads = config_.cilk_overheads;
-  o.synth_overheads = config_.synth_overheads;
-  o.memory_model = config_.memory_model;
   return o;
 }
 

@@ -29,18 +29,21 @@
 
 namespace pprophet::core {
 
-struct ProphetConfig {
-  /// Target machine; defaults to the simulated 12-core Westmere testbed.
-  machine::MachineConfig machine = machine::westmere_sim();
+/// Pipeline configuration: the shared EngineOptions (machine, overheads,
+/// schedule, chunk, memory-model — `config.machine` and
+/// `config.engine().machine` are the same field) plus the pipeline extras.
+/// Defaults differ from a bare EngineOptions: the simulated 12-core
+/// Westmere testbed with the memory model on.
+struct ProphetConfig : EngineOptions {
+  ProphetConfig() {
+    machine = machine::westmere_sim();
+    memory_model = true;
+  }
+
   std::vector<CoreCount> thread_counts{2, 4, 6, 8, 10, 12};
-  runtime::OmpOverheads omp_overheads{};
-  runtime::CilkOverheads cilk_overheads{};
-  runtime::SynthOverheads synth_overheads{};
   tree::CompressOptions compress{};
   cachesim::CacheConfig profile_cache{};  ///< vcpu cache used while profiling
-  bool memory_model = true;
   Paradigm paradigm = Paradigm::OpenMP;
-  runtime::OmpSchedule schedule = runtime::OmpSchedule::StaticCyclic;
 };
 
 /// Wall-clock duration of one Figure-3 pipeline stage. Always recorded (a

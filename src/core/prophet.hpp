@@ -15,12 +15,14 @@
 
 #include <vector>
 
+#include "core/engine_options.hpp"
 #include "emul/ff.hpp"
 #include "emul/suitability.hpp"
 #include "machine/machine.hpp"
 #include "memmodel/burden.hpp"
 #include "runtime/cilk_executor.hpp"
 #include "runtime/omp_executor.hpp"
+#include "tree/compile.hpp"
 #include "tree/node.hpp"
 
 namespace pprophet::core {
@@ -37,21 +39,12 @@ enum class Paradigm : std::uint8_t { OpenMP, CilkPlus };
 const char* to_string(Method m);
 const char* to_string(Paradigm p);
 
-struct PredictOptions {
+/// Prediction options: the shared EngineOptions (machine, overheads,
+/// schedule, chunk, memory-model — accessible both flat, `o.schedule`, and
+/// as `o.engine().schedule`) plus the per-prediction extras below.
+struct PredictOptions : EngineOptions {
   Method method = Method::Synthesizer;
   Paradigm paradigm = Paradigm::OpenMP;
-  runtime::OmpSchedule schedule = runtime::OmpSchedule::StaticCyclic;
-  std::uint64_t chunk = 1;
-  /// Target machine (its core count is the *physical* core count; the
-  /// thread count of a prediction may be lower or higher).
-  machine::MachineConfig machine{};
-  runtime::OmpOverheads omp_overheads{};
-  runtime::CilkOverheads cilk_overheads{};
-  runtime::SynthOverheads synth_overheads{};
-  /// FF/Synthesizer: apply burden factors (they must have been attached by
-  /// memmodel::annotate_burdens). GroundTruth always uses the machine's
-  /// dynamic contention instead.
-  bool memory_model = false;
   /// ω for decomposing counters in GroundTruth mode.
   Cycles dram_stall = 200;
   /// Optional per-virtual-CPU span sink (emulated cycles). FF records its
@@ -69,18 +62,33 @@ struct SpeedupEstimate {
 };
 
 /// Projects the speedup of the profiled program on `threads` threads.
+/// Compiles the tree once (tree::CompiledTree) and predicts over the flat
+/// arrays; bit-identical to the pointer-tree reference path.
 SpeedupEstimate predict(const tree::ProgramTree& tree, CoreCount threads,
+                        const PredictOptions& options);
+
+/// Same, over an already-compiled tree — the hot path. Callers evaluating
+/// many points against one tree should compile once and use this.
+SpeedupEstimate predict(const tree::CompiledTree& compiled, CoreCount threads,
                         const PredictOptions& options);
 
 /// Projected parallel duration of ONE repetition of the top-level section
 /// `sec` under `options` — the per-section term of the §IV-E composition.
 /// predict() and the sweep engine (core/sweep.hpp) both sum estimates from
 /// this function, which is what makes batched sweeps bit-identical to the
-/// sequential path. `sec` must be a Sec node.
+/// sequential path. `sec` must be a Sec node. This overload walks the
+/// pointer tree and is the reference implementation the compiled path is
+/// tested against (tests/tree/test_compile.cpp).
 Cycles predict_section_cycles(const tree::Node& sec, CoreCount threads,
                               const PredictOptions& options);
 
-/// Convenience: one estimate per entry of `thread_counts`.
+/// Compiled-path equivalent: section `s` of `compiled` (an index into its
+/// top-level-section table). Bit-identical to the pointer overload.
+Cycles predict_section_cycles(const tree::CompiledTree& compiled,
+                              std::uint32_t s, CoreCount threads,
+                              const PredictOptions& options);
+
+/// Convenience: one estimate per entry of `thread_counts`. Compiles once.
 std::vector<SpeedupEstimate> predict_curve(
     const tree::ProgramTree& tree, std::span<const CoreCount> thread_counts,
     const PredictOptions& options);

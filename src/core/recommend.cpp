@@ -7,6 +7,12 @@ namespace pprophet::core {
 
 Recommendation recommend(const tree::ProgramTree& tree,
                          const RecommendOptions& options) {
+  // One compilation shared by every candidate evaluation.
+  return recommend(tree::CompiledTree::compile(tree), options);
+}
+
+Recommendation recommend(const tree::CompiledTree& compiled,
+                         const RecommendOptions& options) {
   if (options.thread_counts.empty() || options.paradigms.empty() ||
       options.schedules.empty()) {
     throw std::invalid_argument("recommend: empty sweep dimension");
@@ -28,7 +34,7 @@ Recommendation recommend(const tree::ProgramTree& tree,
         c.paradigm = paradigm;
         c.schedule = schedule;
         c.threads = threads;
-        c.speedup = predict(tree, threads, o).speedup;
+        c.speedup = predict(compiled, threads, o).speedup;
         c.efficiency = c.speedup / static_cast<double>(threads);
         rec.sweep.push_back(c);
       }

@@ -44,8 +44,12 @@ struct Recommendation {
 };
 
 /// Runs the sweep with the synthesizer. The tree should carry burden
-/// factors already if base.memory_model is set.
+/// factors already if base.memory_model is set. The ProgramTree form
+/// compiles once internally; pass a CompiledTree to amortize compilation
+/// across calls (as the serve daemon does).
 Recommendation recommend(const tree::ProgramTree& tree,
+                         const RecommendOptions& options = {});
+Recommendation recommend(const tree::CompiledTree& compiled,
                          const RecommendOptions& options = {});
 
 }  // namespace pprophet::core

@@ -16,13 +16,12 @@
 namespace pprophet::core {
 namespace {
 
-using tree::Node;
-using tree::NodeKind;
-
-/// The sub-key a per-section emulation actually depends on. `section` is the
-/// index of the Sec among the root's children.
+/// The sub-key a per-section emulation actually depends on. `section_digest`
+/// is the compiled section's 64-bit content digest
+/// (tree::CompiledTree::section_digest): two structurally identical sections
+/// emulate identically, so they share one memo entry.
 struct MemoKey {
-  std::uint32_t section = 0;
+  std::uint64_t section_digest = 0;
   Method method = Method::Synthesizer;
   Paradigm paradigm = Paradigm::OpenMP;
   runtime::OmpSchedule schedule = runtime::OmpSchedule::StaticCyclic;
@@ -35,7 +34,7 @@ struct MemoKey {
 
 struct MemoKeyHash {
   std::size_t operator()(const MemoKey& k) const {
-    std::uint64_t h = k.section;
+    std::uint64_t h = k.section_digest;
     const auto mix = [&h](std::uint64_t v) {
       h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     };
@@ -102,7 +101,8 @@ class SectionMemo {
  public:
   explicit SectionMemo(const PredictOptions& base) : base_(base) {}
 
-  Cycles get(const Node& sec, const MemoKey& key, const SweepPoint& cpoint) {
+  Cycles get(const tree::CompiledTree& ct, std::uint32_t section,
+             const MemoKey& key, const SweepPoint& cpoint) {
     std::shared_future<Cycles> fut;
     std::promise<Cycles> prom;
     bool owner = false;
@@ -122,7 +122,7 @@ class SectionMemo {
     if (!owner) return fut.get();
     try {
       const Cycles v = predict_section_cycles(
-          sec, cpoint.threads, options_for(base_, cpoint));
+          ct, section, cpoint.threads, options_for(base_, cpoint));
       prom.set_value(v);
       return v;
     } catch (...) {
@@ -171,11 +171,25 @@ SweepResult sweep(const tree::ProgramTree& tree, const SweepGrid& grid,
   return sweep_points(tree, pts, grid.base, options);
 }
 
+SweepResult sweep(const tree::CompiledTree& compiled, const SweepGrid& grid,
+                  const SweepOptions& options) {
+  const std::vector<SweepPoint> pts = grid.points();
+  return sweep_points(compiled, pts, grid.base, options);
+}
+
 SweepResult sweep_points(const tree::ProgramTree& tree,
                          std::span<const SweepPoint> points,
                          const PredictOptions& base,
                          const SweepOptions& options) {
   if (!tree.root) throw std::invalid_argument("sweep: empty tree");
+  return sweep_points(tree::CompiledTree::compile(tree), points, base,
+                      options);
+}
+
+SweepResult sweep_points(const tree::CompiledTree& compiled,
+                         std::span<const SweepPoint> points,
+                         const PredictOptions& base,
+                         const SweepOptions& options) {
   for (const SweepPoint& p : points) {
     if (p.threads == 0) throw std::invalid_argument("sweep: zero threads");
   }
@@ -187,35 +201,25 @@ SweepResult sweep_points(const tree::ProgramTree& tree,
 
   // The per-cell composition shares the serial denominator and the summed
   // top-level U glue: neither depends on the grid point.
-  const Cycles serial = serial_cycles_of(tree);
-  Cycles u_cycles = 0;
-  std::vector<std::pair<std::uint32_t, const Node*>> sections;
-  {
-    const auto& tops = tree.root->children();
-    for (std::uint32_t i = 0; i < tops.size(); ++i) {
-      if (tops[i]->kind() == NodeKind::U) {
-        u_cycles += tops[i]->length() * tops[i]->repeat();
-      } else if (tops[i]->kind() == NodeKind::Sec) {
-        sections.emplace_back(i, tops[i].get());
-      }
-    }
-  }
+  const Cycles serial = compiled.serial_cycles();
+  const Cycles u_cycles = compiled.top_u_cycles();
 
   SectionMemo memo(base);
   const auto evaluate_cell = [&](std::size_t idx) {
     const SweepPoint& p = points[idx];
     const SweepPoint cp = canonical(p);
     Cycles parallel = u_cycles;
-    for (const auto& [sec_idx, sec] : sections) {
+    for (std::uint32_t s = 0; s < compiled.section_count(); ++s) {
       MemoKey key;
-      key.section = sec_idx;
+      key.section_digest = compiled.section_digest(s);
       key.method = cp.method;
       key.paradigm = cp.paradigm;
       key.schedule = cp.schedule;
       key.chunk = cp.chunk;
       key.threads = cp.threads;
       key.memory_model = cp.memory_model;
-      parallel += memo.get(*sec, key, cp) * sec->repeat();
+      parallel += memo.get(compiled, s, key, cp) *
+                  compiled.repeat(compiled.section_node(s));
     }
     SweepCell& cell = result.cells[idx];
     cell.point = p;

@@ -9,7 +9,12 @@
 // never reads the schedule or chunk, the Suitability baseline pins its own
 // schedule and overheads, and GroundTruth ignores the memory-model flag. The
 // engine canonicalizes each point to its sub-key, so a t-thread FF result
-// for section i is computed once and reused by every grid point sharing it.
+// for a section is computed once and reused by every grid point sharing it.
+//
+// The tree is compiled once (tree::CompiledTree) and every emulation runs
+// over the flat arrays. Memo entries are keyed by the compiled *section
+// digest* rather than the section's position, so two structurally identical
+// sections in one tree share their emulations too (docs/SWEEP.md).
 //
 // Determinism: every cell is the sum of independently memoized per-section
 // integer cycle counts plus the (shared) serial denominator — exactly how
@@ -96,13 +101,21 @@ struct SweepOptions {
 };
 
 /// Evaluates every point of `grid` against `tree`. Equivalent to (and
-/// bit-identical with) calling core::predict once per point.
+/// bit-identical with) calling core::predict once per point. Compiles the
+/// tree once; use the CompiledTree overload to amortize compilation across
+/// multiple sweeps (as the serve daemon does).
 SweepResult sweep(const tree::ProgramTree& tree, const SweepGrid& grid,
+                  const SweepOptions& options = {});
+SweepResult sweep(const tree::CompiledTree& compiled, const SweepGrid& grid,
                   const SweepOptions& options = {});
 
 /// Same, over an explicit point list (e.g. the Figure 12 four-method
 /// curves, which are not a full Cartesian product).
 SweepResult sweep_points(const tree::ProgramTree& tree,
+                         std::span<const SweepPoint> points,
+                         const PredictOptions& base,
+                         const SweepOptions& options = {});
+SweepResult sweep_points(const tree::CompiledTree& compiled,
                          std::span<const SweepPoint> points,
                          const PredictOptions& base,
                          const SweepOptions& options = {});

@@ -4,7 +4,6 @@
 #include <cassert>
 #include <deque>
 #include <limits>
-#include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -12,65 +11,75 @@
 
 #include "machine/timeline.hpp"
 #include "obs/metrics.hpp"
-#include "runtime/section_index.hpp"
+#include "runtime/tree_view.hpp"
 
 namespace pprophet::emul {
 namespace {
 
 using runtime::IterScheduler;
 using runtime::OmpSchedule;
-using runtime::SectionIndex;
-using tree::Node;
 using tree::NodeKind;
 
 constexpr Cycles kInf = std::numeric_limits<Cycles>::max();
 
-struct Context;
-
-/// A (possibly suspended) walk over one task's children on a virtual CPU.
-struct Cursor {
-  Context* ctx = nullptr;
-  const Node* task = nullptr;
-  std::size_t child = 0;
-  std::uint64_t rep_done = 0;
-  Cycles ready_at = 0;
-  bool charge_dispatch = true;  ///< per-iteration dispatch cost on start
-};
-
-/// One parallel-section instance being fast-forwarded.
-struct Context {
-  const Node* sec = nullptr;
-  SectionIndex index;
-  std::unique_ptr<IterScheduler> sched;  // dynamic contexts pull from this
-  bool dynamic = false;
-  Cycles spawn_time = 0;
-  std::uint64_t outstanding = 0;  ///< iterations not yet completed
-  std::uint64_t unassigned = 0;   ///< dynamic: iterations not yet pulled
-  Cycles max_finish = 0;
-  double burden = 1.0;
-  /// Parent continuation to resume at the (implicit) barrier; nullopt for
-  /// top-level sections and for nowait spawns.
-  std::optional<Cursor> parent_cont;
-  std::uint32_t parent_cpu = 0;
-  bool done = false;
-
-  explicit Context(const Node& s) : sec(&s), index(s) {}
-};
-
-struct Cpu {
-  Cycles free_at = 0;
-  std::deque<Cursor> queue;
-  std::optional<Cursor> current;
-};
-
-/// The fast-forwarding engine for one top-level section.
+/// The fast-forwarding engine for one top-level section, written once over
+/// a tree view (runtime/tree_view.hpp): PtrTreeView walks the Node heap,
+/// FlatTreeView walks CompiledTree arrays. Every scheduling decision is
+/// made in the same order under both, so results are bit-identical.
+template <class View>
 class FfEngine {
+  using NodeRef = typename View::NodeRef;
+  using ChildCursor = typename View::ChildCursor;
+  using SectionHandle = typename View::SectionHandle;
+  using LockTable = typename View::LockTable;
+
+  struct Context;
+
+  /// A (possibly suspended) walk over one task's children on a virtual CPU.
+  struct Cursor {
+    Context* ctx = nullptr;
+    ChildCursor walk{};
+    std::uint64_t rep_done = 0;
+    Cycles ready_at = 0;
+    bool charge_dispatch = true;  ///< per-iteration dispatch cost on start
+  };
+
+  /// One parallel-section instance being fast-forwarded.
+  struct Context {
+    NodeRef sec{};
+    SectionHandle index;
+    std::unique_ptr<IterScheduler> sched;  // dynamic contexts pull from this
+    bool dynamic = false;
+    Cycles spawn_time = 0;
+    std::uint64_t outstanding = 0;  ///< iterations not yet completed
+    std::uint64_t unassigned = 0;   ///< dynamic: iterations not yet pulled
+    Cycles max_finish = 0;
+    double burden = 1.0;
+    /// Parent continuation to resume at the (implicit) barrier; nullopt for
+    /// top-level sections and for nowait spawns.
+    std::optional<Cursor> parent_cont;
+    std::uint32_t parent_cpu = 0;
+    bool done = false;
+
+    Context(NodeRef s, SectionHandle h) : sec(s), index(std::move(h)) {}
+  };
+
+  struct Cpu {
+    Cycles free_at = 0;
+    std::deque<Cursor> queue;
+    std::optional<Cursor> current;
+  };
+
  public:
-  FfEngine(const FfConfig& cfg) : cfg_(cfg), cpus_(cfg.num_threads) {}
+  FfEngine(const View& view, const FfConfig& cfg)
+      : view_(view),
+        cfg_(cfg),
+        cpus_(cfg.num_threads),
+        lock_free_(view.make_lock_table()) {}
 
   /// Returns the section's projected parallel duration (excluding fork cost,
   /// including the final barrier).
-  Cycles run_section(const Node& sec) {
+  Cycles run_section(NodeRef sec) {
     Context* top =
         spawn_context(sec, /*time=*/0, /*parent=*/std::nullopt, 0, nullptr);
     loop();
@@ -94,18 +103,18 @@ class FfEngine {
   }
 
  private:
-  double burden_of(const Node& sec) const {
-    return cfg_.apply_burden ? sec.burden(cfg_.num_threads) : 1.0;
+  double burden_of(NodeRef sec) const {
+    return cfg_.apply_burden ? view_.burden(sec, cfg_.num_threads) : 1.0;
   }
 
-  Context* spawn_context(const Node& sec, Cycles time,
+  Context* spawn_context(NodeRef sec, Cycles time,
                          std::optional<Cursor> parent_cont,
                          std::uint32_t parent_cpu,
                          const Context* parent_ctx) {
-    contexts_.push_back(std::make_unique<Context>(sec));
+    contexts_.push_back(std::make_unique<Context>(sec, view_.section(sec)));
     Context* ctx = contexts_.back().get();
     ctx->spawn_time = time;
-    ctx->outstanding = ctx->index.trip_count();
+    ctx->outstanding = view_.trip_count(ctx->index);
     ctx->unassigned = ctx->outstanding;
     ctx->max_finish = time;  // empty sections complete instantly
     // Burden: top-level sections own a burden factor; nested contexts
@@ -121,7 +130,7 @@ class FfEngine {
         cfg_.schedule == OmpSchedule::Guided) {
       ctx->dynamic = true;
       ctx->sched = runtime::make_scheduler(cfg_.schedule,
-                                           ctx->index.trip_count(),
+                                           view_.trip_count(ctx->index),
                                            cfg_.num_threads, cfg_.chunk);
       dynamic_stack_.push_back(ctx);
     } else {
@@ -131,7 +140,7 @@ class FfEngine {
       // flaw (Figure 7): two sibling nested loops starting on different
       // CPUs can pile their long iterations onto the same CPU.
       auto sched = runtime::make_scheduler(cfg_.schedule,
-                                           ctx->index.trip_count(),
+                                           view_.trip_count(ctx->index),
                                            cfg_.num_threads, cfg_.chunk);
       for (std::uint32_t rank = 0; rank < cfg_.num_threads; ++rank) {
         const std::uint32_t cpu = (parent_cpu + rank) % cfg_.num_threads;
@@ -139,7 +148,7 @@ class FfEngine {
           for (std::uint64_t i = range->begin; i < range->end; ++i) {
             Cursor c;
             c.ctx = ctx;
-            c.task = ctx->index.task_at(i);
+            c.walk = view_.children(view_.task_at(ctx->index, i));
             c.ready_at = time;
             cpus_[cpu].queue.push_back(c);
           }
@@ -196,13 +205,13 @@ class FfEngine {
                       cfg_.overheads.dynamic_dispatch;
         Cursor c;
         c.ctx = ctx;
-        c.task = ctx->index.task_at(range->begin);
+        c.walk = view_.children(view_.task_at(ctx->index, range->begin));
         c.charge_dispatch = false;
         // Chunks larger than one iteration: re-queue the rest.
         for (std::uint64_t i = range->begin + 1; i < range->end; ++i) {
           Cursor rest;
           rest.ctx = ctx;
-          rest.task = ctx->index.task_at(i);
+          rest.walk = view_.children(view_.task_at(ctx->index, i));
           rest.ready_at = cpu.free_at;
           cpu.queue.push_back(rest);
         }
@@ -228,10 +237,9 @@ class FfEngine {
     Cpu& cpu = cpus_[k];
     Cursor& cur = *cpu.current;
     Context& ctx = *cur.ctx;
-    const auto& kids = cur.task->children();
     ++steps_;
 
-    if (cur.child >= kids.size()) {
+    if (view_.cursor_done(cur.walk)) {
       // Task complete.
       --ctx.outstanding;
       ctx.max_finish = std::max(ctx.max_finish, cpu.free_at);
@@ -239,22 +247,22 @@ class FfEngine {
       if (ctx.outstanding == 0) complete_context(ctx);
       return;
     }
-    const Node& c = *kids[cur.child];
-    if (cur.rep_done >= c.repeat()) {
-      ++cur.child;
+    const NodeRef c = view_.cursor_node(cur.walk);
+    if (cur.rep_done >= view_.repeat(c)) {
+      view_.cursor_advance(cur.walk);
       cur.rep_done = 0;
       return;
     }
     const auto scaled = [&](Cycles len) {
       return static_cast<Cycles>(static_cast<double>(len) * ctx.burden + 0.5);
     };
-    switch (c.kind()) {
+    switch (view_.kind(c)) {
       case NodeKind::U: {
         // Fast path: all repetitions of a plain U run back to back.
-        const std::uint64_t reps = c.repeat() - cur.rep_done;
+        const std::uint64_t reps = view_.repeat(c) - cur.rep_done;
         const Cycles start = cpu.free_at;
-        cpu.free_at += scaled(c.length()) * reps;
-        cur.rep_done = c.repeat();
+        cpu.free_at += scaled(view_.length(c)) * reps;
+        cur.rep_done = view_.repeat(c);
         if (cfg_.timeline != nullptr && cpu.free_at > start) {
           cfg_.timeline->record(k, start, cpu.free_at,
                                 machine::TimelineSpan::Kind::Run);
@@ -264,14 +272,14 @@ class FfEngine {
       case NodeKind::L: {
         ++cur.rep_done;
         cpu.free_at += cfg_.overheads.lock_acquire;
-        Cycles& lock_free = lock_free_[c.lock_id()];
+        Cycles& lock_free = view_.lock_cell(lock_free_, c);
         const Cycles acquired = std::max(cpu.free_at, lock_free);
         lock_waits_ += acquired - cpu.free_at;
         if (cfg_.timeline != nullptr && acquired > cpu.free_at) {
           cfg_.timeline->record(k, cpu.free_at, acquired,
                                 machine::TimelineSpan::Kind::LockWait);
         }
-        const Cycles body_end = acquired + scaled(c.length());
+        const Cycles body_end = acquired + scaled(view_.length(c));
         if (cfg_.timeline != nullptr && body_end > acquired) {
           cfg_.timeline->record(k, acquired, body_end,
                                 machine::TimelineSpan::Kind::Run);
@@ -288,7 +296,7 @@ class FfEngine {
                        cfg_.overheads.fork_per_thread *
                            (cfg_.num_threads - 1);
         const Cycles spawn_time = cpu.free_at;
-        if (c.barrier_at_end()) {
+        if (view_.barrier_at_end(c)) {
           // Suspend this task; resume after the nested barrier.
           Cursor cont = cur;
           Context* parent_ctx = cur.ctx;
@@ -329,14 +337,26 @@ class FfEngine {
     }
   }
 
+  View view_;
   const FfConfig& cfg_;
   std::vector<Cpu> cpus_;
   std::vector<std::unique_ptr<Context>> contexts_;
   std::vector<Context*> dynamic_stack_;
-  std::map<LockId, Cycles> lock_free_;
+  LockTable lock_free_;
   Cycles lock_waits_ = 0;
   std::uint64_t steps_ = 0;  ///< heap events processed (obs: ff.steps)
 };
+
+void check_cfg(const FfConfig& cfg) {
+  if (cfg.num_threads == 0) {
+    throw std::invalid_argument("emulate_ff_section: zero threads");
+  }
+}
+
+Cycles fork_cost(const FfConfig& cfg) {
+  return cfg.overheads.fork_base +
+         cfg.overheads.fork_per_thread * (cfg.num_threads - 1);
+}
 
 }  // namespace
 
@@ -344,15 +364,28 @@ FfResult emulate_ff_section(const tree::Node& sec, const FfConfig& cfg) {
   if (sec.kind() != NodeKind::Sec) {
     throw std::invalid_argument("emulate_ff_section: node is not a Sec");
   }
-  if (cfg.num_threads == 0) {
-    throw std::invalid_argument("emulate_ff_section: zero threads");
-  }
+  check_cfg(cfg);
   FfResult r;
   r.serial_cycles = sec.serial_work();
-  FfEngine engine(cfg);
-  const Cycles fork = cfg.overheads.fork_base +
-                      cfg.overheads.fork_per_thread * (cfg.num_threads - 1);
-  r.parallel_cycles = fork + engine.run_section(sec);
+  FfEngine<runtime::PtrTreeView> engine(runtime::PtrTreeView{}, cfg);
+  r.parallel_cycles = fork_cost(cfg) + engine.run_section(&sec);
+  return r;
+}
+
+FfResult emulate_ff_section(const tree::CompiledTree& ct,
+                            std::uint32_t section, const FfConfig& cfg) {
+  if (section >= ct.section_count()) {
+    throw std::invalid_argument("emulate_ff_section: section out of range");
+  }
+  check_cfg(cfg);
+  const tree::NodeId sec = ct.section_node(section);
+  FfResult r;
+  // Node::serial_work multiplies by the node's own repeat; the aggregates
+  // cover one repetition.
+  r.serial_cycles =
+      ct.section_aggregates(section).total_leaf_work * ct.repeat(sec);
+  FfEngine<runtime::FlatTreeView> engine(runtime::FlatTreeView{&ct}, cfg);
+  r.parallel_cycles = fork_cost(cfg) + engine.run_section(sec);
   return r;
 }
 
@@ -370,6 +403,26 @@ FfResult emulate_ff(const tree::ProgramTree& tree, const FfConfig& cfg) {
         total.parallel_cycles += r.parallel_cycles;
       }
     }
+  }
+  return total;
+}
+
+FfResult emulate_ff(const tree::CompiledTree& ct, const FfConfig& cfg) {
+  FfResult total;
+  std::uint32_t s = 0;
+  for (tree::NodeId c = ct.first_child(ct.root()); c != tree::kNoNode;
+       c = ct.next_sibling(c)) {
+    for (std::uint64_t rep = 0; rep < ct.repeat(c); ++rep) {
+      if (ct.kind(c) == NodeKind::U) {
+        total.serial_cycles += ct.length(c);
+        total.parallel_cycles += ct.length(c);
+      } else if (ct.kind(c) == NodeKind::Sec) {
+        const FfResult r = emulate_ff_section(ct, s, cfg);
+        total.serial_cycles += r.serial_cycles;
+        total.parallel_cycles += r.parallel_cycles;
+      }
+    }
+    if (ct.kind(c) == NodeKind::Sec) ++s;
   }
   return total;
 }

@@ -20,6 +20,7 @@
 
 #include "runtime/iter_sched.hpp"
 #include "runtime/overheads.hpp"
+#include "tree/compile.hpp"
 #include "tree/node.hpp"
 
 namespace pprophet::machine {
@@ -61,5 +62,12 @@ FfResult emulate_ff(const tree::ProgramTree& tree, const FfConfig& cfg);
 /// Emulates a single top-level section. Returns its projected parallel
 /// duration (serial_cycles is the section's serial work).
 FfResult emulate_ff_section(const tree::Node& sec, const FfConfig& cfg);
+
+/// Compiled-tree overloads: same engine over flat arrays — no allocation
+/// per emulation, bit-identical results (tests/tree/test_compile.cpp).
+/// `section` indexes the compiled tree's top-level-section table.
+FfResult emulate_ff(const tree::CompiledTree& ct, const FfConfig& cfg);
+FfResult emulate_ff_section(const tree::CompiledTree& ct,
+                            std::uint32_t section, const FfConfig& cfg);
 
 }  // namespace pprophet::emul

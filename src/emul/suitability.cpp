@@ -29,4 +29,15 @@ FfResult emulate_suitability_section(const tree::Node& sec,
   return emulate_ff_section(sec, suitability_ff_config(cfg));
 }
 
+FfResult emulate_suitability(const tree::CompiledTree& ct,
+                             const SuitabilityConfig& cfg) {
+  return emulate_ff(ct, suitability_ff_config(cfg));
+}
+
+FfResult emulate_suitability_section(const tree::CompiledTree& ct,
+                                     std::uint32_t section,
+                                     const SuitabilityConfig& cfg) {
+  return emulate_ff_section(ct, section, suitability_ff_config(cfg));
+}
+
 }  // namespace pprophet::emul

@@ -40,6 +40,13 @@ FfResult emulate_suitability(const tree::ProgramTree& tree,
 FfResult emulate_suitability_section(const tree::Node& sec,
                                      const SuitabilityConfig& cfg);
 
+/// Compiled-tree overloads (see emul/ff.hpp): flat arrays, bit-identical.
+FfResult emulate_suitability(const tree::CompiledTree& ct,
+                             const SuitabilityConfig& cfg);
+FfResult emulate_suitability_section(const tree::CompiledTree& ct,
+                                     std::uint32_t section,
+                                     const SuitabilityConfig& cfg);
+
 /// The FF configuration the Suitability baseline reduces to: schedule forced
 /// to dynamic,1 with the coarse constant overhead vector.
 FfConfig suitability_ff_config(const SuitabilityConfig& cfg);

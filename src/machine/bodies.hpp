@@ -7,8 +7,32 @@
 #include <vector>
 
 #include "machine/machine.hpp"
+#include "tree/compile.hpp"
 
 namespace pprophet::machine {
+
+/// Forward-only walk over a child range of a CompiledTree — the flat-array
+/// replacement for a (parent, child-index) cursor into a Node's children
+/// vector. Replay bodies hold one of these per traversal frame instead of a
+/// Node pointer, so body generation allocates nothing per prediction.
+struct FlatChildWalk {
+  tree::NodeId cur = tree::kNoNode;
+  tree::NodeId stop = tree::kNoNode;  ///< exclusive sibling bound
+
+  /// All children of `n`, in order.
+  static FlatChildWalk children_of(const tree::CompiledTree& ct,
+                                   tree::NodeId n) {
+    return {ct.first_child(n), tree::kNoNode};
+  }
+  /// Just `n` itself — lets a single top-level section replay in place
+  /// where the pointer path would clone it under a synthetic root.
+  static FlatChildWalk single(const tree::CompiledTree& ct, tree::NodeId n) {
+    return {n, ct.next_sibling(n)};
+  }
+
+  bool done() const { return cur == stop || cur == tree::kNoNode; }
+  void advance(const tree::CompiledTree& ct) { cur = ct.next_sibling(cur); }
+};
 
 /// Runs a fixed list of ops, then exits.
 class ScriptBody final : public ThreadBody {

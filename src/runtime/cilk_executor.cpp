@@ -8,7 +8,7 @@
 #include <variant>
 #include <vector>
 
-#include "runtime/section_index.hpp"
+#include "runtime/tree_view.hpp"
 #include "util/rng.hpp"
 
 namespace pprophet::runtime {
@@ -17,8 +17,11 @@ namespace {
 using machine::Machine;
 using machine::Op;
 using machine::ThreadId;
-using tree::Node;
 using tree::NodeKind;
+
+// Like the OpenMP executor, the replay is a template over a tree view
+// (runtime/tree_view.hpp), instantiated for the pointer tree and for
+// CompiledTree flat arrays with bit-identical scheduling decisions.
 
 /// Join counter for one spawned fan-out (a Sec's iterations). pending counts
 /// outstanding items; the event fires when it reaches zero.
@@ -28,29 +31,35 @@ struct Join {
 };
 
 /// A deque entry: a contiguous range of logical iterations of one section.
+template <class View>
 struct CilkItem {
-  const Node* sec = nullptr;
-  const SectionIndex* index = nullptr;
+  typename View::NodeRef sec{};
+  const typename View::SectionHandle* index = nullptr;
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
   Join* join = nullptr;
   LeafCostModel leaf{};
 };
 
+template <class View>
 struct CilkRuntime {
+  View view;
   CilkConfig cfg;
   ExecMode mode;
   Machine* m = nullptr;
-  std::vector<std::deque<CilkItem>> deques;  // per worker
+  std::vector<std::deque<CilkItem<View>>> deques;  // per worker
   std::vector<std::unique_ptr<Join>> joins;
-  std::vector<std::unique_ptr<SectionIndex>> indices;
+  /// Section handles shared by all items of one fan-out. A deque never
+  /// relocates existing elements on push_back, so the borrowed pointers in
+  /// CilkItem stay valid.
+  std::deque<typename View::SectionHandle> indices;
   std::vector<Cycles> thread_overhead;  // synth traversal, by worker rank
   bool program_done = false;
   machine::WaitHandle idle_evt = 0;  // current sleep latch for idle workers
   util::Xoshiro256 steal_rng;
 
-  CilkRuntime(const CilkConfig& c, const ExecMode& md)
-      : cfg(c), mode(md), steal_rng(c.steal_seed) {
+  CilkRuntime(const View& v, const CilkConfig& c, const ExecMode& md)
+      : view(v), cfg(c), mode(md), steal_rng(c.steal_seed) {
     deques.resize(cfg.num_workers);
     thread_overhead.resize(cfg.num_workers, 0);
   }
@@ -68,27 +77,27 @@ struct CilkRuntime {
     return joins.back().get();
   }
 
-  const SectionIndex* make_index(const Node& sec) {
-    indices.push_back(std::make_unique<SectionIndex>(sec));
-    return indices.back().get();
+  const typename View::SectionHandle* make_index(typename View::NodeRef sec) {
+    indices.push_back(view.section(sec));
+    return &indices.back();
   }
 
   // Note: pushing work does not wake sleepers by itself — the pushing
   // CilkBody follows up with a Notify op (wake_sleepers) so the wake-up is
   // charged to simulated time like a real futex wake.
-  void push_item(std::uint32_t worker, CilkItem item) {
+  void push_item(std::uint32_t worker, CilkItem<View> item) {
     deques[worker].push_back(item);
   }
 
-  std::optional<CilkItem> pop_own(std::uint32_t worker) {
+  std::optional<CilkItem<View>> pop_own(std::uint32_t worker) {
     auto& d = deques[worker];
     if (d.empty()) return std::nullopt;
-    CilkItem item = d.back();
+    CilkItem<View> item = d.back();
     d.pop_back();
     return item;
   }
 
-  std::optional<std::pair<CilkItem, std::uint32_t>> steal(
+  std::optional<std::pair<CilkItem<View>, std::uint32_t>> steal(
       std::uint32_t thief) {
     const std::uint32_t n = cfg.num_workers;
     const auto start = static_cast<std::uint32_t>(
@@ -96,7 +105,7 @@ struct CilkRuntime {
     for (std::uint32_t k = 0; k < n; ++k) {
       const std::uint32_t victim = (start + k) % n;
       if (victim == thief || deques[victim].empty()) continue;
-      CilkItem item = deques[victim].front();
+      CilkItem<View> item = deques[victim].front();
       deques[victim].pop_front();
       return std::make_pair(item, victim);
     }
@@ -120,27 +129,36 @@ struct CilkRuntime {
     return mx;
   }
 
-  LeafCostModel top_level_leaf(const Node& sec) const {
+  LeafCostModel top_level_leaf(typename View::NodeRef sec) const {
     LeafCostModel leaf;
     leaf.mode = mode.leaf_mode;
     if (synth()) {
-      leaf.burden = sec.burden(cfg.num_workers);
+      leaf.burden =
+          mode.unit_burden ? 1.0 : view.burden(sec, cfg.num_workers);
     } else {
-      leaf.split = split_from_counters(sec.counters(), mode.dram_stall);
+      leaf.split = split_from_counters(view.counters(sec), mode.dram_stall);
     }
     return leaf;
   }
 };
 
+template <class View>
 class CilkBody final : public machine::ThreadBody {
+  using NodeRef = typename View::NodeRef;
+  using ChildCursor = typename View::ChildCursor;
+  using Item = CilkItem<View>;
+
  public:
-  /// Worker `rank`; rank 0 additionally owns the root walk.
-  CilkBody(CilkRuntime& rt, std::uint32_t rank, const Node* root) : rt_(rt), rank_(rank) {
-    if (root != nullptr) {
-      LeafCostModel serial_leaf;
-      serial_leaf.mode = rt.mode.leaf_mode;
-      stack_.push_back(TaskFrame{root, serial_leaf, 0, 0, nullptr});
-    }
+  /// Plain worker with no initial frames.
+  CilkBody(CilkRuntime<View>& rt, std::uint32_t rank) : rt_(rt), rank_(rank) {}
+
+  /// Worker 0: owns the walk over the given top-level child range.
+  CilkBody(CilkRuntime<View>& rt, std::uint32_t rank, ChildCursor walk,
+           bool top_level)
+      : rt_(rt), rank_(rank) {
+    LeafCostModel serial_leaf;
+    serial_leaf.mode = rt.mode.leaf_mode;
+    stack_.push_back(TaskFrame{walk, serial_leaf, 0, nullptr, top_level});
   }
 
   std::optional<Op> next(Machine& m, ThreadId self) override {
@@ -171,18 +189,18 @@ class CilkBody final : public machine::ThreadBody {
  private:
   /// Sequential walk over a Task-like node's children.
   struct TaskFrame {
-    const Node* node = nullptr;
+    ChildCursor walk{};
     LeafCostModel leaf{};
-    std::size_t child = 0;
     std::uint64_t rep_done = 0;
     /// When the walk reaches a Sec child, the fan-out's join is stored here
     /// until the matching SyncFrame is pushed.
     Join* open_join = nullptr;
+    bool top_level = false;  ///< walking the Root's child sequence
   };
 
   /// Executing one deque item (an iteration range), splitting lazily.
   struct ItemFrame {
-    CilkItem item{};
+    Item item{};
     std::uint64_t cur = 0;
     bool split_done = false;
     bool counted = false;
@@ -209,16 +227,16 @@ class CilkBody final : public machine::ThreadBody {
     }
   }
 
-  void spawn_fanout(Machine& m, const Node& sec, const LeafCostModel& leaf,
+  void spawn_fanout(Machine& m, NodeRef sec, const LeafCostModel& leaf,
                     TaskFrame& f) {
     Join* join = rt_.make_join();
-    const SectionIndex* index = rt_.make_index(sec);
+    const auto* index = rt_.make_index(sec);
     join->pending = 1;
-    CilkItem item;
-    item.sec = &sec;
+    Item item;
+    item.sec = sec;
     item.index = index;
     item.begin = 0;
-    item.end = index->trip_count();
+    item.end = rt_.view.trip_count(*index);
     item.join = join;
     item.leaf = leaf;
     rt_.push_item(rank_, item);
@@ -235,36 +253,36 @@ class CilkBody final : public machine::ThreadBody {
       stack_.push_back(SyncFrame{j});
       return;
     }
-    const auto& kids = f.node->children();
-    if (f.child >= kids.size()) {
+    const View& view = rt_.view;
+    if (view.cursor_done(f.walk)) {
       stack_.pop_back();
       return;
     }
-    const Node& c = *kids[f.child];
-    if (f.rep_done >= c.repeat()) {
-      ++f.child;
+    const NodeRef c = view.cursor_node(f.walk);
+    if (f.rep_done >= view.repeat(c)) {
+      view.cursor_advance(f.walk);
       f.rep_done = 0;
       return;
     }
     ++f.rep_done;
     const CilkOverheads& ov = rt_.cfg.overheads;
-    switch (c.kind()) {
+    switch (view.kind(c)) {
       case NodeKind::U:
         if (rt_.synth()) add_synth_overhead(rt_.mode.synth.access_node);
-        pending_.push_back(f.leaf.leaf_op(c.length()));
+        pending_.push_back(f.leaf.leaf_op(view.length(c)));
         return;
       case NodeKind::L:
         if (rt_.synth()) add_synth_overhead(rt_.mode.synth.access_node);
         pending_.push_back(Op::exec(ov.lock_acquire));
-        pending_.push_back(Op::acquire(c.lock_id()));
-        pending_.push_back(f.leaf.leaf_op(c.length()));
-        pending_.push_back(Op::release(c.lock_id()));
+        pending_.push_back(Op::acquire(view.lock_id(c)));
+        pending_.push_back(f.leaf.leaf_op(view.length(c)));
+        pending_.push_back(Op::release(view.lock_id(c)));
         pending_.push_back(Op::exec(ov.lock_release));
         return;
       case NodeKind::Sec: {
         if (rt_.synth()) add_synth_overhead(rt_.mode.synth.recursive_call);
-        const bool top_level = f.node->kind() == NodeKind::Root;
-        const LeafCostModel leaf = top_level ? rt_.top_level_leaf(c) : f.leaf;
+        const LeafCostModel leaf =
+            f.top_level ? rt_.top_level_leaf(c) : f.leaf;
         spawn_fanout(m, c, leaf, f);
         return;
       }
@@ -291,10 +309,11 @@ class CilkBody final : public machine::ThreadBody {
       f.cur = f.item.begin;
     }
     if (!f.split_done) {
-      const std::uint64_t grain = rt_.grain_for(f.item.index->trip_count());
+      const std::uint64_t grain =
+          rt_.grain_for(rt_.view.trip_count(*f.item.index));
       if (f.item.end - f.item.begin > grain) {
         const std::uint64_t mid = f.item.begin + (f.item.end - f.item.begin) / 2;
-        CilkItem half = f.item;
+        Item half = f.item;
         half.begin = mid;
         ++f.item.join->pending;
         rt_.push_item(rank_, half);
@@ -308,8 +327,10 @@ class CilkBody final : public machine::ThreadBody {
     }
     if (f.cur < f.item.end) {
       const std::uint64_t i = f.cur++;
+      const View& view = rt_.view;
       stack_.push_back(
-          TaskFrame{f.item.index->task_at(i), f.item.leaf, 0, 0, nullptr});
+          TaskFrame{view.children(view.task_at(*f.item.index, i)),
+                    f.item.leaf, 0, nullptr, false});
       return;
     }
     complete_item(f);
@@ -317,7 +338,7 @@ class CilkBody final : public machine::ThreadBody {
 
   /// Take work from anywhere; returns true if an ItemFrame was pushed.
   bool acquire_work() {
-    if (std::optional<CilkItem> own = rt_.pop_own(rank_)) {
+    if (std::optional<Item> own = rt_.pop_own(rank_)) {
       ItemFrame f;
       f.item = *own;
       stack_.push_back(f);
@@ -372,25 +393,28 @@ class CilkBody final : public machine::ThreadBody {
     }
   }
 
-  CilkRuntime& rt_;
+  CilkRuntime<View>& rt_;
   std::uint32_t rank_;
   std::vector<Frame> stack_;
   std::deque<Op> pending_;
   int idle_probes_ = 0;
 };
 
-RunResult run_root_cilk(const Node& root, const machine::MachineConfig& mcfg,
+template <class View>
+RunResult run_walk_cilk(const View& view, typename View::ChildCursor walk,
+                        const machine::MachineConfig& mcfg,
                         const CilkConfig& ccfg, const ExecMode& mode) {
   if (ccfg.num_workers == 0) {
     throw std::invalid_argument("cilk executor: num_workers must be >= 1");
   }
   Machine machine(mcfg);
   machine.set_timeline(mode.timeline);
-  CilkRuntime rt(ccfg, mode);
+  CilkRuntime<View> rt(view, ccfg, mode);
   rt.m = &machine;
-  machine.spawn_thread(std::make_unique<CilkBody>(rt, 0, &root));
+  machine.spawn_thread(
+      std::make_unique<CilkBody<View>>(rt, 0, walk, /*top_level=*/true));
   for (std::uint32_t w = 1; w < ccfg.num_workers; ++w) {
-    machine.spawn_thread(std::make_unique<CilkBody>(rt, w, nullptr));
+    machine.spawn_thread(std::make_unique<CilkBody<View>>(rt, w));
   }
   RunResult result;
   result.stats = machine.run();
@@ -405,7 +429,9 @@ RunResult run_tree_cilk(const tree::ProgramTree& tree,
                         const machine::MachineConfig& mcfg,
                         const CilkConfig& ccfg, const ExecMode& mode) {
   if (!tree.root) throw std::invalid_argument("cilk executor: empty tree");
-  return run_root_cilk(*tree.root, mcfg, ccfg, mode);
+  const PtrTreeView view;
+  return run_walk_cilk(view, view.children(tree.root.get()), mcfg, ccfg,
+                       mode);
 }
 
 RunResult run_section_cilk(const tree::Node& sec,
@@ -414,9 +440,29 @@ RunResult run_section_cilk(const tree::Node& sec,
   if (sec.kind() != NodeKind::Sec) {
     throw std::invalid_argument("run_section_cilk: node is not a Sec");
   }
-  Node root(NodeKind::Root, "root");
+  tree::Node root(NodeKind::Root, "root");
   root.add_child(sec.clone());
-  return run_root_cilk(root, mcfg, ccfg, mode);
+  const PtrTreeView view;
+  return run_walk_cilk(view, view.children(&root), mcfg, ccfg, mode);
+}
+
+RunResult run_tree_cilk(const tree::CompiledTree& ct,
+                        const machine::MachineConfig& mcfg,
+                        const CilkConfig& ccfg, const ExecMode& mode) {
+  const FlatTreeView view{&ct};
+  return run_walk_cilk(view, view.children(ct.root()), mcfg, ccfg, mode);
+}
+
+RunResult run_section_cilk(const tree::CompiledTree& ct, std::uint32_t section,
+                           const machine::MachineConfig& mcfg,
+                           const CilkConfig& ccfg, const ExecMode& mode) {
+  if (section >= ct.section_count()) {
+    throw std::invalid_argument("run_section_cilk: section out of range");
+  }
+  return run_walk_cilk(
+      FlatTreeView{&ct},
+      machine::FlatChildWalk::single(ct, ct.section_node(section)), mcfg,
+      ccfg, mode);
 }
 
 }  // namespace pprophet::runtime

@@ -47,4 +47,14 @@ RunResult run_section_cilk(const tree::Node& sec,
                            const machine::MachineConfig& mcfg,
                            const CilkConfig& ccfg, const ExecMode& mode);
 
+/// Compiled-tree overloads (see omp_executor.hpp): same replay over flat
+/// arrays, no allocation per prediction, bit-identical results. `section`
+/// indexes the compiled tree's top-level-section table.
+RunResult run_tree_cilk(const tree::CompiledTree& ct,
+                        const machine::MachineConfig& mcfg,
+                        const CilkConfig& ccfg, const ExecMode& mode);
+RunResult run_section_cilk(const tree::CompiledTree& ct, std::uint32_t section,
+                           const machine::MachineConfig& mcfg,
+                           const CilkConfig& ccfg, const ExecMode& mode);
+
 }  // namespace pprophet::runtime

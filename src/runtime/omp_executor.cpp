@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <memory>
 #include <stdexcept>
 #include <variant>
 
-#include "runtime/section_index.hpp"
+#include "runtime/tree_view.hpp"
 
 namespace pprophet::runtime {
 namespace {
@@ -14,31 +15,39 @@ namespace {
 using machine::Machine;
 using machine::Op;
 using machine::ThreadId;
-using tree::Node;
 using tree::NodeKind;
 
+// The replay is written once over a tree view (runtime/tree_view.hpp) and
+// instantiated for the pointer tree and for CompiledTree flat arrays; both
+// make identical decisions in identical order, so results are bit-identical.
+
 /// Shared state of one forked parallel region.
+template <class View>
 struct TeamContext {
-  const Node* sec = nullptr;
-  SectionIndex index;
+  typename View::NodeRef sec{};
+  typename View::SectionHandle index;
   std::unique_ptr<IterScheduler> sched;
   std::uint32_t size = 0;
   std::uint32_t arrivals = 0;
   machine::WaitHandle done = 0;
   LeafCostModel leaf{};
 
-  explicit TeamContext(const Node& s) : sec(&s), index(s) {}
+  TeamContext(typename View::NodeRef s, typename View::SectionHandle h)
+      : sec(s), index(std::move(h)) {}
 };
 
 /// Per-run shared services: configuration, team ownership, synth-overhead
 /// tracking.
+template <class View>
 struct OmpRuntime {
+  View view;
   OmpConfig cfg;
   ExecMode mode;
-  std::vector<std::unique_ptr<TeamContext>> teams;
+  std::vector<std::unique_ptr<TeamContext<View>>> teams;
   std::vector<Cycles> thread_overhead;  // synth traversal cost by ThreadId
 
-  OmpRuntime(const OmpConfig& c, const ExecMode& m) : cfg(c), mode(m) {}
+  OmpRuntime(const View& v, const OmpConfig& c, const ExecMode& m)
+      : view(v), cfg(c), mode(m) {}
 
   bool synth() const { return mode.leaf_mode == LeafCostModel::Mode::Synth; }
 
@@ -53,11 +62,12 @@ struct OmpRuntime {
     return m;
   }
 
-  TeamContext* open_team(Machine& m, const Node& sec,
-                         const LeafCostModel& leaf) {
-    auto team = std::make_unique<TeamContext>(sec);
+  TeamContext<View>* open_team(Machine& m, typename View::NodeRef sec,
+                               const LeafCostModel& leaf) {
+    auto team =
+        std::make_unique<TeamContext<View>>(sec, view.section(sec));
     team->size = cfg.num_threads;
-    team->sched = make_scheduler(cfg.schedule, team->index.trip_count(),
+    team->sched = make_scheduler(cfg.schedule, view.trip_count(team->index),
                                  cfg.num_threads, cfg.chunk);
     team->done = m.make_event();
     team->leaf = leaf;
@@ -67,13 +77,14 @@ struct OmpRuntime {
 
   /// LeafCostModel for a *top-level* section: counters (Real) or burden
   /// factor (Synth) of that section.
-  LeafCostModel top_level_leaf(const Node& sec) const {
+  LeafCostModel top_level_leaf(typename View::NodeRef sec) const {
     LeafCostModel leaf;
     leaf.mode = mode.leaf_mode;
     if (synth()) {
-      leaf.burden = sec.burden(cfg.num_threads);
+      leaf.burden =
+          mode.unit_burden ? 1.0 : view.burden(sec, cfg.num_threads);
     } else {
-      leaf.split = split_from_counters(sec.counters(), mode.dram_stall);
+      leaf.split = split_from_counters(view.counters(sec), mode.dram_stall);
     }
     return leaf;
   }
@@ -87,17 +98,24 @@ struct OmpRuntime {
   }
 };
 
+template <class View>
 class OmpBody final : public machine::ThreadBody {
+  using NodeRef = typename View::NodeRef;
+  using ChildCursor = typename View::ChildCursor;
+
  public:
-  /// Program master: walks `root`'s children sequentially.
-  OmpBody(OmpRuntime& rt, const Node* root) : rt_(rt) {
+  /// Program master: walks the given child range sequentially. `top_level`
+  /// marks the range as root-level (sections encountered there own their
+  /// burden factor / counters).
+  OmpBody(OmpRuntime<View>& rt, ChildCursor walk, bool top_level) : rt_(rt) {
     LeafCostModel serial_leaf;  // top-level serial code: no split, burden 1
     serial_leaf.mode = rt.mode.leaf_mode;
-    stack_.push_back(SeqFrame{root, serial_leaf, 0, 0});
+    stack_.push_back(SeqFrame{walk, serial_leaf, 0, top_level});
   }
 
   /// Team worker with the given rank (>= 1; the master is rank 0).
-  OmpBody(OmpRuntime& rt, TeamContext* team, std::uint32_t rank) : rt_(rt) {
+  OmpBody(OmpRuntime<View>& rt, TeamContext<View>* team, std::uint32_t rank)
+      : rt_(rt) {
     stack_.push_back(TeamFrame{team, rank, /*is_master=*/false});
   }
 
@@ -117,15 +135,15 @@ class OmpBody final : public machine::ThreadBody {
   /// Sequential walk over a Task-like node's children (also used for the
   /// Root's top-level sequence).
   struct SeqFrame {
-    const Node* node = nullptr;
+    ChildCursor walk{};
     LeafCostModel leaf{};
-    std::size_t child = 0;
     std::uint64_t rep_done = 0;
+    bool top_level = false;  ///< walking the Root's child sequence
   };
 
   /// Participation in one parallel region.
   struct TeamFrame {
-    TeamContext* team = nullptr;
+    TeamContext<View>* team = nullptr;
     std::uint32_t rank = 0;
     bool is_master = false;
     enum class Phase : std::uint8_t { Fetch, Arrive, WaitDone, Done };
@@ -144,40 +162,39 @@ class OmpBody final : public machine::ThreadBody {
   }
 
   void step_seq(Machine& m, ThreadId self, SeqFrame& f) {
-    const auto& kids = f.node->children();
-    if (f.child >= kids.size()) {
+    const View& view = rt_.view;
+    if (view.cursor_done(f.walk)) {
       stack_.pop_back();
       return;
     }
-    const Node& c = *kids[f.child];
-    if (f.rep_done >= c.repeat()) {
-      ++f.child;
+    const NodeRef c = view.cursor_node(f.walk);
+    if (f.rep_done >= view.repeat(c)) {
+      view.cursor_advance(f.walk);
       f.rep_done = 0;
       return;
     }
     ++f.rep_done;
     const OmpOverheads& ov = rt_.cfg.overheads;
-    switch (c.kind()) {
+    switch (view.kind(c)) {
       case NodeKind::U:
         if (rt_.synth()) add_synth_overhead(self, rt_.mode.synth.access_node);
-        pending_.push_back(f.leaf.leaf_op(c.length()));
+        pending_.push_back(f.leaf.leaf_op(view.length(c)));
         return;
       case NodeKind::L:
         if (rt_.synth()) add_synth_overhead(self, rt_.mode.synth.access_node);
         pending_.push_back(Op::exec(ov.lock_acquire));
-        pending_.push_back(Op::acquire(c.lock_id()));
-        pending_.push_back(f.leaf.leaf_op(c.length()));
-        pending_.push_back(Op::release(c.lock_id()));
+        pending_.push_back(Op::acquire(view.lock_id(c)));
+        pending_.push_back(f.leaf.leaf_op(view.length(c)));
+        pending_.push_back(Op::release(view.lock_id(c)));
         pending_.push_back(Op::exec(ov.lock_release));
         return;
       case NodeKind::Sec: {
         if (rt_.synth()) {
           add_synth_overhead(self, rt_.mode.synth.recursive_call);
         }
-        const bool top_level = f.node->kind() == NodeKind::Root;
         const LeafCostModel leaf =
-            top_level ? rt_.top_level_leaf(c) : f.leaf;
-        TeamContext* team = rt_.open_team(m, c, leaf);
+            f.top_level ? rt_.top_level_leaf(c) : f.leaf;
+        TeamContext<View>* team = rt_.open_team(m, c, leaf);
         pending_.push_back(Op::exec(
             ov.fork_base + ov.fork_per_thread * (rt_.cfg.num_threads - 1)));
         for (std::uint32_t r = 1; r < rt_.cfg.num_threads; ++r) {
@@ -193,13 +210,15 @@ class OmpBody final : public machine::ThreadBody {
   }
 
   void step_team(Machine& /*m*/, ThreadId /*self*/, TeamFrame& f) {
-    TeamContext& team = *f.team;
+    const View& view = rt_.view;
+    TeamContext<View>& team = *f.team;
     switch (f.phase) {
       case TeamFrame::Phase::Fetch: {
         if (f.range_active && f.next_iter < f.range.end) {
           const std::uint64_t i = f.next_iter++;
           stack_.push_back(
-              SeqFrame{team.index.task_at(i), team.leaf, 0, 0});
+              SeqFrame{view.children(view.task_at(team.index, i)), team.leaf,
+                       0, false});
           return;
         }
         const std::optional<IterRange> r = team.sched->next(f.rank);
@@ -217,7 +236,7 @@ class OmpBody final : public machine::ThreadBody {
         ++team.arrivals;
         const bool last = team.arrivals == team.size;
         if (last) pending_.push_back(Op::notify(team.done));
-        if (team.sec->barrier_at_end()) {
+        if (view.barrier_at_end(team.sec)) {
           pending_.push_back(Op::exec(rt_.cfg.overheads.join_barrier));
           pending_.push_back(Op::wait(team.done));
         }
@@ -241,20 +260,23 @@ class OmpBody final : public machine::ThreadBody {
     }
   }
 
-  OmpRuntime& rt_;
+  OmpRuntime<View>& rt_;
   std::vector<Frame> stack_;
   std::deque<Op> pending_;
 };
 
-RunResult run_root(const Node& root, const machine::MachineConfig& mcfg,
-                   const OmpConfig& ocfg, const ExecMode& mode) {
+template <class View>
+RunResult run_walk(const View& view, typename View::ChildCursor walk,
+                   const machine::MachineConfig& mcfg, const OmpConfig& ocfg,
+                   const ExecMode& mode) {
   if (ocfg.num_threads == 0) {
     throw std::invalid_argument("omp executor: num_threads must be >= 1");
   }
   Machine machine(mcfg);
   machine.set_timeline(mode.timeline);
-  OmpRuntime rt(ocfg, mode);
-  machine.spawn_thread(std::make_unique<OmpBody>(rt, &root));
+  OmpRuntime<View> rt(view, ocfg, mode);
+  machine.spawn_thread(
+      std::make_unique<OmpBody<View>>(rt, walk, /*top_level=*/true));
   RunResult result;
   result.stats = machine.run();
   result.elapsed = result.stats.finish_time;
@@ -268,7 +290,8 @@ RunResult run_tree_omp(const tree::ProgramTree& tree,
                        const machine::MachineConfig& mcfg,
                        const OmpConfig& ocfg, const ExecMode& mode) {
   if (!tree.root) throw std::invalid_argument("omp executor: empty tree");
-  return run_root(*tree.root, mcfg, ocfg, mode);
+  const PtrTreeView view;
+  return run_walk(view, view.children(tree.root.get()), mcfg, ocfg, mode);
 }
 
 RunResult run_section_omp(const tree::Node& sec,
@@ -277,9 +300,31 @@ RunResult run_section_omp(const tree::Node& sec,
   if (sec.kind() != NodeKind::Sec) {
     throw std::invalid_argument("run_section_omp: node is not a Sec");
   }
-  Node root(NodeKind::Root, "root");
+  tree::Node root(NodeKind::Root, "root");
   root.add_child(sec.clone());
-  return run_root(root, mcfg, ocfg, mode);
+  const PtrTreeView view;
+  return run_walk(view, view.children(&root), mcfg, ocfg, mode);
+}
+
+RunResult run_tree_omp(const tree::CompiledTree& ct,
+                       const machine::MachineConfig& mcfg,
+                       const OmpConfig& ocfg, const ExecMode& mode) {
+  const FlatTreeView view{&ct};
+  return run_walk(view, view.children(ct.root()), mcfg, ocfg, mode);
+}
+
+RunResult run_section_omp(const tree::CompiledTree& ct, std::uint32_t section,
+                          const machine::MachineConfig& mcfg,
+                          const OmpConfig& ocfg, const ExecMode& mode) {
+  if (section >= ct.section_count()) {
+    throw std::invalid_argument("run_section_omp: section out of range");
+  }
+  // The pointer path clones the section under a fresh Root; walking the
+  // single-node range in place replicates that traversal exactly (including
+  // the section's own repeat count) without the copy.
+  return run_walk(FlatTreeView{&ct},
+                  machine::FlatChildWalk::single(ct, ct.section_node(section)),
+                  mcfg, ocfg, mode);
 }
 
 }  // namespace pprophet::runtime

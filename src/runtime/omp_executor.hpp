@@ -28,6 +28,7 @@
 #include "runtime/iter_sched.hpp"
 #include "runtime/memsplit.hpp"
 #include "runtime/overheads.hpp"
+#include "tree/compile.hpp"
 #include "tree/node.hpp"
 
 namespace pprophet::runtime {
@@ -49,6 +50,11 @@ struct ExecMode {
   /// ω used to decompose section counters into compute vs memory cycles
   /// (must match the vcpu cost model's DRAM latency for consistency).
   Cycles dram_stall = 200;
+  /// Synth mode: force burden β = 1.0 for top-level sections regardless of
+  /// annotations (the "memory model off" prediction variant). The pointer
+  /// path historically strips burdens by cloning the section and writing
+  /// β = 1; a compiled tree is immutable, so this flag does it instead.
+  bool unit_burden = false;
 
   static ExecMode real() { return ExecMode{}; }
   static ExecMode synth_mode() {
@@ -79,6 +85,18 @@ RunResult run_tree_omp(const tree::ProgramTree& tree,
 /// Runs a single top-level parallel section (the synthesizer's
 /// EmulTopLevelParSec). `sec` must be a Sec node.
 RunResult run_section_omp(const tree::Node& sec,
+                          const machine::MachineConfig& mcfg,
+                          const OmpConfig& ocfg, const ExecMode& mode);
+
+/// Compiled-tree overloads: the same replay over flat arrays — body
+/// generation allocates nothing per prediction and results are
+/// bit-identical (tests/tree/test_compile.cpp). `section` indexes the
+/// compiled tree's top-level-section table; note the section's repeat
+/// count replays inside the run, exactly like the cloning pointer path.
+RunResult run_tree_omp(const tree::CompiledTree& ct,
+                       const machine::MachineConfig& mcfg,
+                       const OmpConfig& ocfg, const ExecMode& mode);
+RunResult run_section_omp(const tree::CompiledTree& ct, std::uint32_t section,
                           const machine::MachineConfig& mcfg,
                           const OmpConfig& ocfg, const ExecMode& mode);
 

@@ -68,12 +68,14 @@ JsonValue Client::call(const JsonValue& request) {
 JsonValue Client::call(const std::string& op) {
   JsonValue r;
   r.set("op", JsonValue(op));
+  r.set("v", JsonValue(kProtocolVersion));
   return call(r);
 }
 
 std::string Client::upload(const std::string& pptb_bytes) {
   JsonValue req;
   req.set("op", JsonValue("upload"));
+  req.set("v", JsonValue(kProtocolVersion));
   req.set("pptb", JsonValue(base64_encode(pptb_bytes)));
   const JsonValue resp = call(req);
   const JsonValue* ok = resp.find("ok");

@@ -41,6 +41,8 @@ ProfileStore::PutResult ProfileStore::put(const std::string& pptb_bytes) {
       std::make_shared<tree::ProgramTree>(tree::unpack(entry->packed));
   entry->nodes = unpacked->node_count();
   entry->serial_cycles = unpacked->total_serial_cycles();
+  entry->compiled = std::make_shared<const tree::CompiledTree>(
+      tree::CompiledTree::compile(*unpacked));
   entry->unpacked = std::move(unpacked);
   entry->upload_bytes = pptb_bytes.size();
 

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "tree/binary.hpp"
+#include "tree/compile.hpp"
 #include "tree/compress.hpp"
 
 namespace pprophet::serve {
@@ -40,6 +41,12 @@ class ProfileStore {
     tree::PackedTree packed;  ///< for per-request mutation (burden annotation)
     /// Expanded tree shared by every concurrent read-only prediction.
     std::shared_ptr<const tree::ProgramTree> unpacked;
+    /// Flat compiled form (tree::CompiledTree), built once at upload so
+    /// every cache-missing request sweeps over the arrays directly. Its
+    /// tree_digest() is also the result-cache key prefix: two uploads whose
+    /// bytes differ but whose trees are semantically identical share cached
+    /// results (docs/SERVE.md).
+    std::shared_ptr<const tree::CompiledTree> compiled;
     std::size_t upload_bytes = 0;
     std::size_t nodes = 0;
     Cycles serial_cycles = 0;

@@ -9,6 +9,12 @@
 // carry "ok":true plus op-specific fields, or "ok":false with an "error"
 // code from kError* and a human-readable "message". Binary tree payloads
 // (PPTB, tree/binary.hpp) travel base64-encoded in JSON strings.
+//
+// Versioning: requests may carry an integer "v" field. Absent means version
+// 1 (the pre-versioning wire format, accepted forever); the server answers
+// any version up to kProtocolVersion and echoes "v" in the response when
+// the request said v >= 2. Unknown or malformed versions are refused with
+// the structured `unsupported_version` error rather than a guess.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +30,10 @@ namespace pprophet::serve {
 /// dictionary-packed tree (the paper's 13.5 GB raw CG-B tree packs to MBs).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Highest protocol version this build speaks. Requests without a "v" field
+/// are treated as version 1.
+inline constexpr std::uint64_t kProtocolVersion = 2;
+
 // Stable error codes (the "error" field of a failed response).
 inline constexpr const char* kErrBadRequest = "bad_request";
 inline constexpr const char* kErrNotFound = "not_found";
@@ -31,6 +41,7 @@ inline constexpr const char* kErrOverloaded = "overloaded";
 inline constexpr const char* kErrDeadline = "deadline_exceeded";
 inline constexpr const char* kErrShuttingDown = "shutting_down";
 inline constexpr const char* kErrInternal = "internal";
+inline constexpr const char* kErrUnsupportedVersion = "unsupported_version";
 
 /// Transport failure (peer gone, short read, oversized frame).
 class ProtocolError : public std::runtime_error {

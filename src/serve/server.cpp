@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -31,6 +32,42 @@ void close_quiet(int& fd) {
     ::close(fd);
     fd = -1;
   }
+}
+
+/// Resolves the request's protocol version ("v" field; absent means 1).
+/// Returns false when the field is present but not an integer in
+/// [1, kProtocolVersion]; `version` still carries the requested number when
+/// it was at least numeric, so the refusal can echo it.
+bool parse_version(const JsonValue& request, std::uint64_t& version) {
+  version = 1;
+  const JsonValue* v = request.find("v");
+  if (v == nullptr) return true;
+  std::uint64_t n = 0;
+  try {
+    n = v->as_u64();
+  } catch (const JsonError&) {
+    return false;
+  }
+  version = n;
+  return n >= 1 && n <= kProtocolVersion;
+}
+
+JsonValue unsupported_version_response(const std::string& op,
+                                       std::uint64_t version) {
+  JsonValue r = error_response(
+      op, kErrUnsupportedVersion,
+      "protocol version " + std::to_string(version) +
+          " not supported (this server speaks up to " +
+          std::to_string(kProtocolVersion) + ")");
+  if (version >= 2) r.set("v", JsonValue(version));
+  return r;
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf, 16);
 }
 
 /// Parses a wire-name list field: accepts "methods":["ff","syn"] or the
@@ -447,6 +484,7 @@ void Server::connection_loop(int fd) {
 
     JsonValue response;
     std::string op = "?";
+    std::uint64_t version = 1;
     try {
       const JsonValue request = json_parse(payload);
       const JsonValue* op_field = request.find("op");
@@ -454,7 +492,9 @@ void Server::connection_loop(int fd) {
         throw JsonError("missing string field 'op'");
       }
       op = op_field->as_string();
-      if (op == "ping") {
+      if (!parse_version(request, version)) {
+        response = unsupported_version_response(op, version);
+      } else if (op == "ping") {
         response = ok_response(op);
       } else if (op == "stats") {
         response = handle_stats();
@@ -486,6 +526,9 @@ void Server::connection_loop(int fd) {
     } catch (const JsonError& e) {
       response = error_response(op, kErrBadRequest, e.what());
     }
+    // v1 clients (no "v" in the request) get byte-identical v1 responses;
+    // v2+ clients get their version echoed back.
+    if (version >= 2) response.set("v", JsonValue(version));
 
     note_outcome(response);
     try {
@@ -514,16 +557,22 @@ void Server::answer_buffered_shutdown(int fd) {
     requests_total_.add(1);
     obs::count("serve.requests");
     std::string op = "?";
+    std::uint64_t version = 1;
+    bool version_ok = true;
     try {
       const JsonValue request = json_parse(payload);
       if (const JsonValue* f = request.find("op"); f != nullptr && f->is_string()) {
         op = f->as_string();
       }
+      version_ok = parse_version(request, version);
     } catch (const JsonError&) {
       // Still answer: the client gets shutting_down rather than silence.
     }
-    JsonValue response = error_response(op, kErrShuttingDown,
-                                        "server is draining for shutdown");
+    JsonValue response =
+        version_ok ? error_response(op, kErrShuttingDown,
+                                    "server is draining for shutdown")
+                   : unsupported_version_response(op, version);
+    if (version_ok && version >= 2) response.set("v", JsonValue(version));
     note_outcome(response);
     try {
       write_frame(fd, json_dump(response));
@@ -608,8 +657,14 @@ JsonValue Server::handle_grid_op(const JsonValue& request,
     spec.grid.schedules.resize(1);
     spec.grid.chunks.resize(1);
   }
-  const std::string cache_key =
-      entry->key + "|" + op + "|" + json_dump(canonical_grid_json(spec));
+  // Keyed by the compiled tree's semantic digest rather than the upload
+  // bytes: two uploads that differ only in node names (or packing) share
+  // one cache entry. The spec JSON carries everything the burden-annotation
+  // path depends on (cores, threads, memory_model), so the un-annotated
+  // digest is a sound prefix for both branches below.
+  const std::string cache_key = digest_hex(entry->compiled->tree_digest()) +
+                                "|" + op + "|" +
+                                json_dump(canonical_grid_json(spec));
 
   JsonValue r = ok_response(op);
   if (auto hit = cache_->get(cache_key)) {
@@ -636,7 +691,7 @@ JsonValue Server::handle_grid_op(const JsonValue& request,
     memmodel::annotate_burdens(fresh, model, spec.grid.thread_counts);
     res = core::sweep(fresh, spec.grid, sopts);
   } else {
-    res = core::sweep(*entry->unpacked, spec.grid, sopts);
+    res = core::sweep(*entry->compiled, spec.grid, sopts);
   }
 
   JsonValue result;
@@ -702,8 +757,8 @@ JsonValue Server::handle_recommend(const JsonValue& request) {
   canonical.set("cores", JsonValue(static_cast<std::uint64_t>(cores)));
   canonical.set("memory_model", JsonValue(memory_model));
   canonical.set("efficiency_knee", JsonValue(ro.efficiency_knee));
-  const std::string cache_key =
-      entry->key + "|recommend|" + json_dump(canonical);
+  const std::string cache_key = digest_hex(entry->compiled->tree_digest()) +
+                                "|recommend|" + json_dump(canonical);
 
   JsonValue r = ok_response("recommend");
   if (auto hit = cache_->get(cache_key)) {
@@ -724,7 +779,7 @@ JsonValue Server::handle_recommend(const JsonValue& request) {
       memmodel::annotate_burdens(fresh, model, ro.thread_counts);
       rec = core::recommend(fresh, ro);
     } else {
-      rec = core::recommend(*entry->unpacked, ro);
+      rec = core::recommend(*entry->compiled, ro);
     }
   } catch (const std::invalid_argument& e) {
     throw BadRequest(std::string("recommend: ") + e.what());

@@ -86,6 +86,11 @@ class Node {
   /// unset.
   double burden(CoreCount threads) const;
   void set_burden(CoreCount threads, double beta);
+  /// The full (thread count, β) table, in insertion order; empty when the
+  /// memory model never ran. Enumerated by tree compilation (compile.hpp).
+  const std::vector<std::pair<CoreCount, double>>& burdens() const {
+    return burdens_;
+  }
 
   const std::vector<NodePtr>& children() const { return children_; }
   /// Mutable access for tree-rewriting passes (compression).

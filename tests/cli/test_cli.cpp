@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "tree/serialize.hpp"
 #include "workloads/test_patterns.hpp"
@@ -63,6 +64,98 @@ TEST_F(CliTest, ParseFullPredictLine) {
   EXPECT_EQ(o->cores, 6u);
   EXPECT_TRUE(o->memory_model);
   EXPECT_EQ(o->csv_path, "/tmp/x.csv");
+}
+
+// The canonical spellings (ff/syn/suit/real, omp/cilk, static/static1/
+// dynamic/guided) come from one shared parser in serve/protocol.cpp; every
+// subcommand — predict's singular flags, sweep's and client's list flags —
+// must accept exactly this table, and the wire parsers must agree.
+TEST_F(CliTest, CanonicalSpellingsSharedAcrossSubcommands) {
+  const struct {
+    const char* spelling;
+    core::Method want;
+  } kMethods[] = {
+      {"ff", core::Method::FastForward},
+      {"syn", core::Method::Synthesizer},
+      {"suit", core::Method::Suitability},
+      {"real", core::Method::GroundTruth},
+  };
+  const struct {
+    const char* spelling;
+    core::Paradigm want;
+  } kParadigms[] = {
+      {"omp", core::Paradigm::OpenMP},
+      {"cilk", core::Paradigm::CilkPlus},
+  };
+  const struct {
+    const char* spelling;
+    runtime::OmpSchedule want;
+  } kSchedules[] = {
+      {"static", runtime::OmpSchedule::StaticBlock},
+      {"static1", runtime::OmpSchedule::StaticCyclic},
+      {"dynamic", runtime::OmpSchedule::Dynamic},
+      {"guided", runtime::OmpSchedule::Guided},
+  };
+
+  for (const auto& m : kMethods) {
+    SCOPED_TRACE(m.spelling);
+    const auto singular =
+        parse({"predict", "--tree", tree_path_, "--method", m.spelling});
+    ASSERT_TRUE(singular.has_value());
+    EXPECT_EQ(singular->method, m.want);
+    for (const char* cmd : {"sweep", "client"}) {
+      const auto plural =
+          parse({cmd, "--tree", tree_path_, "--methods", m.spelling});
+      ASSERT_TRUE(plural.has_value());
+      ASSERT_EQ(plural->methods.size(), 1u);
+      EXPECT_EQ(plural->methods[0], m.want);
+    }
+    core::Method wire = core::Method::GroundTruth;
+    EXPECT_TRUE(serve::parse_method(m.spelling, wire));
+    EXPECT_EQ(wire, m.want);
+  }
+  for (const auto& p : kParadigms) {
+    SCOPED_TRACE(p.spelling);
+    const auto singular =
+        parse({"predict", "--tree", tree_path_, "--paradigm", p.spelling});
+    ASSERT_TRUE(singular.has_value());
+    EXPECT_EQ(singular->paradigm, p.want);
+    for (const char* cmd : {"sweep", "client"}) {
+      const auto plural =
+          parse({cmd, "--tree", tree_path_, "--paradigms", p.spelling});
+      ASSERT_TRUE(plural.has_value());
+      ASSERT_EQ(plural->paradigms.size(), 1u);
+      EXPECT_EQ(plural->paradigms[0], p.want);
+    }
+    core::Paradigm wire = core::Paradigm::OpenMP;
+    EXPECT_TRUE(serve::parse_paradigm(p.spelling, wire));
+    EXPECT_EQ(wire, p.want);
+  }
+  for (const auto& s : kSchedules) {
+    SCOPED_TRACE(s.spelling);
+    const auto singular =
+        parse({"predict", "--tree", tree_path_, "--schedule", s.spelling});
+    ASSERT_TRUE(singular.has_value());
+    EXPECT_EQ(singular->schedule, s.want);
+    for (const char* cmd : {"sweep", "client"}) {
+      const auto plural =
+          parse({cmd, "--tree", tree_path_, "--schedules", s.spelling});
+      ASSERT_TRUE(plural.has_value());
+      ASSERT_EQ(plural->schedules.size(), 1u);
+      EXPECT_EQ(plural->schedules[0], s.want);
+    }
+    runtime::OmpSchedule wire = runtime::OmpSchedule::StaticCyclic;
+    EXPECT_TRUE(serve::parse_schedule(s.spelling, wire));
+    EXPECT_EQ(wire, s.want);
+  }
+
+  // And the rejects stay rejects everywhere: the serve/client parsers must
+  // not be looser than predict's.
+  for (const char* cmd : {"predict", "client"}) {
+    EXPECT_FALSE(parse({cmd, "--tree", tree_path_, "--method", "fast"}));
+    EXPECT_FALSE(parse({cmd, "--tree", tree_path_, "--paradigm", "openmp"}));
+    EXPECT_FALSE(parse({cmd, "--tree", tree_path_, "--schedule", "Static"}));
+  }
 }
 
 TEST_F(CliTest, ParseRejectsBadValues) {

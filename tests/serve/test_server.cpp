@@ -95,6 +95,101 @@ TEST_F(ServerTest, UploadIsIdempotentAcrossClients) {
   server.stop();
 }
 
+// The "v" compat rule (docs/SERVE.md): no "v" means version 1 and the
+// response stays in the v1 shape; v in [2, kProtocolVersion] is echoed;
+// anything else gets the structured unsupported_version error.
+TEST_F(ServerTest, ProtocolVersionNegotiation) {
+  Server server(base_config("version"));
+  server.start();
+  Client c;
+  c.connect(server.config().socket_path);
+
+  // v1 request: no "v" field, response must not grow one.
+  JsonValue v1;
+  v1.set("op", JsonValue("ping"));
+  const JsonValue r1 = c.call(v1);
+  EXPECT_TRUE(r1.at("ok").as_bool());
+  EXPECT_EQ(r1.find("v"), nullptr);
+
+  // v2 request: echoed back.
+  JsonValue v2;
+  v2.set("op", JsonValue("ping"));
+  v2.set("v", JsonValue(kProtocolVersion));
+  const JsonValue r2 = c.call(v2);
+  EXPECT_TRUE(r2.at("ok").as_bool());
+  ASSERT_NE(r2.find("v"), nullptr);
+  EXPECT_EQ(r2.at("v").as_u64(), kProtocolVersion);
+
+  // Future version: structured refusal naming the code, echoing v.
+  JsonValue v99;
+  v99.set("op", JsonValue("ping"));
+  v99.set("v", JsonValue(std::uint64_t{99}));
+  const JsonValue r99 = c.call(v99);
+  EXPECT_FALSE(r99.at("ok").as_bool());
+  EXPECT_EQ(r99.at("error").as_string(), kErrUnsupportedVersion);
+  EXPECT_EQ(r99.at("v").as_u64(), 99u);
+
+  // Malformed versions are refused too, not half-parsed.
+  for (JsonValue bad : {JsonValue("two"), JsonValue(std::uint64_t{0}),
+                        JsonValue(2.5)}) {
+    JsonValue req;
+    req.set("op", JsonValue("ping"));
+    req.set("v", std::move(bad));
+    const JsonValue r = c.call(req);
+    EXPECT_FALSE(r.at("ok").as_bool());
+    EXPECT_EQ(r.at("error").as_string(), kErrUnsupportedVersion);
+  }
+
+  // The versioned op still does real work: a v2 upload + predict round.
+  JsonValue up;
+  up.set("op", JsonValue("upload"));
+  up.set("v", JsonValue(kProtocolVersion));
+  up.set("pptb", JsonValue(base64_encode(sample_pptb())));
+  const JsonValue ur = c.call(up);
+  ASSERT_TRUE(ur.at("ok").as_bool());
+  EXPECT_EQ(ur.at("v").as_u64(), kProtocolVersion);
+  JsonValue pr;
+  pr.set("op", JsonValue("predict"));
+  pr.set("v", JsonValue(kProtocolVersion));
+  pr.set("key", ur.at("key"));
+  const JsonValue presp = c.call(pr);
+  ASSERT_TRUE(presp.at("ok").as_bool());
+  EXPECT_EQ(presp.at("v").as_u64(), kProtocolVersion);
+  server.stop();
+}
+
+// v1 and v2 clients interoperate against one server: the same predict
+// issued both ways returns identical results (and shares the result cache,
+// since the cache key is the compiled tree digest + canonical grid).
+TEST_F(ServerTest, V1AndV2ClientsInteroperate) {
+  Server server(base_config("interop"));
+  server.start();
+  const std::string bytes = sample_pptb();
+  Client c;
+  c.connect(server.config().socket_path);
+  const std::string key = c.upload(bytes);
+
+  const auto predict_req = [&](bool versioned) {
+    JsonValue req;
+    req.set("op", JsonValue("predict"));
+    if (versioned) req.set("v", JsonValue(kProtocolVersion));
+    req.set("key", JsonValue(key));
+    req.set("threads", JsonValue(JsonValue::Array{JsonValue(2), JsonValue(4)}));
+    return req;
+  };
+  const JsonValue r_v1 = c.call(predict_req(false));
+  const JsonValue r_v2 = c.call(predict_req(true));
+  ASSERT_TRUE(r_v1.at("ok").as_bool());
+  ASSERT_TRUE(r_v2.at("ok").as_bool());
+  EXPECT_EQ(r_v1.find("v"), nullptr);
+  EXPECT_EQ(r_v2.at("v").as_u64(), kProtocolVersion);
+  // Identical payloads, and the v2 call hit the cache the v1 call filled.
+  EXPECT_EQ(r_v1.at("result"), r_v2.at("result"));
+  EXPECT_FALSE(r_v1.at("cached").as_bool());
+  EXPECT_TRUE(r_v2.at("cached").as_bool());
+  server.stop();
+}
+
 TEST_F(ServerTest, ErrorPaths) {
   Server server(base_config("errors"));
   server.start();
@@ -212,7 +307,9 @@ TEST_F(ServerTest, ConcurrentSweepsBitIdenticalToInProcessAndCached) {
     for (auto& t : clients) t.join();
     for (const JsonValue& resp : responses) {
       check_response(resp);
-      if (expect_all_cached) EXPECT_TRUE(resp.at("cached").as_bool());
+      if (expect_all_cached) {
+        EXPECT_TRUE(resp.at("cached").as_bool());
+      }
     }
   };
 

@@ -33,6 +33,7 @@ constexpr const char* kUsage = R"(usage:
                     [--paradigm omp|cilk] [--schedule static|static1|dynamic|guided]
                     [--chunk N] [--threads 2,4,8] [--cores N]
                     [--memory-model] [--csv FILE]
+                    [--engine-path auto|scalar|batched]
   pprophet inspect  --tree FILE
   pprophet compress --tree FILE -o FILE [--tolerance 0.05] [--lossy]
   pprophet recommend --tree FILE [--threads 2,4,8] [--cores N]
@@ -43,6 +44,7 @@ constexpr const char* kUsage = R"(usage:
                     [--paradigms omp,cilk] [--schedules static1,static,dynamic]
                     [--chunks 1,4] [--threads 2,4,8] [--cores N]
                     [--memory-model] [--workers N] [--csv FILE]
+                    [--engine-path auto|scalar|batched]
   pprophet serve    --socket PATH [--serve-workers N] [--queue-limit N]
                     [--cache-mb N] [--workers N] [--cores N]
   pprophet client   --socket PATH --op ping|stats|upload|predict|sweep|recommend
@@ -80,6 +82,21 @@ bool parse_list(const std::string& v, std::vector<T>& out, ParseOne one) {
 bool parse_chunk(const std::string& v, std::uint64_t& out) {
   out = std::strtoull(v.c_str(), nullptr, 10);
   return out != 0;
+}
+
+// Spellings match core::to_string(EnginePath) so `--engine-path $(reported)`
+// round-trips.
+bool parse_engine_path(const std::string& v, core::EnginePath& out) {
+  if (v == "auto") {
+    out = core::EnginePath::Auto;
+  } else if (v == "scalar") {
+    out = core::EnginePath::Scalar;
+  } else if (v == "batched") {
+    out = core::EnginePath::Batched;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 bool parse_threads(const std::string& v, std::vector<CoreCount>& out) {
@@ -130,6 +147,7 @@ int cmd_predict(const Options& opts, std::ostream& out, std::ostream& err) {
   po.chunk = opts.chunk;
   po.machine.cores = opts.cores;
   po.memory_model = opts.memory_model;
+  po.engine_path = opts.engine_path;
   if (opts.memory_model) {
     memmodel::CalibrationOptions copts;
     copts.machine = po.machine;
@@ -210,6 +228,7 @@ int cmd_sweep(const Options& opts, std::ostream& out, std::ostream& err) {
   grid.memory_models = {opts.memory_model};
   grid.base = report::paper_options(grid.methods.front());
   grid.base.machine.cores = opts.cores;
+  grid.base.engine_path = opts.engine_path;
   if (opts.memory_model) {
     memmodel::CalibrationOptions copts;
     copts.machine = grid.base.machine;
@@ -249,7 +268,7 @@ int cmd_sweep(const Options& opts, std::ostream& out, std::ostream& err) {
   status << "sweep over " << res.stats.grid_points
          << " grid points, machine " << opts.cores
          << " cores, memory model " << (opts.memory_model ? "on" : "off")
-         << "\n";
+         << ", engine path " << core::to_string(opts.engine_path) << "\n";
   if (!csv_stdout) table.print(out);
   const auto& s = res.stats;
   (csv_selected ? err : out)
@@ -257,7 +276,9 @@ int cmd_sweep(const Options& opts, std::ostream& out, std::ostream& err) {
       << s.section_evals << " of " << s.section_lookups
       << " lookups (memo hit rate " << util::fmt_pct(s.hit_rate()) << "), "
       << s.workers << " worker" << (s.workers == 1 ? "" : "s") << ", "
-      << util::fmt_f(s.wall_ms, 1) << " ms\n";
+      << s.batched_blocks << " batched block"
+      << (s.batched_blocks == 1 ? "" : "s") << " (" << s.batched_points
+      << " points), " << util::fmt_f(s.wall_ms, 1) << " ms\n";
   if (csv_stdout) {
     out << csv.to_string();
   } else if (csv_selected) {
@@ -698,6 +719,12 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       const auto v = need_value();
       if (!v || !parse_list<std::uint64_t>(*v, opts.chunks, parse_chunk)) {
         err << "pprophet: bad --chunks (use e.g. 1,4)\n";
+        return std::nullopt;
+      }
+    } else if (a == "--engine-path") {
+      const auto v = need_value();
+      if (!v || !parse_engine_path(*v, opts.engine_path)) {
+        err << "pprophet: bad --engine-path (use auto, scalar or batched)\n";
         return std::nullopt;
       }
     } else if (a == "--workers") {

@@ -1,12 +1,37 @@
 // Shared random program-tree generators for the property suites: any tree
 // the grammar allows — top-level U/Sec mix, tasks with U/L/nested-Sec
 // children, bounded depth and size, compressed repeats.
+//
+// Reproducibility: suites derive their seeds from property_seed(), which
+// honors the PPROPHET_TEST_SEED environment variable, and wrap per-tree
+// assertions in SCOPED_TRACE(seed_trace(seed, tree)) so a CI failure prints
+// the exact seed to re-run plus a textual dump of the offending tree.
 #pragma once
 
+#include <string>
+
 #include "tree/builder.hpp"
+#include "tree/serialize.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 
 namespace pprophet::tree {
+
+/// Base seed for a property suite: `fallback` unless the PPROPHET_TEST_SEED
+/// environment variable is set (so a failure printed by seed_trace can be
+/// replayed with `PPROPHET_TEST_SEED=<seed> ctest -R <suite>`).
+inline std::uint64_t property_seed(std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      util::env_long("PPROPHET_TEST_SEED", static_cast<long>(fallback)));
+}
+
+/// Failure banner for SCOPED_TRACE: the seed that reproduces the failing
+/// tree plus its textual serialization (small trees only — the generators
+/// above are bounded, so dumps stay readable).
+inline std::string seed_trace(std::uint64_t seed, const ProgramTree& tree) {
+  return "reproduce with PPROPHET_TEST_SEED=" + std::to_string(seed) +
+         "; failing tree:\n" + to_text(tree);
+}
 
 /// Grows a random task body: U/L segments with occasional nested sections.
 inline void grow_random_task(TreeBuilder& b, util::Xoshiro256& rng,

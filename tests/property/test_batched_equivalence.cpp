@@ -1,0 +1,317 @@
+// Differential harness for the batched evaluation path (ISSUE 6): the
+// batched FF/Suitability evaluators and the batched sweep routing must be
+// bit-identical to the scalar engines on random trees, across method ×
+// paradigm × schedule × chunk × thread count × block size — including block
+// sizes that do not divide the grid and degenerate 1-point blocks.
+//
+// Failures print the generator seed (PPROPHET_TEST_SEED replays it) and a
+// dump of the offending tree via seed_trace().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prophet.hpp"
+#include "core/sweep.hpp"
+#include "emul/ff.hpp"
+#include "emul/suitability.hpp"
+#include "random_trees.hpp"
+#include "tree/compile.hpp"
+
+namespace pprophet::emul {
+namespace {
+
+using core::EnginePath;
+using runtime::OmpSchedule;
+using tree::CompiledTree;
+using tree::ProgramTree;
+
+constexpr OmpSchedule kSchedules[] = {
+    OmpSchedule::StaticCyclic, OmpSchedule::StaticBlock, OmpSchedule::Dynamic,
+    OmpSchedule::Guided};
+constexpr CoreCount kThreads[] = {1, 2, 3, 4, 7};
+constexpr std::uint64_t kChunks[] = {0, 1, 2, 5};
+
+/// Random trees carry no burden tables; synthesize one per section so the
+/// apply_burden dimension exercises real β ≠ 1 scaling.
+ProgramTree burdened_random_tree(std::uint64_t seed) {
+  ProgramTree t = tree::random_tree(seed);
+  util::Xoshiro256 rng(seed ^ 0xbeefULL);
+  for (const auto& child : t.root->children()) {
+    if (child->kind() != tree::NodeKind::Sec) continue;
+    for (const CoreCount threads : kThreads) {
+      child->set_burden(threads,
+                        1.0 + 2.0 * rng.uniform_double());
+    }
+  }
+  return t;
+}
+
+class BatchedEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchedEquivalence, FfSectionMatchesScalarOnBothViews) {
+  const std::uint64_t seed = tree::property_seed(GetParam());
+  const ProgramTree t = burdened_random_tree(seed);
+  SCOPED_TRACE(tree::seed_trace(seed, t));
+  const CompiledTree ct = CompiledTree::compile(t);
+
+  const runtime::OmpOverheads ov{};
+  std::uint32_t s = 0;
+  for (const auto& child : t.root->children()) {
+    if (child->kind() != tree::NodeKind::Sec) continue;
+    FfSectionBatch batch_ct(ct, s, ov);
+    FfSectionBatch batch_ptr(*child, ov);
+    for (const OmpSchedule sched : kSchedules) {
+      for (const CoreCount threads : kThreads) {
+        for (const std::uint64_t chunk : kChunks) {
+          for (const bool burden : {false, true}) {
+            FfConfig cfg;
+            cfg.num_threads = threads;
+            cfg.schedule = sched;
+            cfg.chunk = chunk;
+            cfg.overheads = ov;
+            cfg.apply_burden = burden;
+            const Cycles scalar =
+                emulate_ff_section(ct, s, cfg).parallel_cycles;
+            const Cycles scalar_ptr =
+                emulate_ff_section(*child, cfg).parallel_cycles;
+            ASSERT_EQ(scalar, scalar_ptr);
+            const BlockPoint p{threads, sched, chunk, burden};
+            ASSERT_EQ(batch_ct.evaluate(p), scalar)
+                << "sched=" << static_cast<int>(sched) << " t=" << threads
+                << " chunk=" << chunk << " burden=" << burden;
+            ASSERT_EQ(batch_ptr.evaluate(p), scalar);
+          }
+        }
+      }
+    }
+    ++s;
+  }
+}
+
+TEST_P(BatchedEquivalence, BlockEvaluationMatchesPointwise) {
+  const std::uint64_t seed = tree::property_seed(GetParam());
+  const ProgramTree t = burdened_random_tree(seed);
+  SCOPED_TRACE(tree::seed_trace(seed, t));
+  const CompiledTree ct = CompiledTree::compile(t);
+  if (ct.section_count() == 0) return;
+
+  // The full point grid, then re-evaluated in blocks of every awkward size:
+  // 1 (degenerate), 3 (does not divide 160), and the whole grid at once.
+  PointBlock all;
+  for (const OmpSchedule sched : kSchedules) {
+    for (const CoreCount threads : kThreads) {
+      for (const std::uint64_t chunk : kChunks) {
+        for (const bool burden : {false, true}) {
+          all.push_back(BlockPoint{threads, sched, chunk, burden});
+        }
+      }
+    }
+  }
+  const runtime::OmpOverheads ov{};
+  for (std::uint32_t s = 0; s < ct.section_count(); ++s) {
+    std::vector<Cycles> want;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      FfConfig cfg;
+      cfg.num_threads = all.threads[i];
+      cfg.schedule = all.schedules[i];
+      cfg.chunk = all.chunks[i];
+      cfg.overheads = ov;
+      cfg.apply_burden = all.apply_burden[i] != 0;
+      want.push_back(emulate_ff_section(ct, s, cfg).parallel_cycles);
+    }
+    for (const std::size_t block_size : {std::size_t{1}, std::size_t{3},
+                                         all.size()}) {
+      FfSectionBatch batch(ct, s, ov);
+      std::vector<Cycles> got;
+      for (std::size_t off = 0; off < all.size(); off += block_size) {
+        PointBlock blk;
+        for (std::size_t i = off; i < std::min(all.size(), off + block_size);
+             ++i) {
+          blk.push_back(all.at(i));
+        }
+        const std::vector<Cycles> part = batch.evaluate_block(blk);
+        got.insert(got.end(), part.begin(), part.end());
+      }
+      ASSERT_EQ(got, want) << "block_size=" << block_size << " section=" << s;
+    }
+  }
+}
+
+TEST_P(BatchedEquivalence, SuitabilitySectionMatchesScalar) {
+  const std::uint64_t seed = tree::property_seed(GetParam());
+  const ProgramTree t = burdened_random_tree(seed);
+  SCOPED_TRACE(tree::seed_trace(seed, t));
+  const CompiledTree ct = CompiledTree::compile(t);
+
+  std::uint32_t s = 0;
+  for (const auto& child : t.root->children()) {
+    if (child->kind() != tree::NodeKind::Sec) continue;
+    SuitabilitySectionBatch batch_ct(ct, s);
+    SuitabilitySectionBatch batch_ptr(*child);
+    SuitabilityConfig cfg;
+    for (const CoreCount threads : kThreads) {
+      cfg.num_threads = threads;
+      const Cycles scalar =
+          emulate_suitability_section(ct, s, cfg).parallel_cycles;
+      ASSERT_EQ(scalar,
+                emulate_suitability_section(*child, cfg).parallel_cycles);
+      ASSERT_EQ(batch_ct.evaluate(threads), scalar) << "t=" << threads;
+      ASSERT_EQ(batch_ptr.evaluate(threads), scalar) << "t=" << threads;
+    }
+    ++s;
+  }
+}
+
+TEST_P(BatchedEquivalence, PredictBatchedMatchesScalarAcrossMethods) {
+  const std::uint64_t seed = tree::property_seed(GetParam());
+  const ProgramTree t = burdened_random_tree(seed);
+  SCOPED_TRACE(tree::seed_trace(seed, t));
+  const CompiledTree ct = CompiledTree::compile(t);
+
+  for (const core::Method method :
+       {core::Method::FastForward, core::Method::Suitability,
+        core::Method::Synthesizer, core::Method::GroundTruth}) {
+    for (const core::Paradigm paradigm :
+         {core::Paradigm::OpenMP, core::Paradigm::CilkPlus}) {
+      for (const OmpSchedule sched : kSchedules) {
+        for (const CoreCount threads : {2, 5}) {
+          for (const bool mm : {false, true}) {
+            core::PredictOptions o;
+            o.method = method;
+            o.paradigm = paradigm;
+            o.schedule = sched;
+            o.chunk = 2;
+            o.memory_model = mm;
+            o.engine_path = EnginePath::Scalar;
+            const core::SpeedupEstimate scalar = core::predict(ct, threads, o);
+            o.engine_path = EnginePath::Batched;
+            const core::SpeedupEstimate batched =
+                core::predict(ct, threads, o);
+            ASSERT_EQ(scalar.parallel_cycles, batched.parallel_cycles)
+                << "method=" << static_cast<int>(method)
+                << " paradigm=" << static_cast<int>(paradigm)
+                << " sched=" << static_cast<int>(sched) << " t=" << threads
+                << " mm=" << mm;
+            ASSERT_EQ(scalar.serial_cycles, batched.serial_cycles);
+            ASSERT_EQ(scalar.speedup, batched.speedup);
+            // The pointer-tree overload honors the engine path too.
+            const core::SpeedupEstimate batched_ptr =
+                core::predict(t, threads, o);
+            ASSERT_EQ(scalar.parallel_cycles, batched_ptr.parallel_cycles);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BatchedEquivalence, SweepBatchedMatchesScalarBitForBit) {
+  const std::uint64_t seed = tree::property_seed(GetParam());
+  const ProgramTree t = burdened_random_tree(seed);
+  SCOPED_TRACE(tree::seed_trace(seed, t));
+  const CompiledTree ct = CompiledTree::compile(t);
+
+  core::SweepGrid grid;
+  grid.methods = {core::Method::FastForward, core::Method::Suitability,
+                  core::Method::Synthesizer, core::Method::GroundTruth};
+  grid.schedules = {OmpSchedule::StaticCyclic, OmpSchedule::Dynamic,
+                    OmpSchedule::Guided};
+  grid.thread_counts = {1, 2, 4, 7};
+  grid.memory_models = {false, true};
+  grid.base.machine.cores = 8;
+
+  core::SweepOptions scalar_opts;
+  scalar_opts.workers = 2;
+  grid.base.engine_path = EnginePath::Scalar;
+  const core::SweepResult scalar = core::sweep(ct, grid, scalar_opts);
+
+  // Batched with block sizes that do and do not divide the job count, plus
+  // unbounded (0) and degenerate 1-point blocks.
+  grid.base.engine_path = EnginePath::Batched;
+  for (const std::size_t block_points : {std::size_t{0}, std::size_t{1},
+                                         std::size_t{7}, std::size_t{64}}) {
+    core::SweepOptions bopts;
+    bopts.workers = 2;
+    bopts.block_points = block_points;
+    const core::SweepResult batched = core::sweep(ct, grid, bopts);
+    ASSERT_EQ(scalar.cells.size(), batched.cells.size());
+    for (std::size_t i = 0; i < scalar.cells.size(); ++i) {
+      ASSERT_EQ(scalar.cells[i].estimate.parallel_cycles,
+                batched.cells[i].estimate.parallel_cycles)
+          << "cell=" << i << " block_points=" << block_points;
+      ASSERT_EQ(scalar.cells[i].estimate.serial_cycles,
+                batched.cells[i].estimate.serial_cycles);
+      ASSERT_EQ(scalar.cells[i].estimate.speedup,
+                batched.cells[i].estimate.speedup);
+    }
+    // The memo invariants the scalar path maintains hold unchanged.
+    EXPECT_EQ(batched.stats.section_lookups,
+              scalar.stats.section_lookups);
+    EXPECT_EQ(batched.stats.section_lookups,
+              batched.stats.cache_hits + batched.stats.section_evals);
+    EXPECT_GT(batched.stats.batched_points, 0u);
+  }
+}
+
+TEST_P(BatchedEquivalence, IncrementalWalkMatchesFromScratch) {
+  // Fuzz the incremental re-evaluation machinery: a random walk over
+  // adjacent grid points (one dimension mutated per move) on ONE stateful
+  // FfSectionBatch must return exactly what a fresh evaluation returns at
+  // every stop — any stale carryover between points (β tables, static
+  // plans, memoized results) shows up as a mismatch here.
+  const std::uint64_t seed = tree::property_seed(GetParam());
+  const ProgramTree t = burdened_random_tree(seed);
+  SCOPED_TRACE(tree::seed_trace(seed, t));
+  const CompiledTree ct = CompiledTree::compile(t);
+  if (ct.section_count() == 0) return;
+
+  util::Xoshiro256 rng(seed ^ 0x1234'5678ULL);
+  const runtime::OmpOverheads ov{};
+  for (std::uint32_t s = 0; s < ct.section_count(); ++s) {
+    FfSectionBatch walker(ct, s, ov);
+    std::size_t ti = 1;  // indices into the axes
+    std::size_t si = 0;
+    std::size_t ci = 1;
+    bool burden = false;
+    for (int move = 0; move < 120; ++move) {
+      switch (rng.uniform_u64(0, 4)) {
+        case 0:
+          ti = (ti + 1) % (sizeof kThreads / sizeof kThreads[0]);
+          break;
+        case 1:
+          si = (si + 1) % (sizeof kSchedules / sizeof kSchedules[0]);
+          break;
+        case 2:
+          ci = (ci + 1) % (sizeof kChunks / sizeof kChunks[0]);
+          break;
+        default:
+          burden = !burden;
+          break;
+      }
+      const BlockPoint p{kThreads[ti], kSchedules[si], kChunks[ci], burden};
+      FfConfig cfg;
+      cfg.num_threads = p.threads;
+      cfg.schedule = p.schedule;
+      cfg.chunk = p.chunk;
+      cfg.overheads = ov;
+      cfg.apply_burden = p.apply_burden;
+      const Cycles scratch = emulate_ff_section(ct, s, cfg).parallel_cycles;
+      ASSERT_EQ(walker.evaluate(p), scratch)
+          << "move=" << move << " t=" << p.threads << " sched="
+          << static_cast<int>(p.schedule) << " chunk=" << p.chunk
+          << " burden=" << p.apply_burden;
+    }
+    // The walk revisits configurations, so the incremental machinery must
+    // actually have engaged — otherwise this test guards nothing.
+    EXPECT_GT(walker.stats().result_reuses + walker.stats().plan_reuses +
+                  walker.stats().scaled_reuses,
+              0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace pprophet::emul

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Sanitizer build matrix for CI: build the whole tree under each requested
+# sanitizer and run the ctest label subsets that exercise the batched
+# evaluation path and the multi-threaded engines.
+#
+#   tools/ci_matrix.sh [sanitizer ...]     # default: address undefined
+#
+# Per sanitizer (own build tree, build-ci-<san>):
+#   - `ctest -L 'batched|concurrency'` — the scalar-vs-batched differential
+#     harness (tests/property/test_batched_equivalence.cpp) plus every suite
+#     that drives the sweep worker pool, the memo, the metrics registry and
+#     the serve daemon.
+#   - `ctest -L perf` — the self-checking benches. Under ctest they run in
+#     smoke mode (PP_SMOKE=1, wired in bench/CMakeLists.txt): reduced grid,
+#     one sample, so the bit-identity gates — pointer vs compiled vs sweep,
+#     scalar vs batched engine path — still run on every PR without paying
+#     for representative timings. Run the binaries directly for real
+#     BENCH_*.json numbers.
+#
+# `thread` is also accepted (README documents the TSan + `-L concurrency`
+# combination) but is not in the default set: TSan roughly 10x-es the
+# event-engine suites, so CI runs it on a slower cadence.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sans=("$@")
+if [ ${#sans[@]} -eq 0 ]; then
+  sans=(address undefined)
+fi
+jobs=$(nproc 2>/dev/null || echo 4)
+
+for san in "${sans[@]}"; do
+  bdir="build-ci-${san}"
+  echo "=== ${san}: configure + build (${bdir}) ==="
+  cmake -B "${bdir}" -S . -DPPROPHET_SANITIZE="${san}" >/dev/null
+  cmake --build "${bdir}" -j "${jobs}"
+  echo "=== ${san}: batched + concurrency labels ==="
+  ctest --test-dir "${bdir}" -L 'batched|concurrency' --output-on-failure
+  echo "=== ${san}: perf smoke ==="
+  ctest --test-dir "${bdir}" -L perf --output-on-failure
+done
+
+echo "ci matrix OK: ${sans[*]}"

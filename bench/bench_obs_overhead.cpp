@@ -3,14 +3,19 @@
 // instrumentation disabled and enabled, interleaved sample by sample so
 // machine drift hits both arms equally; the medians must show that the
 // *disabled* path costs no more than the enabled one plus noise margin.
+// The same gate covers the histogram helper (obs::hist_record behind the
+// enabled() guard) and the EventLog sampled-out path, so the serve-path
+// telemetry additions cannot quietly grow a disabled-path cost.
 //
 // Registered as a ctest (label: observability) — exits 1 on regression.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "core/prophet.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "report/experiment.hpp"
 #include "tree/compress.hpp"
@@ -90,5 +95,79 @@ int main() {
     return 1;
   }
   std::cout << "OK: disabled-path overhead within noise\n";
+
+  // --- Histogram guard: obs::hist_record with the registry disabled must
+  // cost no more than the recording path plus noise. Interleaved samples,
+  // same discipline as the sweep gate above.
+  const long iters = util::env_long("PP_HIST_ITERS", 500000);
+  const auto hist_pass = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long i = 0; i < iters; ++i) {
+      obs::hist_record("bench.hist_us",
+                       static_cast<std::uint64_t>(i) & 0xFFFF);
+    }
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  obs::set_enabled(true);
+  hist_pass();  // warm-up: registers the name
+  obs::set_enabled(false);
+  hist_pass();
+  std::vector<double> hist_dis, hist_ena;
+  for (int i = 0; i < 5; ++i) {
+    obs::set_enabled(false);
+    hist_dis.push_back(hist_pass());
+    obs::set_enabled(true);
+    hist_ena.push_back(hist_pass());
+  }
+  obs::set_enabled(false);
+  const double hd = median(hist_dis);
+  const double he = median(hist_ena);
+  std::cout << "hist_record disabled: " << hd << " ms / " << iters
+            << " calls, enabled: " << he << " ms\n";
+  if (hd > he * kNoiseFactor) {
+    std::cout << "FAIL: disabled hist_record is more than " << kNoiseFactor
+              << "x the recording path — the enabled() guard is no longer "
+              << "cheap\n";
+    return 1;
+  }
+
+  // --- EventLog: a sampled-out info record does no formatting or IO, so it
+  // must cost no more than actually writing records plus noise.
+  const long log_iters = util::env_long("PP_LOG_ITERS", 20000);
+  const auto log_pass = [&](obs::EventLog& log) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long i = 0; i < log_iters; ++i) {
+      obs::LogRecord rec("bench");
+      rec.u64("i", static_cast<std::uint64_t>(i));
+      log.write(obs::Severity::Info, rec);
+    }
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  std::vector<double> log_skip, log_write;
+  for (int i = 0; i < 5; ++i) {
+    std::ostringstream sink_skip, sink_write;
+    obs::EventLog::Options skip_all;
+    skip_all.sample_every = 1u << 30;  // sample out ~everything
+    obs::EventLog skipping(sink_skip, skip_all);
+    obs::EventLog writing(sink_write);
+    log_skip.push_back(log_pass(skipping));
+    log_write.push_back(log_pass(writing));
+  }
+  const double ls = median(log_skip);
+  const double lw = median(log_write);
+  std::cout << "event_log sampled-out: " << ls << " ms / " << log_iters
+            << " records, writing: " << lw << " ms\n";
+  if (ls > lw * kNoiseFactor) {
+    std::cout << "FAIL: a sampled-out log record costs more than "
+              << kNoiseFactor << "x a written one — the sampling gate is no "
+              << "longer cheap\n";
+    return 1;
+  }
+
+  std::cout << "OK: histogram and event-log disabled paths within noise\n";
   return 0;
 }

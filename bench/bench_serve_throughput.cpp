@@ -2,22 +2,26 @@
 // daemon on a unix-domain socket, PP_CLIENTS concurrent client threads each
 // firing PP_REQS requests drawn from a small sweep-request mix, so the
 // result cache sees both cold misses and steady-state hits. Reports latency
-// percentiles and throughput, writes BENCH_serve.json, and self-checks every
-// response against an in-process core::sweep over the same tree —
-// exiting nonzero on any mismatch, so it doubles as a ctest.
+// percentiles and throughput, writes BENCH_serve.json (including the
+// server-side per-stage breakdown from its metrics registry), and
+// self-checks every response against an in-process core::sweep over the
+// same tree — exiting nonzero on any mismatch, so it doubles as a ctest.
+//
+// Client-observed latency uses obs::Histogram — one per client thread,
+// merged at the end (the same mergeable-quantile substrate the serve path
+// records into) — instead of collecting and sorting every sample.
 //
 // Env knobs: PP_CLIENTS (default 4), PP_REQS (default 25 per client),
 // PP_SERVE_WORKERS (default 2), PP_SEED.
-#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/sweep.hpp"
+#include "obs/histogram.hpp"
 #include "report/experiment.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
@@ -94,11 +98,20 @@ bool matches(const serve::JsonValue& response,
   return true;
 }
 
-double percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
+double us_to_ms(std::uint64_t us) { return static_cast<double>(us) / 1000.0; }
+
+/// Quantile summary of a server-side stage histogram as a JSON object
+/// (counts + microsecond quantiles), for the per-stage section of
+/// BENCH_serve.json.
+serve::JsonValue stage_json(const obs::HistogramSnapshot& h) {
+  serve::JsonValue v;
+  v.set("count", serve::JsonValue(h.count));
+  v.set("total_us", serve::JsonValue(h.total));
+  v.set("p50_us", serve::JsonValue(h.quantile(0.50)));
+  v.set("p90_us", serve::JsonValue(h.quantile(0.90)));
+  v.set("p99_us", serve::JsonValue(h.quantile(0.99)));
+  v.set("max_us", serve::JsonValue(h.max));
+  return v;
 }
 
 }  // namespace
@@ -148,9 +161,10 @@ int main() {
   serve::Server server(cfg);
   server.start();
 
-  std::mutex mu;
-  std::vector<double> latencies_ms;
-  long mismatches = 0;
+  // One latency histogram per client thread, merged after the join — the
+  // cross-thread merge identity tests/obs/test_histogram.cpp asserts.
+  std::vector<obs::Histogram> local_hist(static_cast<std::size_t>(clients));
+  std::vector<long> local_bad(static_cast<std::size_t>(clients), 0);
   const auto bench_start = std::chrono::steady_clock::now();
 
   std::vector<std::thread> pool;
@@ -160,8 +174,7 @@ int main() {
       serve::Client client;
       client.connect(cfg.socket_path);
       const std::string key = client.upload(pptb);
-      std::vector<double> local;
-      local.reserve(static_cast<std::size_t>(reqs));
+      obs::Histogram& hist = local_hist[static_cast<std::size_t>(c)];
       long bad = 0;
       for (long r = 0; r < reqs; ++r) {
         const std::size_t k =
@@ -169,14 +182,13 @@ int main() {
         const auto t0 = std::chrono::steady_clock::now();
         const serve::JsonValue resp =
             client.call(build_request(kinds[k], key));
-        local.push_back(std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count());
+        hist.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
         if (!matches(resp, expected[k])) ++bad;
       }
-      std::lock_guard<std::mutex> lock(mu);
-      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
-      mismatches += bad;
+      local_bad[static_cast<std::size_t>(c)] = bad;
     });
   }
   for (auto& th : pool) th.join();
@@ -187,15 +199,21 @@ int main() {
   const serve::ServerStatsSnapshot stats = server.stats();
   server.stop();
 
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  const double p50 = percentile(latencies_ms, 0.50);
-  const double p90 = percentile(latencies_ms, 0.90);
-  const double p99 = percentile(latencies_ms, 0.99);
-  const double total = static_cast<double>(latencies_ms.size());
-  const double throughput = wall_s > 0.0 ? total / wall_s : 0.0;
+  obs::Histogram merged;
+  long mismatches = 0;
+  for (long c = 0; c < clients; ++c) {
+    merged.merge(local_hist[static_cast<std::size_t>(c)]);
+    mismatches += local_bad[static_cast<std::size_t>(c)];
+  }
+  const obs::HistogramSnapshot lat = merged.snapshot();
+  const double p50 = us_to_ms(lat.quantile(0.50));
+  const double p90 = us_to_ms(lat.quantile(0.90));
+  const double p99 = us_to_ms(lat.quantile(0.99));
+  const double throughput =
+      wall_s > 0.0 ? static_cast<double>(lat.count) / wall_s : 0.0;
 
   util::Table table({"metric", "value"});
-  table.add_row({"requests", std::to_string(latencies_ms.size())});
+  table.add_row({"requests", std::to_string(lat.count)});
   table.add_row({"throughput req/s", util::fmt_f(throughput, 1)});
   table.add_row({"p50 ms", util::fmt_f(p50, 3)});
   table.add_row({"p90 ms", util::fmt_f(p90, 3)});
@@ -204,18 +222,34 @@ int main() {
   table.add_row({"mismatches", std::to_string(mismatches)});
   table.print(std::cout);
 
+  // Server-side per-stage breakdown (the same histograms `pprophet stats`
+  // renders), so BENCH_serve.json records where the latency went, not just
+  // how much there was.
+  util::Table stages({"stage", "count", "p50 us", "p90 us", "p99 us"});
+  serve::JsonValue stage_obj;
+  for (const auto& [name, h] : stats.metrics.histograms) {
+    if (name.rfind("serve.", 0) != 0 || h.count == 0) continue;
+    stages.add_row({name, std::to_string(h.count),
+                    std::to_string(h.quantile(0.50)),
+                    std::to_string(h.quantile(0.90)),
+                    std::to_string(h.quantile(0.99))});
+    stage_obj.set(name, stage_json(h));
+  }
+  stages.print(std::cout);
+
   serve::JsonValue out;
   out.set("bench", serve::JsonValue("serve_throughput"));
   out.set("clients", serve::JsonValue(clients));
   out.set("requests_per_client", serve::JsonValue(reqs));
   out.set("serve_workers", serve::JsonValue(workers));
-  out.set("requests", serve::JsonValue(
-                          static_cast<std::uint64_t>(latencies_ms.size())));
+  out.set("requests", serve::JsonValue(lat.count));
   out.set("throughput_rps", serve::JsonValue(throughput));
   out.set("p50_ms", serve::JsonValue(p50));
   out.set("p90_ms", serve::JsonValue(p90));
   out.set("p99_ms", serve::JsonValue(p99));
+  out.set("max_ms", serve::JsonValue(us_to_ms(lat.max)));
   out.set("wall_s", serve::JsonValue(wall_s));
+  out.set("stages", std::move(stage_obj));
   out.set("cache_hits", serve::JsonValue(stats.cache.hits));
   out.set("cache_misses", serve::JsonValue(stats.cache.misses));
   out.set("cache_hit_rate", serve::JsonValue(stats.cache.hit_rate()));
@@ -241,6 +275,24 @@ int main() {
     std::cerr << "FAIL: result cache never hit under a repeating mix\n";
     return 1;
   }
-  std::cout << "OK: all responses bit-identical to in-process sweep\n";
+  // The serve-path stage histograms must reconcile exactly: every finished
+  // request's stages partition its total (request_trace.hpp).
+  std::uint64_t stage_sum = 0, total_sum = 0;
+  for (const auto& [name, h] : stats.metrics.histograms) {
+    if (name == "serve.total_us") total_sum = h.total;
+    if (name == "serve.read_us" || name == "serve.queue_wait_us" ||
+        name == "serve.compute_us" || name == "serve.write_us" ||
+        name == "serve.other_us") {
+      stage_sum += h.total;
+    }
+  }
+  if (stage_sum != total_sum) {
+    std::cerr << "FAIL: stage totals (" << stage_sum
+              << " us) do not reconcile with serve.total_us (" << total_sum
+              << " us)\n";
+    return 1;
+  }
+  std::cout << "OK: all responses bit-identical to in-process sweep; "
+               "stage totals reconcile\n";
   return 0;
 }

@@ -1,11 +1,15 @@
 #include "cli/cli.hpp"
 
+#include <array>
+#include <chrono>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "core/recommend.hpp"
 #include "machine/timeline.hpp"
@@ -47,15 +51,21 @@ constexpr const char* kUsage = R"(usage:
                     [--engine-path auto|scalar|batched]
   pprophet serve    --socket PATH [--serve-workers N] [--queue-limit N]
                     [--cache-mb N] [--workers N] [--cores N]
-  pprophet client   --socket PATH --op ping|stats|upload|predict|sweep|recommend
+                    [--log FILE] [--slow-ms N] [--log-sample N]
+  pprophet client   --socket PATH [--op] ping|stats|upload|predict|sweep|recommend
                     [--tree FILE | --key HASH] [--methods ...] [--paradigms ...]
                     [--schedules ...] [--chunks ...] [--threads 2,4,8]
                     [--cores N] [--memory-model] [--deadline-ms N]
+  pprophet stats    --socket PATH [--watch N] [--samples M]
   pprophet help
 observability (any command; see docs/OBSERVABILITY.md):
   --metrics[=FILE]   collect metrics; snapshot to stderr, or FILE (.json/.csv)
   --trace-out FILE   write Chrome trace-event JSON (chrome://tracing, Perfetto)
   --csv -            stream CSV to stdout (predict/sweep); table suppressed
+serve request log (docs/SERVE.md "Diagnosing tail latency"):
+  --log FILE         append one JSONL record per request (stage breakdown)
+  --slow-ms N        requests at/over N ms always log (default 100; 0 = off)
+  --log-sample N     log 1-in-N routine requests (default 1 = all)
 )";
 
 // The CLI and the wire protocol share one name set (ff/syn/..., omp/cilk,
@@ -430,7 +440,10 @@ int cmd_timeline(const Options& opts, std::ostream& out, std::ostream& err) {
 
 // The prediction service daemon (docs/SERVE.md). Blocks until SIGTERM /
 // SIGINT triggers the graceful drain, then reports the session totals.
-int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err) {
+// `serve_metrics` (when non-null) receives the server's private registry
+// snapshot so `--metrics` can fold it into the end-of-run report.
+int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err,
+              obs::MetricsSnapshot* serve_metrics) {
   if (opts.socket_path.empty()) {
     err << "pprophet: serve needs --socket PATH\n";
     return 1;
@@ -442,6 +455,20 @@ int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err) {
   cfg.cache_bytes = opts.cache_mb << 20;
   cfg.sweep_workers = opts.workers == 0 ? 1 : opts.workers;
   cfg.default_cores = opts.cores;
+  std::ofstream log_file;
+  std::optional<obs::EventLog> log;
+  if (!opts.log_path.empty()) {
+    log_file.open(opts.log_path, std::ios::app);
+    if (!log_file) {
+      err << "pprophet: cannot write '" << opts.log_path << "'\n";
+      return 1;
+    }
+    obs::EventLog::Options lo;
+    lo.sample_every = opts.log_sample;
+    lo.slow_us = opts.slow_ms * 1000;
+    log.emplace(log_file, lo);
+    cfg.event_log = &*log;
+  }
   serve::Server server(cfg);
   try {
     server.start();
@@ -452,14 +479,25 @@ int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err) {
   serve::arm_signal_shutdown(server, {SIGTERM, SIGINT});
   out << "pprophet serve: listening on " << opts.socket_path << " ("
       << cfg.workers << " workers, queue " << cfg.queue_limit << ", cache "
-      << opts.cache_mb << " MiB)\n"
-      << std::flush;
+      << opts.cache_mb << " MiB)\n";
+  if (log.has_value()) {
+    out << "pprophet serve: request log " << opts.log_path << " (";
+    if (opts.slow_ms > 0) out << "slow >= " << opts.slow_ms << " ms";
+    else out << "slow threshold off";
+    out << ", sampling 1-in-" << opts.log_sample << ")\n";
+  }
+  out << std::flush;
   server.wait();
   serve::disarm_signal_shutdown();
   const serve::ServerStatsSnapshot s = server.stats();
+  if (serve_metrics != nullptr) *serve_metrics = s.metrics;
   out << "pprophet serve: drained — " << s.requests << " requests ("
       << s.ok << " ok) over " << s.connections << " connections, cache hit rate "
       << util::fmt_pct(s.cache.hit_rate()) << "\n";
+  if (log.has_value()) {
+    out << "pprophet serve: logged " << log->written() << " records ("
+        << log->sampled_out() << " sampled out) to " << opts.log_path << "\n";
+  }
   return 0;
 }
 
@@ -616,6 +654,110 @@ int cmd_client(const Options& opts, std::ostream& out, std::ostream& err) {
   }
 }
 
+// The serve-path latency histograms `pprophet stats` renders, most
+// aggregated first. The stage rows partition serve.total_us (see
+// serve/request_trace.hpp), so a fat tail always shows up in exactly one of
+// them.
+constexpr const char* kStageHistograms[] = {
+    "serve.total_us",   "serve.read_us",  "serve.queue_wait_us",
+    "serve.compute_us", "serve.write_us", "serve.other_us",
+};
+
+/// "123" on the first sample, "123 (+4)" / "123 (-4)" afterwards.
+std::string with_delta(std::uint64_t cur, std::uint64_t prev, bool first) {
+  if (first) return std::to_string(cur);
+  const long long d =
+      static_cast<long long>(cur) - static_cast<long long>(prev);
+  return std::to_string(cur) + (d >= 0 ? " (+" : " (") + std::to_string(d) +
+         ")";
+}
+
+// Live tail-latency watcher: polls the `stats` op and renders per-stage
+// p50/p90/p99 with numeric deltas against the previous poll, so a latency
+// regression shows up as a climbing tail while you reproduce it. One-shot
+// without --watch; --samples bounds the loop (tests use --samples 2).
+int cmd_stats(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.socket_path.empty()) {
+    err << "pprophet: stats needs --socket PATH\n";
+    return 1;
+  }
+  serve::Client client;
+  try {
+    client.connect(opts.socket_path);
+  } catch (const std::exception& e) {
+    err << "pprophet: " << e.what() << "\n";
+    return 1;
+  }
+  // quantile rows remembered between polls: name -> {count, p50, p90, p99}
+  std::map<std::string, std::array<std::uint64_t, 4>> prev;
+  std::uint64_t prev_requests = 0;
+  bool first = true;
+  const std::uint64_t max_samples =
+      opts.watch_samples != 0 ? opts.watch_samples
+                              : (opts.watch_secs == 0 ? 1 : 0);  // 0 = forever
+  std::uint64_t sample = 0;
+  for (;;) {
+    serve::JsonValue resp;
+    try {
+      resp = client.call("stats");
+    } catch (const std::exception& e) {
+      err << "pprophet: " << e.what() << "\n";
+      return 1;
+    }
+    const serve::JsonValue* ok = resp.find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+      err << "pprophet: stats request failed: " << serve::json_dump(resp)
+          << "\n";
+      return 1;
+    }
+    const serve::JsonValue& body = resp.at("stats");
+    const std::uint64_t requests = body.at("requests").as_u64();
+    const std::uint64_t queue_depth = body.at("queue_depth").as_u64();
+    double inflight = 0.0;
+    const serve::JsonValue* metrics = body.find("metrics");
+    if (metrics != nullptr) {
+      if (const serve::JsonValue* gauges = metrics->find("gauges")) {
+        if (const serve::JsonValue* g = gauges->find("serve.inflight")) {
+          inflight = g->as_double();
+        }
+      }
+    }
+    if (!first) out << "\n";
+    out << "requests " << with_delta(requests, prev_requests, first)
+        << ", queue depth " << queue_depth << ", inflight "
+        << static_cast<std::uint64_t>(inflight) << "\n";
+    util::Table table({"stage", "count", "p50 us", "p90 us", "p99 us"});
+    const serve::JsonValue* hists =
+        metrics != nullptr ? metrics->find("histograms") : nullptr;
+    if (hists != nullptr) {
+      for (const char* name : kStageHistograms) {
+        const serve::JsonValue* h = hists->find(name);
+        if (h == nullptr) continue;
+        const std::array<std::uint64_t, 4> cur = {
+            h->at("count").as_u64(), h->at("p50").as_u64(),
+            h->at("p90").as_u64(), h->at("p99").as_u64()};
+        const auto it = prev.find(name);
+        const bool have_prev = it != prev.end();
+        const std::array<std::uint64_t, 4> old =
+            have_prev ? it->second : std::array<std::uint64_t, 4>{};
+        table.add_row({name, with_delta(cur[0], old[0], !have_prev),
+                       with_delta(cur[1], old[1], !have_prev),
+                       with_delta(cur[2], old[2], !have_prev),
+                       with_delta(cur[3], old[3], !have_prev)});
+        prev[name] = cur;
+      }
+    }
+    table.print(out);
+    out << std::flush;
+    prev_requests = requests;
+    first = false;
+    ++sample;
+    if (max_samples != 0 && sample >= max_samples) break;
+    std::this_thread::sleep_for(std::chrono::seconds(opts.watch_secs));
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::optional<Options> parse_args(const std::vector<std::string>& args,
@@ -630,11 +772,12 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       opts.command != "compress" && opts.command != "recommend" &&
       opts.command != "timeline" && opts.command != "sweep" &&
       opts.command != "serve" && opts.command != "client" &&
-      opts.command != "help") {
+      opts.command != "stats" && opts.command != "help") {
     err << "pprophet: unknown command '" << opts.command
         << "' (run 'pprophet help' for usage)\n";
     return std::nullopt;
   }
+  bool positional_op = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto need_value = [&]() -> std::optional<std::string> {
@@ -819,17 +962,63 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
         return std::nullopt;
       }
       opts.deadline_ms = static_cast<std::uint64_t>(n);
+    } else if (a == "--log") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.log_path = *v;
+    } else if (a == "--slow-ms") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n < 0) {  // 0 is legal: it disables the always-log threshold
+        err << "pprophet: bad --slow-ms\n";
+        return std::nullopt;
+      }
+      opts.slow_ms = static_cast<std::uint64_t>(n);
+    } else if (a == "--log-sample") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n <= 0) {
+        err << "pprophet: bad --log-sample\n";
+        return std::nullopt;
+      }
+      opts.log_sample = static_cast<std::uint64_t>(n);
+    } else if (a == "--watch") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n <= 0) {
+        err << "pprophet: bad --watch\n";
+        return std::nullopt;
+      }
+      opts.watch_secs = static_cast<std::uint64_t>(n);
+    } else if (a == "--samples") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n <= 0) {
+        err << "pprophet: bad --samples\n";
+        return std::nullopt;
+      }
+      opts.watch_samples = static_cast<std::uint64_t>(n);
+    } else if (opts.command == "client" && a.rfind("--", 0) != 0 &&
+               !positional_op) {
+      // `pprophet client stats` reads better than `--op stats`; the first
+      // bare word is the op.
+      opts.op = a;
+      positional_op = true;
     } else {
       err << "pprophet: unknown option '" << a
           << "' (run 'pprophet help' for usage)\n";
       return std::nullopt;
     }
   }
-  // serve/client talk to a socket, help talks to nobody — only the
+  // serve/client/stats talk to a socket, help talks to nobody — only the
   // tree-reading commands require --tree up front (the client checks its own
   // --tree/--key contract per op).
   const bool needs_tree = opts.command != "serve" && opts.command != "client" &&
-                          opts.command != "help";
+                          opts.command != "stats" && opts.command != "help";
   if (needs_tree && opts.tree_path.empty()) {
     err << "pprophet: --tree is required\n";
     return std::nullopt;
@@ -839,7 +1028,8 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
 
 namespace {
 
-int dispatch(const Options& opts, std::ostream& out, std::ostream& err) {
+int dispatch(const Options& opts, std::ostream& out, std::ostream& err,
+             obs::MetricsSnapshot* serve_metrics) {
   try {
     if (opts.command == "predict") return cmd_predict(opts, out, err);
     if (opts.command == "inspect") return cmd_inspect(opts, out, err);
@@ -847,8 +1037,9 @@ int dispatch(const Options& opts, std::ostream& out, std::ostream& err) {
     if (opts.command == "recommend") return cmd_recommend(opts, out, err);
     if (opts.command == "timeline") return cmd_timeline(opts, out, err);
     if (opts.command == "sweep") return cmd_sweep(opts, out, err);
-    if (opts.command == "serve") return cmd_serve(opts, out, err);
+    if (opts.command == "serve") return cmd_serve(opts, out, err, serve_metrics);
     if (opts.command == "client") return cmd_client(opts, out, err);
+    if (opts.command == "stats") return cmd_stats(opts, out, err);
     if (opts.command == "help") {
       out << kUsage;
       return 0;
@@ -863,8 +1054,14 @@ int dispatch(const Options& opts, std::ostream& out, std::ostream& err) {
 
 /// Renders the metrics snapshot: to `err` as text when no path was given,
 /// else to the file, format picked by extension (.json / .csv / text).
-bool emit_metrics(const Options& opts, std::ostream& err) {
-  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+/// `serve_metrics` is the server's private registry captured at drain time
+/// (empty for every other command); folding it in here means
+/// `pprophet serve --metrics=f.json` reports the per-stage histograms
+/// alongside the global counters.
+bool emit_metrics(const Options& opts, const obs::MetricsSnapshot& serve_metrics,
+                  std::ostream& err) {
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  snap.merge(serve_metrics);
   if (opts.metrics_path.empty()) {
     err << "-- metrics --\n";
     snap.render_text(err);
@@ -906,9 +1103,12 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
     obs::set_enabled(true);
   }
 
-  int rc = dispatch(opts, out, err);
+  obs::MetricsSnapshot serve_metrics;
+  int rc = dispatch(opts, out, err, &serve_metrics);
 
-  if (opts.metrics && !emit_metrics(opts, err) && rc == 0) rc = 1;
+  if (opts.metrics && !emit_metrics(opts, serve_metrics, err) && rc == 0) {
+    rc = 1;
+  }
   obs::set_enabled(prev_enabled);
   if (sink.has_value()) {
     obs::TraceSink::set_current(prev_sink);

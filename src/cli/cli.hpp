@@ -17,8 +17,10 @@
 //                     [--engine-path auto|scalar|batched]
 //   pprophet serve    --socket /run/pp.sock [--serve-workers N]
 //                     [--queue-limit N] [--cache-mb N] [--cores N]
-//   pprophet client   --socket /run/pp.sock --op ping|stats|upload|predict|
+//                     [--log FILE] [--slow-ms N] [--log-sample N]
+//   pprophet client   --socket /run/pp.sock [--op] ping|stats|upload|predict|
 //                     sweep|recommend [--tree t.ptree | --key HASH] [...]
+//   pprophet stats    --socket /run/pp.sock [--watch N] [--samples M]
 //
 // Global observability flags (docs/OBSERVABILITY.md):
 //   --metrics[=FILE]   enable the metrics registry; snapshot to stderr as
@@ -43,7 +45,7 @@
 namespace pprophet::cli {
 
 struct Options {
-  /// predict|inspect|compress|recommend|timeline|sweep|serve|client|help
+  /// predict|inspect|compress|recommend|timeline|sweep|serve|client|stats|help
   std::string command;
   std::string tree_path;
   std::string output_path;
@@ -80,6 +82,13 @@ struct Options {
   std::size_t queue_limit = 64;   ///< serve --queue-limit: admission bound
   std::size_t cache_mb = 64;      ///< serve --cache-mb: result-cache budget
   std::uint64_t deadline_ms = 0;  ///< client --deadline-ms: request budget
+  // serve request log (obs/event_log.hpp; docs/SERVE.md)
+  std::string log_path;            ///< serve --log FILE: JSONL request log
+  std::uint64_t slow_ms = 100;     ///< serve --slow-ms: always-log threshold
+  std::uint64_t log_sample = 1;    ///< serve --log-sample: 1-in-N info records
+  // stats watcher (`pprophet stats`)
+  std::uint64_t watch_secs = 0;    ///< stats --watch N: poll every N seconds
+  std::uint64_t watch_samples = 0; ///< stats --samples M: stop after M polls
 };
 
 /// Parses argv (excluding argv[0]). Returns nullopt and writes a message to

@@ -1,0 +1,128 @@
+#include "obs/event_log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "util/json_escape.hpp"
+
+namespace pprophet::obs {
+namespace {
+
+std::atomic<EventLog*> g_current{nullptr};
+
+std::uint64_t wall_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Debug: return "debug";
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+  }
+  return "info";
+}
+
+LogRecord::LogRecord(std::string_view event) : event_(event) {}
+
+LogRecord& LogRecord::str(std::string_view key, std::string_view value) {
+  fields_.emplace_back(std::string(key), util::json_quote(value));
+  return *this;
+}
+
+LogRecord& LogRecord::u64(std::string_view key, std::uint64_t value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+LogRecord& LogRecord::i64(std::string_view key, std::int64_t value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+LogRecord& LogRecord::f64(std::string_view key, double value) {
+  if (std::isfinite(value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", value);
+    fields_.emplace_back(std::string(key), buf);
+  } else {
+    fields_.emplace_back(std::string(key), "null");
+  }
+  return *this;
+}
+
+LogRecord& LogRecord::boolean(std::string_view key, bool value) {
+  fields_.emplace_back(std::string(key), value ? "true" : "false");
+  return *this;
+}
+
+EventLog::EventLog(std::ostream& out, Options opts)
+    : out_(out), opts_(opts) {
+  if (opts_.sample_every == 0) opts_.sample_every = 1;
+}
+
+bool EventLog::write(Severity sev, const LogRecord& rec,
+                     std::uint64_t duration_us) {
+  const bool slow = opts_.slow_us != 0 && duration_us >= opts_.slow_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sev <= Severity::Info && !slow) {
+    // 1-in-N sampling for routine traffic; the tick advances only for
+    // records subject to sampling so the admitted rate is exactly 1/N.
+    if (seq_++ % opts_.sample_every != 0) {
+      ++sampled_out_;
+      return false;
+    }
+  }
+  std::string line;
+  line.reserve(96);
+  line += "{\"ts_us\":";
+  line += std::to_string(wall_us());
+  line += ",\"sev\":";
+  line += util::json_quote(severity_name(sev));
+  line += ",\"event\":";
+  line += util::json_quote(rec.event());
+  for (const auto& [key, token] : rec.fields()) {
+    line += ',';
+    line += util::json_quote(key);
+    line += ':';
+    line += token;
+  }
+  if (duration_us != 0) {
+    line += ",\"duration_us\":";
+    line += std::to_string(duration_us);
+  }
+  if (slow) line += ",\"slow\":true";
+  line += "}\n";
+  out_ << line;
+  out_.flush();
+  ++written_;
+  return true;
+}
+
+std::uint64_t EventLog::written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+std::uint64_t EventLog::sampled_out() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_out_;
+}
+
+EventLog* EventLog::current() {
+  return g_current.load(std::memory_order_acquire);
+}
+
+void EventLog::set_current(EventLog* log) {
+  g_current.store(log, std::memory_order_release);
+}
+
+}  // namespace pprophet::obs

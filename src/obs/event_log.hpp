@@ -1,0 +1,100 @@
+// Structured JSONL event logger — one JSON object per line, written to a
+// caller-owned stream. This is the serve daemon's request log
+// (`pprophet serve --log FILE`): every record carries a severity, a
+// monotonic timestamp and a flat bag of typed fields, so the slow-request
+// breakdowns in docs/SERVE.md are grep/jq-able without a parser of their
+// own.
+//
+// Volume control: Warn/Error records always write. Info/Debug records are
+// sampled 1-in-N (`Options::sample_every`, counted per severity class so a
+// chatty Debug site cannot starve Info), EXCEPT when the record carries a
+// duration at or above `Options::slow_us` — slow requests always log, which
+// is the property the tail-latency workflow depends on: the p99 outliers
+// are in the log even when the steady-state traffic is sampled away.
+//
+// Thread safety: write() serializes on a mutex (one line per call, never
+// interleaved) and flushes per record so a crash loses at most the line
+// being written.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pprophet::obs {
+
+enum class Severity : std::uint8_t { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+std::string_view severity_name(Severity s);
+
+/// Ordered field bag for one log record. Values are pre-rendered to their
+/// JSON token at add time (strings escaped, numbers formatted), so building
+/// a record allocates but never throws surprises at write time.
+class LogRecord {
+ public:
+  explicit LogRecord(std::string_view event);
+
+  LogRecord& str(std::string_view key, std::string_view value);
+  LogRecord& u64(std::string_view key, std::uint64_t value);
+  LogRecord& i64(std::string_view key, std::int64_t value);
+  LogRecord& f64(std::string_view key, double value);
+  LogRecord& boolean(std::string_view key, bool value);
+
+  const std::string& event() const { return event_; }
+  const std::vector<std::pair<std::string, std::string>>& fields() const {
+    return fields_;
+  }
+
+ private:
+  std::string event_;
+  // key -> already-JSON-encoded value token.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class EventLog {
+ public:
+  struct Options {
+    /// Log every Nth Info/Debug record (1 = log all). Warn/Error and slow
+    /// records bypass sampling entirely.
+    std::uint64_t sample_every = 1;
+    /// Records whose `duration_us` is >= this always log regardless of
+    /// severity or sampling. 0 disables the slow path (nothing is "slow").
+    std::uint64_t slow_us = 0;
+  };
+
+  /// `out` must outlive the EventLog; the caller owns it (typically an
+  /// std::ofstream opened by the CLI, or an ostringstream in tests).
+  EventLog(std::ostream& out, Options opts);
+  explicit EventLog(std::ostream& out) : EventLog(out, Options()) {}
+
+  /// Emits one JSONL line for `rec` if it passes the sampling policy.
+  /// `duration_us` both feeds the slow-request check and, when non-zero,
+  /// is appended as a "duration_us" field. Returns true if written.
+  bool write(Severity sev, const LogRecord& rec, std::uint64_t duration_us = 0);
+
+  /// Counters for tests and the drain summary.
+  std::uint64_t written() const;
+  std::uint64_t sampled_out() const;
+
+  const Options& options() const { return opts_; }
+
+  /// Process-wide default sink (null when none installed) — mirrors
+  /// TraceSink::current(). The serve CLI installs its --log sink here so
+  /// library-level sites can emit without plumbing a pointer everywhere.
+  static EventLog* current();
+  static void set_current(EventLog* log);
+
+ private:
+  std::ostream& out_;
+  Options opts_;
+  mutable std::mutex mu_;
+  std::uint64_t seq_ = 0;           // per-class sampling tick (Info/Debug)
+  std::uint64_t written_ = 0;
+  std::uint64_t sampled_out_ = 0;
+};
+
+}  // namespace pprophet::obs

@@ -1,0 +1,131 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace pprophet::obs {
+
+std::uint32_t Histogram::bucket_index(std::uint64_t v) {
+  if (v < kSubCount) return static_cast<std::uint32_t>(v);
+  // Highest set bit h >= kSubBits: the value lives in [2^h, 2^(h+1)), which
+  // splits into kSubCount linear sub-buckets of width 2^(h - kSubBits).
+  const auto h = static_cast<std::uint32_t>(63 - std::countl_zero(v));
+  const std::uint32_t shift = h - kSubBits;
+  const auto sub = static_cast<std::uint32_t>((v >> shift) - kSubCount);
+  return (shift + 1) * kSubCount + sub;
+}
+
+std::uint64_t Histogram::bucket_lower(std::uint32_t i) {
+  if (i < kSubCount) return i;
+  const std::uint32_t shift = i / kSubCount - 1;
+  const std::uint64_t sub = i % kSubCount;
+  return (kSubCount + sub) << shift;
+}
+
+std::uint64_t Histogram::bucket_width(std::uint32_t i) {
+  return i < kSubCount ? 1 : std::uint64_t{1} << (i / kSubCount - 1);
+}
+
+Histogram::Histogram() : buckets_(kBucketCount) {}
+
+void Histogram::record(std::uint64_t v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::uint32_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  const std::uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (omin < seen &&
+         !min_.compare_exchange_weak(seen, omin, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t omax = other.max_.load(std::memory_order_relaxed);
+  seen = max_.load(std::memory_order_relaxed);
+  while (omax > seen &&
+         !max_.compare_exchange_weak(seen, omax, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (std::uint32_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) s.buckets.emplace_back(i, n);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total = total_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0 : mn;
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::uint64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::quantile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target sample, 1-based; p=0 maps to the first sample.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (const auto& [idx, n] : buckets) {
+    seen += n;
+    if (seen >= rank) {
+      return std::clamp(Histogram::bucket_mid(idx), min, max);
+    }
+  }
+  return max;  // unreachable when bucket counts sum to `count`
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  auto a = buckets.begin();
+  auto b = other.buckets.begin();
+  while (a != buckets.end() || b != other.buckets.end()) {
+    if (b == other.buckets.end() ||
+        (a != buckets.end() && a->first < b->first)) {
+      merged.push_back(*a++);
+    } else if (a == buckets.end() || b->first < a->first) {
+      merged.push_back(*b++);
+    } else {
+      merged.emplace_back(a->first, a->second + b->second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  total += other.total;
+}
+
+}  // namespace pprophet::obs

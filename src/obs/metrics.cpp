@@ -1,8 +1,12 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
+
+#include "util/json_escape.hpp"
 
 namespace pprophet::obs {
 namespace {
@@ -16,30 +20,13 @@ std::uint64_t now_ns() {
           .count());
 }
 
-/// JSON string escaping for metric names (they are plain identifiers by
-/// convention, but render_json must stay valid for any input).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// Metric names are plain identifiers by convention, but render_json must
+// stay valid JSON for any input (a metric can be named from user data, e.g.
+// a tree name). The previous local escaper here passed a raw char through
+// %04x, so a byte >= 0x80 sign-extended into "\\uffffffXX", which no parser
+// accepts. The shared RFC-8259 escaper is the fix (regression-tested in
+// tests/obs/test_metrics.cpp).
+using pprophet::util::json_quote;
 
 }  // namespace
 
@@ -111,6 +98,16 @@ Timer& MetricsRegistry::timer(std::string_view name) {
   return *it->second;
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
@@ -126,6 +123,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, t] : timers_) {
     snap.timers.emplace_back(name, t->stat());
   }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
   return snap;
 }
 
@@ -134,6 +135,7 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, t] : timers_) t->reset();
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -141,11 +143,45 @@ MetricsRegistry& MetricsRegistry::global() {
   return *reg;  // handles cached in statics must outlive every other static
 }
 
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  const auto upsert = [](auto& vec, const auto& entry, const auto& fold) {
+    auto it = std::lower_bound(
+        vec.begin(), vec.end(), entry.first,
+        [](const auto& a, const std::string& name) { return a.first < name; });
+    if (it != vec.end() && it->first == entry.first) {
+      fold(it->second, entry.second);
+    } else {
+      vec.insert(it, entry);
+    }
+  };
+  for (const auto& e : other.counters) {
+    upsert(counters, e, [](std::uint64_t& a, std::uint64_t b) { a += b; });
+  }
+  for (const auto& e : other.gauges) {
+    upsert(gauges, e, [](double& a, double b) { a = b; });
+  }
+  for (const auto& e : other.timers) {
+    upsert(timers, e, [](TimerStat& a, const TimerStat& b) {
+      if (b.count == 0) return;
+      a.min = a.count == 0 ? b.min : std::min(a.min, b.min);
+      a.max = std::max(a.max, b.max);
+      a.count += b.count;
+      a.total += b.total;
+    });
+  }
+  for (const auto& e : other.histograms) {
+    upsert(histograms, e, [](HistogramSnapshot& a, const HistogramSnapshot& b) {
+      a.merge(b);
+    });
+  }
+}
+
 void MetricsSnapshot::render_text(std::ostream& os) const {
   std::size_t width = 0;
   for (const auto& [n, v] : counters) width = std::max(width, n.size());
   for (const auto& [n, v] : gauges) width = std::max(width, n.size());
   for (const auto& [n, v] : timers) width = std::max(width, n.size());
+  for (const auto& [n, v] : histograms) width = std::max(width, n.size());
   const auto pad = [&](const std::string& n) {
     os << "  " << n << std::string(width - n.size() + 2, ' ');
   };
@@ -174,42 +210,76 @@ void MetricsSnapshot::render_text(std::ostream& os) const {
       os.unsetf(std::ios_base::floatfield);
     }
   }
+  if (!histograms.empty()) {
+    os << "histograms:\n";
+    for (const auto& [n, h] : histograms) {
+      pad(n);
+      os << "count " << h.count << ", p50 " << h.quantile(0.50) << ", p90 "
+         << h.quantile(0.90) << ", p99 " << h.quantile(0.99) << ", min "
+         << h.min << ", max " << h.max << "\n";
+    }
+  }
 }
 
 void MetricsSnapshot::render_csv(std::ostream& os) const {
-  os << "name,kind,count,total,min,max,value\n";
+  os << "name,kind,count,total,min,max,value,p50,p90,p99\n";
   for (const auto& [n, v] : counters) {
-    os << n << ",counter,,,,," << v << "\n";
+    os << n << ",counter,,,,," << v << ",,,\n";
   }
   for (const auto& [n, v] : gauges) {
-    os << n << ",gauge,,,,," << std::setprecision(10) << v << "\n";
+    os << n << ",gauge,,,,," << std::setprecision(10) << v << ",,,\n";
   }
   for (const auto& [n, s] : timers) {
     os << n << ",timer," << s.count << "," << s.total << "," << s.min << ","
-       << s.max << "," << std::setprecision(10) << s.mean() << "\n";
+       << s.max << "," << std::setprecision(10) << s.mean() << ",,,\n";
+  }
+  for (const auto& [n, h] : histograms) {
+    os << n << ",histogram," << h.count << "," << h.total << "," << h.min
+       << "," << h.max << "," << std::setprecision(10) << h.mean() << ","
+       << h.quantile(0.50) << "," << h.quantile(0.90) << ","
+       << h.quantile(0.99) << "\n";
   }
 }
 
 void MetricsSnapshot::render_json(std::ostream& os) const {
+  // Gauges are the one double-valued kind; NaN/Inf have no JSON spelling,
+  // so emit null rather than invalid tokens.
+  const auto json_double = [&os](double v) {
+    if (std::isfinite(v)) {
+      os << std::setprecision(10) << v;
+    } else {
+      os << "null";
+    }
+  };
   os << "{\"counters\":{";
   for (std::size_t i = 0; i < counters.size(); ++i) {
     if (i != 0) os << ",";
-    os << "\"" << json_escape(counters[i].first)
-       << "\":" << counters[i].second;
+    os << json_quote(counters[i].first) << ":" << counters[i].second;
   }
   os << "},\"gauges\":{";
   for (std::size_t i = 0; i < gauges.size(); ++i) {
     if (i != 0) os << ",";
-    os << "\"" << json_escape(gauges[i].first) << "\":"
-       << std::setprecision(10) << gauges[i].second;
+    os << json_quote(gauges[i].first) << ":";
+    json_double(gauges[i].second);
   }
   os << "},\"timers\":{";
   for (std::size_t i = 0; i < timers.size(); ++i) {
     if (i != 0) os << ",";
     const TimerStat& s = timers[i].second;
-    os << "\"" << json_escape(timers[i].first) << "\":{\"count\":" << s.count
+    os << json_quote(timers[i].first) << ":{\"count\":" << s.count
        << ",\"total\":" << s.total << ",\"min\":" << s.min
        << ",\"max\":" << s.max << "}";
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (i != 0) os << ",";
+    const HistogramSnapshot& h = histograms[i].second;
+    os << json_quote(histograms[i].first) << ":{\"count\":" << h.count
+       << ",\"total\":" << h.total << ",\"min\":" << h.min
+       << ",\"max\":" << h.max << ",\"mean\":";
+    json_double(h.mean());
+    os << ",\"p50\":" << h.quantile(0.50) << ",\"p90\":" << h.quantile(0.90)
+       << ",\"p99\":" << h.quantile(0.99) << "}";
   }
   os << "}}\n";
 }

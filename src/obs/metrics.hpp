@@ -28,6 +28,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace pprophet::obs {
 
 /// Global instrumentation switch. Relaxed load; defaults to off.
@@ -93,16 +95,25 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, TimerStat>> timers;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 
   bool empty() const {
-    return counters.empty() && gauges.empty() && timers.empty();
+    return counters.empty() && gauges.empty() && timers.empty() &&
+           histograms.empty();
   }
+
+  /// Folds `other` into this snapshot: counters/timers/histograms with the
+  /// same name are summed/merged, gauges are last-write-wins (`other`
+  /// overwrites). Used by `pprophet serve --metrics` to combine the
+  /// server's private registry with the global one at exit.
+  void merge(const MetricsSnapshot& other);
 
   /// Aligned human-readable listing.
   void render_text(std::ostream& os) const;
-  /// One metric per row: name,kind,count,total,min,max,value.
+  /// One metric per row: name,kind,count,total,min,max,value,p50,p90,p99.
   void render_csv(std::ostream& os) const;
-  /// {"counters":{...},"gauges":{...},"timers":{name:{count,...}}}.
+  /// {"counters":{...},"gauges":{...},"timers":{name:{count,...}},
+  ///  "histograms":{name:{count,total,min,max,mean,p50,p90,p99}}}.
   void render_json(std::ostream& os) const;
 };
 
@@ -114,6 +125,7 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Timer& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   MetricsSnapshot snapshot() const;
 
@@ -128,6 +140,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 // --- guarded convenience wrappers for cold instrumentation sites ---
@@ -148,6 +161,10 @@ inline void gauge_max(std::string_view name, double v) {
 
 inline void time_record(std::string_view name, std::uint64_t units) {
   if (enabled()) MetricsRegistry::global().timer(name).record(units);
+}
+
+inline void hist_record(std::string_view name, std::uint64_t units) {
+  if (enabled()) MetricsRegistry::global().histogram(name).record(units);
 }
 
 /// RAII wall-clock stage timer: records elapsed microseconds into

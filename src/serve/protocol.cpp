@@ -43,12 +43,13 @@ constexpr char kB64Alphabet[] =
 
 }  // namespace
 
-bool read_frame(int fd, std::string& payload) {
+bool read_frame(int fd, std::string& payload, FrameTiming* timing) {
   unsigned char header[4];
   const std::size_t got =
       read_exact(fd, reinterpret_cast<char*>(header), sizeof header);
   if (got == 0) return false;  // clean EOF between frames
   if (got < sizeof header) throw ProtocolError("truncated frame header");
+  if (timing != nullptr) timing->header_read = std::chrono::steady_clock::now();
   const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
                             (static_cast<std::uint32_t>(header[1]) << 8) |
                             (static_cast<std::uint32_t>(header[2]) << 16) |
@@ -61,6 +62,7 @@ bool read_frame(int fd, std::string& payload) {
   if (read_exact(fd, payload.data(), len) < len) {
     throw ProtocolError("truncated frame payload");
   }
+  if (timing != nullptr) timing->complete = std::chrono::steady_clock::now();
   return true;
 }
 

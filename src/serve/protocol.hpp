@@ -17,6 +17,7 @@
 // the structured `unsupported_version` error rather than a guess.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -49,10 +50,18 @@ class ProtocolError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Stage marks of one frame read, for the serve-path RequestTrace
+/// (header-read vs body-read split in the per-stage latency histograms).
+struct FrameTiming {
+  std::chrono::steady_clock::time_point header_read{};  ///< prefix complete
+  std::chrono::steady_clock::time_point complete{};     ///< payload complete
+};
+
 /// Reads one length-prefixed frame from `fd` into `payload`. Returns false
 /// on clean EOF at a frame boundary; throws ProtocolError on truncation,
-/// oversize, or I/O error. Retries EINTR.
-bool read_frame(int fd, std::string& payload);
+/// oversize, or I/O error. Retries EINTR. When `timing` is non-null its
+/// marks are stamped as the read progresses.
+bool read_frame(int fd, std::string& payload, FrameTiming* timing = nullptr);
 
 /// Writes one frame. Throws ProtocolError on error (including EPIPE).
 void write_frame(int fd, std::string_view payload);

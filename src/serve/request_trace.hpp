@@ -1,0 +1,84 @@
+// Per-request stage clock — the raw material of the serve-path tail-latency
+// telemetry (docs/SERVE.md "Diagnosing tail latency").
+//
+// A RequestTrace rides along one request from the moment its first byte is
+// readable to the moment the response hits the socket, stamping each stage
+// boundary with steady_clock. The connection thread owns the struct; the
+// worker thread stamps the dequeue/compute marks through the Job pointer
+// (the connection thread blocks on the job future meanwhile, so the two
+// never race on a field).
+//
+// Stage partition (us_between clamps, so every stage is >= 0):
+//   read_us       = read_end   - read_start     (header + body off the wire)
+//   queue_wait_us = dequeued   - enqueued        (admission queue residency)
+//   compute_us    = compute_end - compute_start  (handler execution)
+//   write_us      = write_end  - write_start     (response onto the wire)
+//   total_us      = write_end  - read_start
+// The stages are non-overlapping sub-intervals of [read_start, write_end],
+// so  total - (read + queue_wait + compute + write)  is the non-negative
+// "other" remainder (future wait, response serialization, scheduling) and
+// the per-stage histogram totals reconcile with serve.total_us exactly —
+// only the quantiles carry the documented ~2% bucket error.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace pprophet::serve {
+
+struct RequestTrace {
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  TimePoint read_start{};     ///< first byte of the frame was readable
+  TimePoint header_read{};    ///< 4-byte length prefix fully read
+  TimePoint read_end{};       ///< payload fully read
+  TimePoint enqueued{};       ///< admitted to the worker queue
+  TimePoint dequeued{};       ///< popped by a worker
+  TimePoint compute_start{};  ///< handler entered
+  TimePoint compute_end{};    ///< handler returned (or threw)
+  TimePoint write_start{};    ///< response serialization + send began
+  TimePoint write_end{};      ///< response fully written
+
+  std::uint64_t conn_id = 0;
+  std::string op = "?";
+  std::string outcome;  ///< "ok" or the wire error code
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  bool queued = false;  ///< went through the admission queue (vs inline op)
+  /// Result-cache probe: -1 = not probed (non-cacheable op), 0 = miss,
+  /// 1 = hit. Set by the handler on the worker thread.
+  int cache = -1;
+
+  /// Clamped microseconds between two marks; 0 when either mark was never
+  /// stamped (default time_point) or the interval is negative.
+  static std::uint64_t us_between(TimePoint a, TimePoint b) {
+    if (a.time_since_epoch().count() == 0 ||
+        b.time_since_epoch().count() == 0 || b <= a) {
+      return 0;
+    }
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+  }
+
+  std::uint64_t read_us() const { return us_between(read_start, read_end); }
+  std::uint64_t header_us() const {
+    return us_between(read_start, header_read);
+  }
+  std::uint64_t body_us() const { return us_between(header_read, read_end); }
+  std::uint64_t queue_wait_us() const { return us_between(enqueued, dequeued); }
+  std::uint64_t compute_us() const {
+    return us_between(compute_start, compute_end);
+  }
+  std::uint64_t write_us() const { return us_between(write_start, write_end); }
+  std::uint64_t total_us() const { return us_between(read_start, write_end); }
+  std::uint64_t other_us() const {
+    const std::uint64_t stages =
+        read_us() + queue_wait_us() + compute_us() + write_us();
+    const std::uint64_t total = total_us();
+    return total > stages ? total - stages : 0;
+  }
+};
+
+}  // namespace pprophet::serve

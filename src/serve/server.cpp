@@ -16,6 +16,7 @@
 #include "core/recommend.hpp"
 #include "memmodel/burden.hpp"
 #include "memmodel/calibration.hpp"
+#include "obs/trace.hpp"
 #include "report/experiment.hpp"
 #include "serve/protocol.hpp"
 
@@ -217,6 +218,52 @@ JsonValue timer_json(const obs::TimerStat& t) {
   return v;
 }
 
+JsonValue histogram_json(const obs::HistogramSnapshot& h) {
+  JsonValue v;
+  v.set("count", JsonValue(h.count));
+  v.set("total", JsonValue(h.total));
+  v.set("min", JsonValue(h.min));
+  v.set("max", JsonValue(h.max));
+  v.set("mean", JsonValue(h.mean()));
+  v.set("p50", JsonValue(h.quantile(0.50)));
+  v.set("p90", JsonValue(h.quantile(0.90)));
+  v.set("p99", JsonValue(h.quantile(0.99)));
+  return v;
+}
+
+/// The per-server registry rendered as the "metrics" object of a stats
+/// response: {"counters":{...},"gauges":{...},"timers":{...},
+/// "histograms":{name:{count,...,p50,p90,p99}}}.
+JsonValue metrics_json(const obs::MetricsSnapshot& snap) {
+  JsonValue m;
+  JsonValue counters;
+  for (const auto& [name, v] : snap.counters) counters.set(name, JsonValue(v));
+  m.set("counters", std::move(counters));
+  JsonValue gauges;
+  for (const auto& [name, v] : snap.gauges) gauges.set(name, JsonValue(v));
+  m.set("gauges", std::move(gauges));
+  JsonValue timers;
+  for (const auto& [name, t] : snap.timers) timers.set(name, timer_json(t));
+  m.set("timers", std::move(timers));
+  JsonValue histograms;
+  for (const auto& [name, h] : snap.histograms) {
+    histograms.set(name, histogram_json(h));
+  }
+  m.set("histograms", std::move(histograms));
+  return m;
+}
+
+/// Buckets an op string into the stable per-kind histogram suffix. Bounded
+/// vocabulary on purpose: a hostile op name must not mint unbounded metric
+/// names in the registry.
+const char* op_kind(const std::string& op) {
+  if (op == "upload" || op == "predict" || op == "sweep" ||
+      op == "recommend" || op == "ping" || op == "stats" || op == "sleep") {
+    return op.c_str();
+  }
+  return "other";
+}
+
 // One armed server for signal-driven shutdown (see arm_signal_shutdown).
 std::atomic<int> g_signal_shutdown_fd{-1};
 std::vector<int> g_armed_signals;
@@ -231,7 +278,16 @@ void signal_shutdown_handler(int) {
 
 }  // namespace
 
-Server::Server(ServerConfig config) : config_(std::move(config)) {
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      h_read_(metrics_.histogram("serve.read_us")),
+      h_queue_wait_(metrics_.histogram("serve.queue_wait_us")),
+      h_compute_(metrics_.histogram("serve.compute_us")),
+      h_write_(metrics_.histogram("serve.write_us")),
+      h_other_(metrics_.histogram("serve.other_us")),
+      h_total_(metrics_.histogram("serve.total_us")),
+      g_queue_depth_(metrics_.gauge("serve.queue.depth")),
+      g_inflight_(metrics_.gauge("serve.inflight")) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.queue_limit == 0) config_.queue_limit = 1;
   cache_ = std::make_unique<ResultCache>(config_.cache_bytes,
@@ -384,6 +440,9 @@ void Server::accept_loop() {
     snd_timeout.tv_sec = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd_timeout, sizeof snd_timeout);
     connections_total_.add(1);
+    metrics_.counter("serve.connections").add(1);
+    const std::uint64_t conn_id =
+        conn_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     reap_connections(/*join_all=*/false);
     auto slot = std::make_unique<ConnSlot>();
     ConnSlot* raw = slot.get();
@@ -391,20 +450,23 @@ void Server::accept_loop() {
       std::lock_guard<std::mutex> lock(conn_mu_);
       connections_.push_back(std::move(slot));
     }
-    raw->th = std::thread([this, fd, raw] {
-      connection_loop(fd);
+    raw->th = std::thread([this, fd, conn_id, raw] {
+      connection_loop(fd, conn_id);
       raw->done.store(true, std::memory_order_release);
     });
   }
 }
 
 Server::Admission Server::submit(std::unique_ptr<Job> job) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_closed_) return Admission::Closed;
     if (queue_.size() >= config_.queue_limit) return Admission::QueueFull;
     queue_.push_back(std::move(job));
+    depth = queue_.size();
   }
+  g_queue_depth_.set(static_cast<double>(depth));
   queue_cv_.notify_one();
   return Admission::Accepted;
 }
@@ -412,18 +474,26 @@ Server::Admission Server::submit(std::unique_ptr<Job> job) {
 void Server::worker_loop() {
   for (;;) {
     std::unique_ptr<Job> job;
+    std::size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return queue_closed_ || !queue_.empty(); });
       if (queue_.empty()) return;  // closed and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
+    g_queue_depth_.set(static_cast<double>(depth));
     execute(*job);
   }
 }
 
 void Server::execute(Job& job) {
+  if (job.trace != nullptr) {
+    job.trace->dequeued = RequestTrace::Clock::now();
+  }
+  g_inflight_.set(static_cast<double>(
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1));
   JsonValue response;
   if (job.deadline_ms > 0 &&
       std::chrono::steady_clock::now() >
@@ -433,8 +503,9 @@ void Server::execute(Job& job) {
                                   " ms expired in queue");
   } else {
     const auto t0 = std::chrono::steady_clock::now();
+    if (job.trace != nullptr) job.trace->compute_start = t0;
     try {
-      response = handle(job.request, job.op);
+      response = handle(job.request, job.op, job.trace);
     } catch (const BadRequest& e) {
       response = error_response(job.op, kErrBadRequest, e.what());
     } catch (const JsonError& e) {
@@ -442,16 +513,20 @@ void Server::execute(Job& job) {
     } catch (const std::exception& e) {
       response = error_response(job.op, kErrInternal, e.what());
     }
-    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (job.trace != nullptr) job.trace->compute_end = t1;
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
     request_us_.record(static_cast<std::uint64_t>(us));
-    obs::time_record("serve.request_us", static_cast<std::uint64_t>(us));
   }
+  g_inflight_.set(static_cast<double>(
+      inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  // Last touch of job.trace was above; the promise publishes those writes
+  // to the connection thread blocked on the matching future.
   job.result.set_value(std::move(response));
 }
 
-void Server::connection_loop(int fd) {
+void Server::connection_loop(int fd, std::uint64_t conn_id) {
   std::string payload;
   for (;;) {
     // Gate the blocking read on poll() so this thread notices a drain
@@ -474,13 +549,20 @@ void Server::connection_loop(int fd) {
       }
     }
 
+    RequestTrace trace;
+    trace.conn_id = conn_id;
+    trace.read_start = RequestTrace::Clock::now();
+    FrameTiming frame_timing;
     try {
-      if (!read_frame(fd, payload)) break;  // clean EOF
+      if (!read_frame(fd, payload, &frame_timing)) break;  // clean EOF
     } catch (const ProtocolError&) {
       break;  // truncation / oversize / peer error: drop the connection
     }
+    trace.header_read = frame_timing.header_read;
+    trace.read_end = frame_timing.complete;
+    trace.bytes_in = payload.size();
     requests_total_.add(1);
-    obs::count("serve.requests");
+    metrics_.counter("serve.requests").add(1);
 
     JsonValue response;
     std::string op = "?";
@@ -492,23 +574,34 @@ void Server::connection_loop(int fd) {
         throw JsonError("missing string field 'op'");
       }
       op = op_field->as_string();
+      trace.op = op;
       if (!parse_version(request, version)) {
         response = unsupported_version_response(op, version);
       } else if (op == "ping") {
+        trace.compute_start = RequestTrace::Clock::now();
         response = ok_response(op);
+        trace.compute_end = RequestTrace::Clock::now();
       } else if (op == "stats") {
+        // Answered inline on the connection thread: a stats poll must see
+        // the live state without queueing behind (or competing with) the
+        // compute ops it is trying to diagnose.
+        trace.compute_start = RequestTrace::Clock::now();
         response = handle_stats();
+        trace.compute_end = RequestTrace::Clock::now();
       } else {
         auto job = std::make_unique<Job>();
         job->request = request;
         job->op = op;
         job->enqueued = std::chrono::steady_clock::now();
+        job->trace = &trace;
+        trace.enqueued = job->enqueued;
         if (const JsonValue* d = request.find("deadline_ms")) {
           job->deadline_ms = d->as_u64();
         }
         std::future<JsonValue> result = job->result.get_future();
         switch (submit(std::move(job))) {
           case Admission::Accepted:
+            trace.queued = true;
             response = result.get();
             break;
           case Admission::QueueFull:
@@ -530,12 +623,19 @@ void Server::connection_loop(int fd) {
     // v2+ clients get their version echoed back.
     if (version >= 2) response.set("v", JsonValue(version));
 
-    note_outcome(response);
+    note_outcome(response, &trace);
+    trace.write_start = RequestTrace::Clock::now();
+    const std::string wire = json_dump(response);
+    trace.bytes_out = wire.size();
+    bool write_ok = true;
     try {
-      write_frame(fd, json_dump(response));
+      write_frame(fd, wire);
     } catch (const ProtocolError&) {
-      break;  // peer vanished mid-response
+      write_ok = false;  // peer vanished mid-response
     }
+    trace.write_end = RequestTrace::Clock::now();
+    finish_trace(trace);
+    if (!write_ok) break;
   }
   ::close(fd);
 }
@@ -545,6 +645,9 @@ void Server::answer_buffered_shutdown(int fd) {
   // before the drain began is answered `shutting_down`, not dropped with a
   // bare close. Only already-buffered data counts (poll timeout 0); the
   // frame cap keeps a client that floods during the drain from delaying it.
+  // Exception: `ping` and `stats` are still answered for real — a stats
+  // poll must be able to watch the drain itself (queue depth falling,
+  // in-flight compute finishing), which is when the numbers matter most.
   std::string payload;
   for (int i = 0; i < 16; ++i) {
     pollfd p{fd, POLLIN, 0};
@@ -555,7 +658,7 @@ void Server::answer_buffered_shutdown(int fd) {
       return;
     }
     requests_total_.add(1);
-    obs::count("serve.requests");
+    metrics_.counter("serve.requests").add(1);
     std::string op = "?";
     std::uint64_t version = 1;
     bool version_ok = true;
@@ -568,12 +671,19 @@ void Server::answer_buffered_shutdown(int fd) {
     } catch (const JsonError&) {
       // Still answer: the client gets shutting_down rather than silence.
     }
-    JsonValue response =
-        version_ok ? error_response(op, kErrShuttingDown,
-                                    "server is draining for shutdown")
-                   : unsupported_version_response(op, version);
+    JsonValue response;
+    if (!version_ok) {
+      response = unsupported_version_response(op, version);
+    } else if (op == "ping") {
+      response = ok_response(op);
+    } else if (op == "stats") {
+      response = handle_stats();
+    } else {
+      response = error_response(op, kErrShuttingDown,
+                                "server is draining for shutdown");
+    }
     if (version_ok && version >= 2) response.set("v", JsonValue(version));
-    note_outcome(response);
+    note_outcome(response, nullptr);
     try {
       write_frame(fd, json_dump(response));
     } catch (const ProtocolError&) {
@@ -582,11 +692,11 @@ void Server::answer_buffered_shutdown(int fd) {
   }
 }
 
-void Server::note_outcome(const JsonValue& response) {
+void Server::note_outcome(const JsonValue& response, RequestTrace* trace) {
   const JsonValue* ok = response.find("ok");
   if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
     ok_.add(1);
-    obs::count("serve.requests.ok");
+    if (trace != nullptr) trace->outcome = "ok";
     return;
   }
   const JsonValue* code = response.find("error");
@@ -598,13 +708,104 @@ void Server::note_outcome(const JsonValue& response) {
   else if (c == kErrDeadline) deadline_exceeded_.add(1);
   else if (c == kErrShuttingDown) shutting_down_.add(1);
   else internal_error_.add(1);
-  obs::count("serve.requests." + c);
+  if (trace != nullptr) trace->outcome = c;
 }
 
-JsonValue Server::handle(const JsonValue& request, const std::string& op) {
+void Server::finish_trace(const RequestTrace& trace) {
+  const std::uint64_t read = trace.read_us();
+  const std::uint64_t queue_wait = trace.queue_wait_us();
+  const std::uint64_t compute = trace.compute_us();
+  const std::uint64_t write = trace.write_us();
+  const std::uint64_t other = trace.other_us();
+  const std::uint64_t total = trace.total_us();
+
+  // Every request feeds read/write/other/total; queue_wait and compute only
+  // when that stage actually ran (a rejected request never waited, an
+  // inline ping never computed) so those quantiles aren't diluted by
+  // structural zeros. The totals still reconcile exactly: skipped stages
+  // contribute zero microseconds either way.
+  h_read_.record(read);
+  if (trace.queued) h_queue_wait_.record(queue_wait);
+  if (trace.compute_start.time_since_epoch().count() != 0) {
+    h_compute_.record(compute);
+    if (trace.cache == 1) {
+      metrics_.histogram("serve.compute_us.hit").record(compute);
+    } else if (trace.cache == 0) {
+      metrics_.histogram("serve.compute_us.miss").record(compute);
+    }
+  }
+  h_write_.record(write);
+  h_other_.record(other);
+  h_total_.record(total);
+  metrics_.histogram(std::string("serve.total_us.") + op_kind(trace.op))
+      .record(total);
+
+  if (obs::TraceSink* sink = obs::TraceSink::current()) {
+    // Map steady_clock marks onto the sink's wall-microsecond axis by
+    // anchoring "now" on both clocks and walking backwards.
+    const RequestTrace::TimePoint now = RequestTrace::Clock::now();
+    const std::uint64_t sink_now = sink->now_us();
+    const auto ts_of = [&](RequestTrace::TimePoint tp) {
+      const std::uint64_t back = RequestTrace::us_between(tp, now);
+      return sink_now > back ? sink_now - back : 0;
+    };
+    const auto tid = static_cast<std::uint32_t>(trace.conn_id);
+    std::vector<obs::TraceArg> args;
+    args.push_back(obs::arg_str("op", trace.op));
+    args.push_back(obs::arg_str("outcome", trace.outcome));
+    args.push_back(obs::arg_num("bytes_in", trace.bytes_in));
+    args.push_back(obs::arg_num("bytes_out", trace.bytes_out));
+    if (trace.cache >= 0) {
+      args.push_back(obs::arg_str("cache", trace.cache == 1 ? "hit" : "miss"));
+    }
+    sink->complete(std::string("serve.") + op_kind(trace.op), "serve",
+                   obs::kPidPipeline, tid, ts_of(trace.read_start), total,
+                   std::move(args));
+    const auto stage = [&](const char* name, RequestTrace::TimePoint t0,
+                           std::uint64_t dur) {
+      if (dur != 0) {
+        sink->complete(name, "serve.stage", obs::kPidPipeline, tid, ts_of(t0),
+                       dur);
+      }
+    };
+    stage("read", trace.read_start, read);
+    stage("queue", trace.enqueued, queue_wait);
+    stage("compute", trace.compute_start, compute);
+    stage("write", trace.write_start, write);
+  }
+
+  obs::EventLog* log = config_.event_log != nullptr ? config_.event_log
+                                                    : obs::EventLog::current();
+  if (log != nullptr) {
+    obs::LogRecord rec("request");
+    rec.str("op", trace.op)
+        .u64("conn", trace.conn_id)
+        .str("outcome", trace.outcome.empty() ? "?" : trace.outcome)
+        .u64("bytes_in", trace.bytes_in)
+        .u64("bytes_out", trace.bytes_out)
+        .u64("read_us", read)
+        .u64("queue_wait_us", queue_wait)
+        .u64("compute_us", compute)
+        .u64("write_us", write)
+        .u64("other_us", other);
+    if (trace.cache >= 0) rec.boolean("cache_hit", trace.cache == 1);
+    obs::Severity sev = obs::Severity::Info;
+    if (trace.outcome == kErrInternal) {
+      sev = obs::Severity::Error;
+    } else if (!trace.outcome.empty() && trace.outcome != "ok" &&
+               trace.outcome != kErrBadRequest &&
+               trace.outcome != kErrNotFound) {
+      sev = obs::Severity::Warn;  // load/lifecycle rejections, not user error
+    }
+    log->write(sev, rec, total);
+  }
+}
+
+JsonValue Server::handle(const JsonValue& request, const std::string& op,
+                         RequestTrace* trace) {
   if (op == "upload") return handle_upload(request);
-  if (op == "predict" || op == "sweep") return handle_grid_op(request, op);
-  if (op == "recommend") return handle_recommend(request);
+  if (op == "predict" || op == "sweep") return handle_grid_op(request, op, trace);
+  if (op == "recommend") return handle_recommend(request, trace);
   if (op == "sleep" && config_.debug_ops) return handle_sleep(request);
   throw BadRequest("unknown op '" + op + "'");
 }
@@ -626,8 +827,8 @@ JsonValue Server::handle_upload(const JsonValue& request) {
   } catch (const std::exception& e) {
     throw BadRequest(std::string("upload: ") + e.what());
   }
-  obs::count("serve.uploads");
-  obs::gauge_set("serve.store.trees", static_cast<double>(store_.size()));
+  metrics_.counter("serve.uploads").add(1);
+  metrics_.gauge("serve.store.trees").set(static_cast<double>(store_.size()));
   JsonValue r = ok_response("upload");
   r.set("key", JsonValue(put.entry->key));
   r.set("existed", JsonValue(put.existed));
@@ -637,7 +838,7 @@ JsonValue Server::handle_upload(const JsonValue& request) {
 }
 
 JsonValue Server::handle_grid_op(const JsonValue& request,
-                                 const std::string& op) {
+                                 const std::string& op, RequestTrace* trace) {
   const JsonValue* key = request.find("key");
   if (key == nullptr || !key->is_string()) {
     throw BadRequest(op + ": missing string field 'key'");
@@ -668,12 +869,14 @@ JsonValue Server::handle_grid_op(const JsonValue& request,
 
   JsonValue r = ok_response(op);
   if (auto hit = cache_->get(cache_key)) {
-    obs::count("serve.cache.hits");
+    metrics_.counter("serve.cache.hits").add(1);
+    if (trace != nullptr) trace->cache = 1;
     r.set("cached", JsonValue(true));
     r.set("result", json_parse(*hit));
     return r;
   }
-  obs::count("serve.cache.misses");
+  metrics_.counter("serve.cache.misses").add(1);
+  if (trace != nullptr) trace->cache = 0;
 
   spec.grid.base = report::paper_options(spec.grid.methods.front());
   spec.grid.base.machine.cores = spec.cores;
@@ -714,7 +917,8 @@ JsonValue Server::handle_grid_op(const JsonValue& request,
   return r;
 }
 
-JsonValue Server::handle_recommend(const JsonValue& request) {
+JsonValue Server::handle_recommend(const JsonValue& request,
+                                   RequestTrace* trace) {
   const JsonValue* key = request.find("key");
   if (key == nullptr || !key->is_string()) {
     throw BadRequest("recommend: missing string field 'key'");
@@ -762,12 +966,14 @@ JsonValue Server::handle_recommend(const JsonValue& request) {
 
   JsonValue r = ok_response("recommend");
   if (auto hit = cache_->get(cache_key)) {
-    obs::count("serve.cache.hits");
+    metrics_.counter("serve.cache.hits").add(1);
+    if (trace != nullptr) trace->cache = 1;
     r.set("cached", JsonValue(true));
     r.set("result", json_parse(*hit));
     return r;
   }
-  obs::count("serve.cache.misses");
+  metrics_.counter("serve.cache.misses").add(1);
+  if (trace != nullptr) trace->cache = 0;
 
   core::Recommendation rec;
   try {
@@ -837,6 +1043,7 @@ JsonValue Server::handle_stats() const {
   cache.set("hit_rate", JsonValue(s.cache.hit_rate()));
   body.set("cache", std::move(cache));
   body.set("request_us", timer_json(s.request_us));
+  body.set("metrics", metrics_json(s.metrics));
   r.set("stats", std::move(body));
   return r;
 }
@@ -860,6 +1067,7 @@ ServerStatsSnapshot Server::stats() const {
   s.stored_bytes = store_.total_bytes();
   s.cache = cache_->stats();
   s.request_us = request_us_.stat();
+  s.metrics = metrics_.snapshot();
   return s;
 }
 

@@ -35,9 +35,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "serve/json.hpp"
 #include "serve/profile_store.hpp"
+#include "serve/request_trace.hpp"
 #include "serve/result_cache.hpp"
 
 namespace pprophet::serve {
@@ -55,6 +57,10 @@ struct ServerConfig {
   /// Enables the test-only "sleep" op that the deterministic backpressure /
   /// deadline tests park workers with. Off for `pprophet serve`.
   bool debug_ops = false;
+  /// Optional structured request log (`pprophet serve --log FILE`). The
+  /// sink must outlive the server; its own sampling/slow-threshold policy
+  /// decides which requests actually hit the file. Null = no logging.
+  obs::EventLog* event_log = nullptr;
 };
 
 /// Point-in-time server statistics (also the payload of a `stats` request).
@@ -73,6 +79,10 @@ struct ServerStatsSnapshot {
   std::size_t stored_bytes = 0;
   ResultCache::Stats cache;
   obs::TimerStat request_us;  ///< handler latency of queued (compute) ops
+  /// The server's private metrics registry (per-stage latency histograms,
+  /// queue/inflight gauges) at snapshot time — what the `stats` op renders
+  /// under "metrics" and `pprophet serve --metrics` merges at exit.
+  obs::MetricsSnapshot metrics;
 };
 
 class Server {
@@ -108,6 +118,12 @@ class Server {
 
   ServerStatsSnapshot stats() const;
 
+  /// The per-server metrics registry. Always live (independent of the
+  /// global obs::enabled() switch) so the `stats` op works on any running
+  /// daemon and concurrent Server instances in one process don't mix
+  /// telemetry. Exposed for tests and bench tooling.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
  private:
   struct Job {
     JsonValue request;
@@ -115,6 +131,10 @@ class Server {
     std::chrono::steady_clock::time_point enqueued;
     std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
     std::promise<JsonValue> result;
+    /// Owned by the connection thread; the worker stamps dequeue/compute
+    /// marks and the cache-probe result through it while the connection
+    /// thread blocks on `result`.
+    RequestTrace* trace = nullptr;
   };
 
   /// One accepted connection: thread + completion flag so the accept loop
@@ -128,7 +148,7 @@ class Server {
 
   void accept_loop();
   void worker_loop();
-  void connection_loop(int fd);
+  void connection_loop(int fd, std::uint64_t conn_id);
   void answer_buffered_shutdown(int fd);
   Admission submit(std::unique_ptr<Job> job);
   void execute(Job& job);
@@ -136,14 +156,19 @@ class Server {
 
   // Request handlers (queued ops run on worker threads; ping/stats are
   // answered inline by the connection thread).
-  JsonValue handle(const JsonValue& request, const std::string& op);
+  JsonValue handle(const JsonValue& request, const std::string& op,
+                   RequestTrace* trace);
   JsonValue handle_upload(const JsonValue& request);
-  JsonValue handle_grid_op(const JsonValue& request, const std::string& op);
-  JsonValue handle_recommend(const JsonValue& request);
+  JsonValue handle_grid_op(const JsonValue& request, const std::string& op,
+                           RequestTrace* trace);
+  JsonValue handle_recommend(const JsonValue& request, RequestTrace* trace);
   JsonValue handle_sleep(const JsonValue& request);
   JsonValue handle_stats() const;
 
-  void note_outcome(const JsonValue& response);
+  void note_outcome(const JsonValue& response, RequestTrace* trace);
+  /// Records the finished request into the per-stage histograms, emits
+  /// TraceSink spans when a sink is live, and writes the JSONL record.
+  void finish_trace(const RequestTrace& trace);
 
   ServerConfig config_;
   ProfileStore store_;
@@ -180,6 +205,21 @@ class Server {
   obs::Counter shutting_down_;
   obs::Counter internal_error_;
   obs::Timer request_us_;
+
+  std::atomic<std::uint64_t> conn_seq_{0};
+  std::atomic<std::int64_t> inflight_{0};
+
+  // Per-server telemetry (see metrics()). Declared after the registry so
+  // the cached handles are initialized from a constructed registry.
+  obs::MetricsRegistry metrics_;
+  obs::Histogram& h_read_;
+  obs::Histogram& h_queue_wait_;
+  obs::Histogram& h_compute_;
+  obs::Histogram& h_write_;
+  obs::Histogram& h_other_;
+  obs::Histogram& h_total_;
+  obs::Gauge& g_queue_depth_;
+  obs::Gauge& g_inflight_;
 };
 
 /// Installs a handler for each signal in `signals` (e.g. SIGTERM, SIGINT)

@@ -1,0 +1,50 @@
+// RFC 8259 string escaping, shared by every JSON producer in the tree
+// (serve/json.cpp's canonical writer, obs/metrics.cpp's --metrics render,
+// obs/event_log.cpp's JSONL records). One implementation so a hostile name
+// — quotes, backslashes, control bytes — cannot slip through one renderer
+// while being escaped by another.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace pprophet::util {
+
+/// Appends `s` to `out` with every character JSON requires escaped
+/// (quote, backslash, and all control bytes below 0x20). Does NOT add the
+/// surrounding quotes — callers own the quoting so they can stream.
+inline void json_escape_append(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Convenience form: returns `"s"` fully quoted and escaped.
+inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  json_escape_append(out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace pprophet::util

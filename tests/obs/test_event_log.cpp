@@ -1,0 +1,159 @@
+// obs::EventLog unit tests: JSONL shape, severity policy, 1-in-N sampling,
+// the slow-request threshold that overrides sampling, and (under the
+// `concurrency` label / TSAN build) serialized writes from a thread pool.
+#include "obs/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pprophet::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::ostringstream& out) {
+  std::vector<std::string> lines;
+  std::istringstream in(out.str());
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(EventLog, WritesOneJsonObjectPerLine) {
+  std::ostringstream out;
+  EventLog log(out);
+  LogRecord rec("request");
+  rec.str("op", "predict").u64("conn", 3).boolean("cache_hit", true);
+  EXPECT_TRUE(log.write(Severity::Info, rec, 1500));
+  const auto lines = lines_of(out);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& l = lines[0];
+  EXPECT_EQ(l.front(), '{');
+  EXPECT_EQ(l.back(), '}');
+  EXPECT_NE(l.find("\"sev\":\"info\""), std::string::npos);
+  EXPECT_NE(l.find("\"event\":\"request\""), std::string::npos);
+  EXPECT_NE(l.find("\"op\":\"predict\""), std::string::npos);
+  EXPECT_NE(l.find("\"conn\":3"), std::string::npos);
+  EXPECT_NE(l.find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_NE(l.find("\"duration_us\":1500"), std::string::npos);
+  EXPECT_NE(l.find("\"ts_us\":"), std::string::npos);
+  EXPECT_EQ(log.written(), 1u);
+}
+
+TEST(EventLog, FieldValuesAreJsonEscaped) {
+  std::ostringstream out;
+  EventLog log(out);
+  LogRecord rec("request");
+  rec.str("message", "he said \"hi\"\nback\\slash");
+  log.write(Severity::Warn, rec);
+  const std::string l = out.str();
+  EXPECT_NE(l.find("he said \\\"hi\\\"\\nback\\\\slash"), std::string::npos);
+}
+
+TEST(EventLog, SamplingKeepsOneInN) {
+  std::ostringstream out;
+  EventLog::Options o;
+  o.sample_every = 4;
+  EventLog log(out, o);
+  int kept = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (log.write(Severity::Info, LogRecord("tick"))) ++kept;
+  }
+  EXPECT_EQ(kept, 5);
+  EXPECT_EQ(log.written(), 5u);
+  EXPECT_EQ(log.sampled_out(), 15u);
+  EXPECT_EQ(lines_of(out).size(), 5u);
+}
+
+TEST(EventLog, WarnAndErrorBypassSampling) {
+  std::ostringstream out;
+  EventLog::Options o;
+  o.sample_every = 1000;  // drop virtually all info records
+  EventLog log(out, o);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(log.write(Severity::Warn, LogRecord("warn")));
+    EXPECT_TRUE(log.write(Severity::Error, LogRecord("err")));
+  }
+  EXPECT_EQ(log.written(), 20u);
+}
+
+TEST(EventLog, SlowRequestsAlwaysLog) {
+  std::ostringstream out;
+  EventLog::Options o;
+  o.sample_every = 1000;
+  o.slow_us = 5000;
+  EventLog log(out, o);
+  // Fast info records get sampled away (the first one passes, tick 0)...
+  EXPECT_TRUE(log.write(Severity::Info, LogRecord("fast"), 100));
+  EXPECT_FALSE(log.write(Severity::Info, LogRecord("fast"), 100));
+  // ...but anything at or above the threshold is always written, tagged.
+  EXPECT_TRUE(log.write(Severity::Info, LogRecord("slow"), 5000));
+  EXPECT_TRUE(log.write(Severity::Info, LogRecord("slower"), 99999));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"slow\":true"), std::string::npos);
+  EXPECT_EQ(log.written(), 3u);
+}
+
+TEST(EventLog, ZeroSlowThresholdDisablesSlowTagging) {
+  std::ostringstream out;
+  EventLog log(out);  // slow_us = 0: off
+  log.write(Severity::Info, LogRecord("r"), 1 << 30);
+  EXPECT_EQ(out.str().find("\"slow\""), std::string::npos);
+}
+
+TEST(EventLog, NonFiniteDoublesRenderAsNull) {
+  std::ostringstream out;
+  EventLog log(out);
+  LogRecord rec("r");
+  rec.f64("nanv", std::nan("")).f64("finite", 2.5);
+  log.write(Severity::Info, rec);
+  EXPECT_NE(out.str().find("\"nanv\":null"), std::string::npos);
+  EXPECT_NE(out.str().find("\"finite\":2.5"), std::string::npos);
+}
+
+TEST(EventLog, CurrentPointerInstallAndRestore) {
+  EXPECT_EQ(EventLog::current(), nullptr);
+  std::ostringstream out;
+  EventLog log(out);
+  EventLog::set_current(&log);
+  EXPECT_EQ(EventLog::current(), &log);
+  EventLog::set_current(nullptr);
+  EXPECT_EQ(EventLog::current(), nullptr);
+}
+
+// Writers from many threads: every surviving record is one intact JSON line
+// (the writes are mutex-serialized). Runs under TSAN via
+// PPROPHET_SANITIZE=thread (ctest -L concurrency).
+TEST(EventLog, ConcurrentWritersProduceIntactLines) {
+  std::ostringstream out;
+  EventLog log(out);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        LogRecord rec("hammer");
+        rec.u64("writer", static_cast<std::uint64_t>(w))
+            .u64("i", static_cast<std::uint64_t>(i));
+        log.write(Severity::Info, rec);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  const auto lines = lines_of(out);
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+    EXPECT_NE(l.find("\"event\":\"hammer\""), std::string::npos);
+  }
+  EXPECT_EQ(log.written(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace pprophet::obs

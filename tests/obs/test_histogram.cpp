@@ -1,0 +1,250 @@
+// obs::Histogram unit tests: bucket geometry, quantile accuracy against a
+// sorted reference, snapshot/merge identities, and (under the `concurrency`
+// label / TSAN build) lossless concurrent recording and cross-thread merges.
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pprophet::obs {
+namespace {
+
+/// Exact percentile of a sorted sample vector using the same nearest-rank
+/// convention as HistogramSnapshot::quantile (ceil(p * n)-th sample).
+std::uint64_t sorted_quantile(const std::vector<std::uint64_t>& sorted,
+                              double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+TEST(Histogram, BucketGeometryIsExactBelowSubCount) {
+  for (std::uint64_t v = 0; v < Histogram::kSubCount; ++v) {
+    const std::uint32_t i = Histogram::bucket_index(v);
+    EXPECT_EQ(Histogram::bucket_lower(i), v);
+    EXPECT_EQ(Histogram::bucket_width(i), 1u);
+    EXPECT_EQ(Histogram::bucket_mid(i), v);
+  }
+}
+
+TEST(Histogram, BucketGeometryCoversAndNests) {
+  // Every value maps into a bucket whose [lower, lower+width) range
+  // contains it, and the relative width never exceeds 1/kSubCount.
+  const std::uint64_t probes[] = {
+      64,  65,  127,  128,  1000,    4096,     65535,
+      1u << 20, (1u << 20) + 17, std::uint64_t{1} << 40,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : probes) {
+    const std::uint32_t i = Histogram::bucket_index(v);
+    ASSERT_LT(i, Histogram::kBucketCount) << v;
+    const std::uint64_t lo = Histogram::bucket_lower(i);
+    const std::uint64_t w = Histogram::bucket_width(i);
+    EXPECT_LE(lo, v) << v;
+    EXPECT_LT(v - lo, w) << v;
+    EXPECT_LE(static_cast<double>(w),
+              static_cast<double>(v) / Histogram::kSubCount + 1.0)
+        << v;
+  }
+}
+
+TEST(Histogram, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.quantile(0.5), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < Histogram::kSubCount; ++v) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, Histogram::kSubCount);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, Histogram::kSubCount - 1);
+  // Unit buckets: quantiles of a 0..63 uniform sample are exact.
+  EXPECT_EQ(s.quantile(0.5), 31u);
+  EXPECT_EQ(s.quantile(1.0), 63u);
+  // p=0 clamps to the smallest recorded sample.
+  EXPECT_EQ(s.quantile(0.0), 0u);
+}
+
+TEST(Histogram, TotalAndExtremaAreExact) {
+  Histogram h;
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : {7u, 1000u, 123456u, 3u, 999999u}) {
+    h.record(v);
+    sum += v;
+  }
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.total, sum);  // totals are exact sums, not bucket estimates
+  EXPECT_EQ(s.min, 3u);
+  EXPECT_EQ(s.max, 999999u);
+}
+
+// The headline guarantee: quantiles land within 2% of the exact
+// nearest-rank percentile for a heavy-tailed sample (docs/OBSERVABILITY.md).
+TEST(Histogram, QuantileAccuracyVsSortedReference) {
+  util::Xoshiro256 rng(1234567);
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over ~[1, 1e7]: exercises many powers of two.
+    const double exponent = rng.uniform_double() * 7.0;
+    const auto v = static_cast<std::uint64_t>(std::pow(10.0, exponent));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const HistogramSnapshot s = h.snapshot();
+  for (const double p : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
+    const std::uint64_t exact = sorted_quantile(samples, p);
+    const std::uint64_t approx = s.quantile(p);
+    const double rel =
+        std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+        std::max<double>(1.0, static_cast<double>(exact));
+    EXPECT_LE(rel, 0.02) << "p=" << p << " exact=" << exact
+                         << " approx=" << approx;
+  }
+}
+
+TEST(Histogram, ResetZeroes) {
+  Histogram h;
+  h.record(5);
+  h.record(500);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_TRUE(s.buckets.empty());
+  h.record(9);  // still usable after reset
+  EXPECT_EQ(h.quantile(0.5), 9u);
+}
+
+// merge(): recording a sample set split across two histograms and merging
+// must equal recording everything into one histogram.
+TEST(Histogram, MergeIdentity) {
+  util::Xoshiro256 rng(42);
+  Histogram a, b, whole;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_u64(0, 1000000);
+    (i % 2 == 0 ? a : b).record(v);
+    whole.record(v);
+  }
+  a.merge(b);
+  const HistogramSnapshot merged = a.snapshot();
+  const HistogramSnapshot reference = whole.snapshot();
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.total, reference.total);
+  EXPECT_EQ(merged.min, reference.min);
+  EXPECT_EQ(merged.max, reference.max);
+  EXPECT_EQ(merged.buckets, reference.buckets);
+  for (const double p : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(merged.quantile(p), reference.quantile(p));
+  }
+}
+
+TEST(Histogram, SnapshotMergeMatchesHistogramMerge) {
+  Histogram a, b;
+  for (std::uint64_t v = 1; v <= 100; ++v) a.record(v * 3);
+  for (std::uint64_t v = 1; v <= 100; ++v) b.record(v * 7919);
+  HistogramSnapshot sa = a.snapshot();
+  sa.merge(b.snapshot());
+  a.merge(b);
+  const HistogramSnapshot reference = a.snapshot();
+  EXPECT_EQ(sa.count, reference.count);
+  EXPECT_EQ(sa.total, reference.total);
+  EXPECT_EQ(sa.min, reference.min);
+  EXPECT_EQ(sa.max, reference.max);
+  EXPECT_EQ(sa.buckets, reference.buckets);
+}
+
+TEST(Histogram, MergingEmptySnapshotsIsIdentity) {
+  Histogram h;
+  h.record(10);
+  HistogramSnapshot s = h.snapshot();
+  s.merge(HistogramSnapshot{});  // empty right side: no-op
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 10u);
+  HistogramSnapshot empty;
+  empty.merge(s);  // empty left side: becomes the right side
+  EXPECT_EQ(empty.count, 1u);
+  EXPECT_EQ(empty.min, 10u);
+  EXPECT_EQ(empty.max, 10u);
+}
+
+// The serve-path contract: recording from many threads through one shared
+// histogram loses no samples and keeps the exact fields exact. Runs under
+// TSAN via PPROPHET_SANITIZE=thread (ctest -L concurrency).
+TEST(Histogram, ConcurrentRecordingIsLossless) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(w * kPerThread + i) + 1);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  const HistogramSnapshot s = h.snapshot();
+  constexpr std::uint64_t kN =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(s.count, kN);
+  EXPECT_EQ(s.total, kN * (kN + 1) / 2);  // 1..N each exactly once
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, kN);
+}
+
+// Per-thread histograms merged after the fact equal one shared histogram —
+// the aggregation bench_serve_throughput's client fleet relies on.
+TEST(Histogram, CrossThreadMergeIdentity) {
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 10000;
+  std::vector<Histogram> shards(kThreads);
+  Histogram shared;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&, w] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(w) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto v = rng.uniform_u64(1, 100000);
+        shards[static_cast<std::size_t>(w)].record(v);
+        shared.record(v);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  Histogram merged;
+  for (const Histogram& s : shards) merged.merge(s);
+  const HistogramSnapshot a = merged.snapshot();
+  const HistogramSnapshot b = shared.snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+}  // namespace
+}  // namespace pprophet::obs

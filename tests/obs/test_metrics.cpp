@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -191,6 +192,102 @@ TEST_F(MetricsTest, ConcurrentRegistrationIsSafe) {
   for (const auto& [name, v] : snap.counters) {
     EXPECT_EQ(v, name == "shared" ? 800u : 100u) << name;
   }
+}
+
+// Regression test for the old render_json escaper: it passed a raw (signed)
+// char to snprintf("\\u%04x"), so metric names containing bytes >= 0x80
+// sign-extended into garbage like "\uffffffc3" — invalid JSON. The shared
+// util::json_escape must emit the byte value itself.
+TEST_F(MetricsTest, RenderJsonEscapesMetricNames) {
+  MetricsRegistry reg;
+  reg.counter("quote\"back\\slash").add(1);
+  reg.counter("ctrl\x01tab\t").add(2);
+  reg.counter("high\xc3\xa9" "byte").add(3);  // UTF-8 'é'
+  std::ostringstream json;
+  reg.snapshot().render_json(json);
+  const std::string s = json.str();
+  EXPECT_NE(s.find("\"quote\\\"back\\\\slash\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"ctrl\\u0001tab\\t\":2"), std::string::npos);
+  // High bytes pass through as-is (valid inside a JSON string)...
+  EXPECT_NE(s.find("\"high\xc3\xa9" "byte\":3"), std::string::npos);
+  // ...and must never become the sign-extended "\uffffffXX" spelling.
+  EXPECT_EQ(s.find("ffffff"), std::string::npos);
+}
+
+TEST_F(MetricsTest, RenderJsonEmitsNullForNonFiniteGauges) {
+  MetricsRegistry reg;
+  reg.gauge("bad").set(std::numeric_limits<double>::quiet_NaN());
+  reg.gauge("inf").set(std::numeric_limits<double>::infinity());
+  reg.gauge("good").set(1.5);
+  std::ostringstream json;
+  reg.snapshot().render_json(json);
+  const std::string s = json.str();
+  EXPECT_NE(s.find("\"bad\":null"), std::string::npos);
+  EXPECT_NE(s.find("\"inf\":null"), std::string::npos);
+  EXPECT_NE(s.find("\"good\":1.5"), std::string::npos);
+}
+
+TEST_F(MetricsTest, HistogramRegistersAndRenders) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat_us");
+  EXPECT_EQ(&h, &reg.histogram("lat_us"));  // handle stability
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].first, "lat_us");
+  EXPECT_EQ(snap.histograms[0].second.count, 100u);
+
+  std::ostringstream text;
+  snap.render_text(text);
+  EXPECT_NE(text.str().find("histograms:"), std::string::npos);
+  EXPECT_NE(text.str().find("lat_us"), std::string::npos);
+
+  std::ostringstream csv;
+  snap.render_csv(csv);
+  EXPECT_NE(csv.str().find("lat_us,histogram"), std::string::npos);
+
+  std::ostringstream json;
+  snap.render_json(json);
+  EXPECT_NE(json.str().find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"p99\""), std::string::npos);
+
+  reg.reset();
+  EXPECT_EQ(h.count(), 0u);  // same handle, now zero
+}
+
+// MetricsSnapshot::merge is how `pprophet serve --metrics` folds the
+// server's private registry into the global snapshot at exit.
+TEST_F(MetricsTest, SnapshotMergeFoldsAllKinds) {
+  MetricsRegistry a, b;
+  a.counter("shared").add(2);
+  b.counter("shared").add(5);
+  b.counter("only_b").add(1);
+  a.gauge("depth").set(3.0);
+  b.gauge("depth").set(7.0);
+  a.timer("t").record(10);
+  b.timer("t").record(30);
+  a.histogram("h").record(1);
+  b.histogram("h").record(100);
+  MetricsSnapshot snap = a.snapshot();
+  snap.merge(b.snapshot());
+  const auto find_counter = [&](const char* name) -> std::uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  };
+  EXPECT_EQ(find_counter("shared"), 7u);
+  EXPECT_EQ(find_counter("only_b"), 1u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 7.0);  // gauges: the merged-in side wins
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].second.count, 2u);
+  EXPECT_EQ(snap.timers[0].second.min, 10u);
+  EXPECT_EQ(snap.timers[0].second.max, 30u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 2u);
+  EXPECT_EQ(snap.histograms[0].second.min, 1u);
+  EXPECT_EQ(snap.histograms[0].second.max, 100u);
 }
 
 TEST_F(MetricsTest, ScopedWallTimerRecords) {

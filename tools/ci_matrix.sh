@@ -20,6 +20,14 @@
 # `thread` is also accepted (README documents the TSan + `-L concurrency`
 # combination) but is not in the default set: TSan roughly 10x-es the
 # event-engine suites, so CI runs it on a slower cadence.
+#
+# Independently of the requested set, the matrix always finishes with a
+# thread-sanitizer stage scoped to the serve path: `ctest -L server`
+# (daemon + stats-endpoint + event-log suites, whose latency histograms
+# and JSONL logger are exactly the shared state TSan should watch) plus a
+# live daemon smoke run with --metrics and --log enabled. The `server`
+# label is a small fraction of the full concurrency set, so this stays
+# cheap enough for every PR.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,15 +38,59 @@ if [ ${#sans[@]} -eq 0 ]; then
 fi
 jobs=$(nproc 2>/dev/null || echo 4)
 
-for san in "${sans[@]}"; do
-  bdir="build-ci-${san}"
+build_san() {
+  local san="$1" bdir="$2"
   echo "=== ${san}: configure + build (${bdir}) ==="
   cmake -B "${bdir}" -S . -DPPROPHET_SANITIZE="${san}" >/dev/null
   cmake --build "${bdir}" -j "${jobs}"
+}
+
+# Start the daemon with telemetry on, poke it with ping + stats, drain it,
+# and require that the request log and metrics file came out non-empty.
+serve_smoke() {
+  local bdir="$1"
+  local tmp
+  tmp=$(mktemp -d)
+  local sock="${tmp}/pp.sock"
+  "${bdir}/tools/pprophet" serve --socket "${sock}" --serve-workers 2 \
+      --metrics="${tmp}/metrics.json" --log "${tmp}/requests.jsonl" &
+  local pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "${sock}" ] && break
+    sleep 0.1
+  done
+  "${bdir}/tools/pprophet" client --socket "${sock}" ping >/dev/null
+  "${bdir}/tools/pprophet" stats --socket "${sock}" >/dev/null
+  kill -TERM "${pid}"
+  wait "${pid}"
+  test -s "${tmp}/requests.jsonl"   # every request logged (sampling=1)
+  test -s "${tmp}/metrics.json"     # serve histograms merged at exit
+  rm -rf "${tmp}"
+}
+
+ran_thread=0
+for san in "${sans[@]}"; do
+  [ "${san}" = thread ] && ran_thread=1
+  bdir="build-ci-${san}"
+  build_san "${san}" "${bdir}"
   echo "=== ${san}: batched + concurrency labels ==="
   ctest --test-dir "${bdir}" -L 'batched|concurrency' --output-on-failure
   echo "=== ${san}: perf smoke ==="
   ctest --test-dir "${bdir}" -L perf --output-on-failure
 done
 
-echo "ci matrix OK: ${sans[*]}"
+# Serve-path TSan stage. Skipped only when a full `thread` pass already ran
+# above — `-L concurrency` is a superset of `-L server` there.
+if [ "${ran_thread}" -eq 0 ]; then
+  bdir="build-ci-thread"
+  build_san thread "${bdir}"
+  echo "=== thread: server label (stats endpoint, event log, daemon) ==="
+  ctest --test-dir "${bdir}" -L server --output-on-failure
+  echo "=== thread: daemon smoke with --metrics + --log ==="
+  serve_smoke "${bdir}"
+else
+  echo "=== thread: full concurrency pass already ran; serve smoke only ==="
+  serve_smoke "build-ci-thread"
+fi
+
+echo "ci matrix OK: ${sans[*]} + thread(server)"

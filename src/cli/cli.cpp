@@ -11,8 +11,11 @@
 #include <sstream>
 #include <thread>
 
+#include "core/machine_sweep.hpp"
 #include "core/recommend.hpp"
+#include "machine/presets.hpp"
 #include "machine/timeline.hpp"
+#include "reuse/miss_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "memmodel/burden.hpp"
@@ -36,7 +39,7 @@ constexpr const char* kUsage = R"(usage:
   pprophet predict  --tree FILE [--method ff|syn|suit|real]
                     [--paradigm omp|cilk] [--schedule static|static1|dynamic|guided]
                     [--chunk N] [--threads 2,4,8] [--cores N]
-                    [--memory-model] [--csv FILE]
+                    [--machine PRESET] [--memory-model] [--csv FILE]
                     [--engine-path auto|scalar|batched]
   pprophet inspect  --tree FILE
   pprophet compress --tree FILE -o FILE [--tolerance 0.05] [--lossy]
@@ -47,7 +50,8 @@ constexpr const char* kUsage = R"(usage:
   pprophet sweep    --tree FILE [--methods ff,syn,suit,real]
                     [--paradigms omp,cilk] [--schedules static1,static,dynamic]
                     [--chunks 1,4] [--threads 2,4,8] [--cores N]
-                    [--memory-model] [--workers N] [--csv FILE]
+                    [--machines westmere,skylake,...] [--memory-model]
+                    [--workers N] [--csv FILE]
                     [--engine-path auto|scalar|batched]
   pprophet serve    --socket PATH [--serve-workers N] [--queue-limit N]
                     [--cache-mb N] [--workers N] [--cores N]
@@ -55,7 +59,8 @@ constexpr const char* kUsage = R"(usage:
   pprophet client   --socket PATH [--op] ping|stats|upload|predict|sweep|recommend
                     [--tree FILE | --key HASH] [--methods ...] [--paradigms ...]
                     [--schedules ...] [--chunks ...] [--threads 2,4,8]
-                    [--cores N] [--memory-model] [--deadline-ms N]
+                    [--cores N] [--machines ...] [--memory-model]
+                    [--deadline-ms N]
   pprophet stats    --socket PATH [--watch N] [--samples M]
   pprophet help
 observability (any command; see docs/OBSERVABILITY.md):
@@ -125,6 +130,18 @@ bool parse_threads(const std::string& v, std::vector<CoreCount>& out) {
   return !out.empty();
 }
 
+/// Resolves one preset name, printing the shared one-line diagnostic on
+/// failure (the same text the serve protocol returns for a bad "machines"
+/// entry).
+const machine::MachinePreset* resolve_machine(const std::string& name,
+                                              std::ostream& err) {
+  const machine::MachinePreset* p = machine::find_machine_preset(name);
+  if (p == nullptr) {
+    err << "pprophet: " << machine::unknown_machine_message(name) << "\n";
+  }
+  return p;
+}
+
 std::optional<tree::ProgramTree> load_tree(const std::string& path,
                                            std::ostream& err) {
   std::error_code ec;
@@ -158,9 +175,20 @@ int cmd_predict(const Options& opts, std::ostream& out, std::ostream& err) {
   po.machine.cores = opts.cores;
   po.memory_model = opts.memory_model;
   po.engine_path = opts.engine_path;
+  if (!opts.machine.empty()) {
+    // Price the tree on a named preset: the preset is the whole machine
+    // (cores included), and sections carrying reuse profiles get their
+    // counters re-derived for its cache hierarchy (docs/MEMMODEL.md).
+    const machine::MachinePreset* preset = resolve_machine(opts.machine, err);
+    if (preset == nullptr) return 1;
+    reuse::project_tree(*t, preset->cache, preset->cost.dram);
+    po.machine = preset->machine;
+    po.dram_stall = preset->cost.dram;
+  }
   if (opts.memory_model) {
     memmodel::CalibrationOptions copts;
     copts.machine = po.machine;
+    copts.dram_stall = po.dram_stall;
     const memmodel::BurdenModel model(memmodel::calibrate(copts));
     memmodel::annotate_burdens(*t, model, opts.threads);
   }
@@ -197,9 +225,11 @@ int cmd_predict(const Options& opts, std::ostream& out, std::ostream& err) {
   }
   status << "method " << core::to_string(opts.method) << ", paradigm "
          << core::to_string(opts.paradigm) << ", schedule "
-         << runtime::to_string(opts.schedule) << ", machine "
-         << opts.cores << " cores, memory model "
-         << (opts.memory_model ? "on" : "off") << "\n";
+         << runtime::to_string(opts.schedule) << ", machine ";
+  if (!opts.machine.empty()) status << opts.machine << " (";
+  status << po.machine.cores << " cores";
+  if (!opts.machine.empty()) status << ")";
+  status << ", memory model " << (opts.memory_model ? "on" : "off") << "\n";
   if (csv_stdout) {
     out << csv.to_string();
   } else {
@@ -239,34 +269,84 @@ int cmd_sweep(const Options& opts, std::ostream& out, std::ostream& err) {
   grid.base = report::paper_options(grid.methods.front());
   grid.base.machine.cores = opts.cores;
   grid.base.engine_path = opts.engine_path;
-  if (opts.memory_model) {
-    memmodel::CalibrationOptions copts;
-    copts.machine = grid.base.machine;
-    const memmodel::BurdenModel model(memmodel::calibrate(copts));
-    memmodel::annotate_burdens(*t, model, opts.threads);
-  }
 
   core::SweepOptions sopts;
   sopts.workers = opts.workers;
-  const core::SweepResult res = core::sweep(*t, grid, sopts);
 
-  util::Table table({"method", "paradigm", "schedule", "chunk", "threads",
-                     "speedup", "parallel cycles"});
-  util::CsvWriter csv({"method", "paradigm", "schedule", "chunk", "threads",
-                       "speedup", "parallel_cycles", "serial_cycles"});
-  for (const core::SweepCell& c : res.cells) {
-    const auto& p = c.point;
-    table.add_row({core::to_string(p.method), core::to_string(p.paradigm),
-                   runtime::to_string(p.schedule), std::to_string(p.chunk),
-                   std::to_string(p.threads),
-                   util::fmt_f(c.estimate.speedup, 2),
-                   util::fmt_i(static_cast<long long>(
-                       c.estimate.parallel_cycles))});
-    csv.add_row({core::to_string(p.method), core::to_string(p.paradigm),
-                 runtime::to_string(p.schedule), std::to_string(p.chunk),
-                 std::to_string(p.threads), util::fmt_f(c.estimate.speedup, 4),
-                 std::to_string(c.estimate.parallel_cycles),
-                 std::to_string(c.estimate.serial_cycles)});
+  // --machines: one profiling pass, N machines. Each preset gets the tree
+  // re-priced through the reuse-distance model and its own burden
+  // calibration (core/machine_sweep.hpp); a leading "machine" column keys
+  // the rows. Without --machines the classic single-machine sweep (and its
+  // CSV schema) is unchanged.
+  const bool by_machine = !opts.machines.empty();
+  std::vector<machine::MachinePreset> presets;
+  for (const std::string& name : opts.machines) {
+    const machine::MachinePreset* p = resolve_machine(name, err);
+    if (p == nullptr) return 1;
+    presets.push_back(*p);
+  }
+
+  std::vector<std::pair<std::string, core::SweepResult>> runs;
+  std::size_t projected = 0;
+  if (by_machine) {
+    core::MachineSweepResult mres =
+        core::sweep_machines(*t, presets, grid, sopts);
+    for (core::MachineSweepEntry& e : mres.machines) {
+      projected += e.projected_sections;
+      runs.emplace_back(std::move(e.machine), std::move(e.result));
+    }
+  } else {
+    if (opts.memory_model) {
+      memmodel::CalibrationOptions copts;
+      copts.machine = grid.base.machine;
+      const memmodel::BurdenModel model(memmodel::calibrate(copts));
+      memmodel::annotate_burdens(*t, model, opts.threads);
+    }
+    runs.emplace_back("", core::sweep(*t, grid, sopts));
+  }
+
+  std::vector<std::string> table_cols{"method",  "paradigm", "schedule",
+                                      "chunk",   "threads",  "speedup",
+                                      "parallel cycles"};
+  std::vector<std::string> csv_cols{"method",  "paradigm",        "schedule",
+                                    "chunk",   "threads",         "speedup",
+                                    "parallel_cycles", "serial_cycles"};
+  if (by_machine) {
+    table_cols.insert(table_cols.begin(), "machine");
+    csv_cols.insert(csv_cols.begin(), "machine");
+  }
+  util::Table table(table_cols);
+  util::CsvWriter csv(csv_cols);
+  core::SweepStats stats;
+  for (const auto& [name, res] : runs) {
+    stats.grid_points += res.stats.grid_points;
+    stats.section_lookups += res.stats.section_lookups;
+    stats.cache_hits += res.stats.cache_hits;
+    stats.section_evals += res.stats.section_evals;
+    stats.workers = res.stats.workers;
+    stats.batched_blocks += res.stats.batched_blocks;
+    stats.batched_points += res.stats.batched_points;
+    stats.wall_ms += res.stats.wall_ms;
+    for (const core::SweepCell& c : res.cells) {
+      const auto& p = c.point;
+      std::vector<std::string> trow{
+          core::to_string(p.method), core::to_string(p.paradigm),
+          runtime::to_string(p.schedule), std::to_string(p.chunk),
+          std::to_string(p.threads), util::fmt_f(c.estimate.speedup, 2),
+          util::fmt_i(static_cast<long long>(c.estimate.parallel_cycles))};
+      std::vector<std::string> crow{
+          core::to_string(p.method), core::to_string(p.paradigm),
+          runtime::to_string(p.schedule), std::to_string(p.chunk),
+          std::to_string(p.threads), util::fmt_f(c.estimate.speedup, 4),
+          std::to_string(c.estimate.parallel_cycles),
+          std::to_string(c.estimate.serial_cycles)};
+      if (by_machine) {
+        trow.insert(trow.begin(), name);
+        crow.insert(crow.begin(), name);
+      }
+      table.add_row(trow);
+      csv.add_row(crow);
+    }
   }
   // With --csv the engine stats are diagnostics, not results: they move to
   // stderr so piped CSV output stays clean (they are also mirrored into the
@@ -275,12 +355,18 @@ int cmd_sweep(const Options& opts, std::ostream& out, std::ostream& err) {
   const bool csv_selected = !opts.csv_path.empty();
   const bool csv_stdout = opts.csv_path == "-";
   std::ostream& status = csv_stdout ? err : out;
-  status << "sweep over " << res.stats.grid_points
-         << " grid points, machine " << opts.cores
-         << " cores, memory model " << (opts.memory_model ? "on" : "off")
+  status << "sweep over " << stats.grid_points << " grid points, ";
+  if (by_machine) {
+    status << runs.size() << " machine" << (runs.size() == 1 ? "" : "s")
+           << " (" << projected << " section counter projection"
+           << (projected == 1 ? "" : "s") << ")";
+  } else {
+    status << "machine " << opts.cores << " cores";
+  }
+  status << ", memory model " << (opts.memory_model ? "on" : "off")
          << ", engine path " << core::to_string(opts.engine_path) << "\n";
   if (!csv_stdout) table.print(out);
-  const auto& s = res.stats;
+  const auto& s = stats;
   (csv_selected ? err : out)
       << "grid points " << s.grid_points << ", section emulations "
       << s.section_evals << " of " << s.section_lookups
@@ -548,21 +634,34 @@ serve::JsonValue build_client_request(const Options& opts,
   req.set("paradigms", serve::JsonValue(std::move(paradigms)));
   req.set("schedules", serve::JsonValue(std::move(schedules)));
   req.set("chunks", serve::JsonValue(std::move(chunks)));
+  if (!opts.machines.empty()) {
+    serve::JsonValue::Array machines;
+    for (const std::string& m : opts.machines) machines.emplace_back(m);
+    req.set("machines", serve::JsonValue(std::move(machines)));
+  }
   return req;
 }
 
 /// Renders a predict/sweep "result" object as the familiar sweep table.
+/// Cells from a machines request carry a "machine" field, shown as a
+/// leading column.
 void print_cells(const serve::JsonValue& result, std::ostream& out) {
-  util::Table table({"method", "paradigm", "schedule", "chunk", "threads",
-                     "speedup", "parallel cycles"});
-  for (const serve::JsonValue& c : result.at("cells").as_array()) {
-    table.add_row(
-        {c.at("method").as_string(), c.at("paradigm").as_string(),
-         c.at("schedule").as_string(), std::to_string(c.at("chunk").as_u64()),
-         std::to_string(c.at("threads").as_u64()),
-         util::fmt_f(c.at("speedup").as_double(), 2),
-         util::fmt_i(static_cast<long long>(
-             c.at("parallel_cycles").as_u64()))});
+  const auto& cells = result.at("cells").as_array();
+  const bool by_machine =
+      !cells.empty() && cells.front().find("machine") != nullptr;
+  std::vector<std::string> cols{"method",  "paradigm", "schedule", "chunk",
+                                "threads", "speedup",  "parallel cycles"};
+  if (by_machine) cols.insert(cols.begin(), "machine");
+  util::Table table(cols);
+  for (const serve::JsonValue& c : cells) {
+    std::vector<std::string> row{
+        c.at("method").as_string(), c.at("paradigm").as_string(),
+        c.at("schedule").as_string(), std::to_string(c.at("chunk").as_u64()),
+        std::to_string(c.at("threads").as_u64()),
+        util::fmt_f(c.at("speedup").as_double(), 2),
+        util::fmt_i(static_cast<long long>(c.at("parallel_cycles").as_u64()))};
+    if (by_machine) row.insert(row.begin(), c.at("machine").as_string());
+    table.add_row(row);
   }
   table.print(out);
 }
@@ -862,6 +961,23 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       const auto v = need_value();
       if (!v || !parse_list<std::uint64_t>(*v, opts.chunks, parse_chunk)) {
         err << "pprophet: bad --chunks (use e.g. 1,4)\n";
+        return std::nullopt;
+      }
+    } else if (a == "--machine") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.machine = *v;
+    } else if (a == "--machines") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.machines.clear();
+      std::istringstream is(*v);
+      std::string tok;
+      while (std::getline(is, tok, ',')) {
+        if (!tok.empty()) opts.machines.push_back(tok);
+      }
+      if (opts.machines.empty()) {
+        err << "pprophet: bad --machines (use e.g. westmere,skylake)\n";
         return std::nullopt;
       }
     } else if (a == "--engine-path") {

@@ -65,6 +65,11 @@ struct Options {
   std::vector<core::Paradigm> paradigms;
   std::vector<runtime::OmpSchedule> schedules;
   std::vector<std::uint64_t> chunks;
+  /// --machines (sweep/client): machine presets to price the tree on via
+  /// the reuse-distance model (machine/presets.hpp, docs/MEMMODEL.md).
+  std::vector<std::string> machines;
+  /// --machine (predict): single preset overriding the default machine.
+  std::string machine;
   std::size_t workers = 0;  ///< sweep worker pool; 0 = hardware concurrency
   /// --engine-path (predict/sweep): evaluation machinery selector. Auto
   /// routes sweeps through the batched evaluators and predict through the

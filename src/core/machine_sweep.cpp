@@ -1,0 +1,48 @@
+#include "core/machine_sweep.hpp"
+
+#include <algorithm>
+
+#include "memmodel/burden.hpp"
+#include "memmodel/calibration.hpp"
+#include "reuse/miss_model.hpp"
+
+namespace pprophet::core {
+
+MachineSweepResult sweep_machines(
+    const tree::ProgramTree& tree,
+    std::span<const machine::MachinePreset> presets, const SweepGrid& grid,
+    const SweepOptions& options) {
+  const bool wants_memory_model =
+      std::any_of(grid.memory_models.begin(), grid.memory_models.end(),
+                  [](bool b) { return b; });
+
+  MachineSweepResult out;
+  out.machines.reserve(presets.size());
+  for (const machine::MachinePreset& preset : presets) {
+    // Burdens and projected counters are baked into the compiled tree, so
+    // each preset prices its own deep copy.
+    tree::ProgramTree priced;
+    priced.root = tree.root ? tree.root->clone() : nullptr;
+
+    MachineSweepEntry entry;
+    entry.machine = preset.name;
+    entry.projected_sections =
+        reuse::project_tree(priced, preset.cache, preset.cost.dram);
+
+    SweepGrid g = grid;
+    g.base.machine = preset.machine;
+    g.base.dram_stall = preset.cost.dram;
+    if (wants_memory_model) {
+      memmodel::CalibrationOptions copts;
+      copts.machine = preset.machine;
+      copts.dram_stall = preset.cost.dram;
+      const memmodel::BurdenModel model(memmodel::calibrate(copts));
+      memmodel::annotate_burdens(priced, model, g.thread_counts);
+    }
+    entry.result = sweep(priced, g, options);
+    out.machines.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace pprophet::core

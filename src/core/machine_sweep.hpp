@@ -1,0 +1,47 @@
+// Cross-machine prediction sweep (docs/MEMMODEL.md).
+//
+// The reuse-distance profile makes a ProgramTree machine-portable: each
+// profiled top-level section carries, besides its measured {N, T, D}
+// counters, a stack-distance histogram of its memory accesses. This engine
+// takes such a tree — profiled ONCE, on one machine — and prices it on a
+// list of machine presets: for each preset it re-derives the section
+// counters for the preset's cache hierarchy with the analytical miss model
+// (reuse/miss_model.hpp), recalibrates the §V contention maps on the
+// preset's DES, and runs the ordinary sweep grid. One profiling pass, N
+// machines' worth of predictions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "machine/presets.hpp"
+
+namespace pprophet::core {
+
+/// One preset's worth of sweep output.
+struct MachineSweepEntry {
+  std::string machine;  ///< preset name
+  /// Top-level sections whose counters were re-derived from their reuse
+  /// profile (sections without a profile keep their measured counters).
+  std::size_t projected_sections = 0;
+  SweepResult result;
+};
+
+struct MachineSweepResult {
+  /// One entry per requested preset, in request order.
+  std::vector<MachineSweepEntry> machines;
+};
+
+/// Evaluates `grid` against `tree` on every preset. The preset replaces
+/// `grid.base`'s machine, ω and cache wholesale (cores included — the
+/// preset *is* the machine); everything else of the grid is common. The
+/// input tree is never mutated: each preset works on a deep copy whose
+/// counters and burdens are its own.
+MachineSweepResult sweep_machines(
+    const tree::ProgramTree& tree,
+    std::span<const machine::MachinePreset> presets, const SweepGrid& grid,
+    const SweepOptions& options = {});
+
+}  // namespace pprophet::core

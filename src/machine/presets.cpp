@@ -1,0 +1,104 @@
+#include "machine/presets.hpp"
+
+#include <algorithm>
+
+namespace pprophet::machine {
+namespace {
+
+MachinePreset make(std::string name, std::string summary, CoreCount cores,
+                   double saturation_mbps, cachesim::CacheConfig cache,
+                   Cycles dram) {
+  MachinePreset p;
+  p.name = std::move(name);
+  p.summary = std::move(summary);
+  p.machine = westmere_sim();
+  p.machine.cores = cores;
+  p.machine.bandwidth.saturation_mbps = saturation_mbps;
+  p.cache = cache;
+  p.cost.dram = dram;
+  return p;
+}
+
+std::vector<MachinePreset> build_presets() {
+  std::vector<MachinePreset> v;
+  // The paper's testbed; cache/cost are the tree-wide defaults, so
+  // profiling with KernelConfig{} *is* profiling on this preset.
+  v.push_back(make("westmere", "12 cores, 12 MB/24-way LLC (paper testbed)",
+                   12, 1200.0, cachesim::CacheConfig{}, 200));
+  {
+    cachesim::CacheConfig c;
+    c.llc = {8 * 1024 * 1024, 16};
+    v.push_back(make("nehalem", "8 cores, 8 MB/16-way LLC, slower DRAM", 8,
+                     900.0, c, 220));
+  }
+  {
+    cachesim::CacheConfig c;
+    c.llc = {20 * 1024 * 1024, 20};
+    v.push_back(make("sandybridge", "16 cores, 20 MB/20-way LLC", 16, 1600.0,
+                     c, 190));
+  }
+  {
+    cachesim::CacheConfig c;
+    c.l2 = {1024 * 1024, 16};
+    c.llc = {32 * 1024 * 1024, 16};
+    v.push_back(make("skylake", "24 cores, 1 MB L2, 32 MB/16-way LLC", 24,
+                     2400.0, c, 180));
+  }
+  {
+    cachesim::CacheConfig c;
+    c.l2 = {512 * 1024, 8};
+    c.llc = {64 * 1024 * 1024, 16};
+    v.push_back(make("epyc", "32 cores, 64 MB/16-way LLC, high-latency DRAM",
+                     32, 3200.0, c, 260));
+  }
+  return v;
+}
+
+cachesim::CacheLevelConfig scale_level(cachesim::CacheLevelConfig level,
+                                       std::uint64_t line_bytes,
+                                       unsigned shift) {
+  level.size_bytes >>= shift;
+  // Never below one set: capacity floor is associativity × line size.
+  const std::uint64_t floor =
+      static_cast<std::uint64_t>(level.associativity) * line_bytes;
+  level.size_bytes = std::max(level.size_bytes, floor);
+  return level;
+}
+
+}  // namespace
+
+cachesim::CacheConfig MachinePreset::scaled_cache(unsigned shift) const {
+  cachesim::CacheConfig c = cache;
+  c.l1 = scale_level(c.l1, c.line_bytes, shift);
+  c.l2 = scale_level(c.l2, c.line_bytes, shift);
+  c.llc = scale_level(c.llc, c.line_bytes, shift);
+  return c;
+}
+
+const std::vector<MachinePreset>& machine_presets() {
+  static const std::vector<MachinePreset> presets = build_presets();
+  return presets;
+}
+
+const MachinePreset* find_machine_preset(std::string_view name) {
+  for (const MachinePreset& p : machine_presets()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::string machine_preset_names() {
+  std::string s;
+  for (const MachinePreset& p : machine_presets()) {
+    if (!s.empty()) s += ", ";
+    s += p.name;
+  }
+  return s;
+}
+
+std::string unknown_machine_message(std::string_view name) {
+  return "unknown machine preset '" + std::string(name) +
+         "' (valid: " + machine_preset_names() + ")";
+}
+
+}  // namespace pprophet::machine

@@ -1,7 +1,24 @@
 // Machine presets.
+//
+// A preset bundles everything one simulated machine means to the pipeline:
+// the DES/emulation config (cores, quantum, bandwidth saturation), the
+// cache hierarchy the vcpu simulates, and the hit-latency cost model whose
+// `dram` entry is the ω of the §V memory model. The named registry is what
+// `pprophet sweep --machines a,b,c` and the serve protocol's "machines"
+// field resolve against: profile once on one preset, let the reuse-distance
+// model re-price the counters for the others (docs/MEMMODEL.md).
+//
+// All presets are simulated stand-ins (like westmere_sim, the paper's
+// testbed), not cycle-accurate models of the namesake parts.
 #pragma once
 
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cachesim/cache.hpp"
 #include "machine/machine.hpp"
+#include "vcpu/vcpu.hpp"
 
 namespace pprophet::machine {
 
@@ -18,5 +35,36 @@ inline MachineConfig westmere_sim() {
   m.bandwidth.log_alpha = 0.22;
   return m;
 }
+
+struct MachinePreset {
+  std::string name;
+  std::string summary;
+  MachineConfig machine;
+  cachesim::CacheConfig cache;
+  vcpu::CostModel cost;
+
+  /// The same hierarchy with every capacity shrunk 2^shift× (associativity
+  /// and line size kept, so set counts stay powers of two) — the
+  /// scaled-machine trick of workloads/kernel_harness.hpp applied
+  /// uniformly, so model-vs-simulation validation can run kernels at
+  /// feasible footprints while preserving each preset's footprint:LLC
+  /// ratio relative to the others.
+  cachesim::CacheConfig scaled_cache(unsigned shift) const;
+};
+
+/// The registry, in stable presentation order ("westmere" first — the
+/// default machine everywhere else in the tree).
+const std::vector<MachinePreset>& machine_presets();
+
+/// Lookup by name; null when unknown.
+const MachinePreset* find_machine_preset(std::string_view name);
+
+/// "westmere, nehalem, ..." — for one-line unknown-preset errors.
+std::string machine_preset_names();
+
+/// The one-line unknown-preset diagnostic shared by the CLI (predict /
+/// sweep / client) and the serve protocol, so a bad name gets the same
+/// message everywhere: "unknown machine preset 'NAME' (valid: ...)".
+std::string unknown_machine_message(std::string_view name);
 
 }  // namespace pprophet::machine

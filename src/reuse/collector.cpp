@@ -1,0 +1,247 @@
+#include "reuse/collector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace pprophet::reuse {
+
+namespace {
+
+/// Fibonacci hashing: sequential page numbers (the common streaming case)
+/// spread across the whole table instead of clustering into probe chains.
+inline std::size_t page_hash(std::uint64_t page) {
+  return static_cast<std::size_t>(page * 0x9E3779B97F4A7C15ULL >> 32);
+}
+
+}  // namespace
+
+ReuseCollector::ReuseCollector(const cachesim::CacheConfig& cache,
+                               const vcpu::CostModel& cost,
+                               const CollectorOptions& options) {
+  config_.line_bytes = cache.line_bytes;
+  config_.omega = cost.dram;
+  config_.l1_bytes = cache.l1.size_bytes;
+  config_.l1_ways = cache.l1.associativity;
+  config_.l2_bytes = cache.l2.size_bytes;
+  config_.l2_ways = cache.l2.associativity;
+  config_.llc_bytes = cache.llc.size_bytes;
+  config_.llc_ways = cache.llc.associativity;
+  line_shift_ = std::countr_zero(cache.line_bytes);
+  initial_capacity_ =
+      std::max<std::size_t>(std::bit_ceil(options.initial_slots), 64);
+  capacity_ = initial_capacity_;
+  bits_.assign(capacity_ >> 6, 0);
+  rebuild_fenwick();
+  page_keys_.assign(64, kEmptyPage);
+  page_vals_.assign(64, 0);
+  page_mask_ = 63;
+}
+
+/// Rebuilds the word-popcount Fenwick tree from the current bitmap.
+void ReuseCollector::rebuild_fenwick() {
+  const std::size_t words = bits_.size();
+  fenwick_.assign(words + 1, 0);
+  for (std::size_t w = 0; w < words; ++w) {
+    if (bits_[w] != 0) {
+      fenwick_add(w + 1, std::popcount(bits_[w]));
+    }
+  }
+}
+
+void ReuseCollector::fenwick_add(std::size_t i, int delta) {
+  for (; i < fenwick_.size(); i += i & (~i + 1)) {
+    fenwick_[i] = static_cast<std::uint32_t>(
+        static_cast<int>(fenwick_[i]) + delta);
+  }
+}
+
+std::uint64_t ReuseCollector::fenwick_prefix(std::size_t i) const {
+  std::uint64_t s = 0;
+  for (; i > 0; i -= i & (~i + 1)) s += fenwick_[i];
+  return s;
+}
+
+void ReuseCollector::mark_slot(std::size_t slot) {
+  const std::size_t w = (slot - 1) >> 6;
+  bits_[w] |= std::uint64_t{1} << ((slot - 1) & 63);
+  fenwick_add(w + 1, 1);
+}
+
+void ReuseCollector::unmark_slot(std::size_t slot) {
+  const std::size_t w = (slot - 1) >> 6;
+  bits_[w] &= ~(std::uint64_t{1} << ((slot - 1) & 63));
+  fenwick_add(w + 1, -1);
+}
+
+std::uint64_t ReuseCollector::count_le(std::size_t slot) const {
+  // popcount of bit indices [0, slot): whole words via the Fenwick prefix,
+  // plus a masked popcount of the partial word.
+  const std::size_t full_words = slot >> 6;
+  std::uint64_t s = fenwick_prefix(full_words);
+  const unsigned rem = static_cast<unsigned>(slot & 63);
+  if (rem != 0) {
+    s += static_cast<std::uint64_t>(
+        std::popcount(bits_[full_words] & ((std::uint64_t{1} << rem) - 1)));
+  }
+  return s;
+}
+
+void ReuseCollector::grow_page_table() {
+  std::vector<std::uint64_t> old_keys = std::move(page_keys_);
+  std::vector<std::uint32_t> old_vals = std::move(page_vals_);
+  const std::size_t table = old_keys.size() * 2;
+  page_keys_.assign(table, kEmptyPage);
+  page_vals_.assign(table, 0);
+  page_mask_ = table - 1;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kEmptyPage) continue;
+    std::size_t j = page_hash(old_keys[i]) & page_mask_;
+    while (page_keys_[j] != kEmptyPage) j = (j + 1) & page_mask_;
+    page_keys_[j] = old_keys[i];
+    page_vals_[j] = old_vals[i];
+  }
+}
+
+std::uint32_t* ReuseCollector::block_for(std::uint64_t page) {
+  PageCacheEntry& pc = page_cache_[page & (page_cache_.size() - 1)];
+  if (pc.page == page) return pc.block;
+  std::size_t i = page_hash(page) & page_mask_;
+  while (page_keys_[i] != kEmptyPage && page_keys_[i] != page) {
+    i = (i + 1) & page_mask_;
+  }
+  if (page_keys_[i] == kEmptyPage) {
+    if ((blocks_.size() + 1) * 4 > (page_mask_ + 1) * 3) {
+      grow_page_table();
+      i = page_hash(page) & page_mask_;
+      while (page_keys_[i] != kEmptyPage) i = (i + 1) & page_mask_;
+    }
+    page_keys_[i] = page;
+    page_vals_[i] = static_cast<std::uint32_t>(blocks_.size());
+    blocks_.push_back(std::make_unique<std::uint32_t[]>(kPageLines));
+    std::fill_n(blocks_.back().get(), kPageLines, 0u);
+  }
+  pc.page = page;
+  pc.block = blocks_[page_vals_[i]].get();
+  return pc.block;
+}
+
+/// Compacts the slot numbering: every tracked line keeps its recency order
+/// but slots become 1..L, and the capacity resizes to ~8x the live-line
+/// count (never below the configured initial) so the bitmap stays
+/// cache-resident regardless of how large a previous phase was.
+void ReuseCollector::rebuild_slots() {
+  ++rebuilds_;
+  // Old slot -> slot cell, then renumber in ascending (recency) order.
+  // The bitmap already fixes which slots are live, so no sort is needed;
+  // the scratch vector persists across rebuilds to avoid reallocation.
+  rebuild_scratch_.assign(capacity_ + 1, nullptr);
+  for (const auto& block : blocks_) {
+    for (std::size_t j = 0; j < kPageLines; ++j) {
+      if (block[j] != 0) rebuild_scratch_[block[j]] = &block[j];
+    }
+  }
+  std::uint32_t next = 0;
+  for (std::size_t slot = 1; slot <= capacity_; ++slot) {
+    if (rebuild_scratch_[slot] != nullptr) *rebuild_scratch_[slot] = ++next;
+  }
+  assert(next == live_);
+  capacity_ = std::max(initial_capacity_,
+                       std::bit_ceil(std::max<std::size_t>(live_, 1) * 8));
+  // Slots 1..live_ are marked: whole words, then one partial word.
+  bits_.assign(capacity_ >> 6, 0);
+  for (std::size_t w = 0; w < live_ / 64; ++w) bits_[w] = ~std::uint64_t{0};
+  if (live_ % 64 != 0) {
+    bits_[live_ / 64] = (std::uint64_t{1} << (live_ % 64)) - 1;
+  }
+  rebuild_fenwick();
+  next_slot_ = live_;
+}
+
+std::uint64_t ReuseCollector::touch_line(std::uint64_t line,
+                                         bool want_distance) {
+  if (next_slot_ >= capacity_) rebuild_slots();
+  std::uint32_t& cell = block_for(line >> kPageBits)[line & (kPageLines - 1)];
+  std::uint64_t distance = UINT64_MAX;
+  if (cell != 0) {
+    const std::uint32_t prev = cell;
+    // Marked slots strictly after `prev` == distinct lines touched since
+    // the previous access to this line == its LRU stack distance == the
+    // popcount of bit indices [prev, next_slot_). Short spans (burst
+    // reuses, the common case) scan the few words directly; long spans go
+    // through the Fenwick prefix from the other side.
+    if (want_distance) {
+      const std::size_t wp = static_cast<std::size_t>(prev) >> 6;
+      const std::size_t top = next_slot_ >> 6;
+      if (top - wp <= 16) {
+        std::uint64_t d = std::popcount(
+            bits_[wp] & ~((std::uint64_t{1} << (prev & 63)) - 1));
+        for (std::size_t w = wp + 1; w <= top; ++w) {
+          d += static_cast<std::uint64_t>(std::popcount(bits_[w]));
+        }
+        distance = d;
+      } else {
+        distance = static_cast<std::uint64_t>(live_) - count_le(prev);
+      }
+    } else {
+      distance = 0;  // unused by the caller when no window is open
+    }
+    cell = static_cast<std::uint32_t>(next_slot_ + 1);
+    // Move the mark from `prev` to the new top slot. Lines touched in
+    // bursts (the streaming common case) re-appear within 64 slots, so the
+    // two marks usually share a bitmap word and the Fenwick updates cancel
+    // — only the bit stores are needed.
+    const std::size_t wp = (static_cast<std::size_t>(prev) - 1) >> 6;
+    const std::size_t wn = next_slot_ >> 6;  // == (next_slot_ + 1 - 1) >> 6
+    bits_[wp] &= ~(std::uint64_t{1} << ((prev - 1) & 63));
+    bits_[wn] |= std::uint64_t{1} << (next_slot_ & 63);
+    if (wp != wn) {
+      fenwick_add(wn + 1, 1);
+      fenwick_add(wp + 1, -1);
+    }
+    ++next_slot_;
+  } else {
+    cell = static_cast<std::uint32_t>(next_slot_ + 1);
+    ++live_;
+    ++next_slot_;
+    mark_slot(next_slot_);
+  }
+  return distance;
+}
+
+void ReuseCollector::on_access(std::uint64_t addr, std::size_t bytes,
+                               vcpu::AccessKind kind) {
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last =
+      (addr + (bytes == 0 ? 0 : bytes - 1)) >> line_shift_;
+  const bool write = kind != vcpu::AccessKind::Read;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    const std::uint64_t d = touch_line(line, window_open_);
+    if (!window_open_) continue;
+    if (d == UINT64_MAX) {
+      ++window_.cold;
+    } else {
+      window_.record(d);
+    }
+    if (write) ++window_.writes;
+  }
+}
+
+void ReuseCollector::window_start() {
+  window_ = ReuseHistogram{};
+  window_.config = config_;
+  window_open_ = true;
+}
+
+std::optional<ReuseHistogram> ReuseCollector::window_stop() {
+  if (!window_open_) return std::nullopt;
+  window_open_ = false;
+  ReuseHistogram out = std::move(window_);
+  window_ = ReuseHistogram{};
+  out.trim();
+  return out;
+}
+
+}  // namespace pprophet::reuse

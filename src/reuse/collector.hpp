@@ -1,0 +1,126 @@
+// One-pass reuse-distance profiling (docs/MEMMODEL.md).
+//
+// ReuseCollector taps the VirtualCpu's access stream (vcpu::AccessObserver,
+// invoked once per memory instruction before cache simulation) and computes
+// the exact LRU stack distance of every line touch: the number of distinct
+// lines accessed since the previous touch of the same line. Each line's
+// last-access slot lives in a page-block radix; a bitmap over slots (with
+// Fenwick-maintained per-word popcounts) counts the distinct lines in
+// between, and periodic slot renumbering keeps memory proportional to the
+// number of distinct lines, not the access count.
+//
+// As a trace::SectionProfiler it also rides the interval profiler's
+// top-level section windows, so each profiled Sec node ends up with its own
+// histogram — while the recency state itself stays global across windows,
+// matching how the simulated caches (and real hardware counters) carry
+// state across section boundaries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "reuse/histogram.hpp"
+#include "trace/profiler.hpp"
+#include "vcpu/vcpu.hpp"
+
+namespace pprophet::reuse {
+
+struct CollectorOptions {
+  /// Initial slot capacity; exceeded slots trigger a renumbering pass that
+  /// also resizes the structures to the live-line count (tests shrink this
+  /// to exercise the rebuild path). Rounded up to a power of two >= 64.
+  std::size_t initial_slots = 1 << 12;
+};
+
+class ReuseCollector final : public vcpu::AccessObserver,
+                             public trace::SectionProfiler {
+ public:
+  /// `cache` + `cost` describe the machine being profiled on; they are
+  /// stamped into every histogram (ProfiledConfig) so the miss model can
+  /// both interpret distances (line size) and split measured cycles into
+  /// compute and DRAM stalls (ω).
+  explicit ReuseCollector(const cachesim::CacheConfig& cache,
+                          const vcpu::CostModel& cost = {},
+                          const CollectorOptions& options = {});
+
+  // vcpu::AccessObserver
+  void on_access(std::uint64_t addr, std::size_t bytes,
+                 vcpu::AccessKind kind) override;
+
+  // trace::SectionProfiler (top-level section windows)
+  void window_start() override;
+  std::optional<ReuseHistogram> window_stop() override;
+
+  /// Distinct lines seen so far (the stack depth).
+  std::size_t distinct_lines() const { return live_; }
+  /// Renumbering passes performed (diagnostics / tests).
+  std::size_t rebuilds() const { return rebuilds_; }
+
+ private:
+  /// Stack distance of this touch, or UINT64_MAX for a first touch. When
+  /// `want_distance` is false (no window open) the prefix query — the
+  /// expensive half of the Fenwick work — is skipped; recency state is
+  /// still maintained so later windows see correct distances.
+  std::uint64_t touch_line(std::uint64_t line, bool want_distance);
+  void rebuild_slots();
+  /// Dense last-access-slot array for the 1024-line page block holding
+  /// `page`, allocating it on first touch.
+  std::uint32_t* block_for(std::uint64_t page);
+  void grow_page_table();
+
+  // Marked-slot set: a bitmap over slots 1..capacity_ plus a Fenwick tree
+  // over the PER-WORD popcounts (one node per 64 slots), not per slot.
+  // Marking and unmarking are a bit store plus one 64x-shallower Fenwick
+  // walk, and a distance query is one prefix walk plus a single masked
+  // popcount — the per-touch constant that decides the one-pass-vs-
+  // N-replays cost contract (bench_memmodel_reuse). A slot-indexed
+  // Fenwick tree costs ~3 full log-depth walks per touch.
+  void mark_slot(std::size_t slot);
+  void unmark_slot(std::size_t slot);
+  void rebuild_fenwick();
+  void fenwick_add(std::size_t word_index, int delta);
+  /// Marked bits in words [0, word_count).
+  std::uint64_t fenwick_prefix(std::size_t word_count) const;
+  /// Marked slots in [1, slot] == popcount of bit indices [0, slot).
+  std::uint64_t count_le(std::size_t slot) const;
+
+  ProfiledConfig config_;
+  std::uint64_t line_shift_ = 6;
+
+  // line -> last-access slot, stored as a two-level radix: each touched
+  // 1024-line page block (64 KB of address space) owns a dense uint32 slot
+  // array (slot 0 = never seen), found via a tiny direct-mapped front
+  // cache backed by an open-addressed page map. Real workloads touch a few
+  // contiguous heap ranges, so the hot path is two dependent loads into
+  // cache-resident arrays — no probing, no key compares — where a flat
+  // line-keyed hash table costs an L2-sized random probe per access.
+  static constexpr unsigned kPageBits = 10;
+  static constexpr std::size_t kPageLines = std::size_t{1} << kPageBits;
+  static constexpr std::uint64_t kEmptyPage = UINT64_MAX;
+  struct PageCacheEntry {
+    std::uint64_t page = kEmptyPage;
+    std::uint32_t* block = nullptr;
+  };
+  std::array<PageCacheEntry, 16> page_cache_;
+  std::vector<std::uint64_t> page_keys_;  // open addressing, Fibonacci hash
+  std::vector<std::uint32_t> page_vals_;  // index into blocks_
+  std::size_t page_mask_ = 0;
+  std::vector<std::unique_ptr<std::uint32_t[]>> blocks_;
+  std::size_t live_ = 0;  // distinct lines seen
+  std::vector<std::uint32_t*> rebuild_scratch_;  // old slot -> slot cell
+
+  std::vector<std::uint64_t> bits_;      // marked slots, capacity_/64 words
+  std::vector<std::uint32_t> fenwick_;   // 1-based, over per-word popcounts
+  std::size_t capacity_ = 0;  // power of two, multiple of 64
+  std::size_t initial_capacity_ = 0;
+  std::size_t next_slot_ = 0;  // slots 1..next_slot_ handed out
+  std::size_t rebuilds_ = 0;
+
+  ReuseHistogram window_;
+  bool window_open_ = false;
+};
+
+}  // namespace pprophet::reuse

@@ -1,0 +1,68 @@
+#include "reuse/histogram.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pprophet::reuse {
+
+std::size_t ReuseHistogram::bucket_index(std::uint64_t distance) {
+  if (distance < kLinearLimit) return static_cast<std::size_t>(distance);
+  const unsigned octave = std::bit_width(distance) - 1;  // distance >= 2^octave
+  const std::uint64_t lo = 1ULL << octave;
+  const std::uint64_t sub = (distance - lo) >> (octave - kSubBits);
+  return kLinearLimit + (octave - 7) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t ReuseHistogram::bucket_lo(std::size_t index) {
+  if (index < kLinearLimit) return index;
+  const std::size_t rel = index - kLinearLimit;
+  const unsigned octave = 7 + static_cast<unsigned>(rel >> kSubBits);
+  const std::uint64_t sub = rel & (kSubBuckets - 1);
+  return (1ULL << octave) + (sub << (octave - kSubBits));
+}
+
+std::uint64_t ReuseHistogram::bucket_hi(std::size_t index) {
+  if (index < kLinearLimit) return index + 1;
+  const std::size_t rel = index - kLinearLimit;
+  const unsigned octave = 7 + static_cast<unsigned>(rel >> kSubBits);
+  return bucket_lo(index) + (1ULL << (octave - kSubBits));
+}
+
+void ReuseHistogram::record(std::uint64_t distance) {
+  const std::size_t i = bucket_index(distance);
+  if (i >= buckets.size()) buckets.resize(i + 1, 0);
+  ++buckets[i];
+}
+
+std::uint64_t ReuseHistogram::reuses() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t b : buckets) n += b;
+  return n;
+}
+
+void ReuseHistogram::trim() {
+  while (!buckets.empty() && buckets.back() == 0) buckets.pop_back();
+}
+
+void ReuseHistogram::merge(const ReuseHistogram& other) {
+  if (other.touches() == 0 && other.writes == 0) return;
+  if (touches() == 0 && writes == 0) {
+    *this = other;
+    return;
+  }
+  if (config != other.config) {
+    throw std::invalid_argument(
+        "reuse: cannot merge histograms collected on different configs");
+  }
+  if (other.buckets.size() > buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  cold += other.cold;
+  writes += other.writes;
+}
+
+}  // namespace pprophet::reuse

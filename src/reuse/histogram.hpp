@@ -1,0 +1,88 @@
+// Reuse-distance (stack-distance) histograms — the machine-independent
+// memory signature behind the analytical cache model (PPT-Multicore
+// direction; see docs/MEMMODEL.md).
+//
+// One profiling pass records, for every memory access, how many *distinct*
+// cache lines were touched since the previous access to the same line (its
+// LRU stack distance). The distribution of those distances is all a
+// fully-associative LRU cache's miss ratio depends on — an access hits a
+// C-line cache iff its distance is < C — and set-associative caches are a
+// probabilistic correction away (reuse/miss_model.hpp). Distances are
+// log-linear bucketed: exact below kLinearLimit, then kSubBuckets buckets
+// per power-of-two octave, so every power-of-two capacity falls on a bucket
+// boundary and fully-associative predictions stay exact.
+//
+// This header is deliberately dependency-free (stdlib only) so the tree
+// layer can store histograms on Sec nodes without pulling in the cache
+// simulator or the vcpu.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pprophet::reuse {
+
+/// Geometry of the hierarchy (plus the DRAM stall cost ω of the profiling
+/// cost model) the profile was collected against. `line_bytes` is what
+/// makes distances meaningful; the rest lets the miss model (a) answer
+/// "same machine" queries with the measured counters verbatim and (b) split
+/// measured cycles into compute and DRAM-stall parts when re-pricing a
+/// section for a different machine.
+struct ProfiledConfig {
+  std::uint64_t line_bytes = 64;
+  std::uint64_t omega = 200;  ///< DRAM stall cycles (vcpu::CostModel::dram)
+  std::uint64_t l1_bytes = 32 * 1024;
+  std::uint64_t l1_ways = 8;
+  std::uint64_t l2_bytes = 256 * 1024;
+  std::uint64_t l2_ways = 8;
+  std::uint64_t llc_bytes = 12 * 1024 * 1024;
+  std::uint64_t llc_ways = 24;
+
+  bool operator==(const ProfiledConfig&) const = default;
+};
+
+/// Log-linear bucketed reuse-distance histogram for one top-level section.
+/// Mergeable (bucket-wise addition) so RLE-merged sections and sharded
+/// profiling runs can combine their signatures.
+struct ReuseHistogram {
+  /// Distances below this are one bucket each (exact small caches).
+  static constexpr std::uint64_t kLinearLimit = 128;
+  /// Sub-buckets per octave above the linear range (2^kSubBits).
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ULL << kSubBits;
+  /// Upper bound on bucket indices a well-formed histogram can use
+  /// (distances are < 2^58; also the binary reader's fuzz guard).
+  static constexpr std::size_t kMaxBuckets =
+      kLinearLimit + (58 - 7) * kSubBuckets;
+
+  ProfiledConfig config;
+  std::uint64_t cold = 0;    ///< first-touch accesses (infinite distance)
+  std::uint64_t writes = 0;  ///< write accesses (writeback estimation)
+  std::vector<std::uint64_t> buckets;
+
+  /// Bucket index for a finite stack distance.
+  static std::size_t bucket_index(std::uint64_t distance);
+  /// Inclusive lower / exclusive upper distance bound of a bucket.
+  static std::uint64_t bucket_lo(std::size_t index);
+  static std::uint64_t bucket_hi(std::size_t index);
+
+  void record(std::uint64_t distance);
+
+  /// Total re-accesses (finite distances).
+  std::uint64_t reuses() const;
+  /// Total line touches: cold + reuses.
+  std::uint64_t touches() const { return cold + reuses(); }
+
+  /// Drops trailing zero buckets — the canonical (serialized) form.
+  void trim();
+
+  /// Bucket-wise addition. Merging with an empty histogram is the identity
+  /// in either direction; merging two non-empty histograms with different
+  /// configs throws (their distances are not comparable).
+  void merge(const ReuseHistogram& other);
+
+  bool operator==(const ReuseHistogram&) const = default;
+};
+
+}  // namespace pprophet::reuse

@@ -1,0 +1,158 @@
+#include "reuse/miss_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pprophet::reuse {
+namespace {
+
+struct LevelGeometry {
+  std::uint64_t sets = 1;
+  std::uint64_t ways = 1;
+};
+
+/// Capacity expressed in *profiled* lines. With equal line sizes this is
+/// the target's real geometry; with differing line sizes the way count is
+/// preserved and the set count rescaled, keeping total capacity right.
+LevelGeometry geometry(const cachesim::CacheLevelConfig& level,
+                       std::uint64_t profiled_line_bytes) {
+  LevelGeometry g;
+  g.ways = std::max<std::uint64_t>(1, level.associativity);
+  const std::uint64_t lines =
+      std::max<std::uint64_t>(g.ways, level.size_bytes / profiled_line_bytes);
+  g.sets = std::max<std::uint64_t>(1, lines / g.ways);
+  return g;
+}
+
+}  // namespace
+
+MissModel::MissModel(const cachesim::CacheConfig& target) : target_(target) {}
+
+double MissModel::hit_probability(std::uint64_t d, std::uint64_t sets,
+                                  std::uint64_t ways) {
+  if (sets <= 1) return d < ways ? 1.0 : 0.0;  // exact LRU threshold
+  if (d < ways) return 1.0;  // fewer intervening lines than ways: cannot evict
+  const double p = 1.0 / static_cast<double>(sets);
+  const double dd = static_cast<double>(d);
+  // P(hit) = P(Binomial(d, 1/S) < A), by the stable term recurrence
+  // t_{i+1} = t_i · (d-i)/(i+1) · p/(1-p). When t_0 underflows, the mean
+  // d/S is far above A and the tail below A is numerically zero.
+  double term = std::exp(dd * std::log1p(-p));
+  if (term == 0.0) return 0.0;
+  double sum = term;
+  const double ratio = p / (1.0 - p);
+  for (std::uint64_t i = 0; i + 1 < ways; ++i) {
+    term *= (dd - static_cast<double>(i)) / static_cast<double>(i + 1) * ratio;
+    sum += term;
+    if (term < sum * 1e-14) break;  // converged
+  }
+  return std::min(1.0, sum);
+}
+
+std::uint64_t MissModel::Prediction::llc_misses() const {
+  return static_cast<std::uint64_t>(std::llround(std::max(0.0, dram)));
+}
+
+MissModel::Prediction MissModel::evaluate(const ReuseHistogram& h) const {
+  const std::uint64_t line = std::max<std::uint64_t>(1, h.config.line_bytes);
+  const LevelGeometry l1 = geometry(target_.l1, line);
+  const LevelGeometry l2 = geometry(target_.l2, line);
+  const LevelGeometry llc = geometry(target_.llc, line);
+
+  Prediction out;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const std::uint64_t n = h.buckets[i];
+    if (n == 0) continue;
+    const std::uint64_t lo = ReuseHistogram::bucket_lo(i);
+    const std::uint64_t hi = ReuseHistogram::bucket_hi(i);
+    const std::uint64_t d = lo + (hi - 1 - lo) / 2;  // bucket midpoint
+    const double p1 = hit_probability(d, l1.sets, l1.ways);
+    // Monotone across levels: anything that hits a smaller level would hit
+    // the larger one too (exact for nested fully-associative LRU).
+    const double p2 = std::max(p1, hit_probability(d, l2.sets, l2.ways));
+    const double p3 = std::max(p2, hit_probability(d, llc.sets, llc.ways));
+    const double cnt = static_cast<double>(n);
+    out.l1_hits += cnt * p1;
+    out.l2_hits += cnt * (p2 - p1);
+    out.llc_hits += cnt * (p3 - p2);
+    out.dram += cnt * (1.0 - p3);
+  }
+  out.dram += static_cast<double>(h.cold);  // first touches miss everywhere
+  return out;
+}
+
+bool matches_profiled_config(const ProfiledConfig& cfg,
+                             const cachesim::CacheConfig& cache,
+                             Cycles omega) {
+  return cfg.line_bytes == cache.line_bytes && cfg.omega == omega &&
+         cfg.l1_bytes == cache.l1.size_bytes &&
+         cfg.l1_ways == cache.l1.associativity &&
+         cfg.l2_bytes == cache.l2.size_bytes &&
+         cfg.l2_ways == cache.l2.associativity &&
+         cfg.llc_bytes == cache.llc.size_bytes &&
+         cfg.llc_ways == cache.llc.associativity;
+}
+
+tree::SectionCounters project_counters(const tree::SectionCounters& measured,
+                                       const ReuseHistogram& h,
+                                       const cachesim::CacheConfig& target,
+                                       Cycles target_omega) {
+  // Same hierarchy, same ω: the measured counters *are* the answer.
+  if (matches_profiled_config(h.config, target, target_omega)) return measured;
+
+  const MissModel model(target);
+  const MissModel::Prediction pred = model.evaluate(h);
+  const std::uint64_t d_model = pred.llc_misses();
+
+  tree::SectionCounters out;
+  out.instructions = measured.instructions;
+  out.llc_misses = d_model;
+
+  // T′ = (T − ω_src·D_src) + ω_dst·D_dst. The parenthesized part is the §V
+  // "CPI with perfect memory" numerator: compute plus mid-hierarchy hit
+  // cycles, which carry over machine-to-machine (assumption: those
+  // latencies shift little compared to DRAM stalls).
+  const double compute =
+      std::max(0.0, static_cast<double>(measured.cycles) -
+                        static_cast<double>(h.config.omega) *
+                            static_cast<double>(measured.llc_misses));
+  const double t_model =
+      compute + static_cast<double>(target_omega) * static_cast<double>(d_model);
+  out.cycles = static_cast<Cycles>(std::llround(std::max(t_model, 1.0)));
+
+  // Writebacks track the dirtiness of what gets evicted: keep the measured
+  // writeback:miss ratio when the profile saw misses, else fall back to the
+  // write fraction of the access stream.
+  double wb_ratio;
+  if (measured.llc_misses > 0) {
+    wb_ratio = static_cast<double>(measured.llc_writebacks) /
+               static_cast<double>(measured.llc_misses);
+  } else {
+    const std::uint64_t touches = h.touches();
+    wb_ratio = touches == 0 ? 0.0
+                            : static_cast<double>(h.writes) /
+                                  static_cast<double>(touches);
+  }
+  wb_ratio = std::clamp(wb_ratio, 0.0, 1.0);
+  out.llc_writebacks = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(d_model) * wb_ratio));
+  return out;
+}
+
+std::size_t project_tree(tree::ProgramTree& tree,
+                         const cachesim::CacheConfig& target,
+                         Cycles target_omega) {
+  if (!tree.root) return 0;
+  std::size_t projected = 0;
+  for (const auto& child : tree.root->children()) {
+    if (child->kind() != tree::NodeKind::Sec) continue;
+    const tree::SectionCounters* c = child->counters();
+    const ReuseHistogram* h = child->reuse_profile();
+    if (c == nullptr || h == nullptr) continue;
+    child->set_counters(project_counters(*c, *h, target, target_omega));
+    ++projected;
+  }
+  return projected;
+}
+
+}  // namespace pprophet::reuse

@@ -1,0 +1,88 @@
+// Analytical stack-distance → miss-ratio model (docs/MEMMODEL.md).
+//
+// Given a reuse-distance histogram collected once (reuse/collector.hpp),
+// predicts hit/miss counts for an *arbitrary* cachesim::CacheConfig without
+// re-simulation:
+//
+//  * Fully-associative LRU is exact: an access with stack distance d hits a
+//    C-line cache iff d < C, so the miss count is the histogram tail mass
+//    at C (bucket boundaries sit on powers of two, so power-of-two
+//    capacities lose nothing to bucketing).
+//  * Set-associative caches use the standard probabilistic correction (à la
+//    PPT-Multicore / Brehob-Enbody): the d intervening lines spread over S
+//    sets ~binomially, and the access hits iff fewer than A of them landed
+//    in its own set — P(hit | d) = Σ_{i<A} C(d,i) (1/S)^i (1-1/S)^(d-i).
+//  * The hierarchy is evaluated level-by-level on the unfiltered stream
+//    with hit probabilities made monotone across levels (an access that
+//    hits a smaller level would have hit the larger one), which is exact
+//    for nested fully-associative LRU.
+//
+// On top of the per-level prediction sits the §V counter projection: keep N
+// and the compute CPI from the measured run, swap in the modeled LLC miss
+// count for the target hierarchy, and rebuild T = T − ω_src·D_src +
+// ω_dst·D_dst — everything the burden-factor model consumes, for a machine
+// that was never profiled.
+#pragma once
+
+#include <cstdint>
+
+#include "cachesim/cache.hpp"
+#include "reuse/histogram.hpp"
+#include "tree/node.hpp"
+#include "util/types.hpp"
+
+namespace pprophet::reuse {
+
+class MissModel {
+ public:
+  /// `line_bytes` of the *profile* decides the unit of capacity; when the
+  /// target's line size differs, capacities are still expressed in profiled
+  /// lines (a documented approximation — presets here all use 64 B lines).
+  explicit MissModel(const cachesim::CacheConfig& target);
+
+  /// Expected hit-level distribution of a histogram's touches.
+  struct Prediction {
+    double l1_hits = 0.0;
+    double l2_hits = 0.0;
+    double llc_hits = 0.0;
+    double dram = 0.0;  ///< expected LLC misses (includes cold touches)
+
+    std::uint64_t llc_misses() const;
+  };
+  Prediction evaluate(const ReuseHistogram& h) const;
+
+  /// P(hit) of a single access with stack distance `d` against a cache of
+  /// `sets` sets × `ways` ways (exact threshold when sets == 1).
+  static double hit_probability(std::uint64_t d, std::uint64_t sets,
+                                std::uint64_t ways);
+
+  const cachesim::CacheConfig& target() const { return target_; }
+
+ private:
+  cachesim::CacheConfig target_;
+};
+
+/// Re-derives a section's counters for `target` from its measured counters
+/// plus reuse histogram: N unchanged, D from the miss model, T rebuilt as
+/// T − ω_profiled·D_measured + ω_target·D_model (the compute part of the
+/// CPI carries over, per §V), writebacks scaled by the measured
+/// writeback:miss ratio (write fraction when no misses were measured).
+/// When `target` + `target_omega` match the histogram's recorded profiling
+/// config, returns `measured` verbatim.
+tree::SectionCounters project_counters(const tree::SectionCounters& measured,
+                                       const ReuseHistogram& h,
+                                       const cachesim::CacheConfig& target,
+                                       Cycles target_omega);
+
+/// Applies project_counters to every top-level Sec carrying both counters
+/// and a reuse profile. Returns the number of sections projected.
+std::size_t project_tree(tree::ProgramTree& tree,
+                         const cachesim::CacheConfig& target,
+                         Cycles target_omega);
+
+/// True when the histogram was collected on exactly this hierarchy + ω.
+bool matches_profiled_config(const ProfiledConfig& cfg,
+                             const cachesim::CacheConfig& cache,
+                             Cycles omega);
+
+}  // namespace pprophet::reuse

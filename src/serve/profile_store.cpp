@@ -1,27 +1,13 @@
 #include "serve/profile_store.hpp"
 
-#include <cstdio>
 #include <mutex>
+
+#include "util/fnv.hpp"
 
 namespace pprophet::serve {
 
 std::string content_key(std::string_view bytes) {
-  // Two FNV-1a lanes with distinct offset bases; the second lane also mixes
-  // the byte position so lane collisions are independent.
-  std::uint64_t a = 0xcbf29ce484222325ULL;
-  std::uint64_t b = 0x6c62272e07bb0142ULL;
-  std::uint64_t pos = 0;
-  for (const char ch : bytes) {
-    const auto c = static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
-    a = (a ^ c) * 0x100000001b3ULL;
-    b = (b ^ (c + (++pos))) * 0x100000001b3ULL;
-  }
-  a ^= bytes.size();
-  char buf[33];
-  std::snprintf(buf, sizeof buf, "%016llx%016llx",
-                static_cast<unsigned long long>(a),
-                static_cast<unsigned long long>(b));
-  return std::string(buf, 32);
+  return util::fnv64_two_lane_hex(bytes);
 }
 
 ProfileStore::PutResult ProfileStore::put(const std::string& pptb_bytes) {

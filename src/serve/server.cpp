@@ -13,7 +13,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "core/machine_sweep.hpp"
 #include "core/recommend.hpp"
+#include "machine/presets.hpp"
 #include "memmodel/burden.hpp"
 #include "memmodel/calibration.hpp"
 #include "obs/trace.hpp"
@@ -122,6 +124,10 @@ struct GridSpec {
   core::SweepGrid grid;
   CoreCount cores = 0;
   bool memory_model = false;
+  /// Optional machine-preset axis (v2 "machines" field): price the stored
+  /// tree on each named preset via the reuse-distance model
+  /// (core/machine_sweep.hpp). Empty = classic single-machine request.
+  std::vector<std::string> machines;
 };
 
 GridSpec parse_grid(const JsonValue& req, CoreCount default_cores) {
@@ -157,6 +163,24 @@ GridSpec parse_grid(const JsonValue& req, CoreCount default_cores) {
     spec.memory_model = v->as_bool();
   }
   spec.grid.memory_models = {spec.memory_model};
+  if (const JsonValue* v = req.find("machines")) {
+    const auto add_name = [&](const JsonValue& entry) {
+      if (!entry.is_string()) throw BadRequest("machines: expected string");
+      const std::string& name = entry.as_string();
+      if (machine::find_machine_preset(name) == nullptr) {
+        // Same one-line diagnostic the CLI prints for --machines.
+        throw BadRequest("machines: " +
+                         machine::unknown_machine_message(name));
+      }
+      spec.machines.push_back(name);
+    };
+    if (v->is_array()) {
+      for (const JsonValue& entry : v->as_array()) add_name(entry);
+      if (spec.machines.empty()) throw BadRequest("machines: empty list");
+    } else {
+      add_name(*v);
+    }
+  }
   return spec;
 }
 
@@ -181,11 +205,20 @@ JsonValue canonical_grid_json(const GridSpec& spec) {
   c.set("threads", JsonValue(std::move(threads)));
   c.set("cores", JsonValue(static_cast<std::uint64_t>(spec.cores)));
   c.set("memory_model", JsonValue(spec.memory_model));
+  // Only when requested, so every pre-existing request keeps its exact
+  // canonical form (and therefore its cache key).
+  if (!spec.machines.empty()) {
+    JsonValue::Array machines;
+    for (const std::string& m : spec.machines) machines.emplace_back(m);
+    c.set("machines", JsonValue(std::move(machines)));
+  }
   return c;
 }
 
-JsonValue cell_json(const core::SweepCell& cell) {
+JsonValue cell_json(const core::SweepCell& cell,
+                    const std::string& machine = std::string()) {
   JsonValue c;
+  if (!machine.empty()) c.set("machine", JsonValue(machine));
   c.set("method", JsonValue(wire_name(cell.point.method)));
   c.set("paradigm", JsonValue(wire_name(cell.point.paradigm)));
   c.set("schedule", JsonValue(wire_name(cell.point.schedule)));
@@ -883,32 +916,60 @@ JsonValue Server::handle_grid_op(const JsonValue& request,
   core::SweepOptions sopts;
   sopts.workers = config_.sweep_workers;
 
-  core::SweepResult res;
-  if (spec.memory_model) {
-    // Burden annotation mutates the tree, so run it on a private expansion;
-    // the shared read-only tree stays untouched for concurrent requests.
-    tree::ProgramTree fresh = tree::unpack(entry->packed);
-    memmodel::CalibrationOptions copts;
-    copts.machine = spec.grid.base.machine;
-    const memmodel::BurdenModel model(memmodel::calibrate(copts));
-    memmodel::annotate_burdens(fresh, model, spec.grid.thread_counts);
-    res = core::sweep(fresh, spec.grid, sopts);
+  JsonValue::Array cells;
+  core::SweepStats agg;
+  if (!spec.machines.empty()) {
+    // Machine axis: one stored profile priced on every named preset
+    // (core/machine_sweep.hpp). The engine clones per preset, so one
+    // private expansion of the stored tree suffices.
+    std::vector<machine::MachinePreset> presets;
+    presets.reserve(spec.machines.size());
+    for (const std::string& name : spec.machines) {
+      presets.push_back(*machine::find_machine_preset(name));  // pre-validated
+    }
+    const tree::ProgramTree fresh = tree::unpack(entry->packed);
+    core::MachineSweepResult mres =
+        core::sweep_machines(fresh, presets, spec.grid, sopts);
+    for (const core::MachineSweepEntry& e : mres.machines) {
+      for (const core::SweepCell& cell : e.result.cells) {
+        cells.push_back(cell_json(cell, e.machine));
+      }
+      agg.grid_points += e.result.stats.grid_points;
+      agg.section_lookups += e.result.stats.section_lookups;
+      agg.cache_hits += e.result.stats.cache_hits;
+      agg.section_evals += e.result.stats.section_evals;
+    }
   } else {
-    res = core::sweep(*entry->compiled, spec.grid, sopts);
+    core::SweepResult res;
+    if (spec.memory_model) {
+      // Burden annotation mutates the tree, so run it on a private
+      // expansion; the shared read-only tree stays untouched for concurrent
+      // requests.
+      tree::ProgramTree fresh = tree::unpack(entry->packed);
+      memmodel::CalibrationOptions copts;
+      copts.machine = spec.grid.base.machine;
+      const memmodel::BurdenModel model(memmodel::calibrate(copts));
+      memmodel::annotate_burdens(fresh, model, spec.grid.thread_counts);
+      res = core::sweep(fresh, spec.grid, sopts);
+    } else {
+      res = core::sweep(*entry->compiled, spec.grid, sopts);
+    }
+    cells.reserve(res.cells.size());
+    for (const core::SweepCell& cell : res.cells) {
+      cells.push_back(cell_json(cell));
+    }
+    agg = res.stats;
   }
 
   JsonValue result;
-  JsonValue::Array cells;
-  cells.reserve(res.cells.size());
-  for (const core::SweepCell& cell : res.cells) cells.push_back(cell_json(cell));
   result.set("cells", JsonValue(std::move(cells)));
   JsonValue stats;
-  stats.set("grid_points", JsonValue(static_cast<std::uint64_t>(res.stats.grid_points)));
+  stats.set("grid_points", JsonValue(static_cast<std::uint64_t>(agg.grid_points)));
   stats.set("section_lookups",
-            JsonValue(static_cast<std::uint64_t>(res.stats.section_lookups)));
-  stats.set("memo_hits", JsonValue(static_cast<std::uint64_t>(res.stats.cache_hits)));
+            JsonValue(static_cast<std::uint64_t>(agg.section_lookups)));
+  stats.set("memo_hits", JsonValue(static_cast<std::uint64_t>(agg.cache_hits)));
   stats.set("section_evals",
-            JsonValue(static_cast<std::uint64_t>(res.stats.section_evals)));
+            JsonValue(static_cast<std::uint64_t>(agg.section_evals)));
   result.set("stats", std::move(stats));
 
   cache_->put(cache_key, json_dump(result));

@@ -134,7 +134,10 @@ void IntervalProfiler::sec_begin(const char* name) {
   tree::Node* sec = f.node->add_child(
       std::make_unique<tree::Node>(tree::NodeKind::Sec, name ? name : ""));
   stack_.push_back(Frame{sec, now, ovh, now, ovh, 0});
-  if (section_depth_ == 0 && counters_ != nullptr) counters_->start();
+  if (section_depth_ == 0) {
+    if (counters_ != nullptr) counters_->start();
+    if (section_profiler_ != nullptr) section_profiler_->window_start();
+  }
   ++section_depth_;
   if (options_.subtract_overhead) overhead_ += stamp() - now;
 }
@@ -155,8 +158,13 @@ void IntervalProfiler::sec_end(bool barrier) {
   f.node->set_length(gross > excl ? gross - excl : 0);
   f.node->set_barrier_at_end(barrier);
   --section_depth_;
-  if (section_depth_ == 0 && counters_ != nullptr) {
-    f.node->set_counters(counters_->stop());
+  if (section_depth_ == 0) {
+    if (counters_ != nullptr) f.node->set_counters(counters_->stop());
+    if (section_profiler_ != nullptr) {
+      if (auto h = section_profiler_->window_stop()) {
+        f.node->set_reuse_profile(std::move(*h));
+      }
+    }
   }
   stack_.pop_back();
   Frame& parent = top();

@@ -15,15 +15,29 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "reuse/histogram.hpp"
 #include "trace/clock.hpp"
 #include "trace/counter_source.hpp"
 #include "tree/node.hpp"
 
 namespace pprophet::trace {
+
+/// Second per-section profiling hook alongside CounterSource: notified when
+/// a *top-level* section window opens and closes, and may hand back a reuse
+/// histogram for the profiler to attach to the Sec node (the one-pass
+/// memory signature behind reuse/miss_model.hpp). Nested sections do not
+/// open windows, mirroring the counter windows.
+class SectionProfiler {
+ public:
+  virtual ~SectionProfiler() = default;
+  virtual void window_start() = 0;
+  virtual std::optional<reuse::ReuseHistogram> window_stop() = 0;
+};
 
 /// Thrown on annotation misuse (mismatched BEGIN/END kinds, wrong lock id,
 /// END without BEGIN) — the "error is reported" path of §IV-B.
@@ -53,6 +67,10 @@ class IntervalProfiler {
 
   IntervalProfiler(const IntervalProfiler&) = delete;
   IntervalProfiler& operator=(const IntervalProfiler&) = delete;
+
+  /// Attaches/detaches the optional reuse-profile hook (null detaches). Its
+  /// windows open and close exactly with the counter windows.
+  void set_section_profiler(SectionProfiler* sp) { section_profiler_ = sp; }
 
   // --- annotation event entry points (called by the annotate/ macros) ---
   void sec_begin(const char* name);
@@ -99,6 +117,7 @@ class IntervalProfiler {
 
   const CycleClock& clock_;
   CounterSource* counters_;
+  SectionProfiler* section_profiler_ = nullptr;
   ProfilerOptions options_;
   tree::NodePtr root_;
   std::vector<Frame> stack_;  // stack_[0] is the root frame

@@ -11,10 +11,14 @@ namespace {
 constexpr char kMagic[4] = {'P', 'P', 'T', 'B'};
 // v1: dictionary + top refs. v2 appends per-instance top-level section
 // counters (paper §IV-B), so profiled trees survive the binary round trip
-// with everything the memory model needs. Writers emit the lowest version
-// that can represent the tree; readers accept both.
+// with everything the memory model needs. v3 appends reuse-distance
+// histograms (reuse/histogram.hpp) after the counters trailer, making the
+// tree machine-portable (docs/MEMMODEL.md). Writers emit the lowest version
+// that can represent the tree — existing trees keep their exact bytes and
+// content hashes — and readers accept all three.
 constexpr std::uint8_t kVersionPlain = 1;
 constexpr std::uint8_t kVersionCounters = 2;
+constexpr std::uint8_t kVersionReuse = 3;
 
 void put_u8(std::ostream& os, std::uint8_t v) {
   os.put(static_cast<char>(v));
@@ -54,7 +58,9 @@ std::uint64_t get_varint(std::istream& is) {
 void write_packed_binary(std::ostream& os, const PackedTree& packed) {
   os.write(kMagic, sizeof kMagic);
   const std::uint8_t version =
-      packed.top_counters.empty() ? kVersionPlain : kVersionCounters;
+      !packed.top_reuse.empty()
+          ? kVersionReuse
+          : (packed.top_counters.empty() ? kVersionPlain : kVersionCounters);
   put_u8(os, version);
   put_varint(os, packed.dictionary.size());
   for (const PackedTree::Pattern& p : packed.dictionary) {
@@ -83,6 +89,24 @@ void write_packed_binary(std::ostream& os, const PackedTree& packed) {
       put_varint(os, c.llc_writebacks);
     }
   }
+  if (version >= kVersionReuse) {
+    put_varint(os, packed.top_reuse.size());
+    for (const auto& [idx, h] : packed.top_reuse) {
+      put_varint(os, idx);
+      put_varint(os, h.config.line_bytes);
+      put_varint(os, h.config.omega);
+      put_varint(os, h.config.l1_bytes);
+      put_varint(os, h.config.l1_ways);
+      put_varint(os, h.config.l2_bytes);
+      put_varint(os, h.config.l2_ways);
+      put_varint(os, h.config.llc_bytes);
+      put_varint(os, h.config.llc_ways);
+      put_varint(os, h.cold);
+      put_varint(os, h.writes);
+      put_varint(os, h.buckets.size());
+      for (const std::uint64_t n : h.buckets) put_varint(os, n);
+    }
+  }
   if (!os) throw std::runtime_error("pptb: write failure");
 }
 
@@ -93,7 +117,7 @@ PackedTree read_packed_binary(std::istream& is) {
     throw std::runtime_error("pptb: bad magic");
   }
   const std::uint8_t version = get_u8(is);
-  if (version != kVersionPlain && version != kVersionCounters) {
+  if (version < kVersionPlain || version > kVersionReuse) {
     throw std::runtime_error("pptb: unsupported version " +
                              std::to_string(version));
   }
@@ -157,6 +181,42 @@ PackedTree read_packed_binary(std::istream& is) {
       c.llc_misses = get_varint(is);
       c.llc_writebacks = get_varint(is);
       packed.top_counters.emplace_back(static_cast<std::uint32_t>(idx), c);
+    }
+  }
+  if (version >= kVersionReuse) {
+    const std::uint64_t n = get_varint(is);
+    if (n > packed.top.size()) {
+      throw std::runtime_error("pptb: more reuse records than top refs");
+    }
+    packed.top_reuse.reserve(n);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t idx = get_varint(is);
+      if (idx >= packed.top.size() || (i > 0 && idx <= prev)) {
+        throw std::runtime_error("pptb: bad reuse index");
+      }
+      prev = idx;
+      reuse::ReuseHistogram h;
+      h.config.line_bytes = get_varint(is);
+      h.config.omega = get_varint(is);
+      h.config.l1_bytes = get_varint(is);
+      h.config.l1_ways = get_varint(is);
+      h.config.l2_bytes = get_varint(is);
+      h.config.l2_ways = get_varint(is);
+      h.config.llc_bytes = get_varint(is);
+      h.config.llc_ways = get_varint(is);
+      h.cold = get_varint(is);
+      h.writes = get_varint(is);
+      const std::uint64_t buckets = get_varint(is);
+      if (buckets > reuse::ReuseHistogram::kMaxBuckets) {
+        throw std::runtime_error("pptb: reuse bucket count out of range");
+      }
+      h.buckets.resize(buckets);
+      for (std::uint64_t b = 0; b < buckets; ++b) {
+        h.buckets[b] = get_varint(is);
+      }
+      packed.top_reuse.emplace_back(static_cast<std::uint32_t>(idx),
+                                    std::move(h));
     }
   }
   return packed;

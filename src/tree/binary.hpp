@@ -6,8 +6,10 @@
 // Format "PPTB": little-endian fixed-width header + LEB128 varints for
 // counts, lengths and references — repetitive trees shrink far below the
 // text format. Version 1 carries the dictionary + top refs; version 2
-// appends top-level section memory counters (written only when present, so
-// unprofiled trees keep their v1 byte encoding and content hash).
+// appends top-level section memory counters; version 3 appends reuse-
+// distance histograms (reuse/histogram.hpp). Each trailer is written only
+// when present, so trees without the extra data keep their lower-version
+// byte encoding and content hash.
 #pragma once
 
 #include <iosfwd>

@@ -5,26 +5,12 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/fnv.hpp"
+
 namespace pprophet::tree {
 namespace {
 
-/// 64-bit FNV-1a accumulator for the section/tree digests.
-struct Fnv64 {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-
-  void byte(std::uint8_t b) {
-    h = (h ^ b) * 0x100000001b3ULL;
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void f64(double v) {
-    std::uint64_t bits;
-    static_assert(sizeof bits == sizeof v);
-    __builtin_memcpy(&bits, &v, sizeof bits);
-    u64(bits);
-  }
-};
+using util::Fnv64;
 
 [[noreturn]] void bad_tree(const std::string& what) {
   throw std::invalid_argument("compile: " + what);
@@ -297,6 +283,23 @@ CompiledTree CompiledTree::compile(const ProgramTree& tree,
     for (const auto& [t, beta] : sorted) {
       d.u64(t);
       d.f64(beta);
+    }
+    // Reuse profile, appended only when present: two same-shaped sections
+    // with different memory signatures must not share serve-cache entries,
+    // while every profile-less tree keeps its pre-reuse digest.
+    if (const reuse::ReuseHistogram* h = src->reuse_profile()) {
+      d.u64(h->config.line_bytes);
+      d.u64(h->config.omega);
+      d.u64(h->config.l1_bytes);
+      d.u64(h->config.l1_ways);
+      d.u64(h->config.l2_bytes);
+      d.u64(h->config.l2_ways);
+      d.u64(h->config.llc_bytes);
+      d.u64(h->config.llc_ways);
+      d.u64(h->cold);
+      d.u64(h->writes);
+      d.u64(h->buckets.size());
+      for (const std::uint64_t n : h->buckets) d.u64(n);
     }
     info.digest = d.h;
 

@@ -156,6 +156,12 @@ std::size_t PackedTree::approx_bytes() const {
     bytes += sizeof(Pattern) + p.children.capacity() * sizeof(Ref);
   }
   bytes += top.capacity() * sizeof(Ref);
+  bytes += top_counters.capacity() *
+           sizeof(std::pair<std::uint32_t, SectionCounters>);
+  for (const auto& entry : top_reuse) {
+    bytes += sizeof entry + entry.second.buckets.capacity() *
+                                sizeof(std::uint64_t);
+  }
   return bytes;
 }
 
@@ -233,6 +239,11 @@ PackedTree pack(const ProgramTree& tree) {
         packer.out.top_counters.emplace_back(
             static_cast<std::uint32_t>(packer.out.top.size()), *c->counters());
       }
+      if (c->reuse_profile() != nullptr) {
+        packer.out.top_reuse.emplace_back(
+            static_cast<std::uint32_t>(packer.out.top.size()),
+            *c->reuse_profile());
+      }
       packer.out.top.push_back({packer.intern(*c), c->repeat()});
     }
   }
@@ -257,6 +268,12 @@ ProgramTree unpack(const PackedTree& packed) {
       throw std::runtime_error("PackedTree: counters index out of range");
     }
     tree.root->child(idx)->set_counters(counters);
+  }
+  for (const auto& [idx, hist] : packed.top_reuse) {
+    if (idx >= tree.root->children().size()) {
+      throw std::runtime_error("PackedTree: reuse index out of range");
+    }
+    tree.root->child(idx)->set_reuse_profile(hist);
   }
   fill_aggregate_lengths(*tree.root);
   return tree;

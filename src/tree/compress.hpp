@@ -90,6 +90,10 @@ struct PackedTree {
   /// so counters — which differ between same-shaped sections — live on the
   /// instance refs, not the dictionary. Empty for unprofiled trees.
   std::vector<std::pair<std::uint32_t, SectionCounters>> top_counters;
+  /// Per-instance reuse-distance histograms (reuse/collector.hpp), same
+  /// keying and ordering as `top_counters`. Empty unless reuse profiling
+  /// ran; their presence selects PPTB format v3 (tree/binary.hpp).
+  std::vector<std::pair<std::uint32_t, reuse::ReuseHistogram>> top_reuse;
 
   std::size_t approx_bytes() const;
 };

@@ -75,6 +75,7 @@ NodePtr Node::clone() const {
   copy->repeat_ = repeat_;
   copy->barrier_at_end_ = barrier_at_end_;
   if (counters_) copy->counters_ = std::make_unique<SectionCounters>(*counters_);
+  if (reuse_) copy->reuse_ = std::make_unique<reuse::ReuseHistogram>(*reuse_);
   copy->burdens_ = burdens_;
   copy->children_.reserve(children_.size());
   for (const auto& c : children_) copy->children_.push_back(c->clone());

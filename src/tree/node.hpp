@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "reuse/histogram.hpp"
 #include "util/types.hpp"
 
 namespace pprophet::tree {
@@ -81,6 +82,15 @@ class Node {
     counters_ = std::make_unique<SectionCounters>(c);
   }
 
+  /// Reuse-distance histogram of the section's access stream (one-pass
+  /// profiling, reuse/collector.hpp); null unless collected. Lets the miss
+  /// model re-derive the counters above for *other* cache hierarchies
+  /// without re-simulation (docs/MEMMODEL.md).
+  const reuse::ReuseHistogram* reuse_profile() const { return reuse_.get(); }
+  void set_reuse_profile(reuse::ReuseHistogram h) {
+    reuse_ = std::make_unique<reuse::ReuseHistogram>(std::move(h));
+  }
+
   /// Burden factors βt indexed by thread count, produced by the memory model
   /// for top-level sections (paper Figure 4 margin). burden(t) == 1.0 when
   /// unset.
@@ -121,6 +131,7 @@ class Node {
   std::uint64_t repeat_ = 1;
   bool barrier_at_end_ = true;
   std::unique_ptr<SectionCounters> counters_;
+  std::unique_ptr<reuse::ReuseHistogram> reuse_;
   std::vector<std::pair<CoreCount, double>> burdens_;
   std::vector<NodePtr> children_;
 };

@@ -26,6 +26,20 @@ void write_node(std::ostream& os, const Node& n, int depth) {
        << " D=" << c->llc_misses;
     if (c->llc_writebacks != 0) os << " W=" << c->llc_writebacks;
   }
+  // Reuse-distance profile, one token: the profiled config header
+  // (semicolon-separated), then the bucket list (comma-separated, possibly
+  // empty). No spaces — the parser splits fields on whitespace.
+  if (const reuse::ReuseHistogram* h = n.reuse_profile()) {
+    os << " R=" << h->config.line_bytes << ';' << h->config.omega << ';'
+       << h->config.l1_bytes << ';' << h->config.l1_ways << ';'
+       << h->config.l2_bytes << ';' << h->config.l2_ways << ';'
+       << h->config.llc_bytes << ';' << h->config.llc_ways << ';' << h->cold
+       << ';' << h->writes << ';';
+    for (std::size_t i = 0; i < h->buckets.size(); ++i) {
+      if (i != 0) os << ',';
+      os << h->buckets[i];
+    }
+  }
   os << '\n';
   for (const auto& c : n.children()) write_node(os, *c, depth + 1);
 }
@@ -46,6 +60,49 @@ std::uint64_t parse_u64(const std::string& s) {
     throw std::runtime_error("tree parse: bad integer '" + s + "'");
   }
   return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+/// Inverse of write_node's R= token (config header ; cold ; writes ;
+/// comma-separated buckets).
+reuse::ReuseHistogram parse_reuse(const std::string& val) {
+  const std::vector<std::string> parts = split(val, ';');
+  if (parts.size() != 11) {
+    throw std::runtime_error("tree parse: malformed R= value '" + val + "'");
+  }
+  reuse::ReuseHistogram h;
+  h.config.line_bytes = parse_u64(parts[0]);
+  h.config.omega = parse_u64(parts[1]);
+  h.config.l1_bytes = parse_u64(parts[2]);
+  h.config.l1_ways = parse_u64(parts[3]);
+  h.config.l2_bytes = parse_u64(parts[4]);
+  h.config.l2_ways = parse_u64(parts[5]);
+  h.config.llc_bytes = parse_u64(parts[6]);
+  h.config.llc_ways = parse_u64(parts[7]);
+  h.cold = parse_u64(parts[8]);
+  h.writes = parse_u64(parts[9]);
+  if (!parts[10].empty()) {
+    for (const std::string& b : split(parts[10], ',')) {
+      h.buckets.push_back(parse_u64(b));
+    }
+  }
+  if (h.buckets.size() > reuse::ReuseHistogram::kMaxBuckets) {
+    throw std::runtime_error("tree parse: R= bucket count out of range");
+  }
+  return h;
 }
 
 }  // namespace
@@ -119,6 +176,8 @@ ProgramTree from_text(const std::string& text) {
       } else if (key == "W") {
         counters.llc_writebacks = parse_u64(val);
         has_counters = true;
+      } else if (key == "R") {
+        node->set_reuse_profile(parse_reuse(val));
       } else {
         throw std::runtime_error("tree parse: unknown field '" + key +
                                  "' at line " + std::to_string(line_no));

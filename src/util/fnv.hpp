@@ -1,0 +1,65 @@
+// Shared 64-bit FNV-1a hashing.
+//
+// Two previously duplicated implementations live here now: the streaming
+// accumulator behind the compiled-tree section/tree digests
+// (tree/compile.cpp) and the two-lane content key of the serve profile
+// store (serve/profile_store.cpp). Both are pinned byte-for-byte by
+// tests/util/test_fnv.cpp — these digests are persisted (sweep memo keys,
+// serve result-cache keys, stored-profile names), so changing them is a
+// breaking change, not a refactor.
+//
+// Non-cryptographic: collision resistance is adequate for content
+// addressing inside one trust domain only (see serve/profile_store.hpp).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace pprophet::util {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Streaming FNV-1a accumulator with typed helpers (little-endian u64,
+/// bit-pattern f64), as used by the tree/section digests.
+struct Fnv64 {
+  std::uint64_t h = kFnvOffset;
+
+  void byte(std::uint8_t b) { h = (h ^ b) * kFnvPrime; }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+};
+
+/// Two-lane FNV-1a over a byte string, rendered as 32 lowercase hex chars.
+/// The second lane uses a distinct offset base and mixes the byte position,
+/// so lane collisions are independent; the first lane folds in the length.
+/// This is the serve profile store's content key format.
+inline std::string fnv64_two_lane_hex(std::string_view bytes) {
+  std::uint64_t a = kFnvOffset;
+  std::uint64_t b = 0x6c62272e07bb0142ULL;
+  std::uint64_t pos = 0;
+  for (const char ch : bytes) {
+    const auto c = static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    a = (a ^ c) * kFnvPrime;
+    b = (b ^ (c + (++pos))) * kFnvPrime;
+  }
+  a ^= bytes.size();
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kHex[(a >> (4 * i)) & 0xF];
+    out[31 - i] = kHex[(b >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace pprophet::util

@@ -12,6 +12,17 @@ cachesim::CacheConfig scaled_cache() {
 
 KernelHarness::KernelHarness(const KernelConfig& cfg) : cfg_(cfg) {
   cpu_ = std::make_unique<vcpu::VirtualCpu>(cfg.cache, cfg.cost);
+  if (cfg_.collect_reuse) {
+    // Same pass, second consumer of the access stream: the collector rides
+    // the vcpu observer hook from construction on, so its recency state
+    // includes the kernel's data-initialization accesses — exactly the
+    // history that warms the simulated caches before begin(). Windows only
+    // open on profiled sections; starting the observer at begin() instead
+    // would mislabel init-warmed lines as cold (infinite distance) and
+    // over-predict misses on machines whose LLC holds the footprint.
+    reuse_ = std::make_unique<reuse::ReuseCollector>(cfg_.cache, cfg_.cost);
+    cpu_->set_observer(reuse_.get());
+  }
 }
 
 void KernelHarness::begin() {
@@ -22,6 +33,7 @@ void KernelHarness::begin() {
   counters_ = std::make_unique<vcpu::VcpuCounterSource>(*cpu_);
   profiler_ = std::make_unique<trace::IntervalProfiler>(
       cpu_->clock(), counters_.get(), cfg_.profiler);
+  if (reuse_ != nullptr) profiler_->set_section_profiler(reuse_.get());
   scope_ = std::make_unique<annotate::ScopedAnnotationTarget>(*profiler_);
 }
 
@@ -30,6 +42,7 @@ KernelRun KernelHarness::finish(double checksum) {
   scope_.reset();  // detach annotations before finalizing
   KernelRun run;
   run.tree = profiler_->finish();
+  if (reuse_ != nullptr) cpu_->set_observer(nullptr);
   run.checksum = checksum;
   run.instructions = cpu_->instructions() - begin_instructions_;
   run.llc_misses = cpu_->llc_misses() - begin_misses_;

@@ -19,6 +19,7 @@
 
 #include "annotate/annotations.hpp"
 #include "cachesim/cache.hpp"
+#include "reuse/collector.hpp"
 #include "trace/profiler.hpp"
 #include "tree/node.hpp"
 #include "util/rng.hpp"
@@ -30,6 +31,9 @@ struct KernelConfig {
   cachesim::CacheConfig cache{};
   vcpu::CostModel cost{};
   trace::ProfilerOptions profiler{.online_compression = true};
+  /// Also collect per-section reuse-distance histograms in the same pass
+  /// (reuse/collector.hpp), making the resulting tree machine-portable.
+  bool collect_reuse = false;
 };
 
 /// Cache hierarchy scaled 1:96 from the Westmere machine (12 MB → 128 KB
@@ -66,6 +70,7 @@ class KernelHarness {
   KernelConfig cfg_;
   std::unique_ptr<vcpu::VirtualCpu> cpu_;
   std::unique_ptr<vcpu::VcpuCounterSource> counters_;
+  std::unique_ptr<reuse::ReuseCollector> reuse_;
   std::unique_ptr<trace::IntervalProfiler> profiler_;
   std::unique_ptr<annotate::ScopedAnnotationTarget> scope_;
   std::uint64_t begin_instructions_ = 0;

@@ -1,0 +1,118 @@
+#include "reuse/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace pprophet::reuse {
+namespace {
+
+TEST(ReuseHistogramBuckets, LinearRangeIsExact) {
+  for (std::uint64_t d = 0; d < ReuseHistogram::kLinearLimit; ++d) {
+    const std::size_t i = ReuseHistogram::bucket_index(d);
+    EXPECT_EQ(i, d);
+    EXPECT_EQ(ReuseHistogram::bucket_lo(i), d);
+    EXPECT_EQ(ReuseHistogram::bucket_hi(i), d + 1);
+  }
+}
+
+TEST(ReuseHistogramBuckets, BoundsBracketEveryDistance) {
+  // Sweep distances across several octaves (including bucket edges): every
+  // distance must land in a bucket whose [lo, hi) contains it, and indices
+  // must be monotone in distance.
+  std::size_t prev = 0;
+  for (std::uint64_t d = 0; d < (1ULL << 22); d = d < 256 ? d + 1 : d + d / 3) {
+    const std::size_t i = ReuseHistogram::bucket_index(d);
+    EXPECT_LE(ReuseHistogram::bucket_lo(i), d);
+    EXPECT_GT(ReuseHistogram::bucket_hi(i), d);
+    EXPECT_GE(i, prev);
+    EXPECT_LT(i, ReuseHistogram::kMaxBuckets);
+    prev = i;
+  }
+}
+
+TEST(ReuseHistogramBuckets, PowersOfTwoStartBuckets) {
+  // Power-of-two capacities must sit exactly on bucket boundaries so
+  // fully-associative predictions lose nothing to bucketing: the first
+  // bucket of each octave starts at 2^k.
+  for (unsigned k = 7; k < 40; ++k) {
+    const std::size_t i = ReuseHistogram::bucket_index(1ULL << k);
+    EXPECT_EQ(ReuseHistogram::bucket_lo(i), 1ULL << k) << "k=" << k;
+    // The access just below 2^k lives in a strictly smaller bucket.
+    EXPECT_LT(ReuseHistogram::bucket_index((1ULL << k) - 1), i);
+  }
+}
+
+TEST(ReuseHistogram, RecordAndTotals) {
+  ReuseHistogram h;
+  h.record(0);
+  h.record(0);
+  h.record(5);
+  h.record(1000);
+  h.cold = 3;
+  h.writes = 2;
+  EXPECT_EQ(h.reuses(), 4u);
+  EXPECT_EQ(h.touches(), 7u);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[5], 1u);
+  EXPECT_EQ(h.buckets[ReuseHistogram::bucket_index(1000)], 1u);
+}
+
+TEST(ReuseHistogram, TrimDropsTrailingZeros) {
+  ReuseHistogram h;
+  h.record(200);
+  h.buckets.resize(h.buckets.size() + 16, 0);
+  const std::size_t want = ReuseHistogram::bucket_index(200) + 1;
+  h.trim();
+  EXPECT_EQ(h.buckets.size(), want);
+  // Trimming an all-zero histogram empties it entirely.
+  ReuseHistogram z;
+  z.buckets.assign(8, 0);
+  z.trim();
+  EXPECT_TRUE(z.buckets.empty());
+}
+
+TEST(ReuseHistogramMerge, EmptyIsIdentityBothWays) {
+  ReuseHistogram h;
+  h.config.llc_bytes = 1 << 20;  // non-default config
+  h.record(3);
+  h.record(300);
+  h.cold = 2;
+  h.writes = 1;
+  const ReuseHistogram orig = h;
+
+  ReuseHistogram empty;  // default config differs from h's — still identity
+  h.merge(empty);
+  EXPECT_EQ(h, orig);
+
+  ReuseHistogram other;
+  other.merge(orig);
+  EXPECT_EQ(other, orig);
+}
+
+TEST(ReuseHistogramMerge, AddsBucketwise) {
+  ReuseHistogram a, b;
+  a.record(1);
+  a.cold = 1;
+  b.record(1);
+  b.record(4000);
+  b.writes = 5;
+  a.merge(b);
+  EXPECT_EQ(a.buckets[1], 2u);
+  EXPECT_EQ(a.buckets[ReuseHistogram::bucket_index(4000)], 1u);
+  EXPECT_EQ(a.cold, 1u);
+  EXPECT_EQ(a.writes, 5u);
+  EXPECT_EQ(a.reuses(), 3u);
+}
+
+TEST(ReuseHistogramMerge, MismatchedConfigsThrow) {
+  ReuseHistogram a, b;
+  a.record(1);
+  b.record(1);
+  b.config.line_bytes = 128;
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pprophet::reuse

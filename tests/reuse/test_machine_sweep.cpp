@@ -1,0 +1,149 @@
+#include "core/machine_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/presets.hpp"
+#include "memmodel/burden.hpp"
+#include "memmodel/calibration.hpp"
+#include "reuse/histogram.hpp"
+#include "tree/builder.hpp"
+
+namespace pprophet::core {
+namespace {
+
+/// One imbalanced parallel section with measured counters and a reuse
+/// histogram whose tail straddles the presets' LLC capacities, so
+/// projection actually changes D between machines.
+tree::ProgramTree sample_tree() {
+  tree::TreeBuilder b;
+  b.u(1000);
+  b.begin_sec("loop");
+  b.begin_task("t").u(900).l(1, 100).end_task().repeat_last(64);
+  tree::SectionCounters c;
+  c.instructions = 400'000;
+  c.cycles = 64'000;
+  // Memory-bound on the profiled machine: MPI 0.01, comfortably above the
+  // burden model's insensitivity floor (assumption 5), so the memory model
+  // actually differentiates machines in the sweep tests below.
+  c.llc_misses = 4'000;
+  c.llc_writebacks = 1'000;
+  b.counters(c).end_sec();
+  b.u(200);
+  tree::ProgramTree t = b.finish();
+
+  reuse::ReuseHistogram h;
+  h.config = reuse::ProfiledConfig{};  // profiled on the westmere preset
+  h.cold = 40;
+  // Reuses at distances between the scaled LLC capacities of the presets:
+  // hits on big-LLC machines, misses on small ones.
+  for (int i = 0; i < 500; ++i) {
+    h.record(100);       // hits everything beyond L1
+    h.record(250'000);   // ~15 MB of 64 B lines: westmere misses, epyc hits
+  }
+  t.root->child(1)->set_reuse_profile(h);
+  return t;
+}
+
+TEST(MachineSweep, OneEntryPerPresetFullGridEach) {
+  const tree::ProgramTree t = sample_tree();
+  const std::vector<machine::MachinePreset> presets = {
+      *machine::find_machine_preset("westmere"),
+      *machine::find_machine_preset("epyc"),
+  };
+  SweepGrid grid;
+  grid.thread_counts = {2, 4, 24};
+
+  const MachineSweepResult res = sweep_machines(t, presets, grid);
+  ASSERT_EQ(res.machines.size(), 2u);
+  EXPECT_EQ(res.machines[0].machine, "westmere");
+  EXPECT_EQ(res.machines[1].machine, "epyc");
+  for (const MachineSweepEntry& e : res.machines) {
+    EXPECT_EQ(e.projected_sections, 1u);
+    ASSERT_EQ(e.result.cells.size(), grid.size());
+    for (const SweepCell& cell : e.result.cells) {
+      EXPECT_GT(cell.estimate.speedup, 0.0);
+    }
+  }
+}
+
+TEST(MachineSweep, ProfiledMachineMatchesPlainSweep) {
+  // Pricing the tree on the machine it was profiled on must be a no-op:
+  // identical cells to a plain sweep with that preset's machine config.
+  const tree::ProgramTree t = sample_tree();
+  const machine::MachinePreset& wm = *machine::find_machine_preset("westmere");
+  SweepGrid grid;
+  grid.thread_counts = {2, 8, 12};
+  grid.memory_models = {false, true};
+
+  const MachineSweepResult res = sweep_machines(t, {&wm, 1}, grid);
+  ASSERT_EQ(res.machines.size(), 1u);
+
+  SweepGrid plain = grid;
+  plain.base.machine = wm.machine;
+  plain.base.dram_stall = wm.cost.dram;
+  const SweepResult want = [&] {
+    tree::ProgramTree copy;
+    copy.root = t.root->clone();
+    if (grid.memory_models.size() > 1) {
+      // sweep_machines calibrates burdens when the grid asks for the
+      // memory model; mirror that here.
+      memmodel::CalibrationOptions copts;
+      copts.machine = wm.machine;
+      copts.dram_stall = wm.cost.dram;
+      const memmodel::BurdenModel model(memmodel::calibrate(copts));
+      memmodel::annotate_burdens(copy, model, plain.thread_counts);
+    }
+    return sweep(copy, plain);
+  }();
+
+  ASSERT_EQ(res.machines[0].result.cells.size(), want.cells.size());
+  for (std::size_t i = 0; i < want.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(res.machines[0].result.cells[i].estimate.speedup,
+                     want.cells[i].estimate.speedup)
+        << i;
+  }
+}
+
+TEST(MachineSweep, BigLlcPresetSeesFewerMissesAndMoreCores) {
+  const tree::ProgramTree t = sample_tree();
+  const std::vector<machine::MachinePreset> presets = {
+      *machine::find_machine_preset("westmere"),
+      *machine::find_machine_preset("epyc"),
+  };
+  SweepGrid grid;
+  grid.thread_counts = {24};
+  // Counters reach prediction through the memory model (plain emulation
+  // prices the task structure only), so the machine-differentiating path is
+  // the burden annotation computed from each preset's projected counters.
+  grid.memory_models = {true};
+
+  const MachineSweepResult res = sweep_machines(t, presets, grid);
+  ASSERT_EQ(res.machines.size(), 2u);
+  // Westmere misses on the 250k-line reuses (MPI 0.01 → β > 1 at 24
+  // threads); epyc's 64 MB LLC absorbs them, dropping its projected MPI
+  // below the burden floor (β = 1). The big-LLC machine must predict
+  // strictly faster.
+  EXPECT_GT(res.machines[1].result.cells[0].estimate.speedup,
+            res.machines[0].result.cells[0].estimate.speedup);
+}
+
+TEST(MachineSweep, SectionsWithoutHistogramsStillSweep) {
+  tree::TreeBuilder b;
+  b.u(100);
+  b.begin_sec("plain");
+  b.begin_task("t").u(500).end_task().repeat_last(8);
+  b.end_sec();
+  const tree::ProgramTree t = b.finish();
+
+  const machine::MachinePreset& sk = *machine::find_machine_preset("skylake");
+  SweepGrid grid;
+  const MachineSweepResult res = sweep_machines(t, {&sk, 1}, grid);
+  ASSERT_EQ(res.machines.size(), 1u);
+  EXPECT_EQ(res.machines[0].projected_sections, 0u);
+  EXPECT_EQ(res.machines[0].result.cells.size(), grid.size());
+}
+
+}  // namespace
+}  // namespace pprophet::core

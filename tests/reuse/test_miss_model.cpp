@@ -1,0 +1,225 @@
+#include "reuse/miss_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "reuse/collector.hpp"
+#include "tree/builder.hpp"
+#include "util/rng.hpp"
+
+namespace pprophet::reuse {
+namespace {
+
+constexpr std::uint64_t kLine = 64;
+
+TEST(HitProbability, FullyAssociativeIsExactThreshold) {
+  for (const std::uint64_t ways : {1u, 8u, 128u}) {
+    for (std::uint64_t d = 0; d < 2 * ways; ++d) {
+      EXPECT_EQ(MissModel::hit_probability(d, 1, ways), d < ways ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(HitProbability, SetAssociativeIsMonotoneAndBounded) {
+  double prev = 1.0;
+  for (std::uint64_t d = 0; d < 100'000; d = d * 2 + 1) {
+    const double p = MissModel::hit_probability(d, 64, 8);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_LE(p, prev + 1e-12);  // more intervening lines: never likelier
+    prev = p;
+  }
+  // d below the way count cannot evict the line regardless of placement.
+  EXPECT_EQ(MissModel::hit_probability(7, 64, 8), 1.0);
+  // Far beyond capacity the hit probability collapses (no NaN/overflow).
+  EXPECT_NEAR(MissModel::hit_probability(1ULL << 40, 64, 8), 0.0, 1e-9);
+}
+
+/// A random-ish access stream shared by the exactness tests.
+std::vector<std::uint64_t> test_stream() {
+  util::Xoshiro256 rng(7);
+  std::vector<std::uint64_t> lines;
+  lines.reserve(30'000);
+  for (int i = 0; i < 30'000; ++i) {
+    // Hot set + cool spread + a sequential sweep segment.
+    const std::uint64_t r = rng();
+    if (r % 4 == 0) {
+      lines.push_back(r % 64);
+    } else if (r % 4 == 1) {
+      lines.push_back(static_cast<std::uint64_t>(i) % 700);
+    } else {
+      lines.push_back(r % 2048);
+    }
+  }
+  return lines;
+}
+
+ReuseHistogram collect(const std::vector<std::uint64_t>& lines) {
+  ReuseCollector c((cachesim::CacheConfig{}));
+  c.window_start();
+  for (const std::uint64_t l : lines) {
+    c.on_access(l * kLine, 8, vcpu::AccessKind::Read);
+  }
+  auto h = c.window_stop();
+  return *h;
+}
+
+TEST(MissModel, FullyAssociativeDramExactVsStandaloneCache) {
+  // The model evaluates each level against the unfiltered stream, so its
+  // DRAM count must equal a standalone fully-associative LRU cache of the
+  // LLC's capacity seeing every access — exactly, because power-of-two
+  // capacities sit on bucket boundaries.
+  const std::vector<std::uint64_t> lines = test_stream();
+  const ReuseHistogram h = collect(lines);
+
+  for (const std::uint64_t cap_lines : {256u, 1024u}) {
+    cachesim::Cache alone({cap_lines * kLine, static_cast<std::uint32_t>(cap_lines)},
+                          kLine);
+    for (const std::uint64_t l : lines) alone.access(l);
+
+    cachesim::CacheConfig target;
+    target.l1 = {8 * kLine, 8};
+    target.l2 = {64 * kLine, 64};
+    target.llc = {cap_lines * kLine, static_cast<std::uint32_t>(cap_lines)};
+    const MissModel::Prediction pred = MissModel(target).evaluate(h);
+    EXPECT_EQ(pred.llc_misses(), alone.stats().misses) << cap_lines;
+  }
+}
+
+TEST(MissModel, FullyAssociativeL1ExactVsHierarchy) {
+  // L1 sees every access in the real hierarchy too, so its hit count must
+  // match the simulator head-on.
+  const std::vector<std::uint64_t> lines = test_stream();
+  const ReuseHistogram h = collect(lines);
+
+  cachesim::CacheConfig cfg;
+  cfg.l1 = {128 * kLine, 128};  // fully associative
+  cfg.l2 = {512 * kLine, 8};
+  cfg.llc = {4096 * kLine, 16};
+  cachesim::CacheHierarchy sim(cfg);
+  for (const std::uint64_t l : lines) sim.access(l * kLine);
+
+  const MissModel::Prediction pred = MissModel(cfg).evaluate(h);
+  const std::uint64_t sim_l1_hits =
+      sim.level(1).accesses - sim.level(1).misses;
+  EXPECT_EQ(static_cast<std::uint64_t>(std::llround(pred.l1_hits)),
+            sim_l1_hits);
+}
+
+TEST(MissModel, BiggerCacheNeverMissesMore) {
+  const ReuseHistogram h = collect(test_stream());
+  double prev = std::numeric_limits<double>::infinity();
+  for (const std::uint64_t mb : {1u, 2u, 8u, 32u}) {
+    cachesim::CacheConfig t;
+    t.llc = {mb * 1024 * 1024, 16};
+    const double dram = MissModel(t).evaluate(h).dram;
+    EXPECT_LE(dram, prev + 1e-9) << mb;
+    prev = dram;
+  }
+  // Every prediction conserves mass: level counts sum to the touches.
+  cachesim::CacheConfig t;
+  const MissModel::Prediction p = MissModel(t).evaluate(h);
+  EXPECT_NEAR(p.l1_hits + p.l2_hits + p.llc_hits + p.dram,
+              static_cast<double>(h.touches()), 1e-6);
+}
+
+TEST(ProjectCounters, IdentityOnProfiledMachine) {
+  ReuseHistogram h;
+  h.config = ProfiledConfig{};  // default == default CacheConfig + ω 200
+  h.cold = 10;
+  h.record(1);
+
+  tree::SectionCounters measured;
+  measured.instructions = 1234;
+  measured.cycles = 99'999;
+  measured.llc_misses = 17;
+  measured.llc_writebacks = 5;
+  const tree::SectionCounters out =
+      project_counters(measured, h, cachesim::CacheConfig{}, 200);
+  EXPECT_EQ(out.instructions, measured.instructions);
+  EXPECT_EQ(out.cycles, measured.cycles);
+  EXPECT_EQ(out.llc_misses, measured.llc_misses);
+  EXPECT_EQ(out.llc_writebacks, measured.llc_writebacks);
+}
+
+TEST(ProjectCounters, RebuildsCyclesAndWritebacks) {
+  // 6 reuses at distance 0 (hit everywhere) + 4 cold touches: any target
+  // predicts exactly D′ = 4.
+  ReuseHistogram h;
+  h.config = ProfiledConfig{};  // ω_src = 200
+  for (int i = 0; i < 6; ++i) h.record(0);
+  h.cold = 4;
+
+  tree::SectionCounters measured;
+  measured.instructions = 1000;
+  measured.cycles = 10'000;
+  measured.llc_misses = 10;
+  measured.llc_writebacks = 5;
+
+  // Same hierarchy, different ω: projection must swap the DRAM-stall part.
+  const tree::SectionCounters out =
+      project_counters(measured, h, cachesim::CacheConfig{}, /*ω_dst=*/100);
+  EXPECT_EQ(out.instructions, 1000u);
+  EXPECT_EQ(out.llc_misses, 4u);
+  // T′ = (10000 − 200·10) + 100·4 = 8400.
+  EXPECT_EQ(out.cycles, 8400u);
+  // Measured wb:miss ratio 0.5 → 4 · 0.5 = 2.
+  EXPECT_EQ(out.llc_writebacks, 2u);
+}
+
+TEST(ProjectCounters, WritebackFallbackUsesWriteFraction) {
+  ReuseHistogram h;
+  h.config = ProfiledConfig{};
+  h.cold = 8;
+  h.record(0);
+  h.record(0);
+  h.writes = 5;  // 5 of 10 touches were writes
+
+  tree::SectionCounters measured;
+  measured.instructions = 100;
+  measured.cycles = 5000;
+  measured.llc_misses = 0;  // no measured misses: ratio undefined
+  measured.llc_writebacks = 0;
+
+  const tree::SectionCounters out =
+      project_counters(measured, h, cachesim::CacheConfig{}, 100);
+  EXPECT_EQ(out.llc_misses, 8u);
+  EXPECT_EQ(out.llc_writebacks, 4u);  // 8 · (5/10)
+}
+
+TEST(ProjectTree, ProjectsEverySectionWithBothAnnotations) {
+  tree::TreeBuilder b;
+  tree::SectionCounters c;
+  c.instructions = 1000;
+  c.cycles = 10'000;
+  c.llc_misses = 10;
+
+  b.u(10);
+  for (const char* name : {"no-reuse", "b", "c"}) {
+    b.begin_sec(name);
+    b.begin_task("t").u(50).end_task().repeat_last(4);
+    b.counters(c).end_sec();
+  }
+  tree::ProgramTree t = b.finish();
+
+  ReuseHistogram h;
+  h.config = ProfiledConfig{};
+  h.cold = 4;
+  t.root->child(2)->set_reuse_profile(h);
+  t.root->child(3)->set_reuse_profile(h);
+
+  EXPECT_EQ(project_tree(t, cachesim::CacheConfig{}, 100), 2u);
+  // Untouched: section "no-reuse" carries counters but no histogram.
+  EXPECT_EQ(t.root->child(1)->counters()->llc_misses, 10u);
+  EXPECT_EQ(t.root->child(1)->counters()->cycles, 10'000u);
+  EXPECT_EQ(t.root->child(2)->counters()->llc_misses, 4u);
+  EXPECT_EQ(t.root->child(3)->counters()->llc_misses, 4u);
+}
+
+}  // namespace
+}  // namespace pprophet::reuse

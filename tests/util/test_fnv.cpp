@@ -1,0 +1,83 @@
+#include "util/fnv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tree/compile.hpp"
+#include "tree/serialize.hpp"
+
+namespace pprophet::util {
+namespace {
+
+// The FNV helpers back persisted identifiers: serve stored-profile content
+// keys and the compiled-tree digests used as sweep memo and serve
+// result-cache keys. These tests pin the digests byte-for-byte against
+// values captured from the pre-refactor duplicated implementations
+// (tree/compile.cpp and serve/profile_store.cpp each had a private copy);
+// any change here invalidates stored keys and is a format break.
+
+TEST(Fnv64, StreamingAccumulatorBasics) {
+  Fnv64 f;
+  EXPECT_EQ(f.h, kFnvOffset);
+  f.byte(0x61);  // 'a'
+  EXPECT_EQ(f.h, (kFnvOffset ^ 0x61u) * kFnvPrime);
+
+  // u64 feeds bytes little-endian: hashing 'a' then seven zero bytes must
+  // equal u64(0x61).
+  Fnv64 by_bytes;
+  by_bytes.byte(0x61);
+  for (int i = 0; i < 7; ++i) by_bytes.byte(0);
+  Fnv64 by_u64;
+  by_u64.u64(0x61);
+  EXPECT_EQ(by_bytes.h, by_u64.h);
+}
+
+TEST(Fnv64, F64HashesBitPattern) {
+  Fnv64 a, b;
+  a.f64(1.0);
+  b.u64(0x3FF0000000000000ULL);
+  EXPECT_EQ(a.h, b.h);
+  // -0.0 and 0.0 differ as bit patterns, so their digests must too.
+  Fnv64 pz, nz;
+  pz.f64(0.0);
+  nz.f64(-0.0);
+  EXPECT_NE(pz.h, nz.h);
+}
+
+TEST(FnvTwoLane, PinnedContentKeys) {
+  // Captured from serve/profile_store.cpp's original implementation.
+  EXPECT_EQ(fnv64_two_lane_hex(""), "cbf29ce4842223256c62272e07bb0142");
+  EXPECT_EQ(fnv64_two_lane_hex("PPTB"), "acb6af19a3f51abf3896bd6a6e783bcc");
+  EXPECT_EQ(fnv64_two_lane_hex("the quick brown fox"),
+            "59aeb7b40bd8c1313b929abf373ec829");
+}
+
+TEST(FnvTwoLane, LanesAreIndependent) {
+  // Same bytes permuted: lane 2 mixes position, so the key must change.
+  EXPECT_NE(fnv64_two_lane_hex("ab"), fnv64_two_lane_hex("ba"));
+  // Length folds into lane 1: a trailing NUL is not a no-op.
+  EXPECT_NE(fnv64_two_lane_hex(std::string("x")),
+            fnv64_two_lane_hex(std::string("x\0", 2)));
+}
+
+TEST(FnvTreeDigests, PinnedCompiledTreeDigests) {
+  // Captured from tree/compile.cpp's original private FNV accumulator on
+  // this fixed tree (counters + burden tables exercise every typed helper).
+  const std::string text =
+      "Root root len=1000\n"
+      "  Sec loop len=800 N=4000 T=800 D=40 W=10\n"
+      "    Task t len=100 rep=8\n"
+      "      U U len=100\n"
+      "  U U len=200\n";
+  tree::ProgramTree t = tree::from_text(text);
+  t.root->child(0)->set_burden(2, 1.25);
+  t.root->child(0)->set_burden(4, 1.5);
+  const tree::CompiledTree ct = tree::CompiledTree::compile(t);
+  EXPECT_EQ(ct.tree_digest(), 8593185789951458264ULL);
+  ASSERT_GE(ct.section_count(), 1u);
+  EXPECT_EQ(ct.section_digest(0), 5127205614884433980ULL);
+}
+
+}  // namespace
+}  // namespace pprophet::util

@@ -16,6 +16,13 @@
 #     scalar vs batched engine path — still run on every PR without paying
 #     for representative timings. Run the binaries directly for real
 #     BENCH_*.json numbers.
+#   - `ctest -L reuse -LE perf` — the reuse-distance memory model
+#     (docs/MEMMODEL.md): collector exactness vs brute-force stack
+#     simulation, miss-model goldens vs the cache simulator, cross-machine
+#     sweeps. The collector's bit-twiddled hot path (bitmap + Fenwick
+#     popcounts, slot renumbering) is exactly the kind of code sanitizers
+#     earn their keep on. (-LE perf: the reuse bench already ran in the
+#     perf stage.)
 #
 # `thread` is also accepted (README documents the TSan + `-L concurrency`
 # combination) but is not in the default set: TSan roughly 10x-es the
@@ -77,6 +84,8 @@ for san in "${sans[@]}"; do
   ctest --test-dir "${bdir}" -L 'batched|concurrency' --output-on-failure
   echo "=== ${san}: perf smoke ==="
   ctest --test-dir "${bdir}" -L perf --output-on-failure
+  echo "=== ${san}: reuse model label ==="
+  ctest --test-dir "${bdir}" -L reuse -LE perf --output-on-failure
 done
 
 # Serve-path TSan stage. Skipped only when a full `thread` pass already ran

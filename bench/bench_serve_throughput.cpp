@@ -1,18 +1,22 @@
 // Load bench for the prediction service (docs/SERVE.md): an in-process
-// daemon on a unix-domain socket, PP_CLIENTS concurrent client threads each
-// firing PP_REQS requests drawn from a small sweep-request mix, so the
-// result cache sees both cold misses and steady-state hits. Reports latency
-// percentiles and throughput, writes BENCH_serve.json (including the
-// server-side per-stage breakdown from its metrics registry), and
-// self-checks every response against an in-process core::sweep over the
-// same tree — exiting nonzero on any mismatch, so it doubles as a ctest.
+// daemon serving both transports (unix-domain socket + 127.0.0.1 TCP), hit
+// by PP_CLIENTS concurrent client threads per transport, each firing
+// PP_REQS requests drawn from a small sweep-request mix so the result cache
+// sees both cold misses and steady-state hits. Reports throughput and
+// latency percentiles per transport, writes BENCH_serve.json (including the
+// server-side per-stage breakdown and the frozen thread-per-connection
+// baseline this epoll reactor replaced), and self-checks every response
+// against an in-process core::sweep over the same tree — exiting nonzero on
+// any mismatch, so it doubles as a ctest.
 //
 // Client-observed latency uses obs::Histogram — one per client thread,
 // merged at the end (the same mergeable-quantile substrate the serve path
 // records into) — instead of collecting and sorting every sample.
 //
-// Env knobs: PP_CLIENTS (default 4), PP_REQS (default 25 per client),
-// PP_SERVE_WORKERS (default 2), PP_SEED.
+// Env knobs: PP_CLIENTS (default 128 per transport), PP_REQS (default 8 per
+// client), PP_SERVE_WORKERS (default 4), PP_SEED. PP_SMOKE=1 shrinks the
+// fleet to 16 clients for `ctest -L perf`; the bit-identity and
+// stage-reconciliation gates still run in full.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -36,6 +40,18 @@
 using namespace pprophet;
 
 namespace {
+
+// The thread-per-connection implementation this reactor replaced, measured
+// on this harness at 128 clients / 4 serve workers / 8 requests per client.
+// Kept in BENCH_serve.json so the regression is visible without digging
+// through git history; only comparable when the run uses the same shape.
+constexpr double kBaselineRps = 5755.9;
+constexpr double kBaselineP50Ms = 14.272;
+constexpr double kBaselineP90Ms = 18.560;
+constexpr double kBaselineP99Ms = 55.040;
+constexpr long kBaselineClients = 128;
+constexpr long kBaselineWorkers = 4;
+constexpr long kBaselineReqs = 8;
 
 struct RequestKind {
   const char* label;
@@ -114,16 +130,140 @@ serve::JsonValue stage_json(const obs::HistogramSnapshot& h) {
   return v;
 }
 
+/// One full load round against `endpoint` (unix path or HOST:PORT — the
+/// client dispatches on shape): its own server instance so stats, cache
+/// state, and the stage-reconciliation gate are per-transport.
+struct TransportResult {
+  std::string name;
+  double rps = 0.0;
+  double p50_ms = 0.0, p90_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+  std::uint64_t requests = 0;
+  long mismatches = 0;
+  serve::ServerStatsSnapshot stats;
+  serve::JsonValue stage_obj;
+  bool stages_reconcile = false;
+  bool uploads_deduped = false;
+};
+
+TransportResult run_transport(const char* name, bool use_tcp, long clients,
+                              long reqs, long workers,
+                              const std::string& pptb,
+                              const std::vector<RequestKind>& kinds,
+                              const std::vector<core::SweepResult>& expected) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = std::string("/tmp/pp_bench_serve_") + name + ".sock";
+  if (use_tcp) cfg.listen_tcp = "127.0.0.1:0";
+  cfg.workers = static_cast<std::size_t>(workers);
+  cfg.sweep_workers = 1;
+  // Headroom above the client count: this bench measures latency under
+  // load, not the shedding tiers (test_reactor.cpp covers those).
+  cfg.queue_limit = static_cast<std::size_t>(clients) * 4;
+  serve::Server server(cfg);
+  server.start();
+  const std::string endpoint =
+      use_tcp ? "127.0.0.1:" + std::to_string(server.tcp_port())
+              : cfg.socket_path;
+
+  std::vector<obs::Histogram> local_hist(static_cast<std::size_t>(clients));
+  std::vector<long> local_bad(static_cast<std::size_t>(clients), 0);
+  const auto bench_start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (long c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      serve::Client client;
+      client.connect_endpoint(endpoint);
+      const std::string key = client.upload(pptb);
+      obs::Histogram& hist = local_hist[static_cast<std::size_t>(c)];
+      long bad = 0;
+      for (long r = 0; r < reqs; ++r) {
+        const std::size_t k = static_cast<std::size_t>(c + r) % kinds.size();
+        const auto t0 = std::chrono::steady_clock::now();
+        const serve::JsonValue resp =
+            client.call(build_request(kinds[k], key));
+        hist.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+        if (!matches(resp, expected[k])) ++bad;
+      }
+      local_bad[static_cast<std::size_t>(c)] = bad;
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+
+  TransportResult out;
+  out.name = name;
+  // Snapshot stats only after stop(): a client can read its last response
+  // bytes before the reactor thread finishes recording that request's stage
+  // histograms, and a mid-record snapshot breaks the exact stage
+  // reconciliation gated below. stop() joins the reactor and workers.
+  server.stop();
+  out.stats = server.stats();
+
+  obs::Histogram merged;
+  for (long c = 0; c < clients; ++c) {
+    merged.merge(local_hist[static_cast<std::size_t>(c)]);
+    out.mismatches += local_bad[static_cast<std::size_t>(c)];
+  }
+  const obs::HistogramSnapshot lat = merged.snapshot();
+  out.requests = lat.count;
+  out.p50_ms = us_to_ms(lat.quantile(0.50));
+  out.p90_ms = us_to_ms(lat.quantile(0.90));
+  out.p99_ms = us_to_ms(lat.quantile(0.99));
+  out.max_ms = us_to_ms(lat.max);
+  out.rps = wall_s > 0.0 ? static_cast<double>(lat.count) / wall_s : 0.0;
+  out.uploads_deduped = out.stats.stored_trees == 1;
+
+  std::uint64_t stage_sum = 0, total_sum = 0;
+  for (const auto& [hname, h] : out.stats.metrics.histograms) {
+    if (hname.rfind("serve.", 0) == 0 && h.count > 0) {
+      out.stage_obj.set(hname, stage_json(h));
+    }
+    if (hname == "serve.total_us") total_sum = h.total;
+    if (hname == "serve.read_us" || hname == "serve.queue_wait_us" ||
+        hname == "serve.compute_us" || hname == "serve.write_us" ||
+        hname == "serve.other_us") {
+      stage_sum += h.total;
+    }
+  }
+  out.stages_reconcile = stage_sum == total_sum;
+  return out;
+}
+
+serve::JsonValue transport_json(const TransportResult& t) {
+  serve::JsonValue v;
+  v.set("requests", serve::JsonValue(t.requests));
+  v.set("throughput_rps", serve::JsonValue(t.rps));
+  v.set("p50_ms", serve::JsonValue(t.p50_ms));
+  v.set("p90_ms", serve::JsonValue(t.p90_ms));
+  v.set("p99_ms", serve::JsonValue(t.p99_ms));
+  v.set("max_ms", serve::JsonValue(t.max_ms));
+  v.set("cache_hits", serve::JsonValue(t.stats.cache.hits));
+  v.set("cache_misses", serve::JsonValue(t.stats.cache.misses));
+  v.set("cache_hit_rate", serve::JsonValue(t.stats.cache.hit_rate()));
+  v.set("uploads_deduped", serve::JsonValue(t.uploads_deduped));
+  v.set("mismatches", serve::JsonValue(t.mismatches));
+  v.set("stages", serve::JsonValue(t.stage_obj));
+  return v;
+}
+
 }  // namespace
 
 int main() {
-  const long clients = util::env_long("PP_CLIENTS", 4);
-  const long reqs = util::env_long("PP_REQS", 25);
-  const long workers = util::env_long("PP_SERVE_WORKERS", 2);
+  const bool smoke = util::env_long("PP_SMOKE", 0) != 0;
+  const long clients = util::env_long("PP_CLIENTS", smoke ? 16 : 128);
+  const long reqs = util::env_long("PP_REQS", smoke ? 4 : 8);
+  const long workers = util::env_long("PP_SERVE_WORKERS", 4);
   const long seed = util::env_long("PP_SEED", 2012);
   report::print_header(
       std::cout, "Prediction service throughput (PP_CLIENTS=" +
-                     std::to_string(clients) + ", PP_REQS=" +
+                     std::to_string(clients) + " per transport, PP_REQS=" +
                      std::to_string(reqs) + " per client)");
 
   util::Xoshiro256 rng(static_cast<std::uint64_t>(seed));
@@ -153,146 +293,94 @@ int main() {
     expected.push_back(reference_sweep(reference, kind));
   }
 
-  serve::ServerConfig cfg;
-  cfg.socket_path = "/tmp/pp_bench_serve.sock";
-  cfg.workers = static_cast<std::size_t>(workers);
-  cfg.sweep_workers = 1;
-  cfg.queue_limit = 256;
-  serve::Server server(cfg);
-  server.start();
+  const TransportResult runs[2] = {
+      run_transport("unix", false, clients, reqs, workers, pptb, kinds,
+                    expected),
+      run_transport("tcp", true, clients, reqs, workers, pptb, kinds,
+                    expected),
+  };
 
-  // One latency histogram per client thread, merged after the join — the
-  // cross-thread merge identity tests/obs/test_histogram.cpp asserts.
-  std::vector<obs::Histogram> local_hist(static_cast<std::size_t>(clients));
-  std::vector<long> local_bad(static_cast<std::size_t>(clients), 0);
-  const auto bench_start = std::chrono::steady_clock::now();
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(clients));
-  for (long c = 0; c < clients; ++c) {
-    pool.emplace_back([&, c] {
-      serve::Client client;
-      client.connect(cfg.socket_path);
-      const std::string key = client.upload(pptb);
-      obs::Histogram& hist = local_hist[static_cast<std::size_t>(c)];
-      long bad = 0;
-      for (long r = 0; r < reqs; ++r) {
-        const std::size_t k =
-            static_cast<std::size_t>(c + r) % kinds.size();
-        const auto t0 = std::chrono::steady_clock::now();
-        const serve::JsonValue resp =
-            client.call(build_request(kinds[k], key));
-        hist.record(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - t0)
-                .count()));
-        if (!matches(resp, expected[k])) ++bad;
-      }
-      local_bad[static_cast<std::size_t>(c)] = bad;
-    });
+  const bool comparable = clients == kBaselineClients &&
+                          workers == kBaselineWorkers && reqs == kBaselineReqs;
+  util::Table table({"transport", "requests", "req/s", "p50 ms", "p90 ms",
+                     "p99 ms", "cache hit", "mismatches"});
+  for (const TransportResult& r : runs) {
+    table.add_row({r.name, std::to_string(r.requests), util::fmt_f(r.rps, 1),
+                   util::fmt_f(r.p50_ms, 3), util::fmt_f(r.p90_ms, 3),
+                   util::fmt_f(r.p99_ms, 3),
+                   util::fmt_pct(r.stats.cache.hit_rate()),
+                   std::to_string(r.mismatches)});
   }
-  for (auto& th : pool) th.join();
-  const double wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    bench_start)
-          .count();
-  const serve::ServerStatsSnapshot stats = server.stats();
-  server.stop();
-
-  obs::Histogram merged;
-  long mismatches = 0;
-  for (long c = 0; c < clients; ++c) {
-    merged.merge(local_hist[static_cast<std::size_t>(c)]);
-    mismatches += local_bad[static_cast<std::size_t>(c)];
+  if (comparable) {
+    table.add_row({"(baseline thread-per-conn, unix)",
+                   std::to_string(kBaselineClients * kBaselineReqs),
+                   util::fmt_f(kBaselineRps, 1),
+                   util::fmt_f(kBaselineP50Ms, 3),
+                   util::fmt_f(kBaselineP90Ms, 3),
+                   util::fmt_f(kBaselineP99Ms, 3), "-", "-"});
   }
-  const obs::HistogramSnapshot lat = merged.snapshot();
-  const double p50 = us_to_ms(lat.quantile(0.50));
-  const double p90 = us_to_ms(lat.quantile(0.90));
-  const double p99 = us_to_ms(lat.quantile(0.99));
-  const double throughput =
-      wall_s > 0.0 ? static_cast<double>(lat.count) / wall_s : 0.0;
-
-  util::Table table({"metric", "value"});
-  table.add_row({"requests", std::to_string(lat.count)});
-  table.add_row({"throughput req/s", util::fmt_f(throughput, 1)});
-  table.add_row({"p50 ms", util::fmt_f(p50, 3)});
-  table.add_row({"p90 ms", util::fmt_f(p90, 3)});
-  table.add_row({"p99 ms", util::fmt_f(p99, 3)});
-  table.add_row({"cache hit rate", util::fmt_pct(stats.cache.hit_rate())});
-  table.add_row({"mismatches", std::to_string(mismatches)});
   table.print(std::cout);
-
-  // Server-side per-stage breakdown (the same histograms `pprophet stats`
-  // renders), so BENCH_serve.json records where the latency went, not just
-  // how much there was.
-  util::Table stages({"stage", "count", "p50 us", "p90 us", "p99 us"});
-  serve::JsonValue stage_obj;
-  for (const auto& [name, h] : stats.metrics.histograms) {
-    if (name.rfind("serve.", 0) != 0 || h.count == 0) continue;
-    stages.add_row({name, std::to_string(h.count),
-                    std::to_string(h.quantile(0.50)),
-                    std::to_string(h.quantile(0.90)),
-                    std::to_string(h.quantile(0.99))});
-    stage_obj.set(name, stage_json(h));
+  if (comparable) {
+    std::cout << "reactor vs thread-per-conn baseline (unix): "
+              << util::fmt_f(runs[0].rps / kBaselineRps, 2) << "x req/s, p99 "
+              << util::fmt_f(runs[0].p99_ms, 3) << " ms vs "
+              << util::fmt_f(kBaselineP99Ms, 3) << " ms\n";
   }
-  stages.print(std::cout);
 
   serve::JsonValue out;
   out.set("bench", serve::JsonValue("serve_throughput"));
-  out.set("clients", serve::JsonValue(clients));
+  out.set("clients_per_transport", serve::JsonValue(clients));
   out.set("requests_per_client", serve::JsonValue(reqs));
   out.set("serve_workers", serve::JsonValue(workers));
-  out.set("requests", serve::JsonValue(lat.count));
-  out.set("throughput_rps", serve::JsonValue(throughput));
-  out.set("p50_ms", serve::JsonValue(p50));
-  out.set("p90_ms", serve::JsonValue(p90));
-  out.set("p99_ms", serve::JsonValue(p99));
-  out.set("max_ms", serve::JsonValue(us_to_ms(lat.max)));
-  out.set("wall_s", serve::JsonValue(wall_s));
-  out.set("stages", std::move(stage_obj));
-  out.set("cache_hits", serve::JsonValue(stats.cache.hits));
-  out.set("cache_misses", serve::JsonValue(stats.cache.misses));
-  out.set("cache_hit_rate", serve::JsonValue(stats.cache.hit_rate()));
-  out.set("uploads_deduped",
-          serve::JsonValue(stats.stored_trees == 1));
-  out.set("mismatches", serve::JsonValue(mismatches));
+  out.set("smoke", serve::JsonValue(smoke));
+  for (const TransportResult& r : runs) {
+    out.set(r.name, transport_json(r));
+  }
+  serve::JsonValue baseline;
+  baseline.set("implementation",
+               serve::JsonValue("thread-per-connection (pre-reactor)"));
+  baseline.set("clients", serve::JsonValue(kBaselineClients));
+  baseline.set("serve_workers", serve::JsonValue(kBaselineWorkers));
+  baseline.set("requests_per_client", serve::JsonValue(kBaselineReqs));
+  baseline.set("throughput_rps", serve::JsonValue(kBaselineRps));
+  baseline.set("p50_ms", serve::JsonValue(kBaselineP50Ms));
+  baseline.set("p90_ms", serve::JsonValue(kBaselineP90Ms));
+  baseline.set("p99_ms", serve::JsonValue(kBaselineP99Ms));
+  baseline.set("comparable_to_this_run", serve::JsonValue(comparable));
+  out.set("baseline_thread_per_conn", std::move(baseline));
   std::ofstream f("BENCH_serve.json");
   f << serve::json_dump(out) << "\n";
   f.close();
   std::cout << "wrote BENCH_serve.json\n";
 
-  if (mismatches > 0) {
-    std::cerr << "FAIL: " << mismatches
-              << " responses differed from in-process core::sweep\n";
-    return 1;
-  }
-  if (stats.stored_trees != 1) {
-    std::cerr << "FAIL: " << stats.stored_trees
-              << " stored trees after identical uploads (expected 1)\n";
-    return 1;
-  }
-  if (stats.cache.hits == 0) {
-    std::cerr << "FAIL: result cache never hit under a repeating mix\n";
-    return 1;
-  }
-  // The serve-path stage histograms must reconcile exactly: every finished
-  // request's stages partition its total (request_trace.hpp).
-  std::uint64_t stage_sum = 0, total_sum = 0;
-  for (const auto& [name, h] : stats.metrics.histograms) {
-    if (name == "serve.total_us") total_sum = h.total;
-    if (name == "serve.read_us" || name == "serve.queue_wait_us" ||
-        name == "serve.compute_us" || name == "serve.write_us" ||
-        name == "serve.other_us") {
-      stage_sum += h.total;
+  int rc = 0;
+  for (const TransportResult& r : runs) {
+    if (r.mismatches > 0) {
+      std::cerr << "FAIL: " << r.name << ": " << r.mismatches
+                << " responses differed from in-process core::sweep\n";
+      rc = 1;
+    }
+    if (!r.uploads_deduped) {
+      std::cerr << "FAIL: " << r.name << ": " << r.stats.stored_trees
+                << " stored trees after identical uploads (expected 1)\n";
+      rc = 1;
+    }
+    if (r.stats.cache.hits == 0) {
+      std::cerr << "FAIL: " << r.name
+                << ": result cache never hit under a repeating mix\n";
+      rc = 1;
+    }
+    // The serve-path stage histograms must reconcile exactly: every
+    // finished request's stages partition its total (request_trace.hpp).
+    if (!r.stages_reconcile) {
+      std::cerr << "FAIL: " << r.name
+                << ": stage totals do not reconcile with serve.total_us\n";
+      rc = 1;
     }
   }
-  if (stage_sum != total_sum) {
-    std::cerr << "FAIL: stage totals (" << stage_sum
-              << " us) do not reconcile with serve.total_us (" << total_sum
-              << " us)\n";
-    return 1;
+  if (rc == 0) {
+    std::cout << "OK: all responses on both transports bit-identical to "
+                 "in-process sweep; stage totals reconcile\n";
   }
-  std::cout << "OK: all responses bit-identical to in-process sweep; "
-               "stage totals reconcile\n";
-  return 0;
+  return rc;
 }

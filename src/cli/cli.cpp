@@ -53,15 +53,16 @@ constexpr const char* kUsage = R"(usage:
                     [--machines westmere,skylake,...] [--memory-model]
                     [--workers N] [--csv FILE]
                     [--engine-path auto|scalar|batched]
-  pprophet serve    --socket PATH [--serve-workers N] [--queue-limit N]
-                    [--cache-mb N] [--workers N] [--cores N]
+  pprophet serve    --socket PATH [--listen HOST:PORT] [--serve-workers N]
+                    [--queue-limit N] [--cache-mb N] [--workers N] [--cores N]
                     [--log FILE] [--slow-ms N] [--log-sample N]
-  pprophet client   --socket PATH [--op] ping|stats|upload|predict|sweep|recommend
+  pprophet client   --socket PATH | --connect HOST:PORT
+                    [--op] ping|stats|upload|predict|sweep|recommend
                     [--tree FILE | --key HASH] [--methods ...] [--paradigms ...]
                     [--schedules ...] [--chunks ...] [--threads 2,4,8]
                     [--cores N] [--machines ...] [--memory-model]
                     [--deadline-ms N]
-  pprophet stats    --socket PATH [--watch N] [--samples M]
+  pprophet stats    --socket PATH | --connect HOST:PORT [--watch N] [--samples M]
   pprophet help
 observability (any command; see docs/OBSERVABILITY.md):
   --metrics[=FILE]   collect metrics; snapshot to stderr, or FILE (.json/.csv)
@@ -530,12 +531,13 @@ int cmd_timeline(const Options& opts, std::ostream& out, std::ostream& err) {
 // snapshot so `--metrics` can fold it into the end-of-run report.
 int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err,
               obs::MetricsSnapshot* serve_metrics) {
-  if (opts.socket_path.empty()) {
-    err << "pprophet: serve needs --socket PATH\n";
+  if (opts.socket_path.empty() && opts.listen_tcp.empty()) {
+    err << "pprophet: serve needs --socket PATH and/or --listen HOST:PORT\n";
     return 1;
   }
   serve::ServerConfig cfg;
   cfg.socket_path = opts.socket_path;
+  cfg.listen_tcp = opts.listen_tcp;
   cfg.workers = opts.serve_workers;
   cfg.queue_limit = opts.queue_limit;
   cfg.cache_bytes = opts.cache_mb << 20;
@@ -563,9 +565,11 @@ int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err,
     return 1;
   }
   serve::arm_signal_shutdown(server, {SIGTERM, SIGINT});
-  out << "pprophet serve: listening on " << opts.socket_path << " ("
-      << cfg.workers << " workers, queue " << cfg.queue_limit << ", cache "
-      << opts.cache_mb << " MiB)\n";
+  for (const std::string& endpoint : server.endpoints()) {
+    out << "pprophet serve: listening on " << endpoint << " ("
+        << cfg.workers << " workers, queue " << cfg.queue_limit << ", cache "
+        << opts.cache_mb << " MiB)\n";
+  }
   if (log.has_value()) {
     out << "pprophet serve: request log " << opts.log_path << " (";
     if (opts.slow_ms > 0) out << "slow >= " << opts.slow_ms << " ms";
@@ -680,8 +684,8 @@ void print_recommendation(const serve::JsonValue& result, std::ostream& out) {
 // One-shot client: connect, upload the tree (unless --key references an
 // already-stored one), send the requested op, render the response.
 int cmd_client(const Options& opts, std::ostream& out, std::ostream& err) {
-  if (opts.socket_path.empty()) {
-    err << "pprophet: client needs --socket PATH\n";
+  if (opts.socket_path.empty() && opts.connect_spec.empty()) {
+    err << "pprophet: client needs --socket PATH or --connect HOST:PORT\n";
     return 1;
   }
   const std::string& op = opts.op;
@@ -702,7 +706,11 @@ int cmd_client(const Options& opts, std::ostream& out, std::ostream& err) {
 
   serve::Client client;
   try {
-    client.connect(opts.socket_path);
+    if (!opts.connect_spec.empty()) {
+      client.connect_endpoint(opts.connect_spec);
+    } else {
+      client.connect(opts.socket_path);
+    }
 
     if (op == "ping" || op == "stats") {
       const serve::JsonValue resp = client.call(op);
@@ -776,13 +784,17 @@ std::string with_delta(std::uint64_t cur, std::uint64_t prev, bool first) {
 // regression shows up as a climbing tail while you reproduce it. One-shot
 // without --watch; --samples bounds the loop (tests use --samples 2).
 int cmd_stats(const Options& opts, std::ostream& out, std::ostream& err) {
-  if (opts.socket_path.empty()) {
-    err << "pprophet: stats needs --socket PATH\n";
+  if (opts.socket_path.empty() && opts.connect_spec.empty()) {
+    err << "pprophet: stats needs --socket PATH or --connect HOST:PORT\n";
     return 1;
   }
   serve::Client client;
   try {
-    client.connect(opts.socket_path);
+    if (!opts.connect_spec.empty()) {
+      client.connect_endpoint(opts.connect_spec);
+    } else {
+      client.connect(opts.socket_path);
+    }
   } catch (const std::exception& e) {
     err << "pprophet: " << e.what() << "\n";
     return 1;
@@ -1034,6 +1046,14 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
       const auto v = need_value();
       if (!v) return std::nullopt;
       opts.socket_path = *v;
+    } else if (a == "--listen") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.listen_tcp = *v;
+    } else if (a == "--connect") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      opts.connect_spec = *v;
     } else if (a == "--op") {
       const auto v = need_value();
       if (!v) return std::nullopt;

@@ -15,12 +15,14 @@
 //                     [--chunks 1,4] [--threads 2,4,8] [--cores N]
 //                     [--memory-model] [--workers N] [--csv out.csv]
 //                     [--engine-path auto|scalar|batched]
-//   pprophet serve    --socket /run/pp.sock [--serve-workers N]
-//                     [--queue-limit N] [--cache-mb N] [--cores N]
-//                     [--log FILE] [--slow-ms N] [--log-sample N]
-//   pprophet client   --socket /run/pp.sock [--op] ping|stats|upload|predict|
+//   pprophet serve    --socket /run/pp.sock [--listen HOST:PORT]
+//                     [--serve-workers N] [--queue-limit N] [--cache-mb N]
+//                     [--cores N] [--log FILE] [--slow-ms N] [--log-sample N]
+//   pprophet client   --socket /run/pp.sock | --connect HOST:PORT
+//                     [--op] ping|stats|upload|predict|
 //                     sweep|recommend [--tree t.ptree | --key HASH] [...]
-//   pprophet stats    --socket /run/pp.sock [--watch N] [--samples M]
+//   pprophet stats    --socket /run/pp.sock | --connect HOST:PORT
+//                     [--watch N] [--samples M]
 //
 // Global observability flags (docs/OBSERVABILITY.md):
 //   --metrics[=FILE]   enable the metrics registry; snapshot to stderr as
@@ -81,6 +83,8 @@ struct Options {
   std::string trace_path;    ///< --trace-out FILE: Chrome trace JSON
   // prediction service (serve / client; docs/SERVE.md)
   std::string socket_path;        ///< --socket PATH: unix-domain socket
+  std::string listen_tcp;         ///< serve --listen HOST:PORT: TCP transport
+  std::string connect_spec;       ///< client/stats --connect HOST:PORT
   std::string op = "ping";        ///< client --op: request to send
   std::string key;                ///< client --key: stored-tree content hash
   std::size_t serve_workers = 2;  ///< serve --serve-workers: request threads

@@ -1,10 +1,14 @@
 #include "serve/client.hpp"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -45,6 +49,60 @@ void Client::connect(const std::string& socket_path) {
     fd_ = -1;
     throw std::runtime_error("client: cannot connect to '" + socket_path +
                              "': " + std::strerror(e));
+  }
+}
+
+void Client::connect_tcp(const std::string& host_port) {
+  close();
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::runtime_error("client: expected HOST:PORT, got '" + host_port +
+                             "'");
+  }
+  std::string host = host_port.substr(0, colon);
+  const std::string port_str = host_port.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (port_str.empty() || end == nullptr || *end != '\0' || port == 0 ||
+      port > 65535) {
+    throw std::runtime_error("client: bad port in '" + host_port + "'");
+  }
+  if (host.empty() || host == "*" || host == "0.0.0.0") host = "127.0.0.1";
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("client: bad address '" + host +
+                             "' (IPv4 dotted quad expected)");
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("client: socket: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("client: cannot connect to '" + host_port +
+                             "': " + std::strerror(e));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::connect_endpoint(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  const bool tcp_shape =
+      colon != std::string::npos && colon + 1 < spec.size() &&
+      spec.find('/') == std::string::npos &&
+      spec.find_first_not_of("0123456789", colon + 1) == std::string::npos;
+  if (tcp_shape) {
+    connect_tcp(spec);
+  } else {
+    connect(spec);
   }
 }
 

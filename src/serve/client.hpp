@@ -1,5 +1,5 @@
-// Blocking unix-domain-socket client for the prediction service: one
-// connection, synchronous request/response over the length-prefixed JSON
+// Blocking client for the prediction service: one connection (unix-domain
+// or TCP), synchronous request/response over the length-prefixed JSON
 // framing of serve/protocol.hpp. Used by `pprophet client`, the loopback
 // tests, and bench_serve_throughput.
 #pragma once
@@ -23,6 +23,15 @@ class Client {
   /// Connects to the daemon at `socket_path`. Throws std::runtime_error
   /// when nothing is listening there.
   void connect(const std::string& socket_path);
+
+  /// Connects to a TCP endpoint ("HOST:PORT", IPv4). Same wire protocol.
+  void connect_tcp(const std::string& host_port);
+
+  /// Dispatches on the spec's shape: "HOST:PORT" (a colon followed by
+  /// digits, and no '/') connects over TCP, anything else is a unix socket
+  /// path. What `pprophet client --connect` and the bench harness use.
+  void connect_endpoint(const std::string& spec);
+
   bool connected() const { return fd_ >= 0; }
   void close();
 

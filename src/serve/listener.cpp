@@ -1,0 +1,179 @@
+#include "serve/listener.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace pprophet::serve {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void fail(int fd, const std::string& what) {
+  if (fd >= 0) ::close(fd);
+  throw std::runtime_error(what);
+}
+
+}  // namespace
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      tcp_(other.tcp_),
+      owns_path_(std::exchange(other.owns_path_, false)),
+      port_(other.port_),
+      path_(std::move(other.path_)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    tcp_ = other.tcp_;
+    owns_path_ = std::exchange(other.owns_path_, false);
+    port_ = other.port_;
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (owns_path_ && !tcp_ && !path_.empty()) {
+    ::unlink(path_.c_str());
+    owns_path_ = false;
+  }
+}
+
+std::string Listener::describe() const {
+  if (tcp_) {
+    return "tcp:" + (path_.empty() ? std::string("0.0.0.0") : path_) + ":" +
+           std::to_string(port_);
+  }
+  return "unix:" + path_;
+}
+
+void Listener::prepare_accepted(int conn_fd) const {
+  if (tcp_) {
+    const int one = 1;
+    ::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+}
+
+Listener Listener::unix_socket(const std::string& path) {
+  if (path.empty()) throw std::runtime_error("serve: empty socket path");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("serve: socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve: socket: ") +
+                             std::strerror(errno));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EADDRINUSE) {
+      fail(fd, std::string("serve: bind: ") + std::strerror(errno));
+    }
+    // A stale socket file from a crashed daemon is reclaimable iff nobody
+    // answers on it; a live listener is a hard error.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    const bool live =
+        probe >= 0 && ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                                sizeof addr) == 0;
+    if (probe >= 0) ::close(probe);
+    if (live) fail(fd, "serve: '" + path + "' already has a live server");
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      fail(fd, std::string("serve: bind: ") + std::strerror(errno));
+    }
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.tcp_ = false;
+  l.owns_path_ = true;  // bound it, so teardown unlinks it
+  l.path_ = path;
+  if (::listen(fd, 128) != 0) {
+    const std::string what = std::string("serve: listen: ") +
+                             std::strerror(errno);
+    l.close();
+    throw std::runtime_error(what);
+  }
+  set_nonblocking(fd);
+  return l;
+}
+
+Listener Listener::tcp(const std::string& host_port) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::runtime_error("serve: --listen expects HOST:PORT, got '" +
+                             host_port + "'");
+  }
+  const std::string host = host_port.substr(0, colon);
+  const std::string port_str = host_port.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (port_str.empty() || end == nullptr || *end != '\0' || port > 65535) {
+    throw std::runtime_error("serve: bad port in '" + host_port + "'");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (host.empty() || host == "*" || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("serve: bad listen address '" + host +
+                             "' (IPv4 dotted quad expected)");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    fail(fd, std::string("serve: bind ") + host_port + ": " +
+                 std::strerror(errno));
+  }
+  if (::listen(fd, 128) != 0) {
+    fail(fd, std::string("serve: listen: ") + std::strerror(errno));
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.tcp_ = true;
+  l.path_ = host.empty() || host == "*" ? std::string("0.0.0.0") : host;
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    l.port_ = ntohs(bound.sin_port);
+  } else {
+    l.port_ = static_cast<std::uint16_t>(port);
+  }
+  set_nonblocking(fd);
+  return l;
+}
+
+}  // namespace pprophet::serve

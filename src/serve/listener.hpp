@@ -1,0 +1,66 @@
+// Listening-socket abstraction shared by the serve reactor: one bound,
+// nonblocking stream socket, either a unix-domain path or a TCP endpoint
+// ("host:port"). The reactor treats both identically — accept4() on
+// readiness — so every higher layer (framing, pipelining, shedding, drain)
+// is transport-agnostic by construction.
+//
+// Unix sockets keep the stale-file reclaim semantics the daemon always had:
+// a leftover socket file from a crashed process is reclaimable iff nobody
+// answers on it, while a live listener is a hard bind error. TCP listeners
+// bind with SO_REUSEADDR and report the kernel-assigned port when asked for
+// port 0 (tests and benches bind ephemeral ports that way).
+//
+// Trust note (docs/SERVE.md): the unix-socket file mode is the service's
+// access-control boundary. A TCP listener has no such boundary — bind it to
+// loopback or a single-trust-domain network only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pprophet::serve {
+
+class Listener {
+ public:
+  /// Binds + listens on a unix-domain socket at `path`, reclaiming a stale
+  /// socket file (no live listener) and refusing a live one. Throws
+  /// std::runtime_error with the same messages Server::start always used.
+  static Listener unix_socket(const std::string& path);
+
+  /// Binds + listens on "host:port" (IPv4 dotted quad or empty/'*' for any;
+  /// port 0 picks an ephemeral port, readable via port()). Throws
+  /// std::runtime_error on parse or bind failure.
+  static Listener tcp(const std::string& host_port);
+
+  Listener() = default;
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool is_tcp() const { return tcp_; }
+  /// Actual bound TCP port (meaningful for is_tcp(); resolves port 0).
+  std::uint16_t port() const { return port_; }
+  const std::string& unix_path() const { return path_; }
+  /// "unix:/run/pp.sock" or "tcp:127.0.0.1:8742" for log lines.
+  std::string describe() const;
+
+  /// Closes the fd and unlinks the unix socket file iff this listener bound
+  /// it (a bind that lost the path to a live server owns nothing).
+  void close();
+
+  /// Sets per-connection socket options on a freshly accepted fd
+  /// (TCP_NODELAY on TCP so small response frames are not Nagle-delayed).
+  void prepare_accepted(int conn_fd) const;
+
+ private:
+  int fd_ = -1;
+  bool tcp_ = false;
+  bool owns_path_ = false;
+  std::uint16_t port_ = 0;
+  std::string path_;  ///< unix path, or host string for TCP
+};
+
+}  // namespace pprophet::serve

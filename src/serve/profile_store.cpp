@@ -10,11 +10,19 @@ std::string content_key(std::string_view bytes) {
   return util::fnv64_two_lane_hex(bytes);
 }
 
+ProfileStore::ProfileStore(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {}
+
+ProfileStore::Shard& ProfileStore::shard_of(const std::string& key) const {
+  return shards_[util::fnv64(key) % shards_.size()];
+}
+
 ProfileStore::PutResult ProfileStore::put(const std::string& pptb_bytes) {
   const std::string key = content_key(pptb_bytes);
+  Shard& shard = shard_of(key);
   {
-    std::shared_lock lock(mu_);
-    if (const auto it = map_.find(key); it != map_.end()) {
+    std::shared_lock lock(shard.mu);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
       return {it->second, true};
     }
   }
@@ -32,27 +40,36 @@ ProfileStore::PutResult ProfileStore::put(const std::string& pptb_bytes) {
   entry->unpacked = std::move(unpacked);
   entry->upload_bytes = pptb_bytes.size();
 
-  std::unique_lock lock(mu_);
-  const auto [it, inserted] = map_.emplace(key, std::move(entry));
-  if (inserted) total_bytes_ += pptb_bytes.size();
+  std::unique_lock lock(shard.mu);
+  const auto [it, inserted] = shard.map.emplace(key, std::move(entry));
+  if (inserted) shard.total_bytes += pptb_bytes.size();
   return {it->second, !inserted};
 }
 
 std::shared_ptr<const ProfileStore::Entry> ProfileStore::find(
     const std::string& key) const {
-  std::shared_lock lock(mu_);
-  const auto it = map_.find(key);
-  return it == map_.end() ? nullptr : it->second;
+  const Shard& shard = shard_of(key);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second;
 }
 
 std::size_t ProfileStore::size() const {
-  std::shared_lock lock(mu_);
-  return map_.size();
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
 }
 
 std::size_t ProfileStore::total_bytes() const {
-  std::shared_lock lock(mu_);
-  return total_bytes_;
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    n += shard.total_bytes;
+  }
+  return n;
 }
 
 }  // namespace pprophet::serve

@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "tree/binary.hpp"
 #include "tree/compile.hpp"
@@ -34,6 +35,10 @@ namespace pprophet::serve {
 /// lanes). Stable across runs and platforms.
 std::string content_key(std::string_view bytes);
 
+/// Sharded by content key so concurrent uploads and lookups from the
+/// worker pool contend on shards, not on one global lock. The shard index
+/// is an FNV-1a fold of the key — stable, and independent of
+/// std::hash so the spread is the same on every platform.
 class ProfileStore {
  public:
   struct Entry {
@@ -57,6 +62,8 @@ class ProfileStore {
     bool existed = false;  ///< dedupe hit: the key was already stored
   };
 
+  explicit ProfileStore(std::size_t shards = 8);
+
   /// Parses and stores an uploaded PPTB byte string. Throws
   /// std::runtime_error on malformed bytes (nothing is stored).
   PutResult put(const std::string& pptb_bytes);
@@ -68,9 +75,15 @@ class ProfileStore {
   std::size_t total_bytes() const;  ///< sum of stored upload sizes
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const Entry>> map_;
-  std::size_t total_bytes_ = 0;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const Entry>> map;
+    std::size_t total_bytes = 0;
+  };
+
+  Shard& shard_of(const std::string& key) const;
+
+  mutable std::vector<Shard> shards_;
 };
 
 }  // namespace pprophet::serve

@@ -9,7 +9,10 @@
 namespace pprophet::serve {
 namespace {
 
-/// read() until `n` bytes or EOF; returns bytes read. Retries EINTR.
+/// read() until `n` bytes or EOF; returns bytes read. Retries EINTR. An
+/// SO_RCVTIMEO expiry (EAGAIN/EWOULDBLOCK on a blocking socket) means the
+/// peer wedged mid-frame — reported as the distinct ProtocolTimeout, not a
+/// generic "Resource temporarily unavailable" I/O error.
 std::size_t read_exact(int fd, char* buf, std::size_t n) {
   std::size_t got = 0;
   while (got < n) {
@@ -17,6 +20,11 @@ std::size_t read_exact(int fd, char* buf, std::size_t n) {
     if (r == 0) break;
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw ProtocolTimeout("read timed out mid-frame (" +
+                              std::to_string(got) + "/" + std::to_string(n) +
+                              " bytes)");
+      }
       throw ProtocolError(std::string("read: ") + std::strerror(errno));
     }
     got += static_cast<std::size_t>(r);
@@ -32,6 +40,12 @@ void write_all(int fd, const char* buf, std::size_t n) {
     const ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expiry: the peer stopped draining mid-frame.
+        throw ProtocolTimeout("write timed out mid-frame (" +
+                              std::to_string(sent) + "/" + std::to_string(n) +
+                              " bytes)");
+      }
       throw ProtocolError(std::string("write: ") + std::strerror(errno));
     }
     sent += static_cast<std::size_t>(w);
@@ -78,6 +92,75 @@ void write_frame(int fd, std::string_view payload) {
       static_cast<unsigned char>((len >> 24) & 0xFF)};
   write_all(fd, reinterpret_cast<const char*>(header), sizeof header);
   write_all(fd, payload.data(), payload.size());
+}
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame too large to send");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t i = 0;
+  while (i < n) {
+    if (!started_) {
+      started_ = true;
+      start_ = now;
+      timing_ = FrameTiming{};
+      timing_.start = now;
+    }
+    if (!have_len_) {
+      while (header_got_ < 4 && i < n) {
+        header_[header_got_++] = static_cast<unsigned char>(data[i++]);
+      }
+      if (header_got_ < 4) return;  // header still incomplete
+      body_len_ = static_cast<std::uint32_t>(header_[0]) |
+                  (static_cast<std::uint32_t>(header_[1]) << 8) |
+                  (static_cast<std::uint32_t>(header_[2]) << 16) |
+                  (static_cast<std::uint32_t>(header_[3]) << 24);
+      if (body_len_ > max_frame_) {
+        throw ProtocolError("frame of " + std::to_string(body_len_) +
+                            " bytes exceeds limit");
+      }
+      have_len_ = true;
+      timing_.header_read = now;
+      body_.clear();
+      body_.reserve(body_len_);
+    }
+    const std::size_t take =
+        std::min<std::size_t>(body_len_ - body_.size(), n - i);
+    body_.append(data + i, take);
+    i += take;
+    if (body_.size() == body_len_) {
+      timing_.complete = now;
+      ready_.push_back({std::move(body_), timing_, start_});
+      body_ = std::string();
+      started_ = false;
+      have_len_ = false;
+      header_got_ = 0;
+      body_len_ = 0;
+    } else {
+      return;  // body incomplete; wait for more bytes
+    }
+  }
+}
+
+bool FrameDecoder::next(std::string& payload, FrameTiming* timing) {
+  if (ready_.empty()) return false;
+  payload = std::move(ready_.front().payload);
+  if (timing != nullptr) *timing = ready_.front().timing;
+  ready_.pop_front();
+  return true;
 }
 
 std::string base64_encode(std::string_view bytes) {

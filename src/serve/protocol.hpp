@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 
@@ -50,9 +51,23 @@ class ProtocolError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A socket timeout (SO_RCVTIMEO / SO_SNDTIMEO) expired mid-frame: the peer
+/// stopped making progress halfway through a length-prefixed exchange.
+/// Distinct from ProtocolError so callers can count wedged-peer drops
+/// separately from malformed traffic (the serve path logs these at the
+/// slow-request severity under serve.io_timeouts).
+class ProtocolTimeout : public ProtocolError {
+ public:
+  using ProtocolError::ProtocolError;
+};
+
 /// Stage marks of one frame read, for the serve-path RequestTrace
 /// (header-read vs body-read split in the per-stage latency histograms).
 struct FrameTiming {
+  /// First byte of the frame consumed. Stamped by FrameDecoder (feed time);
+  /// the fd-oriented read_frame leaves it default — its callers stamp
+  /// read_start themselves before blocking.
+  std::chrono::steady_clock::time_point start{};
   std::chrono::steady_clock::time_point header_read{};  ///< prefix complete
   std::chrono::steady_clock::time_point complete{};     ///< payload complete
 };
@@ -65,6 +80,64 @@ bool read_frame(int fd, std::string& payload, FrameTiming* timing = nullptr);
 
 /// Writes one frame. Throws ProtocolError on error (including EPIPE).
 void write_frame(int fd, std::string_view payload);
+
+/// Renders one frame (header + payload) into a byte string, for the
+/// buffer-oriented reactor write path. Throws ProtocolError on oversize.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame assembler for nonblocking sockets: feed() raw bytes as
+/// they arrive, then next() extracts complete frames — zero, one, or many
+/// per feed, which is exactly what request pipelining over one connection
+/// produces. The wire format is identical to read_frame/write_frame.
+///
+/// Oversize length prefixes throw from feed() the moment the 4 header bytes
+/// are complete, before any payload allocation. Timing marks are stamped at
+/// feed() time (when the bytes actually arrived), so a frame assembled
+/// across many reads reports its true wire residency.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_(max_frame_bytes) {}
+
+  /// Appends bytes off the wire and advances the header/payload state
+  /// machine. Throws ProtocolError when a completed header announces a
+  /// frame larger than the limit.
+  void feed(const char* data, std::size_t n);
+
+  /// Moves the next complete frame's payload into `payload`; false when
+  /// more bytes are needed. `timing`, when non-null, receives the feed-time
+  /// stamps of that frame (start / header complete / payload complete).
+  bool next(std::string& payload, FrameTiming* timing = nullptr);
+
+  /// True while a frame is partially assembled — the mid-frame-stall state
+  /// the reactor's I/O timeout applies to (idle *between* frames is fine).
+  bool mid_frame() const { return started_; }
+
+  /// When mid_frame(): the time the current frame's first byte arrived.
+  std::chrono::steady_clock::time_point frame_start() const { return start_; }
+
+  /// Complete frames extractable right now (pipelined backlog depth).
+  std::size_t ready_frames() const { return ready_.size(); }
+
+ private:
+  struct ReadyFrame {
+    std::string payload;
+    FrameTiming timing;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  std::uint32_t max_frame_ = kMaxFrameBytes;
+  std::deque<ReadyFrame> ready_;  ///< complete frames awaiting next()
+  // In-progress frame state:
+  unsigned char header_[4] = {0, 0, 0, 0};
+  std::size_t header_got_ = 0;
+  std::string body_;
+  std::uint32_t body_len_ = 0;
+  bool started_ = false;   ///< current frame has >= 1 byte consumed
+  bool have_len_ = false;  ///< 4-byte header complete (body_len_ valid)
+  std::chrono::steady_clock::time_point start_{};
+  FrameTiming timing_{};
+};
 
 std::string base64_encode(std::string_view bytes);
 /// Strict decoder (no whitespace, correct padding); throws ProtocolError.

@@ -1,0 +1,494 @@
+#include "serve/reactor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pprophet::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// epoll_event.data.u64 tags: fixed fds first, connections by id above that.
+constexpr std::uint64_t kTagWake = 0;
+constexpr std::uint64_t kTagShutdown = 1;
+constexpr std::uint64_t kTagListenerBase = 2;
+constexpr std::uint64_t kTagConnBase = 1ull << 32;
+
+bool is_unset(Clock::time_point t) { return t.time_since_epoch().count() == 0; }
+
+}  // namespace
+
+Reactor::Reactor(std::vector<Listener> listeners, ReactorConfig config,
+                 Hooks hooks)
+    : listeners_(std::move(listeners)),
+      config_(std::move(config)),
+      hooks_(std::move(hooks)) {}
+
+Reactor::~Reactor() {
+  if (thread_.joinable()) {
+    begin_drain();
+    thread_.join();
+  }
+  for (auto& [id, c] : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void Reactor::start() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("serve: epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) throw std::runtime_error("serve: eventfd failed");
+
+  const auto add = [&](int fd, std::uint64_t tag) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = tag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      throw std::runtime_error("serve: epoll_ctl add failed");
+    }
+  };
+  add(wake_fd_, kTagWake);
+  if (config_.shutdown_fd >= 0) add(config_.shutdown_fd, kTagShutdown);
+  for (std::size_t i = 0; i < listeners_.size(); ++i) {
+    add(listeners_[i].fd(), kTagListenerBase + i);
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void Reactor::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Reactor::join() {
+  if (thread_.joinable()) thread_.join();
+  for (Listener& l : listeners_) l.close();
+}
+
+void Reactor::wake() {
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t r = ::write(wake_fd_, &one, sizeof one);
+  }
+}
+
+void Reactor::respond(std::uint64_t conn, std::uint64_t seq, std::string wire,
+                      std::unique_ptr<RequestTrace> trace) {
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    completions_.push_back(
+        Completion{conn, seq, std::move(wire), std::move(trace)});
+  }
+  wake();
+}
+
+void Reactor::run() {
+  std::vector<epoll_event> events(128);
+  rdbuf_.resize(256u << 10);
+
+  for (;;) {
+    if (draining_.load(std::memory_order_acquire) && !drain_entered_) {
+      enter_drain();
+    }
+    // Bury tombstones before the exit check and before blocking: a doomed
+    // connection generates no further epoll events, so deferring the erase
+    // past epoll_wait would leave the drain waiting on a wakeup that never
+    // comes once the last connection has been dropped.
+    for (const std::uint64_t id : doomed_) conns_.erase(id);
+    doomed_.clear();
+    if (drain_entered_ && conns_.empty()) break;
+
+    Clock::time_point now = Clock::now();
+    if (!accept_armed_ && !drain_entered_ && now >= accept_retry_at_) {
+      // Backoff elapsed: re-arm the level-triggered listen fds; any backlog
+      // that piled up during the outage is reported immediately.
+      for (std::size_t i = 0; i < listeners_.size(); ++i) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = kTagListenerBase + i;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listeners_[i].fd(), &ev);
+      }
+      accept_armed_ = true;
+    }
+
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()),
+                               next_timeout_ms(now));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself failed; nothing sane left to do
+    }
+
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      const std::uint32_t ev = events[i].events;
+      if (tag == kTagWake) {
+        std::uint64_t junk = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &junk, sizeof junk);
+        continue;  // completions + drain flag are handled below / next loop
+      }
+      if (tag == kTagShutdown) {
+        char buf[64];
+        [[maybe_unused]] const ssize_t r =
+            ::read(config_.shutdown_fd, buf, sizeof buf);
+        draining_.store(true, std::memory_order_release);
+        continue;
+      }
+      if (tag >= kTagListenerBase && tag < kTagConnBase) {
+        handle_accept(static_cast<std::size_t>(tag - kTagListenerBase));
+        continue;
+      }
+      const auto it = conns_.find(tag - kTagConnBase);
+      if (it == conns_.end() || it->second->dead) continue;
+      Connection& c = *it->second;
+      if ((ev & EPOLLIN) != 0) {
+        handle_readable(c);
+      }
+      if (!c.dead && (ev & EPOLLOUT) != 0) {
+        handle_writable(c);
+      }
+      if (!c.dead && (ev & EPOLLERR) != 0) {
+        drop_connection(c, true);
+      } else if (!c.dead && (ev & EPOLLHUP) != 0 &&
+                 (c.read_closed || c.read_paused)) {
+        // Peer fully closed and we are not reading this fd anymore: no one
+        // will ever drain our responses, and a level-triggered HUP with an
+        // empty interest mask would spin otherwise.
+        drop_connection(c, true);
+      }
+    }
+
+    drain_completions();
+    check_deadlines(Clock::now());
+  }
+}
+
+void Reactor::handle_accept(std::size_t listener_idx) {
+  if (drain_entered_ || !accept_armed_) return;
+  const Listener& l = listeners_[listener_idx];
+  for (;;) {
+    const int fd = ::accept4(l.fd(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // backlog drained
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Transient resource exhaustion (EMFILE, ENFILE, ENOBUFS, ENOMEM) or
+      // anything else unexpected: never stop accepting permanently. Count
+      // it, unhook the listen fds, and retry after a short backoff — the
+      // level-triggered epoll re-reports the pending backlog on re-arm.
+      hooks_.on_event(TransportEvent::AcceptError, 0);
+      for (const Listener& each : listeners_) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, each.fd(), nullptr);
+      }
+      accept_armed_ = false;
+      accept_retry_at_ =
+          Clock::now() + std::chrono::milliseconds(config_.accept_backoff_ms);
+      return;
+    }
+    l.prepare_accepted(fd);
+    const std::uint64_t id = ++conn_seq_;
+    auto conn = std::make_unique<Connection>(config_.max_frame_bytes);
+    conn->fd = fd;
+    conn->id = id;
+    conn->epoll_events = EPOLLIN;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagConnBase + id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      hooks_.on_event(TransportEvent::AcceptError, 0);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    hooks_.on_open(id);
+  }
+}
+
+void Reactor::handle_readable(Connection& c) {
+  if (c.dead || c.fd < 0 || c.read_closed || c.read_paused) return;
+  // One read pass per wakeup; level-triggered epoll re-reports anything
+  // left in the socket buffer.
+  const ssize_t r = ::recv(c.fd, rdbuf_.data(), rdbuf_.size(), 0);
+  if (r == 0) {
+    c.read_closed = true;  // EOF; a mid-frame truncation is dropped
+    update_interest(c);
+    maybe_finish_connection(c);
+    return;
+  }
+  if (r < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      drop_connection(c, true);
+    }
+    return;
+  }
+  try {
+    c.decoder.feed(rdbuf_.data(), static_cast<std::size_t>(r));
+  } catch (const serve::ProtocolError&) {
+    hooks_.on_event(TransportEvent::ProtocolError, c.id);
+    drop_connection(c, true);
+    return;
+  }
+  deliver_frames(c);
+  if (c.dead) return;
+  c.read_deadline = c.decoder.mid_frame() && config_.io_timeout_ms > 0
+                        ? Clock::now() + std::chrono::milliseconds(
+                                             config_.io_timeout_ms)
+                        : Clock::time_point{};
+  update_interest(c);
+  maybe_finish_connection(c);
+}
+
+void Reactor::deliver_frames(Connection& c) {
+  std::string payload;
+  FrameTiming timing;
+  while (!c.read_closed && c.decoder.next(payload, &timing)) {
+    if (drain_entered_) {
+      if (c.drain_frames_left <= 0) {
+        c.read_closed = true;  // drain cap: stop servicing this connection
+        break;
+      }
+      --c.drain_frames_left;
+    }
+    auto trace = std::make_unique<RequestTrace>();
+    trace->conn_id = c.id;
+    trace->read_start = timing.start;
+    trace->header_read = timing.header_read;
+    trace->read_end = timing.complete;
+    trace->bytes_in = payload.size();
+    InboundFrame frame;
+    frame.conn = c.id;
+    frame.seq = c.next_seq++;
+    frame.draining = drain_entered_;
+    frame.payload = std::move(payload);
+    frame.trace = std::move(trace);
+    c.slots.emplace_back();
+    ++c.unresponded;
+    hooks_.on_frame(std::move(frame));
+  }
+}
+
+void Reactor::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& done : batch) apply_completion(std::move(done));
+}
+
+void Reactor::apply_completion(Completion&& done) {
+  const auto finish_stray = [&](std::unique_ptr<RequestTrace>& trace) {
+    // The connection is gone; the response is dropped but the request still
+    // happened — stamp a zero-length write so the stage totals reconcile.
+    if (trace != nullptr) {
+      const Clock::time_point now = Clock::now();
+      trace->write_start = now;
+      trace->write_end = now;
+      hooks_.on_done(*trace);
+    }
+  };
+
+  const auto it = conns_.find(done.conn);
+  if (it == conns_.end()) {
+    finish_stray(done.trace);
+    return;
+  }
+  Connection& c = *it->second;
+  if (c.unresponded > 0) --c.unresponded;
+  if (c.dead) {
+    finish_stray(done.trace);
+    if (c.unresponded == 0) doomed_.push_back(c.id);
+    return;
+  }
+  const std::size_t idx = static_cast<std::size_t>(done.seq - c.base_seq);
+  if (idx >= c.slots.size()) {
+    finish_stray(done.trace);  // defensive: unknown seq
+    return;
+  }
+  Slot& slot = c.slots[idx];
+  slot.ready = true;
+  slot.wire = std::move(done.wire);
+  slot.trace = std::move(done.trace);
+  flush_ready(c);
+  if (!c.dead) try_write(c);
+  if (!c.dead) {
+    update_interest(c);
+    maybe_finish_connection(c);
+  }
+}
+
+void Reactor::flush_ready(Connection& c) {
+  // Pipelining contract: the n-th response answers the n-th request. A
+  // ready response behind an unfinished one waits in its slot.
+  const Clock::time_point now = Clock::now();
+  while (!c.slots.empty() && c.slots.front().ready) {
+    Slot slot = std::move(c.slots.front());
+    c.slots.pop_front();
+    ++c.base_seq;
+    if (slot.trace != nullptr) {
+      slot.trace->write_start = now;
+      slot.trace->bytes_out = slot.wire.size();
+    }
+    const std::string framed = encode_frame(slot.wire);
+    c.wbuf.append(framed);
+    c.wbuf_queued += framed.size();
+    c.flushes.push_back(PendingFlush{c.wbuf_queued, std::move(slot.trace)});
+  }
+}
+
+void Reactor::try_write(Connection& c) {
+  while (!c.wbuf.empty()) {
+    const ssize_t w =
+        ::send(c.fd, c.wbuf.data(), c.wbuf.size(), MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      drop_connection(c, true);  // peer vanished mid-response
+      return;
+    }
+    c.wbuf_flushed += static_cast<std::uint64_t>(w);
+    c.wbuf.erase(0, static_cast<std::size_t>(w));
+  }
+  const Clock::time_point now = Clock::now();
+  while (!c.flushes.empty() && c.flushes.front().end_offset <= c.wbuf_flushed) {
+    PendingFlush f = std::move(c.flushes.front());
+    c.flushes.pop_front();
+    if (f.trace != nullptr) {
+      f.trace->write_end = now;
+      hooks_.on_done(*f.trace);
+    }
+  }
+  c.write_deadline = !c.wbuf.empty() && config_.io_timeout_ms > 0
+                         ? now + std::chrono::milliseconds(config_.io_timeout_ms)
+                         : Clock::time_point{};
+}
+
+void Reactor::handle_writable(Connection& c) {
+  try_write(c);
+  if (!c.dead) {
+    update_interest(c);
+    maybe_finish_connection(c);
+  }
+}
+
+void Reactor::update_interest(Connection& c) {
+  if (c.dead || c.fd < 0) return;
+  if (!c.read_paused && c.wbuf.size() > config_.write_buffer_cap) {
+    c.read_paused = true;  // stop admitting pipelined frames until drained
+  } else if (c.read_paused && c.wbuf.size() <= config_.write_buffer_cap / 2) {
+    c.read_paused = false;
+  }
+  std::uint32_t want = 0;
+  if (!c.read_closed && !c.read_paused) want |= EPOLLIN;
+  if (!c.wbuf.empty()) want |= EPOLLOUT;
+  if (want != c.epoll_events) {
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = kTagConnBase + c.id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+    c.epoll_events = want;
+  }
+}
+
+void Reactor::drop_connection(Connection& c, bool flush_traces_now) {
+  if (c.dead) return;
+  if (c.fd >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  c.dead = true;
+  if (flush_traces_now) {
+    const Clock::time_point now = Clock::now();
+    const auto finish = [&](std::unique_ptr<RequestTrace>& trace,
+                            bool stamp_start) {
+      if (trace != nullptr) {
+        if (stamp_start) trace->write_start = now;
+        trace->write_end = now;
+        hooks_.on_done(*trace);
+      }
+    };
+    for (PendingFlush& f : c.flushes) finish(f.trace, false);
+    c.flushes.clear();
+    for (Slot& s : c.slots) {
+      if (s.ready) finish(s.trace, true);
+    }
+  }
+  c.slots.clear();
+  c.wbuf.clear();
+  // Frames still out with the handler/workers respond() later; the entry
+  // lingers as a tombstone until the last one lands.
+  if (c.unresponded == 0) doomed_.push_back(c.id);
+}
+
+void Reactor::maybe_finish_connection(Connection& c) {
+  if (c.dead) return;
+  if (!c.slots.empty() || !c.wbuf.empty()) return;
+  // Everything asked has been answered and flushed. Keep serving an open
+  // connection in steady state; close it at EOF or once the drain began
+  // (the drain's per-connection frame cap has its own read_closed path).
+  if (c.read_closed || drain_entered_) {
+    drop_connection(c, true);
+  }
+}
+
+void Reactor::enter_drain() {
+  drain_entered_ = true;
+  if (accept_armed_) {
+    for (const Listener& l : listeners_) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, l.fd(), nullptr);
+    }
+    accept_armed_ = false;
+  }
+  for (auto& [id, c] : conns_) {
+    c->drain_frames_left = config_.drain_frame_cap;
+    maybe_finish_connection(*c);
+  }
+}
+
+void Reactor::check_deadlines(Clock::time_point now) {
+  if (config_.io_timeout_ms == 0) return;
+  for (auto& [id, c] : conns_) {
+    if (c->dead) continue;
+    const bool read_stalled =
+        !is_unset(c->read_deadline) && now >= c->read_deadline;
+    const bool write_stalled =
+        !is_unset(c->write_deadline) && now >= c->write_deadline;
+    if (read_stalled || write_stalled) {
+      hooks_.on_event(TransportEvent::IoTimeout, c->id);
+      drop_connection(*c, true);
+    }
+  }
+}
+
+int Reactor::next_timeout_ms(Clock::time_point now) const {
+  Clock::time_point next{};
+  const auto consider = [&](Clock::time_point t) {
+    if (is_unset(t)) return;
+    if (is_unset(next) || t < next) next = t;
+  };
+  if (!accept_armed_ && !drain_entered_) consider(accept_retry_at_);
+  for (const auto& [id, c] : conns_) {
+    if (c->dead) continue;
+    consider(c->read_deadline);
+    consider(c->write_deadline);
+  }
+  if (is_unset(next)) return -1;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next - now)
+          .count();
+  return ms <= 0 ? 0 : static_cast<int>(std::min<long long>(ms, 60'000));
+}
+
+}  // namespace pprophet::serve

@@ -1,0 +1,203 @@
+// Event-driven transport core of the serve daemon: one epoll thread owns
+// every listening socket and every accepted connection. Accepted fds are
+// nonblocking; frames are assembled incrementally per connection
+// (protocol.hpp FrameDecoder), so a client may pipeline any number of
+// requests on one connection — the reactor guarantees responses flush in
+// request order. Compute never runs on the event thread: the handler
+// (Server) dispatches queued ops to its worker pool and calls respond()
+// from any thread when the result is ready.
+//
+// Replaces the thread-per-connection model: connection count no longer
+// costs a thread apiece, and a wedged peer costs a buffer, not a stack.
+//
+// Liveness rules:
+//  * accept() failures never stop the accept path. Transient fd exhaustion
+//    (EMFILE/ENFILE/ENOBUFS/ENOMEM) backs off briefly and retries; the
+//    level-triggered listen fd re-arms itself once fds free up. Every
+//    failure bumps the accept_error transport event.
+//  * A connection that stalls mid-frame (reading) or stops draining its
+//    responses (writing) for io_timeout_ms is dropped and counted as an
+//    io_timeout — idle *between* frames is always fine.
+//  * A connection whose outbound buffer exceeds write_buffer_cap stops
+//    being read until the peer drains it (pipelining backpressure).
+//
+// Shutdown (begin_drain, thread-safe): stop accepting; in-flight requests
+// run to completion and their responses flush; each connection may submit
+// up to drain_frame_cap more frames (the handler sees them with
+// draining=true and answers shutting_down / live ping / live stats); a
+// connection closes once its pending responses are flushed. The loop exits
+// when the last connection is gone.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/listener.hpp"
+#include "serve/protocol.hpp"
+#include "serve/request_trace.hpp"
+
+namespace pprophet::serve {
+
+struct ReactorConfig {
+  /// Drop a connection that makes no read progress mid-frame, or no write
+  /// progress with responses buffered, for this long. 0 disables.
+  std::uint64_t io_timeout_ms = 1000;
+  /// Pause reading a connection whose outbound buffer exceeds this.
+  std::size_t write_buffer_cap = 4u << 20;
+  /// Backoff before re-arming accept after transient fd exhaustion.
+  std::uint64_t accept_backoff_ms = 20;
+  /// Frames a connection may still submit after the drain began.
+  int drain_frame_cap = 16;
+  /// Readable fd that triggers begin_drain() when written to (the server's
+  /// signal-safe shutdown self-pipe). -1 = none.
+  int shutdown_fd = -1;
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// Transport-level incidents surfaced to the handler for counting/logging.
+enum class TransportEvent : std::uint8_t {
+  AcceptError,    ///< accept() failed (fd exhaustion etc.); retried
+  IoTimeout,      ///< connection dropped: wedged mid-frame or not draining
+  ProtocolError,  ///< connection dropped: oversize/garbled framing
+};
+
+/// One fully-received request frame, delivered to Hooks::on_frame on the
+/// reactor thread. The handler must eventually call Reactor::respond() with
+/// the same (conn, seq) exactly once — from any thread.
+struct InboundFrame {
+  std::uint64_t conn = 0;
+  std::uint64_t seq = 0;   ///< per-connection order; responses flush by seq
+  bool draining = false;   ///< arrived after the drain began
+  std::string payload;
+  /// Read-stage marks stamped; ownership passes to the handler and returns
+  /// through respond() so the write stage can be stamped at flush time.
+  std::unique_ptr<RequestTrace> trace;
+};
+
+class Reactor {
+ public:
+  struct Hooks {
+    std::function<void(InboundFrame)> on_frame;
+    /// Response flushed (or dropped with its connection): final trace.
+    std::function<void(const RequestTrace&)> on_done;
+    /// New connection accepted.
+    std::function<void(std::uint64_t conn)> on_open;
+    std::function<void(TransportEvent, std::uint64_t conn)> on_event;
+  };
+
+  Reactor(std::vector<Listener> listeners, ReactorConfig config, Hooks hooks);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Spawns the event-loop thread. Throws on epoll/eventfd setup failure.
+  void start();
+
+  /// Thread-safe, idempotent: stop accepting and drain (see file header).
+  void begin_drain();
+
+  /// Joins the event loop (drain must have been requested). After join()
+  /// the listeners are closed (unix paths owned by them are unlinked).
+  void join();
+
+  /// Thread-safe: queue `wire` (a complete JSON payload, not yet framed) as
+  /// the response to (conn, seq). `trace` gets its write marks stamped when
+  /// the bytes actually flush; pass the trace received in the InboundFrame.
+  void respond(std::uint64_t conn, std::uint64_t seq, std::string wire,
+               std::unique_ptr<RequestTrace> trace);
+
+  const std::vector<Listener>& listeners() const { return listeners_; }
+
+ private:
+  struct Slot {
+    bool ready = false;
+    std::string wire;
+    std::unique_ptr<RequestTrace> trace;
+  };
+
+  /// A response whose bytes sit in the write buffer: when `end_offset`
+  /// bytes (cumulative) have flushed, the response is on the wire.
+  struct PendingFlush {
+    std::uint64_t end_offset = 0;
+    std::unique_ptr<RequestTrace> trace;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    FrameDecoder decoder;
+    std::deque<Slot> slots;     ///< responses awaited, in request order
+    std::uint64_t base_seq = 0; ///< seq of slots.front()
+    std::uint64_t next_seq = 0; ///< seq for the next inbound frame
+    std::size_t unresponded = 0;  ///< frames delivered, respond() not seen
+    std::string wbuf;
+    std::uint64_t wbuf_flushed = 0;  ///< cumulative bytes sent
+    std::uint64_t wbuf_queued = 0;   ///< cumulative bytes appended
+    std::deque<PendingFlush> flushes;
+    bool read_closed = false;  ///< EOF seen or drain cap exhausted
+    bool read_paused = false;  ///< backpressure: wbuf over cap
+    bool dead = false;         ///< fd closed; waiting for respond() strays
+    int drain_frames_left = 0;
+    std::uint32_t epoll_events = 0;  ///< currently registered interest
+    std::chrono::steady_clock::time_point read_deadline{};
+    std::chrono::steady_clock::time_point write_deadline{};
+
+    explicit Connection(std::uint32_t max_frame) : decoder(max_frame) {}
+  };
+
+  struct Completion {
+    std::uint64_t conn = 0;
+    std::uint64_t seq = 0;
+    std::string wire;
+    std::unique_ptr<RequestTrace> trace;
+  };
+
+  void run();
+  void handle_accept(std::size_t listener_idx);
+  void handle_readable(Connection& c);
+  void handle_writable(Connection& c);
+  void deliver_frames(Connection& c);
+  void drain_completions();
+  void apply_completion(Completion&& done);
+  void flush_ready(Connection& c);
+  void try_write(Connection& c);
+  void update_interest(Connection& c);
+  void drop_connection(Connection& c, bool flush_traces_now);
+  void maybe_finish_connection(Connection& c);
+  void enter_drain();
+  void check_deadlines(std::chrono::steady_clock::time_point now);
+  int next_timeout_ms(std::chrono::steady_clock::time_point now) const;
+  void wake();
+
+  std::vector<Listener> listeners_;
+  ReactorConfig config_;
+  Hooks hooks_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> draining_{false};
+  bool drain_entered_ = false;
+  bool accept_armed_ = true;
+  std::chrono::steady_clock::time_point accept_retry_at_{};
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t conn_seq_ = 0;
+  std::vector<std::uint64_t> doomed_;  ///< conn ids to erase after dispatch
+  std::vector<char> rdbuf_;            ///< event-thread-only read scratch
+
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace pprophet::serve

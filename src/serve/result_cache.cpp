@@ -1,6 +1,6 @@
 #include "serve/result_cache.hpp"
 
-#include <functional>
+#include "util/fnv.hpp"
 
 namespace pprophet::serve {
 namespace {
@@ -21,7 +21,10 @@ ResultCache::ResultCache(std::size_t capacity_bytes, std::size_t shards) {
 }
 
 ResultCache::Shard& ResultCache::shard_of(const std::string& key) {
-  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  // FNV-1a over the full key (digest|op|canonical grid): stable across
+  // platforms — unlike std::hash — and spreads even single-tree workloads,
+  // whose keys share a long digest prefix, across all shards.
+  return *shards_[util::fnv64(key) % shards_.size()];
 }
 
 std::optional<std::string> ResultCache::get(const std::string& key) {

@@ -7,10 +7,6 @@
 #include <cstring>
 #include <stdexcept>
 
-#include <fcntl.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "core/machine_sweep.hpp"
@@ -297,6 +293,20 @@ const char* op_kind(const std::string& op) {
   return "other";
 }
 
+/// Load-shedding classification: ops that can hold a worker for a long
+/// stretch (grid sweeps, recommendation scans, the debug sleep — and any
+/// grid op that asks for the memory-model or machine-preset paths, which
+/// re-expand and annotate the tree) shed at the queue's high watermark;
+/// cheap ops keep being admitted until the queue is actually full.
+bool is_expensive_op(const std::string& op, const JsonValue& request) {
+  if (op == "sweep" || op == "recommend" || op == "sleep") return true;
+  if (request.find("machines") != nullptr) return true;
+  if (const JsonValue* v = request.find("memory_model")) {
+    return v->is_bool() && v->as_bool();
+  }
+  return false;
+}
+
 // One armed server for signal-driven shutdown (see arm_signal_shutdown).
 std::atomic<int> g_signal_shutdown_fd{-1};
 std::vector<int> g_armed_signals;
@@ -313,6 +323,7 @@ void signal_shutdown_handler(int) {
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
+      store_(config_.store_shards),
       h_read_(metrics_.histogram("serve.read_us")),
       h_queue_wait_(metrics_.histogram("serve.queue_wait_us")),
       h_compute_(metrics_.histogram("serve.compute_us")),
@@ -335,66 +346,46 @@ Server::~Server() {
 
 void Server::start() {
   if (started_.exchange(true)) throw std::runtime_error("serve: already started");
-  if (config_.socket_path.empty()) {
+  if (config_.socket_path.empty() && config_.listen_tcp.empty()) {
     throw std::runtime_error("serve: empty socket path");
   }
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (config_.socket_path.size() >= sizeof addr.sun_path) {
-    throw std::runtime_error("serve: socket path too long: " +
-                             config_.socket_path);
+  std::vector<Listener> listeners;
+  if (!config_.socket_path.empty()) {
+    listeners.push_back(Listener::unix_socket(config_.socket_path));
   }
-  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
-               sizeof addr.sun_path - 1);
+  if (!config_.listen_tcp.empty()) {
+    listeners.push_back(Listener::tcp(config_.listen_tcp));
+    tcp_port_ = listeners.back().port();
+  }
+  endpoints_.clear();
+  for (const Listener& l : listeners) endpoints_.push_back(l.describe());
 
   if (::pipe(shutdown_pipe_) != 0) {
     throw std::runtime_error(std::string("serve: pipe: ") + std::strerror(errno));
   }
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("serve: socket: ") + std::strerror(errno));
-  }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0) {
-    if (errno == EADDRINUSE) {
-      // A stale socket file from a crashed daemon is reclaimable iff nobody
-      // answers on it; a live listener is a hard error.
-      const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-      const bool live =
-          probe >= 0 && ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
-                                  sizeof addr) == 0;
-      if (probe >= 0) ::close(probe);
-      if (live) {
-        close_quiet(listen_fd_);
-        throw std::runtime_error("serve: '" + config_.socket_path +
-                                 "' already has a live server");
-      }
-      ::unlink(config_.socket_path.c_str());
-      if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-                 sizeof addr) != 0) {
-        close_quiet(listen_fd_);
-        throw std::runtime_error(std::string("serve: bind: ") +
-                                 std::strerror(errno));
-      }
-    } else {
-      close_quiet(listen_fd_);
-      throw std::runtime_error(std::string("serve: bind: ") +
-                               std::strerror(errno));
-    }
-  }
-  owns_socket_.store(true);
-  if (::listen(listen_fd_, 64) != 0) {
-    close_quiet(listen_fd_);
-    throw std::runtime_error(std::string("serve: listen: ") + std::strerror(errno));
-  }
+  ReactorConfig rc;
+  rc.io_timeout_ms = config_.io_timeout_ms;
+  rc.shutdown_fd = shutdown_pipe_[0];
+  Reactor::Hooks hooks;
+  hooks.on_frame = [this](InboundFrame frame) { on_frame(std::move(frame)); };
+  hooks.on_done = [this](const RequestTrace& trace) { finish_trace(trace); };
+  hooks.on_open = [this](std::uint64_t) {
+    connections_total_.add(1);
+    metrics_.counter("serve.connections").add(1);
+  };
+  hooks.on_event = [this](TransportEvent event, std::uint64_t conn) {
+    on_transport_event(event, conn);
+  };
+  reactor_ = std::make_unique<Reactor>(std::move(listeners), rc,
+                                       std::move(hooks));
 
   workers_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  reactor_->start();
 }
 
 void Server::request_shutdown() {
@@ -404,22 +395,22 @@ void Server::request_shutdown() {
     queue_closed_ = true;
   }
   queue_cv_.notify_all();
-  if (shutdown_pipe_[1] >= 0) {
-    const char byte = 's';
-    [[maybe_unused]] const ssize_t r = ::write(shutdown_pipe_[1], &byte, 1);
-  }
+  if (reactor_ != nullptr) reactor_->begin_drain();
 }
 
 void Server::wait() {
   if (!started_.load() || stopped_.load()) return;
-  if (accept_thread_.joinable()) accept_thread_.join();
-  reap_connections(/*join_all=*/true);
+  // The reactor exits once the drain finishes: it keeps dispatching queued
+  // jobs' responses while the workers run them down, so join order is
+  // reactor first (it needs live workers), workers second.
+  if (reactor_ != nullptr) reactor_->join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
   for (std::thread& th : workers_) {
     if (th.joinable()) th.join();
-  }
-  close_quiet(listen_fd_);
-  if (owns_socket_.load() && !config_.socket_path.empty()) {
-    ::unlink(config_.socket_path.c_str());
   }
   stopped_.store(true);
 }
@@ -429,73 +420,45 @@ void Server::stop() {
   wait();
 }
 
-void Server::reap_connections(bool join_all) {
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if (join_all || (*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->th.joinable()) (*it)->th.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
+void Server::on_transport_event(TransportEvent event, std::uint64_t conn) {
+  switch (event) {
+    case TransportEvent::AcceptError:
+      accept_errors_.add(1);
+      metrics_.counter("serve.accept_errors").add(1);
+      break;
+    case TransportEvent::IoTimeout: {
+      io_timeouts_.add(1);
+      metrics_.counter("serve.io_timeouts").add(1);
+      obs::EventLog* log = config_.event_log != nullptr
+                               ? config_.event_log
+                               : obs::EventLog::current();
+      if (log != nullptr) {
+        // Warn records bypass sampling, like slow requests: a wedged peer
+        // mid-frame is exactly the thing an operator greps the log for.
+        obs::LogRecord rec("io_timeout");
+        rec.u64("conn", conn).u64("timeout_ms", config_.io_timeout_ms);
+        log->write(obs::Severity::Warn, rec,
+                   config_.io_timeout_ms * 1000);
+      }
+      break;
     }
+    case TransportEvent::ProtocolError:
+      metrics_.counter("serve.protocol_errors").add(1);
+      break;
   }
 }
 
-void Server::accept_loop() {
-  for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {shutdown_pipe_[0], POLLIN, 0}};
-    const int r = ::poll(fds, 2, -1);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) {
-      request_shutdown();  // byte on the pipe (e.g. from a signal handler)
-      break;
-    }
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
-    }
-    // Bound mid-frame stalls so a wedged client cannot hold up the drain;
-    // idle-between-frames clients are handled by the poll() in
-    // connection_loop, not this timeout.
-    timeval rcv_timeout{};
-    rcv_timeout.tv_sec = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout, sizeof rcv_timeout);
-    // Bound blocking sends the same way: a client that submits requests but
-    // never reads its responses would otherwise park the connection thread
-    // in send() forever and hang the graceful drain. The timeout is
-    // per-send-call no-progress, so a reader draining at any rate is fine.
-    timeval snd_timeout{};
-    snd_timeout.tv_sec = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd_timeout, sizeof snd_timeout);
-    connections_total_.add(1);
-    metrics_.counter("serve.connections").add(1);
-    const std::uint64_t conn_id =
-        conn_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
-    reap_connections(/*join_all=*/false);
-    auto slot = std::make_unique<ConnSlot>();
-    ConnSlot* raw = slot.get();
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      connections_.push_back(std::move(slot));
-    }
-    raw->th = std::thread([this, fd, conn_id, raw] {
-      connection_loop(fd, conn_id);
-      raw->done.store(true, std::memory_order_release);
-    });
-  }
-}
-
-Server::Admission Server::submit(std::unique_ptr<Job> job) {
+Server::Admission Server::submit(std::unique_ptr<Job>& job, bool expensive) {
+  const std::size_t high_watermark =
+      std::max<std::size_t>(1, config_.queue_limit / 2);
   std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_closed_) return Admission::Closed;
-    if (queue_.size() >= config_.queue_limit) return Admission::QueueFull;
+    if (queue_.size() >= config_.queue_limit) return Admission::ShedFull;
+    if (expensive && queue_.size() >= high_watermark) {
+      return Admission::ShedExpensive;
+    }
     queue_.push_back(std::move(job));
     depth = queue_.size();
   }
@@ -538,7 +501,7 @@ void Server::execute(Job& job) {
     const auto t0 = std::chrono::steady_clock::now();
     if (job.trace != nullptr) job.trace->compute_start = t0;
     try {
-      response = handle(job.request, job.op, job.trace);
+      response = handle(job.request, job.op, job.trace.get());
     } catch (const BadRequest& e) {
       response = error_response(job.op, kErrBadRequest, e.what());
     } catch (const JsonError& e) {
@@ -554,175 +517,96 @@ void Server::execute(Job& job) {
   }
   g_inflight_.set(static_cast<double>(
       inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
-  // Last touch of job.trace was above; the promise publishes those writes
-  // to the connection thread blocked on the matching future.
-  job.result.set_value(std::move(response));
+  // v1 clients (no "v" in the request) get byte-identical v1 responses;
+  // v2+ clients get their version echoed back.
+  if (job.version >= 2) response.set("v", JsonValue(job.version));
+  note_outcome(response, job.trace.get());
+  // The trace crosses back to the reactor thread, which stamps the write
+  // marks at flush time and then calls finish_trace.
+  reactor_->respond(job.conn, job.seq, json_dump(response),
+                    std::move(job.trace));
 }
 
-void Server::connection_loop(int fd, std::uint64_t conn_id) {
-  std::string payload;
-  for (;;) {
-    // Gate the blocking read on poll() so this thread notices a drain
-    // within one tick even when the client is idle.
-    bool readable = false;
-    while (!readable) {
-      if (stopping_.load()) {
-        answer_buffered_shutdown(fd);
-        ::close(fd);
-        return;
-      }
-      pollfd p{fd, POLLIN, 0};
-      const int r = ::poll(&p, 1, 100);
-      if (r < 0 && errno != EINTR) {
-        ::close(fd);
-        return;
-      }
-      if (r > 0 && (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        readable = true;
-      }
-    }
+void Server::on_frame(InboundFrame frame) {
+  requests_total_.add(1);
+  metrics_.counter("serve.requests").add(1);
+  RequestTrace* trace = frame.trace.get();
 
-    RequestTrace trace;
-    trace.conn_id = conn_id;
-    trace.read_start = RequestTrace::Clock::now();
-    FrameTiming frame_timing;
-    try {
-      if (!read_frame(fd, payload, &frame_timing)) break;  // clean EOF
-    } catch (const ProtocolError&) {
-      break;  // truncation / oversize / peer error: drop the connection
+  JsonValue response;
+  std::string op = "?";
+  std::uint64_t version = 1;
+  try {
+    JsonValue request = json_parse(frame.payload);
+    const JsonValue* op_field = request.find("op");
+    if (op_field == nullptr || !op_field->is_string()) {
+      throw JsonError("missing string field 'op'");
     }
-    trace.header_read = frame_timing.header_read;
-    trace.read_end = frame_timing.complete;
-    trace.bytes_in = payload.size();
-    requests_total_.add(1);
-    metrics_.counter("serve.requests").add(1);
-
-    JsonValue response;
-    std::string op = "?";
-    std::uint64_t version = 1;
-    try {
-      const JsonValue request = json_parse(payload);
-      const JsonValue* op_field = request.find("op");
-      if (op_field == nullptr || !op_field->is_string()) {
-        throw JsonError("missing string field 'op'");
-      }
-      op = op_field->as_string();
-      trace.op = op;
-      if (!parse_version(request, version)) {
-        response = unsupported_version_response(op, version);
-      } else if (op == "ping") {
-        trace.compute_start = RequestTrace::Clock::now();
-        response = ok_response(op);
-        trace.compute_end = RequestTrace::Clock::now();
-      } else if (op == "stats") {
-        // Answered inline on the connection thread: a stats poll must see
-        // the live state without queueing behind (or competing with) the
-        // compute ops it is trying to diagnose.
-        trace.compute_start = RequestTrace::Clock::now();
-        response = handle_stats();
-        trace.compute_end = RequestTrace::Clock::now();
-      } else {
-        auto job = std::make_unique<Job>();
-        job->request = request;
-        job->op = op;
-        job->enqueued = std::chrono::steady_clock::now();
-        job->trace = &trace;
-        trace.enqueued = job->enqueued;
-        if (const JsonValue* d = request.find("deadline_ms")) {
-          job->deadline_ms = d->as_u64();
-        }
-        std::future<JsonValue> result = job->result.get_future();
-        switch (submit(std::move(job))) {
-          case Admission::Accepted:
-            trace.queued = true;
-            response = result.get();
-            break;
-          case Admission::QueueFull:
-            response = error_response(
-                op, kErrOverloaded,
-                "admission queue full (" + std::to_string(config_.queue_limit) +
-                    " requests)");
-            break;
-          case Admission::Closed:
-            response = error_response(op, kErrShuttingDown,
-                                      "server is draining for shutdown");
-            break;
-        }
-      }
-    } catch (const JsonError& e) {
-      response = error_response(op, kErrBadRequest, e.what());
-    }
-    // v1 clients (no "v" in the request) get byte-identical v1 responses;
-    // v2+ clients get their version echoed back.
-    if (version >= 2) response.set("v", JsonValue(version));
-
-    note_outcome(response, &trace);
-    trace.write_start = RequestTrace::Clock::now();
-    const std::string wire = json_dump(response);
-    trace.bytes_out = wire.size();
-    bool write_ok = true;
-    try {
-      write_frame(fd, wire);
-    } catch (const ProtocolError&) {
-      write_ok = false;  // peer vanished mid-response
-    }
-    trace.write_end = RequestTrace::Clock::now();
-    finish_trace(trace);
-    if (!write_ok) break;
-  }
-  ::close(fd);
-}
-
-void Server::answer_buffered_shutdown(int fd) {
-  // Drain contract (docs/SERVE.md): a request that was fully received
-  // before the drain began is answered `shutting_down`, not dropped with a
-  // bare close. Only already-buffered data counts (poll timeout 0); the
-  // frame cap keeps a client that floods during the drain from delaying it.
-  // Exception: `ping` and `stats` are still answered for real — a stats
-  // poll must be able to watch the drain itself (queue depth falling,
-  // in-flight compute finishing), which is when the numbers matter most.
-  std::string payload;
-  for (int i = 0; i < 16; ++i) {
-    pollfd p{fd, POLLIN, 0};
-    if (::poll(&p, 1, 0) <= 0 || (p.revents & POLLIN) == 0) return;
-    try {
-      if (!read_frame(fd, payload)) return;  // clean EOF
-    } catch (const ProtocolError&) {
-      return;
-    }
-    requests_total_.add(1);
-    metrics_.counter("serve.requests").add(1);
-    std::string op = "?";
-    std::uint64_t version = 1;
-    bool version_ok = true;
-    try {
-      const JsonValue request = json_parse(payload);
-      if (const JsonValue* f = request.find("op"); f != nullptr && f->is_string()) {
-        op = f->as_string();
-      }
-      version_ok = parse_version(request, version);
-    } catch (const JsonError&) {
-      // Still answer: the client gets shutting_down rather than silence.
-    }
-    JsonValue response;
-    if (!version_ok) {
+    op = op_field->as_string();
+    trace->op = op;
+    if (!parse_version(request, version)) {
       response = unsupported_version_response(op, version);
     } else if (op == "ping") {
+      trace->compute_start = RequestTrace::Clock::now();
       response = ok_response(op);
+      trace->compute_end = RequestTrace::Clock::now();
     } else if (op == "stats") {
+      // Answered inline on the reactor thread: a stats poll must see the
+      // live state without queueing behind (or competing with) the compute
+      // ops it is trying to diagnose — and it keeps answering during the
+      // drain, which is when the numbers matter most.
+      trace->compute_start = RequestTrace::Clock::now();
       response = handle_stats();
+      trace->compute_end = RequestTrace::Clock::now();
     } else {
-      response = error_response(op, kErrShuttingDown,
-                                "server is draining for shutdown");
+      auto job = std::make_unique<Job>();
+      job->op = op;
+      job->conn = frame.conn;
+      job->seq = frame.seq;
+      job->version = version;
+      job->enqueued = std::chrono::steady_clock::now();
+      if (const JsonValue* d = request.find("deadline_ms")) {
+        job->deadline_ms = d->as_u64();
+      }
+      const bool expensive = is_expensive_op(op, request);
+      job->request = std::move(request);
+      job->trace = std::move(frame.trace);
+      trace->enqueued = job->enqueued;
+      switch (submit(job, expensive)) {
+        case Admission::Accepted:
+          trace->queued = true;
+          return;  // a worker responds via the reactor when done
+        case Admission::ShedExpensive:
+          response = error_response(
+              op, kErrOverloaded,
+              "admission queue at high watermark; expensive op shed");
+          response.set("tier", JsonValue(std::string("expensive")));
+          metrics_.counter("serve.shed.expensive").add(1);
+          break;
+        case Admission::ShedFull:
+          response = error_response(
+              op, kErrOverloaded,
+              "admission queue full (" + std::to_string(config_.queue_limit) +
+                  " requests)");
+          response.set("tier", JsonValue(std::string("full")));
+          metrics_.counter("serve.shed.full").add(1);
+          break;
+        case Admission::Closed:
+          response = error_response(op, kErrShuttingDown,
+                                    "server is draining for shutdown");
+          break;
+      }
+      // Shed/closed: the job kept its trace; hand it back for the inline
+      // rejection below.
+      frame.trace = std::move(job->trace);
+      trace = frame.trace.get();
     }
-    if (version_ok && version >= 2) response.set("v", JsonValue(version));
-    note_outcome(response, nullptr);
-    try {
-      write_frame(fd, json_dump(response));
-    } catch (const ProtocolError&) {
-      return;
-    }
+  } catch (const JsonError& e) {
+    response = error_response(op, kErrBadRequest, e.what());
   }
+  if (version >= 2) response.set("v", JsonValue(version));
+  note_outcome(response, trace);
+  reactor_->respond(frame.conn, frame.seq, json_dump(response),
+                    std::move(frame.trace));
 }
 
 void Server::note_outcome(const JsonValue& response, RequestTrace* trace) {
@@ -1089,6 +973,10 @@ JsonValue Server::handle_stats() const {
   rejected.set("shutting_down", JsonValue(s.shutting_down));
   rejected.set("internal", JsonValue(s.internal_error));
   body.set("rejected", std::move(rejected));
+  JsonValue transport;
+  transport.set("accept_errors", JsonValue(s.accept_errors));
+  transport.set("io_timeouts", JsonValue(s.io_timeouts));
+  body.set("transport", std::move(transport));
   body.set("queue_depth", JsonValue(static_cast<std::uint64_t>(s.queue_depth)));
   JsonValue store;
   store.set("trees", JsonValue(static_cast<std::uint64_t>(s.stored_trees)));
@@ -1120,6 +1008,8 @@ ServerStatsSnapshot Server::stats() const {
   s.deadline_exceeded = deadline_exceeded_.value();
   s.shutting_down = shutting_down_.value();
   s.internal_error = internal_error_.value();
+  s.accept_errors = accept_errors_.value();
+  s.io_timeouts = io_timeouts_.value();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     s.queue_depth = queue_.size();

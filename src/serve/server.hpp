@@ -1,20 +1,29 @@
-// The prediction service daemon (`pprophet serve`): a unix-domain-socket
-// server answering upload / predict / sweep / recommend / stats requests
-// against a content-addressed ProfileStore, fronted by a sharded LRU
-// ResultCache and executed on a bounded worker pool.
+// The prediction service daemon (`pprophet serve`): a socket server
+// answering upload / predict / sweep / recommend / stats requests against a
+// content-addressed ProfileStore, fronted by a sharded LRU ResultCache and
+// executed on a bounded worker pool.
 //
 // Threading model (docs/SERVE.md):
-//  * an accept thread polls the listening socket plus a self-pipe;
-//  * one connection thread per client reads frames, submits compute jobs to
-//    the bounded admission queue, and writes responses in request order;
-//  * `workers` request threads drain the queue and run the handlers (which
-//    in turn use the core::sweep worker pool, so results are bit-identical
-//    to in-process prediction).
+//  * one epoll reactor thread (serve/reactor.hpp) owns every listening
+//    socket — the unix-domain socket and, when configured, a TCP endpoint —
+//    plus every accepted connection. Connections are nonblocking; frames
+//    assemble incrementally, so clients may pipeline requests and receive
+//    responses in request order;
+//  * `workers` request threads drain the bounded admission queue and run
+//    the handlers (which in turn use the core::sweep worker pool, so
+//    results are bit-identical to in-process prediction);
+//  * ping/stats are answered directly on the reactor thread — a stats poll
+//    must see live state without queueing behind the compute ops it is
+//    trying to diagnose.
 //
-// Backpressure: when the admission queue is full the request is rejected
-// immediately with `overloaded` — the daemon never queues unboundedly.
-// Deadlines: a request carrying "deadline_ms" that is still queued when the
-// budget expires is rejected with `deadline_exceeded` instead of computed.
+// Backpressure is tiered: when the admission queue reaches its high
+// watermark, expensive ops (sweep / recommend — anything that can hold a
+// worker for seconds) are shed first with `overloaded` + `"tier":
+// "expensive"`; cheap ops (upload / predict) are still admitted until the
+// queue is actually full (`"tier":"full"`). The daemon never queues
+// unboundedly. Deadlines: a request carrying "deadline_ms" that is still
+// queued when the budget expires is rejected with `deadline_exceeded`
+// instead of computed.
 // Shutdown: request_shutdown() — or a signal wired via
 // arm_signal_shutdown() — stops accepting connections, lets every admitted
 // request finish and flush its response, then joins all threads (drain, not
@@ -26,9 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <future>
 #include <initializer_list>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +46,7 @@
 #include "obs/metrics.hpp"
 #include "serve/json.hpp"
 #include "serve/profile_store.hpp"
+#include "serve/reactor.hpp"
 #include "serve/request_trace.hpp"
 #include "serve/result_cache.hpp"
 
@@ -46,10 +54,18 @@ namespace pprophet::serve {
 
 struct ServerConfig {
   std::string socket_path;
+  /// Optional second transport: "HOST:PORT" (IPv4; port 0 = ephemeral,
+  /// readable back via tcp_port()). Empty = unix socket only. TCP carries
+  /// the identical frame protocol; see docs/SERVE.md for the trust caveat.
+  std::string listen_tcp;
   std::size_t workers = 2;          ///< request-execution threads
   std::size_t queue_limit = 64;     ///< bounded admission queue capacity
   std::size_t cache_bytes = 64u << 20;  ///< result-cache budget
   std::size_t cache_shards = 8;
+  std::size_t store_shards = 8;     ///< ProfileStore lock shards
+  /// Reactor I/O timeout: drop a connection wedged mid-frame or not
+  /// draining its responses for this long (idle between frames is fine).
+  std::uint64_t io_timeout_ms = 1000;
   /// core::sweep pool width per request (0 = hardware concurrency). Keep
   /// small: up to `workers` requests each spawn this many sweep threads.
   std::size_t sweep_workers = 1;
@@ -74,6 +90,8 @@ struct ServerStatsSnapshot {
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t shutting_down = 0;
   std::uint64_t internal_error = 0;
+  std::uint64_t accept_errors = 0;  ///< accept() failures survived (retried)
+  std::uint64_t io_timeouts = 0;    ///< connections dropped mid-frame stall
   std::size_t queue_depth = 0;
   std::size_t stored_trees = 0;
   std::size_t stored_bytes = 0;
@@ -93,7 +111,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds the socket and starts the accept/worker threads. Throws
+  /// Binds the socket(s) and starts the reactor/worker threads. Throws
   /// std::runtime_error on bind/listen failure (e.g. a live server already
   /// owns the path). A stale socket file with no listener is replaced.
   void start();
@@ -116,6 +134,14 @@ class Server {
   /// same drain as request_shutdown(), and write(2) is async-signal-safe.
   int shutdown_fd() const { return shutdown_pipe_[1]; }
 
+  /// Bound TCP port after start() (resolves port 0); 0 when no TCP
+  /// listener was configured.
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Human-readable transport endpoints after start() ("unix:/path",
+  /// "tcp:host:port"), for the startup banner and tests.
+  const std::vector<std::string>& endpoints() const { return endpoints_; }
+
   ServerStatsSnapshot stats() const;
 
   /// The per-server metrics registry. Always live (independent of the
@@ -128,34 +154,34 @@ class Server {
   struct Job {
     JsonValue request;
     std::string op;
+    std::uint64_t conn = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t version = 1;
     std::chrono::steady_clock::time_point enqueued;
     std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
-    std::promise<JsonValue> result;
-    /// Owned by the connection thread; the worker stamps dequeue/compute
-    /// marks and the cache-probe result through it while the connection
-    /// thread blocks on `result`.
-    RequestTrace* trace = nullptr;
+    /// Travels with the job: read marks stamped by the reactor, queue and
+    /// compute marks stamped by the worker, write marks stamped back on the
+    /// reactor thread when the response bytes flush.
+    std::unique_ptr<RequestTrace> trace;
   };
 
-  /// One accepted connection: thread + completion flag so the accept loop
-  /// can reap finished handlers instead of accumulating joinable threads.
-  struct ConnSlot {
-    std::thread th;
-    std::atomic<bool> done{false};
+  enum class Admission : std::uint8_t {
+    Accepted,
+    ShedExpensive,  ///< queue at high watermark; expensive op shed first
+    ShedFull,       ///< queue full; everything sheds
+    Closed,         ///< draining for shutdown
   };
 
-  enum class Admission : std::uint8_t { Accepted, QueueFull, Closed };
-
-  void accept_loop();
+  void on_frame(InboundFrame frame);
+  void on_transport_event(TransportEvent event, std::uint64_t conn);
   void worker_loop();
-  void connection_loop(int fd, std::uint64_t conn_id);
-  void answer_buffered_shutdown(int fd);
-  Admission submit(std::unique_ptr<Job> job);
+  /// Moves from `job` only on Accepted, so a shed request keeps its trace
+  /// for the inline rejection response.
+  Admission submit(std::unique_ptr<Job>& job, bool expensive);
   void execute(Job& job);
-  void reap_connections(bool join_all);
 
   // Request handlers (queued ops run on worker threads; ping/stats are
-  // answered inline by the connection thread).
+  // answered inline on the reactor thread).
   JsonValue handle(const JsonValue& request, const std::string& op,
                    RequestTrace* trace);
   JsonValue handle_upload(const JsonValue& request);
@@ -173,26 +199,21 @@ class Server {
   ServerConfig config_;
   ProfileStore store_;
   std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<Reactor> reactor_;
 
-  int listen_fd_ = -1;
   int shutdown_pipe_[2] = {-1, -1};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
-  /// True once this instance bound socket_path. Cleanup must only unlink a
-  /// path this instance owns: a start() that lost the path to a live server
-  /// would otherwise delete that server's socket out from under it.
-  std::atomic<bool> owns_socket_{false};
+  std::uint16_t tcp_port_ = 0;
+  std::vector<std::string> endpoints_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::unique_ptr<Job>> queue_;
   bool queue_closed_ = false;
 
-  std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  std::mutex conn_mu_;
-  std::list<std::unique_ptr<ConnSlot>> connections_;
 
   // Outcome counters; plain atomics so the stats op needs no lock.
   obs::Counter connections_total_;
@@ -204,9 +225,10 @@ class Server {
   obs::Counter deadline_exceeded_;
   obs::Counter shutting_down_;
   obs::Counter internal_error_;
+  obs::Counter accept_errors_;
+  obs::Counter io_timeouts_;
   obs::Timer request_us_;
 
-  std::atomic<std::uint64_t> conn_seq_{0};
   std::atomic<std::int64_t> inflight_{0};
 
   // Per-server telemetry (see metrics()). Declared after the registry so

@@ -39,6 +39,16 @@ struct Fnv64 {
   }
 };
 
+/// Plain single-lane FNV-1a over a byte string. Platform-independent
+/// (unlike std::hash), so shard assignments derived from it are stable.
+inline std::uint64_t fnv64(std::string_view bytes) {
+  std::uint64_t h = kFnvOffset;
+  for (const char ch : bytes) {
+    h = (h ^ static_cast<unsigned char>(ch)) * kFnvPrime;
+  }
+  return h;
+}
+
 /// Two-lane FNV-1a over a byte string, rendered as 32 lowercase hex chars.
 /// The second lane uses a distinct offset base and mixes the byte position,
 /// so lane collisions are independent; the first lane folds in the length.

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace pprophet::serve {
@@ -81,6 +82,50 @@ TEST(Protocol, OversizedFrameRejected) {
   ASSERT_EQ(::send(sp.fds[0], header, 4, 0), 4);
   std::string got;
   EXPECT_THROW(read_frame(sp.fds[1], got), ProtocolError);
+}
+
+// An SO_RCVTIMEO expiry mid-frame must surface as the distinct
+// ProtocolTimeout (so serve can count and log it as a stall), not as a
+// generic EAGAIN ProtocolError.
+TEST(Protocol, ReceiveTimeoutMidFrameThrowsProtocolTimeout) {
+  SocketPair sp;
+  timeval tv{};
+  tv.tv_usec = 50000;  // 50 ms
+  ASSERT_EQ(::setsockopt(sp.fds[1], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv),
+            0);
+  // Header promises 64 bytes; only 3 ever arrive and the peer stalls
+  // (without closing — EOF would be the truncation error instead).
+  const unsigned char header[4] = {64, 0, 0, 0};
+  ASSERT_EQ(::send(sp.fds[0], header, 4, 0), 4);
+  ASSERT_EQ(::send(sp.fds[0], "abc", 3, 0), 3);
+  std::string got;
+  EXPECT_THROW(read_frame(sp.fds[1], got), ProtocolTimeout);
+}
+
+TEST(Protocol, ReceiveTimeoutInsideHeaderThrowsProtocolTimeout) {
+  SocketPair sp;
+  timeval tv{};
+  tv.tv_usec = 50000;
+  ASSERT_EQ(::setsockopt(sp.fds[1], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv),
+            0);
+  const char partial[2] = {1, 0};  // half the length prefix, then silence
+  ASSERT_EQ(::send(sp.fds[0], partial, 2, 0), 2);
+  std::string got;
+  EXPECT_THROW(read_frame(sp.fds[1], got), ProtocolTimeout);
+}
+
+// The send side mirrors it: a peer that stops draining wedges write_frame
+// until SO_SNDTIMEO fires, which must also be the distinct timeout type.
+TEST(Protocol, SendTimeoutThrowsProtocolTimeout) {
+  SocketPair sp;
+  timeval tv{};
+  tv.tv_usec = 50000;
+  ASSERT_EQ(::setsockopt(sp.fds[0], SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv),
+            0);
+  // Nobody reads fds[1]; a payload larger than both socket buffers must
+  // block mid-frame and then time out.
+  const std::string big(8u << 20, 'x');
+  EXPECT_THROW(write_frame(sp.fds[0], big), ProtocolTimeout);
 }
 
 TEST(Protocol, LargeFrameStreamsThroughSocketBuffers) {

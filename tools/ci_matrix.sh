@@ -31,7 +31,9 @@
 # Independently of the requested set, the matrix always finishes with a
 # thread-sanitizer stage scoped to the serve path: `ctest -L server`
 # (daemon + stats-endpoint + event-log suites, whose latency histograms
-# and JSONL logger are exactly the shared state TSan should watch) plus a
+# and JSONL logger are exactly the shared state TSan should watch), a
+# 64-client two-transport load against the epoll reactor
+# (bench_serve_throughput, which also gates response bit-identity), and a
 # live daemon smoke run with --metrics and --log enabled. The `server`
 # label is a small fraction of the full concurrency set, so this stays
 # cheap enough for every PR.
@@ -88,6 +90,19 @@ for san in "${sans[@]}"; do
   ctest --test-dir "${bdir}" -L reuse -LE perf --output-on-failure
 done
 
+# The epoll reactor under real concurrency: both transports, dozens of
+# pipeline-capable clients, the sharded store/cache, and the completion
+# queue between workers and the event thread — the cross-thread traffic
+# TSan exists for. The bench self-checks bit-identity and exits nonzero on
+# mismatch, so this doubles as a correctness gate. (Smaller than the
+# default 128-client shape: TSan's ~10x slowdown would make that a
+# minutes-long stage.)
+reactor_load() {
+  local bdir="$1"
+  (cd "${bdir}/bench" &&
+   PP_CLIENTS=64 PP_REQS=4 PP_SERVE_WORKERS=4 ./bench_serve_throughput)
+}
+
 # Serve-path TSan stage. Skipped only when a full `thread` pass already ran
 # above — `-L concurrency` is a superset of `-L server` there.
 if [ "${ran_thread}" -eq 0 ]; then
@@ -95,10 +110,13 @@ if [ "${ran_thread}" -eq 0 ]; then
   build_san thread "${bdir}"
   echo "=== thread: server label (stats endpoint, event log, daemon) ==="
   ctest --test-dir "${bdir}" -L server --output-on-failure
+  echo "=== thread: reactor high-concurrency load (unix + tcp) ==="
+  reactor_load "${bdir}"
   echo "=== thread: daemon smoke with --metrics + --log ==="
   serve_smoke "${bdir}"
 else
-  echo "=== thread: full concurrency pass already ran; serve smoke only ==="
+  echo "=== thread: full concurrency pass already ran; load + smoke only ==="
+  reactor_load "build-ci-thread"
   serve_smoke "build-ci-thread"
 fi
 

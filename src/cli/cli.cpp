@@ -11,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "core/advise.hpp"
 #include "core/machine_sweep.hpp"
 #include "core/recommend.hpp"
 #include "machine/presets.hpp"
@@ -45,6 +46,8 @@ constexpr const char* kUsage = R"(usage:
   pprophet compress --tree FILE -o FILE [--tolerance 0.05] [--lossy]
   pprophet recommend --tree FILE [--threads 2,4,8] [--cores N]
                      [--memory-model]
+  pprophet advise   --tree FILE [--threads 2,4,8] [--cores N]
+                    [--target-threads N] [--memory-model]
   pprophet timeline --tree FILE [--threads N] [--paradigm omp|cilk]
                     [--schedule ...] [--cores N]
   pprophet sweep    --tree FILE [--methods ff,syn,suit,real]
@@ -57,11 +60,11 @@ constexpr const char* kUsage = R"(usage:
                     [--queue-limit N] [--cache-mb N] [--workers N] [--cores N]
                     [--log FILE] [--slow-ms N] [--log-sample N]
   pprophet client   --socket PATH | --connect HOST:PORT
-                    [--op] ping|stats|upload|predict|sweep|recommend
+                    [--op] ping|stats|upload|predict|sweep|recommend|advise
                     [--tree FILE | --key HASH] [--methods ...] [--paradigms ...]
                     [--schedules ...] [--chunks ...] [--threads 2,4,8]
-                    [--cores N] [--machines ...] [--memory-model]
-                    [--deadline-ms N]
+                    [--cores N] [--target-threads N] [--machines ...]
+                    [--memory-model] [--deadline-ms N]
   pprophet stats    --socket PATH | --connect HOST:PORT [--watch N] [--samples M]
   pprophet help
 observability (any command; see docs/OBSERVABILITY.md):
@@ -474,6 +477,69 @@ int cmd_recommend(const Options& opts, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// The what-if advisor (docs/ADVISOR.md): critical-path profile per section,
+// the configuration search, and the ranked hypothetical edits.
+int cmd_advise(const Options& opts, std::ostream& out, std::ostream& err) {
+  auto t = load_tree(opts.tree_path, err);
+  if (!t) return 1;
+  core::AdviseOptions ao;
+  ao.base = report::paper_options(core::Method::Synthesizer);
+  ao.base.machine.cores = opts.cores;
+  ao.base.memory_model = opts.memory_model;
+  ao.grid.thread_counts = opts.threads;
+  ao.grid.chunks.clear();  // sweep with the base chunk, as recommend does
+  ao.target_threads = opts.target_threads;
+  if (opts.memory_model) {
+    memmodel::CalibrationOptions copts;
+    copts.machine = ao.base.machine;
+    const memmodel::BurdenModel model(memmodel::calibrate(copts));
+    memmodel::annotate_burdens(*t, model, opts.threads);
+  }
+  const core::Advice advice = core::advise(*t, ao);
+
+  const core::CriticalPathProfile& prof = advice.profile;
+  out << "serial: " << util::fmt_i(static_cast<long long>(prof.serial_cycles))
+      << " cycles (" << util::fmt_pct(prof.serial_share)
+      << " outside sections)\n";
+  util::Table table({"section", "repeat", "tasks", "work", "span",
+                     "parallelism", "share", "locks"});
+  for (const core::SectionProfile& sp : prof.sections) {
+    std::string locks;
+    for (const core::LockProfile& lp : sp.locks) {
+      if (!locks.empty()) locks += ", ";
+      locks += "#" + std::to_string(lp.lock) + " caps " +
+               util::fmt_f(lp.cap_speedup, 1) + "x";
+    }
+    table.add_row({sp.name.empty() ? std::to_string(sp.section) : sp.name,
+                   std::to_string(sp.repeat), std::to_string(sp.tasks),
+                   util::fmt_i(static_cast<long long>(sp.work)),
+                   util::fmt_i(static_cast<long long>(sp.span)),
+                   util::fmt_f(sp.parallelism, 1),
+                   util::fmt_pct(sp.work_share),
+                   locks.empty() ? "-" : locks});
+  }
+  table.print(out);
+
+  out << "\nbest:       " << core::to_string(advice.best.paradigm) << " "
+      << runtime::to_string(advice.best.schedule) << " on "
+      << advice.best.threads << " threads -> "
+      << util::fmt_f(advice.best.speedup, 2) << "x\n"
+      << "economical: " << advice.economical.threads << " threads -> "
+      << util::fmt_f(advice.economical.speedup, 2) << "x\n"
+      << "baseline at " << advice.target_threads << " threads: "
+      << util::fmt_f(advice.baseline.speedup, 2) << "x\n";
+  if (advice.actions.empty()) {
+    out << "no profitable edits found\n";
+  } else {
+    out << "\nwhat-if edits (at " << advice.target_threads << " threads):\n";
+    std::size_t i = 0;
+    for (const core::Action& a : advice.actions) {
+      out << "  " << ++i << ". " << a.describe() << "\n";
+    }
+  }
+  return 0;
+}
+
 // Gantt view of the emulated execution: where each thread ran and where it
 // waited on locks — the "diagnose bottleneck" use the paper assigns to
 // emulation (Table III).
@@ -608,6 +674,13 @@ serve::JsonValue build_client_request(const Options& opts,
   if (opts.deadline_ms > 0) {
     req.set("deadline_ms", serve::JsonValue(opts.deadline_ms));
   }
+  if (op == "advise") {
+    if (opts.target_threads > 0) {
+      req.set("target_threads",
+              serve::JsonValue(static_cast<std::uint64_t>(opts.target_threads)));
+    }
+    return req;  // the advisor sweeps its own dimensions, like recommend
+  }
   if (op == "recommend") return req;  // server sweeps its own dimensions
   serve::JsonValue::Array methods, paradigms, schedules, chunks;
   if (opts.methods.empty()) {
@@ -681,6 +754,24 @@ void print_recommendation(const serve::JsonValue& result, std::ostream& out) {
   line("economical: ", result.at("economical"));
 }
 
+void print_advice(const serve::JsonValue& result, std::ostream& out) {
+  print_recommendation(result, out);
+  out << "baseline at " << result.at("target_threads").as_u64()
+      << " threads: "
+      << util::fmt_f(result.at("baseline").at("speedup").as_double(), 2)
+      << "x\n";
+  const auto& actions = result.at("actions").as_array();
+  if (actions.empty()) {
+    out << "no profitable edits found\n";
+    return;
+  }
+  out << "what-if edits:\n";
+  std::size_t i = 0;
+  for (const serve::JsonValue& a : actions) {
+    out << "  " << ++i << ". " << a.at("describe").as_string() << "\n";
+  }
+}
+
 // One-shot client: connect, upload the tree (unless --key references an
 // already-stored one), send the requested op, render the response.
 int cmd_client(const Options& opts, std::ostream& out, std::ostream& err) {
@@ -691,10 +782,10 @@ int cmd_client(const Options& opts, std::ostream& out, std::ostream& err) {
   const std::string& op = opts.op;
   const bool needs_tree =
       op == "upload" || ((op == "predict" || op == "sweep" ||
-                          op == "recommend") &&
+                          op == "recommend" || op == "advise") &&
                          opts.key.empty());
   if (op != "ping" && op != "stats" && op != "upload" && op != "predict" &&
-      op != "sweep" && op != "recommend") {
+      op != "sweep" && op != "recommend" && op != "advise") {
     err << "pprophet: unknown client --op '" << op << "'\n";
     return 1;
   }
@@ -745,6 +836,8 @@ int cmd_client(const Options& opts, std::ostream& out, std::ostream& err) {
     const serve::JsonValue& result = resp.at("result");
     if (op == "recommend") {
       print_recommendation(result, out);
+    } else if (op == "advise") {
+      print_advice(result, out);
     } else {
       print_cells(result, out);
     }
@@ -881,9 +974,10 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
   opts.command = args[0];
   if (opts.command != "predict" && opts.command != "inspect" &&
       opts.command != "compress" && opts.command != "recommend" &&
-      opts.command != "timeline" && opts.command != "sweep" &&
-      opts.command != "serve" && opts.command != "client" &&
-      opts.command != "stats" && opts.command != "help") {
+      opts.command != "advise" && opts.command != "timeline" &&
+      opts.command != "sweep" && opts.command != "serve" &&
+      opts.command != "client" && opts.command != "stats" &&
+      opts.command != "help") {
     err << "pprophet: unknown command '" << opts.command
         << "' (run 'pprophet help' for usage)\n";
     return std::nullopt;
@@ -949,6 +1043,15 @@ std::optional<Options> parse_args(const std::vector<std::string>& args,
         return std::nullopt;
       }
       opts.cores = static_cast<CoreCount>(n);
+    } else if (a == "--target-threads") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const long n = std::strtol(v->c_str(), nullptr, 10);
+      if (n <= 0) {
+        err << "pprophet: bad --target-threads\n";
+        return std::nullopt;
+      }
+      opts.target_threads = static_cast<CoreCount>(n);
     } else if (a == "--methods") {
       const auto v = need_value();
       if (!v || !parse_list<core::Method>(*v, opts.methods, parse_method)) {
@@ -1171,6 +1274,7 @@ int dispatch(const Options& opts, std::ostream& out, std::ostream& err,
     if (opts.command == "inspect") return cmd_inspect(opts, out, err);
     if (opts.command == "compress") return cmd_compress(opts, out, err);
     if (opts.command == "recommend") return cmd_recommend(opts, out, err);
+    if (opts.command == "advise") return cmd_advise(opts, out, err);
     if (opts.command == "timeline") return cmd_timeline(opts, out, err);
     if (opts.command == "sweep") return cmd_sweep(opts, out, err);
     if (opts.command == "serve") return cmd_serve(opts, out, err, serve_metrics);

@@ -9,6 +9,8 @@
 //   pprophet compress --tree t.ptree -o out.ptree [--tolerance 0.05] [--lossy]
 //   pprophet recommend --tree t.ptree [--threads 2,4,8] [--cores N]
 //                      [--memory-model]
+//   pprophet advise   --tree t.ptree [--threads 2,4,8] [--cores N]
+//                     [--target-threads N] [--memory-model]
 //   pprophet timeline --tree t.ptree [--threads N] [--paradigm omp|cilk]
 //   pprophet sweep    --tree t.ptree [--methods ff,syn,suit,real]
 //                     [--paradigms omp,cilk] [--schedules static1,static,dynamic]
@@ -20,7 +22,7 @@
 //                     [--cores N] [--log FILE] [--slow-ms N] [--log-sample N]
 //   pprophet client   --socket /run/pp.sock | --connect HOST:PORT
 //                     [--op] ping|stats|upload|predict|
-//                     sweep|recommend [--tree t.ptree | --key HASH] [...]
+//                     sweep|recommend|advise [--tree t.ptree | --key HASH] [...]
 //   pprophet stats    --socket /run/pp.sock | --connect HOST:PORT
 //                     [--watch N] [--samples M]
 //
@@ -47,7 +49,8 @@
 namespace pprophet::cli {
 
 struct Options {
-  /// predict|inspect|compress|recommend|timeline|sweep|serve|client|stats|help
+  /// predict|inspect|compress|recommend|advise|timeline|sweep|serve|client|
+  /// stats|help
   std::string command;
   std::string tree_path;
   std::string output_path;
@@ -57,6 +60,9 @@ struct Options {
   std::uint64_t chunk = 1;
   std::vector<CoreCount> threads{2, 4, 6, 8, 10, 12};
   CoreCount cores = 12;
+  /// advise --target-threads: thread count the what-if edits are priced at
+  /// (0 = the largest entry of --threads).
+  CoreCount target_threads = 0;
   bool memory_model = false;
   double tolerance = 0.05;
   bool lossy = false;

@@ -112,11 +112,13 @@ ProphetReport Prophet::analyze(ProfiledProgram profiled) const {
   }
 
   {
-    StageScope stage(report.stages, "recommend");
-    RecommendOptions ro;
-    ro.base = predict_options(Method::Synthesizer);
-    ro.thread_counts = config_.thread_counts;
-    report.recommendation = recommend(profiled.tree, ro);
+    StageScope stage(report.stages, "advise");
+    AdviseOptions ao;
+    ao.base = predict_options(Method::Synthesizer);
+    ao.grid.thread_counts = config_.thread_counts;
+    ao.grid.chunks.clear();  // sweep with the configured chunk (as before)
+    report.advice = advise(profiled.tree, ao);
+    report.recommendation = to_recommendation(report.advice);
   }
   if (obs::enabled()) {
     report.metrics = obs::MetricsRegistry::global().snapshot();
@@ -155,6 +157,13 @@ void ProphetReport::print(std::ostream& os) const {
      << util::fmt_f(recommendation.best.speedup, 2) << "x (economical: "
      << recommendation.economical.threads << " threads, "
      << util::fmt_f(recommendation.economical.speedup, 2) << "x)\n";
+  if (!advice.actions.empty()) {
+    os << "what-if (at " << advice.target_threads << " threads):\n";
+    const std::size_t shown = std::min<std::size_t>(3, advice.actions.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      os << "  " << (i + 1) << ". " << advice.actions[i].describe() << "\n";
+    }
+  }
   if (!stages.empty()) {
     os << "stages:";
     const char* sep = " ";

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/advise.hpp"
 #include "core/recommend.hpp"
 #include "machine/machine.hpp"
 #include "machine/presets.hpp"
@@ -68,6 +69,11 @@ struct ProphetReport {
   std::vector<SpeedupEstimate> ff;      ///< fast-forward curve
   std::vector<SpeedupEstimate> synth;   ///< synthesizer curve (with burdens
                                         ///< when the memory model is on)
+  /// Full advisor output: configuration search, critical-path profile and
+  /// ranked what-if actions (core/advise.hpp).
+  Advice advice;
+  /// DEPRECATED adapter view of `advice` (best / economical / sweep), kept
+  /// for callers of the old field.
   Recommendation recommendation;
   tree::TreeStats tree_stats;
   double max_burden = 1.0;  ///< largest β over sections × thread counts

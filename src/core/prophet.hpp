@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/engine_options.hpp"
+#include "core/grid_spec.hpp"
 #include "emul/ff.hpp"
 #include "emul/suitability.hpp"
 #include "machine/machine.hpp"
@@ -34,10 +35,10 @@ enum class Method : std::uint8_t {
   GroundTruth,   ///< "Real": the actual parallel structure on the machine
 };
 
-enum class Paradigm : std::uint8_t { OpenMP, CilkPlus };
+// Paradigm is declared in core/grid_spec.hpp (included above) so the grid
+// spec stays self-contained; it remains usable as core::Paradigm here.
 
 const char* to_string(Method m);
-const char* to_string(Paradigm p);
 
 /// Prediction options: the shared EngineOptions (machine, overheads,
 /// schedule, chunk, memory-model — accessible both flat, `o.schedule`, and

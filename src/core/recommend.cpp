@@ -1,9 +1,19 @@
 #include "core/recommend.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+#include "core/advise.hpp"
 
 namespace pprophet::core {
+namespace {
+
+AdviseOptions advise_options_of(const RecommendOptions& options) {
+  AdviseOptions ao;
+  ao.base = options.base;
+  ao.grid = options;  // the shared GridSpec slice
+  ao.efficiency_knee = options.efficiency_knee;
+  return ao;
+}
+
+}  // namespace
 
 Recommendation recommend(const tree::ProgramTree& tree,
                          const RecommendOptions& options) {
@@ -13,52 +23,8 @@ Recommendation recommend(const tree::ProgramTree& tree,
 
 Recommendation recommend(const tree::CompiledTree& compiled,
                          const RecommendOptions& options) {
-  if (options.thread_counts.empty() || options.paradigms.empty() ||
-      options.schedules.empty()) {
-    throw std::invalid_argument("recommend: empty sweep dimension");
-  }
-  Recommendation rec;
-  for (const Paradigm paradigm : options.paradigms) {
-    for (const runtime::OmpSchedule schedule : options.schedules) {
-      // Cilk has no schedule parameter: evaluate it once.
-      if (paradigm == Paradigm::CilkPlus &&
-          schedule != options.schedules.front()) {
-        continue;
-      }
-      for (const CoreCount threads : options.thread_counts) {
-        PredictOptions o = options.base;
-        o.method = Method::Synthesizer;
-        o.paradigm = paradigm;
-        o.schedule = schedule;
-        Candidate c;
-        c.paradigm = paradigm;
-        c.schedule = schedule;
-        c.threads = threads;
-        c.speedup = predict(compiled, threads, o).speedup;
-        c.efficiency = c.speedup / static_cast<double>(threads);
-        rec.sweep.push_back(c);
-      }
-    }
-  }
-  std::stable_sort(rec.sweep.begin(), rec.sweep.end(),
-                   [](const Candidate& a, const Candidate& b) {
-                     return a.speedup > b.speedup;
-                   });
-  rec.best = rec.sweep.front();
-
-  // Economical pick: same paradigm/schedule as the winner, fewest threads
-  // whose speedup is within the knee of the best.
-  rec.economical = rec.best;
-  for (const Candidate& c : rec.sweep) {
-    if (c.paradigm != rec.best.paradigm || c.schedule != rec.best.schedule) {
-      continue;
-    }
-    if (c.speedup >= rec.best.speedup * (1.0 - options.efficiency_knee) &&
-        c.threads < rec.economical.threads) {
-      rec.economical = c;
-    }
-  }
-  return rec;
+  return to_recommendation(
+      advise_configurations(compiled, advise_options_of(options)));
 }
 
 }  // namespace pprophet::core

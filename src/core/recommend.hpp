@@ -1,43 +1,56 @@
-// Parallelization advisor: sweeps schedules × paradigms × thread counts and
-// recommends the best configuration — the interactive workflow the paper
-// motivates ("programmers can interactively use the tool to modify their
-// source code", §I), packaged as one call.
+// Parallelization recommendation — the configuration-ranking slice of the
+// advisor (core/advise.hpp), kept as a thin wrapper for compatibility.
+//
+// DEPRECATED SURFACE: `Recommendation` predates the Advice redesign and is
+// now an adapter view (core::to_recommendation) over the advisor's
+// configuration-search stage. It keeps compiling and keeps its exact
+// field-for-field behavior (pinned by tests/core/test_advise.cpp on the
+// Figure-5 goldens); new code should call core::advise /
+// core::advise_configurations and consume core::Advice instead. See
+// docs/ADVISOR.md for the deprecation path.
 #pragma once
 
 #include <vector>
 
+#include "core/grid_spec.hpp"
 #include "core/prophet.hpp"
 
 namespace pprophet::core {
 
-struct RecommendOptions {
+/// Sweep dimensions (inherited from the shared GridSpec — the flat
+/// spellings `options.thread_counts` etc. are the same fields) plus the
+/// base options and the efficiency knee.
+struct RecommendOptions : GridSpec {
+  RecommendOptions() {
+    // Historical recommend() had no chunk dimension: it swept with the base
+    // options' chunk. Empty = "inherit base.chunk" (grid_spec.hpp).
+    chunks.clear();
+  }
+
   /// Base options; method/schedule/paradigm fields are overridden during
   /// the sweep. Synthesizer is the default engine (most accurate).
   PredictOptions base{};
-  std::vector<CoreCount> thread_counts{2, 4, 6, 8, 10, 12};
-  std::vector<Paradigm> paradigms{Paradigm::OpenMP, Paradigm::CilkPlus};
-  std::vector<runtime::OmpSchedule> schedules{
-      runtime::OmpSchedule::StaticCyclic, runtime::OmpSchedule::StaticBlock,
-      runtime::OmpSchedule::Dynamic, runtime::OmpSchedule::Guided};
   /// Prefer fewer threads when the speedup gain is below this fraction —
-  /// "use 8 cores, the 12-core gain is noise" style advice.
+  /// "use 8 cores, the 12-core gain is noise" style advice. Ties within
+  /// the knee break deterministically: fewest threads, then StaticBlock.
   double efficiency_knee = 0.05;
 };
 
 struct Candidate {
   Paradigm paradigm{};
   runtime::OmpSchedule schedule{};
+  std::uint64_t chunk = 1;
   CoreCount threads = 0;
   double speedup = 0.0;
   double efficiency = 0.0;  ///< speedup / threads
 };
 
+/// DEPRECATED: adapter view over core::Advice (see file comment).
 struct Recommendation {
   /// Best speedup overall.
   Candidate best{};
   /// Best configuration at the efficiency knee (fewest threads within
-  /// `efficiency_knee` of the best speedup for the winning paradigm +
-  /// schedule).
+  /// `efficiency_knee` of the best speedup; ties prefer StaticBlock).
   Candidate economical{};
   /// Every evaluated point, sorted by descending speedup.
   std::vector<Candidate> sweep;
@@ -46,7 +59,8 @@ struct Recommendation {
 /// Runs the sweep with the synthesizer. The tree should carry burden
 /// factors already if base.memory_model is set. The ProgramTree form
 /// compiles once internally; pass a CompiledTree to amortize compilation
-/// across calls (as the serve daemon does).
+/// across calls (as the serve daemon does). Thin wrapper over the
+/// advisor's configuration-search stage (core::advise_configurations).
 Recommendation recommend(const tree::ProgramTree& tree,
                          const RecommendOptions& options = {});
 Recommendation recommend(const tree::CompiledTree& compiled,

@@ -41,15 +41,21 @@ struct SweepPoint {
   bool memory_model = false;
 };
 
-/// Cartesian sweep grid. `base` carries everything a point does not vary:
-/// machine, overhead vectors, dram_stall.
-struct SweepGrid {
+/// Cartesian sweep grid: the shared GridSpec dimensions (thread_counts,
+/// paradigms, schedules, chunks — the flat spellings are the same fields,
+/// see core/grid_spec.hpp) plus the sweep-only method and memory-model
+/// axes. `base` carries everything a point does not vary: machine,
+/// overhead vectors, dram_stall.
+struct SweepGrid : GridSpec {
+  SweepGrid() {
+    // Historical sweep defaults: a single-configuration grid, unlike the
+    // GridSpec defaults the advisor sweeps.
+    paradigms = {Paradigm::OpenMP};
+    schedules = {runtime::OmpSchedule::StaticCyclic};
+    thread_counts = {2, 4, 8};
+  }
+
   std::vector<Method> methods{Method::Synthesizer};
-  std::vector<Paradigm> paradigms{Paradigm::OpenMP};
-  std::vector<runtime::OmpSchedule> schedules{
-      runtime::OmpSchedule::StaticCyclic};
-  std::vector<std::uint64_t> chunks{1};
-  std::vector<CoreCount> thread_counts{2, 4, 8};
   std::vector<bool> memory_models{false};
   PredictOptions base{};
 

@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include "core/advise.hpp"
 #include "core/machine_sweep.hpp"
 #include "core/recommend.hpp"
 #include "machine/presets.hpp"
@@ -231,6 +232,9 @@ JsonValue candidate_json(const core::Candidate& c) {
   JsonValue v;
   v.set("paradigm", JsonValue(wire_name(c.paradigm)));
   v.set("schedule", JsonValue(wire_name(c.schedule)));
+  // Emitted only off the default so pre-chunk recommend responses stay
+  // byte-identical (the v2 interop pin in tests/serve/test_server.cpp).
+  if (c.chunk != 1) v.set("chunk", JsonValue(c.chunk));
   v.set("threads", JsonValue(static_cast<std::uint64_t>(c.threads)));
   v.set("speedup", JsonValue(c.speedup));
   v.set("efficiency", JsonValue(c.efficiency));
@@ -287,7 +291,8 @@ JsonValue metrics_json(const obs::MetricsSnapshot& snap) {
 /// names in the registry.
 const char* op_kind(const std::string& op) {
   if (op == "upload" || op == "predict" || op == "sweep" ||
-      op == "recommend" || op == "ping" || op == "stats" || op == "sleep") {
+      op == "recommend" || op == "advise" || op == "ping" || op == "stats" ||
+      op == "sleep") {
     return op.c_str();
   }
   return "other";
@@ -299,7 +304,9 @@ const char* op_kind(const std::string& op) {
 /// re-expand and annotate the tree) shed at the queue's high watermark;
 /// cheap ops keep being admitted until the queue is actually full.
 bool is_expensive_op(const std::string& op, const JsonValue& request) {
-  if (op == "sweep" || op == "recommend" || op == "sleep") return true;
+  if (op == "sweep" || op == "recommend" || op == "advise" || op == "sleep") {
+    return true;
+  }
   if (request.find("machines") != nullptr) return true;
   if (const JsonValue* v = request.find("memory_model")) {
     return v->is_bool() && v->as_bool();
@@ -723,6 +730,7 @@ JsonValue Server::handle(const JsonValue& request, const std::string& op,
   if (op == "upload") return handle_upload(request);
   if (op == "predict" || op == "sweep") return handle_grid_op(request, op, trace);
   if (op == "recommend") return handle_recommend(request, trace);
+  if (op == "advise") return handle_advise(request, trace);
   if (op == "sleep" && config_.debug_ops) return handle_sleep(request);
   throw BadRequest("unknown op '" + op + "'");
 }
@@ -943,6 +951,179 @@ JsonValue Server::handle_recommend(const JsonValue& request,
   sweep.reserve(rec.sweep.size());
   for (const core::Candidate& c : rec.sweep) sweep.push_back(candidate_json(c));
   result.set("sweep", JsonValue(std::move(sweep)));
+
+  cache_->put(cache_key, json_dump(result));
+  r.set("cached", JsonValue(false));
+  r.set("result", std::move(result));
+  return r;
+}
+
+JsonValue Server::handle_advise(const JsonValue& request,
+                                RequestTrace* trace) {
+  const JsonValue* key = request.find("key");
+  if (key == nullptr || !key->is_string()) {
+    throw BadRequest("advise: missing string field 'key'");
+  }
+  const auto entry = store_.find(key->as_string());
+  if (entry == nullptr) {
+    return error_response("advise", kErrNotFound,
+                          "no stored tree under key " + key->as_string());
+  }
+  core::AdviseOptions ao;
+  ao.base = report::paper_options(core::Method::Synthesizer);
+  const std::vector<std::uint64_t> threads =
+      parse_u64_list(request, "threads", "threads", {2, 4, 6, 8, 10, 12});
+  ao.grid.thread_counts.clear();
+  for (const std::uint64_t t : threads) {
+    ao.grid.thread_counts.push_back(static_cast<CoreCount>(t));
+  }
+  ao.grid.chunks.clear();  // sweep with the base chunk, as recommend does
+  CoreCount cores = config_.default_cores;
+  if (const JsonValue* v = request.find("cores")) {
+    const std::uint64_t n = v->as_u64();
+    if (n == 0) throw BadRequest("cores: must be positive");
+    cores = static_cast<CoreCount>(n);
+  }
+  ao.base.machine.cores = cores;
+  bool memory_model = false;
+  if (const JsonValue* v = request.find("memory_model")) {
+    memory_model = v->as_bool();
+  }
+  ao.base.memory_model = memory_model;
+  if (const JsonValue* v = request.find("efficiency_knee")) {
+    ao.efficiency_knee = v->as_double();
+  }
+  if (const JsonValue* v = request.find("target_threads")) {
+    ao.target_threads = static_cast<CoreCount>(v->as_u64());
+  }
+
+  JsonValue canonical;
+  JsonValue::Array tlist;
+  for (const auto t : ao.grid.thread_counts) {
+    tlist.emplace_back(static_cast<std::uint64_t>(t));
+  }
+  canonical.set("threads", JsonValue(std::move(tlist)));
+  canonical.set("cores", JsonValue(static_cast<std::uint64_t>(cores)));
+  canonical.set("memory_model", JsonValue(memory_model));
+  canonical.set("efficiency_knee", JsonValue(ao.efficiency_knee));
+  canonical.set("target_threads",
+                JsonValue(static_cast<std::uint64_t>(ao.target_threads)));
+  const std::string cache_key = digest_hex(entry->compiled->tree_digest()) +
+                                "|advise|" + json_dump(canonical);
+
+  JsonValue r = ok_response("advise");
+  if (auto hit = cache_->get(cache_key)) {
+    metrics_.counter("serve.cache.hits").add(1);
+    if (trace != nullptr) trace->cache = 1;
+    r.set("cached", JsonValue(true));
+    r.set("result", json_parse(*hit));
+    return r;
+  }
+  metrics_.counter("serve.cache.misses").add(1);
+  if (trace != nullptr) trace->cache = 0;
+
+  core::Advice advice;
+  try {
+    if (memory_model) {
+      tree::ProgramTree fresh = tree::unpack(entry->packed);
+      memmodel::CalibrationOptions copts;
+      copts.machine = ao.base.machine;
+      const memmodel::BurdenModel model(memmodel::calibrate(copts));
+      memmodel::annotate_burdens(fresh, model, ao.grid.thread_counts);
+      advice = core::advise(fresh, ao);
+    } else {
+      advice = core::advise(*entry->compiled, ao);
+    }
+  } catch (const std::invalid_argument& e) {
+    throw BadRequest(std::string("advise: ") + e.what());
+  }
+
+  JsonValue result;
+  result.set("target_threads",
+             JsonValue(static_cast<std::uint64_t>(advice.target_threads)));
+  result.set("baseline", candidate_json(advice.baseline));
+  result.set("best", candidate_json(advice.best));
+  result.set("economical", candidate_json(advice.economical));
+  JsonValue::Array sweep;
+  sweep.reserve(advice.configurations.size());
+  for (const core::Candidate& c : advice.configurations) {
+    sweep.push_back(candidate_json(c));
+  }
+  result.set("sweep", JsonValue(std::move(sweep)));
+
+  JsonValue profile;
+  profile.set("serial_cycles", JsonValue(advice.profile.serial_cycles));
+  profile.set("top_u_cycles", JsonValue(advice.profile.top_u_cycles));
+  profile.set("serial_share", JsonValue(advice.profile.serial_share));
+  JsonValue::Array sections;
+  sections.reserve(advice.profile.sections.size());
+  for (const core::SectionProfile& sp : advice.profile.sections) {
+    JsonValue s;
+    s.set("section", JsonValue(static_cast<std::uint64_t>(sp.section)));
+    if (!sp.name.empty()) s.set("name", JsonValue(sp.name));
+    s.set("repeat", JsonValue(sp.repeat));
+    s.set("tasks", JsonValue(sp.tasks));
+    s.set("work", JsonValue(sp.work));
+    s.set("span", JsonValue(sp.span));
+    s.set("parallelism", JsonValue(sp.parallelism));
+    s.set("work_share", JsonValue(sp.work_share));
+    s.set("max_burden", JsonValue(sp.max_burden));
+    JsonValue::Array locks;
+    locks.reserve(sp.locks.size());
+    for (const core::LockProfile& lp : sp.locks) {
+      JsonValue l;
+      l.set("lock", JsonValue(static_cast<std::uint64_t>(lp.lock)));
+      l.set("held_cycles", JsonValue(lp.held_cycles));
+      l.set("work_share", JsonValue(lp.work_share));
+      l.set("cap_speedup", JsonValue(lp.cap_speedup));
+      l.set("cap_threads",
+            JsonValue(static_cast<std::uint64_t>(lp.cap_threads)));
+      locks.push_back(std::move(l));
+    }
+    s.set("locks", JsonValue(std::move(locks)));
+    sections.push_back(std::move(s));
+  }
+  profile.set("sections", JsonValue(std::move(sections)));
+  result.set("profile", std::move(profile));
+
+  JsonValue::Array actions;
+  actions.reserve(advice.actions.size());
+  for (const core::Action& a : advice.actions) {
+    JsonValue v;
+    v.set("kind", JsonValue(core::to_string(a.kind)));
+    if (a.kind == core::ActionKind::ConvertConfig) {
+      v.set("config", candidate_json(a.config));
+    } else {
+      v.set("section", JsonValue(static_cast<std::uint64_t>(a.section)));
+      if (!a.section_name.empty()) {
+        v.set("section_name", JsonValue(a.section_name));
+      }
+      if (a.kind == core::ActionKind::SplitTasks) {
+        v.set("split", JsonValue(a.edit.split));
+      } else if (a.kind == core::ActionKind::ShrinkLock) {
+        v.set("lock", JsonValue(static_cast<std::uint64_t>(a.edit.lock)));
+        v.set("factor", JsonValue(a.edit.factor));
+      } else {
+        v.set("factor", JsonValue(a.edit.factor));
+      }
+    }
+    v.set("speedup_before", JsonValue(a.speedup_before));
+    v.set("speedup_after", JsonValue(a.speedup_after));
+    v.set("describe", JsonValue(a.describe()));
+    actions.push_back(std::move(v));
+  }
+  result.set("actions", JsonValue(std::move(actions)));
+
+  JsonValue stats;
+  stats.set("grid_points",
+            JsonValue(static_cast<std::uint64_t>(advice.stats.grid_points)));
+  stats.set("section_lookups", JsonValue(static_cast<std::uint64_t>(
+                                   advice.stats.section_lookups)));
+  stats.set("memo_hits",
+            JsonValue(static_cast<std::uint64_t>(advice.stats.cache_hits)));
+  stats.set("section_evals",
+            JsonValue(static_cast<std::uint64_t>(advice.stats.section_evals)));
+  result.set("stats", std::move(stats));
 
   cache_->put(cache_key, json_dump(result));
   r.set("cached", JsonValue(false));

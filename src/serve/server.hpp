@@ -188,6 +188,7 @@ class Server {
   JsonValue handle_grid_op(const JsonValue& request, const std::string& op,
                            RequestTrace* trace);
   JsonValue handle_recommend(const JsonValue& request, RequestTrace* trace);
+  JsonValue handle_advise(const JsonValue& request, RequestTrace* trace);
   JsonValue handle_sleep(const JsonValue& request);
   JsonValue handle_stats() const;
 

@@ -259,6 +259,7 @@ CompiledTree CompiledTree::compile(const ProgramTree& tree,
     SectionInfo info;
     info.node = c;
     const Node* src = tree.root->child(child_index);
+    info.name = src->name();
     info.burdens = src->burdens();
     if (src->counters() != nullptr) info.counters = *src->counters();
 

@@ -23,11 +23,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "tree/node.hpp"
 
 namespace pprophet::tree {
+
+struct TreeEdit;  // tree/edit.hpp — hypothetical edits over compiled arrays
 
 /// Index of a node record inside a CompiledTree.
 using NodeId = std::uint32_t;
@@ -142,9 +145,21 @@ class CompiledTree {
   const SectionAggregates& section_aggregates(std::uint32_t s) const {
     return sections_[s].aggregates;
   }
+  /// Source-tree name of top-level section `s` (the annotation label), kept
+  /// for advisory output only — names never enter the digests, exactly as
+  /// in the pointer-tree digest rules.
+  const std::string& section_name(std::uint32_t s) const {
+    return sections_[s].name;
+  }
   /// Burden factor β for `threads` (1.0 when the memory model never ran) —
   /// same lookup as Node::burden on the source section.
   double section_burden(std::uint32_t s, CoreCount threads) const;
+  /// The section's full burden table (threads → β), sorted by thread count;
+  /// empty when the memory model never ran.
+  const std::vector<std::pair<CoreCount, double>>& section_burdens(
+      std::uint32_t s) const {
+    return sections_[s].burdens;
+  }
   /// Hardware counters of section `s`; nullptr when unprofiled.
   const SectionCounters* section_counters(std::uint32_t s) const {
     return sections_[s].counters ? &*sections_[s].counters : nullptr;
@@ -161,10 +176,17 @@ class CompiledTree {
   std::uint64_t tree_digest() const { return tree_digest_; }
 
  private:
+  // The hypothetical-edit pass (tree/edit.cpp) mutates a *copy* of the
+  // arrays in place — split repeats, scaled lengths, refreshed aggregates
+  // and digests — which needs the same access compile() has.
+  friend CompiledTree apply_edit(const CompiledTree& compiled,
+                                 const TreeEdit& edit);
+
   struct SectionInfo {
     NodeId node = kNoNode;
     std::uint64_t digest = 0;
     SectionAggregates aggregates{};
+    std::string name;
     std::vector<std::pair<CoreCount, double>> burdens;
     std::optional<SectionCounters> counters;
   };

@@ -1,0 +1,257 @@
+#include "tree/edit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/fnv.hpp"
+
+namespace pprophet::tree {
+namespace {
+
+[[noreturn]] void bad_edit(const std::string& what) {
+  throw std::invalid_argument("apply_edit: " + what);
+}
+
+void check_factor(double factor) {
+  if (!(factor >= 0.0 && factor <= 1.0)) {
+    bad_edit("factor must be in [0, 1]");
+  }
+}
+
+/// The digest salt shared by both digests of an edited tree: FNV of the
+/// pre-edit digest plus every edit field. Deterministic, distinct from the
+/// original and from any differently-parameterized edit, and a function of
+/// nothing but (old content, edit) — so equal inputs still collide, which
+/// is exactly what a memo key needs.
+std::uint64_t salted_digest(std::uint64_t old_digest, const TreeEdit& e) {
+  util::Fnv64 d;
+  d.u64(old_digest);
+  d.u64(0xED17);  // edit tag, so an edited digest can't alias a compiled one
+  d.u64(static_cast<std::uint64_t>(e.kind));
+  d.u64(e.section);
+  d.u64(e.split);
+  d.u64(e.lock);
+  d.f64(e.factor);
+  return d.h;
+}
+
+}  // namespace
+
+CompiledTree apply_edit(const CompiledTree& src, const TreeEdit& e) {
+  if (e.section >= src.section_count()) bad_edit("section out of range");
+  CompiledTree ct = src;  // all-vector state: a plain deep copy
+  const NodeId sec = ct.sections_[e.section].node;
+
+  // Subtree walkers over the flat arrays (same traversal as compile()).
+  const auto for_each_below = [&](auto&& visit) {
+    const auto walk = [&](auto&& self, NodeId n) -> void {
+      for (NodeId c = ct.first_child_[n]; c != kNoNode;
+           c = ct.next_sibling_[c]) {
+        visit(c);
+        self(self, c);
+      }
+    };
+    walk(walk, sec);
+  };
+
+  switch (e.kind) {
+    case TreeEdit::Kind::SplitTasks: {
+      if (e.split < 2) bad_edit("SplitTasks needs split >= 2");
+      bool nested = false;
+      for_each_below([&](NodeId n) { nested |= ct.kinds_[n] == NodeKind::Sec; });
+      if (nested) bad_edit("SplitTasks on a section with nested sections");
+      for (NodeId task = ct.first_child_[sec]; task != kNoNode;
+           task = ct.next_sibling_[task]) {
+        ct.repeats_[task] *= e.split;
+      }
+      for_each_below([&](NodeId n) {
+        if (ct.kinds_[n] == NodeKind::U || ct.kinds_[n] == NodeKind::L) {
+          ct.lengths_[n] = split_cycles(ct.lengths_[n], e.split);
+        }
+      });
+      // Refresh the section's run table in place: the runs are the same
+      // Task children, only their repeats (and the cumulative sums) grew.
+      CompiledTree::TableRec& t = ct.tables_[ct.table_idx_[sec]];
+      std::uint64_t cum = 0;
+      for (std::uint32_t r = 0; r < t.runs; ++r) {
+        cum += ct.repeats_[ct.run_task_[t.offset + r]];
+        ct.run_cum_[t.offset + r] = cum;
+      }
+      t.trips = cum;
+      break;
+    }
+    case TreeEdit::Kind::ShrinkLock: {
+      check_factor(e.factor);
+      std::size_t hits = 0;
+      for_each_below([&](NodeId n) {
+        if (ct.kinds_[n] == NodeKind::L && ct.lock_ids_[n] == e.lock) {
+          ct.lengths_[n] = scale_cycles(ct.lengths_[n], e.factor);
+          ++hits;
+        }
+      });
+      if (hits == 0) bad_edit("ShrinkLock: lock not held in section");
+      break;
+    }
+    case TreeEdit::Kind::ImproveBurden: {
+      check_factor(e.factor);
+      for (auto& [threads, beta] : ct.sections_[e.section].burdens) {
+        beta = improved_burden(beta, e.factor);
+      }
+      break;
+    }
+  }
+
+  // Refresh the edited section's aggregates with the same sums compile()
+  // computes (one repetition of the section; child repeats multiplied).
+  struct Sums {
+    Cycles leaf_work = 0;
+    Cycles lock_cycles = 0;
+  };
+  const auto sum_subtree = [&](auto&& self, NodeId n) -> Sums {
+    Sums s;
+    if (ct.kinds_[n] == NodeKind::U) {
+      s.leaf_work = ct.lengths_[n];
+    } else if (ct.kinds_[n] == NodeKind::L) {
+      s.leaf_work = ct.lengths_[n];
+      s.lock_cycles = ct.lengths_[n];
+    } else {
+      for (NodeId c = ct.first_child_[n]; c != kNoNode;
+           c = ct.next_sibling_[c]) {
+        const Sums cs = self(self, c);
+        s.leaf_work += cs.leaf_work * ct.repeats_[c];
+        s.lock_cycles += cs.lock_cycles * ct.repeats_[c];
+      }
+    }
+    return s;
+  };
+  CompiledTree::SectionInfo& info = ct.sections_[e.section];
+  const Cycles old_work = info.aggregates.total_leaf_work;
+  const CompiledTree::TableRec& table = ct.tables_[ct.table_idx_[sec]];
+  info.aggregates = SectionAggregates{};
+  info.aggregates.task_count = table.trips;
+  const Sums sums = sum_subtree(sum_subtree, sec);
+  info.aggregates.total_leaf_work = sums.leaf_work;
+  info.aggregates.lock_cycles = sums.lock_cycles;
+  for (std::uint32_t r = 0; r < table.runs; ++r) {
+    info.aggregates.max_task_length =
+        std::max(info.aggregates.max_task_length,
+                 sum_subtree(sum_subtree, ct.run_task_[table.offset + r])
+                     .leaf_work);
+  }
+
+  // Serial denominator: an edit that changes leaf work changes the serial
+  // program by the same cycles. With a measured root length, shift it by
+  // the work delta (times the section's and root's repeats — the rule
+  // compile() applies to the leaf sum); without one, the leaf-sum rule
+  // recomputes to exactly old + delta.
+  const std::int64_t delta =
+      (static_cast<std::int64_t>(info.aggregates.total_leaf_work) -
+       static_cast<std::int64_t>(old_work)) *
+      static_cast<std::int64_t>(ct.repeats_[sec]) *
+      static_cast<std::int64_t>(ct.repeats_[0]);
+  if (ct.lengths_[0] != 0) {
+    const std::int64_t shifted =
+        static_cast<std::int64_t>(ct.lengths_[0]) + delta;
+    ct.lengths_[0] = static_cast<Cycles>(std::max<std::int64_t>(1, shifted));
+    ct.serial_cycles_ = ct.lengths_[0];
+  } else {
+    ct.serial_cycles_ = static_cast<Cycles>(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(ct.serial_cycles_) + delta));
+  }
+
+  info.digest = salted_digest(info.digest, e);
+  ct.tree_digest_ = salted_digest(ct.tree_digest_, e);
+  return ct;
+}
+
+void apply_edit(ProgramTree& tree, const TreeEdit& e) {
+  if (!tree.root) bad_edit("empty tree");
+  // Locate the e.section-th top-level Sec (the CompiledTree numbering).
+  Node* sec = nullptr;
+  std::uint32_t seen = 0;
+  std::uint64_t root_repeat = tree.root->repeat();
+  for (const NodePtr& child : tree.root->children()) {
+    if (child->kind() != NodeKind::Sec) continue;
+    if (seen++ == e.section) {
+      sec = child.get();
+      break;
+    }
+  }
+  if (sec == nullptr) bad_edit("section out of range");
+
+  const auto for_each_below = [&](auto&& visit) {
+    const auto walk = [&](auto&& self, Node& n) -> void {
+      for (const NodePtr& c : n.children()) {
+        visit(*c);
+        self(self, *c);
+      }
+    };
+    walk(walk, *sec);
+  };
+  // One repetition of a subtree, child repeats multiplied — the mirror of
+  // compile()'s sum_subtree (the node's own repeat is the caller's).
+  const auto leaf_work = [&](auto&& self, const Node& n) -> Cycles {
+    if (n.kind() == NodeKind::U || n.kind() == NodeKind::L) return n.length();
+    Cycles sum = 0;
+    for (const NodePtr& c : n.children()) {
+      sum += self(self, *c) * c->repeat();
+    }
+    return sum;
+  };
+  const Cycles old_work = leaf_work(leaf_work, *sec);
+
+  switch (e.kind) {
+    case TreeEdit::Kind::SplitTasks: {
+      if (e.split < 2) bad_edit("SplitTasks needs split >= 2");
+      bool nested = false;
+      for_each_below(
+          [&](Node& n) { nested |= n.kind() == NodeKind::Sec; });
+      if (nested) bad_edit("SplitTasks on a section with nested sections");
+      for (const NodePtr& task : sec->children()) {
+        task->set_repeat(task->repeat() * e.split);
+      }
+      for_each_below([&](Node& n) {
+        if (n.kind() == NodeKind::U || n.kind() == NodeKind::L) {
+          n.set_length(split_cycles(n.length(), e.split));
+        }
+      });
+      break;
+    }
+    case TreeEdit::Kind::ShrinkLock: {
+      check_factor(e.factor);
+      std::size_t hits = 0;
+      for_each_below([&](Node& n) {
+        if (n.kind() == NodeKind::L && n.lock_id() == e.lock) {
+          n.set_length(scale_cycles(n.length(), e.factor));
+          ++hits;
+        }
+      });
+      if (hits == 0) bad_edit("ShrinkLock: lock not held in section");
+      break;
+    }
+    case TreeEdit::Kind::ImproveBurden: {
+      check_factor(e.factor);
+      // set_burden overwrites per key, so iterate over a copy of the table.
+      const auto burdens = sec->burdens();
+      for (const auto& [threads, beta] : burdens) {
+        sec->set_burden(threads, improved_burden(beta, e.factor));
+      }
+      break;
+    }
+  }
+
+  if (tree.root->length() != 0) {
+    const std::int64_t delta =
+        (static_cast<std::int64_t>(leaf_work(leaf_work, *sec)) -
+         static_cast<std::int64_t>(old_work)) *
+        static_cast<std::int64_t>(sec->repeat()) *
+        static_cast<std::int64_t>(root_repeat);
+    const std::int64_t shifted =
+        static_cast<std::int64_t>(tree.root->length()) + delta;
+    tree.root->set_length(
+        static_cast<Cycles>(std::max<std::int64_t>(1, shifted)));
+  }
+}
+
+}  // namespace pprophet::tree

@@ -1,0 +1,77 @@
+// Hypothetical source edits over program trees — the what-if lever behind
+// the causal advisor (core/advise.hpp, docs/ADVISOR.md).
+//
+// An edit is a small, mechanical rewrite of ONE top-level section:
+//   SplitTasks    — make the section's tasks `split`× finer: every Task
+//                   child repeats `split`× more often and every leaf under
+//                   it carries 1/split of its length (critical sections
+//                   included, so lock granularity shrinks with the tasks).
+//                   Only defined for sections without nested Secs.
+//   ShrinkLock    — scale every L leaf of lock `lock` inside the section by
+//                   `factor` (shorter critical sections, same lock).
+//   ImproveBurden — move the section's memory-burden factors toward 1:
+//                   β' = 1 + (β - 1) × factor for every thread count.
+//
+// Two equivalent application paths exist on purpose:
+//   * apply_edit(CompiledTree) rewrites a COPY of the flat arrays in place —
+//     no re-profiling, no ProgramTree mutation — refreshing the edited
+//     section's run table, aggregates, digest, and the tree digest/serial
+//     denominator. This is what the advisor's edit-search loop prices.
+//   * apply_edit(ProgramTree&) performs the same arithmetic on the Node
+//     heap, so tests can independently re-compile + re-predict an edited
+//     tree from scratch and hold the advisor to its advertised speedup
+//     (the soundness gate in tests/property/test_advisor_properties.cpp).
+// Both paths share the cycle-arithmetic helpers below, byte for byte.
+//
+// Digests: the edited section's digest is the FNV of (old digest, edit
+// fields) — distinct from the original and from any other edit by
+// construction, while every untouched section keeps its digest, which is
+// what lets edited trees share memoized emulations with the baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "tree/compile.hpp"
+#include "tree/node.hpp"
+
+namespace pprophet::tree {
+
+struct TreeEdit {
+  enum class Kind : std::uint8_t { SplitTasks, ShrinkLock, ImproveBurden };
+
+  Kind kind = Kind::SplitTasks;
+  /// Top-level section index (CompiledTree section numbering; for the
+  /// ProgramTree path this is the i-th Sec child of the root).
+  std::uint32_t section = 0;
+  std::uint64_t split = 2;  ///< SplitTasks: fineness factor (>= 2)
+  LockId lock = 0;          ///< ShrinkLock: which lock
+  double factor = 1.0;      ///< ShrinkLock / ImproveBurden: scale in [0, 1]
+};
+
+/// One leaf's length after splitting its task `k`× finer. Ceiling division
+/// so a split never rounds work below the critical path it claims to have
+/// (k × split_cycles(len, k) >= len), and never produces zero-length leaves.
+inline Cycles split_cycles(Cycles len, std::uint64_t k) {
+  return len == 0 ? 0 : (len + k - 1) / k;
+}
+
+/// One L leaf's length after shrinking its lock span by `factor`.
+inline Cycles scale_cycles(Cycles len, double factor) {
+  return static_cast<Cycles>(static_cast<double>(len) * factor);
+}
+
+/// A burden factor after an ImproveBurden edit.
+inline double improved_burden(double beta, double factor) {
+  return 1.0 + (beta - 1.0) * factor;
+}
+
+/// Applies `edit` to a copy of the compiled arrays. Throws
+/// std::invalid_argument for an out-of-range section, a SplitTasks edit on
+/// a section with nested Secs or split < 2, or an unknown lock.
+CompiledTree apply_edit(const CompiledTree& compiled, const TreeEdit& edit);
+
+/// Same rewrite on the Node heap, mutating `tree` in place (clone first if
+/// the original must survive). Identical arithmetic and validation.
+void apply_edit(ProgramTree& tree, const TreeEdit& edit);
+
+}  // namespace pprophet::tree

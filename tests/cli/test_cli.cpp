@@ -298,6 +298,38 @@ TEST_F(CliTest, RecommendParsesAsCommand) {
   EXPECT_EQ(o->command, "recommend");
 }
 
+TEST_F(CliTest, AdviseParsesTargetThreads) {
+  const auto o = parse({"advise", "--tree", tree_path_, "--threads", "2,4",
+                        "--target-threads", "4"});
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->command, "advise");
+  EXPECT_EQ(o->threads, (std::vector<CoreCount>{2, 4}));
+  EXPECT_EQ(o->target_threads, 4u);
+
+  EXPECT_FALSE(parse({"advise"}).has_value());  // --tree is required
+  EXPECT_FALSE(
+      parse({"advise", "--tree", tree_path_, "--target-threads", "0"})
+          .has_value());
+}
+
+TEST_F(CliTest, AdvisePrintsProfileAndRankedEdits) {
+  Options o;
+  o.command = "advise";
+  o.tree_path = tree_path_;
+  o.threads = {2, 4};
+  EXPECT_EQ(run_cmd(o), 0);
+  const std::string s = out_.str();
+  // Critical-path profile table + configuration verdicts + ranked edits.
+  EXPECT_NE(s.find("serial:"), std::string::npos);
+  EXPECT_NE(s.find("parallelism"), std::string::npos);
+  EXPECT_NE(s.find("best:"), std::string::npos);
+  EXPECT_NE(s.find("economical:"), std::string::npos);
+  EXPECT_NE(s.find("baseline at 4 threads"), std::string::npos);
+  const bool has_edits = s.find("what-if edits") != std::string::npos ||
+                         s.find("no profitable edits") != std::string::npos;
+  EXPECT_TRUE(has_edits) << s;
+}
+
 TEST_F(CliTest, TimelineRendersGantt) {
   Options o;
   o.command = "timeline";
@@ -587,6 +619,13 @@ TEST_F(CliTest, ClientTalksToInProcessServer) {
   out_.str("");
   EXPECT_EQ(run_cmd(o), 0);
   EXPECT_NE(out_.str().find("best:"), std::string::npos);
+
+  o.op = "advise";
+  o.target_threads = 4;
+  out_.str("");
+  EXPECT_EQ(run_cmd(o), 0);
+  EXPECT_NE(out_.str().find("best:"), std::string::npos);
+  EXPECT_NE(out_.str().find("baseline at 4 threads"), std::string::npos);
 
   o.op = "stats";
   out_.str("");

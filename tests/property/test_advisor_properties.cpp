@@ -1,0 +1,124 @@
+// Advisor soundness over the random-tree grammar: every promised what-if
+// delta must reproduce when the edit is actually applied and the tree is
+// re-predicted from scratch — the contract stated in core/advise.hpp and
+// re-checked at fig12 scale by bench_advisor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/advise.hpp"
+#include "core/prophet.hpp"
+#include "tree/builder.hpp"
+#include "tree/edit.hpp"
+
+#include "random_trees.hpp"
+
+namespace pprophet::core {
+namespace {
+
+TEST(AdvisorProperty, TopActionsReproduceTheirPromisedSpeedup) {
+  const std::uint64_t base_seed = tree::property_seed(0xAD5'0001);
+  std::size_t checked = 0;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    const tree::ProgramTree t = tree::random_tree(seed);
+    SCOPED_TRACE(tree::seed_trace(seed, t));
+
+    AdviseOptions ao;
+    ao.grid.thread_counts = {2, 4, 8};
+    const Advice adv = advise(t, ao);
+
+    std::size_t from_this_tree = 0;
+    for (const Action& a : adv.actions) {
+      if (from_this_tree == 3) break;
+      if (a.kind == ActionKind::ConvertConfig) continue;
+      tree::ProgramTree copy{t.root->clone()};
+      tree::apply_edit(copy, a.edit);
+      PredictOptions o = ao.base;
+      o.method = Method::Synthesizer;
+      const double fresh = predict(copy, adv.target_threads, o).speedup;
+      // The 1% acceptance bound from ISSUE/docs; in practice the memoized
+      // pricer is bit-identical to predict(), so this never gets close.
+      EXPECT_NEAR(a.speedup_after, fresh, 0.01 * fresh) << a.describe();
+      EXPECT_DOUBLE_EQ(a.speedup_before, adv.baseline.speedup)
+          << a.describe();
+      ++from_this_tree;
+      ++checked;
+    }
+  }
+  // The grammar always produces sections with real work, so at least some
+  // trees must have yielded rankable edits.
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(AdvisorProperty, LockBoundTreeRanksShrinkLockAboveEverySplit) {
+  // Sixteen tasks, each half compute and half a shared lock hold. The lock
+  // serializes half the program: splitting tasks finer re-slices the
+  // serialized region without shrinking it (the total hold is invariant
+  // under SplitTasks), so no SplitTasks action can beat shrinking the lock
+  // span itself.
+  tree::TreeBuilder b;
+  b.begin_sec("hot");
+  b.begin_task("t").u(10'000).l(1, 10'000).end_task().repeat_last(16);
+  b.end_sec();
+  const tree::ProgramTree t = b.finish();
+
+  AdviseOptions ao;
+  ao.grid.thread_counts = {2, 4, 8};
+  const Advice adv = advise(t, ao);
+
+  const auto first_of = [&](ActionKind k) {
+    return std::find_if(adv.actions.begin(), adv.actions.end(),
+                        [k](const Action& a) { return a.kind == k; });
+  };
+  const auto shrink = first_of(ActionKind::ShrinkLock);
+  ASSERT_NE(shrink, adv.actions.end());
+  EXPECT_EQ(shrink->section, 0u);
+  EXPECT_GT(shrink->speedup_after, shrink->speedup_before);
+
+  const auto split = first_of(ActionKind::SplitTasks);
+  if (split != adv.actions.end()) {
+    // Actions are sorted by speedup_after, so "ranks above" is "comes
+    // first"; assert the speedups too so a sort bug cannot mask it.
+    EXPECT_LT(shrink - adv.actions.begin(), split - adv.actions.begin());
+    EXPECT_GT(shrink->speedup_after, split->speedup_after);
+  }
+}
+
+TEST(AdvisorProperty, BurdenEditsAppearOnlyUnderTheMemoryModel) {
+  tree::TreeBuilder b;
+  b.begin_sec("mem");
+  b.begin_task("t").u(20'000).end_task().repeat_last(8);
+  b.end_sec();
+  tree::ProgramTree t = b.finish();
+  t.root->children().front()->set_burden(4, 2.0);
+  t.root->children().front()->set_burden(8, 3.0);
+
+  AdviseOptions ao;
+  ao.grid.thread_counts = {2, 4, 8};
+  const Advice plain = advise(t, ao);
+  EXPECT_TRUE(std::none_of(plain.actions.begin(), plain.actions.end(),
+                           [](const Action& a) {
+                             return a.kind == ActionKind::ImproveBurden;
+                           }));
+
+  ao.base.memory_model = true;
+  const Advice modeled = advise(t, ao);
+  const auto burden = std::find_if(modeled.actions.begin(),
+                                   modeled.actions.end(), [](const Action& a) {
+                                     return a.kind == ActionKind::ImproveBurden;
+                                   });
+  ASSERT_NE(burden, modeled.actions.end());
+  EXPECT_GT(burden->speedup_after, burden->speedup_before);
+
+  // Soundness holds for burden edits too: apply + re-predict reproduces.
+  tree::ProgramTree copy{t.root->clone()};
+  tree::apply_edit(copy, burden->edit);
+  PredictOptions o = ao.base;
+  o.method = Method::Synthesizer;
+  const double fresh = predict(copy, modeled.target_threads, o).speedup;
+  EXPECT_NEAR(burden->speedup_after, fresh, 0.01 * fresh);
+}
+
+}  // namespace
+}  // namespace pprophet::core

@@ -1,0 +1,246 @@
+// Hypothetical tree edits (tree/edit.hpp): the compiled-array path must be
+// indistinguishable — to every emulator — from editing the pointer tree and
+// recompiling. These are the invariants the advisor's soundness contract
+// (docs/ADVISOR.md) stands on.
+#include "tree/edit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/prophet.hpp"
+#include "report/experiment.hpp"
+#include "tree/builder.hpp"
+
+#include "../property/random_trees.hpp"
+
+namespace pprophet::tree {
+namespace {
+
+ProgramTree clone_tree(const ProgramTree& t) { return ProgramTree{t.root->clone()}; }
+
+/// First lock id held anywhere below `n`, or 0 when lock-free.
+LockId find_lock(const Node& n) {
+  if (n.kind() == NodeKind::L) return n.lock_id();
+  for (const NodePtr& c : n.children()) {
+    if (const LockId id = find_lock(*c)) return id;
+  }
+  return 0;
+}
+
+bool section_has_nested(const Node& n) {
+  for (const NodePtr& c : n.children()) {
+    if (c->kind() == NodeKind::Sec || section_has_nested(*c)) return true;
+  }
+  return false;
+}
+
+/// The differential oracle: predict() over apply_edit(compiled) must be
+/// bit-identical to predict() over compile(apply_edit(pointer tree)).
+void expect_paths_identical(const ProgramTree& tree, const TreeEdit& edit) {
+  const CompiledTree compiled = CompiledTree::compile(tree);
+  const CompiledTree fast = apply_edit(compiled, edit);
+
+  ProgramTree edited = clone_tree(tree);
+  apply_edit(edited, edit);
+  const CompiledTree slow = CompiledTree::compile(edited);
+
+  ASSERT_EQ(fast.serial_cycles(), slow.serial_cycles());
+  ASSERT_EQ(fast.top_u_cycles(), slow.top_u_cycles());
+  core::PredictOptions o = report::paper_options(core::Method::Synthesizer);
+  for (const CoreCount threads : {2u, 4u, 8u}) {
+    const core::SpeedupEstimate a = core::predict(fast, threads, o);
+    const core::SpeedupEstimate b = core::predict(slow, threads, o);
+    EXPECT_EQ(a.parallel_cycles, b.parallel_cycles) << "t=" << threads;
+    EXPECT_DOUBLE_EQ(a.speedup, b.speedup) << "t=" << threads;
+  }
+}
+
+TEST(TreeEdit, SplitTasksMatchesPointerPathOnRandomTrees) {
+  const std::uint64_t base = property_seed(0xED17'0001);
+  int exercised = 0;
+  for (std::uint64_t i = 0; i < 40 && exercised < 12; ++i) {
+    const std::uint64_t seed = base + i;
+    const ProgramTree t = random_tree(seed);
+    SCOPED_TRACE(seed_trace(seed, t));
+    const CompiledTree compiled = CompiledTree::compile(t);
+    for (std::uint32_t s = 0; s < compiled.section_count(); ++s) {
+      const Node* sec = nullptr;
+      std::uint32_t seen = 0;
+      for (const NodePtr& c : t.root->children()) {
+        if (c->kind() == NodeKind::Sec && seen++ == s) sec = c.get();
+      }
+      ASSERT_NE(sec, nullptr);
+      if (section_has_nested(*sec)) continue;
+      TreeEdit e;
+      e.kind = TreeEdit::Kind::SplitTasks;
+      e.section = s;
+      e.split = 2 + (seed % 3);
+      expect_paths_identical(t, e);
+      ++exercised;
+    }
+  }
+  EXPECT_GT(exercised, 0);
+}
+
+TEST(TreeEdit, ShrinkLockMatchesPointerPathOnRandomTrees) {
+  const std::uint64_t base = property_seed(0xED17'0002);
+  int exercised = 0;
+  for (std::uint64_t i = 0; i < 40 && exercised < 12; ++i) {
+    const std::uint64_t seed = base + i;
+    const ProgramTree t = random_tree(seed);
+    SCOPED_TRACE(seed_trace(seed, t));
+    std::uint32_t s = 0;
+    for (const NodePtr& c : t.root->children()) {
+      if (c->kind() != NodeKind::Sec) continue;
+      if (const LockId lock = find_lock(*c)) {
+        TreeEdit e;
+        e.kind = TreeEdit::Kind::ShrinkLock;
+        e.section = s;
+        e.lock = lock;
+        e.factor = (seed % 2) ? 0.5 : 0.1;
+        expect_paths_identical(t, e);
+        ++exercised;
+      }
+      ++s;
+    }
+  }
+  EXPECT_GT(exercised, 0);
+}
+
+TEST(TreeEdit, ImproveBurdenMatchesPointerPath) {
+  TreeBuilder b;
+  b.begin_sec("hot");
+  b.begin_task("t").u(10'000).end_task().repeat_last(32);
+  b.end_sec();
+  ProgramTree t = b.finish();
+  t.root->children().front()->set_burden(4, 1.8);
+  t.root->children().front()->set_burden(8, 2.5);
+
+  TreeEdit e;
+  e.kind = TreeEdit::Kind::ImproveBurden;
+  e.section = 0;
+  e.factor = 0.5;
+
+  const CompiledTree fast = apply_edit(CompiledTree::compile(t), e);
+  ProgramTree edited = clone_tree(t);
+  apply_edit(edited, e);
+  const CompiledTree slow = CompiledTree::compile(edited);
+
+  // improved_burden halves the excess over beta = 1.
+  EXPECT_DOUBLE_EQ(fast.section_burden(0, 4), 1.4);
+  EXPECT_DOUBLE_EQ(fast.section_burden(0, 8), 1.75);
+  core::PredictOptions o = report::paper_options(core::Method::Synthesizer);
+  o.memory_model = true;
+  for (const CoreCount threads : {4u, 8u}) {
+    EXPECT_EQ(core::predict(fast, threads, o).parallel_cycles,
+              core::predict(slow, threads, o).parallel_cycles);
+  }
+}
+
+TEST(TreeEdit, MeasuredRootLengthShiftsWithTheWorkDelta) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  b.begin_task("t").l(1, 1'000).end_task().repeat_last(10);
+  b.end_sec();
+  ProgramTree t = b.finish();
+  // Pretend the profiler measured 3000 cycles of unattributed overhead on
+  // top of the 10'000 cycles of leaf work.
+  t.root->set_length(13'000);
+
+  TreeEdit e;
+  e.kind = TreeEdit::Kind::ShrinkLock;
+  e.section = 0;
+  e.lock = 1;
+  e.factor = 0.5;  // leaf work drops by 10 x 500 = 5'000 cycles
+
+  const CompiledTree fast = apply_edit(CompiledTree::compile(t), e);
+  EXPECT_EQ(fast.serial_cycles(), 8'000u);
+  ProgramTree edited = clone_tree(t);
+  apply_edit(edited, e);
+  EXPECT_EQ(CompiledTree::compile(edited).serial_cycles(), 8'000u);
+}
+
+TEST(TreeEdit, DigestSaltTouchesOnlyTheEditedSection) {
+  TreeBuilder b;
+  b.begin_sec("a");
+  b.begin_task("t").u(5'000).end_task().repeat_last(8);
+  b.end_sec();
+  b.begin_sec("b");
+  b.begin_task("t").u(7'000).end_task().repeat_last(8);
+  b.end_sec();
+  const ProgramTree t = b.finish();
+  const CompiledTree before = CompiledTree::compile(t);
+
+  TreeEdit e;
+  e.kind = TreeEdit::Kind::SplitTasks;
+  e.section = 0;
+  e.split = 4;
+  const CompiledTree after = apply_edit(before, e);
+
+  EXPECT_NE(after.section_digest(0), before.section_digest(0));
+  EXPECT_EQ(after.section_digest(1), before.section_digest(1));
+  EXPECT_NE(after.tree_digest(), before.tree_digest());
+
+  // Differently parameterized edits must not collide in the memo.
+  TreeEdit e8 = e;
+  e8.split = 8;
+  EXPECT_NE(apply_edit(before, e8).section_digest(0),
+            after.section_digest(0));
+}
+
+TEST(TreeEdit, RejectsInvalidEdits) {
+  TreeBuilder b;
+  b.begin_sec("s");
+  b.begin_task("t").u(1'000).end_task();
+  b.end_sec();
+  const ProgramTree t = b.finish();
+  const CompiledTree compiled = CompiledTree::compile(t);
+
+  TreeEdit e;
+  e.section = 7;  // out of range
+  EXPECT_THROW(apply_edit(compiled, e), std::invalid_argument);
+
+  e.section = 0;
+  e.kind = TreeEdit::Kind::SplitTasks;
+  e.split = 1;  // no-op split
+  EXPECT_THROW(apply_edit(compiled, e), std::invalid_argument);
+
+  e.kind = TreeEdit::Kind::ShrinkLock;
+  e.lock = 42;  // never held in the section
+  e.factor = 0.5;
+  EXPECT_THROW(apply_edit(compiled, e), std::invalid_argument);
+
+  e.kind = TreeEdit::Kind::ImproveBurden;
+  e.factor = 1.5;  // factors are [0, 1]
+  EXPECT_THROW(apply_edit(compiled, e), std::invalid_argument);
+
+  // The pointer-tree path enforces the same contracts.
+  ProgramTree copy = clone_tree(t);
+  TreeEdit bad;
+  bad.section = 7;
+  EXPECT_THROW(apply_edit(copy, bad), std::invalid_argument);
+}
+
+TEST(TreeEdit, SplitRejectsSectionsWithNestedSections) {
+  TreeBuilder b;
+  b.begin_sec("outer");
+  b.begin_task("t");
+  b.u(100);
+  b.begin_sec("inner");
+  b.begin_task("nt").u(200).end_task();
+  b.end_sec();
+  b.end_task();
+  b.end_sec();
+  const ProgramTree t = b.finish();
+
+  TreeEdit e;
+  e.kind = TreeEdit::Kind::SplitTasks;
+  e.section = 0;
+  e.split = 2;
+  EXPECT_THROW(apply_edit(CompiledTree::compile(t), e),
+               std::invalid_argument);
+  ProgramTree copy = clone_tree(t);
+  EXPECT_THROW(apply_edit(copy, e), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pprophet::tree

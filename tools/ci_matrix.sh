@@ -23,6 +23,9 @@
 #     popcounts, slot renumbering) is exactly the kind of code sanitizers
 #     earn their keep on. (-LE perf: the reuse bench already ran in the
 #     perf stage.)
+#   - `ctest -L advisor -LE perf` — the what-if advisor (docs/ADVISOR.md):
+#     compiled-vs-pointer edit differentials, the Advice API, and the
+#     action-soundness property suite.
 #
 # `thread` is also accepted (README documents the TSan + `-L concurrency`
 # combination) but is not in the default set: TSan roughly 10x-es the
@@ -88,6 +91,13 @@ for san in "${sans[@]}"; do
   ctest --test-dir "${bdir}" -L perf --output-on-failure
   echo "=== ${san}: reuse model label ==="
   ctest --test-dir "${bdir}" -L reuse -LE perf --output-on-failure
+  echo "=== ${san}: advisor label ==="
+  # The what-if advisor (docs/ADVISOR.md): edit-machinery differentials,
+  # Advice API, and the soundness property suite. The advisor walks copied
+  # compiled arrays and salts digests in place — pointer-arithmetic-heavy
+  # code worth a sanitizer pass. (-LE perf: bench_advisor, which carries
+  # both labels, already gated soundness + memo cost in the perf stage.)
+  ctest --test-dir "${bdir}" -L advisor -LE perf --output-on-failure
 done
 
 # The epoll reactor under real concurrency: both transports, dozens of
